@@ -1,0 +1,94 @@
+// Ablation A — what each analysis ingredient buys:
+//   * U with the full algorithm (indirect relaxation via Modify_Diagram),
+//   * U with relaxation disabled (every HP element treated as direct),
+//   * the Mutka-style rate-monotonic response-time bound over direct
+//     interferers only (the related work the paper argues against).
+// Reported over the Table-3 and Table-5 workloads.
+
+#include <cstdio>
+
+#include "baselines/rm_bound.hpp"
+#include "core/delay_bound.hpp"
+#include "core/workload.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wormrt;
+using namespace wormrt::core;
+
+void run_config(const char* label, int streams_n, int levels,
+                std::uint64_t seed, util::Table& table) {
+  topo::Mesh mesh(10, 10);
+  const route::XYRouting xy;
+  WorkloadParams wp;
+  wp.num_streams = streams_n;
+  wp.priority_levels = levels;
+  wp.seed = seed;
+  StreamSet streams = generate_workload(mesh, xy, wp);
+  adjust_periods_to_bounds(streams);
+
+  const BlockingAnalysis blocking(streams);
+  AnalysisConfig full;
+  full.horizon = HorizonPolicy::kExtended;
+  AnalysisConfig norelax = full;
+  norelax.relaxation = IndirectRelaxation::kNone;
+  const DelayBoundCalculator calc_full(streams, blocking, full);
+  const DelayBoundCalculator calc_norelax(streams, blocking, norelax);
+
+  double sum_full = 0, sum_norelax = 0, sum_rm = 0;
+  int tightened = 0, rm_below_full = 0, rm_diverged = 0, counted = 0;
+  for (const auto& s : streams) {
+    const Time u_full = calc_full.calc(s.id).bound;
+    const Time u_norelax = calc_norelax.calc(s.id).bound;
+    const auto rm = baseline::rm_response_time_bound(streams, blocking, s.id);
+    if (u_full == kNoTime || u_norelax == kNoTime) {
+      continue;  // capped either way; ratios would be meaningless
+    }
+    ++counted;
+    sum_full += static_cast<double>(u_full);
+    sum_norelax += static_cast<double>(u_norelax);
+    if (u_norelax > u_full) {
+      ++tightened;
+    }
+    if (rm.bound == kNoTime) {
+      ++rm_diverged;
+    } else {
+      sum_rm += static_cast<double>(rm.bound);
+      if (rm.bound < u_full) {
+        ++rm_below_full;
+      }
+    }
+  }
+  table.row()
+      .cell(label)
+      .cell(static_cast<std::int64_t>(counted))
+      .cell(sum_full / counted, 1)
+      .cell(sum_norelax / counted, 1)
+      .cell(static_cast<std::int64_t>(tightened))
+      .cell(rm_diverged == counted ? 0.0 : sum_rm / (counted - rm_diverged), 1)
+      .cell(static_cast<std::int64_t>(rm_below_full))
+      .cell(static_cast<std::int64_t>(rm_diverged));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — indirect relaxation (Modify_Diagram) and the "
+      "rate-monotonic baseline\n"
+      "columns: mean U (full) vs mean U (relaxation off; never smaller); "
+      "streams tightened by relaxation; mean RM bound; streams where the "
+      "RM bound is below the full U (RM ignores blocking chains, so it "
+      "can be optimistic); streams where RM diverges (path utilization "
+      ">= 1, which the window-capped diagram tolerates)\n\n");
+  util::Table table({"workload", "streams", "U full", "U no-relax",
+                     "tightened", "RM bound", "RM<U", "RM div"});
+  run_config("20 streams / 4 levels", 20, 4, 1, table);
+  run_config("20 streams / 5 levels", 20, 5, 1, table);
+  run_config("60 streams / 15 levels", 60, 15, 1, table);
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation B — window semantics of Generate_Init_Diagram.  The paper
+// drops any demand an instance could not serve inside its own period
+// window; the carry-over variant backlogs it instead (strictly more
+// pessimistic, closer to what a real queue does).  This bench compares
+// the resulting bounds and how many streams each variant can still
+// guarantee within their deadlines.
+
+#include <cstdio>
+
+#include "core/delay_bound.hpp"
+#include "core/workload.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wormrt;
+using namespace wormrt::core;
+
+void run_config(const char* label, int streams_n, int levels,
+                std::uint64_t seed, util::Table& table) {
+  topo::Mesh mesh(10, 10);
+  const route::XYRouting xy;
+  WorkloadParams wp;
+  wp.num_streams = streams_n;
+  wp.priority_levels = levels;
+  wp.seed = seed;
+  StreamSet streams = generate_workload(mesh, xy, wp);
+  adjust_periods_to_bounds(streams);
+
+  const BlockingAnalysis blocking(streams);
+  AnalysisConfig drop;
+  drop.horizon = HorizonPolicy::kExtended;
+  AnalysisConfig carry = drop;
+  carry.carry_over = true;  // disables relaxation implicitly
+  const DelayBoundCalculator calc_drop(streams, blocking, drop);
+  const DelayBoundCalculator calc_carry(streams, blocking, carry);
+
+  double sum_drop = 0, sum_carry = 0;
+  int both = 0, carry_lost = 0;
+  for (const auto& s : streams) {
+    const Time u_drop = calc_drop.calc(s.id).bound;
+    const Time u_carry = calc_carry.calc(s.id).bound;
+    if (u_drop != kNoTime && u_carry == kNoTime) {
+      // Backlogged interference never leaves room: only the window drop
+      // made the stream look boundable.
+      ++carry_lost;
+      continue;
+    }
+    if (u_drop == kNoTime || u_carry == kNoTime) {
+      continue;
+    }
+    ++both;
+    sum_drop += static_cast<double>(u_drop);
+    sum_carry += static_cast<double>(u_carry);
+  }
+  table.row()
+      .cell(label)
+      .cell(static_cast<std::int64_t>(both))
+      .cell(both ? sum_drop / both : 0.0, 1)
+      .cell(both ? sum_carry / both : 0.0, 1)
+      .cell(static_cast<std::int64_t>(carry_lost));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — window-drop (paper) vs carry-over demand in "
+      "Generate_Init_Diagram\n"
+      "carry-over bounds are never smaller; 'unbounded w/ carry' counts "
+      "streams whose bound only exists because the paper's diagram drops "
+      "backlogged interference\n\n");
+  util::Table table({"workload", "bounded both", "U drop (paper)",
+                     "U carry-over", "unbounded w/ carry"});
+  run_config("20 streams / 1 level", 20, 1, 1, table);
+  run_config("20 streams / 4 levels", 20, 4, 1, table);
+  run_config("60 streams / 15 levels", 60, 15, 1, table);
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation C — switching policy.  The same Table-3 workload simulated
+// under the four arbitration policies, reporting each priority level's
+// actual average delay and the bound violations.  Shows (i) why priority
+// handling is needed at all (FCFS wrecks high-priority delays), (ii) how
+// Li's probabilistic VC scheme sits between FCFS and preemption, and
+// (iii) the residual gap between the strict one-VC-per-priority hardware
+// and the work-conserving idealisation the analysis charges.
+
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wormrt;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — arbitration policy on the Table-3 workload "
+      "(20 streams, 4 levels)\n\n");
+  util::Table table({"policy", "P3 actual", "P2 actual", "P1 actual",
+                     "P0 actual", "violations"});
+  const sim::ArbPolicy policies[] = {
+      sim::ArbPolicy::kIdealPreemptive, sim::ArbPolicy::kPriorityPreemptive,
+      sim::ArbPolicy::kLiVc, sim::ArbPolicy::kNonPreemptiveFcfs};
+  for (const auto policy : policies) {
+    bench::ExperimentParams params;
+    params.num_streams = 20;
+    params.priority_levels = 4;
+    params.replications = 3;
+    params.policy = policy;
+    const bench::ExperimentResult r = bench::run_experiment(params);
+    double actual[4] = {0, 0, 0, 0};
+    for (const auto& row : r.rows) {
+      if (row.priority >= 0 && row.priority < 4) {
+        actual[row.priority] = row.actual_mean;
+      }
+    }
+    table.row()
+        .cell(sim::to_string(policy))
+        .cell(actual[3], 1)
+        .cell(actual[2], 1)
+        .cell(actual[1], 1)
+        .cell(actual[0], 1)
+        .cell(static_cast<std::int64_t>(r.bound_violations));
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: ideal/vc preemption keeps high-priority delays "
+      "near contention-free; FCFS equalises (inverts) them; Li improves "
+      "admission odds but not channel bandwidth.  Violations under "
+      "non-ideal policies quantify blocking the analysis does not "
+      "charge.\n");
+  return 0;
+}

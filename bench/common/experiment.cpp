@@ -1,0 +1,172 @@
+#include "common/experiment.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "core/delay_bound.hpp"
+#include "route/dor.hpp"
+#include "sim/simulator.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/torus.hpp"
+#include "util/table.hpp"
+
+namespace wormrt::bench {
+
+const char* to_string(TopoKind kind) {
+  switch (kind) {
+    case TopoKind::kMesh: return "mesh";
+    case TopoKind::kTorus: return "torus";
+    case TopoKind::kHypercube: return "hypercube";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<topo::Topology> build_topology(const ExperimentParams& p) {
+  switch (p.topo) {
+    case TopoKind::kMesh:
+      return std::make_unique<topo::Mesh>(p.mesh_width, p.mesh_height);
+    case TopoKind::kTorus:
+      return std::make_unique<topo::Torus>(p.mesh_width, p.mesh_height);
+    case TopoKind::kHypercube:
+      return std::make_unique<topo::Hypercube>(p.hypercube_order);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentParams& params) {
+  ExperimentResult result;
+
+  struct LevelAccum {
+    int streams = 0;
+    double ratio_sum = 0.0;
+    double ratio_min = 1e300;
+    double ratio_max = -1e300;
+    double actual_sum = 0.0;
+    double bound_sum = 0.0;
+  };
+  std::map<Priority, LevelAccum, std::greater<>> levels;
+
+  const std::unique_ptr<topo::Topology> network = build_topology(params);
+  const topo::Topology& mesh = *network;
+  const route::XYRouting xy;  // dimension-order everywhere (e-cube on cubes)
+
+  for (int rep = 0; rep < params.replications; ++rep) {
+    core::WorkloadParams wp;
+    wp.num_streams = params.num_streams;
+    wp.priority_levels = params.priority_levels;
+    wp.seed = params.seed + static_cast<std::uint64_t>(rep) * 0x9e37u;
+    wp.pattern = params.pattern;
+    core::StreamSet streams = generate_workload(mesh, xy, wp);
+
+    // "If the calculated U_i is larger than T_i, we increased T_i."
+    const core::AdjustResult adjusted =
+        adjust_periods_to_bounds(streams, params.analysis,
+                                 /*max_iterations=*/8,
+                                 params.stability_utilization);
+    result.adjust_iterations =
+        std::max(result.adjust_iterations, adjusted.iterations);
+    for (const Time u : adjusted.bounds) {
+      if (u >= params.analysis.horizon_cap) {
+        ++result.capped_bounds;
+      }
+    }
+
+    sim::SimConfig sc;
+    sc.duration = params.sim_duration;
+    sc.warmup = params.sim_warmup;
+    sc.policy = params.policy;
+    sc.num_vcs = params.num_vcs_override > 0
+                     ? params.num_vcs_override
+                     : std::max(params.priority_levels, 1);
+    sc.vc_buffer_depth = params.vc_buffer_depth;
+    sc.record_arrivals = true;
+    sim::Simulator sim(mesh, streams, sc);
+    const sim::SimResult sr = sim.run();
+    result.retransmissions += sr.retransmissions;
+    result.flits_dropped += sr.flits_dropped;
+
+    for (const auto& a : sr.arrivals) {
+      ++result.messages_measured;
+      if (a.arrived - a.generated >
+          adjusted.bounds[static_cast<std::size_t>(a.stream)]) {
+        ++result.bound_violations;
+      }
+    }
+
+    for (const auto& s : streams) {
+      const auto& st = sr.per_stream[static_cast<std::size_t>(s.id)];
+      if (st.completed == 0) {
+        ++result.silent_streams;
+        continue;
+      }
+      const auto bound = static_cast<double>(
+          adjusted.bounds[static_cast<std::size_t>(s.id)]);
+      const double actual = st.latency.mean();
+      const double ratio = actual / bound;
+      auto& acc = levels[s.priority];
+      ++acc.streams;
+      acc.ratio_sum += ratio;
+      acc.ratio_min = std::min(acc.ratio_min, ratio);
+      acc.ratio_max = std::max(acc.ratio_max, ratio);
+      acc.actual_sum += actual;
+      acc.bound_sum += bound;
+    }
+  }
+
+  for (const auto& [priority, acc] : levels) {
+    PriorityLevelRow row;
+    row.priority = priority;
+    row.streams = acc.streams;
+    row.ratio_mean = acc.ratio_sum / acc.streams;
+    row.ratio_min = acc.ratio_min;
+    row.ratio_max = acc.ratio_max;
+    row.actual_mean = acc.actual_sum / acc.streams;
+    row.bound_mean = acc.bound_sum / acc.streams;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+std::string format_table(const ExperimentParams& params,
+                         const ExperimentResult& result,
+                         const std::string& title) {
+  std::string out = title + "\n";
+  const std::string shape =
+      params.topo == TopoKind::kHypercube
+          ? std::to_string(params.hypercube_order) + "-cube"
+          : std::to_string(params.mesh_width) + "x" +
+                std::to_string(params.mesh_height) + " " +
+                to_string(params.topo);
+  out += "setup: " + shape + ", dimension-order routing, " +
+         std::to_string(params.num_streams) + " streams, " +
+         std::to_string(params.priority_levels) + " priority level(s), " +
+         std::to_string(params.replications) + " replication(s), " +
+         std::string(core::to_string(params.pattern)) + " traffic, policy " +
+         sim::to_string(params.policy) + "\n";
+  util::Table table({"P", "streams", "ratio(actual/U)", "min", "max",
+                     "avg actual", "avg U"});
+  for (const auto& row : result.rows) {
+    table.row()
+        .cell(static_cast<std::int64_t>(row.priority))
+        .cell(static_cast<std::int64_t>(row.streams))
+        .cell(row.ratio_mean, 3)
+        .cell(row.ratio_min, 3)
+        .cell(row.ratio_max, 3)
+        .cell(row.actual_mean, 1)
+        .cell(row.bound_mean, 1);
+  }
+  out += table.to_ascii();
+  out += "messages measured: " + std::to_string(result.messages_measured) +
+         ", bound violations: " + std::to_string(result.bound_violations) +
+         ", silent streams: " + std::to_string(result.silent_streams) +
+         ", capped bounds: " + std::to_string(result.capped_bounds) + "\n";
+  return out;
+}
+
+}  // namespace wormrt::bench

@@ -1,0 +1,103 @@
+// Extension — job allocation quality.  Section 2 notes that frequently
+// communicating jobs "could be mapped to relatively nearby processing
+// nodes" but leaves allocation out of scope.  This bench quantifies how
+// much the mapping matters for the paper's own metric: random placement
+// vs the communication-weighted greedy + hill-climbing mapper, measured
+// by contention cost, feasibility, and mean delay bound.
+
+#include <cstdio>
+
+#include "core/feasibility.hpp"
+#include "core/task_mapping.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wormrt;
+using namespace wormrt::core;
+
+TaskGraph random_job(std::uint64_t seed) {
+  // 12 tasks: a processing pipeline with side flows, the kind of job
+  // Fig. 1's host processor downloads onto a node group.
+  util::Rng rng(seed);
+  TaskGraph g;
+  g.num_tasks = 12;
+  for (int t = 0; t + 1 < g.num_tasks; ++t) {
+    g.flows.push_back(TaskFlow{t, t + 1,
+                               static_cast<Priority>(rng.uniform_int(1, 3)),
+                               rng.uniform_int(40, 90),
+                               rng.uniform_int(8, 25), 300});
+  }
+  for (int i = 0; i < 6; ++i) {
+    const int a = static_cast<int>(rng.uniform_int(0, g.num_tasks - 1));
+    const int b = static_cast<int>(rng.uniform_int(0, g.num_tasks - 2));
+    g.flows.push_back(TaskFlow{a, b >= a ? b + 1 : b,
+                               static_cast<Priority>(rng.uniform_int(0, 2)),
+                               rng.uniform_int(60, 150),
+                               rng.uniform_int(2, 12), 300});
+  }
+  return g;
+}
+
+struct Summary {
+  double cost = 0;
+  double mean_bound = 0;
+  int feasible = 0;
+};
+
+void accumulate(const MappingResult& m, Summary& s) {
+  s.cost += m.cost;
+  const FeasibilityReport report = determine_feasibility(m.streams);
+  s.feasible += report.feasible ? 1 : 0;
+  double sum = 0;
+  int counted = 0;
+  for (const auto& r : report.streams) {
+    if (r.bound != kNoTime) {
+      sum += static_cast<double>(r.bound);
+      ++counted;
+    }
+  }
+  s.mean_bound += counted ? sum / counted : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const topo::Mesh mesh(8, 8);
+  const route::XYRouting xy;
+  constexpr int kTrials = 15;
+  Summary random_s, mapped_s;
+  int mapped_improvements = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const TaskGraph g = random_job(static_cast<std::uint64_t>(t + 1));
+    accumulate(map_tasks_randomly(g, mesh, xy, t + 1), random_s);
+    const MappingResult m = map_tasks(g, mesh, xy, t + 1);
+    mapped_improvements += m.improvements;
+    accumulate(m, mapped_s);
+  }
+
+  std::printf("Extension — job allocation on an 8x8 mesh "
+              "(12-task jobs, %d random draws)\n\n", kTrials);
+  util::Table table(
+      {"placement", "contention cost", "mean bound U", "feasible jobs"});
+  table.row()
+      .cell("uniform random")
+      .cell(random_s.cost / kTrials, 2)
+      .cell(random_s.mean_bound / kTrials, 1)
+      .cell(static_cast<std::int64_t>(random_s.feasible));
+  table.row()
+      .cell("greedy + hill climb")
+      .cell(mapped_s.cost / kTrials, 2)
+      .cell(mapped_s.mean_bound / kTrials, 1)
+      .cell(static_cast<std::int64_t>(mapped_s.feasible));
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf("\nhill-climb improvements accepted: %.1f per job\n",
+              static_cast<double>(mapped_improvements) / kTrials);
+  std::printf("Expected shape: nearby placement shortens paths, cutting "
+              "both contention cost and the delay bounds the host "
+              "processor must certify.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension — topology generality.  Section 2 allows "a topology, such
+// as a hypercube or a mesh"; the evaluation only exercises the 10x10
+// mesh.  This bench runs the identical pipeline on a mesh, a torus
+// (wraparound halves average distance but the routes' channel dependency
+// graph acquires cycles), and a 6-cube of comparable size, and reports
+// the per-priority tightness on each.
+
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wormrt;
+  std::printf("Extension — the delay-bound pipeline across topologies "
+              "(20 streams, 5 levels)\n\n");
+  util::Table table({"topology", "nodes", "top ratio", "median-ish P2",
+                     "bottom ratio", "violations"});
+  const bench::TopoKind kinds[] = {bench::TopoKind::kMesh,
+                                   bench::TopoKind::kTorus,
+                                   bench::TopoKind::kHypercube};
+  for (const auto kind : kinds) {
+    bench::ExperimentParams params;
+    params.topo = kind;
+    params.mesh_width = 8;
+    params.mesh_height = 8;
+    params.hypercube_order = 6;  // 64 nodes either way
+    params.num_streams = 20;
+    params.priority_levels = 5;
+    params.replications = 3;
+    const bench::ExperimentResult r = bench::run_experiment(params);
+    double top = 0, mid = 0, bottom = 0;
+    if (!r.rows.empty()) {
+      top = r.rows.front().ratio_mean;
+      bottom = r.rows.back().ratio_mean;
+      mid = r.rows[r.rows.size() / 2].ratio_mean;
+    }
+    table.row()
+        .cell(bench::to_string(kind))
+        .cell(std::int64_t{64})
+        .cell(top, 3)
+        .cell(mid, 3)
+        .cell(bottom, 3)
+        .cell(r.bound_violations);
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nThe bound algorithm is routing-agnostic: it only consumes the "
+      "static channel footprints, so the mesh's behaviour carries over "
+      "to tori and hypercubes with dimension-order routing.\n");
+  return 0;
+}

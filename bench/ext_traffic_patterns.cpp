@@ -1,0 +1,49 @@
+// Extension — spatial traffic patterns.  The paper's destinations are
+// uniformly distributed; real workloads concentrate.  This bench runs
+// the pipeline under the standard multicomputer patterns and reports how
+// bound tightness and the adjusted load respond — hotspot traffic forces
+// the period adjustment to throttle far harder than uniform.
+
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wormrt;
+  std::printf("Extension — traffic patterns on the 10x10 mesh "
+              "(20 streams, 5 levels)\n\n");
+  util::Table table({"pattern", "top ratio", "bottom ratio", "silent",
+                     "capped", "violations"});
+  const core::TrafficPattern patterns[] = {
+      core::TrafficPattern::kUniform, core::TrafficPattern::kTranspose,
+      core::TrafficPattern::kBitReversal, core::TrafficPattern::kHotspot,
+      core::TrafficPattern::kNearestNeighbor};
+  for (const auto pattern : patterns) {
+    bench::ExperimentParams params;
+    params.num_streams = 20;
+    params.priority_levels = 5;
+    params.replications = 3;
+    params.pattern = pattern;
+    const bench::ExperimentResult r = bench::run_experiment(params);
+    double top = 0, bottom = 0;
+    if (!r.rows.empty()) {
+      top = r.rows.front().ratio_mean;
+      bottom = r.rows.back().ratio_mean;
+    }
+    table.row()
+        .cell(core::to_string(pattern))
+        .cell(top, 3)
+        .cell(bottom, 3)
+        .cell(static_cast<std::int64_t>(r.silent_streams))
+        .cell(static_cast<std::int64_t>(r.capped_bounds))
+        .cell(r.bound_violations);
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: nearest-neighbour traffic (short disjoint "
+      "paths) keeps bounds tight everywhere; hotspot traffic saturates "
+      "the hot node's ejection port and the stability guard throttles "
+      "the converging streams (more silent/capped entries).\n");
+  return 0;
+}

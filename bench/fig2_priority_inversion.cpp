@@ -1,0 +1,90 @@
+// Figure 2 of the paper: priority inversion in classical wormhole
+// switching.  A low-priority worm (message 1, priority 2) holds the
+// contended outgoing channel; a queue of medium-priority worms
+// (messages 2..n, priority 3) waits FCFS; the highest-priority message B
+// (priority 4) arrives last and — without preemption — is blocked behind
+// all of them.  With the paper's flit-level preemptive VCs, B sails
+// through at its contention-free latency.
+
+#include <cstdio>
+
+#include "core/message_stream.hpp"
+#include "route/dor.hpp"
+#include "sim/simulator.hpp"
+#include "topo/mesh.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wormrt;
+
+struct Outcome {
+  double latency_b;       // the priority-4 message
+  double latency_low;     // the priority-2 holder
+  double worst_medium;    // worst of the priority-3 queue
+};
+
+Outcome run(sim::ArbPolicy policy) {
+  // A 1x8 row: every stream funnels into the channel (4,0)->(5,0).
+  topo::Mesh mesh(8, 1);
+  const route::XYRouting xy;
+  core::StreamSet set;
+  const Time kLong = 1 << 20;  // single-shot messages
+  // Message 1 (priority 2): long worm released first, holds the channel.
+  set.add(core::make_stream(mesh, xy, 0, mesh.node_at({0, 0}),
+                            mesh.node_at({7, 0}), 2, kLong, 50, kLong));
+  // Messages 2..3 (priority 3): queue up behind it.
+  set.add(core::make_stream(mesh, xy, 1, mesh.node_at({1, 0}),
+                            mesh.node_at({6, 0}), 3, kLong, 30, kLong));
+  set.add(core::make_stream(mesh, xy, 2, mesh.node_at({2, 0}),
+                            mesh.node_at({6, 0}), 3, kLong, 30, kLong));
+  // Message B (priority 4): released last, should go first.
+  set.add(core::make_stream(mesh, xy, 3, mesh.node_at({3, 0}),
+                            mesh.node_at({5, 0}), 4, kLong, 6, kLong));
+
+  sim::SimConfig cfg;
+  cfg.duration = 31;
+  cfg.warmup = 0;
+  cfg.policy = policy;
+  cfg.num_vcs = 5;  // priorities 0..4
+  cfg.explicit_phases = {0, 5, 10, 30};
+  sim::Simulator sim(mesh, set, cfg);
+  const sim::SimResult r = sim.run();
+
+  Outcome out{};
+  out.latency_b = r.per_stream[3].latency.max();
+  out.latency_low = r.per_stream[0].latency.max();
+  out.worst_medium =
+      std::max(r.per_stream[1].latency.max(), r.per_stream[2].latency.max());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 2 — priority inversion at a contended switch output\n"
+      "message B: priority 4, 6 flits, 2 hops (contention-free latency "
+      "7); released after a 50-flit priority-2 worm and two 30-flit "
+      "priority-3 worms claim the channel\n\n");
+  util::Table table({"policy", "B (prio 4)", "worst prio 3", "prio 2"});
+  const sim::ArbPolicy policies[] = {sim::ArbPolicy::kNonPreemptiveFcfs,
+                                     sim::ArbPolicy::kLiVc,
+                                     sim::ArbPolicy::kPriorityPreemptive,
+                                     sim::ArbPolicy::kIdealPreemptive};
+  for (const auto policy : policies) {
+    const Outcome o = run(policy);
+    table.row()
+        .cell(sim::to_string(policy))
+        .cell(o.latency_b, 0)
+        .cell(o.worst_medium, 0)
+        .cell(o.latency_low, 0);
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: under non-preemptive FCFS the priority-4 message "
+      "is inverted (delay ~an order of magnitude above 7); flit-level "
+      "preemption delivers it at ~its contention-free latency at the "
+      "expense of the lower-priority worms.\n");
+  return 0;
+}

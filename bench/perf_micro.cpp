@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark): simulator throughput and the
+// analysis algorithms' scaling in the number of streams.
+
+#include <benchmark/benchmark.h>
+
+#include "core/delay_bound.hpp"
+#include "core/workload.hpp"
+#include "route/dor.hpp"
+#include "sim/simulator.hpp"
+#include "topo/mesh.hpp"
+
+namespace {
+
+using namespace wormrt;
+using namespace wormrt::core;
+
+StreamSet make_workload(const topo::Mesh& mesh, int n, int levels) {
+  const route::XYRouting xy;
+  WorkloadParams wp;
+  wp.num_streams = n;
+  wp.priority_levels = levels;
+  wp.seed = 42;
+  StreamSet streams = generate_workload(mesh, xy, wp);
+  adjust_periods_to_bounds(streams);
+  return streams;
+}
+
+void BM_SimulatorRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  topo::Mesh mesh(10, 10);
+  const StreamSet streams = make_workload(mesh, n, 4);
+  sim::SimConfig cfg;
+  cfg.duration = 10000;
+  cfg.warmup = 0;
+  cfg.num_vcs = 4;
+  cfg.vc_buffer_depth = 8;
+  std::int64_t flits = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(mesh, streams, cfg);
+    const auto result = sim.run();
+    flits += result.flits_ejected;
+    benchmark::DoNotOptimize(result.flits_ejected);
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cfg.duration) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["flits/s"] =
+      benchmark::Counter(static_cast<double>(flits), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorRun)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_BlockingAnalysis(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  topo::Mesh mesh(10, 10);
+  const StreamSet streams = make_workload(mesh, n, 4);
+  for (auto _ : state) {
+    BlockingAnalysis blocking(streams);
+    benchmark::DoNotOptimize(blocking.hp_set(0).size());
+  }
+}
+BENCHMARK(BM_BlockingAnalysis)->Arg(10)->Arg(20)->Arg(40)->Arg(60);
+
+void BM_CalU(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  topo::Mesh mesh(10, 10);
+  const StreamSet streams = make_workload(mesh, n, 4);
+  const BlockingAnalysis blocking(streams);
+  AnalysisConfig cfg;
+  cfg.horizon = HorizonPolicy::kExtended;
+  const DelayBoundCalculator calc(streams, blocking, cfg);
+  // Lowest-priority stream: largest HP set, hardest call.
+  const StreamId victim = streams.by_priority_desc().back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.calc(victim).bound);
+  }
+}
+BENCHMARK(BM_CalU)->Arg(10)->Arg(20)->Arg(40)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DetermineFeasibilityPipeline(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  topo::Mesh mesh(10, 10);
+  const route::XYRouting xy;
+  WorkloadParams wp;
+  wp.num_streams = n;
+  wp.priority_levels = 5;
+  wp.seed = 7;
+  for (auto _ : state) {
+    StreamSet streams = generate_workload(mesh, xy, wp);
+    const auto adjusted = adjust_periods_to_bounds(streams);
+    benchmark::DoNotOptimize(adjusted.iterations);
+  }
+}
+BENCHMARK(BM_DetermineFeasibilityPipeline)->Arg(20)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_XyRouting(benchmark::State& state) {
+  topo::Mesh mesh(16, 16);
+  const route::XYRouting xy;
+  topo::NodeId src = 0;
+  for (auto _ : state) {
+    const auto path = xy.route(mesh, src, mesh.num_nodes() - 1 - src);
+    benchmark::DoNotOptimize(path.hops());
+    src = (src + 37) % (mesh.num_nodes() / 2);
+  }
+}
+BENCHMARK(BM_XyRouting);
+
+void BM_TimingDiagramBuild(benchmark::State& state) {
+  const auto rows_n = static_cast<std::size_t>(state.range(0));
+  std::vector<RowSpec> rows;
+  for (std::size_t r = 0; r < rows_n; ++r) {
+    rows.push_back(RowSpec{static_cast<StreamId>(r),
+                           static_cast<Priority>(rows_n - r),
+                           static_cast<Time>(40 + 7 * (r % 8)),
+                           static_cast<Time>(1 + (r % 40))});
+  }
+  for (auto _ : state) {
+    TimingDiagram d(rows, /*horizon=*/4096, /*carry_over=*/false);
+    benchmark::DoNotOptimize(d.accumulate_free(64));
+  }
+}
+BENCHMARK(BM_TimingDiagramBuild)->Arg(4)->Arg(16)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Section 5's closing finding: "at least |M|/4 priority levels are
+// needed to have the ratio of the highest priority level be higher than
+// 0.9" — and with more levels even the lowest level's ratio improves.
+// This bench sweeps the number of priority levels for 20/40/60 streams
+// and reports the top-level and bottom-level ratios per configuration,
+// plus the smallest level count whose top ratio clears 0.9.
+
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wormrt;
+
+struct SweepPoint {
+  int streams;
+  int levels;
+  double top_ratio;
+  double bottom_ratio;
+};
+
+SweepPoint run_point(int streams, int levels, std::uint64_t seed, int reps) {
+  bench::ExperimentParams params;
+  params.num_streams = streams;
+  params.priority_levels = levels;
+  params.seed = seed;
+  params.replications = reps;
+  const bench::ExperimentResult result = bench::run_experiment(params);
+  SweepPoint point{streams, levels, 0.0, 0.0};
+  if (!result.rows.empty()) {
+    point.top_ratio = result.rows.front().ratio_mean;    // highest priority
+    point.bottom_ratio = result.rows.back().ratio_mean;  // lowest priority
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int reps = static_cast<int>(args.get_int("reps", 2));
+
+  std::printf("Priority-level sweep — minimum levels for a tight top-level "
+              "bound (paper: |M|/4)\n");
+  util::Table table({"streams", "levels", "top ratio", "bottom ratio"});
+  const int stream_counts[] = {20, 40, 60};
+  for (const int n : stream_counts) {
+    int min_levels_for_09 = -1;
+    for (const int levels : {1, 2, 3, 4, 5, 8, 10, 15, 20}) {
+      if (levels > n) {
+        continue;
+      }
+      const SweepPoint p = run_point(n, levels, seed, reps);
+      table.row()
+          .cell(static_cast<std::int64_t>(p.streams))
+          .cell(static_cast<std::int64_t>(p.levels))
+          .cell(p.top_ratio, 3)
+          .cell(p.bottom_ratio, 3);
+      if (min_levels_for_09 < 0 && p.top_ratio >= 0.9) {
+        min_levels_for_09 = levels;
+      }
+    }
+    std::printf("|M| = %d: top-level ratio first exceeds 0.9 at %d "
+                "levels (paper's rule-of-thumb |M|/4 = %d)\n",
+                n, min_levels_for_09, n / 4);
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

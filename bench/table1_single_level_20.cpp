@@ -1,0 +1,14 @@
+// Table 1 of the paper: one priority level, 20 message streams.
+// Expected shape: without priority discrimination every stream's bound
+// must assume blocking by every overlapping stream, so the ratio of the
+// actual average delay to the bound stays below ~0.5.
+
+#include "common/table_main.hpp"
+
+int main(int argc, char** argv) {
+  wormrt::bench::ExperimentParams params;
+  params.num_streams = 20;
+  params.priority_levels = 1;
+  return wormrt::bench::run_table_bench(
+      argc, argv, params, "Table 1 — 1 priority level, 20 message streams");
+}

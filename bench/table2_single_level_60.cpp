@@ -1,0 +1,13 @@
+// Table 2 of the paper: one priority level, 60 message streams.
+// Expected shape: the single-level bound collapses ("the ratio is
+// extremely exacerbated") — much smaller ratios than Table 1.
+
+#include "common/table_main.hpp"
+
+int main(int argc, char** argv) {
+  wormrt::bench::ExperimentParams params;
+  params.num_streams = 60;
+  params.priority_levels = 1;
+  return wormrt::bench::run_table_bench(
+      argc, argv, params, "Table 2 — 1 priority level, 60 message streams");
+}

@@ -1,0 +1,13 @@
+// Table 3 of the paper: 4 priority levels, 20 message streams.
+// Expected shape: per-level ratios improve over Table 1, highest level
+// first; more levels = tighter bounds.
+
+#include "common/table_main.hpp"
+
+int main(int argc, char** argv) {
+  wormrt::bench::ExperimentParams params;
+  params.num_streams = 20;
+  params.priority_levels = 4;
+  return wormrt::bench::run_table_bench(
+      argc, argv, params, "Table 3 — 4 priority levels, 20 message streams");
+}

@@ -1,0 +1,13 @@
+// Table 4 of the paper: 5 priority levels, 20 message streams.
+// Expected shape: with priority levels >= |M|/4 the highest level's
+// ratio exceeds 0.9, and the lowest level improves relative to Table 1.
+
+#include "common/table_main.hpp"
+
+int main(int argc, char** argv) {
+  wormrt::bench::ExperimentParams params;
+  params.num_streams = 20;
+  params.priority_levels = 5;
+  return wormrt::bench::run_table_bench(
+      argc, argv, params, "Table 4 — 5 priority levels, 20 message streams");
+}

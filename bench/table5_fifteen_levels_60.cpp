@@ -1,0 +1,15 @@
+// Table 5 of the paper: 15 priority levels, 60 message streams.
+// Expected shape: 15 = |M|/4 levels restore tight bounds at the top of
+// the priority order even for the loaded 60-stream system, with ratios
+// decreasing monotonically-ish down the levels.
+
+#include "common/table_main.hpp"
+
+int main(int argc, char** argv) {
+  wormrt::bench::ExperimentParams params;
+  params.num_streams = 60;
+  params.priority_levels = 15;
+  return wormrt::bench::run_table_bench(
+      argc, argv, params,
+      "Table 5 — 15 priority levels, 60 message streams");
+}

@@ -1,0 +1,61 @@
+// Capacity planning with the paper's rule of thumb: how many priority
+// levels (= virtual channels per physical channel) does a router need so
+// that the delay bounds of the most critical traffic are tight?  The
+// paper's answer: about |M|/4 levels for the top level's
+// actual-to-bound ratio to exceed 0.9.  This tool sweeps the level count
+// for a given stream population and prints a recommendation.
+//
+//   ./examples/capacity_planning [--streams N] [--target 0.9] [--seed S]
+
+#include <cstdio>
+
+#include "common/experiment.hpp"
+#include "util/cli.hpp"
+
+using namespace wormrt;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int streams = static_cast<int>(args.get_int("streams", 20));
+  const double target = args.get_double("target", 0.9);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("Capacity planning: %d periodic streams on a 10x10 mesh, "
+              "target top-level ratio %.2f\n\n",
+              streams, target);
+  std::printf("%-7s %-11s %-13s\n", "levels", "top ratio", "bottom ratio");
+
+  int recommended = -1;
+  for (int levels = 1; levels <= streams; ++levels) {
+    bench::ExperimentParams params;
+    params.num_streams = streams;
+    params.priority_levels = levels;
+    params.seed = seed;
+    params.replications = 2;
+    const bench::ExperimentResult result = bench::run_experiment(params);
+    if (result.rows.empty()) {
+      continue;
+    }
+    const double top = result.rows.front().ratio_mean;
+    const double bottom = result.rows.back().ratio_mean;
+    std::printf("%-7d %-11.3f %-13.3f\n", levels, top, bottom);
+    if (top >= target) {
+      if (recommended < 0) {
+        recommended = levels;
+      }
+      if (levels >= (streams + 3) / 4) {
+        break;  // past the paper's rule of thumb and already tight
+      }
+    }
+  }
+
+  if (recommended > 0) {
+    std::printf("\nRecommendation: provision %d virtual channels per "
+                "physical channel (paper's rule of thumb |M|/4 = %d).\n",
+                recommended, streams / 4);
+  } else {
+    std::printf("\nNo level count up to %d reached the target ratio; "
+                "reduce load or relax deadlines.\n", streams);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Online real-time channel establishment: a control system brings
+// channels up and down at runtime; each request is admitted only when
+// its deadline can be guaranteed without invalidating any established
+// channel (the related work's "real-time channel" procedure, realised
+// over the paper's wormhole delay bound).
+//
+//   ./examples/online_admission
+
+#include <cstdio>
+
+#include "core/admission.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+
+using namespace wormrt;
+
+namespace {
+
+struct Request {
+  const char* name;
+  std::int32_t sx, sy, dx, dy;
+  Priority priority;
+  Time period, length, deadline;
+};
+
+}  // namespace
+
+int main() {
+  const topo::Mesh mesh(6, 6);
+  const route::XYRouting xy;
+  core::AdmissionController ctrl(mesh, xy);
+
+  const Request requests[] = {
+      {"telemetry-a", 0, 0, 5, 0, 1, 50, 20, 250},
+      {"telemetry-b", 0, 1, 5, 1, 1, 50, 20, 250},
+      {"control-1", 2, 2, 2, 5, 3, 40, 6, 40},
+      {"control-2", 3, 5, 3, 2, 3, 40, 6, 40},
+      {"video", 0, 2, 5, 2, 2, 30, 25, 90},
+      // 96% of row 0 at a priority above telemetry-a: must be refused.
+      {"video-extra", 1, 0, 4, 0, 2, 25, 24, 60},
+      {"alarm", 4, 4, 0, 4, 4, 100, 4, 30},
+  };
+
+  std::printf("Online channel establishment on a %s\n\n",
+              mesh.name().c_str());
+  std::vector<std::pair<const char*, core::AdmissionController::Handle>>
+      established;
+  for (const Request& r : requests) {
+    const auto d = ctrl.request(mesh.node_at({r.sx, r.sy}),
+                                mesh.node_at({r.dx, r.dy}), r.priority,
+                                r.period, r.length, r.deadline);
+    if (d.admitted) {
+      std::printf("  ADMIT  %-12s bound %lld <= deadline %lld\n", r.name,
+                  static_cast<long long>(d.bound),
+                  static_cast<long long>(r.deadline));
+      established.emplace_back(r.name, d.handle);
+    } else if (!d.would_break.empty()) {
+      std::printf("  REJECT %-12s would break %zu established "
+                  "channel(s)\n",
+                  r.name, d.would_break.size());
+    } else {
+      std::printf("  REJECT %-12s own bound %lld misses deadline %lld\n",
+                  r.name, static_cast<long long>(d.bound),
+                  static_cast<long long>(r.deadline));
+    }
+  }
+
+  // Tear one bulk channel down and retry the rejected request.
+  std::printf("\nTearing down telemetry-a and retrying video-extra:\n");
+  ctrl.remove(established.front().second);
+  const Request& retry = requests[5];
+  const auto d = ctrl.request(mesh.node_at({retry.sx, retry.sy}),
+                              mesh.node_at({retry.dx, retry.dy}),
+                              retry.priority, retry.period, retry.length,
+                              retry.deadline);
+  std::printf("  %s %-12s bound %lld\n", d.admitted ? "ADMIT " : "REJECT",
+              retry.name, static_cast<long long>(d.bound));
+
+  std::printf("\n%zu channels established; every admitted channel keeps "
+              "a guaranteed delay bound at all times.\n",
+              ctrl.size());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Priority inversion demo (the paper's Fig. 2 motivation): an emergency
+// stop command crossing a backplane congested by bulk telemetry.
+// Classical wormhole switching blocks the command behind the bulk worms;
+// the paper's flit-level preemptive virtual channels deliver it at its
+// contention-free latency.
+//
+//   ./examples/priority_inversion [--policy fcfs|li|vc|ideal]
+
+#include <cstdio>
+
+#include "core/message_stream.hpp"
+#include "route/dor.hpp"
+#include "sim/simulator.hpp"
+#include "topo/mesh.hpp"
+#include "util/cli.hpp"
+
+using namespace wormrt;
+
+namespace {
+
+void run_policy(const char* name, sim::ArbPolicy policy) {
+  // A 6x4 mesh backplane.  Bulk telemetry (priority 0) streams down the
+  // middle columns; periodic sensor frames (priority 1) cross them; the
+  // emergency stop (priority 2) fires once at t = 500 from (0,1) to
+  // (5,1), straight through the congested row.
+  topo::Mesh mesh(6, 4);
+  const route::XYRouting xy;
+  core::StreamSet set;
+  StreamId id = 0;
+  // Bulk telemetry: long worms hogging the row-1 X channels the stop
+  // command must cross.
+  set.add(core::make_stream(mesh, xy, id++, mesh.node_at({1, 1}),
+                            mesh.node_at({5, 0}), 0, 64, 48, 100000));
+  set.add(core::make_stream(mesh, xy, id++, mesh.node_at({2, 1}),
+                            mesh.node_at({5, 3}), 0, 96, 40, 100000));
+  // Sensor frames riding part of the same row.
+  set.add(core::make_stream(mesh, xy, id++, mesh.node_at({3, 1}),
+                            mesh.node_at({5, 2}), 1, 50, 12, 100000));
+  set.add(core::make_stream(mesh, xy, id++, mesh.node_at({4, 3}),
+                            mesh.node_at({4, 0}), 1, 70, 16, 100000));
+  // Emergency stop: 4 flits, 5 hops -> contention-free latency 8.
+  set.add(core::make_stream(mesh, xy, id++, mesh.node_at({0, 1}),
+                            mesh.node_at({5, 1}), 2, 1 << 20, 4, 1 << 20));
+
+  sim::SimConfig cfg;
+  cfg.duration = 2000;
+  cfg.warmup = 0;
+  cfg.policy = policy;
+  cfg.num_vcs = 3;
+  cfg.explicit_phases = {0, 0, 0, 0, 500};
+  sim::Simulator simulator(mesh, set, cfg);
+  const sim::SimResult r = simulator.run();
+
+  const auto& stop = r.per_stream[4];
+  std::printf("%-22s emergency stop delay: %4.0f flit times "
+              "(contention-free: %lld)\n",
+              name, stop.latency.max(),
+              static_cast<long long>(set[4].latency));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  std::printf("Priority inversion on a congested backplane\n\n");
+  if (args.has("policy")) {
+    const std::string p = args.get_string("policy", "ideal");
+    if (p == "fcfs") {
+      run_policy("non-preemptive FCFS:", sim::ArbPolicy::kNonPreemptiveFcfs);
+    } else if (p == "li") {
+      run_policy("Li's VC scheme:", sim::ArbPolicy::kLiVc);
+    } else if (p == "vc") {
+      run_policy("preemptive VCs:", sim::ArbPolicy::kPriorityPreemptive);
+    } else {
+      run_policy("ideal preemptive:", sim::ArbPolicy::kIdealPreemptive);
+    }
+    return 0;
+  }
+  run_policy("non-preemptive FCFS:", sim::ArbPolicy::kNonPreemptiveFcfs);
+  run_policy("Li's VC scheme:", sim::ArbPolicy::kLiVc);
+  run_policy("preemptive VCs:", sim::ArbPolicy::kPriorityPreemptive);
+  run_policy("ideal preemptive:", sim::ArbPolicy::kIdealPreemptive);
+  std::printf("\nFlit-level preemption (the paper's scheme) removes the "
+              "inversion: the stop command no longer waits for bulk "
+              "worms to drain.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/hpset.hpp"
+
+/// \file rm_bound.hpp
+/// Mutka-style rate-monotonic bound: the comparison point the paper's
+/// introduction argues against.  It treats a stream's whole path as one
+/// preemptively shared resource and runs the classic response-time
+/// iteration
+///     R = L_j + sum_{k in direct HP_j} ceil(R / T_k) * C_k
+/// over the *direct* higher-priority interferers only — no blocking
+/// chains, no timing diagram, no window-dropping.  Because interference
+/// is summed without the diagram's per-window capping, the bound is
+/// usually looser than the paper's U, and because indirect blockers are
+/// ignored entirely it can also be optimistic; both effects are what the
+/// ablation bench quantifies ("mere application of the rate monotonic
+/// algorithm ... is not appropriate", Section 1).
+
+namespace wormrt::baseline {
+
+struct RmBoundResult {
+  /// Fixpoint of the response-time recurrence, or kNoTime when it did
+  /// not converge below \p cap (utilization over the path >= 1).
+  Time bound = kNoTime;
+  /// Iterations of the recurrence executed.
+  int iterations = 0;
+};
+
+/// Computes the rate-monotonic response-time bound of stream \p j.
+RmBoundResult rm_response_time_bound(const core::StreamSet& streams,
+                                     const core::BlockingAnalysis& blocking,
+                                     StreamId j, Time cap = Time{1} << 22);
+
+}  // namespace wormrt::baseline

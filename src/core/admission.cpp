@@ -1,0 +1,99 @@
+#include "core/admission.hpp"
+
+#include <cassert>
+
+#include "core/delay_bound.hpp"
+
+namespace wormrt::core {
+
+AdmissionController::AdmissionController(const topo::Topology& topo,
+                                         const route::RoutingAlgorithm& routing,
+                                         AnalysisConfig config)
+    : topo_(topo), routing_(routing), config_(config) {}
+
+StreamSet AdmissionController::build_set(const MessageStream* extra) const {
+  StreamSet set;
+  for (const auto& e : entries_) {
+    MessageStream s = e.stream;
+    s.id = static_cast<StreamId>(set.size());
+    set.add(std::move(s));
+  }
+  if (extra != nullptr) {
+    MessageStream s = *extra;
+    s.id = static_cast<StreamId>(set.size());
+    set.add(std::move(s));
+  }
+  return set;
+}
+
+std::vector<Time> AdmissionController::bounds_for(const StreamSet& set) const {
+  const BlockingAnalysis blocking(
+      set, BlockingOptions{config_.same_priority_blocks,
+                           config_.ejection_port_overlap,
+                           config_.injection_port_overlap});
+  const DelayBoundCalculator calc(set, blocking, config_);
+  std::vector<Time> bounds(set.size());
+  for (StreamId j = 0; j < static_cast<StreamId>(set.size()); ++j) {
+    bounds[static_cast<std::size_t>(j)] = calc.calc(j).bound;
+  }
+  return bounds;
+}
+
+AdmissionController::Decision AdmissionController::request(
+    topo::NodeId src, topo::NodeId dst, Priority priority, Time period,
+    Time length, Time deadline) {
+  Decision decision;
+  MessageStream candidate =
+      make_stream(topo_, routing_, /*id=*/0, src, dst, priority, period,
+                  length, deadline);
+  if (candidate.latency > candidate.deadline) {
+    return decision;  // trivially impossible, nothing else to blame
+  }
+
+  const StreamSet trial = build_set(&candidate);
+  const std::vector<Time> bounds = bounds_for(trial);
+  const std::size_t cand_index = trial.size() - 1;
+  decision.bound = bounds[cand_index];
+
+  bool ok = decision.bound != kNoTime && decision.bound <= deadline;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Time b = bounds[i];
+    if (b == kNoTime || b > trial[static_cast<StreamId>(i)].deadline) {
+      decision.would_break.push_back(entries_[i].handle);
+      ok = false;
+    }
+  }
+  if (!ok) {
+    return decision;
+  }
+
+  decision.admitted = true;
+  decision.handle = next_handle_++;
+  entries_.push_back(Entry{decision.handle, std::move(candidate)});
+  return decision;
+}
+
+bool AdmissionController::remove(Handle handle) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].handle == handle) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Time> AdmissionController::bound_of(Handle handle) const {
+  const StreamSet set = build_set(nullptr);
+  const std::vector<Time> bounds = bounds_for(set);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].handle == handle) {
+      return bounds[i];
+    }
+  }
+  return std::nullopt;
+}
+
+StreamSet AdmissionController::snapshot() const { return build_set(nullptr); }
+
+}  // namespace wormrt::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/analysis_config.hpp"
+#include "core/message_stream.hpp"
+
+/// \file admission.hpp
+/// Online admission control ("real-time channel establishment").  The
+/// related work the paper builds on (Ferrari & Verma; Kandlur, Shin &
+/// Ferrari) establishes real-time channels one at a time, admitting a
+/// request only when its deadline can be guaranteed without invalidating
+/// any established channel.  This controller realises that procedure
+/// over the paper's wormhole delay bound: a request is admitted iff its
+/// own bound meets its deadline AND every already-admitted stream's
+/// bound still meets its deadline with the newcomer's interference.
+
+namespace wormrt::core {
+
+class AdmissionController {
+ public:
+  /// Stable handle for an admitted channel (survives removals).
+  using Handle = std::int64_t;
+
+  /// Topology and routing are borrowed and must outlive the controller.
+  AdmissionController(const topo::Topology& topo,
+                      const route::RoutingAlgorithm& routing,
+                      AnalysisConfig config = {});
+
+  struct Decision {
+    bool admitted = false;
+    /// The requester's delay bound in the trial set (kNoTime when it was
+    /// not reachable within the deadline).
+    Time bound = kNoTime;
+    /// Handle of the admitted channel (only when admitted).
+    Handle handle = -1;
+    /// Established channels whose guarantee the request would have
+    /// broken (only when rejected because of them).
+    std::vector<Handle> would_break;
+  };
+
+  /// Tries to establish a channel.  On admission the stream is
+  /// registered and its interference becomes part of later decisions.
+  Decision request(topo::NodeId src, topo::NodeId dst, Priority priority,
+                   Time period, Time length, Time deadline);
+
+  /// Tears down an established channel, releasing its interference.
+  /// Returns false for an unknown handle.
+  bool remove(Handle handle);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Current delay bound of an established channel (recomputed against
+  /// the present population), or nullopt for an unknown handle.
+  std::optional<Time> bound_of(Handle handle) const;
+
+  /// The established streams as a dense StreamSet (ids are positions,
+  /// not handles) — for simulation or reporting.
+  StreamSet snapshot() const;
+
+ private:
+  const topo::Topology& topo_;
+  const route::RoutingAlgorithm& routing_;
+  AnalysisConfig config_;
+  Handle next_handle_ = 0;
+
+  struct Entry {
+    Handle handle;
+    MessageStream stream;  // id rewritten to the dense position on use
+  };
+  std::vector<Entry> entries_;
+
+  StreamSet build_set(const MessageStream* extra) const;
+  /// Bounds for every stream of \p set, deadline-horizon semantics.
+  std::vector<Time> bounds_for(const StreamSet& set) const;
+};
+
+}  // namespace wormrt::core

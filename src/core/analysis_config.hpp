@@ -1,0 +1,66 @@
+#pragma once
+
+#include "util/types.hpp"
+
+/// \file analysis_config.hpp
+/// Knobs of the delay-bound analysis.  The defaults reproduce the paper's
+/// algorithm (Section 4); the alternatives exist for the ablation benches.
+
+namespace wormrt::core {
+
+/// How indirect HP elements are relaxed by Modify_Diagram.
+enum class IndirectRelaxation {
+  /// Skip Modify_Diagram entirely: every HP element is treated as a
+  /// direct blocker (strictly more pessimistic bound).
+  kNone,
+  /// The paper's relaxation at the granularity its figures show: a whole
+  /// message instance of an indirect element is removed when none of its
+  /// intermediate streams is active (ALLOCATED or WAITING) during any
+  /// slot of that instance's footprint; rows below are then re-allocated
+  /// ("compacted", Fig. 9).
+  kInstance,
+};
+
+/// How Cal_U chooses its timing-diagram horizon.
+enum class HorizonPolicy {
+  /// The paper's rule: scan exactly up to the stream's deadline D_j and
+  /// report failure (-1) if the bound is not reached by then.
+  kDeadline,
+  /// Extended search used by the workload pipeline ("if U_i > T_i we
+  /// increased T_i"): start at max(D_j, initial) and keep doubling up to
+  /// `horizon_cap` until the bound converges.
+  kExtended,
+};
+
+struct AnalysisConfig {
+  IndirectRelaxation relaxation = IndirectRelaxation::kInstance;
+  HorizonPolicy horizon = HorizonPolicy::kDeadline;
+
+  /// Whether equal-priority streams block each other (they cannot preempt
+  /// one another, so they must: this is what makes the single-priority
+  /// bounds of Tables 1-2 loose).  Disabling it models an idealised
+  /// fully-ordered priority space.
+  bool same_priority_blocks = true;
+
+  /// Treat node ejection/injection ports as shared resources in the
+  /// blocking relation (one-port router model; the paper ignores them —
+  /// disable both for the literal paper relation).
+  bool ejection_port_overlap = true;
+  bool injection_port_overlap = true;
+
+  /// When an instance of an HP element cannot obtain its C slots inside
+  /// its own period window, the paper's Generate_Init_Diagram drops the
+  /// remainder at the window end.  With carry-over enabled the unserved
+  /// demand backlogs into following windows instead (strictly more
+  /// pessimistic, never optimistic).
+  bool carry_over = false;
+
+  /// First horizon tried under kExtended (raised to D_j when smaller).
+  Time initial_horizon = 4096;
+
+  /// Hard ceiling for the kExtended horizon search.  A bound that does
+  /// not converge below the cap is reported as not found.
+  Time horizon_cap = Time{1} << 18;
+};
+
+}  // namespace wormrt::core

@@ -1,0 +1,50 @@
+#include "core/bdg.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace wormrt::core {
+
+Bdg::Bdg(const BlockingAnalysis& blocking, StreamId j, const HpSet& hp) {
+  ids_.reserve(hp.size() + 1);
+  for (const auto& e : hp) {
+    ids_.push_back(e.id);
+  }
+  ids_.push_back(j);
+
+  const std::size_t n = ids_.size();
+  adj_.assign(n * n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v && blocking.direct_blocks(ids_[u], ids_[v])) {
+        adj_[u * n + v] = 1;
+      }
+    }
+  }
+
+  // BFS from the target node over transposed edges (predecessors).
+  levels_.assign(n, -1);
+  const std::size_t target = n - 1;
+  levels_[target] = 0;
+  std::deque<std::size_t> frontier{target};
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop_front();
+    for (std::size_t u = 0; u < n; ++u) {
+      if (levels_[u] < 0 && adj_[u * n + v] != 0) {
+        levels_[u] = levels_[v] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    assert(levels_[u] >= 0 && "every HP member must reach the stream");
+  }
+}
+
+bool Bdg::edge(std::size_t u, std::size_t v) const {
+  assert(u < num_nodes() && v < num_nodes());
+  return adj_[u * num_nodes() + v] != 0;
+}
+
+}  // namespace wormrt::core

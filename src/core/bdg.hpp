@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "core/hpset.hpp"
+
+/// \file bdg.hpp
+/// The blocking dependency graph (BDG) of one analysed stream: nodes are
+/// the HP-set members plus the stream itself; a directed edge u -> v
+/// means "u can directly block v".  Cal_U walks this graph breadth-first
+/// from the analysed stream over the transposed edges (the paper's
+/// Modify_Diagram) to order the relaxation of indirect elements: nearest
+/// blockers first, farther chain members later.
+
+namespace wormrt::core {
+
+class Bdg {
+ public:
+  /// Builds the BDG for stream \p j with HP set \p hp.  Node indices:
+  /// 0..hp.size()-1 correspond to hp elements (in hp order), and
+  /// hp.size() is the analysed stream j itself.
+  Bdg(const BlockingAnalysis& blocking, StreamId j, const HpSet& hp);
+
+  std::size_t num_nodes() const { return ids_.size(); }
+
+  /// Stream id of BDG node \p u.
+  StreamId stream_of(std::size_t u) const { return ids_.at(u); }
+
+  /// True when node \p u directly blocks node \p v.
+  bool edge(std::size_t u, std::size_t v) const;
+
+  /// BFS distance of each node from the analysed stream over transposed
+  /// edges (the stream itself has level 0, its direct blockers level 1,
+  /// their blockers level 2, ...).  Every HP member is reachable, so all
+  /// levels are finite.
+  const std::vector<int>& levels() const { return levels_; }
+
+ private:
+  std::vector<StreamId> ids_;
+  std::vector<std::uint8_t> adj_;  // row-major num_nodes x num_nodes
+  std::vector<int> levels_;
+};
+
+}  // namespace wormrt::core

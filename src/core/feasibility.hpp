@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "core/delay_bound.hpp"
+
+/// \file feasibility.hpp
+/// Determine-Feasibility: the paper's top-level algorithm.  Given a set
+/// of message streams, compute every stream's delay upper bound and
+/// answer whether all deadlines are guaranteed (U_i <= D_i for all i).
+
+namespace wormrt::core {
+
+struct StreamFeasibility {
+  StreamId id = kNoStream;
+  Time bound = kNoTime;   ///< U_i (kNoTime when not reached within D_i)
+  bool ok = false;        ///< U_i != kNoTime and U_i <= D_i
+  int hp_direct = 0;      ///< DIRECT elements in HP_i
+  int hp_indirect = 0;    ///< INDIRECT elements in HP_i
+  int suppressed_instances = 0;
+};
+
+struct FeasibilityReport {
+  /// The paper's success/fail verdict.
+  bool feasible = false;
+  /// Per-stream results in stream-id order.
+  std::vector<StreamFeasibility> streams;
+};
+
+/// Runs Determine-Feasibility over \p streams.  Streams are processed in
+/// non-increasing priority order (the GList loop); with the paper's
+/// deadline horizon a stream whose bound is not reached by D_i fails.
+FeasibilityReport determine_feasibility(const StreamSet& streams,
+                                        const AnalysisConfig& config = {});
+
+}  // namespace wormrt::core

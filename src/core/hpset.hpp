@@ -1,0 +1,104 @@
+#pragma once
+
+#include <vector>
+
+#include "core/message_stream.hpp"
+
+/// \file hpset.hpp
+/// Generate_HP: for every message stream, the set of streams that can
+/// delay it — directly (paths share a directed physical channel and the
+/// blocker's priority is not lower) or indirectly (through a chain of
+/// direct-blocking relations).  This is the first step of the paper's
+/// delay-bound algorithm (Section 4.1).
+
+namespace wormrt::core {
+
+enum class BlockMode : std::uint8_t {
+  kDirect,    ///< paths of the two streams overlap
+  kIndirect,  ///< no overlap, but a blocking chain exists
+};
+
+/// One element of an HP set: the structure with M_id / Mode / IN fields
+/// of the paper's Section 4.2.
+struct HpElement {
+  StreamId id = kNoStream;  ///< the delaying stream (M_id field)
+  BlockMode mode = BlockMode::kDirect;
+  /// IN field: for indirect elements, the intermediate streams adjacent
+  /// to this element on its blocking chains toward the analysed stream
+  /// (sorted ascending).  Empty for direct elements.
+  std::vector<StreamId> intermediates;
+};
+
+/// The HP set of one stream, sorted by ascending stream id.  The analysed
+/// stream itself is never a member (the paper includes it and strips it
+/// on the first line of Cal_U; we strip it at construction).
+using HpSet = std::vector<HpElement>;
+
+/// Resource-sharing rules for the direct-blocking relation.
+struct BlockingOptions {
+  /// Equal-priority messages cannot preempt each other, so they delay
+  /// each other; with a single priority level this makes every
+  /// overlapping pair mutually blocking (cf. Tables 1-2).
+  bool same_priority_blocks = true;
+  /// Streams with the same destination contend for the node's single
+  /// ejection (delivery) port; treat it as a shared resource.  The paper
+  /// does not model it, but a one-port router makes the interference
+  /// real (see EXPERIMENTS.md).
+  bool ejection_port_overlap = true;
+  /// Likewise for the injection port when several streams share a
+  /// source node (never happens in the paper's workloads, which give
+  /// each node at most one stream).
+  bool injection_port_overlap = true;
+};
+
+/// Precomputes the pairwise direct-blocking relation of a stream set and
+/// derives HP sets from it.
+///
+/// Direct blocking: `a` directly blocks `b` iff a != b, the streams
+/// share a resource (a directed channel of their paths, or a node port
+/// per BlockingOptions), and P_a > P_b — or P_a == P_b under
+/// same_priority_blocks.
+///
+/// HP_j is the set of streams from which `j` is reachable in the
+/// direct-blocking digraph; an element with no direct edge to `j` is
+/// INDIRECT and its intermediates are its direct successors that also
+/// reach `j` (the heads of its blocking chains).
+class BlockingAnalysis {
+ public:
+  explicit BlockingAnalysis(const StreamSet& streams,
+                            BlockingOptions options = {});
+
+  /// Convenience overload toggling only same-priority blocking.
+  BlockingAnalysis(const StreamSet& streams, bool same_priority_blocks)
+      : BlockingAnalysis(streams,
+                         BlockingOptions{same_priority_blocks, true, true}) {}
+
+  std::size_t size() const { return n_; }
+
+  /// True when stream \p a can directly delay stream \p b.
+  bool direct_blocks(StreamId a, StreamId b) const;
+
+  /// The HP set of stream \p j (computed eagerly at construction).
+  const HpSet& hp_set(StreamId j) const {
+    return hp_sets_.at(static_cast<std::size_t>(j));
+  }
+
+  /// All blocking chains from \p from to \p to: each chain is the list of
+  /// intervening streams, excluding both endpoints (the paper's "blocking
+  /// chain" definition; Fig. 3 has two chains (M_B) and (M_C) between
+  /// M_D and M_A).  Simple paths only; intended for reporting/tests.
+  std::vector<std::vector<StreamId>> blocking_chains(StreamId from,
+                                                     StreamId to) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint8_t> blocks_;  // n*n adjacency, row-major [a][b]
+  std::vector<HpSet> hp_sets_;
+
+  void build_hp_sets();
+  void chains_dfs(StreamId at, StreamId to, std::vector<StreamId>& stack,
+                  std::vector<std::uint8_t>& on_stack,
+                  std::vector<std::vector<StreamId>>& out) const;
+};
+
+}  // namespace wormrt::core

@@ -1,0 +1,13 @@
+#include "core/latency.hpp"
+
+#include <cassert>
+
+namespace wormrt::core {
+
+Time LatencyModel::network_latency(int hops, Time length) const {
+  assert(hops >= 1);
+  assert(length >= 1);
+  return static_cast<Time>(hops) * router_delay + (length - 1) * flit_cycle;
+}
+
+}  // namespace wormrt::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "util/types.hpp"
+
+/// \file latency.hpp
+/// Network latency: the paper defines it as the time taken to deliver a
+/// message when no other traffic is present.  In a wormhole network the
+/// header advances one hop per flit time and the remaining C-1 flits
+/// pipeline behind it, so with unit per-hop delay
+///     L = hops * router_delay + (C - 1) * flit_cycle.
+/// The default (router_delay = flit_cycle = 1) reproduces every L value
+/// of the paper's Section 4.4 example, e.g. M_0 with 4 hops and C = 4
+/// gives L = 7.
+
+namespace wormrt::core {
+
+struct LatencyModel {
+  /// Cycles for the header to cross one router + physical channel.
+  Time router_delay = 1;
+  /// Cycles between consecutive flits on a channel.
+  Time flit_cycle = 1;
+
+  /// Contention-free latency of a \p length-flit message over \p hops.
+  /// Requires hops >= 1 and length >= 1.
+  Time network_latency(int hops, Time length) const;
+};
+
+/// The model used throughout the paper (unit delays).
+inline constexpr LatencyModel kPaperLatencyModel{};
+
+}  // namespace wormrt::core

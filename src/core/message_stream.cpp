@@ -1,0 +1,106 @@
+#include "core/message_stream.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/latency.hpp"
+
+namespace wormrt::core {
+
+StreamSet::StreamSet(std::vector<MessageStream> streams)
+    : streams_(std::move(streams)) {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    assert(streams_[i].id == static_cast<StreamId>(i));
+  }
+}
+
+void StreamSet::add(MessageStream stream) {
+  assert(stream.id == static_cast<StreamId>(streams_.size()));
+  streams_.push_back(std::move(stream));
+}
+
+Priority StreamSet::max_priority() const {
+  Priority p = 0;
+  for (const auto& s : streams_) {
+    p = std::max(p, s.priority);
+  }
+  return p;
+}
+
+Priority StreamSet::min_priority() const {
+  if (streams_.empty()) {
+    return 0;
+  }
+  Priority p = streams_.front().priority;
+  for (const auto& s : streams_) {
+    p = std::min(p, s.priority);
+  }
+  return p;
+}
+
+std::vector<StreamId> StreamSet::by_priority_desc() const {
+  std::vector<StreamId> order(streams_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<StreamId>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [this](StreamId a, StreamId b) {
+    const auto& sa = streams_[static_cast<std::size_t>(a)];
+    const auto& sb = streams_[static_cast<std::size_t>(b)];
+    if (sa.priority != sb.priority) {
+      return sa.priority > sb.priority;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+std::string StreamSet::validate() const {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const auto& s = streams_[i];
+    const std::string tag = "stream " + std::to_string(i) + ": ";
+    if (s.id != static_cast<StreamId>(i)) {
+      return tag + "id not dense";
+    }
+    if (s.period <= 0) {
+      return tag + "period must be positive";
+    }
+    if (s.length <= 0) {
+      return tag + "length must be positive";
+    }
+    if (s.deadline <= 0) {
+      return tag + "deadline must be positive";
+    }
+    if (s.latency <= 0) {
+      return tag + "latency must be positive";
+    }
+    if (s.latency > s.deadline) {
+      return tag + "network latency exceeds deadline (trivially infeasible)";
+    }
+    if (s.src == s.dst) {
+      return tag + "source equals destination";
+    }
+    if (s.path.src != s.src || s.path.dst != s.dst || s.path.channels.empty()) {
+      return tag + "path does not connect source to destination";
+    }
+  }
+  return "";
+}
+
+MessageStream make_stream(const topo::Topology& topo,
+                          const route::RoutingAlgorithm& routing, StreamId id,
+                          topo::NodeId src, topo::NodeId dst, Priority priority,
+                          Time period, Time length, Time deadline) {
+  MessageStream s;
+  s.id = id;
+  s.src = src;
+  s.dst = dst;
+  s.priority = priority;
+  s.period = period;
+  s.length = length;
+  s.deadline = deadline;
+  s.path = routing.route(topo, src, dst);
+  s.latency = kPaperLatencyModel.network_latency(s.path.hops(), length);
+  return s;
+}
+
+}  // namespace wormrt::core

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/path.hpp"
+#include "route/routing.hpp"
+#include "util/types.hpp"
+
+/// \file message_stream.hpp
+/// The paper's message-stream abstraction: continuous periodic traffic
+/// between one source/destination pair, characterized by the seven-tuple
+/// (S_id, R_id, P_i, T_i, C_i, D_i, L_i).
+
+namespace wormrt::core {
+
+/// One real-time message stream.  Every message belonging to the stream
+/// inherits its priority; the routing path is statically determined.
+struct MessageStream {
+  StreamId id = kNoStream;       ///< dense 0-based id within a StreamSet
+  topo::NodeId src = topo::kNoNode;  ///< S_id
+  topo::NodeId dst = topo::kNoNode;  ///< R_id
+  Priority priority = 0;         ///< P_i; larger value = more important
+  Time period = 0;               ///< T_i, minimum message inter-generation time
+  Time length = 0;               ///< C_i, maximum message length in flits
+  Time deadline = 0;             ///< D_i, requested delay limit
+  Time latency = 0;              ///< L_i, max network latency with no traffic
+  route::Path path;              ///< static route (e.g. X-Y)
+
+  /// Long-run fraction of a channel's bandwidth the stream can demand.
+  double utilization() const {
+    return period > 0 ? static_cast<double>(length) / static_cast<double>(period) : 0.0;
+  }
+};
+
+/// An ordered collection of message streams with dense ids 0..n-1.
+/// This is the "instance" of the paper's message stream feasibility
+/// testing problem.
+class StreamSet {
+ public:
+  StreamSet() = default;
+  explicit StreamSet(std::vector<MessageStream> streams);
+
+  /// Appends a stream; its id must equal the current size.
+  void add(MessageStream stream);
+
+  std::size_t size() const { return streams_.size(); }
+  bool empty() const { return streams_.empty(); }
+  const MessageStream& operator[](StreamId id) const {
+    return streams_.at(static_cast<std::size_t>(id));
+  }
+  MessageStream& mutable_stream(StreamId id) {
+    return streams_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<MessageStream>& streams() const { return streams_; }
+
+  auto begin() const { return streams_.begin(); }
+  auto end() const { return streams_.end(); }
+
+  /// Highest priority value present (0 when empty).
+  Priority max_priority() const;
+  /// Lowest priority value present (0 when empty).
+  Priority min_priority() const;
+
+  /// Stream ids sorted by non-increasing priority, ties by ascending id —
+  /// the processing order of the paper's Determine-Feasibility GList loop.
+  std::vector<StreamId> by_priority_desc() const;
+
+  /// Validates structural invariants (ids dense, parameters positive,
+  /// deadline and latency consistent).  Returns an explanation or "".
+  std::string validate() const;
+
+ private:
+  std::vector<MessageStream> streams_;
+};
+
+/// Builds a stream with its path computed by \p routing and its network
+/// latency from the default model (hops + C - 1; see latency.hpp).
+MessageStream make_stream(const topo::Topology& topo,
+                          const route::RoutingAlgorithm& routing, StreamId id,
+                          topo::NodeId src, topo::NodeId dst, Priority priority,
+                          Time period, Time length, Time deadline);
+
+}  // namespace wormrt::core

@@ -1,0 +1,32 @@
+#include "core/paper_example.hpp"
+
+#include "route/dor.hpp"
+
+namespace wormrt::core::paper {
+
+Section44 section44() {
+  Section44 ex;
+  ex.mesh = std::make_shared<topo::Mesh>(10, 10);
+  const route::XYRouting xy;
+  const auto node = [&](std::int32_t x, std::int32_t y) {
+    return ex.mesh->node_at({x, y});
+  };
+  // (id, src, dst, priority, period T, length C, deadline D)
+  ex.streams.add(make_stream(*ex.mesh, xy, 0, node(7, 3), node(7, 7), 5, 15, 4, 15));
+  ex.streams.add(make_stream(*ex.mesh, xy, 1, node(1, 1), node(5, 4), 4, 10, 2, 10));
+  ex.streams.add(make_stream(*ex.mesh, xy, 2, node(2, 1), node(7, 5), 3, 40, 4, 40));
+  ex.streams.add(make_stream(*ex.mesh, xy, 3, node(4, 1), node(8, 5), 2, 45, 9, 45));
+  ex.streams.add(make_stream(*ex.mesh, xy, 4, node(6, 1), node(9, 3), 1, 50, 6, 50));
+  return ex;
+}
+
+HpSet paper_hp3() {
+  HpSet hp;
+  HpElement e;
+  e.id = 1;
+  e.mode = BlockMode::kDirect;
+  hp.push_back(e);
+  return hp;
+}
+
+}  // namespace wormrt::core::paper

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "core/analysis_config.hpp"
+#include "core/message_stream.hpp"
+
+/// \file priority_assign.hpp
+/// Priority assignment for message streams.  The paper assumes the
+/// designer supplies P_i; in practice priorities must be derived from
+/// deadlines.  Three assigners are provided:
+///
+///  * rate-monotonic      — shorter period = higher priority (the
+///    assignment Mutka's related work builds on),
+///  * deadline-monotonic  — shorter deadline = higher priority,
+///  * Audsley's optimal lowest-level-first search — assigns the lowest
+///    priority level to any stream that is feasible there assuming all
+///    others outrank it, and recurses upward.  Audsley's argument only
+///    needs the analysis to be monotone in the set of higher-priority
+///    streams, which holds for the timing-diagram bound, so if any
+///    assignment is feasible under the bound, this one finds a feasible
+///    one.
+///
+/// All assigners rewrite MessageStream::priority in place, using one
+/// distinct level per stream (the paper's simulation shows tighter
+/// bounds the more levels the router affords; see Tables 3-5).
+
+namespace wormrt::core {
+
+/// Shorter period = higher priority; ties by stream id (lower id wins).
+/// Returns the number of distinct levels used (== stream count).
+int assign_priorities_rate_monotonic(StreamSet& streams);
+
+/// Shorter deadline = higher priority; ties by stream id.
+int assign_priorities_deadline_monotonic(StreamSet& streams);
+
+struct AudsleyResult {
+  /// True when every level could be filled with a feasible stream; the
+  /// stream set then passes Determine-Feasibility with this assignment.
+  bool feasible = false;
+  /// Bound computations performed (cost of the search).
+  int analysis_calls = 0;
+};
+
+/// Audsley's optimal priority assignment under the paper's delay bound.
+/// On success, priorities are the found assignment; on failure they are
+/// left deadline-monotonic (the best heuristic fallback).
+AudsleyResult assign_priorities_audsley(StreamSet& streams,
+                                        const AnalysisConfig& config = {});
+
+}  // namespace wormrt::core

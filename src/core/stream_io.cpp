@@ -1,0 +1,122 @@
+#include "core/stream_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wormrt::core {
+
+namespace {
+constexpr const char* kHeader = "id,src,dst,priority,period,length,deadline";
+}
+
+std::string streams_to_csv(const StreamSet& streams) {
+  std::string out = kHeader;
+  out += '\n';
+  char line[160];
+  for (const auto& s : streams) {
+    std::snprintf(line, sizeof line, "%d,%d,%d,%d,%lld,%lld,%lld\n", s.id,
+                  s.src, s.dst, s.priority,
+                  static_cast<long long>(s.period),
+                  static_cast<long long>(s.length),
+                  static_cast<long long>(s.deadline));
+    out += line;
+  }
+  return out;
+}
+
+StreamParseResult streams_from_csv(const std::string& csv,
+                                   const topo::Topology& topo,
+                                   const route::RoutingAlgorithm& routing) {
+  StreamParseResult result;
+  std::istringstream in(csv);
+  std::string line;
+  int line_no = 0;
+
+  const auto fail = [&](const std::string& what) {
+    result.error = "line " + std::to_string(line_no) + ": " + what;
+    return result;
+  };
+
+  if (!std::getline(in, line)) {
+    ++line_no;
+    return fail("empty input");
+  }
+  ++line_no;
+  // Tolerate trailing carriage returns from Windows-edited files.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  if (line != kHeader) {
+    return fail("expected header '" + std::string(kHeader) + "'");
+  }
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    long long fields[7];
+    int consumed = 0;
+    const int matched = std::sscanf(
+        line.c_str(), "%lld,%lld,%lld,%lld,%lld,%lld,%lld%n", &fields[0],
+        &fields[1], &fields[2], &fields[3], &fields[4], &fields[5],
+        &fields[6], &consumed);
+    if (matched != 7 || consumed != static_cast<int>(line.size())) {
+      return fail("expected 7 comma-separated integers, got '" + line + "'");
+    }
+    const auto expect_id = static_cast<StreamId>(result.streams.size());
+    if (fields[0] != expect_id) {
+      return fail("ids must be dense and ordered (expected " +
+                  std::to_string(expect_id) + ")");
+    }
+    const auto src = static_cast<topo::NodeId>(fields[1]);
+    const auto dst = static_cast<topo::NodeId>(fields[2]);
+    if (src < 0 || src >= topo.num_nodes() || dst < 0 ||
+        dst >= topo.num_nodes()) {
+      return fail("node id out of range for " + topo.name());
+    }
+    if (src == dst) {
+      return fail("source equals destination");
+    }
+    if (fields[4] <= 0 || fields[5] <= 0 || fields[6] <= 0) {
+      return fail("period, length and deadline must be positive");
+    }
+    result.streams.add(make_stream(topo, routing, expect_id, src, dst,
+                                   static_cast<Priority>(fields[3]),
+                                   fields[4], fields[5], fields[6]));
+  }
+  const std::string invalid = result.streams.validate();
+  if (!invalid.empty()) {
+    result.error = invalid;
+  }
+  return result;
+}
+
+bool save_streams(const std::string& path, const StreamSet& streams) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << streams_to_csv(streams);
+  return static_cast<bool>(out);
+}
+
+StreamParseResult load_streams(const std::string& path,
+                               const topo::Topology& topo,
+                               const route::RoutingAlgorithm& routing) {
+  std::ifstream in(path);
+  if (!in) {
+    StreamParseResult result;
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return streams_from_csv(buffer.str(), topo, routing);
+}
+
+}  // namespace wormrt::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "core/message_stream.hpp"
+
+/// \file stream_io.hpp
+/// CSV serialization of stream sets, so workloads can be saved,
+/// versioned, and replayed across tools.  Only the seven-tuple inputs
+/// are stored; paths and latencies are re-derived from the topology and
+/// routing on load, which keeps files portable across code changes.
+///
+/// Format (header required):
+///   id,src,dst,priority,period,length,deadline
+///   0,37,77,5,15,4,15
+///   ...
+
+namespace wormrt::core {
+
+/// Serialises the defining tuple of every stream.
+std::string streams_to_csv(const StreamSet& streams);
+
+struct StreamParseResult {
+  StreamSet streams;
+  /// Empty on success; otherwise "line N: what went wrong".
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses CSV produced by streams_to_csv (or by hand).  Ids must be
+/// dense and in order; node ids must be valid in \p topo; paths and
+/// latencies are recomputed via \p routing.
+StreamParseResult streams_from_csv(const std::string& csv,
+                                   const topo::Topology& topo,
+                                   const route::RoutingAlgorithm& routing);
+
+/// File helpers; save returns false on I/O failure, load reports I/O
+/// failure through StreamParseResult::error.
+bool save_streams(const std::string& path, const StreamSet& streams);
+StreamParseResult load_streams(const std::string& path,
+                               const topo::Topology& topo,
+                               const route::RoutingAlgorithm& routing);
+
+}  // namespace wormrt::core

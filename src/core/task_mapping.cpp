@@ -1,0 +1,221 @@
+#include "core/task_mapping.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace wormrt::core {
+
+std::string TaskGraph::validate() const {
+  if (num_tasks <= 0) {
+    return "task graph has no tasks";
+  }
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto& f = flows[i];
+    const std::string tag = "flow " + std::to_string(i) + ": ";
+    if (f.src_task < 0 || f.src_task >= num_tasks || f.dst_task < 0 ||
+        f.dst_task >= num_tasks) {
+      return tag + "task id out of range";
+    }
+    if (f.src_task == f.dst_task) {
+      return tag + "self-flow";
+    }
+    if (f.period <= 0 || f.length <= 0 || f.deadline <= 0) {
+      return tag + "period, length and deadline must be positive";
+    }
+  }
+  return "";
+}
+
+StreamSet streams_for_mapping(const TaskGraph& graph,
+                              const topo::Topology& topo,
+                              const route::RoutingAlgorithm& routing,
+                              const std::vector<topo::NodeId>& node_of_task) {
+  StreamSet set;
+  for (std::size_t i = 0; i < graph.flows.size(); ++i) {
+    const auto& f = graph.flows[i];
+    MessageStream s = make_stream(
+        topo, routing, static_cast<StreamId>(i),
+        node_of_task[static_cast<std::size_t>(f.src_task)],
+        node_of_task[static_cast<std::size_t>(f.dst_task)], f.priority,
+        f.period, f.length, f.deadline);
+    s.deadline = std::max(s.deadline, s.latency);
+    set.add(std::move(s));
+  }
+  return set;
+}
+
+double mapping_cost(const TaskGraph& graph, const topo::Topology& topo,
+                    const route::RoutingAlgorithm& routing,
+                    const std::vector<topo::NodeId>& node_of_task) {
+  // Per-resource utilization: directed channels, then one injection and
+  // one ejection port per node.
+  const std::size_t nc = topo.num_channels();
+  const auto nn = static_cast<std::size_t>(topo.num_nodes());
+  std::vector<double> util(nc + 2 * nn, 0.0);
+  for (const auto& f : graph.flows) {
+    const double u =
+        static_cast<double>(f.length) / static_cast<double>(f.period);
+    const route::Path path = routing.route(
+        topo, node_of_task[static_cast<std::size_t>(f.src_task)],
+        node_of_task[static_cast<std::size_t>(f.dst_task)]);
+    for (const auto cid : path.channels) {
+      util[static_cast<std::size_t>(cid)] += u;
+    }
+    util[nc + static_cast<std::size_t>(path.src)] += u;
+    util[nc + nn + static_cast<std::size_t>(path.dst)] += u;
+  }
+  // Sum of squares: contention concentrates cost where bounds loosen.
+  return std::inner_product(util.begin(), util.end(), util.begin(), 0.0);
+}
+
+namespace {
+
+MappingResult finalize(const TaskGraph& graph, const topo::Topology& topo,
+                       const route::RoutingAlgorithm& routing,
+                       std::vector<topo::NodeId> placement,
+                       int improvements) {
+  MappingResult result;
+  result.cost = mapping_cost(graph, topo, routing, placement);
+  result.streams = streams_for_mapping(graph, topo, routing, placement);
+  result.node_of_task = std::move(placement);
+  result.improvements = improvements;
+  return result;
+}
+
+}  // namespace
+
+MappingResult map_tasks_randomly(const TaskGraph& graph,
+                                 const topo::Topology& topo,
+                                 const route::RoutingAlgorithm& routing,
+                                 std::uint64_t seed) {
+  assert(graph.validate().empty());
+  assert(graph.num_tasks <= topo.num_nodes());
+  util::Rng rng(seed);
+  const auto nodes =
+      rng.sample_without_replacement(topo.num_nodes(), graph.num_tasks);
+  std::vector<topo::NodeId> placement(nodes.begin(), nodes.end());
+  return finalize(graph, topo, routing, std::move(placement), 0);
+}
+
+MappingResult map_tasks(const TaskGraph& graph, const topo::Topology& topo,
+                        const route::RoutingAlgorithm& routing,
+                        std::uint64_t seed, int swap_budget) {
+  assert(graph.validate().empty());
+  assert(graph.num_tasks <= topo.num_nodes());
+  const auto n_tasks = static_cast<std::size_t>(graph.num_tasks);
+  util::Rng rng(seed);
+
+  // Communication weight between task pairs (utilization, symmetric).
+  std::vector<double> weight(n_tasks * n_tasks, 0.0);
+  std::vector<double> degree(n_tasks, 0.0);
+  for (const auto& f : graph.flows) {
+    const double u =
+        static_cast<double>(f.length) / static_cast<double>(f.period);
+    weight[static_cast<std::size_t>(f.src_task) * n_tasks +
+           static_cast<std::size_t>(f.dst_task)] += u;
+    weight[static_cast<std::size_t>(f.dst_task) * n_tasks +
+           static_cast<std::size_t>(f.src_task)] += u;
+    degree[static_cast<std::size_t>(f.src_task)] += u;
+    degree[static_cast<std::size_t>(f.dst_task)] += u;
+  }
+
+  // Greedy seed: heaviest-communicating task at the network centre;
+  // each next task (by placed-neighbour weight) goes to the free node
+  // minimising weighted hop distance to its placed peers.
+  std::vector<topo::NodeId> placement(n_tasks, topo::kNoNode);
+  std::vector<std::uint8_t> node_used(static_cast<std::size_t>(topo.num_nodes()), 0);
+  std::vector<std::uint8_t> placed(n_tasks, 0);
+
+  const auto hop_distance = [&](topo::NodeId a, topo::NodeId b) {
+    return routing.route(topo, a, b).hops();
+  };
+
+  for (std::size_t step = 0; step < n_tasks; ++step) {
+    // Pick the unplaced task with the most communication to placed
+    // tasks (total degree breaks the first-step tie).
+    std::size_t best_task = n_tasks;
+    double best_key = -1.0;
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+      if (placed[t]) {
+        continue;
+      }
+      double key = degree[t] * 1e-3;  // small bias toward busy tasks
+      for (std::size_t p = 0; p < n_tasks; ++p) {
+        if (placed[p]) {
+          key += weight[t * n_tasks + p];
+        }
+      }
+      if (key > best_key) {
+        best_key = key;
+        best_task = t;
+      }
+    }
+    // Best free node: minimise weighted distance to placed peers
+    // (the centre node for the very first task).
+    topo::NodeId best_node = topo::kNoNode;
+    double best_cost = 0.0;
+    for (topo::NodeId node = 0; node < topo.num_nodes(); ++node) {
+      if (node_used[static_cast<std::size_t>(node)]) {
+        continue;
+      }
+      double cost = 0.0;
+      if (step == 0) {
+        cost = hop_distance(node, topo.num_nodes() / 2);
+      } else {
+        for (std::size_t p = 0; p < n_tasks; ++p) {
+          if (placed[p] && weight[best_task * n_tasks + p] > 0.0) {
+            cost += weight[best_task * n_tasks + p] *
+                    (hop_distance(node, placement[p]) +
+                     hop_distance(placement[p], node));
+          }
+        }
+      }
+      if (best_node == topo::kNoNode || cost < best_cost) {
+        best_node = node;
+        best_cost = cost;
+      }
+    }
+    placement[best_task] = best_node;
+    node_used[static_cast<std::size_t>(best_node)] = 1;
+    placed[best_task] = 1;
+  }
+
+  // First-improvement hill climbing over task-task swaps and moves to
+  // free nodes, on the true contention cost.
+  double cost = mapping_cost(graph, topo, routing, placement);
+  int improvements = 0;
+  for (int iter = 0; iter < swap_budget; ++iter) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_tasks) - 1));
+    std::vector<topo::NodeId> candidate = placement;
+    if (rng.bernoulli(0.5) || graph.num_tasks == topo.num_nodes()) {
+      // Swap the nodes of two tasks.
+      const auto b = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n_tasks) - 1));
+      if (a == b) {
+        continue;
+      }
+      std::swap(candidate[a], candidate[b]);
+    } else {
+      // Move a task to a random free node.
+      const auto node =
+          static_cast<topo::NodeId>(rng.uniform_int(0, topo.num_nodes() - 1));
+      if (std::find(placement.begin(), placement.end(), node) !=
+          placement.end()) {
+        continue;
+      }
+      candidate[a] = node;
+    }
+    const double candidate_cost =
+        mapping_cost(graph, topo, routing, candidate);
+    if (candidate_cost < cost - 1e-12) {
+      cost = candidate_cost;
+      placement = std::move(candidate);
+      ++improvements;
+    }
+  }
+  return finalize(graph, topo, routing, std::move(placement), improvements);
+}
+
+}  // namespace wormrt::core

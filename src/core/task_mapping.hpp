@@ -1,0 +1,78 @@
+#pragma once
+
+#include "core/message_stream.hpp"
+#include "util/rng.hpp"
+
+/// \file task_mapping.hpp
+/// Job allocation — the problem the paper explicitly defers ("the jobs
+/// which communicate each other frequently could be mapped to
+/// relatively nearby processing nodes.  But job allocation is another
+/// problem", Section 2).  Given the logical task graph of a real-time
+/// job, this module places tasks onto network nodes so the resulting
+/// message streams contend as little as possible, before the
+/// feasibility test runs.
+///
+/// The mapper is a communication-weighted greedy placement followed by
+/// first-improvement pairwise-swap hill climbing on a contention cost:
+/// the sum of squared per-resource utilizations (channels plus node
+/// ports), which penalises hot spots — precisely what makes delay
+/// bounds loose.
+
+namespace wormrt::core {
+
+/// One periodic flow of the logical task graph.
+struct TaskFlow {
+  int src_task = 0;
+  int dst_task = 0;
+  Priority priority = 0;
+  Time period = 0;    ///< T
+  Time length = 0;    ///< C, flits
+  Time deadline = 0;  ///< D
+};
+
+struct TaskGraph {
+  int num_tasks = 0;
+  std::vector<TaskFlow> flows;
+
+  /// "" when consistent (task ids in range, parameters positive, no
+  /// self-flows).
+  std::string validate() const;
+};
+
+struct MappingResult {
+  /// node_of_task[t] = network node hosting task t (all distinct).
+  std::vector<topo::NodeId> node_of_task;
+  /// The flows realised as message streams on the mapped nodes (ids in
+  /// flow order), ready for determine_feasibility / simulation.
+  StreamSet streams;
+  /// Contention cost of the final placement (see file comment).
+  double cost = 0.0;
+  /// Hill-climbing swaps accepted.
+  int improvements = 0;
+};
+
+/// Places \p graph onto \p topo.  Requires num_tasks <= topo.num_nodes().
+/// Deterministic for a given seed.
+MappingResult map_tasks(const TaskGraph& graph, const topo::Topology& topo,
+                        const route::RoutingAlgorithm& routing,
+                        std::uint64_t seed = 1, int swap_budget = 4000);
+
+/// Baseline: a uniform random placement (same output shape), for the
+/// mapping-quality bench.
+MappingResult map_tasks_randomly(const TaskGraph& graph,
+                                 const topo::Topology& topo,
+                                 const route::RoutingAlgorithm& routing,
+                                 std::uint64_t seed = 1);
+
+/// Contention cost of an arbitrary placement (exposed for tests).
+double mapping_cost(const TaskGraph& graph, const topo::Topology& topo,
+                    const route::RoutingAlgorithm& routing,
+                    const std::vector<topo::NodeId>& node_of_task);
+
+/// Realises the flows as message streams on the given placement.
+StreamSet streams_for_mapping(const TaskGraph& graph,
+                              const topo::Topology& topo,
+                              const route::RoutingAlgorithm& routing,
+                              const std::vector<topo::NodeId>& node_of_task);
+
+}  // namespace wormrt::core

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// \file timing_diagram.hpp
+/// The slot table at the centre of Cal_U.  One row per HP element, in
+/// non-increasing priority order; the column index is time (flit times).
+/// Row r allocates C slots per period window among the slots left FREE by
+/// the rows above it; slots it scans while BUSY are WAITING (preempted).
+/// The bottom of the diagram — slots allocated by no row — is the free
+/// time the analysed stream can use (Generate_Init_Diagram of the paper).
+///
+/// Modify_Diagram is realised by suppress-and-rebuild: suppressing a
+/// window of a row removes that message instance's demand, and rebuilding
+/// the rows below re-allocates ("compacts") them into the freed slots.
+
+namespace wormrt::core {
+
+/// Slot states, matching the paper's Section 4.2 cell values.
+enum class Slot : std::uint8_t {
+  kFree = 0,   ///< usable by lower-priority traffic
+  kWaiting,    ///< the row's instance is preempted at this slot
+  kAllocated,  ///< the row's instance transmits at this slot
+};
+
+/// Static description of one diagram row.
+struct RowSpec {
+  StreamId stream = kNoStream;  ///< for reporting only
+  Priority priority = 0;        ///< for reporting only
+  Time period = 0;              ///< T of the HP element
+  Time length = 0;              ///< C of the HP element
+};
+
+class TimingDiagram {
+ public:
+  /// \p rows must be ordered by non-increasing priority (ties broken by
+  /// ascending stream id).  \p horizon is the paper's dtime.  With
+  /// \p carry_over, demand an instance could not serve inside its window
+  /// backlogs into the following windows instead of being dropped.
+  TimingDiagram(std::vector<RowSpec> rows, Time horizon, bool carry_over);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  Time horizon() const { return horizon_; }
+  const RowSpec& row_spec(std::size_t r) const { return rows_.at(r); }
+
+  Slot at(std::size_t r, Time t) const {
+    return static_cast<Slot>(slots_.at(r)[static_cast<std::size_t>(t)]);
+  }
+
+  /// ALLOCATED or WAITING — the row's stream "exists" at \p t in the
+  /// sense of the paper's Fig. 6 discussion.
+  bool row_active(std::size_t r, Time t) const {
+    const auto s = static_cast<Slot>(slots_[r][static_cast<std::size_t>(t)]);
+    return s == Slot::kAllocated || s == Slot::kWaiting;
+  }
+
+  /// No row transmits at \p t: the analysed stream may use the slot.
+  bool free_at_bottom(Time t) const {
+    return busy_[static_cast<std::size_t>(t)] == 0;
+  }
+
+  /// Number of windows (message instances) of row \p r within the horizon.
+  std::size_t num_windows(std::size_t r) const;
+
+  /// True when window \p w of row \p r has been suppressed.
+  bool window_suppressed(std::size_t r, std::size_t w) const {
+    return suppressed_.at(r).at(w) != 0;
+  }
+
+  /// Modify_Diagram step for one indirect row: a window (message
+  /// instance) of row \p r is suppressed when no intermediate row is
+  /// active during any slot of the instance's footprint (its ALLOCATED
+  /// and WAITING slots).  Rows at and below \p r are then re-allocated.
+  /// Returns the number of newly suppressed instances.
+  /// Not supported in carry-over mode (instance footprints blur across
+  /// windows); asserts.
+  int relax_indirect_row(std::size_t r,
+                         const std::vector<std::size_t>& intermediate_rows);
+
+  /// Scans the bottom row: returns the 1-indexed time at which the count
+  /// of free slots reaches \p required, or kNoTime when the horizon ends
+  /// first.  (The paper's Cal_U lines 9-12.)
+  Time accumulate_free(Time required) const;
+
+  /// ASCII rendering in the style of the paper's Figs. 4/6/7/9:
+  /// '#' allocated, '.' waiting, ' ' free-or-busy, bottom row 'F' free.
+  std::string render() const;
+
+ private:
+  std::vector<RowSpec> rows_;
+  Time horizon_;
+  bool carry_over_;
+  std::vector<std::vector<std::uint8_t>> slots_;      // per row, per time
+  std::vector<std::vector<std::uint8_t>> suppressed_; // per row, per window
+  std::vector<std::uint8_t> busy_;  // per time: some row allocated
+
+  /// Re-allocates rows [from, end), assuming rows above are up to date.
+  void rebuild_from(std::size_t from);
+  void allocate_row(std::size_t r);
+};
+
+}  // namespace wormrt::core

@@ -1,0 +1,234 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/delay_bound.hpp"
+
+namespace wormrt::core {
+
+const char* to_string(TrafficPattern pattern) {
+  switch (pattern) {
+    case TrafficPattern::kUniform: return "uniform";
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kBitReversal: return "bit-reversal";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kNearestNeighbor: return "nearest-neighbor";
+  }
+  return "?";
+}
+
+namespace {
+
+topo::NodeId uniform_other(util::Rng& rng, const topo::Topology& topo,
+                           topo::NodeId src) {
+  auto dst = static_cast<topo::NodeId>(
+      rng.uniform_int(0, topo.num_nodes() - 2));
+  if (dst >= src) {
+    ++dst;
+  }
+  return dst;
+}
+
+topo::NodeId pick_destination(util::Rng& rng, const topo::Topology& topo,
+                              topo::NodeId src, const WorkloadParams& params) {
+  switch (params.pattern) {
+    case TrafficPattern::kUniform:
+      return uniform_other(rng, topo, src);
+    case TrafficPattern::kTranspose: {
+      topo::Coord c = topo.coord_of(src);
+      if (c.size() >= 2) {
+        using std::swap;
+        swap(c[0], c[1]);
+        // Rectangular shapes: clamp into range so the swap stays valid.
+        c[0] = std::min(c[0], topo.radix(0) - 1);
+        c[1] = std::min(c[1], topo.radix(1) - 1);
+      }
+      const topo::NodeId dst = topo.node_at(c);
+      return dst == src ? uniform_other(rng, topo, src) : dst;
+    }
+    case TrafficPattern::kBitReversal: {
+      int bits = 0;
+      while ((1 << (bits + 1)) <= topo.num_nodes()) {
+        ++bits;
+      }
+      std::uint32_t v = static_cast<std::uint32_t>(src);
+      std::uint32_t rev = 0;
+      for (int b = 0; b < bits; ++b) {
+        rev = (rev << 1) | ((v >> b) & 1u);
+      }
+      const auto dst =
+          static_cast<topo::NodeId>(rev % static_cast<std::uint32_t>(
+                                              topo.num_nodes()));
+      return dst == src ? uniform_other(rng, topo, src) : dst;
+    }
+    case TrafficPattern::kHotspot: {
+      const auto hot = static_cast<topo::NodeId>(topo.num_nodes() / 2);
+      if (src != hot && rng.uniform_real() < params.hotspot_fraction) {
+        return hot;
+      }
+      return uniform_other(rng, topo, src);
+    }
+    case TrafficPattern::kNearestNeighbor: {
+      const auto& out = topo.channels().outgoing(src);
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+      return topo.channels().channel(out[pick]).dst;
+    }
+  }
+  return uniform_other(rng, topo, src);
+}
+
+}  // namespace
+
+StreamSet generate_workload(const topo::Topology& topo,
+                            const route::RoutingAlgorithm& routing,
+                            const WorkloadParams& params) {
+  assert(params.num_streams >= 1);
+  assert(params.num_streams <= topo.num_nodes());
+  assert(params.priority_levels >= 1);
+  assert(params.period_min >= 1 && params.period_min <= params.period_max);
+  assert(params.length_min >= 1 && params.length_min <= params.length_max);
+
+  util::Rng rng(params.seed);
+  const auto sources =
+      rng.sample_without_replacement(topo.num_nodes(), params.num_streams);
+
+  StreamSet set;
+  for (int i = 0; i < params.num_streams; ++i) {
+    const auto src = static_cast<topo::NodeId>(sources[static_cast<std::size_t>(i)]);
+    const topo::NodeId dst = pick_destination(rng, topo, src, params);
+    const auto priority =
+        static_cast<Priority>(rng.uniform_int(0, params.priority_levels - 1));
+    const Time period = rng.uniform_int(params.period_min, params.period_max);
+    const Time length = rng.uniform_int(params.length_min, params.length_max);
+    MessageStream s = make_stream(topo, routing, static_cast<StreamId>(i),
+                                  src, dst, priority, period, length,
+                                  /*deadline=*/period);
+    // A long message on a long path can have a contention-free latency
+    // above its period; the deadline starts at max(T, L) so the set is
+    // well-formed (the adjustment pass raises it to U anyway).
+    s.deadline = std::max(s.deadline, s.latency);
+    set.add(std::move(s));
+  }
+  assert(set.validate().empty());
+  return set;
+}
+
+namespace {
+
+/// Smallest period for stream \p j that keeps every resource of its path
+/// (directed channels plus the source/destination node ports) within
+/// \p target utilization, counting the streams that do not yield to j
+/// (priority above, or equal when equal priorities block).
+Time stable_period_for(const StreamSet& streams, StreamId j,
+                       double target, const AnalysisConfig& config,
+                       Time cap) {
+  const auto& sj = streams[j];
+
+  const auto senior_util = [&](auto&& shares_resource) {
+    double senior = 0.0;
+    for (const auto& sk : streams) {
+      if (sk.id == j) {
+        continue;
+      }
+      const bool yields_to_k =
+          sk.priority > sj.priority ||
+          (config.same_priority_blocks && sk.priority == sj.priority);
+      if (yields_to_k && shares_resource(sk)) {
+        senior += sk.utilization();
+      }
+    }
+    return senior;
+  };
+
+  const auto period_for_slack = [&](double senior) -> Time {
+    const double slack = target - senior;
+    const double min_share =
+        static_cast<double>(sj.length) / static_cast<double>(cap);
+    if (slack <= min_share) {
+      return cap;  // resource already saturated by non-yielding traffic
+    }
+    return static_cast<Time>(
+        std::ceil(static_cast<double>(sj.length) / slack));
+  };
+
+  Time needed = sj.period;
+  for (const auto cid : sj.path.channels) {
+    needed = std::max(
+        needed, period_for_slack(senior_util([&](const MessageStream& sk) {
+          return std::find(sk.path.channels.begin(), sk.path.channels.end(),
+                           cid) != sk.path.channels.end();
+        })));
+  }
+  if (config.ejection_port_overlap) {
+    needed = std::max(
+        needed, period_for_slack(senior_util([&](const MessageStream& sk) {
+          return sk.dst == sj.dst;
+        })));
+  }
+  if (config.injection_port_overlap) {
+    needed = std::max(
+        needed, period_for_slack(senior_util([&](const MessageStream& sk) {
+          return sk.src == sj.src;
+        })));
+  }
+  return std::min(needed, cap);
+}
+
+}  // namespace
+
+AdjustResult adjust_periods_to_bounds(StreamSet& streams,
+                                      AnalysisConfig config,
+                                      int max_iterations,
+                                      double stability_utilization) {
+  config.horizon = HorizonPolicy::kExtended;
+  AdjustResult result;
+  result.bounds.assign(streams.size(), kNoTime);
+
+  // Paths and priorities never change here, so one blocking analysis
+  // serves every iteration; only periods/deadlines move.
+  const BlockingAnalysis blocking(
+      streams,
+      BlockingOptions{config.same_priority_blocks,
+                      config.ejection_port_overlap,
+                      config.injection_port_overlap});
+  const DelayBoundCalculator calc(streams, blocking, config);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    for (const StreamId j : streams.by_priority_desc()) {
+      auto& s = streams.mutable_stream(j);
+      if (stability_utilization > 0.0) {
+        const Time stable =
+            stable_period_for(streams, j, stability_utilization, config,
+                              config.horizon_cap);
+        if (stable > s.period) {
+          s.period = stable;
+          s.deadline = std::max(s.deadline, stable);
+          changed = true;
+        }
+      }
+      const DelayBoundResult r = calc.calc(j);
+      const Time bound = r.bound != kNoTime ? r.bound : config.horizon_cap;
+      result.bounds[static_cast<std::size_t>(j)] = bound;
+      if (bound > s.period) {
+        s.period = bound;
+        s.deadline = bound;
+        changed = true;
+      } else if (bound > s.deadline) {
+        s.deadline = bound;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace wormrt::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include "core/analysis_config.hpp"
+#include "core/message_stream.hpp"
+#include "util/rng.hpp"
+
+/// \file workload.hpp
+/// The paper's Section 5 workload: periodic streams on a 2-D mesh with
+/// X-Y routing, each node the source of at most one stream, destinations
+/// spatially uniform, C ~ U[1,40] flits, T ~ U[40,90] flit times (then
+/// raised to the computed bound when U_i > T_i), priorities uniform over
+/// the available levels.
+
+namespace wormrt::core {
+
+/// Spatial traffic pattern for destination selection.  The paper's
+/// evaluation uses kUniform; the others are the standard NoC/multicomputer
+/// benchmarking patterns, provided for the extension benches.
+enum class TrafficPattern {
+  kUniform,          ///< destination uniform over the other nodes (paper)
+  kTranspose,        ///< (x, y, ...) -> (y, x, ...): first two coords swap
+  kBitReversal,      ///< node id bit-reversed (power-of-two populations)
+  kHotspot,          ///< a fraction of streams target one hot node
+  kNearestNeighbor,  ///< destination is a random grid neighbour
+};
+
+const char* to_string(TrafficPattern pattern);
+
+struct WorkloadParams {
+  int num_streams = 20;
+  int priority_levels = 1;
+  Time period_min = 40;   ///< T_i lower bound (paper: 40)
+  Time period_max = 90;   ///< T_i upper bound (paper: 90)
+  Time length_min = 1;    ///< C_i lower bound (paper: 1)
+  Time length_max = 40;   ///< C_i upper bound (paper: 40)
+  std::uint64_t seed = 1;
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  /// kHotspot only: probability that a stream targets the hot node
+  /// (the topology's centre node); the rest stay uniform.
+  double hotspot_fraction = 0.3;
+};
+
+/// Draws a random stream set per \p params.  Sources are sampled without
+/// replacement (at most one stream per node); destinations are uniform
+/// over the other nodes; deadlines start equal to periods.  Requires
+/// num_streams <= topo.num_nodes().
+StreamSet generate_workload(const topo::Topology& topo,
+                            const route::RoutingAlgorithm& routing,
+                            const WorkloadParams& params);
+
+/// Result of the period-adjustment pass.
+struct AdjustResult {
+  /// Iterations executed before the fixpoint (or the iteration limit).
+  int iterations = 0;
+  /// True when a full pass made no further change.
+  bool converged = false;
+  /// Final per-stream bounds U_i (kNoTime replaced by the horizon cap).
+  std::vector<Time> bounds;
+};
+
+/// The paper's "if the calculated U_i is larger than T_i, we increased
+/// T_i to accommodate all generated traffics": repeatedly computes every
+/// bound with the extended horizon and raises T_i (and D_i) to U_i, until
+/// no stream changes.  A bound that does not converge below the horizon
+/// cap pins the period at the cap (such a stream is effectively
+/// aperiodic; this happens only under extreme single-priority overload).
+///
+/// \p stability_utilization additionally raises T_i until, on every
+/// channel of stream i's path, the demand of the streams that do not
+/// yield to i (priority above, or equal under same_priority_blocks) plus
+/// i's own demand fits within that fraction of the channel bandwidth.
+/// This guards against workloads the bound declares schedulable but
+/// whose queues diverge: Generate_Init_Diagram drops demand unserved at
+/// a window's end, so an overloaded channel looks idle to the analysis
+/// while the real backlog grows without bound (see EXPERIMENTS.md).
+/// Pass a value <= 0 to disable the guard (the paper's literal text).
+AdjustResult adjust_periods_to_bounds(StreamSet& streams,
+                                      AnalysisConfig config = {},
+                                      int max_iterations = 8,
+                                      double stability_utilization = 1.0);
+
+}  // namespace wormrt::core

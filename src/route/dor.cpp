@@ -1,0 +1,46 @@
+#include "route/dor.hpp"
+
+#include <cassert>
+
+namespace wormrt::route {
+
+Path DimensionOrderRouting::route(const topo::Topology& topo,
+                                  topo::NodeId src, topo::NodeId dst) const {
+  assert(src >= 0 && src < topo.num_nodes());
+  assert(dst >= 0 && dst < topo.num_nodes());
+  Path path;
+  path.src = src;
+  path.dst = dst;
+
+  topo::Coord at = topo.coord_of(src);
+  const topo::Coord goal = topo.coord_of(dst);
+
+  for (int d = 0; d < topo.dimensions(); ++d) {
+    const std::int32_t k = topo.radix(d);
+    while (at[static_cast<std::size_t>(d)] != goal[static_cast<std::size_t>(d)]) {
+      const std::int32_t cur = at[static_cast<std::size_t>(d)];
+      const std::int32_t tgt = goal[static_cast<std::size_t>(d)];
+      std::int32_t step;
+      if (!topo.wraps(d)) {
+        step = tgt > cur ? 1 : -1;
+      } else {
+        // Shorter way around the ring; ties go the positive direction.
+        const std::int32_t fwd = (tgt - cur + k) % k;
+        const std::int32_t bwd = (cur - tgt + k) % k;
+        step = fwd <= bwd ? 1 : -1;
+      }
+      topo::Coord next = at;
+      next[static_cast<std::size_t>(d)] =
+          topo.wraps(d) ? (cur + step + k) % k : cur + step;
+      const topo::NodeId from = topo.node_at(at);
+      const topo::NodeId to = topo.node_at(next);
+      const topo::ChannelId cid = topo.channel_between(from, to);
+      assert(cid != topo::kNoChannel);
+      path.channels.push_back(cid);
+      at = next;
+    }
+  }
+  return path;
+}
+
+}  // namespace wormrt::route

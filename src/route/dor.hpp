@@ -1,0 +1,27 @@
+#pragma once
+
+#include "route/routing.hpp"
+
+/// \file dor.hpp
+/// Dimension-order routing (DOR).  Corrects coordinates one dimension at
+/// a time, lowest dimension first; on a 2-D mesh this is exactly the
+/// paper's X-Y routing, which is deadlock-free on meshes.  On tori it
+/// takes the shorter way around each ring (ties broken toward the
+/// positive direction); note that wraparound rings need extra VC classes
+/// for deadlock freedom in a real router — the simulator provides
+/// priority VCs, and the analysis is routing-agnostic.
+
+namespace wormrt::route {
+
+class DimensionOrderRouting : public RoutingAlgorithm {
+ public:
+  Path route(const topo::Topology& topo, topo::NodeId src,
+             topo::NodeId dst) const override;
+
+  std::string name() const override { return "dimension-order(X-Y)"; }
+};
+
+/// Alias emphasising the 2-D mesh reading used throughout the paper.
+using XYRouting = DimensionOrderRouting;
+
+}  // namespace wormrt::route

@@ -1,0 +1,8 @@
+#include "route/ecube.hpp"
+
+// E-cube is dimension-order routing on a binary coordinate system; all
+// behaviour lives in DimensionOrderRouting.  This translation unit exists
+// so the class has a home for future hypercube-specific extensions
+// (e.g. fault-tolerant e-cube variants).
+
+namespace wormrt::route {}  // namespace wormrt::route

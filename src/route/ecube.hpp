@@ -1,0 +1,19 @@
+#pragma once
+
+#include "route/dor.hpp"
+
+/// \file ecube.hpp
+/// E-cube routing for hypercubes: resolve the differing address bits from
+/// least-significant to most-significant.  This is dimension-order
+/// routing on the radix-2 coordinate system, so the implementation simply
+/// reuses DOR; the class exists to match the routing vocabulary of the
+/// wormhole literature the paper builds on.
+
+namespace wormrt::route {
+
+class EcubeRouting : public DimensionOrderRouting {
+ public:
+  std::string name() const override { return "e-cube"; }
+};
+
+}  // namespace wormrt::route

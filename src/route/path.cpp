@@ -1,0 +1,52 @@
+#include "route/path.hpp"
+
+#include <algorithm>
+
+namespace wormrt::route {
+
+bool is_valid_walk(const topo::Topology& topo, const Path& path) {
+  if (path.src < 0 || path.src >= topo.num_nodes() || path.dst < 0 ||
+      path.dst >= topo.num_nodes()) {
+    return false;
+  }
+  topo::NodeId at = path.src;
+  for (const auto cid : path.channels) {
+    if (cid < 0 || static_cast<std::size_t>(cid) >= topo.num_channels()) {
+      return false;
+    }
+    const auto& ch = topo.channels().channel(cid);
+    if (ch.src != at) {
+      return false;
+    }
+    at = ch.dst;
+  }
+  return at == path.dst;
+}
+
+bool shares_channel(const Path& a, const Path& b) {
+  // Paths are short (O(network diameter)); a sorted-copy intersection is
+  // cheaper than hashing at these sizes and allocation-free would not
+  // matter off the hot path.
+  std::vector<topo::ChannelId> sa = a.channels;
+  std::sort(sa.begin(), sa.end());
+  for (const auto cid : b.channels) {
+    if (std::binary_search(sa.begin(), sa.end(), cid)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<topo::ChannelId> shared_channels(const Path& a, const Path& b) {
+  std::vector<topo::ChannelId> sb = b.channels;
+  std::sort(sb.begin(), sb.end());
+  std::vector<topo::ChannelId> out;
+  for (const auto cid : a.channels) {
+    if (std::binary_search(sb.begin(), sb.end(), cid)) {
+      out.push_back(cid);
+    }
+  }
+  return out;
+}
+
+}  // namespace wormrt::route

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+
+/// \file path.hpp
+/// A routing path: the ordered list of directed physical channels a
+/// message traverses from source to destination.  Paths are the resource
+/// footprint the delay-bound analysis reasons about: two message streams
+/// block each other directly iff their paths share a directed channel.
+
+namespace wormrt::route {
+
+struct Path {
+  topo::NodeId src = topo::kNoNode;
+  topo::NodeId dst = topo::kNoNode;
+  /// Channels in traversal order; empty iff src == dst.
+  std::vector<topo::ChannelId> channels;
+
+  /// Number of physical-channel hops.
+  int hops() const { return static_cast<int>(channels.size()); }
+};
+
+/// Validates that \p path is a connected walk from src to dst in \p topo.
+bool is_valid_walk(const topo::Topology& topo, const Path& path);
+
+/// True when the two paths use at least one common directed channel
+/// (the paper's "direct blocking" relation between streams).
+bool shares_channel(const Path& a, const Path& b);
+
+/// The directed channels used by both paths, in a's traversal order.
+std::vector<topo::ChannelId> shared_channels(const Path& a, const Path& b);
+
+}  // namespace wormrt::route

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "route/path.hpp"
+
+/// \file routing.hpp
+/// Deterministic routing algorithms.  The paper assumes a static,
+/// deterministic, deadlock-free routing function (X-Y for meshes); the
+/// analysis and the simulator both consume the resulting Path objects,
+/// which guarantees they reason about identical channel footprints.
+
+namespace wormrt::route {
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+
+  /// Computes the (unique) path from \p src to \p dst.
+  /// Requires both ids to be valid nodes of \p topo.
+  virtual Path route(const topo::Topology& topo, topo::NodeId src,
+                     topo::NodeId dst) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace wormrt::route

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/coord.hpp"
+#include "util/types.hpp"
+
+/// \file packet.hpp
+/// A packet is one message instance of a stream travelling through the
+/// network as a worm of C flits.  Flits are not materialised as objects:
+/// a wormhole worm is a contiguous run of flit indices distributed over
+/// the VC buffers along its path, so per-buffer (count, first-index)
+/// pairs represent them exactly.
+
+namespace wormrt::sim {
+
+using PacketId = std::int32_t;
+inline constexpr PacketId kNoPacket = -1;
+
+struct Packet {
+  PacketId id = kNoPacket;
+  StreamId stream = kNoStream;
+  Priority priority = 0;
+  Time generated = 0;   ///< generation (release) time
+  Time length = 0;      ///< C flits
+  /// Flits already pushed out of the source queue (0..length).
+  Time injected_flits = 0;
+  /// Channels of the route whose VC this packet currently holds or has
+  /// held: hop h's VC index is vc_at_hop[h] once acquired, -1 before.
+  std::vector<std::int16_t> vc_at_hop;
+  /// Next hop index whose VC the head must acquire (== hops when the
+  /// whole route is allocated).
+  int next_vc_request = 0;
+  /// Flits delivered at the destination (0..length); the packet is
+  /// complete when this reaches length.
+  Time ejected_flits = 0;
+};
+
+}  // namespace wormrt::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+/// \file sim_config.hpp
+/// Configuration of the flit-level wormhole simulator.
+
+namespace wormrt::sim {
+
+/// Physical-channel switching policy.
+enum class ArbPolicy {
+  /// The paper's Section 3 scheme: as many virtual channels as priority
+  /// levels, VC index == priority; a message may only request the VC of
+  /// its own priority, and the physical channel is granted each cycle to
+  /// the highest-priority VC with a flit ready — flit-level preemption.
+  kPriorityPreemptive,
+  /// Li & Mutka's scheme: a message of priority p may acquire any free
+  /// VC numbered <= p (the highest free one is taken); the physical
+  /// channel is shared round-robin among busy VCs, so higher priority
+  /// only improves the odds of *getting* a channel, not of keeping it.
+  kLiVc,
+  /// Classical wormhole switching: one channel (no VCs), FCFS
+  /// acquisition, non-preemptive — exhibits the Fig. 2 priority
+  /// inversion.
+  kNonPreemptiveFcfs,
+  /// The idealisation the paper's *analysis* implicitly assumes: every
+  /// stream has its own lane (VC) on every channel, so a header never
+  /// waits for a VC; the physical channel goes to the highest-priority
+  /// resident worm, ties shared round-robin.  Under kPriorityPreemptive
+  /// a same-priority peer holds the shared priority VC for its entire
+  /// (possibly preempted and stretched) traversal while Cal_U charges
+  /// only C_k per period — a soundness gap this policy closes (see
+  /// EXPERIMENTS.md).  num_vcs is forced to the stream count.
+  kIdealPreemptive,
+  /// Song, Kwon & Yoon's "throttle and preempt" flow control (ICPP'97),
+  /// which the paper cites as behaviourally equivalent from the
+  /// message-arrival viewpoint while needing only a small VC count.
+  /// VCs are not priority-indexed: a header takes any free VC; when
+  /// none is free and some VC is held by a strictly lower-priority
+  /// worm, the lowest-priority holder is preempted — its flits are
+  /// discarded network-wide, the source is throttled, and the whole
+  /// message retransmits.  The physical channel always serves the
+  /// highest-priority resident worm.
+  kThrottlePreempt,
+};
+
+const char* to_string(ArbPolicy policy);
+
+struct SimConfig {
+  /// Injection window: messages are generated at k*T_i in [0, duration).
+  /// The paper simulates 30000 flit times.
+  Time duration = 30000;
+  /// Messages generated before this time are excluded from statistics
+  /// (the paper omits 2000 start-up flit times).
+  Time warmup = 2000;
+  /// Extra cycles allowed after `duration` for in-flight messages to
+  /// drain; the run stops early once the network is empty.
+  Time drain_limit = 1 << 20;
+
+  ArbPolicy policy = ArbPolicy::kPriorityPreemptive;
+  /// Number of virtual channels per physical channel.  Must be at least
+  /// the number of priority levels under kPriorityPreemptive / kLiVc and
+  /// is forced to 1 under kNonPreemptiveFcfs.
+  int num_vcs = 1;
+  /// Flit buffer depth per VC at the downstream end of each channel.
+  int vc_buffer_depth = 1;
+
+  /// When true, each stream's first generation is offset by a random
+  /// phase in [0, T_i) (seeded below) instead of the synchronized t = 0
+  /// release the analysis assumes.
+  bool random_phase = false;
+  std::uint64_t phase_seed = 1;
+
+  /// Explicit per-stream release offsets; when non-empty it must have
+  /// one entry per stream and overrides random_phase.  Used by scenario
+  /// tests and the Fig. 2 priority-inversion bench.
+  std::vector<Time> explicit_phases;
+
+  /// When true, every completed message's (stream, generation, arrival)
+  /// is recorded in SimResult::arrivals — for tests and traces.
+  bool record_arrivals = false;
+};
+
+}  // namespace wormrt::sim

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+/// \file sim_stats.hpp
+/// Measurement output of a simulation run.
+
+namespace wormrt::sim {
+
+/// Per-stream transmission-delay statistics (generation to tail
+/// ejection, in flit times), over messages generated at or after the
+/// warm-up point.
+struct StreamStats {
+  util::StreamingStats latency;
+  std::int64_t generated = 0;  ///< messages generated after warm-up
+  std::int64_t completed = 0;  ///< of those, messages fully delivered
+};
+
+/// One completed delivery (recorded when SimConfig::record_arrivals).
+struct ArrivalRecord {
+  StreamId stream = kNoStream;
+  Time generated = 0;
+  Time arrived = 0;
+};
+
+struct SimResult {
+  std::vector<StreamStats> per_stream;
+  std::int64_t flits_injected = 0;
+  std::int64_t flits_ejected = 0;
+  /// Throttle-and-preempt only: flits wasted by preemptions (in-flight
+  /// flits discarded plus partially delivered flits the receiver drops)
+  /// and whole-message retransmissions.  At drain,
+  /// flits_injected == flits_ejected + flits_dropped.
+  std::int64_t flits_dropped = 0;
+  std::int64_t retransmissions = 0;
+  /// Flits transmitted per directed physical channel (index: ChannelId);
+  /// divided by cycles_run this is each channel's utilization.
+  std::vector<std::int64_t> flits_per_channel;
+  Time cycles_run = 0;
+  /// False when the drain limit expired with messages still in flight.
+  bool drained = false;
+  /// True when the routes' channel dependency graph had a cycle and the
+  /// simulator fell back to a static processing order (possible with
+  /// wraparound routing; never with X-Y on a mesh).
+  bool dependency_cycles = false;
+  std::vector<ArrivalRecord> arrivals;
+};
+
+/// Renders the \p top_n busiest channels of a run as "src->dst: util"
+/// lines (hotspot diagnosis).  Channel endpoints are looked up in
+/// \p num_channels-aligned order by the caller-provided callback.
+template <typename EndpointsOf>
+std::string render_hot_channels(const SimResult& result,
+                                EndpointsOf&& endpoints_of,
+                                std::size_t top_n = 10) {
+  std::vector<std::size_t> order(result.flits_per_channel.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.flits_per_channel[a] > result.flits_per_channel[b];
+  });
+  std::string out;
+  const double cycles = static_cast<double>(
+      result.cycles_run > 0 ? result.cycles_run : 1);
+  for (std::size_t i = 0; i < order.size() && i < top_n; ++i) {
+    if (result.flits_per_channel[order[i]] == 0) {
+      break;
+    }
+    const auto [src, dst] = endpoints_of(order[i]);
+    out += src + " -> " + dst + ": " +
+           std::to_string(result.flits_per_channel[order[i]]) +
+           " flits (util " +
+           std::to_string(static_cast<double>(
+                              result.flits_per_channel[order[i]]) /
+                          cycles)
+               .substr(0, 5) +
+           ")\n";
+  }
+  return out;
+}
+
+}  // namespace wormrt::sim

@@ -1,0 +1,656 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace wormrt::sim {
+
+const char* to_string(ArbPolicy policy) {
+  switch (policy) {
+    case ArbPolicy::kPriorityPreemptive: return "priority-preemptive";
+    case ArbPolicy::kLiVc: return "li-vc";
+    case ArbPolicy::kNonPreemptiveFcfs: return "non-preemptive-fcfs";
+    case ArbPolicy::kIdealPreemptive: return "ideal-preemptive";
+    case ArbPolicy::kThrottlePreempt: return "throttle-preempt";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const topo::Topology& topo,
+                     const core::StreamSet& streams, SimConfig config)
+    : topo_(topo), streams_(streams), cfg_(config) {
+  assert(cfg_.duration >= 1);
+  assert(cfg_.warmup >= 0 && cfg_.warmup <= cfg_.duration);
+  assert(cfg_.vc_buffer_depth >= 1);
+  assert(streams_.validate().empty());
+
+  if (cfg_.policy == ArbPolicy::kNonPreemptiveFcfs) {
+    cfg_.num_vcs = 1;
+  } else if (cfg_.policy == ArbPolicy::kIdealPreemptive) {
+    cfg_.num_vcs = static_cast<int>(streams_.size());  // one lane each
+  }
+  num_vcs_ = cfg_.num_vcs;
+  assert(num_vcs_ >= 1);
+
+  channels_.resize(topo_.num_channels());
+  for (auto& ch : channels_) {
+    ch.vcs.resize(static_cast<std::size_t>(num_vcs_));
+  }
+  sources_.resize(streams_.size());
+  result_.per_stream.resize(streams_.size());
+  result_.flits_per_channel.assign(topo_.num_channels(), 0);
+
+  // Per-stream hop lookup + per-node ejection candidates.
+  hop_index_.assign(streams_.size(),
+                    std::vector<std::int16_t>(topo_.num_channels(), -1));
+  eject_channels_.resize(static_cast<std::size_t>(topo_.num_nodes()));
+  for (const auto& s : streams_) {
+    const auto& chans = s.path.channels;
+    assert(chans.size() < 32000);
+    for (std::size_t h = 0; h < chans.size(); ++h) {
+      auto& slot = hop_index_[static_cast<std::size_t>(s.id)]
+                             [static_cast<std::size_t>(chans[h])];
+      assert(slot == -1 && "a route must not repeat a channel");
+      slot = static_cast<std::int16_t>(h);
+    }
+    if (cfg_.policy == ArbPolicy::kPriorityPreemptive) {
+      assert(s.priority >= 0 && s.priority < num_vcs_ &&
+             "priority-preemptive switching needs one VC per priority");
+    } else {
+      assert(s.priority >= 0);
+    }
+    auto& ej = eject_channels_[static_cast<std::size_t>(s.dst)];
+    const topo::ChannelId last = chans.back();
+    if (std::find(ej.begin(), ej.end(), last) == ej.end()) {
+      ej.push_back(last);
+    }
+  }
+
+  // Release phases.
+  phase_.assign(streams_.size(), 0);
+  if (!cfg_.explicit_phases.empty()) {
+    assert(cfg_.explicit_phases.size() == streams_.size());
+    phase_ = cfg_.explicit_phases;
+  } else if (cfg_.random_phase) {
+    util::Rng rng(cfg_.phase_seed);
+    for (const auto& s : streams_) {
+      phase_[static_cast<std::size_t>(s.id)] =
+          rng.uniform_int(0, s.period - 1);
+    }
+  }
+  for (const auto& s : streams_) {
+    sources_[static_cast<std::size_t>(s.id)].next_release =
+        phase_[static_cast<std::size_t>(s.id)];
+  }
+
+  build_process_order();
+}
+
+void Simulator::build_process_order() {
+  // Channel dependency graph over the channels any route uses: an edge
+  // c -> c' when some route crosses c immediately before c'.  Processing
+  // in reverse topological order lets a worm advance one flit on every
+  // channel of its path within a single cycle (full pipelining with
+  // depth-1 buffers).  X-Y routing yields an acyclic graph (that is why
+  // it is deadlock-free); wraparound routings may not, in which case we
+  // fall back to a static order and note it in the result.
+  const std::size_t nc = topo_.num_channels();
+  std::vector<std::uint8_t> used(nc, 0);
+  std::vector<std::vector<topo::ChannelId>> succ(nc);
+  std::vector<int> indegree(nc, 0);
+  for (const auto& s : streams_) {
+    const auto& chans = s.path.channels;
+    for (std::size_t h = 0; h < chans.size(); ++h) {
+      used[static_cast<std::size_t>(chans[h])] = 1;
+      if (h + 1 < chans.size()) {
+        succ[static_cast<std::size_t>(chans[h])].push_back(chans[h + 1]);
+      }
+    }
+  }
+  // Dedupe successor lists so indegrees count distinct edges.
+  for (std::size_t c = 0; c < nc; ++c) {
+    auto& v = succ[c];
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    for (const auto d : v) {
+      ++indegree[static_cast<std::size_t>(d)];
+    }
+  }
+  std::vector<topo::ChannelId> order;  // topological (upstream first)
+  std::vector<topo::ChannelId> ready;
+  for (std::size_t c = 0; c < nc; ++c) {
+    if (used[c] && indegree[c] == 0) {
+      ready.push_back(static_cast<topo::ChannelId>(c));
+    }
+  }
+  std::size_t used_count = 0;
+  for (std::size_t c = 0; c < nc; ++c) {
+    used_count += used[c];
+  }
+  while (!ready.empty()) {
+    const topo::ChannelId c = ready.back();
+    ready.pop_back();
+    order.push_back(c);
+    for (const auto d : succ[static_cast<std::size_t>(c)]) {
+      if (--indegree[static_cast<std::size_t>(d)] == 0) {
+        ready.push_back(d);
+      }
+    }
+  }
+  if (order.size() != used_count) {
+    WORMRT_LOG_WARN(
+        "channel dependency graph has cycles (%zu of %zu ordered); "
+        "falling back to static channel order",
+        order.size(), used_count);
+    result_.dependency_cycles = true;
+    order.clear();
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (used[c]) {
+        order.push_back(static_cast<topo::ChannelId>(c));
+      }
+    }
+  }
+  // Downstream-first processing.
+  process_order_.assign(order.rbegin(), order.rend());
+}
+
+void Simulator::inject_new_packets(Time now) {
+  for (const auto& s : streams_) {
+    auto& src = sources_[static_cast<std::size_t>(s.id)];
+    if (src.next_release != now || src.next_release >= cfg_.duration) {
+      continue;
+    }
+    src.next_release += s.period;
+
+    const auto pid = static_cast<PacketId>(packets_.size());
+    Packet p;
+    p.id = pid;
+    p.stream = s.id;
+    p.priority = s.priority;
+    p.generated = now;
+    p.length = s.length;
+    p.vc_at_hop.assign(s.path.channels.size(), -1);
+    packets_.push_back(std::move(p));
+    ++in_flight_;
+    if (now >= cfg_.warmup) {
+      ++result_.per_stream[static_cast<std::size_t>(s.id)].generated;
+    }
+    src.queue.push_back(pid);
+    if (src.queue.front() == pid) {
+      start_front_packet(s.id);
+    }
+  }
+}
+
+void Simulator::start_front_packet(StreamId stream) {
+  auto& src = sources_[static_cast<std::size_t>(stream)];
+  if (src.queue.empty()) {
+    return;
+  }
+  if (cfg_.policy == ArbPolicy::kThrottlePreempt) {
+    // The source is throttled: one message in the network at a time
+    // (keeps whole-message retransmissions order-safe).
+    if (src.outstanding != kNoPacket) {
+      return;
+    }
+    src.outstanding = src.queue.front();
+  }
+  request_next_vc(src.queue.front());
+}
+
+void Simulator::request_next_vc(PacketId pid) {
+  auto& p = packets_[static_cast<std::size_t>(pid)];
+  const auto& chans = path_of(pid).channels;
+  assert(p.next_vc_request < static_cast<int>(chans.size()));
+  const topo::ChannelId c = chans[static_cast<std::size_t>(p.next_vc_request)];
+  auto& ch = channels_[static_cast<std::size_t>(c)];
+  if (cfg_.policy == ArbPolicy::kPriorityPreemptive) {
+    ch.vcs[static_cast<std::size_t>(p.priority)].waiters.push_back(pid);
+  } else if (cfg_.policy == ArbPolicy::kIdealPreemptive) {
+    ch.vcs[static_cast<std::size_t>(p.stream)].waiters.push_back(pid);
+  } else {
+    ch.waiters.push_back(pid);
+  }
+  try_allocate(c);
+}
+
+void Simulator::try_allocate(topo::ChannelId c) {
+  auto& ch = channels_[static_cast<std::size_t>(c)];
+  switch (cfg_.policy) {
+    case ArbPolicy::kPriorityPreemptive:
+    case ArbPolicy::kIdealPreemptive: {
+      // Per-VC waiting: grant every free VC to its first waiter.
+      for (std::size_t v = 0; v < ch.vcs.size(); ++v) {
+        auto& vc = ch.vcs[v];
+        if (vc.owner == kNoPacket && !vc.waiters.empty()) {
+          const PacketId pid = vc.waiters.front();
+          vc.waiters.pop_front();
+          vc.owner = pid;
+          ch.active.push_back(static_cast<int>(v));
+          auto& p = packets_[static_cast<std::size_t>(pid)];
+          p.vc_at_hop[static_cast<std::size_t>(p.next_vc_request)] =
+              static_cast<std::int16_t>(v);
+          ++p.next_vc_request;
+        }
+      }
+      return;
+    }
+    case ArbPolicy::kLiVc: {
+      // FIFO with skipping: a waiter that finds no free VC <= its
+      // priority does not block waiters behind it.
+      for (std::size_t w = 0; w < ch.waiters.size();) {
+        const PacketId pid = ch.waiters[w];
+        auto& p = packets_[static_cast<std::size_t>(pid)];
+        const int top = std::min<int>(p.priority, num_vcs_ - 1);
+        int granted = -1;
+        for (int v = top; v >= 0; --v) {
+          if (ch.vcs[static_cast<std::size_t>(v)].owner == kNoPacket) {
+            granted = v;
+            break;
+          }
+        }
+        if (granted < 0) {
+          ++w;
+          continue;
+        }
+        ch.vcs[static_cast<std::size_t>(granted)].owner = pid;
+        p.vc_at_hop[static_cast<std::size_t>(p.next_vc_request)] =
+            static_cast<std::int16_t>(granted);
+        ++p.next_vc_request;
+        ch.waiters.erase(ch.waiters.begin() +
+                         static_cast<std::ptrdiff_t>(w));
+      }
+      return;
+    }
+    case ArbPolicy::kNonPreemptiveFcfs: {
+      // Strict FIFO: the channel has a single VC and the head of line
+      // waits for it — this is what permits the Fig. 2 priority
+      // inversion.
+      auto& vc = ch.vcs.front();
+      if (vc.owner == kNoPacket && !ch.waiters.empty()) {
+        const PacketId pid = ch.waiters.front();
+        ch.waiters.pop_front();
+        vc.owner = pid;
+        ch.active.push_back(0);
+        auto& p = packets_[static_cast<std::size_t>(pid)];
+        p.vc_at_hop[static_cast<std::size_t>(p.next_vc_request)] = 0;
+        ++p.next_vc_request;
+      }
+      return;
+    }
+    case ArbPolicy::kThrottlePreempt: {
+      // Any free VC serves any header, highest-priority waiter first;
+      // with every VC busy, the lowest strictly-lower-priority holder
+      // is preempted (whole-message abort + source throttling).
+      for (;;) {
+        if (ch.waiters.empty()) {
+          return;
+        }
+        std::size_t best = 0;
+        for (std::size_t w = 1; w < ch.waiters.size(); ++w) {
+          if (packets_[static_cast<std::size_t>(ch.waiters[w])].priority >
+              packets_[static_cast<std::size_t>(ch.waiters[best])].priority) {
+            best = w;
+          }
+        }
+        const PacketId pid = ch.waiters[best];
+        const Priority pprio = packets_[static_cast<std::size_t>(pid)].priority;
+        int freev = -1;
+        for (int v = 0; v < num_vcs_; ++v) {
+          if (ch.vcs[static_cast<std::size_t>(v)].owner == kNoPacket) {
+            freev = v;
+            break;
+          }
+        }
+        if (freev < 0) {
+          int victim_v = -1;
+          for (int v = 0; v < num_vcs_; ++v) {
+            const PacketId owner = ch.vcs[static_cast<std::size_t>(v)].owner;
+            if (packets_[static_cast<std::size_t>(owner)].priority >= pprio) {
+              continue;
+            }
+            if (victim_v < 0 ||
+                packets_[static_cast<std::size_t>(owner)].priority <
+                    packets_[static_cast<std::size_t>(
+                                 ch.vcs[static_cast<std::size_t>(victim_v)].owner)]
+                        .priority) {
+              victim_v = v;
+            }
+          }
+          if (victim_v < 0) {
+            return;  // nothing outranked: the header waits
+          }
+          abort_packet(ch.vcs[static_cast<std::size_t>(victim_v)].owner);
+          continue;  // state changed: re-examine from scratch
+        }
+        ch.vcs[static_cast<std::size_t>(freev)].owner = pid;
+        ch.active.push_back(freev);
+        ch.waiters.erase(ch.waiters.begin() + static_cast<std::ptrdiff_t>(best));
+        auto& p = packets_[static_cast<std::size_t>(pid)];
+        p.vc_at_hop[static_cast<std::size_t>(p.next_vc_request)] =
+            static_cast<std::int16_t>(freev);
+        ++p.next_vc_request;
+      }
+    }
+  }
+}
+
+void Simulator::abort_packet(PacketId pid) {
+  auto& p = packets_[static_cast<std::size_t>(pid)];
+  const auto& chans = path_of(pid).channels;
+
+  // Withdraw a pending header request, if any.
+  if (p.next_vc_request < static_cast<int>(chans.size())) {
+    auto& ch = channels_[static_cast<std::size_t>(
+        chans[static_cast<std::size_t>(p.next_vc_request)])];
+    const auto it = std::find(ch.waiters.begin(), ch.waiters.end(), pid);
+    if (it != ch.waiters.end()) {
+      ch.waiters.erase(it);
+    }
+  }
+  // Release every VC the worm holds and discard its buffered flits.
+  for (int h = 0; h < p.next_vc_request; ++h) {
+    const int v = p.vc_at_hop[static_cast<std::size_t>(h)];
+    if (v < 0) {
+      continue;
+    }
+    const topo::ChannelId c = chans[static_cast<std::size_t>(h)];
+    auto& ch = channels_[static_cast<std::size_t>(c)];
+    auto& vc = ch.vcs[static_cast<std::size_t>(v)];
+    if (vc.owner != pid) {
+      continue;  // the tail already passed; someone else owns it now
+    }
+    vc.owner = kNoPacket;
+    vc.buffered = 0;
+    vc.first = 0;
+    const auto ait = std::find(ch.active.begin(), ch.active.end(), v);
+    if (ait != ch.active.end()) {
+      ch.active.erase(ait);
+    }
+    freed_channels_.push_back(c);
+  }
+
+  // Everything that left the source is wasted, including flits the
+  // receiver already took (it discards the partial message).
+  result_.flits_dropped += p.injected_flits;
+  result_.flits_ejected -= p.ejected_flits;
+  ++result_.retransmissions;
+
+  p.injected_flits = 0;
+  p.ejected_flits = 0;
+  p.next_vc_request = 0;
+  std::fill(p.vc_at_hop.begin(), p.vc_at_hop.end(), std::int16_t{-1});
+
+  auto& src = sources_[static_cast<std::size_t>(p.stream)];
+  if (src.queue.empty() || src.queue.front() != pid) {
+    src.queue.push_front(pid);  // retransmit before younger instances
+  }
+  // src.outstanding stays == pid; the header re-requests next cycle.
+  pending_retransmit_.push_back(pid);
+}
+
+void Simulator::process_retransmissions() {
+  // Hand the VCs freed by yesterday's preemptions to their waiters.
+  // try_allocate may preempt again and append; the index loop covers it.
+  for (std::size_t i = 0; i < freed_channels_.size(); ++i) {
+    try_allocate(freed_channels_[i]);
+  }
+  freed_channels_.clear();
+  std::vector<PacketId> pending;
+  pending.swap(pending_retransmit_);
+  for (const PacketId pid : pending) {
+    const auto& src = sources_[static_cast<std::size_t>(
+        packets_[static_cast<std::size_t>(pid)].stream)];
+    if (!src.queue.empty() && src.queue.front() == pid &&
+        src.outstanding == pid) {
+      request_next_vc(pid);
+    }
+  }
+}
+
+void Simulator::release_vc(topo::ChannelId c, int v) {
+  auto& ch = channels_[static_cast<std::size_t>(c)];
+  ch.vcs[static_cast<std::size_t>(v)].owner = kNoPacket;
+  const auto it = std::find(ch.active.begin(), ch.active.end(), v);
+  if (it != ch.active.end()) {
+    ch.active.erase(it);
+  }
+  try_allocate(c);
+}
+
+bool Simulator::movable(topo::ChannelId c, int v) const {
+  const auto& vc = channels_[static_cast<std::size_t>(c)].vcs[static_cast<std::size_t>(v)];
+  const PacketId pid = vc.owner;
+  if (pid == kNoPacket) {
+    return false;
+  }
+  if (vc.buffered >= cfg_.vc_buffer_depth) {
+    return false;  // no downstream space
+  }
+  const auto& p = packets_[static_cast<std::size_t>(pid)];
+  const int hop = hop_index_[static_cast<std::size_t>(p.stream)]
+                            [static_cast<std::size_t>(c)];
+  assert(hop >= 0);
+  if (hop == 0) {
+    const auto& src = sources_[static_cast<std::size_t>(p.stream)];
+    return !src.queue.empty() && src.queue.front() == pid &&
+           p.injected_flits < p.length;
+  }
+  const auto& chans = path_of(pid).channels;
+  const topo::ChannelId prev = chans[static_cast<std::size_t>(hop - 1)];
+  const auto pv = p.vc_at_hop[static_cast<std::size_t>(hop - 1)];
+  assert(pv >= 0);
+  const auto& pvc =
+      channels_[static_cast<std::size_t>(prev)].vcs[static_cast<std::size_t>(pv)];
+  return pvc.owner == pid && pvc.buffered > 0;
+}
+
+void Simulator::move_flit(topo::ChannelId c, int v, Time /*now*/) {
+  auto& vc = channels_[static_cast<std::size_t>(c)].vcs[static_cast<std::size_t>(v)];
+  const PacketId pid = vc.owner;
+  auto& p = packets_[static_cast<std::size_t>(pid)];
+  const auto& chans = path_of(pid).channels;
+  const int hop = hop_index_[static_cast<std::size_t>(p.stream)]
+                            [static_cast<std::size_t>(c)];
+
+  Time flit_idx;
+  if (hop == 0) {
+    flit_idx = p.injected_flits++;
+    ++result_.flits_injected;
+    if (p.injected_flits == p.length) {
+      // Tail left the source queue; the next packet of this stream (if
+      // any) may now request the first channel's VC.
+      auto& src = sources_[static_cast<std::size_t>(p.stream)];
+      assert(src.queue.front() == pid);
+      src.queue.pop_front();
+      start_front_packet(p.stream);  // no-op while throttled
+    }
+  } else {
+    const topo::ChannelId prev = chans[static_cast<std::size_t>(hop - 1)];
+    const int pv = p.vc_at_hop[static_cast<std::size_t>(hop - 1)];
+    auto& pvc =
+        channels_[static_cast<std::size_t>(prev)].vcs[static_cast<std::size_t>(pv)];
+    flit_idx = pvc.first;
+    --pvc.buffered;
+    ++pvc.first;
+    if (flit_idx == p.length - 1) {
+      // Tail left the previous channel's buffer: release its VC.
+      release_vc(prev, pv);
+    }
+  }
+
+  if (vc.buffered == 0) {
+    vc.first = flit_idx;
+  }
+  ++vc.buffered;
+  ++result_.flits_per_channel[static_cast<std::size_t>(c)];
+
+  if (flit_idx == 0 && hop + 1 < static_cast<int>(chans.size())) {
+    // The header reached a new router: request the next channel's VC.
+    assert(p.next_vc_request == hop + 1);
+    request_next_vc(pid);
+  }
+}
+
+void Simulator::eject(Time now) {
+  for (std::size_t node = 0; node < eject_channels_.size(); ++node) {
+    PacketId best = kNoPacket;
+    topo::ChannelId best_c = topo::kNoChannel;
+    int best_v = -1;
+    for (const topo::ChannelId c : eject_channels_[node]) {
+      const auto& ch = channels_[static_cast<std::size_t>(c)];
+      for (int v = 0; v < num_vcs_; ++v) {
+        const auto& vc = ch.vcs[static_cast<std::size_t>(v)];
+        if (vc.owner == kNoPacket || vc.buffered == 0) {
+          continue;
+        }
+        const auto& p = packets_[static_cast<std::size_t>(vc.owner)];
+        const auto& chans = path_of(vc.owner).channels;
+        const int hop = hop_index_[static_cast<std::size_t>(p.stream)]
+                                  [static_cast<std::size_t>(c)];
+        if (hop != static_cast<int>(chans.size()) - 1) {
+          continue;  // worm still in transit; not an ejection candidate
+        }
+        if (best == kNoPacket ||
+            p.priority > packets_[static_cast<std::size_t>(best)].priority ||
+            (p.priority == packets_[static_cast<std::size_t>(best)].priority &&
+             vc.owner < best)) {
+          best = vc.owner;
+          best_c = c;
+          best_v = v;
+        }
+      }
+    }
+    if (best == kNoPacket) {
+      continue;
+    }
+    auto& vc = channels_[static_cast<std::size_t>(best_c)]
+                   .vcs[static_cast<std::size_t>(best_v)];
+    auto& p = packets_[static_cast<std::size_t>(best)];
+    const Time flit_idx = vc.first;
+    --vc.buffered;
+    ++vc.first;
+    ++p.ejected_flits;
+    ++result_.flits_ejected;
+    if (flit_idx == p.length - 1) {
+      release_vc(best_c, best_v);
+    }
+    if (p.ejected_flits == p.length) {
+      complete_packet(best, now);
+    }
+  }
+}
+
+void Simulator::complete_packet(PacketId pid, Time now) {
+  auto& p = packets_[static_cast<std::size_t>(pid)];
+  --in_flight_;
+  if (cfg_.policy == ArbPolicy::kThrottlePreempt) {
+    // Un-throttle the source regardless of the statistics window.
+    sources_[static_cast<std::size_t>(p.stream)].outstanding = kNoPacket;
+    start_front_packet(p.stream);
+  }
+  if (p.generated < cfg_.warmup) {
+    return;
+  }
+  auto& st = result_.per_stream[static_cast<std::size_t>(p.stream)];
+  ++st.completed;
+  st.latency.add(static_cast<double>(now - p.generated));
+  if (cfg_.record_arrivals) {
+    result_.arrivals.push_back(ArrivalRecord{p.stream, p.generated, now});
+  }
+}
+
+void Simulator::process_channel(topo::ChannelId c) {
+  auto& ch = channels_[static_cast<std::size_t>(c)];
+  switch (cfg_.policy) {
+    case ArbPolicy::kPriorityPreemptive:
+      // Highest-priority VC with a flit ready wins the physical channel:
+      // flit-level preemption.
+      for (int v = num_vcs_ - 1; v >= 0; --v) {
+        if (movable(c, v)) {
+          move_flit(c, v, 0);
+          return;
+        }
+      }
+      return;
+    case ArbPolicy::kLiVc:
+      // Busy VCs share the physical channel round-robin.
+      for (int k = 0; k < num_vcs_; ++k) {
+        const int v = (ch.rr + k) % num_vcs_;
+        if (movable(c, v)) {
+          move_flit(c, v, 0);
+          ch.rr = (v + 1) % num_vcs_;
+          return;
+        }
+      }
+      return;
+    case ArbPolicy::kNonPreemptiveFcfs:
+      if (movable(c, 0)) {
+        move_flit(c, 0, 0);
+      }
+      return;
+    case ArbPolicy::kIdealPreemptive:
+    case ArbPolicy::kThrottlePreempt: {
+      // Highest-priority resident worm wins; equal priorities share the
+      // channel round-robin (work-conserving: this is the service model
+      // the delay-bound analysis charges, C per period per interferer).
+      int best = -1;
+      Priority best_prio = 0;
+      int best_dist = 0;
+      for (const int v : ch.active) {
+        if (!movable(c, v)) {
+          continue;
+        }
+        const auto& p =
+            packets_[static_cast<std::size_t>(ch.vcs[static_cast<std::size_t>(v)].owner)];
+        const int dist = (v - ch.rr + num_vcs_) % num_vcs_;
+        if (best < 0 || p.priority > best_prio ||
+            (p.priority == best_prio && dist < best_dist)) {
+          best = v;
+          best_prio = p.priority;
+          best_dist = dist;
+        }
+      }
+      if (best >= 0) {
+        move_flit(c, best, 0);
+        ch.rr = (best + 1) % num_vcs_;
+      }
+      return;
+    }
+  }
+}
+
+SimResult Simulator::run() {
+  assert(!ran_ && "Simulator::run() can only be called once");
+  ran_ = true;
+  for (Time t = 0;; ++t) {
+    if (cfg_.policy == ArbPolicy::kThrottlePreempt) {
+      process_retransmissions();
+    }
+    if (t < cfg_.duration) {
+      inject_new_packets(t);
+    }
+    eject(t);
+    for (const topo::ChannelId c : process_order_) {
+      process_channel(c);
+    }
+    if (t + 1 >= cfg_.duration && in_flight_ == 0) {
+      result_.drained = true;
+      result_.cycles_run = t + 1;
+      break;
+    }
+    if (t >= cfg_.duration + cfg_.drain_limit) {
+      result_.drained = false;
+      result_.cycles_run = t + 1;
+      WORMRT_LOG_WARN("drain limit reached with %lld messages in flight",
+                      static_cast<long long>(in_flight_));
+      break;
+    }
+  }
+  return std::move(result_);
+}
+
+}  // namespace wormrt::sim

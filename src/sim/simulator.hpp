@@ -1,0 +1,135 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/message_stream.hpp"
+#include "sim/sim_config.hpp"
+#include "sim/sim_stats.hpp"
+#include "sim/vc.hpp"
+
+/// \file simulator.hpp
+/// Cycle-driven flit-level simulator of a wormhole-switched direct
+/// network (one cycle = one flit time).  It implements the switching
+/// model of the paper's Section 3 — per-priority virtual channels with
+/// flit-level preemptive arbitration of the physical channel — plus the
+/// Li-scheme and classical non-preemptive baselines (see ArbPolicy).
+///
+/// Model summary:
+///  * A packet (message instance) of C flits follows its stream's static
+///    path.  The header acquires one VC per channel (wormhole: held until
+///    the tail flit leaves that channel's buffer); blocked headers wait
+///    FCFS, holding everything acquired so far (hold-and-wait).
+///  * Each physical channel forwards at most one flit per cycle, chosen
+///    among its VCs by the arbitration policy; per-VC buffers live at the
+///    channel's downstream end (depth SimConfig::vc_buffer_depth).
+///  * Channels are processed downstream-first each cycle (reverse
+///    topological order of the routes' channel dependency graph), so a
+///    worm advances one flit per cycle end to end: an uncontended message
+///    of C flits over h hops arrives h + C - 1 cycles after generation,
+///    matching the paper's network latency.
+///  * Destinations consume one flit per node per cycle through an
+///    ejection port arbitrated by priority.
+
+namespace wormrt::sim {
+
+class Simulator {
+ public:
+  /// The stream set must validate() cleanly and every path channel must
+  /// belong to \p topo.  Both are borrowed and must outlive run().
+  Simulator(const topo::Topology& topo, const core::StreamSet& streams,
+            SimConfig config);
+
+  /// Runs injection for config.duration cycles plus a drain phase, and
+  /// returns the collected statistics.  Can be called once.
+  SimResult run();
+
+ private:
+  struct ChannelState {
+    std::vector<VcState> vcs;
+    /// Waiting headers for the Li / FCFS policies (per-channel queue);
+    /// the per-priority and per-stream policies queue inside each VC.
+    std::deque<PacketId> waiters;
+    /// Round-robin pointer (Li's channel sharing; ideal-preemptive
+    /// same-priority tie-breaking).
+    int rr = 0;
+    /// VC indices currently owned by some packet (kept for the
+    /// ideal-preemptive policy, whose VC count equals the stream count
+    /// and must not be scanned exhaustively every cycle).
+    std::vector<int> active;
+  };
+
+  struct SourceState {
+    std::deque<PacketId> queue;  ///< generated, not fully injected
+    Time next_release = 0;
+    /// Throttle-and-preempt only: the single message currently allowed
+    /// into the network (the source is throttled until it completes or
+    /// is preempted, which keeps retransmissions order-safe).
+    PacketId outstanding = kNoPacket;
+  };
+
+  const topo::Topology& topo_;
+  const core::StreamSet& streams_;
+  SimConfig cfg_;
+  int num_vcs_;
+
+  std::vector<ChannelState> channels_;
+  std::vector<topo::ChannelId> process_order_;  // downstream-first
+  std::vector<SourceState> sources_;
+  std::vector<Packet> packets_;
+  std::vector<Time> phase_;
+  /// hop_index_[stream][channel] = position of the channel on the
+  /// stream's path, or -1.
+  std::vector<std::vector<std::int16_t>> hop_index_;
+  /// Per node: final-hop channels of some stream ending there (ejection
+  /// candidates).
+  std::vector<std::vector<topo::ChannelId>> eject_channels_;
+
+  SimResult result_;
+  std::int64_t in_flight_ = 0;
+  bool ran_ = false;
+  /// Packets preempted this cycle, re-queued at cycle start (deferring
+  /// the retransmission keeps preemption cascades finite).
+  std::vector<PacketId> pending_retransmit_;
+  /// Channels whose VCs a preemption freed; re-allocated at cycle start
+  /// (abort_packet never re-allocates inline, which bounds cascades).
+  std::vector<topo::ChannelId> freed_channels_;
+
+  void process_retransmissions();
+  /// Starts the stream's next message if the policy allows it now.
+  void start_front_packet(StreamId stream);
+
+  const route::Path& path_of(PacketId p) const {
+    return streams_[packets_[static_cast<std::size_t>(p)].stream].path;
+  }
+
+  void build_process_order();
+  void inject_new_packets(Time now);
+  void eject(Time now);
+  void process_channel(topo::ChannelId c);
+
+  /// Enqueues packet p's header for the VC(s) of its next route channel
+  /// and attempts an immediate grant.
+  void request_next_vc(PacketId p);
+  /// Grants free VCs of channel \p c to waiting headers per the policy.
+  void try_allocate(topo::ChannelId c);
+
+  /// Releases VC \p v of channel \p c (tail flit left its buffer) and
+  /// immediately re-allocates it to the next waiter, if any.
+  void release_vc(topo::ChannelId c, int v);
+
+  /// Throttle-and-preempt: discards packet \p pid's flits network-wide,
+  /// releases everything it holds, and requeues it at its source for
+  /// full retransmission.
+  void abort_packet(PacketId pid);
+
+  /// True when VC \p v of channel \p c holds a worm with a flit ready to
+  /// cross \p c (upstream flit present, downstream buffer space).
+  bool movable(topo::ChannelId c, int v) const;
+  /// Moves one flit of the owner of (c, v) across c.
+  void move_flit(topo::ChannelId c, int v, Time now);
+
+  void complete_packet(PacketId p, Time now);
+};
+
+}  // namespace wormrt::sim

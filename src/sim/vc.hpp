@@ -1,0 +1,29 @@
+#pragma once
+
+#include <deque>
+
+#include "sim/packet.hpp"
+
+/// \file vc.hpp
+/// Virtual-channel state.  Each directed physical channel carries
+/// `num_vcs` VCs; a VC is allocated to one packet at a time (wormhole:
+/// from the header acquiring it until the tail flit leaves its buffer)
+/// and owns a small flit buffer at the channel's downstream end.
+
+namespace wormrt::sim {
+
+struct VcState {
+  /// Packet currently holding the VC, kNoPacket when free.
+  PacketId owner = kNoPacket;
+  /// Flits of the owner currently in the downstream buffer.
+  int buffered = 0;
+  /// Flit index (within the owner) of the oldest buffered flit; the
+  /// buffered flits are exactly [first, first + buffered).
+  Time first = 0;
+  /// Headers waiting to acquire this VC, FCFS.  Used by the
+  /// per-priority-VC policy; the Li and FCFS policies queue waiters per
+  /// channel instead (see ChannelState::waiters).
+  std::deque<PacketId> waiters;
+};
+
+}  // namespace wormrt::sim

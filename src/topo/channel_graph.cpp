@@ -1,0 +1,57 @@
+#include "topo/channel_graph.hpp"
+
+#include <cassert>
+
+namespace wormrt::topo {
+
+std::string to_string(const Coord& coord) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < coord.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    out += std::to_string(coord[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::uint64_t ChannelGraph::key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
+void ChannelGraph::reserve_nodes(std::size_t n) {
+  assert(channels_.empty());
+  out_.resize(n);
+  in_.resize(n);
+}
+
+ChannelId ChannelGraph::add(NodeId src, NodeId dst) {
+  assert(src >= 0 && static_cast<std::size_t>(src) < out_.size());
+  assert(dst >= 0 && static_cast<std::size_t>(dst) < in_.size());
+  assert(src != dst && "self-channels are not physical links");
+  const auto id = static_cast<ChannelId>(channels_.size());
+  const bool inserted = by_endpoints_.emplace(key(src, dst), id).second;
+  assert(inserted && "duplicate directed channel");
+  (void)inserted;
+  channels_.push_back(Channel{src, dst});
+  out_[static_cast<std::size_t>(src)].push_back(id);
+  in_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+ChannelId ChannelGraph::find(NodeId src, NodeId dst) const {
+  const auto it = by_endpoints_.find(key(src, dst));
+  return it == by_endpoints_.end() ? kNoChannel : it->second;
+}
+
+const std::vector<ChannelId>& ChannelGraph::outgoing(NodeId src) const {
+  return out_.at(static_cast<std::size_t>(src));
+}
+
+const std::vector<ChannelId>& ChannelGraph::incoming(NodeId dst) const {
+  return in_.at(static_cast<std::size_t>(dst));
+}
+
+}  // namespace wormrt::topo

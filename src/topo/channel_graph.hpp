@@ -1,0 +1,55 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "topo/coord.hpp"
+
+/// \file channel_graph.hpp
+/// The directed physical-channel graph of a topology: every unidirectional
+/// link gets a stable dense id, used as the resource index by both the
+/// delay-bound analysis (path overlap) and the flit-level simulator.
+
+namespace wormrt::topo {
+
+/// One directed physical channel (unidirectional link).
+struct Channel {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+};
+
+/// Immutable enumeration of the directed channels of a network.
+/// Channel ids are assigned in insertion order, so a topology that builds
+/// its channels deterministically yields stable ids across runs.
+class ChannelGraph {
+ public:
+  /// Adds the directed channel src->dst; returns its id.
+  /// Duplicate (src,dst) pairs are rejected via assertion.
+  ChannelId add(NodeId src, NodeId dst);
+
+  std::size_t size() const { return channels_.size(); }
+  const Channel& channel(ChannelId id) const { return channels_.at(static_cast<std::size_t>(id)); }
+
+  /// Id of the channel src->dst, or kNoChannel when absent.
+  ChannelId find(NodeId src, NodeId dst) const;
+
+  /// All channel ids leaving \p src, in insertion order.
+  const std::vector<ChannelId>& outgoing(NodeId src) const;
+
+  /// All channel ids entering \p dst, in insertion order.
+  const std::vector<ChannelId>& incoming(NodeId dst) const;
+
+  /// Declares the number of nodes (for adjacency sizing).  Must be called
+  /// before add().
+  void reserve_nodes(std::size_t n);
+
+ private:
+  std::vector<Channel> channels_;
+  std::unordered_map<std::uint64_t, ChannelId> by_endpoints_;
+  std::vector<std::vector<ChannelId>> out_;
+  std::vector<std::vector<ChannelId>> in_;
+
+  static std::uint64_t key(NodeId src, NodeId dst);
+};
+
+}  // namespace wormrt::topo

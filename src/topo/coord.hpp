@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file coord.hpp
+/// Node identifiers and multi-dimensional coordinates.
+
+namespace wormrt::topo {
+
+/// Dense 0-based node identifier within a topology.
+using NodeId = std::int32_t;
+
+/// Sentinel node id.
+inline constexpr NodeId kNoNode = -1;
+
+/// Dense 0-based identifier of a directed physical channel.
+using ChannelId = std::int32_t;
+
+/// Sentinel channel id.
+inline constexpr ChannelId kNoChannel = -1;
+
+/// Multi-dimensional coordinate; `coord[d]` is the position along
+/// dimension d.  Dimension 0 is the "X" dimension of the paper's X-Y
+/// routing (corrected first).
+using Coord = std::vector<std::int32_t>;
+
+/// Renders "(x,y,...)" for diagnostics.
+std::string to_string(const Coord& coord);
+
+}  // namespace wormrt::topo

@@ -1,0 +1,29 @@
+#include "topo/hypercube.hpp"
+
+#include <cassert>
+
+namespace wormrt::topo {
+
+namespace {
+std::vector<std::int32_t> radices_for(int order) {
+  assert(order >= 1 && order <= 20);
+  return std::vector<std::int32_t>(static_cast<std::size_t>(order), 2);
+}
+}  // namespace
+
+Hypercube::Hypercube(int order) : Topology(radices_for(order)), order_(order) {
+  // Node id IS the coordinate bit string (dimension d = bit d) because the
+  // base class enumerates dimension 0 fastest with radix 2 strides.
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    for (int d = 0; d < order_; ++d) {
+      const NodeId m = n ^ (NodeId{1} << d);
+      mutable_channels().add(n, m);
+    }
+  }
+}
+
+std::string Hypercube::name() const {
+  return "hypercube(" + std::to_string(order_) + ")";
+}
+
+}  // namespace wormrt::topo

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "topo/topology.hpp"
+
+/// \file hypercube.hpp
+/// n-dimensional binary hypercube: 2^n nodes, node ids are bit strings,
+/// links connect ids differing in exactly one bit.  Structurally a mesh
+/// with radix 2 in every dimension; kept as a named class because the
+/// paper's related work (and e-cube routing) speaks of hypercubes.
+
+namespace wormrt::topo {
+
+class Hypercube : public Topology {
+ public:
+  /// Requires 1 <= order <= 20.
+  explicit Hypercube(int order);
+
+  std::string name() const override;
+  int dimensions() const override { return order_; }
+  int radix(int) const override { return 2; }
+  bool wraps(int) const override { return false; }
+
+  int order() const { return order_; }
+
+ private:
+  int order_;
+};
+
+}  // namespace wormrt::topo

@@ -1,0 +1,38 @@
+#include "topo/mesh.hpp"
+
+namespace wormrt::topo {
+
+Mesh::Mesh(std::vector<std::int32_t> radices)
+    : Topology(radices), radices_(std::move(radices)) {
+  // Deterministic channel enumeration: by node id, then by dimension,
+  // negative direction before positive.
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const Coord c = coord_of(n);
+    for (std::size_t d = 0; d < radices_.size(); ++d) {
+      if (c[d] > 0) {
+        Coord m = c;
+        --m[d];
+        mutable_channels().add(n, node_at(m));
+      }
+      if (c[d] + 1 < radices_[d]) {
+        Coord m = c;
+        ++m[d];
+        mutable_channels().add(n, node_at(m));
+      }
+    }
+  }
+}
+
+std::string Mesh::name() const {
+  std::string out = "mesh(";
+  for (std::size_t d = 0; d < radices_.size(); ++d) {
+    if (d != 0) {
+      out += "x";
+    }
+    out += std::to_string(radices_[d]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wormrt::topo

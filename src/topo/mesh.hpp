@@ -1,0 +1,30 @@
+#pragma once
+
+#include "topo/topology.hpp"
+
+/// \file mesh.hpp
+/// k-ary n-dimensional mesh: nodes on an integer grid, bidirectional
+/// links (modelled as two directed channels) between grid neighbours,
+/// no wraparound.  The paper's evaluation network is the 10x10 case.
+
+namespace wormrt::topo {
+
+class Mesh : public Topology {
+ public:
+  /// Builds a mesh with the given per-dimension radices, e.g. {10, 10}.
+  explicit Mesh(std::vector<std::int32_t> radices);
+
+  /// Convenience for the common 2-D case (width = dim 0 = X).
+  Mesh(std::int32_t width, std::int32_t height)
+      : Mesh(std::vector<std::int32_t>{width, height}) {}
+
+  std::string name() const override;
+  int dimensions() const override { return static_cast<int>(radices_.size()); }
+  int radix(int dim) const override { return radices_.at(static_cast<std::size_t>(dim)); }
+  bool wraps(int) const override { return false; }
+
+ private:
+  std::vector<std::int32_t> radices_;
+};
+
+}  // namespace wormrt::topo

@@ -1,0 +1,55 @@
+#include "topo/topology.hpp"
+
+#include <cassert>
+
+namespace wormrt::topo {
+
+Topology::Topology(std::vector<std::int32_t> radices)
+    : radices_(std::move(radices)) {
+  assert(!radices_.empty());
+  std::int64_t total = 1;
+  strides_.resize(radices_.size());
+  for (std::size_t d = 0; d < radices_.size(); ++d) {
+    assert(radices_[d] >= 1);
+    strides_[d] = total;
+    total *= radices_[d];
+  }
+  assert(total > 0 && total <= (std::int64_t{1} << 30));
+  num_nodes_ = static_cast<int>(total);
+  channels_.reserve_nodes(static_cast<std::size_t>(num_nodes_));
+}
+
+Coord Topology::coord_of(NodeId id) const {
+  assert(id >= 0 && id < num_nodes_);
+  Coord coord(radices_.size());
+  std::int64_t rest = id;
+  for (std::size_t d = 0; d < radices_.size(); ++d) {
+    coord[d] = static_cast<std::int32_t>(rest % radices_[d]);
+    rest /= radices_[d];
+  }
+  return coord;
+}
+
+NodeId Topology::node_at(const Coord& coord) const {
+  assert(coord.size() == radices_.size());
+  std::int64_t id = 0;
+  for (std::size_t d = 0; d < radices_.size(); ++d) {
+    assert(coord[d] >= 0 && coord[d] < radices_[d]);
+    id += coord[d] * strides_[d];
+  }
+  return static_cast<NodeId>(id);
+}
+
+bool Topology::contains(const Coord& coord) const {
+  if (coord.size() != radices_.size()) {
+    return false;
+  }
+  for (std::size_t d = 0; d < radices_.size(); ++d) {
+    if (coord[d] < 0 || coord[d] >= radices_[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wormrt::topo

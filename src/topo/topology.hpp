@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+
+#include "topo/channel_graph.hpp"
+#include "topo/coord.hpp"
+
+/// \file topology.hpp
+/// Abstract interconnection-network topology: a node set with coordinates
+/// plus a directed channel graph.  Concrete topologies (mesh, torus,
+/// hypercube) build their channel graphs deterministically at
+/// construction, so channel ids are stable for a given shape.
+
+namespace wormrt::topo {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Human-readable name, e.g. "mesh(10x10)".
+  virtual std::string name() const = 0;
+
+  /// Number of dimensions of the coordinate system.
+  virtual int dimensions() const = 0;
+
+  /// Radix (extent) of dimension \p dim.
+  virtual int radix(int dim) const = 0;
+
+  /// Whether dimension \p dim wraps around (torus-like).
+  virtual bool wraps(int dim) const = 0;
+
+  int num_nodes() const { return num_nodes_; }
+  std::size_t num_channels() const { return channels_.size(); }
+  const ChannelGraph& channels() const { return channels_; }
+
+  /// Coordinate of node \p id (0 <= id < num_nodes()).
+  Coord coord_of(NodeId id) const;
+
+  /// Node at coordinate \p coord; each component must be within radix.
+  NodeId node_at(const Coord& coord) const;
+
+  /// True when each coordinate component is within [0, radix).
+  bool contains(const Coord& coord) const;
+
+  /// Id of the directed channel from \p src to \p dst, or kNoChannel.
+  ChannelId channel_between(NodeId src, NodeId dst) const {
+    return channels_.find(src, dst);
+  }
+
+ protected:
+  /// \p radices defines the shape; node ids enumerate coordinates with
+  /// dimension 0 varying fastest (row-major over reversed dims), i.e. for
+  /// a WxH mesh id = x + W*y.
+  explicit Topology(std::vector<std::int32_t> radices);
+
+  /// Subclasses call this from their constructors to populate channels.
+  ChannelGraph& mutable_channels() { return channels_; }
+
+ private:
+  std::vector<std::int32_t> radices_;
+  std::vector<std::int64_t> strides_;
+  int num_nodes_ = 0;
+  ChannelGraph channels_;
+};
+
+}  // namespace wormrt::topo

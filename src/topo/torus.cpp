@@ -1,0 +1,47 @@
+#include "topo/torus.hpp"
+
+namespace wormrt::topo {
+
+Torus::Torus(std::vector<std::int32_t> radices)
+    : Topology(radices), radices_(std::move(radices)) {
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const Coord c = coord_of(n);
+    for (std::size_t d = 0; d < radices_.size(); ++d) {
+      const std::int32_t k = radices_[d];
+      if (k == 1) {
+        continue;  // degenerate dimension, no links
+      }
+      // Neighbour in the negative direction (wraps).
+      Coord minus = c;
+      minus[d] = (c[d] + k - 1) % k;
+      // Neighbour in the positive direction (wraps).
+      Coord plus = c;
+      plus[d] = (c[d] + 1) % k;
+      const NodeId minus_id = node_at(minus);
+      const NodeId plus_id = node_at(plus);
+      if (k == 2) {
+        // +1 and -1 coincide: one directed channel per node pair per dim.
+        if (mutable_channels().find(n, plus_id) == kNoChannel) {
+          mutable_channels().add(n, plus_id);
+        }
+      } else {
+        mutable_channels().add(n, minus_id);
+        mutable_channels().add(n, plus_id);
+      }
+    }
+  }
+}
+
+std::string Torus::name() const {
+  std::string out = "torus(";
+  for (std::size_t d = 0; d < radices_.size(); ++d) {
+    if (d != 0) {
+      out += "x";
+    }
+    out += std::to_string(radices_[d]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wormrt::topo

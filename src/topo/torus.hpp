@@ -1,0 +1,28 @@
+#pragma once
+
+#include "topo/topology.hpp"
+
+/// \file torus.hpp
+/// k-ary n-dimensional torus: a mesh whose dimensions wrap around.
+/// Radix-2 dimensions get a single bidirectional link (the +1 and -1
+/// neighbours coincide).
+
+namespace wormrt::topo {
+
+class Torus : public Topology {
+ public:
+  explicit Torus(std::vector<std::int32_t> radices);
+
+  Torus(std::int32_t width, std::int32_t height)
+      : Torus(std::vector<std::int32_t>{width, height}) {}
+
+  std::string name() const override;
+  int dimensions() const override { return static_cast<int>(radices_.size()); }
+  int radix(int dim) const override { return radices_.at(static_cast<std::size_t>(dim)); }
+  bool wraps(int dim) const override { return radices_.at(static_cast<std::size_t>(dim)) > 1; }
+
+ private:
+  std::vector<std::int32_t> radices_;
+};
+
+}  // namespace wormrt::topo

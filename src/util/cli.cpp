@@ -1,0 +1,88 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wormrt::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag;
+    // otherwise a bare boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const { return flags_.count(name) != 0; }
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const auto value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "error: flag --%s expects an integer, got '%s'\n",
+                 name.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "error: flag --%s expects a number, got '%s'\n",
+                 name.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+std::string Args::get_string(const std::string& name, std::string fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  std::fprintf(stderr, "error: flag --%s expects a boolean, got '%s'\n",
+               name.c_str(), v.c_str());
+  std::exit(2);
+}
+
+}  // namespace wormrt::util

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file cli.hpp
+/// Minimal command-line flag parser for examples and bench binaries.
+/// Supports `--name=value`, `--name value`, and boolean `--name`.
+
+namespace wormrt::util {
+
+class Args {
+ public:
+  /// Parses argv.  Unknown positional arguments are collected in order.
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters with defaults; exits with a message on a malformed
+  /// value (these are user-facing binaries, not library code).
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name, std::string fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wormrt::util

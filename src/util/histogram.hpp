@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file histogram.hpp
+/// Fixed-width bucket histogram for latency distributions.
+
+namespace wormrt::util {
+
+/// Histogram over [lo, hi) with `buckets` equal-width buckets plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  /// Requires lo < hi and buckets >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket \p i.
+  double bucket_lo(std::size_t i) const;
+  /// Exclusive upper edge of bucket \p i.
+  double bucket_hi(std::size_t i) const;
+
+  /// Renders a compact ASCII bar chart, one line per non-empty bucket.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace wormrt::util

@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace wormrt::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace wormrt::util

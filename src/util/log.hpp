@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+/// \file log.hpp
+/// Leveled printf-style logging.  The simulator's per-cycle debug traces
+/// go through LOG_DEBUG so they compile away to a level check in release
+/// runs; benches use LOG_INFO for progress lines on stderr (stdout is
+/// reserved for result tables).
+
+namespace wormrt::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core sink: writes "[level] message\n" to stderr when enabled.
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace wormrt::util
+
+#define WORMRT_LOG_DEBUG(...) \
+  ::wormrt::util::log_message(::wormrt::util::LogLevel::kDebug, __VA_ARGS__)
+#define WORMRT_LOG_INFO(...) \
+  ::wormrt::util::log_message(::wormrt::util::LogLevel::kInfo, __VA_ARGS__)
+#define WORMRT_LOG_WARN(...) \
+  ::wormrt::util::log_message(::wormrt::util::LogLevel::kWarn, __VA_ARGS__)
+#define WORMRT_LOG_ERROR(...) \
+  ::wormrt::util::log_message(::wormrt::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace wormrt::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// SplitMix64: recommended seeding procedure for xoshiro generators.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ull;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling: draw until the value falls inside the largest
+  // multiple of `span`, eliminating modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) {
+    draw = next_u64();
+  }
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform_real() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform_real();
+}
+
+bool Rng::bernoulli(double p) { return uniform_real() < p; }
+
+std::vector<std::int64_t> Rng::sample_without_replacement(std::int64_t n,
+                                                          std::int64_t k) {
+  assert(k >= 0 && k <= n);
+  std::vector<std::int64_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), std::int64_t{0});
+  // Partial Fisher-Yates: fix positions [0, k).
+  for (std::int64_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(uniform_int(i, n - 1));
+    using std::swap;
+    swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+}  // namespace wormrt::util

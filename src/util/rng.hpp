@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for simulation and
+/// workload synthesis.  We deliberately avoid std::mt19937 +
+/// std::uniform_int_distribution because their outputs are not guaranteed
+/// to be reproducible across standard-library implementations; every
+/// experiment in this repository must be bit-reproducible from its seed.
+
+namespace wormrt::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+/// Fast, high-quality, and fully deterministic across platforms.
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from \p seed with SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  /// Uses rejection sampling (Lemire-style) to avoid modulo bias.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_real();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability \p p.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of \p items.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Draws \p k distinct values from [0, n) without replacement.
+  /// Requires 0 <= k <= n.  O(n) time, deterministic order (shuffled).
+  std::vector<std::int64_t> sample_without_replacement(std::int64_t n, std::int64_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wormrt::util

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file stats.hpp
+/// Streaming (single-pass) statistics used by the simulator and benches.
+
+namespace wormrt::util {
+
+/// Accumulates count / mean / variance / min / max without storing samples.
+/// Mean and variance use Welford's numerically stable update.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-combine safe).
+  void merge(const StreamingStats& other);
+
+  void reset();
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Mean of the samples; 0 when empty.
+  double mean() const { return mean_; }
+  /// Population variance; 0 when fewer than 2 samples.
+  double variance() const;
+  /// Sample standard deviation (n-1 denominator); 0 when fewer than 2.
+  double stddev() const;
+  /// Smallest sample; +inf when empty.
+  double min() const;
+  /// Largest sample; -inf when empty.
+  double max() const;
+  /// Sum of all samples.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact order statistics over a stored sample set.  Used where percentile
+/// reporting matters (tail latency); prefer StreamingStats in hot paths.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Percentile in [0, 100] via nearest-rank on the sorted samples.
+  /// Requires a non-empty set.
+  double percentile(double pct) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace wormrt::util

@@ -1,0 +1,146 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace wormrt::util {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+Table& Table::row() {
+  assert(cells_.empty() || cells_.back().size() == headers_.size());
+  cells_.emplace_back();
+  return *this;
+}
+
+void Table::require_open_row() const {
+  assert(!cells_.empty() && cells_.back().size() < headers_.size());
+}
+
+Table& Table::cell(std::string value) {
+  require_open_row();
+  cells_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+const std::string& Table::at(std::size_t r, std::size_t c) const {
+  return cells_.at(r).at(c);
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& cells) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    widths[c] = headers[c].size();
+  }
+  for (const auto& row : cells) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void append_padded(std::string& out, const std::string& value,
+                   std::size_t width) {
+  out += value;
+  out.append(width - value.size(), ' ');
+}
+
+}  // namespace
+
+std::string Table::to_ascii() const {
+  const auto widths = column_widths(headers_, cells_);
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    append_padded(out, headers_[c], widths[c]);
+    out += (c + 1 == headers_.size()) ? "\n" : "  ";
+  }
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c], '-');
+    out += (c + 1 == headers_.size()) ? "\n" : "  ";
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      append_padded(out, row[c], widths[c]);
+      out += (c + 1 == row.size()) ? "\n" : "  ";
+    }
+  }
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  std::string out = "|";
+  for (const auto& h : headers_) {
+    out += " " + h + " |";
+  }
+  out += "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += "---|";
+  }
+  out += "\n";
+  for (const auto& row : cells_) {
+    out += "|";
+    for (const auto& v : row) {
+      out += " " + v + " |";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) {
+    return value;
+  }
+  std::string out = "\"";
+  for (const char ch : value) {
+    if (ch == '"') {
+      out += '"';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += csv_escape(headers_[c]);
+    out += (c + 1 == headers_.size()) ? "\n" : ",";
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += csv_escape(row[c]);
+      out += (c + 1 == row.size()) ? "\n" : ",";
+    }
+  }
+  return out;
+}
+
+}  // namespace wormrt::util

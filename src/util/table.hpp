@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Small tabular report builder used by the benchmark harness to print
+/// the paper's tables in aligned ASCII, Markdown, or CSV.
+
+namespace wormrt::util {
+
+/// A rectangular table of strings with a header row.
+/// Cells are added row by row; numeric helpers format with fixed
+/// precision so benchmark output lines are stable across runs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row.  Must be followed by exactly `columns()` cells.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  /// Integer cell.
+  Table& cell(std::int64_t value);
+  /// Floating cell with \p precision decimal places.
+  Table& cell(double value, int precision = 3);
+
+  std::size_t columns() const { return headers_.size(); }
+  std::size_t rows() const { return cells_.size(); }
+  const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Aligned plain-text rendering with a header underline.
+  std::string to_ascii() const;
+  /// GitHub-flavoured Markdown rendering.
+  std::string to_markdown() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas or quotes).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+  void require_open_row() const;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string format_double(double value, int precision);
+
+}  // namespace wormrt::util

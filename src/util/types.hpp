@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental scalar types shared across the wormrt library.
+
+namespace wormrt {
+
+/// Discrete simulation / analysis time, measured in flit times.
+/// One flit time is the time needed to forward one flit across one
+/// physical channel (the paper's base time unit).
+using Time = std::int64_t;
+
+/// Sentinel for "no time" / unbounded.
+inline constexpr Time kNoTime = -1;
+
+/// Largest representable time.
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+/// Message-stream priority.  Larger value = higher priority, matching the
+/// paper's worked example where P = 5 is the most important stream.
+using Priority = std::int32_t;
+
+/// Identifier of a message stream within a stream set (dense, 0-based).
+using StreamId = std::int32_t;
+
+/// Sentinel stream id.
+inline constexpr StreamId kNoStream = -1;
+
+}  // namespace wormrt

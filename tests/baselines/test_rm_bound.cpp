@@ -1,0 +1,90 @@
+// Rate-monotonic baseline bound: closed-form cases and divergence.
+
+#include <gtest/gtest.h>
+
+#include "baselines/rm_bound.hpp"
+#include "core/delay_bound.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::baseline {
+namespace {
+
+using core::StreamSet;
+using core::make_stream;
+
+const route::XYRouting kXy;
+
+TEST(RmBound, NoInterferersGivesNetworkLatency) {
+  const topo::Mesh mesh(6, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, 0, 5, 1, 100, 8, 100));
+  const core::BlockingAnalysis blocking(set);
+  const auto r = rm_response_time_bound(set, blocking, 0);
+  EXPECT_EQ(r.bound, set[0].latency);
+  EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(RmBound, SingleInterfererClosedForm) {
+  const topo::Mesh mesh(8, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({7, 0}), 2, /*T=*/20, /*C=*/5, 100));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({6, 0}), 1, /*T=*/50, /*C=*/10, 200));
+  const core::BlockingAnalysis blocking(set);
+  // L_1 = 5 + 10 - 1 = 14.  R = 14 + ceil(R/20)*5: R=19 -> 14+5=19. ✓
+  const auto r = rm_response_time_bound(set, blocking, 1);
+  EXPECT_EQ(r.bound, 19);
+}
+
+TEST(RmBound, DivergesAtFullUtilization) {
+  const topo::Mesh mesh(8, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({7, 0}), 2, /*T=*/10, /*C=*/10, 100));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({6, 0}), 1, /*T=*/50, /*C=*/5, 200));
+  const core::BlockingAnalysis blocking(set);
+  const auto r = rm_response_time_bound(set, blocking, 1, /*cap=*/100000);
+  EXPECT_EQ(r.bound, kNoTime);
+}
+
+TEST(RmBound, IgnoresIndirectBlockers) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  const auto row = [&](StreamId id, std::int32_t a, std::int32_t b,
+                       Priority p, Time period, Time len) {
+    return make_stream(mesh, kXy, id, mesh.node_at({a, 0}),
+                       mesh.node_at({b, 0}), p, period, len, 1000);
+  };
+  set.add(row(0, 0, 4, 5, 25, 10));   // indirect blocker of 2
+  set.add(row(1, 3, 7, 3, 40, 8));    // direct blocker of 2
+  set.add(row(2, 6, 10, 1, 100, 6));  // analysed
+  const core::BlockingAnalysis blocking(set);
+  const auto r2 = rm_response_time_bound(set, blocking, 2);
+  // Only stream 1 is charged: R = L_2 + ceil(R/40)*8 with L_2 = 9.
+  EXPECT_EQ(r2.bound, 17);
+  // The chain through stream 0 is invisible to RM — the paper's
+  // timing-diagram bound charges it (hence can exceed RM).
+  const core::DelayBoundCalculator calc(set, blocking);
+  EXPECT_GE(calc.calc(2).bound, r2.bound);
+}
+
+TEST(RmBound, MonotoneInInterfererLoad) {
+  const topo::Mesh mesh(8, 1);
+  StreamSet light;
+  light.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                        mesh.node_at({7, 0}), 2, 50, 5, 500));
+  light.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                        mesh.node_at({6, 0}), 1, 60, 10, 500));
+  StreamSet heavy = light;
+  heavy.mutable_stream(0).length = 20;
+  const core::BlockingAnalysis bl(light);
+  const core::BlockingAnalysis bh(heavy);
+  EXPECT_LE(rm_response_time_bound(light, bl, 1).bound,
+            rm_response_time_bound(heavy, bh, 1).bound);
+}
+
+}  // namespace
+}  // namespace wormrt::baseline

@@ -1,0 +1,133 @@
+// Determine-Feasibility verdicts, the latency model, and StreamSet
+// validation.
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.hpp"
+#include "core/latency.hpp"
+#include "core/workload.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::core {
+namespace {
+
+const route::XYRouting kXy;
+
+TEST(LatencyModel, PaperModelFormula) {
+  EXPECT_EQ(kPaperLatencyModel.network_latency(1, 1), 1);
+  EXPECT_EQ(kPaperLatencyModel.network_latency(4, 4), 7);    // M_0
+  EXPECT_EQ(kPaperLatencyModel.network_latency(7, 2), 8);    // M_1
+  EXPECT_EQ(kPaperLatencyModel.network_latency(9, 4), 12);   // M_2
+  EXPECT_EQ(kPaperLatencyModel.network_latency(8, 9), 16);   // M_3
+  EXPECT_EQ(kPaperLatencyModel.network_latency(5, 6), 10);   // M_4
+}
+
+TEST(LatencyModel, ScalesWithRouterDelayAndFlitCycle) {
+  const LatencyModel slow{/*router_delay=*/3, /*flit_cycle=*/2};
+  EXPECT_EQ(slow.network_latency(4, 5), 4 * 3 + 4 * 2);
+}
+
+TEST(StreamSet, ValidateCatchesBadStreams) {
+  const topo::Mesh mesh(4, 4);
+  StreamSet ok;
+  ok.add(make_stream(mesh, kXy, 0, 0, 15, 1, 50, 5, 50));
+  EXPECT_EQ(ok.validate(), "");
+
+  StreamSet bad_period = ok;
+  bad_period.mutable_stream(0).period = 0;
+  EXPECT_NE(bad_period.validate(), "");
+
+  StreamSet tight = ok;
+  tight.mutable_stream(0).deadline = tight[0].latency - 1;
+  EXPECT_NE(tight.validate(), "");
+
+  StreamSet broken_path = ok;
+  broken_path.mutable_stream(0).path.channels.clear();
+  EXPECT_NE(broken_path.validate(), "");
+}
+
+TEST(StreamSet, PriorityOrderAndExtremes) {
+  const topo::Mesh mesh(4, 4);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, 0, 5, 2, 50, 5, 50));
+  set.add(make_stream(mesh, kXy, 1, 1, 6, 7, 50, 5, 50));
+  set.add(make_stream(mesh, kXy, 2, 2, 7, 2, 50, 5, 50));
+  EXPECT_EQ(set.max_priority(), 7);
+  EXPECT_EQ(set.min_priority(), 2);
+  EXPECT_EQ(set.by_priority_desc(), (std::vector<StreamId>{1, 0, 2}));
+}
+
+TEST(Feasibility, AllIndependentStreamsSucceed) {
+  const topo::Mesh mesh(10, 10);
+  StreamSet set;
+  // Parallel rows, no shared resources at all.
+  for (StreamId i = 0; i < 5; ++i) {
+    set.add(make_stream(mesh, kXy, i, mesh.node_at({0, 2 * i}),
+                        mesh.node_at({9, 2 * i}), i, 100, 10, 100));
+  }
+  const FeasibilityReport report = determine_feasibility(set);
+  EXPECT_TRUE(report.feasible);
+  for (const auto& r : report.streams) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.bound, set[r.id].latency);
+    EXPECT_EQ(r.hp_direct, 0);
+    EXPECT_EQ(r.hp_indirect, 0);
+  }
+}
+
+TEST(Feasibility, OverloadedVictimFails) {
+  const topo::Mesh mesh(8, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({7, 0}), 2, /*T=*/20, /*C=*/18,
+                      /*D=*/60));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({6, 0}), 1, /*T=*/25, /*C=*/10,
+                      /*D=*/25));
+  const FeasibilityReport report = determine_feasibility(set);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_TRUE(report.streams[0].ok);
+  EXPECT_FALSE(report.streams[1].ok);
+  EXPECT_EQ(report.streams[1].bound, kNoTime);  // not reached within D
+}
+
+TEST(Feasibility, VerdictMatchesPerStreamBounds) {
+  const topo::Mesh mesh(10, 10);
+  WorkloadParams wp;
+  wp.num_streams = 20;
+  wp.priority_levels = 5;
+  wp.seed = 11;
+  StreamSet set = generate_workload(mesh, kXy, wp);
+  adjust_periods_to_bounds(set);
+  const FeasibilityReport report = determine_feasibility(set);
+  bool all_ok = true;
+  for (const auto& r : report.streams) {
+    all_ok = all_ok && r.ok;
+    if (r.ok) {
+      EXPECT_LE(r.bound, set[r.id].deadline);
+    }
+  }
+  EXPECT_EQ(report.feasible, all_ok);
+}
+
+TEST(Feasibility, SamePriorityBlocksConfigChangesVerdict) {
+  const topo::Mesh mesh(8, 1);
+  StreamSet set;
+  // Two equal-priority streams sharing the row; each alone fits, but
+  // mutually blocking they cannot both guarantee tight deadlines.
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({6, 0}), 1, /*T=*/30, /*C=*/20,
+                      /*D=*/30));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({7, 0}), 1, /*T=*/30, /*C=*/20,
+                      /*D=*/30));
+  AnalysisConfig blocks;
+  EXPECT_FALSE(determine_feasibility(set, blocks).feasible);
+  AnalysisConfig ignores;
+  ignores.same_priority_blocks = false;
+  EXPECT_TRUE(determine_feasibility(set, ignores).feasible);
+}
+
+}  // namespace
+}  // namespace wormrt::core

@@ -1,0 +1,190 @@
+// HP-set construction: direct/indirect classification, blocking chains,
+// equal-priority handling, port-overlap options, and the BDG.
+
+#include <gtest/gtest.h>
+
+#include "core/bdg.hpp"
+#include "core/hpset.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::core {
+namespace {
+
+const route::XYRouting kXy;
+
+// Streams along row 0 of a 12x2 mesh: [x0, x1) with given priority.
+MessageStream row_stream(const topo::Mesh& mesh, StreamId id,
+                         std::int32_t x0, std::int32_t x1,
+                         Priority priority) {
+  return make_stream(mesh, kXy, id, mesh.node_at({x0, 0}),
+                     mesh.node_at({x1, 0}), priority, /*period=*/100,
+                     /*length=*/4, /*deadline=*/100);
+}
+
+TEST(HpSet, DisjointStreamsHaveEmptySets) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  set.add(row_stream(mesh, 0, 0, 3, 2));
+  set.add(row_stream(mesh, 1, 5, 8, 1));
+  const BlockingAnalysis blocking(set);
+  EXPECT_TRUE(blocking.hp_set(0).empty());
+  EXPECT_TRUE(blocking.hp_set(1).empty());
+  EXPECT_FALSE(blocking.direct_blocks(0, 1));
+}
+
+TEST(HpSet, HigherPriorityOverlapIsDirect) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  set.add(row_stream(mesh, 0, 0, 5, 3));  // high
+  set.add(row_stream(mesh, 1, 3, 8, 1));  // low, overlaps on [3,5)
+  const BlockingAnalysis blocking(set);
+  EXPECT_TRUE(blocking.direct_blocks(0, 1));
+  EXPECT_FALSE(blocking.direct_blocks(1, 0));
+  const auto& hp1 = blocking.hp_set(1);
+  ASSERT_EQ(hp1.size(), 1u);
+  EXPECT_EQ(hp1[0].id, 0);
+  EXPECT_EQ(hp1[0].mode, BlockMode::kDirect);
+  EXPECT_TRUE(blocking.hp_set(0).empty());
+}
+
+TEST(HpSet, ChainBuildsIndirectElementWithIntermediates) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  set.add(row_stream(mesh, 0, 0, 4, 5));   // blocks 1 only
+  set.add(row_stream(mesh, 1, 3, 7, 3));   // blocks 2
+  set.add(row_stream(mesh, 2, 6, 10, 1));  // analysed
+  const BlockingAnalysis blocking(set);
+  const auto& hp2 = blocking.hp_set(2);
+  ASSERT_EQ(hp2.size(), 2u);
+  EXPECT_EQ(hp2[0].id, 0);
+  EXPECT_EQ(hp2[0].mode, BlockMode::kIndirect);
+  EXPECT_EQ(hp2[0].intermediates, (std::vector<StreamId>{1}));
+  EXPECT_EQ(hp2[1].id, 1);
+  EXPECT_EQ(hp2[1].mode, BlockMode::kDirect);
+
+  // Blocking chains 0 -> 2: exactly one, through stream 1.
+  const auto chains = blocking.blocking_chains(0, 2);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0], (std::vector<StreamId>{1}));
+}
+
+TEST(HpSet, LongChainPropagatesThroughLevels) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  set.add(row_stream(mesh, 0, 0, 3, 7));
+  set.add(row_stream(mesh, 1, 2, 5, 5));
+  set.add(row_stream(mesh, 2, 4, 7, 3));
+  set.add(row_stream(mesh, 3, 6, 9, 1));
+  const BlockingAnalysis blocking(set);
+  const auto& hp3 = blocking.hp_set(3);
+  ASSERT_EQ(hp3.size(), 3u);
+  EXPECT_EQ(hp3[0].mode, BlockMode::kIndirect);  // 0, two hops away
+  EXPECT_EQ(hp3[0].intermediates, (std::vector<StreamId>{1}));
+  EXPECT_EQ(hp3[1].mode, BlockMode::kIndirect);  // 1, one hop away
+  EXPECT_EQ(hp3[1].intermediates, (std::vector<StreamId>{2}));
+  EXPECT_EQ(hp3[2].mode, BlockMode::kDirect);    // 2
+
+  // BDG levels from stream 3: chain depth.
+  const Bdg bdg(blocking, 3, hp3);
+  EXPECT_EQ(bdg.levels()[0], 3);  // stream 0
+  EXPECT_EQ(bdg.levels()[1], 2);  // stream 1
+  EXPECT_EQ(bdg.levels()[2], 1);  // stream 2
+  EXPECT_EQ(bdg.levels()[3], 0);  // stream 3 itself
+  EXPECT_TRUE(bdg.edge(0, 1));
+  EXPECT_FALSE(bdg.edge(0, 2));
+  EXPECT_TRUE(bdg.edge(2, 3));
+}
+
+TEST(HpSet, LowerPriorityNeverBlocks) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  set.add(row_stream(mesh, 0, 0, 8, 1));  // low priority, long path
+  set.add(row_stream(mesh, 1, 2, 6, 5));  // high priority inside it
+  const BlockingAnalysis blocking(set);
+  EXPECT_TRUE(blocking.hp_set(1).empty());
+  ASSERT_EQ(blocking.hp_set(0).size(), 1u);
+}
+
+TEST(HpSet, EqualPriorityMutualBlockingToggle) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  set.add(row_stream(mesh, 0, 0, 5, 2));
+  set.add(row_stream(mesh, 1, 3, 8, 2));
+  const BlockingAnalysis with(set, /*same_priority_blocks=*/true);
+  EXPECT_TRUE(with.direct_blocks(0, 1));
+  EXPECT_TRUE(with.direct_blocks(1, 0));
+  ASSERT_EQ(with.hp_set(0).size(), 1u);
+  ASSERT_EQ(with.hp_set(1).size(), 1u);
+
+  const BlockingAnalysis without(set, /*same_priority_blocks=*/false);
+  EXPECT_FALSE(without.direct_blocks(0, 1));
+  EXPECT_TRUE(without.hp_set(0).empty());
+  EXPECT_TRUE(without.hp_set(1).empty());
+}
+
+TEST(HpSet, EjectionPortOverlapOption) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  // Disjoint paths converging on (10,0): one along row 0, one down
+  // column 10 from row 1.
+  set.add(row_stream(mesh, 0, 6, 10, 5));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({10, 1}),
+                      mesh.node_at({10, 0}), 1, 100, 4, 100));
+  BlockingOptions with_ports;
+  const BlockingAnalysis with(set, with_ports);
+  ASSERT_EQ(with.hp_set(1).size(), 1u);
+  EXPECT_EQ(with.hp_set(1)[0].mode, BlockMode::kDirect);
+
+  BlockingOptions no_ports;
+  no_ports.ejection_port_overlap = false;
+  no_ports.injection_port_overlap = false;
+  const BlockingAnalysis without(set, no_ports);
+  EXPECT_TRUE(without.hp_set(1).empty());
+}
+
+TEST(HpSet, InjectionPortOverlapOption) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  // Same source, divergent first hops (one east, one north).
+  set.add(row_stream(mesh, 0, 4, 8, 5));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({4, 0}),
+                      mesh.node_at({4, 1}), 1, 100, 4, 100));
+  const BlockingAnalysis with(set, BlockingOptions{});
+  ASSERT_EQ(with.hp_set(1).size(), 1u);
+
+  BlockingOptions no_inj;
+  no_inj.injection_port_overlap = false;
+  const BlockingAnalysis without(set, no_inj);
+  EXPECT_TRUE(without.hp_set(1).empty());
+}
+
+TEST(HpSet, MultipleChainsUnionIntermediates) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  // The Fig. 3 diamond: stream 0 (highest) blocks both intermediates
+  // 1 and 2 but not the analysed stream 3; 1 and 2 both block 3.
+  set.add(row_stream(mesh, 0, 2, 5, 7));
+  set.add(row_stream(mesh, 1, 4, 7, 5));
+  set.add(row_stream(mesh, 2, 3, 8, 4));
+  set.add(row_stream(mesh, 3, 6, 9, 1));
+  BlockingOptions opts;
+  opts.same_priority_blocks = false;
+  const BlockingAnalysis blocking(set, opts);
+  ASSERT_FALSE(blocking.direct_blocks(0, 3));
+  const auto& hp3 = blocking.hp_set(3);
+  ASSERT_EQ(hp3.size(), 3u);
+  EXPECT_EQ(hp3[0].id, 0);
+  EXPECT_EQ(hp3[0].mode, BlockMode::kIndirect);
+  EXPECT_EQ(hp3[0].intermediates, (std::vector<StreamId>{1, 2}));
+  // Chains 0 -> 3: through 1, through 2, and through 1 then 2
+  // (1 blocks 2 since P5 > P4 and their paths overlap).
+  const auto chains = blocking.blocking_chains(0, 3);
+  ASSERT_EQ(chains.size(), 3u);
+  EXPECT_EQ(chains[0], (std::vector<StreamId>{1}));
+  EXPECT_EQ(chains[1], (std::vector<StreamId>{1, 2}));
+  EXPECT_EQ(chains[2], (std::vector<StreamId>{2}));
+}
+
+}  // namespace
+}  // namespace wormrt::core

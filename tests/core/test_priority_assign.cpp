@@ -1,0 +1,134 @@
+// Priority assigners: ordering contracts and feasibility behaviour.
+
+#include <gtest/gtest.h>
+
+#include "core/feasibility.hpp"
+#include "core/priority_assign.hpp"
+#include "core/workload.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::core {
+namespace {
+
+const route::XYRouting kXy;
+
+StreamSet three_streams(const topo::Mesh& mesh) {
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, 0, 5, 0, /*T=*/80, 4, /*D=*/60));
+  set.add(make_stream(mesh, kXy, 1, 1, 6, 0, /*T=*/30, 4, /*D=*/30));
+  set.add(make_stream(mesh, kXy, 2, 2, 7, 0, /*T=*/50, 4, /*D=*/20));
+  return set;
+}
+
+TEST(RateMonotonic, ShorterPeriodHigherPriority) {
+  const topo::Mesh mesh(8, 8);
+  StreamSet set = three_streams(mesh);
+  EXPECT_EQ(assign_priorities_rate_monotonic(set), 3);
+  // Periods 80, 30, 50 -> priorities 0, 2, 1.
+  EXPECT_EQ(set[0].priority, 0);
+  EXPECT_EQ(set[1].priority, 2);
+  EXPECT_EQ(set[2].priority, 1);
+}
+
+TEST(DeadlineMonotonic, ShorterDeadlineHigherPriority) {
+  const topo::Mesh mesh(8, 8);
+  StreamSet set = three_streams(mesh);
+  EXPECT_EQ(assign_priorities_deadline_monotonic(set), 3);
+  // Deadlines 60, 30, 20 -> priorities 0, 1, 2.
+  EXPECT_EQ(set[0].priority, 0);
+  EXPECT_EQ(set[1].priority, 1);
+  EXPECT_EQ(set[2].priority, 2);
+}
+
+TEST(RateMonotonic, TiesBrokenByStreamId) {
+  const topo::Mesh mesh(8, 8);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, 0, 5, 0, 50, 4, 50));
+  set.add(make_stream(mesh, kXy, 1, 1, 6, 0, 50, 4, 50));
+  assign_priorities_rate_monotonic(set);
+  EXPECT_GT(set[0].priority, set[1].priority);
+}
+
+TEST(Audsley, FindsAssignmentForFeasibleContention) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  // Three overlapping streams on a row: schedulable only if the tight
+  // deadline outranks the loose ones.
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({6, 0}), 0, /*T=*/60, /*C=*/10,
+                      /*D=*/200));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({7, 0}), 0, /*T=*/60, /*C=*/10,
+                      /*D=*/16));  // == its network latency: must be top
+  set.add(make_stream(mesh, kXy, 2, mesh.node_at({2, 0}),
+                      mesh.node_at({8, 0}), 0, /*T=*/60, /*C=*/10,
+                      /*D=*/80));
+  const AudsleyResult r = assign_priorities_audsley(set);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.analysis_calls, 0);
+  EXPECT_TRUE(determine_feasibility(set).feasible);
+  // The zero-slack stream must be at the unique top level.
+  EXPECT_GT(set[1].priority, set[0].priority);
+  EXPECT_GT(set[1].priority, set[2].priority);
+}
+
+TEST(Audsley, ReportsInfeasibleAndFallsBackToDm) {
+  const topo::Mesh mesh(12, 2);
+  StreamSet set;
+  // Two zero-slack streams sharing channels: at most one can be top.
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({6, 0}), 0, 60, 10, /*D=*/15));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({7, 0}), 0, 60, 10, /*D=*/15));
+  const AudsleyResult r = assign_priorities_audsley(set);
+  EXPECT_FALSE(r.feasible);
+  // Fallback is deadline-monotonic: equal deadlines, id order.
+  EXPECT_GT(set[0].priority, set[1].priority);
+}
+
+TEST(Audsley, DistinctLevelsCoverZeroToNMinusOne) {
+  const topo::Mesh mesh(10, 10);
+  WorkloadParams wp;
+  wp.num_streams = 10;
+  wp.priority_levels = 1;
+  wp.seed = 5;
+  wp.length_max = 10;
+  StreamSet set = generate_workload(mesh, kXy, wp);
+  for (StreamId i = 0; i < 10; ++i) {
+    auto& s = set.mutable_stream(i);
+    s.deadline = s.period * 4;  // plenty of slack: search must succeed
+  }
+  const AudsleyResult r = assign_priorities_audsley(set);
+  ASSERT_TRUE(r.feasible);
+  std::vector<bool> seen(10, false);
+  for (const auto& s : set) {
+    ASSERT_GE(s.priority, 0);
+    ASSERT_LT(s.priority, 10);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(s.priority)]);
+    seen[static_cast<std::size_t>(s.priority)] = true;
+  }
+}
+
+TEST(Audsley, NeverWorseThanDeadlineMonotonicOnRandomSets) {
+  const topo::Mesh mesh(10, 10);
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    WorkloadParams wp;
+    wp.num_streams = 8;
+    wp.priority_levels = 1;
+    wp.seed = seed;
+    wp.length_max = 25;
+    StreamSet dm_set = generate_workload(mesh, kXy, wp);
+    StreamSet au_set = dm_set;
+    assign_priorities_deadline_monotonic(dm_set);
+    assign_priorities_audsley(au_set);
+    const bool dm_ok = determine_feasibility(dm_set).feasible;
+    const bool au_ok = determine_feasibility(au_set).feasible;
+    // The Audsley result falls back to DM on failure, so it can only
+    // match or beat it.
+    EXPECT_GE(au_ok, dm_ok) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace wormrt::core

@@ -1,0 +1,107 @@
+// CSV round trip and error reporting for stream-set serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/paper_example.hpp"
+#include "core/stream_io.hpp"
+#include "route/dor.hpp"
+
+namespace wormrt::core {
+namespace {
+
+const route::XYRouting kXy;
+
+TEST(StreamIo, RoundTripPreservesEverything) {
+  const auto ex = paper::section44();
+  const std::string csv = streams_to_csv(ex.streams);
+  const StreamParseResult parsed = streams_from_csv(csv, *ex.mesh, kXy);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.streams.size(), ex.streams.size());
+  for (std::size_t i = 0; i < ex.streams.size(); ++i) {
+    const auto id = static_cast<StreamId>(i);
+    EXPECT_EQ(parsed.streams[id].src, ex.streams[id].src);
+    EXPECT_EQ(parsed.streams[id].dst, ex.streams[id].dst);
+    EXPECT_EQ(parsed.streams[id].priority, ex.streams[id].priority);
+    EXPECT_EQ(parsed.streams[id].period, ex.streams[id].period);
+    EXPECT_EQ(parsed.streams[id].length, ex.streams[id].length);
+    EXPECT_EQ(parsed.streams[id].deadline, ex.streams[id].deadline);
+    // Derived fields are recomputed, not stored.
+    EXPECT_EQ(parsed.streams[id].latency, ex.streams[id].latency);
+    EXPECT_EQ(parsed.streams[id].path.channels,
+              ex.streams[id].path.channels);
+  }
+}
+
+TEST(StreamIo, CsvShape) {
+  const auto ex = paper::section44();
+  const std::string csv = streams_to_csv(ex.streams);
+  EXPECT_EQ(csv.rfind("id,src,dst,priority,period,length,deadline\n", 0),
+            0u);
+  EXPECT_NE(csv.find("\n0,37,77,5,15,4,15\n"), std::string::npos);
+}
+
+TEST(StreamIo, RejectsBadHeader) {
+  const auto ex = paper::section44();
+  const auto r = streams_from_csv("src,dst\n", *ex.mesh, kXy);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 1"), std::string::npos);
+}
+
+TEST(StreamIo, RejectsMalformedRow) {
+  const auto ex = paper::section44();
+  const std::string csv =
+      "id,src,dst,priority,period,length,deadline\n0,1,2,3,nope,5,6\n";
+  const auto r = streams_from_csv(csv, *ex.mesh, kXy);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(StreamIo, RejectsOutOfRangeNodeAndNonDenseIds) {
+  const auto ex = paper::section44();
+  const std::string bad_node =
+      "id,src,dst,priority,period,length,deadline\n0,1,500,1,50,4,50\n";
+  EXPECT_FALSE(streams_from_csv(bad_node, *ex.mesh, kXy).ok());
+  const std::string bad_id =
+      "id,src,dst,priority,period,length,deadline\n1,1,2,1,50,4,50\n";
+  EXPECT_FALSE(streams_from_csv(bad_id, *ex.mesh, kXy).ok());
+  const std::string self_loop =
+      "id,src,dst,priority,period,length,deadline\n0,3,3,1,50,4,50\n";
+  EXPECT_FALSE(streams_from_csv(self_loop, *ex.mesh, kXy).ok());
+  const std::string bad_period =
+      "id,src,dst,priority,period,length,deadline\n0,1,2,1,0,4,50\n";
+  EXPECT_FALSE(streams_from_csv(bad_period, *ex.mesh, kXy).ok());
+}
+
+TEST(StreamIo, ToleratesBlankLinesAndCarriageReturns) {
+  const auto ex = paper::section44();
+  const std::string csv =
+      "id,src,dst,priority,period,length,deadline\r\n"
+      "0,1,2,1,50,4,50\r\n"
+      "\n"
+      "1,3,4,2,60,5,60\n";
+  const auto r = streams_from_csv(csv, *ex.mesh, kXy);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.streams.size(), 2u);
+}
+
+TEST(StreamIo, FileRoundTrip) {
+  const auto ex = paper::section44();
+  const std::string path = ::testing::TempDir() + "/wormrt_streams.csv";
+  ASSERT_TRUE(save_streams(path, ex.streams));
+  const auto r = load_streams(path, *ex.mesh, kXy);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.streams.size(), ex.streams.size());
+  std::remove(path.c_str());
+}
+
+TEST(StreamIo, LoadMissingFileReportsError) {
+  const auto ex = paper::section44();
+  const auto r = load_streams("/nonexistent/nope.csv", *ex.mesh, kXy);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormrt::core

@@ -1,0 +1,130 @@
+// Task-to-node mapping: validity, cost behaviour, and quality vs the
+// random baseline.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/feasibility.hpp"
+#include "core/task_mapping.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::core {
+namespace {
+
+const route::XYRouting kXy;
+
+TaskGraph pipeline_graph() {
+  // A 6-stage pipeline plus a broadcast-style control flow: heavy
+  // neighbouring flows should end up on adjacent nodes.
+  TaskGraph g;
+  g.num_tasks = 7;
+  for (int t = 0; t < 5; ++t) {
+    g.flows.push_back(TaskFlow{t, t + 1, 2, /*T=*/50, /*C=*/20, /*D=*/200});
+  }
+  for (int t = 1; t < 6; ++t) {
+    g.flows.push_back(TaskFlow{6, t, 3, /*T=*/200, /*C=*/4, /*D=*/100});
+  }
+  return g;
+}
+
+TEST(TaskGraph, ValidateCatchesErrors) {
+  TaskGraph g = pipeline_graph();
+  EXPECT_EQ(g.validate(), "");
+  TaskGraph self = g;
+  self.flows[0].dst_task = self.flows[0].src_task;
+  EXPECT_NE(self.validate(), "");
+  TaskGraph range = g;
+  range.flows[0].dst_task = 99;
+  EXPECT_NE(range.validate(), "");
+  TaskGraph period = g;
+  period.flows[0].period = 0;
+  EXPECT_NE(period.validate(), "");
+  TaskGraph empty;
+  EXPECT_NE(empty.validate(), "");
+}
+
+TEST(TaskMapping, PlacementIsValidAndDistinct) {
+  const topo::Mesh mesh(6, 6);
+  const TaskGraph g = pipeline_graph();
+  const MappingResult m = map_tasks(g, mesh, kXy, /*seed=*/1);
+  ASSERT_EQ(m.node_of_task.size(), 7u);
+  std::set<topo::NodeId> used;
+  for (const auto node : m.node_of_task) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, mesh.num_nodes());
+    used.insert(node);
+  }
+  EXPECT_EQ(used.size(), 7u);  // one task per node
+  EXPECT_EQ(m.streams.size(), g.flows.size());
+  EXPECT_EQ(m.streams.validate(), "");
+  EXPECT_DOUBLE_EQ(m.cost,
+                   mapping_cost(g, mesh, kXy, m.node_of_task));
+}
+
+TEST(TaskMapping, HeavyPipelineNeighboursEndUpAdjacent) {
+  const topo::Mesh mesh(8, 8);
+  const TaskGraph g = pipeline_graph();
+  const MappingResult m = map_tasks(g, mesh, kXy, 1);
+  // Each heavy stage-to-stage flow should span very few hops.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_LE(m.streams[static_cast<StreamId>(i)].path.hops(), 2)
+        << "pipeline stage " << i;
+  }
+}
+
+TEST(TaskMapping, BeatsRandomPlacementOnCost) {
+  const topo::Mesh mesh(8, 8);
+  const TaskGraph g = pipeline_graph();
+  const MappingResult good = map_tasks(g, mesh, kXy, 1);
+  double random_cost_sum = 0.0;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    random_cost_sum += map_tasks_randomly(g, mesh, kXy, seed).cost;
+  }
+  EXPECT_LT(good.cost, random_cost_sum / 5.0);
+}
+
+TEST(TaskMapping, DeterministicPerSeed) {
+  const topo::Mesh mesh(6, 6);
+  const TaskGraph g = pipeline_graph();
+  const MappingResult a = map_tasks(g, mesh, kXy, 7);
+  const MappingResult b = map_tasks(g, mesh, kXy, 7);
+  EXPECT_EQ(a.node_of_task, b.node_of_task);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(TaskMapping, HillClimbNeverWorsensTheGreedySeed) {
+  const topo::Mesh mesh(6, 6);
+  const TaskGraph g = pipeline_graph();
+  const MappingResult seeded = map_tasks(g, mesh, kXy, 3, /*swap_budget=*/0);
+  const MappingResult climbed = map_tasks(g, mesh, kXy, 3, 4000);
+  EXPECT_LE(climbed.cost, seeded.cost);
+}
+
+TEST(TaskMapping, FullOccupancyUsesSwapsOnly) {
+  const topo::Mesh mesh(3, 3);
+  TaskGraph g;
+  g.num_tasks = 9;  // every node occupied
+  for (int t = 0; t < 8; ++t) {
+    g.flows.push_back(TaskFlow{t, t + 1, 1, 60, 10, 200});
+  }
+  const MappingResult m = map_tasks(g, mesh, kXy, 2);
+  std::set<topo::NodeId> used(m.node_of_task.begin(), m.node_of_task.end());
+  EXPECT_EQ(used.size(), 9u);
+}
+
+TEST(TaskMapping, GoodMappingImprovesFeasibilityMargin) {
+  const topo::Mesh mesh(8, 8);
+  const TaskGraph g = pipeline_graph();
+  const MappingResult good = map_tasks(g, mesh, kXy, 1);
+  const FeasibilityReport report = determine_feasibility(good.streams);
+  EXPECT_TRUE(report.feasible);
+  // Short paths: every pipeline bound well under its 200 deadline.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_LE(report.streams[i].bound, 120) << "stage " << i;
+  }
+}
+
+}  // namespace
+}  // namespace wormrt::core

@@ -1,0 +1,157 @@
+// Timing-diagram mechanics: allocation, preemption marks, window
+// truncation, carry-over backlog, suppression, and free-slot accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/timing_diagram.hpp"
+
+namespace wormrt::core {
+namespace {
+
+TEST(TimingDiagram, SingleRowAllocatesHeadOfEachWindow) {
+  TimingDiagram d({RowSpec{0, 1, 10, 3}}, 25, false);
+  for (const Time t : {0, 1, 2, 10, 11, 12, 20, 21, 22}) {
+    EXPECT_EQ(d.at(0, t), Slot::kAllocated) << t;
+    EXPECT_FALSE(d.free_at_bottom(t));
+  }
+  for (const Time t : {3, 9, 13, 19, 23, 24}) {
+    EXPECT_EQ(d.at(0, t), Slot::kFree) << t;
+    EXPECT_TRUE(d.free_at_bottom(t));
+  }
+  EXPECT_EQ(d.num_windows(0), 3u);
+}
+
+TEST(TimingDiagram, LastWindowTruncatesAtHorizon) {
+  TimingDiagram d({RowSpec{0, 1, 10, 8}}, 24, false);
+  // Third window is [20, 24): only 4 of the 8 flits fit; the paper's
+  // semantics drop the rest.
+  for (const Time t : {20, 21, 22, 23}) {
+    EXPECT_EQ(d.at(0, t), Slot::kAllocated) << t;
+  }
+  EXPECT_EQ(d.num_windows(0), 3u);
+}
+
+TEST(TimingDiagram, SecondRowWaitsUnderFirst) {
+  // Row 1 wants 3 slots per 12 but the first 2 of each of its windows
+  // collide with row 0.
+  TimingDiagram d({RowSpec{0, 2, 6, 2}, RowSpec{1, 1, 12, 3}}, 12, false);
+  EXPECT_EQ(d.at(1, 0), Slot::kWaiting);
+  EXPECT_EQ(d.at(1, 1), Slot::kWaiting);
+  EXPECT_EQ(d.at(1, 2), Slot::kAllocated);
+  EXPECT_EQ(d.at(1, 3), Slot::kAllocated);
+  EXPECT_EQ(d.at(1, 4), Slot::kAllocated);
+  EXPECT_EQ(d.at(1, 5), Slot::kFree);  // done before the collision at 6
+  EXPECT_EQ(d.at(1, 6), Slot::kFree);  // no demand left, not waiting
+}
+
+TEST(TimingDiagram, OverloadedWindowDropsDemand) {
+  // Row 0 fills everything; row 1 can never transmit (all WAITING) and
+  // the paper's diagram drops its demand at each window end.
+  TimingDiagram d({RowSpec{0, 2, 4, 4}, RowSpec{1, 1, 8, 2}}, 16, false);
+  for (Time t = 0; t < 16; ++t) {
+    EXPECT_EQ(d.at(0, t), Slot::kAllocated);
+    EXPECT_EQ(d.at(1, t), Slot::kWaiting);
+    EXPECT_FALSE(d.free_at_bottom(t));
+  }
+  EXPECT_EQ(d.accumulate_free(1), kNoTime);
+}
+
+TEST(TimingDiagram, CarryOverBacklogsAcrossWindows) {
+  // Row 0 blocks [0, 6); row 1 (T=4, C=2) misses its first window.
+  // Without carry-over it serves 2 in window 2; with carry-over it owes
+  // 4 by t=6 and clears the backlog.
+  const std::vector<RowSpec> rows = {RowSpec{0, 2, 20, 6},
+                                     RowSpec{1, 1, 4, 2}};
+  TimingDiagram drop(rows, 20, false);
+  // Window [4,8): slots 4,5 busy; 6,7 allocated.  First window lost 2.
+  EXPECT_EQ(drop.at(1, 6), Slot::kAllocated);
+  EXPECT_EQ(drop.at(1, 7), Slot::kAllocated);
+  EXPECT_EQ(drop.at(1, 8), Slot::kAllocated);
+  EXPECT_EQ(drop.at(1, 10), Slot::kFree);
+
+  TimingDiagram carry(rows, 20, true);
+  // Owed 2 (t=0) + 2 (t=4) = 4 by the time row 0 frees t=6; releases at
+  // 8 and 12 keep it transmitting back-to-back through t=13.
+  for (const Time t : {6, 7, 8, 9, 10, 11, 12, 13}) {
+    EXPECT_EQ(carry.at(1, t), Slot::kAllocated) << t;
+  }
+  EXPECT_EQ(carry.at(1, 14), Slot::kFree);
+  EXPECT_EQ(carry.at(1, 15), Slot::kFree);
+}
+
+TEST(TimingDiagram, CarryOverNeverFreesMoreThanDrop) {
+  const std::vector<RowSpec> rows = {RowSpec{0, 3, 7, 3},
+                                     RowSpec{1, 2, 11, 5},
+                                     RowSpec{2, 1, 13, 4}};
+  TimingDiagram drop(rows, 60, false);
+  TimingDiagram carry(rows, 60, true);
+  for (Time t = 0; t < 60; ++t) {
+    // carry-over busy set is a superset of the drop busy set... not
+    // slot-for-slot, but cumulative free counts never exceed drop's.
+    Time free_drop = 0, free_carry = 0;
+    for (Time u = 0; u <= t; ++u) {
+      free_drop += drop.free_at_bottom(u) ? 1 : 0;
+      free_carry += carry.free_at_bottom(u) ? 1 : 0;
+    }
+    EXPECT_LE(free_carry, free_drop) << "t=" << t;
+  }
+}
+
+TEST(TimingDiagram, SuppressionFreesInstanceAndCompactsBelow) {
+  // Row 0: instances at 0 and 10.  Row 1 waits under the first one.
+  TimingDiagram d({RowSpec{0, 2, 10, 4}, RowSpec{1, 1, 20, 3}}, 20, false);
+  EXPECT_EQ(d.at(1, 4), Slot::kAllocated);
+  // Suppress row 0 entirely (no intermediates given -> nothing active).
+  const int suppressed = d.relax_indirect_row(0, {});
+  EXPECT_EQ(suppressed, 2);
+  EXPECT_TRUE(d.window_suppressed(0, 0));
+  EXPECT_TRUE(d.window_suppressed(0, 1));
+  // Row 1 compacts to the front.
+  EXPECT_EQ(d.at(1, 0), Slot::kAllocated);
+  EXPECT_EQ(d.at(1, 1), Slot::kAllocated);
+  EXPECT_EQ(d.at(1, 2), Slot::kAllocated);
+  EXPECT_EQ(d.at(0, 0), Slot::kFree);
+  // Idempotent: nothing further to suppress.
+  EXPECT_EQ(d.relax_indirect_row(0, {}), 0);
+}
+
+TEST(TimingDiagram, SuppressionKeepsInstancesWithActiveIntermediates) {
+  // Row 1 (the intermediate) is active during row 0's first instance
+  // only; the second instance of row 0 is suppressed.
+  TimingDiagram d({RowSpec{0, 3, 10, 2}, RowSpec{1, 2, 20, 2}}, 20, false);
+  // Row 1 allocates at 2,3 (after row 0's 0,1) — active only in window 1
+  // of row 0.
+  const int suppressed = d.relax_indirect_row(0, {1});
+  EXPECT_EQ(suppressed, 1);
+  EXPECT_FALSE(d.window_suppressed(0, 0));
+  EXPECT_TRUE(d.window_suppressed(0, 1));
+}
+
+TEST(TimingDiagram, AccumulateFreeIsOneIndexed) {
+  TimingDiagram d({RowSpec{0, 1, 100, 5}}, 100, false);
+  // Slots 0..4 busy; free slots start at 5.
+  EXPECT_EQ(d.accumulate_free(1), 6);
+  EXPECT_EQ(d.accumulate_free(10), 15);
+  EXPECT_EQ(d.accumulate_free(95), 100);
+  EXPECT_EQ(d.accumulate_free(96), kNoTime);
+}
+
+TEST(TimingDiagram, EmptyDiagramIsAllFree) {
+  TimingDiagram d({}, 10, false);
+  for (Time t = 0; t < 10; ++t) {
+    EXPECT_TRUE(d.free_at_bottom(t));
+  }
+  EXPECT_EQ(d.accumulate_free(10), 10);
+  EXPECT_EQ(d.accumulate_free(11), kNoTime);
+}
+
+TEST(TimingDiagram, RenderShowsStates) {
+  TimingDiagram d({RowSpec{0, 2, 8, 2}, RowSpec{1, 1, 8, 2}}, 8, false);
+  const std::string out = d.render();
+  EXPECT_NE(out.find("M0 |##      |"), std::string::npos);
+  EXPECT_NE(out.find("M1 |..##    |"), std::string::npos);
+  EXPECT_NE(out.find("free|    FFFF|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormrt::core

@@ -1,0 +1,109 @@
+// Traffic-pattern destination selection in the workload generator.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/workload.hpp"
+#include "route/dor.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::core {
+namespace {
+
+const route::XYRouting kXy;
+
+WorkloadParams base(TrafficPattern pattern, std::uint64_t seed) {
+  WorkloadParams wp;
+  wp.num_streams = 40;
+  wp.priority_levels = 4;
+  wp.seed = seed;
+  wp.pattern = pattern;
+  return wp;
+}
+
+TEST(TrafficPatterns, TransposeSwapsCoordinates) {
+  const topo::Mesh mesh(8, 8);
+  const StreamSet set =
+      generate_workload(mesh, kXy, base(TrafficPattern::kTranspose, 1));
+  int swapped = 0;
+  for (const auto& s : set) {
+    const auto sc = mesh.coord_of(s.src);
+    const auto dc = mesh.coord_of(s.dst);
+    if (dc[0] == sc[1] && dc[1] == sc[0]) {
+      ++swapped;
+    } else {
+      // Diagonal sources (x == y) fall back to a uniform destination.
+      EXPECT_EQ(sc[0], sc[1]);
+    }
+  }
+  EXPECT_GT(swapped, 30);
+}
+
+TEST(TrafficPatterns, HotspotConcentratesOnCentreNode) {
+  const topo::Mesh mesh(10, 10);
+  auto wp = base(TrafficPattern::kHotspot, 2);
+  wp.hotspot_fraction = 0.5;
+  const StreamSet set = generate_workload(mesh, kXy, wp);
+  const auto hot = static_cast<topo::NodeId>(mesh.num_nodes() / 2);
+  int to_hot = 0;
+  for (const auto& s : set) {
+    to_hot += s.dst == hot ? 1 : 0;
+  }
+  // 40 streams at 50%: expect roughly 20, loosely bounded.
+  EXPECT_GE(to_hot, 10);
+  EXPECT_LE(to_hot, 32);
+}
+
+TEST(TrafficPatterns, NearestNeighborIsOneHop) {
+  const topo::Mesh mesh(8, 8);
+  const StreamSet set = generate_workload(
+      mesh, kXy, base(TrafficPattern::kNearestNeighbor, 3));
+  for (const auto& s : set) {
+    EXPECT_EQ(s.path.hops(), 1);
+  }
+}
+
+TEST(TrafficPatterns, BitReversalOnHypercubeIsExactAndValid) {
+  const topo::Hypercube cube(6);
+  auto wp = base(TrafficPattern::kBitReversal, 4);
+  wp.num_streams = 30;
+  const StreamSet set = generate_workload(cube, kXy, wp);
+  EXPECT_EQ(set.validate(), "");
+  for (const auto& s : set) {
+    // 64 nodes: the destination is the 6-bit reversal of the source
+    // (or a uniform fallback when that equals the source).
+    std::uint32_t rev = 0;
+    for (int b = 0; b < 6; ++b) {
+      rev = (rev << 1) | ((static_cast<std::uint32_t>(s.src) >> b) & 1u);
+    }
+    if (static_cast<topo::NodeId>(rev) != s.src) {
+      EXPECT_EQ(s.dst, static_cast<topo::NodeId>(rev));
+    }
+  }
+}
+
+TEST(TrafficPatterns, AllPatternsProduceValidSets) {
+  const topo::Mesh mesh(10, 10);
+  for (const auto pattern :
+       {TrafficPattern::kUniform, TrafficPattern::kTranspose,
+        TrafficPattern::kBitReversal, TrafficPattern::kHotspot,
+        TrafficPattern::kNearestNeighbor}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      const StreamSet set =
+          generate_workload(mesh, kXy, base(pattern, seed));
+      EXPECT_EQ(set.validate(), "") << to_string(pattern);
+    }
+  }
+}
+
+TEST(TrafficPatterns, Names) {
+  EXPECT_STREQ(to_string(TrafficPattern::kUniform), "uniform");
+  EXPECT_STREQ(to_string(TrafficPattern::kHotspot), "hotspot");
+  EXPECT_STREQ(to_string(TrafficPattern::kNearestNeighbor),
+               "nearest-neighbor");
+}
+
+}  // namespace
+}  // namespace wormrt::core

@@ -1,0 +1,179 @@
+// Workload generation (Section 5 setup) and the period-adjustment pass.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/delay_bound.hpp"
+#include "core/workload.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::core {
+namespace {
+
+const route::XYRouting kXy;
+
+class WorkloadGeneration : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkloadGeneration, RespectsAllConstraints) {
+  const topo::Mesh mesh(10, 10);
+  WorkloadParams wp;
+  wp.num_streams = 60;
+  wp.priority_levels = 15;
+  wp.seed = GetParam();
+  const StreamSet set = generate_workload(mesh, kXy, wp);
+  ASSERT_EQ(set.size(), 60u);
+  EXPECT_EQ(set.validate(), "");
+
+  std::set<topo::NodeId> sources;
+  for (const auto& s : set) {
+    sources.insert(s.src);  // at most one stream per source node
+    EXPECT_NE(s.src, s.dst);
+    EXPECT_GE(s.period, wp.period_min);
+    EXPECT_LE(s.period, wp.period_max);
+    EXPECT_GE(s.length, wp.length_min);
+    EXPECT_LE(s.length, wp.length_max);
+    EXPECT_GE(s.priority, 0);
+    EXPECT_LT(s.priority, wp.priority_levels);
+    EXPECT_EQ(s.deadline, std::max(s.period, s.latency));
+    EXPECT_EQ(s.latency, static_cast<Time>(s.path.hops()) + s.length - 1);
+  }
+  EXPECT_EQ(sources.size(), 60u);
+}
+
+TEST_P(WorkloadGeneration, DeterministicPerSeed) {
+  const topo::Mesh mesh(10, 10);
+  WorkloadParams wp;
+  wp.num_streams = 20;
+  wp.priority_levels = 4;
+  wp.seed = GetParam();
+  const StreamSet a = generate_workload(mesh, kXy, wp);
+  const StreamSet b = generate_workload(mesh, kXy, wp);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto id = static_cast<StreamId>(i);
+    EXPECT_EQ(a[id].src, b[id].src);
+    EXPECT_EQ(a[id].dst, b[id].dst);
+    EXPECT_EQ(a[id].period, b[id].period);
+    EXPECT_EQ(a[id].length, b[id].length);
+    EXPECT_EQ(a[id].priority, b[id].priority);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadGeneration,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+TEST(WorkloadGeneration, DifferentSeedsDiffer) {
+  const topo::Mesh mesh(10, 10);
+  WorkloadParams wp;
+  wp.num_streams = 20;
+  wp.priority_levels = 4;
+  wp.seed = 1;
+  const StreamSet a = generate_workload(mesh, kXy, wp);
+  wp.seed = 2;
+  const StreamSet b = generate_workload(mesh, kXy, wp);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto id = static_cast<StreamId>(i);
+    same += (a[id].src == b[id].src && a[id].dst == b[id].dst) ? 1 : 0;
+  }
+  EXPECT_LT(same, 5);
+}
+
+class PeriodAdjustment : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PeriodAdjustment, FixpointSatisfiesBoundWithinPeriod) {
+  const topo::Mesh mesh(10, 10);
+  WorkloadParams wp;
+  wp.num_streams = 20;
+  wp.priority_levels = 4;
+  wp.seed = GetParam();
+  StreamSet set = generate_workload(mesh, kXy, wp);
+  AnalysisConfig cfg;
+  const AdjustResult result = adjust_periods_to_bounds(set, cfg);
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.bounds.size(), set.size());
+  for (const auto& s : set) {
+    const Time u = result.bounds[static_cast<std::size_t>(s.id)];
+    // "If the calculated U_i is larger than T_i, we increased T_i":
+    // at the fixpoint U_i <= T_i = D_i (or the bound is capped).
+    if (u < cfg.horizon_cap) {
+      EXPECT_LE(u, s.period) << "stream " << s.id;
+      EXPECT_LE(u, s.deadline);
+    }
+    EXPECT_GE(s.period, 40);  // never shrinks below the generated value
+  }
+}
+
+TEST_P(PeriodAdjustment, RecomputedBoundsAgreeWithReported) {
+  const topo::Mesh mesh(10, 10);
+  WorkloadParams wp;
+  wp.num_streams = 15;
+  wp.priority_levels = 5;
+  wp.seed = GetParam();
+  StreamSet set = generate_workload(mesh, kXy, wp);
+  AnalysisConfig cfg;
+  const AdjustResult result = adjust_periods_to_bounds(set, cfg);
+  ASSERT_TRUE(result.converged);
+  cfg.horizon = HorizonPolicy::kExtended;
+  const BlockingAnalysis blocking(set);
+  const DelayBoundCalculator calc(set, blocking, cfg);
+  for (const auto& s : set) {
+    const Time u = calc.calc(s.id).bound;
+    const Time reported = result.bounds[static_cast<std::size_t>(s.id)];
+    if (reported >= cfg.horizon_cap) {
+      continue;
+    }
+    EXPECT_EQ(u, reported) << "stream " << s.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeriodAdjustment,
+                         ::testing::Values(1u, 9u, 77u));
+
+TEST(PeriodAdjustment, StabilityGuardRaisesPeriodOnSaturatedChannel) {
+  const topo::Mesh mesh(8, 1);
+  StreamSet set;
+  // Senior stream saturates the row at 90% utilization.
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({7, 0}), 2, /*T=*/40, /*C=*/36,
+                      /*D=*/40));
+  // Junior stream asks for 30% on the same channels: 120% total.
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({6, 0}), 1, /*T=*/40, /*C=*/12,
+                      /*D=*/40));
+  // The senior's own period first rises to its latency (L_0 = 42), so
+  // its utilization settles at 36/42 ~ 0.857.
+  StreamSet guarded = set;
+  adjust_periods_to_bounds(guarded, {}, 8, /*stability_utilization=*/1.0);
+  EXPECT_EQ(guarded[0].period, 42);
+  // C/T' <= 1 - 36/42  =>  T' >= 84.
+  EXPECT_GE(guarded[1].period, 84);
+
+  // A tighter utilization target demands a longer period:
+  // C/T' <= 0.95 - 36/42  =>  T' >= 130.
+  StreamSet tight = set;
+  adjust_periods_to_bounds(tight, {}, 8, /*stability_utilization=*/0.95);
+  EXPECT_GE(tight[1].period, 130);
+}
+
+TEST(PeriodAdjustment, TighterUtilizationTargetRaisesPeriodsMore) {
+  const topo::Mesh mesh(10, 10);
+  WorkloadParams wp;
+  wp.num_streams = 20;
+  wp.priority_levels = 4;
+  wp.seed = 3;
+  StreamSet loose = generate_workload(mesh, kXy, wp);
+  StreamSet tight = generate_workload(mesh, kXy, wp);
+  adjust_periods_to_bounds(loose, {}, 8, 1.0);
+  adjust_periods_to_bounds(tight, {}, 8, 0.5);
+  Time sum_loose = 0, sum_tight = 0;
+  for (std::size_t i = 0; i < loose.size(); ++i) {
+    sum_loose += loose[static_cast<StreamId>(i)].period;
+    sum_tight += tight[static_cast<StreamId>(i)].period;
+  }
+  EXPECT_GE(sum_tight, sum_loose);
+}
+
+}  // namespace
+}  // namespace wormrt::core

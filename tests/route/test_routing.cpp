@@ -1,0 +1,177 @@
+// Routing properties: validity, minimality, dimension order, overlap.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "route/dor.hpp"
+#include "route/ecube.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace wormrt::route {
+namespace {
+
+int manhattan(const topo::Topology& t, topo::NodeId a, topo::NodeId b) {
+  const auto ca = t.coord_of(a);
+  const auto cb = t.coord_of(b);
+  int d = 0;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    d += std::abs(ca[i] - cb[i]);
+  }
+  return d;
+}
+
+TEST(XYRouting, RandomPairsAreValidMinimalWalks) {
+  const topo::Mesh mesh(10, 10);
+  const XYRouting xy;
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto src = static_cast<topo::NodeId>(rng.uniform_int(0, 99));
+    const auto dst = static_cast<topo::NodeId>(rng.uniform_int(0, 99));
+    const Path path = xy.route(mesh, src, dst);
+    EXPECT_TRUE(is_valid_walk(mesh, path));
+    EXPECT_EQ(path.hops(), manhattan(mesh, src, dst));
+  }
+}
+
+TEST(XYRouting, CorrectsXBeforeY) {
+  const topo::Mesh mesh(10, 10);
+  const XYRouting xy;
+  const Path path =
+      xy.route(mesh, mesh.node_at({2, 1}), mesh.node_at({7, 5}));
+  // First 5 hops move in X at y = 1, then 4 hops in Y at x = 7.
+  ASSERT_EQ(path.hops(), 9);
+  for (int h = 0; h < 5; ++h) {
+    const auto& ch = mesh.channels().channel(path.channels[h]);
+    EXPECT_EQ(mesh.coord_of(ch.src)[1], 1);
+    EXPECT_EQ(mesh.coord_of(ch.dst)[1], 1);
+  }
+  for (int h = 5; h < 9; ++h) {
+    const auto& ch = mesh.channels().channel(path.channels[h]);
+    EXPECT_EQ(mesh.coord_of(ch.src)[0], 7);
+    EXPECT_EQ(mesh.coord_of(ch.dst)[0], 7);
+  }
+}
+
+TEST(XYRouting, SelfRouteIsEmpty) {
+  const topo::Mesh mesh(4, 4);
+  const XYRouting xy;
+  const Path path = xy.route(mesh, 5, 5);
+  EXPECT_EQ(path.hops(), 0);
+  EXPECT_TRUE(is_valid_walk(mesh, path));
+}
+
+TEST(XYRouting, DeterministicAndUnique) {
+  const topo::Mesh mesh(8, 8);
+  const XYRouting xy;
+  const Path a = xy.route(mesh, 3, 60);
+  const Path b = xy.route(mesh, 3, 60);
+  EXPECT_EQ(a.channels, b.channels);
+}
+
+TEST(XYRouting, NoRepeatedChannels) {
+  const topo::Mesh mesh(10, 10);
+  const XYRouting xy;
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto src = static_cast<topo::NodeId>(rng.uniform_int(0, 99));
+    const auto dst = static_cast<topo::NodeId>(rng.uniform_int(0, 99));
+    Path path = xy.route(mesh, src, dst);
+    auto sorted = path.channels;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+              sorted.end());
+  }
+}
+
+TEST(TorusDor, TakesShorterWayAround) {
+  const topo::Torus torus(8, 1);
+  const DimensionOrderRouting dor;
+  // 0 -> 6: wrapping backwards (2 hops) beats forward (6 hops).
+  const Path path = dor.route(torus, 0, 6);
+  EXPECT_EQ(path.hops(), 2);
+  EXPECT_TRUE(is_valid_walk(torus, path));
+  // Tie (0 -> 4 in a ring of 8): goes positive.
+  const Path tie = dor.route(torus, 0, 4);
+  EXPECT_EQ(tie.hops(), 4);
+  EXPECT_EQ(torus.channels().channel(tie.channels[0]).dst, 1);
+}
+
+TEST(Ecube, HopsEqualHammingDistance) {
+  const topo::Hypercube cube(5);
+  const EcubeRouting ecube;
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto src = static_cast<topo::NodeId>(rng.uniform_int(0, 31));
+    const auto dst = static_cast<topo::NodeId>(rng.uniform_int(0, 31));
+    const Path path = ecube.route(cube, src, dst);
+    EXPECT_TRUE(is_valid_walk(cube, path));
+    EXPECT_EQ(path.hops(), __builtin_popcount(
+                               static_cast<unsigned>(src ^ dst)));
+  }
+  EXPECT_EQ(ecube.name(), "e-cube");
+}
+
+TEST(Ecube, ResolvesLowestBitFirst) {
+  const topo::Hypercube cube(3);
+  const EcubeRouting ecube;
+  const Path path = ecube.route(cube, 0b000, 0b101);
+  ASSERT_EQ(path.hops(), 2);
+  EXPECT_EQ(cube.channels().channel(path.channels[0]).dst, 0b001);
+  EXPECT_EQ(cube.channels().channel(path.channels[1]).dst, 0b101);
+}
+
+TEST(PathOverlap, SharedAndDisjoint) {
+  const topo::Mesh mesh(10, 10);
+  const XYRouting xy;
+  // Both travel east along row 1, overlapping on (4,1)->(5,1) etc.
+  const Path a = xy.route(mesh, mesh.node_at({1, 1}), mesh.node_at({5, 1}));
+  const Path b = xy.route(mesh, mesh.node_at({4, 1}), mesh.node_at({8, 1}));
+  EXPECT_TRUE(shares_channel(a, b));
+  const auto shared = shared_channels(a, b);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(mesh.channels().channel(shared[0]).src, mesh.node_at({4, 1}));
+
+  // Opposite directions on the same row never share directed channels.
+  const Path c = xy.route(mesh, mesh.node_at({8, 1}), mesh.node_at({4, 1}));
+  EXPECT_FALSE(shares_channel(a, c));
+
+  // Disjoint rows.
+  const Path d = xy.route(mesh, mesh.node_at({1, 3}), mesh.node_at({5, 3}));
+  EXPECT_FALSE(shares_channel(a, d));
+  EXPECT_TRUE(shared_channels(a, d).empty());
+}
+
+TEST(PathOverlap, SharedChannelsPreserveTraversalOrder) {
+  const topo::Mesh mesh(10, 10);
+  const XYRouting xy;
+  const Path a = xy.route(mesh, mesh.node_at({0, 0}), mesh.node_at({5, 0}));
+  const Path b = xy.route(mesh, mesh.node_at({1, 0}), mesh.node_at({4, 0}));
+  const auto shared = shared_channels(a, b);
+  ASSERT_EQ(shared.size(), 3u);
+  for (std::size_t i = 0; i + 1 < shared.size(); ++i) {
+    EXPECT_EQ(mesh.channels().channel(shared[i]).dst,
+              mesh.channels().channel(shared[i + 1]).src);
+  }
+}
+
+TEST(IsValidWalk, RejectsBrokenPaths) {
+  const topo::Mesh mesh(4, 4);
+  const XYRouting xy;
+  Path path = xy.route(mesh, 0, 15);
+  Path broken = path;
+  std::swap(broken.channels[0], broken.channels[2]);
+  EXPECT_FALSE(is_valid_walk(mesh, broken));
+  Path wrong_dst = path;
+  wrong_dst.dst = 3;
+  EXPECT_FALSE(is_valid_walk(mesh, wrong_dst));
+  Path bad_id = path;
+  bad_id.channels[0] = static_cast<topo::ChannelId>(mesh.num_channels());
+  EXPECT_FALSE(is_valid_walk(mesh, bad_id));
+}
+
+}  // namespace
+}  // namespace wormrt::route

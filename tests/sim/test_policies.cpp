@@ -1,0 +1,162 @@
+// Policy-specific simulator behaviour: Li VC admission, the ideal
+// per-stream-lane policy, ejection arbitration, and source queueing.
+
+#include <gtest/gtest.h>
+
+#include "core/message_stream.hpp"
+#include "route/dor.hpp"
+#include "sim/simulator.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::sim {
+namespace {
+
+using core::StreamSet;
+using core::make_stream;
+
+const route::XYRouting kXy;
+
+SimConfig base_config(Time duration, int num_vcs, ArbPolicy policy) {
+  SimConfig cfg;
+  cfg.duration = duration;
+  cfg.warmup = 0;
+  cfg.num_vcs = num_vcs;
+  cfg.policy = policy;
+  cfg.record_arrivals = true;
+  return cfg;
+}
+
+// Two equal-priority streams sharing a channel: under the per-priority
+// VC policy one holds the VC for its whole traversal and the other
+// waits (hold-and-wait); under the ideal lane policy they share the
+// channel round-robin and finish together.
+TEST(SamePriorityContention, VcPolicySerializesLanePolicyShares) {
+  topo::Mesh mesh(8, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({7, 0}), 1, 1 << 20, 30, 1 << 20));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({6, 0}), 1, 1 << 20, 30, 1 << 20));
+
+  SimConfig cfg = base_config(5, 2, ArbPolicy::kPriorityPreemptive);
+  cfg.explicit_phases = {0, 1};
+  const SimResult vc = Simulator(mesh, set, cfg).run();
+  // Stream 1 waits for stream 0's tail to release the shared VC.
+  EXPECT_GT(vc.per_stream[1].latency.max(), 55.0);
+  EXPECT_EQ(static_cast<Time>(vc.per_stream[0].latency.max()),
+            set[0].latency);
+
+  cfg.policy = ArbPolicy::kIdealPreemptive;
+  const SimResult lane = Simulator(mesh, set, cfg).run();
+  // Round-robin halves the bandwidth of both instead: the makespan is
+  // the same, so stream 1 finishes no later, but stream 0 now pays too.
+  EXPECT_LE(lane.per_stream[1].latency.max(),
+            vc.per_stream[1].latency.max());
+  EXPECT_GT(lane.per_stream[0].latency.max(),
+            static_cast<double>(set[0].latency));
+}
+
+// Li's scheme: a priority-0 message may only use VC 0; priority-1 may
+// take VC 1 or 0.  With VC 0 held by a parked priority-0 worm, a second
+// priority-0 worm waits while a priority-1 worm still gets through.
+TEST(LiScheme, HighPriorityFindsAFreeVcLowWaits) {
+  topo::Mesh mesh(8, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({7, 0}), 0, 1 << 20, 60, 1 << 20));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({6, 0}), 0, 1 << 20, 6, 1 << 20));
+  set.add(make_stream(mesh, kXy, 2, mesh.node_at({2, 0}),
+                      mesh.node_at({5, 0}), 1, 1 << 20, 6, 1 << 20));
+
+  SimConfig cfg = base_config(12, 2, ArbPolicy::kLiVc);
+  cfg.explicit_phases = {0, 10, 10};
+  const SimResult r = Simulator(mesh, set, cfg).run();
+  // The priority-1 worm shares bandwidth but is admitted immediately;
+  // the second priority-0 worm cannot enter until the first tail
+  // releases VC 0 somewhere around t = 60+.
+  EXPECT_LT(r.per_stream[2].latency.max(), 40.0);
+  EXPECT_GT(r.per_stream[1].latency.max(), 50.0);
+}
+
+// Ejection port: two streams delivering to the same node; the higher
+// priority one wins the port every cycle.
+TEST(EjectionArbitration, HigherPriorityWinsThePort) {
+  topo::Mesh mesh(3, 3);
+  StreamSet set;
+  // Both eject at (1,1) via different incoming channels.
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 1}),
+                      mesh.node_at({1, 1}), 0, /*T=*/20, /*C=*/18,
+                      1 << 20));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({1, 1}), 1, /*T=*/20, /*C=*/10,
+                      1 << 20));
+  SimConfig cfg = base_config(200, 2, ArbPolicy::kPriorityPreemptive);
+  const SimResult r = Simulator(mesh, set, cfg).run();
+  ASSERT_GT(r.per_stream[1].completed, 0);
+  // High priority is nearly unaffected (its flits always win the port).
+  EXPECT_LE(r.per_stream[1].latency.max(),
+            static_cast<double>(set[1].latency) + 1);
+  // Low priority is throttled well beyond its contention-free latency.
+  EXPECT_GT(r.per_stream[0].latency.max(),
+            static_cast<double>(set[0].latency) + 5);
+}
+
+// Consecutive instances of one stream are FIFO through the source
+// queue: arrivals never reorder and each instance's delay reflects the
+// queueing behind its predecessor.
+TEST(SourceQueue, InstancesStayOrdered) {
+  topo::Mesh mesh(6, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({5, 0}), 0, /*T=*/4, /*C=*/12,
+                      1 << 20));  // period << service time: backlog
+  SimConfig cfg = base_config(40, 1, ArbPolicy::kPriorityPreemptive);
+  const SimResult r = Simulator(mesh, set, cfg).run();
+  ASSERT_GE(r.arrivals.size(), 3u);
+  for (std::size_t i = 1; i < r.arrivals.size(); ++i) {
+    EXPECT_LT(r.arrivals[i - 1].generated, r.arrivals[i].generated);
+    EXPECT_LT(r.arrivals[i - 1].arrived, r.arrivals[i].arrived);
+  }
+  // Backlog grows: instance k departs roughly when k predecessors have
+  // drained at 12 flits each.
+  const auto& last = r.arrivals.back();
+  EXPECT_GT(last.arrived - last.generated, set[0].latency);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.flits_injected, r.flits_ejected);
+}
+
+// Deeper VC buffers never make an uncontended stream slower, and help a
+// stream whose head stalls downstream.
+TEST(BufferDepth, UncontendedLatencyIndependentOfDepth) {
+  topo::Mesh mesh(8, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({7, 0}), 0, 1 << 20, 20, 1 << 20));
+  for (const int depth : {1, 2, 8}) {
+    SimConfig cfg = base_config(2, 1, ArbPolicy::kPriorityPreemptive);
+    cfg.vc_buffer_depth = depth;
+    const SimResult r = Simulator(mesh, set, cfg).run();
+    ASSERT_EQ(r.per_stream[0].completed, 1);
+    EXPECT_EQ(static_cast<Time>(r.per_stream[0].latency.mean()),
+              set[0].latency)
+        << "depth " << depth;
+  }
+}
+
+// The non-preemptive policy forces a single VC even if more were asked.
+TEST(NonPreemptive, ForcesSingleVc) {
+  topo::Mesh mesh(4, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({3, 0}), 3, 1 << 20, 4, 1 << 20));
+  SimConfig cfg = base_config(2, 7, ArbPolicy::kNonPreemptiveFcfs);
+  const SimResult r = Simulator(mesh, set, cfg).run();
+  // Priority 3 with nominally 7 VCs would assert under the priority
+  // policy if the VC count were not overridden to 1; completion proves
+  // the single-VC path works.
+  EXPECT_EQ(r.per_stream[0].completed, 1);
+}
+
+}  // namespace
+}  // namespace wormrt::sim

@@ -1,0 +1,134 @@
+// Song-style throttle-and-preempt flow control: preemption semantics,
+// whole-message retransmission, flit accounting, and ordering.
+
+#include <gtest/gtest.h>
+
+#include "core/message_stream.hpp"
+#include "route/dor.hpp"
+#include "sim/simulator.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::sim {
+namespace {
+
+using core::StreamSet;
+using core::make_stream;
+
+const route::XYRouting kXy;
+
+SimConfig throttle_config(Time duration, int num_vcs) {
+  SimConfig cfg;
+  cfg.duration = duration;
+  cfg.warmup = 0;
+  cfg.policy = ArbPolicy::kThrottlePreempt;
+  cfg.num_vcs = num_vcs;
+  cfg.record_arrivals = true;
+  return cfg;
+}
+
+TEST(ThrottlePreempt, UncontendedStreamBehavesLikeWormhole) {
+  topo::Mesh mesh(8, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({7, 0}), 2, /*T=*/40, /*C=*/10,
+                      100000));
+  Simulator sim(mesh, set, throttle_config(400, 2));
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.per_stream[0].completed, 10);
+  EXPECT_EQ(static_cast<Time>(r.per_stream[0].latency.max()),
+            set[0].latency);
+  EXPECT_EQ(r.retransmissions, 0);
+  EXPECT_EQ(r.flits_dropped, 0);
+  EXPECT_EQ(r.flits_injected, r.flits_ejected);
+}
+
+// Two low-priority worms hold both VCs of the contended channel
+// (4,0)->(5,0) — they overlap nowhere else, so both headers are there
+// by t = 15; a high-priority header then preempts the lowest one, which
+// retransmits.
+TEST(ThrottlePreempt, HighPriorityPreemptsAndVictimRetransmits) {
+  topo::Mesh mesh(8, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({5, 0}), 0, 1 << 20, 40, 1 << 20));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({4, 0}),
+                      mesh.node_at({7, 0}), 1, 1 << 20, 40, 1 << 20));
+  set.add(make_stream(mesh, kXy, 2, mesh.node_at({3, 0}),
+                      mesh.node_at({6, 0}), 2, 1 << 20, 4, 1 << 20));
+  SimConfig cfg = throttle_config(/*duration=*/16, /*num_vcs=*/2);
+  cfg.explicit_phases = {0, 0, 15};  // both VCs busy when prio 2 fires
+  Simulator sim(mesh, set, cfg);
+  const SimResult r = sim.run();
+  // The urgent message arrives essentially contention-free.
+  ASSERT_EQ(r.per_stream[2].completed, 1);
+  EXPECT_LE(r.per_stream[2].latency.max(),
+            static_cast<double>(set[2].latency) + 2);
+  // Exactly one victim was preempted — the priority-0 worm — and it
+  // still completed after retransmitting.
+  EXPECT_GE(r.retransmissions, 1);
+  EXPECT_GT(r.flits_dropped, 0);
+  EXPECT_EQ(r.per_stream[0].completed, 1);
+  EXPECT_EQ(r.per_stream[1].completed, 1);
+  EXPECT_EQ(r.flits_injected, r.flits_ejected + r.flits_dropped);
+  EXPECT_TRUE(r.drained);
+  // The untouched priority-1 worm kept its VC: no extra delay beyond
+  // sharing the channel with its peer and the short urgent worm.
+  EXPECT_GT(r.per_stream[0].latency.max(),
+            r.per_stream[1].latency.max());
+}
+
+TEST(ThrottlePreempt, EqualPriorityNeverPreempts) {
+  topo::Mesh mesh(8, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({7, 0}), 1, 1 << 20, 30, 1 << 20));
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({1, 0}),
+                      mesh.node_at({6, 0}), 1, 1 << 20, 30, 1 << 20));
+  set.add(make_stream(mesh, kXy, 2, mesh.node_at({2, 0}),
+                      mesh.node_at({5, 0}), 1, 1 << 20, 4, 1 << 20));
+  SimConfig cfg = throttle_config(12, 2);
+  cfg.explicit_phases = {0, 0, 10};
+  Simulator sim(mesh, set, cfg);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.retransmissions, 0);
+  EXPECT_EQ(r.flits_dropped, 0);
+  // The latecomer waits for a VC instead.
+  EXPECT_GT(r.per_stream[2].latency.max(),
+            static_cast<double>(set[2].latency) + 5);
+}
+
+// Periodic high-priority cross traffic repeatedly preempts a bulk
+// stream; throughput degrades but order and conservation hold.
+TEST(ThrottlePreempt, RepeatedPreemptionKeepsOrderAndConservation) {
+  topo::Mesh mesh(6, 2);
+  StreamSet set;
+  // Bulk along row 0.
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({5, 0}), 0, /*T=*/30, /*C=*/20,
+                      1 << 20));
+  // Urgent bursts down the shared last column, contending at the
+  // corner channel via the shared destination column... use same row.
+  set.add(make_stream(mesh, kXy, 1, mesh.node_at({2, 0}),
+                      mesh.node_at({5, 1}), 3, /*T=*/25, /*C=*/6,
+                      1 << 20));
+  SimConfig cfg = throttle_config(1000, 1);  // a single VC: preempt or wait
+  Simulator sim(mesh, set, cfg);
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.flits_injected, r.flits_ejected + r.flits_dropped);
+  EXPECT_GT(r.retransmissions, 0);
+  EXPECT_EQ(r.per_stream[1].generated, r.per_stream[1].completed);
+  EXPECT_EQ(r.per_stream[0].generated, r.per_stream[0].completed);
+  // Arrivals of each stream stay in generation order.
+  Time last_gen[2] = {-1, -1};
+  for (const auto& a : r.arrivals) {
+    EXPECT_GT(a.generated, last_gen[static_cast<std::size_t>(a.stream)]);
+    last_gen[static_cast<std::size_t>(a.stream)] = a.generated;
+  }
+  // The urgent stream is barely affected by the bulk victim.
+  EXPECT_LE(r.per_stream[1].latency.max(),
+            static_cast<double>(set[1].latency) + 4);
+}
+
+}  // namespace
+}  // namespace wormrt::sim

@@ -1,0 +1,99 @@
+// Table rendering and command-line parsing.
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace wormrt::util {
+namespace {
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("a").cell(std::int64_t{1});
+  t.row().cell("longer").cell(3.14159, 2);
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  3.14"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell("y");
+  const std::string out = t.to_markdown();
+  EXPECT_NE(out.find("| a | b |"), std::string::npos);
+  EXPECT_NE(out.find("|---|---|"), std::string::npos);
+  EXPECT_NE(out.find("| x | y |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"a"});
+  t.row().cell("plain");
+  t.row().cell("with,comma");
+  t.row().cell("with\"quote");
+  const std::string out = t.to_csv();
+  EXPECT_NE(out.find("plain\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CellAccessors) {
+  Table t({"h1", "h2"});
+  t.row().cell(std::int64_t{7}).cell(0.5, 1);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.at(0, 0), "7");
+  EXPECT_EQ(t.at(0, 1), "0.5");
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Args, ParsesAllFlagForms) {
+  // Note: a bare flag immediately followed by a non-flag token consumes
+  // it as the flag's value ("--name value" form), so boolean flags must
+  // precede another flag or the end of the line.
+  const char* argv[] = {"prog", "pos1",      "--alpha=1", "--beta", "2",
+                        "pos2", "--gamma", "hello",     "--flag"};
+  Args args(9, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 1);
+  EXPECT_EQ(args.get_int("beta", 0), 2);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get_string("gamma", ""), "hello");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("missing", "d"), "d");
+  EXPECT_FALSE(args.get_bool("missing", false));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
+  Args args(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(Args, FlagFollowedByFlagIsBoolean) {
+  const char* argv[] = {"prog", "--verbose", "--level", "3"};
+  Args args(4, argv);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("level", 0), 3);
+}
+
+}  // namespace
+}  // namespace wormrt::util
