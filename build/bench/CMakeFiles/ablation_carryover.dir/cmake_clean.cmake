@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_carryover.dir/ablation_carryover.cpp.o"
+  "CMakeFiles/ablation_carryover.dir/ablation_carryover.cpp.o.d"
+  "ablation_carryover"
+  "ablation_carryover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_carryover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_priority_assignment.dir/ext_priority_assignment.cpp.o"
+  "CMakeFiles/ext_priority_assignment.dir/ext_priority_assignment.cpp.o.d"
+  "ext_priority_assignment"
+  "ext_priority_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_priority_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

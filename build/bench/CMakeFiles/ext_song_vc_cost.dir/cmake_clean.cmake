@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_song_vc_cost.dir/ext_song_vc_cost.cpp.o"
+  "CMakeFiles/ext_song_vc_cost.dir/ext_song_vc_cost.cpp.o.d"
+  "ext_song_vc_cost"
+  "ext_song_vc_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_song_vc_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_song_vc_cost.
+# This may be replaced when dependencies are built.

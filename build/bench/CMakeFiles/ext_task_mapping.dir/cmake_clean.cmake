@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_task_mapping.dir/ext_task_mapping.cpp.o"
+  "CMakeFiles/ext_task_mapping.dir/ext_task_mapping.cpp.o.d"
+  "ext_task_mapping"
+  "ext_task_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_task_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

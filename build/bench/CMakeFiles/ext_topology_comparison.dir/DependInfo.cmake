@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_topology_comparison.cpp" "bench/CMakeFiles/ext_topology_comparison.dir/ext_topology_comparison.cpp.o" "gcc" "bench/CMakeFiles/ext_topology_comparison.dir/ext_topology_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wormrt_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/wormrt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wormrt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wormrt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/wormrt_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wormrt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wormrt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

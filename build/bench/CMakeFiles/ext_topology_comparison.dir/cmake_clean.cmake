@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_topology_comparison.dir/ext_topology_comparison.cpp.o"
+  "CMakeFiles/ext_topology_comparison.dir/ext_topology_comparison.cpp.o.d"
+  "ext_topology_comparison"
+  "ext_topology_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_topology_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_traffic_patterns.dir/ext_traffic_patterns.cpp.o"
+  "CMakeFiles/ext_traffic_patterns.dir/ext_traffic_patterns.cpp.o.d"
+  "ext_traffic_patterns"
+  "ext_traffic_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_traffic_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

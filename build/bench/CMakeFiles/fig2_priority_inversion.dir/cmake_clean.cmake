@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_priority_inversion.dir/fig2_priority_inversion.cpp.o"
+  "CMakeFiles/fig2_priority_inversion.dir/fig2_priority_inversion.cpp.o.d"
+  "fig2_priority_inversion"
+  "fig2_priority_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_priority_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

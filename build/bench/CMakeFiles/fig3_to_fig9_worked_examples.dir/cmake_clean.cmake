@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_to_fig9_worked_examples.dir/fig3_to_fig9_worked_examples.cpp.o"
+  "CMakeFiles/fig3_to_fig9_worked_examples.dir/fig3_to_fig9_worked_examples.cpp.o.d"
+  "fig3_to_fig9_worked_examples"
+  "fig3_to_fig9_worked_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_to_fig9_worked_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_to_fig9_worked_examples.
+# This may be replaced when dependencies are built.

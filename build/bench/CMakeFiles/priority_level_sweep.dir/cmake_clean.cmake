@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_level_sweep.dir/priority_level_sweep.cpp.o"
+  "CMakeFiles/priority_level_sweep.dir/priority_level_sweep.cpp.o.d"
+  "priority_level_sweep"
+  "priority_level_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_level_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_single_level_20.dir/table1_single_level_20.cpp.o"
+  "CMakeFiles/table1_single_level_20.dir/table1_single_level_20.cpp.o.d"
+  "table1_single_level_20"
+  "table1_single_level_20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_single_level_20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_single_level_60.dir/table2_single_level_60.cpp.o"
+  "CMakeFiles/table2_single_level_60.dir/table2_single_level_60.cpp.o.d"
+  "table2_single_level_60"
+  "table2_single_level_60.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_single_level_60.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_four_levels_20.dir/table3_four_levels_20.cpp.o"
+  "CMakeFiles/table3_four_levels_20.dir/table3_four_levels_20.cpp.o.d"
+  "table3_four_levels_20"
+  "table3_four_levels_20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_four_levels_20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_five_levels_20.dir/table4_five_levels_20.cpp.o"
+  "CMakeFiles/table4_five_levels_20.dir/table4_five_levels_20.cpp.o.d"
+  "table4_five_levels_20"
+  "table4_five_levels_20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_five_levels_20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

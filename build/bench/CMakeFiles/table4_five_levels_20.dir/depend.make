@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_five_levels_20.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fifteen_levels_60.dir/table5_fifteen_levels_60.cpp.o"
+  "CMakeFiles/table5_fifteen_levels_60.dir/table5_fifteen_levels_60.cpp.o.d"
+  "table5_fifteen_levels_60"
+  "table5_fifteen_levels_60.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fifteen_levels_60.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

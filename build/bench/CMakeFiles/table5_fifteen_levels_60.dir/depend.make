@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_fifteen_levels_60.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormrt_bench_common.dir/common/experiment.cpp.o"
+  "CMakeFiles/wormrt_bench_common.dir/common/experiment.cpp.o.d"
+  "libwormrt_bench_common.a"
+  "libwormrt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormrt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_inversion.dir/priority_inversion.cpp.o"
+  "CMakeFiles/priority_inversion.dir/priority_inversion.cpp.o.d"
+  "priority_inversion"
+  "priority_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormrt_baselines.dir/rm_bound.cpp.o"
+  "CMakeFiles/wormrt_baselines.dir/rm_bound.cpp.o.d"
+  "libwormrt_baselines.a"
+  "libwormrt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormrt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/wormrt_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/bdg.cpp" "src/core/CMakeFiles/wormrt_core.dir/bdg.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/bdg.cpp.o.d"
+  "/root/repo/src/core/delay_bound.cpp" "src/core/CMakeFiles/wormrt_core.dir/delay_bound.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/delay_bound.cpp.o.d"
+  "/root/repo/src/core/feasibility.cpp" "src/core/CMakeFiles/wormrt_core.dir/feasibility.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/feasibility.cpp.o.d"
+  "/root/repo/src/core/hpset.cpp" "src/core/CMakeFiles/wormrt_core.dir/hpset.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/hpset.cpp.o.d"
+  "/root/repo/src/core/latency.cpp" "src/core/CMakeFiles/wormrt_core.dir/latency.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/latency.cpp.o.d"
+  "/root/repo/src/core/message_stream.cpp" "src/core/CMakeFiles/wormrt_core.dir/message_stream.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/message_stream.cpp.o.d"
+  "/root/repo/src/core/paper_example.cpp" "src/core/CMakeFiles/wormrt_core.dir/paper_example.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/paper_example.cpp.o.d"
+  "/root/repo/src/core/priority_assign.cpp" "src/core/CMakeFiles/wormrt_core.dir/priority_assign.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/priority_assign.cpp.o.d"
+  "/root/repo/src/core/stream_io.cpp" "src/core/CMakeFiles/wormrt_core.dir/stream_io.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/stream_io.cpp.o.d"
+  "/root/repo/src/core/task_mapping.cpp" "src/core/CMakeFiles/wormrt_core.dir/task_mapping.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/task_mapping.cpp.o.d"
+  "/root/repo/src/core/timing_diagram.cpp" "src/core/CMakeFiles/wormrt_core.dir/timing_diagram.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/timing_diagram.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/wormrt_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/wormrt_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/wormrt_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/wormrt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wormrt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

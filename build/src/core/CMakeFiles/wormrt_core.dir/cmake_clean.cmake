@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormrt_core.dir/admission.cpp.o"
+  "CMakeFiles/wormrt_core.dir/admission.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/bdg.cpp.o"
+  "CMakeFiles/wormrt_core.dir/bdg.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/delay_bound.cpp.o"
+  "CMakeFiles/wormrt_core.dir/delay_bound.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/feasibility.cpp.o"
+  "CMakeFiles/wormrt_core.dir/feasibility.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/hpset.cpp.o"
+  "CMakeFiles/wormrt_core.dir/hpset.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/latency.cpp.o"
+  "CMakeFiles/wormrt_core.dir/latency.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/message_stream.cpp.o"
+  "CMakeFiles/wormrt_core.dir/message_stream.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/paper_example.cpp.o"
+  "CMakeFiles/wormrt_core.dir/paper_example.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/priority_assign.cpp.o"
+  "CMakeFiles/wormrt_core.dir/priority_assign.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/stream_io.cpp.o"
+  "CMakeFiles/wormrt_core.dir/stream_io.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/task_mapping.cpp.o"
+  "CMakeFiles/wormrt_core.dir/task_mapping.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/timing_diagram.cpp.o"
+  "CMakeFiles/wormrt_core.dir/timing_diagram.cpp.o.d"
+  "CMakeFiles/wormrt_core.dir/workload.cpp.o"
+  "CMakeFiles/wormrt_core.dir/workload.cpp.o.d"
+  "libwormrt_core.a"
+  "libwormrt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormrt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

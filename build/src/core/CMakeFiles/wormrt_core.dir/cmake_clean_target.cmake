@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwormrt_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormrt_route.dir/dor.cpp.o"
+  "CMakeFiles/wormrt_route.dir/dor.cpp.o.d"
+  "CMakeFiles/wormrt_route.dir/ecube.cpp.o"
+  "CMakeFiles/wormrt_route.dir/ecube.cpp.o.d"
+  "CMakeFiles/wormrt_route.dir/path.cpp.o"
+  "CMakeFiles/wormrt_route.dir/path.cpp.o.d"
+  "libwormrt_route.a"
+  "libwormrt_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormrt_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormrt_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wormrt_sim.dir/simulator.cpp.o.d"
+  "libwormrt_sim.a"
+  "libwormrt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormrt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/channel_graph.cpp" "src/topo/CMakeFiles/wormrt_topo.dir/channel_graph.cpp.o" "gcc" "src/topo/CMakeFiles/wormrt_topo.dir/channel_graph.cpp.o.d"
+  "/root/repo/src/topo/hypercube.cpp" "src/topo/CMakeFiles/wormrt_topo.dir/hypercube.cpp.o" "gcc" "src/topo/CMakeFiles/wormrt_topo.dir/hypercube.cpp.o.d"
+  "/root/repo/src/topo/mesh.cpp" "src/topo/CMakeFiles/wormrt_topo.dir/mesh.cpp.o" "gcc" "src/topo/CMakeFiles/wormrt_topo.dir/mesh.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/wormrt_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/wormrt_topo.dir/topology.cpp.o.d"
+  "/root/repo/src/topo/torus.cpp" "src/topo/CMakeFiles/wormrt_topo.dir/torus.cpp.o" "gcc" "src/topo/CMakeFiles/wormrt_topo.dir/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wormrt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormrt_topo.dir/channel_graph.cpp.o"
+  "CMakeFiles/wormrt_topo.dir/channel_graph.cpp.o.d"
+  "CMakeFiles/wormrt_topo.dir/hypercube.cpp.o"
+  "CMakeFiles/wormrt_topo.dir/hypercube.cpp.o.d"
+  "CMakeFiles/wormrt_topo.dir/mesh.cpp.o"
+  "CMakeFiles/wormrt_topo.dir/mesh.cpp.o.d"
+  "CMakeFiles/wormrt_topo.dir/topology.cpp.o"
+  "CMakeFiles/wormrt_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/wormrt_topo.dir/torus.cpp.o"
+  "CMakeFiles/wormrt_topo.dir/torus.cpp.o.d"
+  "libwormrt_topo.a"
+  "libwormrt_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormrt_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

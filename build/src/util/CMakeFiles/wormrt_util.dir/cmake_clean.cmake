@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormrt_util.dir/cli.cpp.o"
+  "CMakeFiles/wormrt_util.dir/cli.cpp.o.d"
+  "CMakeFiles/wormrt_util.dir/histogram.cpp.o"
+  "CMakeFiles/wormrt_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/wormrt_util.dir/log.cpp.o"
+  "CMakeFiles/wormrt_util.dir/log.cpp.o.d"
+  "CMakeFiles/wormrt_util.dir/rng.cpp.o"
+  "CMakeFiles/wormrt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wormrt_util.dir/stats.cpp.o"
+  "CMakeFiles/wormrt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/wormrt_util.dir/table.cpp.o"
+  "CMakeFiles/wormrt_util.dir/table.cpp.o.d"
+  "libwormrt_util.a"
+  "libwormrt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormrt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_bound.dir/core/test_delay_bound.cpp.o"
+  "CMakeFiles/test_delay_bound.dir/core/test_delay_bound.cpp.o.d"
+  "test_delay_bound"
+  "test_delay_bound.pdb"
+  "test_delay_bound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment_pipeline.dir/integration/test_experiment_pipeline.cpp.o"
+  "CMakeFiles/test_experiment_pipeline.dir/integration/test_experiment_pipeline.cpp.o.d"
+  "test_experiment_pipeline"
+  "test_experiment_pipeline.pdb"
+  "test_experiment_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feasibility_latency.dir/core/test_feasibility_latency.cpp.o"
+  "CMakeFiles/test_feasibility_latency.dir/core/test_feasibility_latency.cpp.o.d"
+  "test_feasibility_latency"
+  "test_feasibility_latency.pdb"
+  "test_feasibility_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feasibility_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

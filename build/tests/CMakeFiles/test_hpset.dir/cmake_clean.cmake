@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpset.dir/core/test_hpset.cpp.o"
+  "CMakeFiles/test_hpset.dir/core/test_hpset.cpp.o.d"
+  "test_hpset"
+  "test_hpset.pdb"
+  "test_hpset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

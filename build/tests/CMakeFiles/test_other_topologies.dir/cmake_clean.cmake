@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_other_topologies.dir/sim/test_other_topologies.cpp.o"
+  "CMakeFiles/test_other_topologies.dir/sim/test_other_topologies.cpp.o.d"
+  "test_other_topologies"
+  "test_other_topologies.pdb"
+  "test_other_topologies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_other_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

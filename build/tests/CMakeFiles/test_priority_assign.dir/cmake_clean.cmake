@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_assign.dir/core/test_priority_assign.cpp.o"
+  "CMakeFiles/test_priority_assign.dir/core/test_priority_assign.cpp.o.d"
+  "test_priority_assign"
+  "test_priority_assign.pdb"
+  "test_priority_assign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

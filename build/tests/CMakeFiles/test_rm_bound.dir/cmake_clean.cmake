@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rm_bound.dir/baselines/test_rm_bound.cpp.o"
+  "CMakeFiles/test_rm_bound.dir/baselines/test_rm_bound.cpp.o.d"
+  "test_rm_bound"
+  "test_rm_bound.pdb"
+  "test_rm_bound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rm_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

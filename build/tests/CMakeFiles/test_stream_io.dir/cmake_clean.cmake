@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_io.dir/core/test_stream_io.cpp.o"
+  "CMakeFiles/test_stream_io.dir/core/test_stream_io.cpp.o.d"
+  "test_stream_io"
+  "test_stream_io.pdb"
+  "test_stream_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_mapping.dir/core/test_task_mapping.cpp.o"
+  "CMakeFiles/test_task_mapping.dir/core/test_task_mapping.cpp.o.d"
+  "test_task_mapping"
+  "test_task_mapping.pdb"
+  "test_task_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_throttle_preempt.dir/sim/test_throttle_preempt.cpp.o"
+  "CMakeFiles/test_throttle_preempt.dir/sim/test_throttle_preempt.cpp.o.d"
+  "test_throttle_preempt"
+  "test_throttle_preempt.pdb"
+  "test_throttle_preempt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_throttle_preempt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_diagram.dir/core/test_timing_diagram.cpp.o"
+  "CMakeFiles/test_timing_diagram.dir/core/test_timing_diagram.cpp.o.d"
+  "test_timing_diagram"
+  "test_timing_diagram.pdb"
+  "test_timing_diagram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_patterns.dir/core/test_traffic_patterns.cpp.o"
+  "CMakeFiles/test_traffic_patterns.dir/core/test_traffic_patterns.cpp.o.d"
+  "test_traffic_patterns"
+  "test_traffic_patterns.pdb"
+  "test_traffic_patterns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_hpset[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_diagram[1]_include.cmake")
+include("/root/repo/build/tests/test_delay_bound[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_feasibility_latency[1]_include.cmake")
+include("/root/repo/build/tests/test_paper[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_rm_bound[1]_include.cmake")
+include("/root/repo/build/tests/test_bound_vs_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_priority_assign[1]_include.cmake")
+include("/root/repo/build/tests/test_admission[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_other_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_stream_io[1]_include.cmake")
+include("/root/repo/build/tests/test_throttle_preempt[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_task_mapping[1]_include.cmake")
