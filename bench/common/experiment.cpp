@@ -11,6 +11,7 @@
 #include "topo/mesh.hpp"
 #include "topo/torus.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wormrt::bench {
 
@@ -50,13 +51,29 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     double actual_sum = 0.0;
     double bound_sum = 0.0;
   };
-  std::map<Priority, LevelAccum, std::greater<>> levels;
+
+  /// Everything one replication contributes, kept in a per-replication
+  /// slot so the replications can run in parallel and still be merged in
+  /// replication order — the result is identical for any thread count.
+  struct RepOutcome {
+    std::map<Priority, LevelAccum, std::greater<>> levels;
+    int silent_streams = 0;
+    int capped_bounds = 0;
+    std::int64_t bound_violations = 0;
+    std::int64_t messages_measured = 0;
+    int adjust_iterations = 0;
+    std::int64_t retransmissions = 0;
+    std::int64_t flits_dropped = 0;
+  };
 
   const std::unique_ptr<topo::Topology> network = build_topology(params);
   const topo::Topology& mesh = *network;
   const route::XYRouting xy;  // dimension-order everywhere (e-cube on cubes)
 
-  for (int rep = 0; rep < params.replications; ++rep) {
+  const auto reps = static_cast<std::size_t>(params.replications);
+  std::vector<RepOutcome> outcomes(reps);
+  util::parallel_for(reps, params.analysis.num_threads, [&](std::size_t rep) {
+    RepOutcome& out = outcomes[rep];
     core::WorkloadParams wp;
     wp.num_streams = params.num_streams;
     wp.priority_levels = params.priority_levels;
@@ -69,11 +86,10 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
         adjust_periods_to_bounds(streams, params.analysis,
                                  /*max_iterations=*/8,
                                  params.stability_utilization);
-    result.adjust_iterations =
-        std::max(result.adjust_iterations, adjusted.iterations);
+    out.adjust_iterations = adjusted.iterations;
     for (const Time u : adjusted.bounds) {
       if (u >= params.analysis.horizon_cap) {
-        ++result.capped_bounds;
+        ++out.capped_bounds;
       }
     }
 
@@ -88,34 +104,55 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     sc.record_arrivals = true;
     sim::Simulator sim(mesh, streams, sc);
     const sim::SimResult sr = sim.run();
-    result.retransmissions += sr.retransmissions;
-    result.flits_dropped += sr.flits_dropped;
+    out.retransmissions = sr.retransmissions;
+    out.flits_dropped = sr.flits_dropped;
 
     for (const auto& a : sr.arrivals) {
-      ++result.messages_measured;
+      ++out.messages_measured;
       if (a.arrived - a.generated >
           adjusted.bounds[static_cast<std::size_t>(a.stream)]) {
-        ++result.bound_violations;
+        ++out.bound_violations;
       }
     }
 
     for (const auto& s : streams) {
       const auto& st = sr.per_stream[static_cast<std::size_t>(s.id)];
       if (st.completed == 0) {
-        ++result.silent_streams;
+        ++out.silent_streams;
         continue;
       }
       const auto bound = static_cast<double>(
           adjusted.bounds[static_cast<std::size_t>(s.id)]);
       const double actual = st.latency.mean();
       const double ratio = actual / bound;
-      auto& acc = levels[s.priority];
+      auto& acc = out.levels[s.priority];
       ++acc.streams;
       acc.ratio_sum += ratio;
       acc.ratio_min = std::min(acc.ratio_min, ratio);
       acc.ratio_max = std::max(acc.ratio_max, ratio);
       acc.actual_sum += actual;
       acc.bound_sum += bound;
+    }
+  });
+
+  std::map<Priority, LevelAccum, std::greater<>> levels;
+  for (const RepOutcome& out : outcomes) {
+    result.silent_streams += out.silent_streams;
+    result.capped_bounds += out.capped_bounds;
+    result.bound_violations += out.bound_violations;
+    result.messages_measured += out.messages_measured;
+    result.adjust_iterations =
+        std::max(result.adjust_iterations, out.adjust_iterations);
+    result.retransmissions += out.retransmissions;
+    result.flits_dropped += out.flits_dropped;
+    for (const auto& [priority, acc] : out.levels) {
+      auto& merged = levels[priority];
+      merged.streams += acc.streams;
+      merged.ratio_sum += acc.ratio_sum;
+      merged.ratio_min = std::min(merged.ratio_min, acc.ratio_min);
+      merged.ratio_max = std::max(merged.ratio_max, acc.ratio_max);
+      merged.actual_sum += acc.actual_sum;
+      merged.bound_sum += acc.bound_sum;
     }
   }
 

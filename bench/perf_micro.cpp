@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/delay_bound.hpp"
+#include "core/feasibility.hpp"
 #include "core/workload.hpp"
 #include "route/dor.hpp"
 #include "sim/simulator.hpp"
@@ -93,6 +94,26 @@ void BM_DetermineFeasibilityPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_DetermineFeasibilityPipeline)->Arg(20)->Arg(60)
     ->Unit(benchmark::kMillisecond);
+
+// Whole-set feasibility with the per-stream Cal_U calls fanned out over
+// the thread pool: args are {streams, threads}.  The report is bitwise
+// identical across thread counts; the threads=1 row is the serial
+// paper-fidelity path and the baseline of the scaling ratio.
+void BM_DetermineFeasibility(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  topo::Mesh mesh(10, 10);
+  const StreamSet streams = make_workload(mesh, n, 4);
+  AnalysisConfig cfg;
+  cfg.horizon = HorizonPolicy::kExtended;
+  cfg.num_threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    const FeasibilityReport report = determine_feasibility(streams, cfg);
+    benchmark::DoNotOptimize(report.feasible);
+  }
+}
+BENCHMARK(BM_DetermineFeasibility)
+    ->Args({60, 1})->Args({60, 2})->Args({60, 4})->Args({60, 0})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_XyRouting(benchmark::State& state) {
   topo::Mesh mesh(16, 16);

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the analysis micro-benchmarks and emits machine-readable JSON for
+# the perf trajectory.
+#
+#   usage: bench/run_bench.sh [build-dir] [out.json] [min-time-seconds]
+#
+# The filter covers the hot analysis paths: Cal_U, the bit-packed timing
+# diagram build, the blocking analysis, and the multi-threaded
+# determine_feasibility scaling rows (threads 1/2/4/hw on 60 streams).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_analysis.json}"
+MIN_TIME="${3:-0.2}"
+
+BIN="$BUILD_DIR/bench/perf_micro"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_CalU|BM_TimingDiagramBuild|BM_BlockingAnalysis|BM_DetermineFeasibility/' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT"
+
+echo "wrote $OUT"

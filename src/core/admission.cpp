@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/delay_bound.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wormrt::core {
 
@@ -33,9 +34,12 @@ std::vector<Time> AdmissionController::bounds_for(const StreamSet& set) const {
                            config_.injection_port_overlap});
   const DelayBoundCalculator calc(set, blocking, config_);
   std::vector<Time> bounds(set.size());
-  for (StreamId j = 0; j < static_cast<StreamId>(set.size()); ++j) {
-    bounds[static_cast<std::size_t>(j)] = calc.calc(j).bound;
-  }
+  // Every admission decision re-evaluates the whole population; the
+  // per-stream bounds are independent, so fan them out (each into its own
+  // slot — identical to the serial loop for any num_threads).
+  util::parallel_for(set.size(), config_.num_threads, [&](std::size_t j) {
+    bounds[j] = calc.calc(static_cast<StreamId>(j)).bound;
+  });
   return bounds;
 }
 

@@ -61,6 +61,14 @@ struct AnalysisConfig {
   /// Hard ceiling for the kExtended horizon search.  A bound that does
   /// not converge below the cap is reported as not found.
   Time horizon_cap = Time{1} << 18;
+
+  /// Threads used to fan out the per-stream Cal_U calls of
+  /// determine_feasibility / AdmissionController (and the replications of
+  /// the table benches).  1 = the serial paper-fidelity path (default);
+  /// 0 = one thread per hardware core; N = exactly N threads.  Every
+  /// setting produces bitwise-identical results — streams are dealt out
+  /// dynamically but each result lands in its own pre-sized slot.
+  int num_threads = 1;
 };
 
 }  // namespace wormrt::core

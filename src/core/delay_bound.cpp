@@ -30,15 +30,11 @@ std::vector<RowSpec> DelayBoundCalculator::make_rows(const HpSet& hp) const {
 
 int DelayBoundCalculator::relax(StreamId j, const HpSet& hp,
                                 TimingDiagram& diagram) const {
-  // Row index of each HP member in the diagram.
-  std::vector<std::size_t> row_of_hp(hp.size());
-  for (std::size_t i = 0; i < hp.size(); ++i) {
-    for (std::size_t r = 0; r < diagram.num_rows(); ++r) {
-      if (diagram.row_spec(r).stream == hp[i].id) {
-        row_of_hp[i] = r;
-        break;
-      }
-    }
+  // One stream-id -> diagram-row map serves every lookup below (row_of_hp
+  // and the intermediate rows), instead of a linear scan per query.
+  std::vector<std::size_t> row_of_stream(streams_.size(), diagram.num_rows());
+  for (std::size_t r = 0; r < diagram.num_rows(); ++r) {
+    row_of_stream[static_cast<std::size_t>(diagram.row_spec(r).stream)] = r;
   }
 
   // Processing order: BFS distance from the analysed stream over the
@@ -65,20 +61,18 @@ int DelayBoundCalculator::relax(StreamId j, const HpSet& hp,
   });
 
   int suppressed = 0;
+  std::vector<std::size_t> intermediate_rows;
   for (const std::size_t i : order) {
-    std::vector<std::size_t> intermediate_rows;
+    intermediate_rows.clear();
     intermediate_rows.reserve(hp[i].intermediates.size());
     for (const StreamId mid : hp[i].intermediates) {
-      for (std::size_t k = 0; k < hp.size(); ++k) {
-        if (hp[k].id == mid) {
-          intermediate_rows.push_back(row_of_hp[k]);
-          break;
-        }
-      }
+      const std::size_t row = row_of_stream[static_cast<std::size_t>(mid)];
+      assert(row < diagram.num_rows() &&
+             "every intermediate stream is itself an HP member");
+      intermediate_rows.push_back(row);
     }
-    assert(intermediate_rows.size() == hp[i].intermediates.size() &&
-           "every intermediate stream is itself an HP member");
-    suppressed += diagram.relax_indirect_row(row_of_hp[i], intermediate_rows);
+    suppressed += diagram.relax_indirect_row(
+        row_of_stream[static_cast<std::size_t>(hp[i].id)], intermediate_rows);
   }
   return suppressed;
 }
@@ -93,11 +87,19 @@ TimingDiagram DelayBoundCalculator::build_diagram(StreamId j, const HpSet& hp,
   return diagram;
 }
 
-DelayBoundResult DelayBoundCalculator::calc_at_horizon(StreamId j,
-                                                       const HpSet& hp,
-                                                       Time horizon) const {
+void DelayBoundCalculator::evaluate(StreamId j, const HpSet& hp,
+                                    TimingDiagram& diagram,
+                                    DelayBoundResult& result) const {
+  const bool want_relax = config_.relaxation == IndirectRelaxation::kInstance &&
+                          result.indirect_elements > 0 && !config_.carry_over;
+  result.suppressed_instances = want_relax ? relax(j, hp, diagram) : 0;
+  result.bound = diagram.accumulate_free(streams_[j].latency);
+}
+
+DelayBoundResult DelayBoundCalculator::calc_with_hp(StreamId j,
+                                                    const HpSet& hp) const {
+  const auto& s = streams_[j];
   DelayBoundResult result;
-  result.horizon_used = horizon;
   for (const auto& e : hp) {
     if (e.mode == BlockMode::kIndirect) {
       ++result.indirect_elements;
@@ -106,36 +108,37 @@ DelayBoundResult DelayBoundCalculator::calc_at_horizon(StreamId j,
     }
   }
 
-  TimingDiagram diagram(make_rows(hp), horizon, config_.carry_over);
-  const bool want_relax = config_.relaxation == IndirectRelaxation::kInstance &&
-                          result.indirect_elements > 0 && !config_.carry_over;
-  if (want_relax) {
-    result.suppressed_instances = relax(j, hp, diagram);
-  }
-  result.bound = diagram.accumulate_free(streams_[j].latency);
-  return result;
-}
-
-DelayBoundResult DelayBoundCalculator::calc_with_hp(StreamId j,
-                                                    const HpSet& hp) const {
-  const auto& s = streams_[j];
   if (config_.horizon == HorizonPolicy::kDeadline) {
     // The paper's Cal_U scans exactly dtime = D_j slots.
-    return calc_at_horizon(j, hp, std::max<Time>(s.deadline, 1));
+    const Time horizon = std::max<Time>(s.deadline, 1);
+    result.horizon_used = horizon;
+    if (s.latency > horizon) {
+      // Even a contention-free diagram cannot accumulate `latency` free
+      // slots before the deadline: infeasible without building anything.
+      result.bound = kNoTime;
+      return result;
+    }
+    TimingDiagram diagram(make_rows(hp), horizon, config_.carry_over);
+    evaluate(j, hp, diagram, result);
+    return result;
   }
+
   // Extended search: doubling horizons until the bound converges or the
   // cap is hit.  The slot pattern of a shorter horizon is a prefix of a
   // longer one, so the first horizon that yields a bound is final (the
   // indirect relaxation can shift decisions near the horizon edge, which
-  // is why the result records the horizon actually used).
+  // is why the result records the horizon actually used).  One diagram is
+  // reset() across the horizons instead of reconstructed from scratch.
   Time horizon = std::max<Time>({s.deadline, config_.initial_horizon, 1});
-  DelayBoundResult result;
+  TimingDiagram diagram(make_rows(hp), horizon, config_.carry_over);
   for (;;) {
-    result = calc_at_horizon(j, hp, horizon);
+    result.horizon_used = horizon;
+    evaluate(j, hp, diagram, result);
     if (result.bound != kNoTime || horizon >= config_.horizon_cap) {
       return result;
     }
     horizon = std::min<Time>(horizon * 2, config_.horizon_cap);
+    diagram.reset(horizon);
   }
 }
 

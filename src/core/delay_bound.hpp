@@ -58,8 +58,10 @@ class DelayBoundCalculator {
   const BlockingAnalysis& blocking_;
   AnalysisConfig config_;
 
-  DelayBoundResult calc_at_horizon(StreamId j, const HpSet& hp,
-                                   Time horizon) const;
+  /// Relaxes (when configured) and scans \p diagram at its current
+  /// horizon, filling the bound and suppression fields of \p result.
+  void evaluate(StreamId j, const HpSet& hp, TimingDiagram& diagram,
+                DelayBoundResult& result) const;
   /// Applies Modify_Diagram to \p diagram; returns suppressed count.
   int relax(StreamId j, const HpSet& hp, TimingDiagram& diagram) const;
   std::vector<RowSpec> make_rows(const HpSet& hp) const;

@@ -1,11 +1,12 @@
 #include "core/feasibility.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace wormrt::core {
 
 FeasibilityReport determine_feasibility(const StreamSet& streams,
                                         const AnalysisConfig& config) {
   FeasibilityReport report;
-  report.feasible = true;
   report.streams.resize(streams.size());
 
   const BlockingAnalysis blocking(
@@ -16,9 +17,14 @@ FeasibilityReport determine_feasibility(const StreamSet& streams,
   const DelayBoundCalculator calc(streams, blocking, config);
 
   // GList loop: priority levels from highest down; the order does not
-  // change any U value (the HP sets are fixed) but is kept for fidelity
-  // and so progress reporting mirrors the paper.
-  for (const StreamId j : streams.by_priority_desc()) {
+  // change any U value (the HP sets are fixed), which is what lets the
+  // per-stream Cal_U calls fan out across threads.  Each result lands in
+  // its own pre-sized slot, so every num_threads setting yields the same
+  // report bit for bit; the serial num_threads == 1 path keeps the
+  // paper's processing order exactly.
+  const std::vector<StreamId> order = streams.by_priority_desc();
+  util::parallel_for(order.size(), config.num_threads, [&](std::size_t k) {
+    const StreamId j = order[k];
     const DelayBoundResult r = calc.calc(j);
     auto& out = report.streams[static_cast<std::size_t>(j)];
     out.id = j;
@@ -27,8 +33,13 @@ FeasibilityReport determine_feasibility(const StreamSet& streams,
     out.hp_indirect = r.indirect_elements;
     out.suppressed_instances = r.suppressed_instances;
     out.ok = r.bound != kNoTime && r.bound <= streams[j].deadline;
-    if (!out.ok) {
+  });
+
+  report.feasible = true;
+  for (const auto& s : report.streams) {
+    if (!s.ok) {
       report.feasible = false;
+      break;
     }
   }
   return report;

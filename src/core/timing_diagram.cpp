@@ -1,29 +1,61 @@
 #include "core/timing_diagram.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace wormrt::core {
 
+namespace {
+
+/// The \p n lowest set bits of \p x (n <= popcount(x)).
+inline std::uint64_t lowest_n_set(std::uint64_t x, int n) {
+  std::uint64_t rest = x;
+  for (int i = 0; i < n; ++i) {
+    rest &= rest - 1;  // clear the lowest set bit
+  }
+  return x ^ rest;
+}
+
+/// Bits [lo, hi] of a word, 0 <= lo <= hi <= 63.
+inline std::uint64_t span_mask(unsigned lo, unsigned hi) {
+  const std::uint64_t upto =
+      hi == 63 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (hi + 1)) - 1);
+  return upto & (~std::uint64_t{0} << lo);
+}
+
+}  // namespace
+
 TimingDiagram::TimingDiagram(std::vector<RowSpec> rows, Time horizon,
                              bool carry_over)
     : rows_(std::move(rows)), horizon_(horizon), carry_over_(carry_over) {
-  assert(horizon_ >= 1);
   for (std::size_t r = 1; r < rows_.size(); ++r) {
     assert((rows_[r - 1].priority > rows_[r].priority ||
             (rows_[r - 1].priority == rows_[r].priority &&
              rows_[r - 1].stream < rows_[r].stream)) &&
            "rows must be sorted by non-increasing priority");
   }
-  slots_.resize(rows_.size());
+  for (const RowSpec& r : rows_) {
+    assert(r.period >= 1 && r.length >= 1);
+    (void)r;
+  }
   suppressed_.resize(rows_.size());
+  reset(horizon);
+}
+
+void TimingDiagram::reset(Time horizon) {
+  assert(horizon >= 1);
+  horizon_ = horizon;
+  words_ = (static_cast<std::size_t>(horizon_) + kBits - 1) / kBits;
+  busy_.assign(words_, 0);
+  alloc_.assign(rows_.size() * words_, 0);
+  wait_.assign(rows_.size() * words_, 0);
   for (std::size_t r = 0; r < rows_.size(); ++r) {
-    assert(rows_[r].period >= 1 && rows_[r].length >= 1);
-    slots_[r].assign(static_cast<std::size_t>(horizon_), 0);
     suppressed_[r].assign(num_windows(r), 0);
   }
-  busy_.assign(static_cast<std::size_t>(horizon_), 0);
-  rebuild_from(0);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    allocate_row(r);
+  }
 }
 
 std::size_t TimingDiagram::num_windows(std::size_t r) const {
@@ -31,9 +63,67 @@ std::size_t TimingDiagram::num_windows(std::size_t r) const {
   return static_cast<std::size_t>((horizon_ + period - 1) / period);
 }
 
+Time TimingDiagram::allocate_range(std::uint64_t* alloc, std::uint64_t* wait,
+                                   Time start, Time end, Time demand) {
+  if (demand <= 0 || start >= end) {
+    return 0;
+  }
+  Time allocated = 0;
+  const std::size_t w0 = word_of(start);
+  const std::size_t w1 = word_of(end - 1);
+  for (std::size_t w = w0; w <= w1; ++w) {
+    const unsigned lo =
+        w == w0 ? static_cast<unsigned>(start % static_cast<Time>(kBits)) : 0;
+    const unsigned hi =
+        w == w1 ? static_cast<unsigned>((end - 1) % static_cast<Time>(kBits))
+                : 63u;
+    const std::uint64_t mask = span_mask(lo, hi);
+    const std::uint64_t busy_w = busy_[w];
+    const std::uint64_t free_mask = ~busy_w & mask;
+    const Time cnt = std::popcount(free_mask);
+    if (free_mask == mask) {
+      // Nothing busy in the scanned region — the common head-of-window
+      // case: the taken slots are contiguous, no per-bit select needed.
+      if (cnt < demand - allocated) {
+        alloc[w] |= mask;
+        busy_[w] |= mask;
+        allocated += cnt;
+        continue;
+      }
+      const auto need = static_cast<unsigned>(demand - allocated);
+      const std::uint64_t taken = span_mask(lo, lo + need - 1);
+      alloc[w] |= taken;
+      busy_[w] |= taken;
+      return demand;
+    }
+    if (cnt < demand - allocated) {
+      // The whole masked region is scanned: take every free slot, wait on
+      // every busy one.
+      alloc[w] |= free_mask;
+      wait[w] |= busy_w & mask;
+      busy_[w] |= free_mask;
+      allocated += cnt;
+    } else {
+      // The scan stops at the slot that satisfies the demand: take the
+      // first `need` free slots, wait only on busy slots before it.
+      const int need = static_cast<int>(demand - allocated);
+      const std::uint64_t taken = lowest_n_set(free_mask, need);
+      const auto last = static_cast<unsigned>(63 - std::countl_zero(taken));
+      const std::uint64_t scanned = mask & span_mask(0, last);
+      alloc[w] |= taken;
+      wait[w] |= busy_w & scanned;
+      busy_[w] |= taken;
+      return demand;
+    }
+  }
+  return allocated;
+}
+
 void TimingDiagram::allocate_row(std::size_t r) {
-  auto& row = slots_[r];
-  std::fill(row.begin(), row.end(), static_cast<std::uint8_t>(Slot::kFree));
+  std::uint64_t* alloc = row_alloc(r);
+  std::uint64_t* wait = row_wait(r);
+  std::fill(alloc, alloc + words_, 0);
+  std::fill(wait, wait + words_, 0);
   const Time period = rows_[r].period;
   const Time length = rows_[r].length;
 
@@ -47,17 +137,7 @@ void TimingDiagram::allocate_row(std::size_t r) {
       }
       const Time start = static_cast<Time>(w) * period;
       const Time end = std::min(start + period, horizon_);
-      Time allocated = 0;
-      for (Time t = start; t < end && allocated < length; ++t) {
-        const auto idx = static_cast<std::size_t>(t);
-        if (busy_[idx] != 0) {
-          row[idx] = static_cast<std::uint8_t>(Slot::kWaiting);
-        } else {
-          row[idx] = static_cast<std::uint8_t>(Slot::kAllocated);
-          busy_[idx] = 1;
-          ++allocated;
-        }
-      }
+      allocate_range(alloc, wait, start, end, length);
     }
     return;
   }
@@ -65,21 +145,10 @@ void TimingDiagram::allocate_row(std::size_t r) {
   // Carry-over semantics: unserved demand backlogs across windows.
   // Suppression is not defined in this mode (see relax_indirect_row).
   Time pending = 0;
-  for (Time t = 0; t < horizon_; ++t) {
-    if (t % period == 0) {
-      pending += length;
-    }
-    if (pending == 0) {
-      continue;
-    }
-    const auto idx = static_cast<std::size_t>(t);
-    if (busy_[idx] != 0) {
-      row[idx] = static_cast<std::uint8_t>(Slot::kWaiting);
-    } else {
-      row[idx] = static_cast<std::uint8_t>(Slot::kAllocated);
-      busy_[idx] = 1;
-      --pending;
-    }
+  for (Time start = 0; start < horizon_; start += period) {
+    pending += length;
+    const Time end = std::min(start + period, horizon_);
+    pending -= allocate_range(alloc, wait, start, end, pending);
   }
 }
 
@@ -87,11 +156,9 @@ void TimingDiagram::rebuild_from(std::size_t from) {
   // busy_ must reflect exactly the allocations of rows above `from`.
   std::fill(busy_.begin(), busy_.end(), 0);
   for (std::size_t r = 0; r < from; ++r) {
-    const auto& row = slots_[r];
-    for (std::size_t t = 0; t < row.size(); ++t) {
-      if (row[t] == static_cast<std::uint8_t>(Slot::kAllocated)) {
-        busy_[t] = 1;
-      }
+    const std::uint64_t* alloc = row_alloc(r);
+    for (std::size_t w = 0; w < words_; ++w) {
+      busy_[w] |= alloc[w];
     }
   }
   for (std::size_t r = from; r < rows_.size(); ++r) {
@@ -107,28 +174,40 @@ int TimingDiagram::relax_indirect_row(
   int suppressed_count = 0;
   const Time period = rows_[r].period;
   const std::size_t windows = num_windows(r);
+  const std::uint64_t* alloc = row_alloc(r);
+  const std::uint64_t* wait = row_wait(r);
   for (std::size_t w = 0; w < windows; ++w) {
     if (suppressed_[r][w] != 0) {
       continue;
     }
     const Time start = static_cast<Time>(w) * period;
     const Time end = std::min(start + period, horizon_);
-    // Footprint of the instance: its ALLOCATED and WAITING slots.
+    // Footprint of the instance: its ALLOCATED and WAITING slots.  The
+    // instance survives iff some intermediate row is active during one of
+    // those slots.
     bool has_footprint = false;
     bool intermediate_seen = false;
-    for (Time t = start; t < end; ++t) {
-      if (!row_active(r, t)) {
+    const std::size_t kw0 = word_of(start);
+    const std::size_t kw1 = word_of(end - 1);
+    for (std::size_t kw = kw0; kw <= kw1 && !intermediate_seen; ++kw) {
+      const unsigned lo =
+          kw == kw0 ? static_cast<unsigned>(start % static_cast<Time>(kBits))
+                    : 0;
+      const unsigned hi =
+          kw == kw1
+              ? static_cast<unsigned>((end - 1) % static_cast<Time>(kBits))
+              : 63u;
+      const std::uint64_t footprint =
+          (alloc[kw] | wait[kw]) & span_mask(lo, hi);
+      if (footprint == 0) {
         continue;
       }
       has_footprint = true;
       for (const std::size_t ir : intermediate_rows) {
-        if (row_active(ir, t)) {
+        if ((footprint & (row_alloc(ir)[kw] | row_wait(ir)[kw])) != 0) {
           intermediate_seen = true;
           break;
         }
-      }
-      if (intermediate_seen) {
-        break;
       }
     }
     if (has_footprint && !intermediate_seen) {
@@ -147,11 +226,24 @@ int TimingDiagram::relax_indirect_row(
 Time TimingDiagram::accumulate_free(Time required) const {
   assert(required >= 1);
   Time gained = 0;
-  for (Time t = 0; t < horizon_; ++t) {
-    if (busy_[static_cast<std::size_t>(t)] == 0) {
-      if (++gained == required) {
-        return t + 1;  // the paper reports 1-indexed completion times
-      }
+  for (std::size_t w = 0; w < words_; ++w) {
+    const Time word_start = static_cast<Time>(w * kBits);
+    std::uint64_t free_mask = ~busy_[w];
+    if (horizon_ - word_start < static_cast<Time>(kBits)) {
+      // Tail word: slots at and beyond the horizon do not exist.
+      free_mask &= span_mask(0, static_cast<unsigned>(horizon_ - word_start - 1));
+    }
+    const Time cnt = std::popcount(free_mask);
+    if (gained + cnt >= required) {
+      const int need = static_cast<int>(required - gained);
+      const std::uint64_t upto = lowest_n_set(free_mask, need);
+      const auto last = static_cast<unsigned>(63 - std::countl_zero(upto));
+      return word_start + static_cast<Time>(last) +
+             1;  // the paper reports 1-indexed completion times
+    }
+    gained += cnt;
+    if (required - gained > horizon_ - word_start - static_cast<Time>(kBits)) {
+      return kNoTime;  // even all-free remaining slots cannot reach it
     }
   }
   return kNoTime;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,13 @@
 /// Modify_Diagram is realised by suppress-and-rebuild: suppressing a
 /// window of a row removes that message instance's demand, and rebuilding
 /// the rows below re-allocates ("compacts") them into the freed slots.
+///
+/// Storage is bit-packed: each row keeps two 64-slot-per-word bitmaps
+/// (ALLOCATED and WAITING; FREE is the absence of both), and `busy_` is
+/// the union of the allocation bitmaps.  Allocation, rebuild, relaxation
+/// and free-slot accounting all run word-at-a-time with popcount/ctz
+/// instead of byte-at-a-time, and `reset()` lets the doubling-horizon
+/// search of Cal_U reuse one diagram's buffers across horizons.
 
 namespace wormrt::core {
 
@@ -42,24 +50,34 @@ class TimingDiagram {
   /// backlogs into the following windows instead of being dropped.
   TimingDiagram(std::vector<RowSpec> rows, Time horizon, bool carry_over);
 
+  /// Rebuilds the initial diagram at a new horizon, clearing any
+  /// suppression, but reusing the existing buffers where possible — the
+  /// doubling-horizon loop of Cal_U calls this instead of reconstructing.
+  void reset(Time horizon);
+
   std::size_t num_rows() const { return rows_.size(); }
   Time horizon() const { return horizon_; }
   const RowSpec& row_spec(std::size_t r) const { return rows_.at(r); }
 
   Slot at(std::size_t r, Time t) const {
-    return static_cast<Slot>(slots_.at(r)[static_cast<std::size_t>(t)]);
+    const std::size_t w = word_of(t);
+    const std::uint64_t bit = bit_of(t);
+    if (alloc_[r * words_ + w] & bit) {
+      return Slot::kAllocated;
+    }
+    return (wait_[r * words_ + w] & bit) ? Slot::kWaiting : Slot::kFree;
   }
 
   /// ALLOCATED or WAITING — the row's stream "exists" at \p t in the
   /// sense of the paper's Fig. 6 discussion.
   bool row_active(std::size_t r, Time t) const {
-    const auto s = static_cast<Slot>(slots_[r][static_cast<std::size_t>(t)]);
-    return s == Slot::kAllocated || s == Slot::kWaiting;
+    const std::size_t w = word_of(t);
+    return ((alloc_[r * words_ + w] | wait_[r * words_ + w]) & bit_of(t)) != 0;
   }
 
   /// No row transmits at \p t: the analysed stream may use the slot.
   bool free_at_bottom(Time t) const {
-    return busy_[static_cast<std::size_t>(t)] == 0;
+    return (busy_[word_of(t)] & bit_of(t)) == 0;
   }
 
   /// Number of windows (message instances) of row \p r within the horizon.
@@ -82,7 +100,8 @@ class TimingDiagram {
 
   /// Scans the bottom row: returns the 1-indexed time at which the count
   /// of free slots reaches \p required, or kNoTime when the horizon ends
-  /// first.  (The paper's Cal_U lines 9-12.)
+  /// first.  (The paper's Cal_U lines 9-12.)  Exits early once the slots
+  /// remaining before the horizon cannot reach \p required.
   Time accumulate_free(Time required) const;
 
   /// ASCII rendering in the style of the paper's Figs. 4/6/7/9:
@@ -90,12 +109,39 @@ class TimingDiagram {
   std::string render() const;
 
  private:
+  static constexpr std::size_t kBits = 64;
+
   std::vector<RowSpec> rows_;
   Time horizon_;
   bool carry_over_;
-  std::vector<std::vector<std::uint8_t>> slots_;      // per row, per time
-  std::vector<std::vector<std::uint8_t>> suppressed_; // per row, per window
-  std::vector<std::uint8_t> busy_;  // per time: some row allocated
+  std::size_t words_ = 0;             // ceil(horizon / 64)
+  std::vector<std::uint64_t> busy_;   // per word: some row allocated
+  std::vector<std::uint64_t> alloc_;  // row-major [row][word]
+  std::vector<std::uint64_t> wait_;   // row-major [row][word]
+  std::vector<std::vector<std::uint8_t>> suppressed_;  // per row, per window
+
+  static std::size_t word_of(Time t) {
+    return static_cast<std::size_t>(t) / kBits;
+  }
+  static std::uint64_t bit_of(Time t) {
+    return std::uint64_t{1} << (static_cast<std::size_t>(t) % kBits);
+  }
+
+  std::uint64_t* row_alloc(std::size_t r) { return alloc_.data() + r * words_; }
+  std::uint64_t* row_wait(std::size_t r) { return wait_.data() + r * words_; }
+  const std::uint64_t* row_alloc(std::size_t r) const {
+    return alloc_.data() + r * words_;
+  }
+  const std::uint64_t* row_wait(std::size_t r) const {
+    return wait_.data() + r * words_;
+  }
+
+  /// Greedily hands the first free slots of [start, end) to the row:
+  /// up to \p demand slots become ALLOCATED (and busy), busy slots
+  /// scanned before the demand is met become WAITING.  Returns the number
+  /// of slots allocated.
+  Time allocate_range(std::uint64_t* alloc, std::uint64_t* wait, Time start,
+                      Time end, Time demand);
 
   /// Re-allocates rows [from, end), assuming rows above are up to date.
   void rebuild_from(std::size_t from);

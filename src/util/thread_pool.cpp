@@ -1,0 +1,162 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wormrt::util {
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stopping = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return stopping || !queue.empty(); });
+        if (stopping && queue.empty()) {
+          return;
+        }
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned workers) : impl_(new Impl) {
+  impl_->workers.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) {
+    w.join();
+  }
+  delete impl_;
+}
+
+unsigned ThreadPool::size() const {
+  return static_cast<unsigned>(impl_->workers.size());
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(resolve_threads(0));
+  return pool;
+}
+
+unsigned ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) {
+    return static_cast<unsigned>(requested);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+/// Shared state of one parallel_for call.  Kept alive by shared_ptr until
+/// the last helper task has observed the exhausted index counter (a
+/// helper may be scheduled long after the loop completed).
+struct LoopState {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> in_flight{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        break;
+      }
+      in_flight.fetch_add(1, std::memory_order_acq_rel);
+      try {
+        (*body)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          if (!error) {
+            error = std::current_exception();
+          }
+        }
+        next.store(count, std::memory_order_relaxed);  // cancel the rest
+      }
+      if (in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+          next.load(std::memory_order_relaxed) >= count) {
+        std::lock_guard<std::mutex> lk(mu);
+        cv.notify_all();
+      }
+    }
+  }
+
+  bool finished() {
+    return next.load(std::memory_order_relaxed) >= count &&
+           in_flight.load(std::memory_order_acquire) == 0;
+  }
+};
+
+}  // namespace
+
+void parallel_for(std::size_t count, int num_threads,
+                  const std::function<void(std::size_t)>& body) {
+  const unsigned threads = ThreadPool::resolve_threads(num_threads);
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->count = count;
+  state->body = &body;
+
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t want =
+      std::min<std::size_t>(threads, count) - 1;  // caller is a participant
+  const std::size_t helpers = std::min<std::size_t>(want, pool.size());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([state] { state->drain(); });
+  }
+
+  state->drain();
+  {
+    std::unique_lock<std::mutex> lk(state->mu);
+    state->cv.wait(lk, [&] { return state->finished(); });
+  }
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace wormrt::util

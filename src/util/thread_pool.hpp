@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+/// \file thread_pool.hpp
+/// A small reusable worker pool plus a dynamic `parallel_for`, the
+/// execution engine behind the parallel feasibility analysis.
+///
+/// Design constraints, in order:
+///   1. Determinism — `parallel_for(n, ...)` assigns each index exactly
+///      once; callers write results into pre-sized slots indexed by the
+///      loop variable, so the output is bitwise identical to the serial
+///      loop regardless of the thread count or scheduling order.
+///   2. No deadlocks under nesting — the calling thread always
+///      participates in the loop (it drains the index counter itself),
+///      so a `parallel_for` issued from inside a pool worker completes
+///      even when every other worker is busy.
+///   3. Reuse — worker threads are created once (see ThreadPool::shared)
+///      and amortised across the many small analysis calls an admission
+///      controller serves.
+
+namespace wormrt::util {
+
+class ThreadPool {
+ public:
+  /// Spawns \p workers worker threads (0 is allowed; the pool is then a
+  /// queue nobody drains — only useful in tests).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const;
+
+  /// Enqueues \p task for execution by some worker.  Tasks must not
+  /// block waiting for other queued tasks (parallel_for obeys this: its
+  /// helpers never wait, only the submitting caller does, and the caller
+  /// makes progress on its own).
+  void submit(std::function<void()> task);
+
+  /// Process-wide pool sized to the hardware concurrency, created on
+  /// first use.  All parallel_for calls share it.
+  static ThreadPool& shared();
+
+  /// Maps an AnalysisConfig::num_threads request to an effective thread
+  /// count: <= 0 means "use the hardware concurrency", otherwise the
+  /// request itself (minimum 1).
+  static unsigned resolve_threads(int requested);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Runs `body(0) ... body(count - 1)` across up to \p num_threads
+/// threads (resolved per ThreadPool::resolve_threads).  Indices are
+/// handed out dynamically one at a time, so imbalanced work — e.g. the
+/// low-priority streams whose HP sets dwarf everyone else's — spreads
+/// evenly.  With an effective thread count of 1 (or count <= 1) the body
+/// runs inline on the caller, with no synchronisation: the serial
+/// paper-fidelity path.
+///
+/// The first exception thrown by any invocation is rethrown on the
+/// caller after remaining indices are cancelled.
+void parallel_for(std::size_t count, int num_threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace wormrt::util

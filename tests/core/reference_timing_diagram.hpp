@@ -1,0 +1,185 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "core/timing_diagram.hpp"
+
+/// \file reference_timing_diagram.hpp
+/// The retained byte-per-slot TimingDiagram the analysis shipped with
+/// before the bit-packed rewrite, kept verbatim as the oracle for the
+/// property tests: simple enough to audit against the paper's pseudocode,
+/// slow enough that it lives only under tests/.
+
+namespace wormrt::core::testing {
+
+class ReferenceTimingDiagram {
+ public:
+  ReferenceTimingDiagram(std::vector<RowSpec> rows, Time horizon,
+                         bool carry_over)
+      : rows_(std::move(rows)), horizon_(horizon), carry_over_(carry_over) {
+    assert(horizon_ >= 1);
+    slots_.resize(rows_.size());
+    suppressed_.resize(rows_.size());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      slots_[r].assign(static_cast<std::size_t>(horizon_), 0);
+      suppressed_[r].assign(num_windows(r), 0);
+    }
+    busy_.assign(static_cast<std::size_t>(horizon_), 0);
+    rebuild_from(0);
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  Time horizon() const { return horizon_; }
+
+  Slot at(std::size_t r, Time t) const {
+    return static_cast<Slot>(slots_.at(r)[static_cast<std::size_t>(t)]);
+  }
+
+  bool row_active(std::size_t r, Time t) const {
+    const auto s = static_cast<Slot>(slots_[r][static_cast<std::size_t>(t)]);
+    return s == Slot::kAllocated || s == Slot::kWaiting;
+  }
+
+  bool free_at_bottom(Time t) const {
+    return busy_[static_cast<std::size_t>(t)] == 0;
+  }
+
+  std::size_t num_windows(std::size_t r) const {
+    const Time period = rows_.at(r).period;
+    return static_cast<std::size_t>((horizon_ + period - 1) / period);
+  }
+
+  bool window_suppressed(std::size_t r, std::size_t w) const {
+    return suppressed_.at(r).at(w) != 0;
+  }
+
+  int relax_indirect_row(std::size_t r,
+                         const std::vector<std::size_t>& intermediate_rows) {
+    assert(!carry_over_);
+    assert(r < rows_.size());
+    int suppressed_count = 0;
+    const Time period = rows_[r].period;
+    const std::size_t windows = num_windows(r);
+    for (std::size_t w = 0; w < windows; ++w) {
+      if (suppressed_[r][w] != 0) {
+        continue;
+      }
+      const Time start = static_cast<Time>(w) * period;
+      const Time end = std::min(start + period, horizon_);
+      bool has_footprint = false;
+      bool intermediate_seen = false;
+      for (Time t = start; t < end; ++t) {
+        if (!row_active(r, t)) {
+          continue;
+        }
+        has_footprint = true;
+        for (const std::size_t ir : intermediate_rows) {
+          if (row_active(ir, t)) {
+            intermediate_seen = true;
+            break;
+          }
+        }
+        if (intermediate_seen) {
+          break;
+        }
+      }
+      if (has_footprint && !intermediate_seen) {
+        suppressed_[r][w] = 1;
+        ++suppressed_count;
+      }
+    }
+    if (suppressed_count > 0) {
+      rebuild_from(r);
+    }
+    return suppressed_count;
+  }
+
+  Time accumulate_free(Time required) const {
+    assert(required >= 1);
+    Time gained = 0;
+    for (Time t = 0; t < horizon_; ++t) {
+      if (busy_[static_cast<std::size_t>(t)] == 0) {
+        if (++gained == required) {
+          return t + 1;
+        }
+      }
+    }
+    return kNoTime;
+  }
+
+ private:
+  std::vector<RowSpec> rows_;
+  Time horizon_;
+  bool carry_over_;
+  std::vector<std::vector<std::uint8_t>> slots_;
+  std::vector<std::vector<std::uint8_t>> suppressed_;
+  std::vector<std::uint8_t> busy_;
+
+  void rebuild_from(std::size_t from) {
+    std::fill(busy_.begin(), busy_.end(), 0);
+    for (std::size_t r = 0; r < from; ++r) {
+      const auto& row = slots_[r];
+      for (std::size_t t = 0; t < row.size(); ++t) {
+        if (row[t] == static_cast<std::uint8_t>(Slot::kAllocated)) {
+          busy_[t] = 1;
+        }
+      }
+    }
+    for (std::size_t r = from; r < rows_.size(); ++r) {
+      allocate_row(r);
+    }
+  }
+
+  void allocate_row(std::size_t r) {
+    auto& row = slots_[r];
+    std::fill(row.begin(), row.end(), static_cast<std::uint8_t>(Slot::kFree));
+    const Time period = rows_[r].period;
+    const Time length = rows_[r].length;
+
+    if (!carry_over_) {
+      const std::size_t windows = num_windows(r);
+      for (std::size_t w = 0; w < windows; ++w) {
+        if (suppressed_[r][w] != 0) {
+          continue;
+        }
+        const Time start = static_cast<Time>(w) * period;
+        const Time end = std::min(start + period, horizon_);
+        Time allocated = 0;
+        for (Time t = start; t < end && allocated < length; ++t) {
+          const auto idx = static_cast<std::size_t>(t);
+          if (busy_[idx] != 0) {
+            row[idx] = static_cast<std::uint8_t>(Slot::kWaiting);
+          } else {
+            row[idx] = static_cast<std::uint8_t>(Slot::kAllocated);
+            busy_[idx] = 1;
+            ++allocated;
+          }
+        }
+      }
+      return;
+    }
+
+    Time pending = 0;
+    for (Time t = 0; t < horizon_; ++t) {
+      if (t % period == 0) {
+        pending += length;
+      }
+      if (pending == 0) {
+        continue;
+      }
+      const auto idx = static_cast<std::size_t>(t);
+      if (busy_[idx] != 0) {
+        row[idx] = static_cast<std::uint8_t>(Slot::kWaiting);
+      } else {
+        row[idx] = static_cast<std::uint8_t>(Slot::kAllocated);
+        busy_[idx] = 1;
+        --pending;
+      }
+    }
+  }
+};
+
+}  // namespace wormrt::core::testing

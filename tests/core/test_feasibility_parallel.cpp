@@ -1,0 +1,115 @@
+// Determinism of the parallel feasibility engine: fanning the per-stream
+// Cal_U calls across threads must change nothing — every field of the
+// report is compared against the serial paper-fidelity path.
+
+#include <gtest/gtest.h>
+
+#include "core/admission.hpp"
+#include "core/feasibility.hpp"
+#include "core/workload.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt::core {
+namespace {
+
+void expect_identical(const FeasibilityReport& serial,
+                      const FeasibilityReport& parallel,
+                      const std::string& what) {
+  ASSERT_EQ(serial.streams.size(), parallel.streams.size()) << what;
+  EXPECT_EQ(serial.feasible, parallel.feasible) << what;
+  for (std::size_t i = 0; i < serial.streams.size(); ++i) {
+    const auto& a = serial.streams[i];
+    const auto& b = parallel.streams[i];
+    EXPECT_EQ(a.id, b.id) << what << " stream " << i;
+    EXPECT_EQ(a.bound, b.bound) << what << " stream " << i;
+    EXPECT_EQ(a.ok, b.ok) << what << " stream " << i;
+    EXPECT_EQ(a.hp_direct, b.hp_direct) << what << " stream " << i;
+    EXPECT_EQ(a.hp_indirect, b.hp_indirect) << what << " stream " << i;
+    EXPECT_EQ(a.suppressed_instances, b.suppressed_instances)
+        << what << " stream " << i;
+  }
+}
+
+TEST(FeasibilityParallel, ReportIdenticalAcrossThreadCounts) {
+  topo::Mesh mesh(10, 10);
+  const route::XYRouting xy;
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    for (const int levels : {1, 4}) {
+      WorkloadParams wp;
+      wp.num_streams = 40;
+      wp.priority_levels = levels;
+      wp.seed = seed;
+      const StreamSet streams = generate_workload(mesh, xy, wp);
+
+      AnalysisConfig serial_cfg;
+      serial_cfg.num_threads = 1;
+      const FeasibilityReport serial =
+          determine_feasibility(streams, serial_cfg);
+
+      for (const int threads : {4, 0}) {
+        AnalysisConfig cfg;
+        cfg.num_threads = threads;
+        const FeasibilityReport parallel = determine_feasibility(streams, cfg);
+        expect_identical(serial, parallel,
+                         "seed " + std::to_string(seed) + " levels " +
+                             std::to_string(levels) + " threads " +
+                             std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(FeasibilityParallel, ExtendedHorizonAlsoIdentical) {
+  topo::Mesh mesh(10, 10);
+  const route::XYRouting xy;
+  WorkloadParams wp;
+  wp.num_streams = 30;
+  wp.priority_levels = 3;
+  wp.seed = 99;
+  const StreamSet streams = generate_workload(mesh, xy, wp);
+
+  AnalysisConfig serial_cfg;
+  serial_cfg.horizon = HorizonPolicy::kExtended;
+  serial_cfg.num_threads = 1;
+  AnalysisConfig parallel_cfg = serial_cfg;
+  parallel_cfg.num_threads = 4;
+  expect_identical(determine_feasibility(streams, serial_cfg),
+                   determine_feasibility(streams, parallel_cfg), "extended");
+}
+
+TEST(FeasibilityParallel, AdmissionDecisionsIdenticalAcrossThreadCounts) {
+  topo::Mesh mesh(6, 6);
+  const route::XYRouting xy;
+  AnalysisConfig serial_cfg;
+  serial_cfg.num_threads = 1;
+  AnalysisConfig parallel_cfg;
+  parallel_cfg.num_threads = 4;
+  AdmissionController serial(mesh, xy, serial_cfg);
+  AdmissionController parallel(mesh, xy, parallel_cfg);
+
+  util::Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    const auto src = static_cast<topo::NodeId>(
+        rng.uniform_int(0, mesh.num_nodes() - 1));
+    auto dst = static_cast<topo::NodeId>(
+        rng.uniform_int(0, mesh.num_nodes() - 2));
+    if (dst >= src) {
+      ++dst;
+    }
+    const auto priority = static_cast<Priority>(rng.uniform_int(0, 3));
+    const Time period = rng.uniform_int(40, 90);
+    const Time length = rng.uniform_int(1, 30);
+
+    const auto a = serial.request(src, dst, priority, period, length, period);
+    const auto b =
+        parallel.request(src, dst, priority, period, length, period);
+    EXPECT_EQ(a.admitted, b.admitted) << "request " << i;
+    EXPECT_EQ(a.bound, b.bound) << "request " << i;
+    EXPECT_EQ(a.would_break, b.would_break) << "request " << i;
+  }
+  EXPECT_EQ(serial.size(), parallel.size());
+}
+
+}  // namespace
+}  // namespace wormrt::core

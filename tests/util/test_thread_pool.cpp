@@ -1,0 +1,110 @@
+// The parallel_for contract: every index exactly once, exceptions
+// propagate to the caller, nesting cannot deadlock, and the serial path
+// involves no machinery at all.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace wormrt::util {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 0}) {
+    std::vector<int> hits(1000, 0);
+    parallel_for(hits.size(), threads,
+                 [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000)
+        << "threads " << threads;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleElementRanges) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, ResultsIdenticalToSerialLoop) {
+  std::vector<double> serial(257), parallel(257);
+  const auto body = [](std::size_t i) {
+    double v = static_cast<double>(i) + 1.0;
+    for (int k = 0; k < 10; ++k) {
+      v = v * 1.0000001 + static_cast<double>(k);
+    }
+    return v;
+  };
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    serial[i] = body(i);
+  }
+  parallel_for(parallel.size(), 4,
+               [&](std::size_t i) { parallel[i] = body(i); });
+  EXPECT_EQ(serial, parallel);  // bitwise: same slot, same computation
+}
+
+TEST(ParallelFor, PropagatesException) {
+  for (const int threads : {1, 4}) {
+    EXPECT_THROW(
+        parallel_for(100, threads,
+                     [](std::size_t i) {
+                       if (i == 57) {
+                         throw std::runtime_error("boom");
+                       }
+                     }),
+        std::runtime_error)
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelFor, NestedLoopsComplete) {
+  // A parallel_for issued from inside a pool worker must finish even when
+  // every worker is occupied: the caller drains its own indices.
+  std::atomic<int> total{0};
+  parallel_for(8, 4, [&](std::size_t) {
+    parallel_for(8, 4, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_GE(ThreadPool::resolve_threads(-3), 1u);
+}
+
+TEST(ThreadPool, SharedPoolRunsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  std::atomic<int> done{0};
+  constexpr int kTasks = 16;
+  for (int i = 0; i < kTasks; ++i) {
+    ThreadPool::shared().submit([&] {
+      ran.fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  // The pool has at least one worker; wait for the queue to drain.
+  while (done.load() < kTasks) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+}  // namespace
+}  // namespace wormrt::util
