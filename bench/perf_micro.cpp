@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/admission.hpp"
 #include "core/delay_bound.hpp"
 #include "core/feasibility.hpp"
 #include "core/workload.hpp"
@@ -114,6 +115,57 @@ void BM_DetermineFeasibility(benchmark::State& state) {
 BENCHMARK(BM_DetermineFeasibility)
     ->Args({60, 1})->Args({60, 2})->Args({60, 4})->Args({60, 0})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Admission churn under a standing population: each iteration tears one
+// established channel down and re-establishes it.  Args are {streams,
+// mode} with mode 0 = incremental (recompute only the mutation's dirty
+// closure) and mode 1 = full recompute per decision (the
+// pre-incremental baseline).  Decisions are identical in both modes;
+// the ratio of the two rows at equal n is the incremental speedup.
+void BM_AdmissionChurn(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto mode = state.range(1) == 0
+                        ? AdmissionController::Mode::kIncremental
+                        : AdmissionController::Mode::kFullRecompute;
+  topo::Mesh mesh(16, 16);
+  const route::XYRouting xy;
+  WorkloadParams wp;
+  wp.num_streams = n;
+  wp.priority_levels = 4;
+  wp.seed = 42;
+  StreamSet streams = generate_workload(mesh, xy, wp);
+  adjust_periods_to_bounds(streams);  // whole set feasible => all admitted
+
+  AdmissionController ctrl(mesh, xy, {}, mode);
+  std::vector<AdmissionController::Handle> handles;
+  for (const MessageStream& s : streams) {
+    const auto d = ctrl.request(s.src, s.dst, s.priority, s.period, s.length,
+                                s.deadline);
+    handles.push_back(d.admitted ? d.handle : -1);
+  }
+
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    while (handles[idx] < 0) {
+      idx = (idx + 1) % handles.size();
+    }
+    const MessageStream& s = streams[static_cast<StreamId>(idx)];
+    ctrl.remove(handles[idx]);
+    const auto d = ctrl.request(s.src, s.dst, s.priority, s.period, s.length,
+                                s.deadline);
+    handles[idx] = d.admitted ? d.handle : -1;
+    benchmark::DoNotOptimize(d.bound);
+    idx = (idx + 1) % handles.size();
+  }
+  state.counters["population"] = static_cast<double>(ctrl.size());
+  state.counters["decisions/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AdmissionChurn)
+    ->Args({20, 0})->Args({20, 1})
+    ->Args({60, 0})->Args({60, 1})
+    ->Args({200, 0})->Args({200, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_XyRouting(benchmark::State& state) {
   topo::Mesh mesh(16, 16);

@@ -1,0 +1,298 @@
+// wormrtd load generator: measures the admission-control service under
+// churn and emits BENCH_service.json.
+//
+//   ./bench/svc_churn [--streams 60] [--ops 1500] [--clients 4]
+//                     [--mesh 16x16 (cols equal rows: --mesh 16)]
+//                     [--out BENCH_service.json]
+//
+// Three measurements:
+//   1. in-process churn with the incremental engine (decision latency
+//      percentiles and decisions/s),
+//   2. the same operation sequence under full recompute per decision
+//      (the pre-incremental baseline; the ratio is the speedup),
+//   3. end-to-end over a real Unix-domain socket: N client threads
+//      driving REQUEST/REMOVE churn against a Server, with
+//      client-observed latencies and aggregate throughput.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/workload.hpp"
+#include "route/dor.hpp"
+#include "svc/json.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "topo/mesh.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+#include <unistd.h>
+
+namespace {
+
+using namespace wormrt;
+using svc::Json;
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ChurnResult {
+  double decisions_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+};
+
+/// Establishes the feasible population, then runs `ops` single-channel
+/// teardown + re-establishment cycles, timing each decision.
+ChurnResult run_inprocess(const topo::Mesh& mesh,
+                          const route::XYRouting& routing,
+                          const core::StreamSet& streams, int ops,
+                          core::AdmissionController::Mode mode) {
+  core::AdmissionController ctrl(mesh, routing, {}, mode);
+  std::vector<core::AdmissionController::Handle> handles;
+  for (const core::MessageStream& s : streams) {
+    const auto d = ctrl.request(s.src, s.dst, s.priority, s.period, s.length,
+                                s.deadline);
+    handles.push_back(d.admitted ? d.handle : -1);
+  }
+
+  util::SampleSet latency;
+  std::size_t idx = 0;
+  const double t0 = now_us();
+  for (int op = 0; op < ops; ++op) {
+    while (handles[idx] < 0) {
+      idx = (idx + 1) % handles.size();
+    }
+    const core::MessageStream& s = streams[static_cast<StreamId>(idx)];
+    const double d0 = now_us();
+    ctrl.remove(handles[idx]);
+    const auto d = ctrl.request(s.src, s.dst, s.priority, s.period, s.length,
+                                s.deadline);
+    latency.add(now_us() - d0);
+    handles[idx] = d.admitted ? d.handle : -1;
+    idx = (idx + 1) % handles.size();
+  }
+  const double elapsed_us = now_us() - t0;
+
+  ChurnResult r;
+  r.decisions_per_sec = static_cast<double>(ops) / (elapsed_us * 1e-6);
+  r.p50_us = latency.percentile(50);
+  r.p99_us = latency.percentile(99);
+  r.mean_us = latency.mean();
+  return r;
+}
+
+struct SocketResult {
+  double throughput_rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+};
+
+/// N client threads, each on its own connection, churning its own slice
+/// of the stream population against a live Server.
+SocketResult run_socket(const topo::Mesh& mesh,
+                        const route::XYRouting& routing,
+                        const core::StreamSet& streams, int ops, int clients) {
+  svc::Service service(mesh, routing);
+  char path[128];
+  std::snprintf(path, sizeof path, "/tmp/wormrt-churn-%d.sock",
+                static_cast<int>(::getpid()));
+  svc::ServerConfig config;
+  config.unix_path = path;
+  config.workers = clients;
+  svc::Server server(service, config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "svc_churn: %s\n", error.c_str());
+    return {};
+  }
+
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(clients));
+  std::vector<std::uint64_t> errors(static_cast<std::size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  const double t0 = now_us();
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      svc::Client client;
+      std::string err;
+      if (!client.connect_unix(path, &err)) {
+        ++errors[static_cast<std::size_t>(t)];
+        return;
+      }
+      // This client's slice of the population.
+      std::vector<std::pair<const core::MessageStream*, std::int64_t>> mine;
+      for (std::size_t i = static_cast<std::size_t>(t); i < streams.size();
+           i += static_cast<std::size_t>(clients)) {
+        mine.emplace_back(&streams[static_cast<StreamId>(i)], -1);
+      }
+      if (mine.empty()) {
+        return;
+      }
+      const int my_ops = ops / clients;
+      std::size_t idx = 0;
+      for (int op = 0; op < my_ops; ++op) {
+        auto& [s, handle] = mine[idx];
+        idx = (idx + 1) % mine.size();
+        std::string response;
+        if (handle >= 0) {
+          Json rm = Json::object();
+          rm.set("verb", "REMOVE");
+          rm.set("handle", handle);
+          if (!client.call(rm.dump(), &response, &err)) {
+            ++errors[static_cast<std::size_t>(t)];
+            return;
+          }
+          handle = -1;
+        }
+        Json rq = Json::object();
+        rq.set("verb", "REQUEST");
+        rq.set("src", static_cast<std::int64_t>(s->src));
+        rq.set("dst", static_cast<std::int64_t>(s->dst));
+        rq.set("priority", static_cast<std::int64_t>(s->priority));
+        rq.set("period", s->period);
+        rq.set("length", s->length);
+        rq.set("deadline", s->deadline);
+        const double c0 = now_us();
+        if (!client.call(rq.dump(), &response, &err)) {
+          ++errors[static_cast<std::size_t>(t)];
+          return;
+        }
+        latencies[static_cast<std::size_t>(t)].push_back(now_us() - c0);
+        std::string parse_error;
+        const Json reply = Json::parse(response, &parse_error);
+        if (!parse_error.empty() || !reply.is_object()) {
+          ++errors[static_cast<std::size_t>(t)];
+          continue;
+        }
+        const Json* h = reply.get("handle");
+        if (h != nullptr) {
+          handle = h->as_int();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const double elapsed_us = now_us() - t0;
+  server.stop();
+
+  util::SampleSet all;
+  std::uint64_t total_errors = 0;
+  for (int t = 0; t < clients; ++t) {
+    for (const double v : latencies[static_cast<std::size_t>(t)]) {
+      all.add(v);
+    }
+    total_errors += errors[static_cast<std::size_t>(t)];
+  }
+
+  SocketResult r;
+  r.calls = all.count();
+  r.errors = total_errors;
+  if (!all.empty()) {
+    r.throughput_rps = static_cast<double>(all.count()) / (elapsed_us * 1e-6);
+    r.p50_us = all.percentile(50);
+    r.p99_us = all.percentile(99);
+  }
+  return r;
+}
+
+Json to_json(const ChurnResult& r) {
+  Json j = Json::object();
+  j.set("decisions_per_sec", r.decisions_per_sec);
+  j.set("mean_us", r.mean_us);
+  j.set("p50_us", r.p50_us);
+  j.set("p99_us", r.p99_us);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int n = static_cast<int>(args.get_int("streams", 60));
+  const int ops = static_cast<int>(args.get_int("ops", 1500));
+  const int clients = static_cast<int>(args.get_int("clients", 4));
+  const std::string out_path = args.get_string("out", "BENCH_service.json");
+  int side = static_cast<int>(args.get_int("mesh", 16));
+  if (side * side < n) {
+    std::fprintf(stderr, "svc_churn: mesh %dx%d too small for %d streams\n",
+                 side, side, n);
+    return 2;
+  }
+
+  const topo::Mesh mesh(side, side);
+  const route::XYRouting routing;
+  core::WorkloadParams wp;
+  wp.num_streams = n;
+  wp.priority_levels = 4;
+  wp.seed = 42;
+  core::StreamSet streams = core::generate_workload(mesh, routing, wp);
+  core::adjust_periods_to_bounds(streams);
+
+  std::printf("svc_churn: %d streams on %s, %d churn ops\n", n,
+              mesh.name().c_str(), ops);
+
+  const ChurnResult incremental = run_inprocess(
+      mesh, routing, streams, ops, core::AdmissionController::Mode::kIncremental);
+  std::printf("  incremental: %10.0f decisions/s  p50 %8.1f us  p99 %8.1f us\n",
+              incremental.decisions_per_sec, incremental.p50_us,
+              incremental.p99_us);
+
+  // The full-recompute baseline is far slower; cap its op count so the
+  // bench stays quick, the percentiles are still well-populated.
+  const int full_ops = std::min(ops, 200);
+  const ChurnResult full = run_inprocess(
+      mesh, routing, streams, full_ops,
+      core::AdmissionController::Mode::kFullRecompute);
+  std::printf("  full:        %10.0f decisions/s  p50 %8.1f us  p99 %8.1f us\n",
+              full.decisions_per_sec, full.p50_us, full.p99_us);
+
+  const double speedup = full.decisions_per_sec > 0
+                             ? incremental.decisions_per_sec /
+                                   full.decisions_per_sec
+                             : 0;
+  std::printf("  incremental vs full speedup: %.2fx\n", speedup);
+
+  const SocketResult socket =
+      run_socket(mesh, routing, streams, ops, clients);
+  std::printf("  socket (%d clients): %8.0f req/s  p50 %8.1f us  p99 %8.1f us"
+              "  (%llu calls, %llu errors)\n",
+              clients, socket.throughput_rps, socket.p50_us, socket.p99_us,
+              static_cast<unsigned long long>(socket.calls),
+              static_cast<unsigned long long>(socket.errors));
+
+  Json doc = Json::object();
+  doc.set("bench", "svc_churn");
+  doc.set("streams", std::int64_t{n});
+  doc.set("mesh", mesh.name());
+  doc.set("ops", std::int64_t{ops});
+  doc.set("incremental", to_json(incremental));
+  doc.set("full_recompute", to_json(full));
+  doc.set("incremental_vs_full_speedup", speedup);
+  Json sock = Json::object();
+  sock.set("clients", std::int64_t{clients});
+  sock.set("throughput_rps", socket.throughput_rps);
+  sock.set("p50_us", socket.p50_us);
+  sock.set("p99_us", socket.p99_us);
+  sock.set("calls", static_cast<std::int64_t>(socket.calls));
+  sock.set("errors", static_cast<std::int64_t>(socket.errors));
+  doc.set("socket", std::move(sock));
+
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return socket.errors == 0 ? 0 : 1;
+}

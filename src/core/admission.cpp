@@ -2,45 +2,13 @@
 
 #include <cassert>
 
-#include "core/delay_bound.hpp"
-#include "util/thread_pool.hpp"
-
 namespace wormrt::core {
 
 AdmissionController::AdmissionController(const topo::Topology& topo,
                                          const route::RoutingAlgorithm& routing,
-                                         AnalysisConfig config)
-    : topo_(topo), routing_(routing), config_(config) {}
-
-StreamSet AdmissionController::build_set(const MessageStream* extra) const {
-  StreamSet set;
-  for (const auto& e : entries_) {
-    MessageStream s = e.stream;
-    s.id = static_cast<StreamId>(set.size());
-    set.add(std::move(s));
-  }
-  if (extra != nullptr) {
-    MessageStream s = *extra;
-    s.id = static_cast<StreamId>(set.size());
-    set.add(std::move(s));
-  }
-  return set;
-}
-
-std::vector<Time> AdmissionController::bounds_for(const StreamSet& set) const {
-  const BlockingAnalysis blocking(
-      set, BlockingOptions{config_.same_priority_blocks,
-                           config_.ejection_port_overlap,
-                           config_.injection_port_overlap});
-  const DelayBoundCalculator calc(set, blocking, config_);
-  std::vector<Time> bounds(set.size());
-  // Every admission decision re-evaluates the whole population; the
-  // per-stream bounds are independent, so fan them out (each into its own
-  // slot — identical to the serial loop for any num_threads).
-  util::parallel_for(set.size(), config_.num_threads, [&](std::size_t j) {
-    bounds[j] = calc.calc(static_cast<StreamId>(j)).bound;
-  });
-  return bounds;
+                                         AnalysisConfig config, Mode mode)
+    : topo_(topo), routing_(routing), engine_(topo, config) {
+  engine_.set_force_full(mode == Mode::kFullRecompute);
 }
 
 AdmissionController::Decision AdmissionController::request(
@@ -54,50 +22,39 @@ AdmissionController::Decision AdmissionController::request(
     return decision;  // trivially impossible, nothing else to blame
   }
 
-  const StreamSet trial = build_set(&candidate);
-  const std::vector<Time> bounds = bounds_for(trial);
-  const std::size_t cand_index = trial.size() - 1;
-  decision.bound = bounds[cand_index];
+  // Trial add: the engine recomputes the newcomer's bound plus exactly
+  // the established streams the newcomer can delay (its dirty closure).
+  // Everyone else provably keeps both its bound and its guarantee.
+  const IncrementalAnalyzer::Mutation trial =
+      engine_.add_stream(std::move(candidate));
+  decision.bound = *engine_.bound(trial.handle);
 
   bool ok = decision.bound != kNoTime && decision.bound <= deadline;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const Time b = bounds[i];
-    if (b == kNoTime || b > trial[static_cast<StreamId>(i)].deadline) {
-      decision.would_break.push_back(entries_[i].handle);
+  for (const Handle h : trial.dirty) {
+    const Time b = *engine_.bound(h);
+    if (b == kNoTime || b > engine_.find(h)->deadline) {
+      decision.would_break.push_back(h);
       ok = false;
     }
   }
   if (!ok) {
+    // Roll the trial back; the reverse mutation recomputes the same dirty
+    // closure, restoring every cached bound to its pre-trial value.
+    engine_.remove_stream(trial.handle);
     return decision;
   }
 
   decision.admitted = true;
-  decision.handle = next_handle_++;
-  entries_.push_back(Entry{decision.handle, std::move(candidate)});
+  decision.handle = trial.handle;
   return decision;
 }
 
 bool AdmissionController::remove(Handle handle) {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].handle == handle) {
-      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
-      return true;
-    }
-  }
-  return false;
+  return engine_.remove_stream(handle).has_value();
 }
 
 std::optional<Time> AdmissionController::bound_of(Handle handle) const {
-  const StreamSet set = build_set(nullptr);
-  const std::vector<Time> bounds = bounds_for(set);
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].handle == handle) {
-      return bounds[i];
-    }
-  }
-  return std::nullopt;
+  return engine_.bound(handle);
 }
-
-StreamSet AdmissionController::snapshot() const { return build_set(nullptr); }
 
 }  // namespace wormrt::core

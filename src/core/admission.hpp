@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/analysis_config.hpp"
+#include "core/incremental.hpp"
 #include "core/message_stream.hpp"
 
 /// \file admission.hpp
@@ -15,18 +16,33 @@
 /// over the paper's wormhole delay bound: a request is admitted iff its
 /// own bound meets its deadline AND every already-admitted stream's
 /// bound still meets its deadline with the newcomer's interference.
+///
+/// The heavy lifting lives in core::IncrementalAnalyzer: a request is a
+/// trial add that recomputes only the dirty closure of the newcomer
+/// (rolled back when the decision is a rejection), a teardown releases
+/// interference with the same dirty-set recomputation, and bound queries
+/// are O(1) cache reads.  Streams outside the dirty set provably keep
+/// their bounds, so the decisions are identical to the full-recompute
+/// procedure — the kFullRecompute mode keeps that baseline available for
+/// benchmarking and the exactness property tests.
 
 namespace wormrt::core {
 
 class AdmissionController {
  public:
   /// Stable handle for an admitted channel (survives removals).
-  using Handle = std::int64_t;
+  using Handle = IncrementalAnalyzer::Handle;
+
+  /// kIncremental recomputes only each mutation's dirty closure;
+  /// kFullRecompute re-analyses the whole population per decision (the
+  /// pre-incremental behaviour — same decisions, more work).
+  enum class Mode { kIncremental, kFullRecompute };
 
   /// Topology and routing are borrowed and must outlive the controller.
   AdmissionController(const topo::Topology& topo,
                       const route::RoutingAlgorithm& routing,
-                      AnalysisConfig config = {});
+                      AnalysisConfig config = {},
+                      Mode mode = Mode::kIncremental);
 
   struct Decision {
     bool admitted = false;
@@ -49,31 +65,24 @@ class AdmissionController {
   /// Returns false for an unknown handle.
   bool remove(Handle handle);
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return engine_.size(); }
 
-  /// Current delay bound of an established channel (recomputed against
-  /// the present population), or nullopt for an unknown handle.
+  /// Current delay bound of an established channel, or nullopt for an
+  /// unknown handle.  Served from the engine's bound cache — no
+  /// re-analysis happens on this path.
   std::optional<Time> bound_of(Handle handle) const;
 
   /// The established streams as a dense StreamSet (ids are positions,
   /// not handles) — for simulation or reporting.
-  StreamSet snapshot() const;
+  StreamSet snapshot() const { return engine_.snapshot(); }
+
+  /// The underlying engine (bound cache, work counters, digraph).
+  const IncrementalAnalyzer& engine() const { return engine_; }
 
  private:
   const topo::Topology& topo_;
   const route::RoutingAlgorithm& routing_;
-  AnalysisConfig config_;
-  Handle next_handle_ = 0;
-
-  struct Entry {
-    Handle handle;
-    MessageStream stream;  // id rewritten to the dense position on use
-  };
-  std::vector<Entry> entries_;
-
-  StreamSet build_set(const MessageStream* extra) const;
-  /// Bounds for every stream of \p set, deadline-horizon semantics.
-  std::vector<Time> bounds_for(const StreamSet& set) const;
+  IncrementalAnalyzer engine_;
 };
 
 }  // namespace wormrt::core

@@ -5,7 +5,7 @@
 
 namespace wormrt::core {
 
-Bdg::Bdg(const BlockingAnalysis& blocking, StreamId j, const HpSet& hp) {
+Bdg::Bdg(const DirectBlocking& blocking, StreamId j, const HpSet& hp) {
   ids_.reserve(hp.size() + 1);
   for (const auto& e : hp) {
     ids_.push_back(e.id);

@@ -18,8 +18,9 @@ class Bdg {
  public:
   /// Builds the BDG for stream \p j with HP set \p hp.  Node indices:
   /// 0..hp.size()-1 correspond to hp elements (in hp order), and
-  /// hp.size() is the analysed stream j itself.
-  Bdg(const BlockingAnalysis& blocking, StreamId j, const HpSet& hp);
+  /// hp.size() is the analysed stream j itself.  Any DirectBlocking
+  /// oracle works — the eager BlockingAnalysis or the incremental engine.
+  Bdg(const DirectBlocking& blocking, StreamId j, const HpSet& hp);
 
   std::size_t num_nodes() const { return ids_.size(); }
 

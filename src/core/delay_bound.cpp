@@ -8,6 +8,11 @@ namespace wormrt::core {
 DelayBoundCalculator::DelayBoundCalculator(const StreamSet& streams,
                                            const BlockingAnalysis& blocking,
                                            AnalysisConfig config)
+    : streams_(streams), blocking_(blocking), full_(&blocking), config_(config) {}
+
+DelayBoundCalculator::DelayBoundCalculator(const StreamSet& streams,
+                                           const DirectBlocking& blocking,
+                                           AnalysisConfig config)
     : streams_(streams), blocking_(blocking), config_(config) {}
 
 std::vector<RowSpec> DelayBoundCalculator::make_rows(const HpSet& hp) const {
@@ -144,7 +149,9 @@ DelayBoundResult DelayBoundCalculator::calc_with_hp(StreamId j,
 
 DelayBoundResult DelayBoundCalculator::calc(StreamId j) const {
   assert(j >= 0 && static_cast<std::size_t>(j) < streams_.size());
-  return calc_with_hp(j, blocking_.hp_set(j));
+  assert(full_ != nullptr && "calc() needs a BlockingAnalysis; use "
+                             "calc_with_hp with an oracle-only calculator");
+  return calc_with_hp(j, full_->hp_set(j));
 }
 
 }  // namespace wormrt::core

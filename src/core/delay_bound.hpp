@@ -38,7 +38,15 @@ class DelayBoundCalculator {
                        const BlockingAnalysis& blocking,
                        AnalysisConfig config = {});
 
-  /// Cal_U(j) with the HP set from the blocking analysis.
+  /// Oracle-only construction: calc_with_hp works against any
+  /// DirectBlocking implementation (the incremental engine computes HP
+  /// sets itself); calc(), which needs the eagerly built HP sets, is
+  /// unavailable on this path.
+  DelayBoundCalculator(const StreamSet& streams,
+                       const DirectBlocking& blocking, AnalysisConfig config);
+
+  /// Cal_U(j) with the HP set from the blocking analysis.  Requires
+  /// construction from a BlockingAnalysis.
   DelayBoundResult calc(StreamId j) const;
 
   /// Cal_U(j) against an explicit HP set (used to reproduce the paper's
@@ -55,7 +63,9 @@ class DelayBoundCalculator {
 
  private:
   const StreamSet& streams_;
-  const BlockingAnalysis& blocking_;
+  const DirectBlocking& blocking_;
+  /// Non-null only when constructed from a BlockingAnalysis (calc()).
+  const BlockingAnalysis* full_ = nullptr;
   AnalysisConfig config_;
 
   /// Relaxes (when configured) and scans \p diagram at its current

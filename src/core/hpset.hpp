@@ -51,6 +51,21 @@ struct BlockingOptions {
   bool injection_port_overlap = true;
 };
 
+/// Read-only view of the pairwise direct-blocking relation over a dense
+/// stream population 0..size()-1.  `BlockingAnalysis` realises it by
+/// precomputing the whole matrix at construction; the incremental
+/// admission engine maintains one across add/remove mutations.  The BDG
+/// and the delay-bound calculator only ever consult this interface.
+class DirectBlocking {
+ public:
+  virtual ~DirectBlocking() = default;
+
+  virtual std::size_t size() const = 0;
+
+  /// True when stream \p a can directly delay stream \p b.
+  virtual bool direct_blocks(StreamId a, StreamId b) const = 0;
+};
+
 /// Precomputes the pairwise direct-blocking relation of a stream set and
 /// derives HP sets from it.
 ///
@@ -63,7 +78,7 @@ struct BlockingOptions {
 /// direct-blocking digraph; an element with no direct edge to `j` is
 /// INDIRECT and its intermediates are its direct successors that also
 /// reach `j` (the heads of its blocking chains).
-class BlockingAnalysis {
+class BlockingAnalysis : public DirectBlocking {
  public:
   explicit BlockingAnalysis(const StreamSet& streams,
                             BlockingOptions options = {});
@@ -73,10 +88,10 @@ class BlockingAnalysis {
       : BlockingAnalysis(streams,
                          BlockingOptions{same_priority_blocks, true, true}) {}
 
-  std::size_t size() const { return n_; }
+  std::size_t size() const override { return n_; }
 
   /// True when stream \p a can directly delay stream \p b.
-  bool direct_blocks(StreamId a, StreamId b) const;
+  bool direct_blocks(StreamId a, StreamId b) const override;
 
   /// The HP set of stream \p j (computed eagerly at construction).
   const HpSet& hp_set(StreamId j) const {

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analysis_config.hpp"
+#include "core/hpset.hpp"
+#include "core/message_stream.hpp"
+
+/// \file incremental.hpp
+/// The incremental delay-bound engine behind online admission control.
+///
+/// The paper's feasibility test is an off-line whole-set computation:
+/// every query rebuilds the blocking analysis and re-runs Cal_U for the
+/// entire population, so cost grows with system size instead of with the
+/// size of the change.  This engine maintains the channel-overlap index
+/// and the direct-blocking digraph incrementally across stream add /
+/// remove mutations, derives the *dirty set* of each mutation — exactly
+/// the streams whose HP sets can change — and recomputes bounds only for
+/// those, serving everyone else from a bound cache.
+///
+/// Dirty-set rule (see DESIGN.md §7): HP_j is the set of streams that
+/// reach j in the direct-blocking digraph (edges encode the priority
+/// restriction already), so adding or removing stream x can change HP_j
+/// only for the j's that x reaches — the forward closure of x over
+/// "blocks" edges, equivalently the reverse-reachable closure of x over
+/// the transposed (blocked-by) BDG the relaxation walks.  Every other
+/// stream keeps an untouched HP set, an untouched footprint of blocking
+/// edges among HP ∪ {j}, and therefore an unchanged bound: ids renumber
+/// on removal, but renumbering preserves relative order and every
+/// tie-break in the analysis is a `<` on ids.
+///
+/// The engine is exact, not approximate: a property test churns random
+/// add/remove sequences and asserts the cached bounds are identical to a
+/// from-scratch BlockingAnalysis + Cal_U pass after every mutation.
+
+namespace wormrt::core {
+
+class IncrementalAnalyzer : public DirectBlocking {
+ public:
+  /// Stable handle for an admitted stream (survives removals of others).
+  using Handle = std::int64_t;
+
+  /// The topology is borrowed and must outlive the engine; it sizes the
+  /// per-channel / per-port overlap indexes.  Streams arrive pre-routed
+  /// (make_stream), so no routing algorithm is needed here.
+  explicit IncrementalAnalyzer(const topo::Topology& topo,
+                               AnalysisConfig config = {});
+
+  /// Outcome of one mutation: the touched stream's handle plus the
+  /// established streams whose bounds were recomputed (the dirty set,
+  /// excluding the touched stream itself), in ascending id order.
+  struct Mutation {
+    Handle handle = -1;
+    std::vector<Handle> dirty;
+  };
+
+  /// Registers \p stream (its id is rewritten to the dense position),
+  /// updates the overlap index and blocking digraph, and recomputes the
+  /// bounds of the dirty closure.  Returns the new handle + dirty set.
+  Mutation add_stream(MessageStream stream);
+
+  /// Tears a stream down, releasing its interference and recomputing the
+  /// bounds of the streams it blocked.  nullopt for an unknown handle.
+  std::optional<Mutation> remove_stream(Handle handle);
+
+  /// Number of registered streams.
+  std::size_t size() const override { return streams_.size(); }
+
+  bool direct_blocks(StreamId a, StreamId b) const override;
+
+  /// Cached bound of a stream — O(1), no re-analysis (kNoTime when the
+  /// free slots never accumulated to the latency within the deadline).
+  std::optional<Time> bound(Handle handle) const;
+
+  /// The registered stream behind \p handle, or nullptr.
+  const MessageStream* find(Handle handle) const;
+
+  /// Dense id of \p handle (kNoStream when unknown).  Ids shift on
+  /// removal; handles never do.
+  StreamId id_of(Handle handle) const;
+  Handle handle_of(StreamId id) const;
+
+  /// Cached bound by dense id (no recompute).
+  Time bound_at(StreamId id) const { return bounds_.at(static_cast<std::size_t>(id)); }
+
+  /// The current population (dense ids, engine order).
+  const StreamSet& streams() const { return streams_; }
+  StreamSet snapshot() const { return streams_; }
+
+  /// HP set of dense stream \p j derived from the maintained digraph —
+  /// element-for-element identical to BlockingAnalysis::hp_set on the
+  /// same population.
+  HpSet hp_set(StreamId j) const;
+
+  /// From-scratch bounds of the current population (BlockingAnalysis +
+  /// Cal_U for every stream): the reference the exactness tests and the
+  /// full-vs-incremental benches compare against.
+  std::vector<Time> full_recompute_bounds() const;
+
+  /// When set, every mutation marks the whole population dirty — the
+  /// "full recompute per decision" behaviour of the pre-incremental
+  /// AdmissionController, kept for benchmarking and as the property-test
+  /// oracle.
+  void set_force_full(bool force) { force_full_ = force; }
+  bool force_full() const { return force_full_; }
+
+  /// Cumulative work counters, for regression tests ("two consecutive
+  /// bound_of calls do no re-analysis") and the service STATS verb.
+  struct Stats {
+    std::uint64_t adds = 0;
+    std::uint64_t removes = 0;
+    /// Cal_U evaluations performed (== total dirty-set sizes + adds).
+    std::uint64_t bound_recomputes = 0;
+    /// Established streams marked dirty across all mutations.
+    std::uint64_t dirty_marked = 0;
+    /// Direct-blocking edges inserted or erased.
+    std::uint64_t edge_updates = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const AnalysisConfig& config() const { return config_; }
+
+ private:
+  const topo::Topology& topo_;
+  AnalysisConfig config_;
+  bool force_full_ = false;
+  Handle next_handle_ = 0;
+  Stats stats_;
+
+  StreamSet streams_;                    // dense ids = positions
+  std::vector<Handle> handles_;          // id -> handle
+  std::vector<Time> bounds_;             // id -> cached bound
+  std::vector<std::vector<std::uint8_t>> adj_;  // adj_[a][b]: a blocks b
+  std::unordered_map<Handle, StreamId> index_;  // handle -> id
+
+  /// Channel-overlap index: streams using each directed channel / port.
+  std::vector<std::vector<StreamId>> by_channel_;
+  std::vector<std::vector<StreamId>> by_src_;
+  std::vector<std::vector<StreamId>> by_dst_;
+
+  /// Streams overlapping \p s on some shared resource (dedup'd).
+  std::vector<StreamId> overlap_candidates(const MessageStream& s) const;
+  /// Forward closure of \p x over blocks edges, excluding x itself,
+  /// ascending.  The streams whose HP sets the mutation can change.
+  std::vector<StreamId> dirty_closure(StreamId x) const;
+  /// Recomputes and caches bounds for \p ids (parallel across streams).
+  void recompute(const std::vector<StreamId>& ids);
+  void unindex(StreamId id);
+  static void drop_and_shift(std::vector<StreamId>& list, StreamId id);
+};
+
+}  // namespace wormrt::core

@@ -19,6 +19,14 @@ void StreamSet::add(MessageStream stream) {
   streams_.push_back(std::move(stream));
 }
 
+void StreamSet::remove_stream(StreamId id) {
+  assert(id >= 0 && static_cast<std::size_t>(id) < streams_.size());
+  streams_.erase(streams_.begin() + static_cast<std::ptrdiff_t>(id));
+  for (std::size_t i = static_cast<std::size_t>(id); i < streams_.size(); ++i) {
+    streams_[i].id = static_cast<StreamId>(i);
+  }
+}
+
 Priority StreamSet::max_priority() const {
   Priority p = 0;
   for (const auto& s : streams_) {

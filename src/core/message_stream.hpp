@@ -44,6 +44,13 @@ class StreamSet {
   /// Appends a stream; its id must equal the current size.
   void add(MessageStream stream);
 
+  /// Erases stream \p id, keeping the relative order of the survivors and
+  /// renumbering ids above it down by one.  Order preservation matters:
+  /// every tie-break in the analysis compares ids with `<`, so bounds are
+  /// invariant under this renumbering (the incremental admission engine's
+  /// bound cache relies on it).
+  void remove_stream(StreamId id);
+
   std::size_t size() const { return streams_.size(); }
   bool empty() const { return streams_.empty(); }
   const MessageStream& operator[](StreamId id) const {

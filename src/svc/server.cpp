@@ -1,0 +1,337 @@
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wormrt::svc {
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  Service& service;
+  ServerConfig config;
+  util::ThreadPool pool;
+  int listen_fd = -1;
+  int tcp_port = -1;
+  std::thread acceptor;
+  std::atomic<bool> stopping{false};
+  bool started = false;
+  std::mutex conn_mu;
+  std::vector<int> connections;
+
+  Impl(Service& svc, ServerConfig cfg)
+      : service(svc),
+        config(std::move(cfg)),
+        pool(static_cast<unsigned>(std::max(1, cfg.workers))) {}
+
+  void track(int fd) {
+    std::lock_guard<std::mutex> lk(conn_mu);
+    connections.push_back(fd);
+  }
+
+  void untrack(int fd) {
+    std::lock_guard<std::mutex> lk(conn_mu);
+    connections.erase(std::remove(connections.begin(), connections.end(), fd),
+                      connections.end());
+  }
+
+  /// One connection's lifetime: buffered line reader over recv, one
+  /// response line per request line.
+  void serve_connection(int fd) {
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        break;  // peer closed, transport error, or stop() shut us down
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = buffer.find('\n', start);
+        if (nl == std::string::npos) {
+          break;
+        }
+        const std::string line = buffer.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty()) {
+          continue;
+        }
+        const std::string reply = service.handle_line(line);
+        if (!send_all(fd, reply + "\n")) {
+          start = buffer.size();
+          break;
+        }
+      }
+      buffer.erase(0, start);
+    }
+    untrack(fd);
+    ::close(fd);
+  }
+
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return;  // listener closed by stop()
+      }
+      if (stopping.load(std::memory_order_acquire)) {
+        ::close(fd);
+        return;
+      }
+      track(fd);
+      pool.submit([this, fd] { serve_connection(fd); });
+    }
+  }
+};
+
+Server::Server(Service& service, ServerConfig config)
+    : impl_(std::make_unique<Impl>(service, std::move(config))) {}
+
+Server::~Server() { stop(); }
+
+int Server::port() const { return impl_->tcp_port; }
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what + ": " + std::strerror(errno);
+    }
+    if (impl_->listen_fd >= 0) {
+      ::close(impl_->listen_fd);
+      impl_->listen_fd = -1;
+    }
+    return false;
+  };
+
+  if (!impl_->config.unix_path.empty()) {
+    impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) {
+      return fail("socket");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (impl_->config.unix_path.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr) {
+        *error = "unix socket path too long";
+      }
+      ::close(impl_->listen_fd);
+      impl_->listen_fd = -1;
+      return false;
+    }
+    std::strncpy(addr.sun_path, impl_->config.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(impl_->config.unix_path.c_str());
+    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      return fail("bind " + impl_->config.unix_path);
+    }
+  } else if (impl_->config.tcp_port >= 0) {
+    impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) {
+      return fail("socket");
+    }
+    const int one = 1;
+    ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(impl_->config.tcp_port));
+    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      return fail("bind 127.0.0.1:" + std::to_string(impl_->config.tcp_port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      impl_->tcp_port = ntohs(bound.sin_port);
+    }
+  } else {
+    if (error != nullptr) {
+      *error = "server config needs a unix path or a tcp port";
+    }
+    return false;
+  }
+
+  if (::listen(impl_->listen_fd, 64) != 0) {
+    return fail("listen");
+  }
+  impl_->acceptor = std::thread([this] { impl_->accept_loop(); });
+  impl_->started = true;
+  return true;
+}
+
+void Server::stop() {
+  if (!impl_->started) {
+    return;
+  }
+  impl_->started = false;
+  impl_->stopping.store(true, std::memory_order_release);
+  // Closing the listener unblocks accept(); shutting connections down
+  // unblocks their recv() so the pool workers drain and can be joined.
+  ::shutdown(impl_->listen_fd, SHUT_RDWR);
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  {
+    std::lock_guard<std::mutex> lk(impl_->conn_mu);
+    for (const int fd : impl_->connections) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (impl_->acceptor.joinable()) {
+    impl_->acceptor.join();
+  }
+  // Busy-wait-free drain: connection workers unregister themselves; the
+  // pool destructor in ~Impl joins the worker threads once tasks finish.
+  if (!impl_->config.unix_path.empty()) {
+    ::unlink(impl_->config.unix_path.c_str());
+  }
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool Client::connect_unix(const std::string& path, std::string* error) {
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "unix socket path too long";
+    }
+    close();
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) {
+      *error = "connect " + path + ": " + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connect_tcp(const std::string& host, int port,
+                         std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad host address: " + host;
+    }
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) {
+      *error = "connect " + host + ":" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::call(const std::string& request_line, std::string* response_line,
+                  std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "not connected";
+    }
+    return false;
+  }
+  if (!send_all(fd_, request_line + "\n")) {
+    if (error != nullptr) {
+      *error = std::string("send: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *response_line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      if (error != nullptr) {
+        *error = n == 0 ? "connection closed by server"
+                        : std::string("recv: ") + std::strerror(errno);
+      }
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace wormrt::svc

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "svc/service.hpp"
+
+/// \file server.hpp
+/// The wormrtd socket front end: listens on a Unix-domain or loopback
+/// TCP socket, accepts connections, and runs each connection's
+/// read-line / dispatch / write-line loop as a task on a
+/// util::ThreadPool worker.  The pool bounds concurrent connections;
+/// further accepts queue until a worker frees up.  The Service layer is
+/// thread-safe, so workers dispatch concurrently.
+
+namespace wormrt::svc {
+
+struct ServerConfig {
+  /// When non-empty: listen on this Unix-domain socket path (unlinked on
+  /// start and on stop).
+  std::string unix_path;
+  /// When >= 0 and unix_path is empty: listen on 127.0.0.1:tcp_port
+  /// (0 picks an ephemeral port, reported by port()).
+  int tcp_port = -1;
+  /// Connection workers (>= 1).
+  int workers = 4;
+};
+
+class Server {
+ public:
+  Server(Service& service, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop.  False + \p error on
+  /// failure.
+  bool start(std::string* error);
+
+  /// Actual TCP port (after an ephemeral bind), or -1 for Unix sockets.
+  int port() const;
+
+  /// Stops accepting, shuts down live connections, joins all workers.
+  /// Idempotent.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Blocking newline-delimited JSON client, used by wormrt-cli, the load
+/// generator, and the end-to-end tests.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect_unix(const std::string& path, std::string* error);
+  bool connect_tcp(const std::string& host, int port, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line and blocks for the one response line.
+  /// Returns false on transport failure.
+  bool call(const std::string& request_line, std::string* response_line,
+            std::string* error);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last response line
+};
+
+}  // namespace wormrt::svc

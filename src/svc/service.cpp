@@ -1,0 +1,274 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/stream_io.hpp"
+
+namespace wormrt::svc {
+
+namespace {
+
+/// Required integer field helper: writes into \p out, or returns false.
+bool req_int(const Json& request, const char* key, std::int64_t* out) {
+  const Json* v = request.get(key);
+  if (v == nullptr || !v->is_number()) {
+    return false;
+  }
+  *out = v->as_int();
+  return true;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Service::Service(const topo::Topology& topo,
+                 const route::RoutingAlgorithm& routing,
+                 core::AnalysisConfig config)
+    : topo_(topo),
+      ctrl_(topo, routing, config),
+      latency_hist_(0.0, 5000.0, 50) {}
+
+std::size_t Service::population() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ctrl_.size();
+}
+
+Json Service::error_reply(const std::string& what) {
+  ++counters_.errors;
+  Json reply = Json::object();
+  reply.set("ok", false);
+  reply.set("error", what);
+  return reply;
+}
+
+std::string Service::handle_line(const std::string& line) {
+  std::string parse_error;
+  const Json request = Json::parse(line, &parse_error);
+  Json reply;
+  if (!parse_error.empty()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    reply = error_reply("bad json: " + parse_error);
+  } else {
+    reply = handle(request);
+  }
+  return reply.dump();
+}
+
+Json Service::handle(const Json& request) {
+  if (!request.is_object()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return error_reply("request must be a json object");
+  }
+  const Json* verb = request.get("verb");
+  if (verb == nullptr || !verb->is_string()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return error_reply("missing verb");
+  }
+  const std::string& v = verb->as_string();
+  if (v == "REQUEST") return do_request(request);
+  if (v == "REMOVE") return do_remove(request);
+  if (v == "QUERY") return do_query(request);
+  if (v == "SNAPSHOT") return do_snapshot();
+  if (v == "STATS") return do_stats();
+  if (v == "SHUTDOWN") {
+    shutdown_.store(true, std::memory_order_release);
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("shutting_down", true);
+    return reply;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  return error_reply("unknown verb: " + v);
+}
+
+Json Service::do_request(const Json& request) {
+  std::int64_t src = 0, dst = 0, priority = 0, period = 0, length = 0,
+               deadline = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!req_int(request, "src", &src) || !req_int(request, "dst", &dst) ||
+      !req_int(request, "priority", &priority) ||
+      !req_int(request, "period", &period) ||
+      !req_int(request, "length", &length) ||
+      !req_int(request, "deadline", &deadline)) {
+    return error_reply(
+        "REQUEST needs integer src, dst, priority, period, length, deadline");
+  }
+  if (src < 0 || src >= topo_.num_nodes() || dst < 0 ||
+      dst >= topo_.num_nodes()) {
+    return error_reply("node id out of range");
+  }
+  if (src == dst) {
+    return error_reply("source equals destination");
+  }
+  if (period <= 0 || length <= 0 || deadline <= 0) {
+    return error_reply("period, length, deadline must be positive");
+  }
+
+  const double t0 = now_us();
+  const auto decision = ctrl_.request(
+      static_cast<topo::NodeId>(src), static_cast<topo::NodeId>(dst),
+      static_cast<Priority>(priority), period, length, deadline);
+  const double elapsed = now_us() - t0;
+  latency_hist_.add(elapsed);
+  latency_us_.add(elapsed);
+
+  ++counters_.requests;
+  if (decision.admitted) {
+    ++counters_.admitted;
+  } else {
+    ++counters_.rejected;
+  }
+
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("admitted", decision.admitted);
+  reply.set("bound", decision.bound);
+  if (decision.admitted) {
+    reply.set("handle", decision.handle);
+  }
+  Json broken = Json::array();
+  for (const auto h : decision.would_break) {
+    broken.push_back(h);
+  }
+  reply.set("would_break", std::move(broken));
+  return reply;
+}
+
+Json Service::do_remove(const Json& request) {
+  std::int64_t handle = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!req_int(request, "handle", &handle)) {
+    return error_reply("REMOVE needs integer handle");
+  }
+  const bool removed = ctrl_.remove(handle);
+  ++counters_.removes;
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("removed", removed);
+  return reply;
+}
+
+Json Service::do_query(const Json& request) {
+  std::int64_t handle = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!req_int(request, "handle", &handle)) {
+    return error_reply("QUERY needs integer handle");
+  }
+  ++counters_.queries;
+  const auto bound = ctrl_.bound_of(handle);
+  if (!bound.has_value()) {
+    return error_reply("unknown handle");
+  }
+  const auto* stream = ctrl_.engine().find(handle);
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("bound", *bound);
+  reply.set("deadline", stream->deadline);
+  reply.set("guaranteed", *bound != kNoTime && *bound <= stream->deadline);
+  return reply;
+}
+
+Json Service::do_snapshot() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.snapshots;
+  const core::StreamSet streams = ctrl_.snapshot();
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("size", static_cast<std::int64_t>(streams.size()));
+  reply.set("csv", core::streams_to_csv(streams));
+  return reply;
+}
+
+Json Service::do_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.stats_calls;
+
+  Json verbs = Json::object();
+  verbs.set("requests", static_cast<std::int64_t>(counters_.requests));
+  verbs.set("admitted", static_cast<std::int64_t>(counters_.admitted));
+  verbs.set("rejected", static_cast<std::int64_t>(counters_.rejected));
+  verbs.set("removes", static_cast<std::int64_t>(counters_.removes));
+  verbs.set("queries", static_cast<std::int64_t>(counters_.queries));
+  verbs.set("snapshots", static_cast<std::int64_t>(counters_.snapshots));
+  verbs.set("stats", static_cast<std::int64_t>(counters_.stats_calls));
+  verbs.set("errors", static_cast<std::int64_t>(counters_.errors));
+
+  const auto& engine_stats = ctrl_.engine().stats();
+  Json engine = Json::object();
+  engine.set("adds", static_cast<std::int64_t>(engine_stats.adds));
+  engine.set("removes", static_cast<std::int64_t>(engine_stats.removes));
+  engine.set("bound_recomputes",
+             static_cast<std::int64_t>(engine_stats.bound_recomputes));
+  engine.set("dirty_marked",
+             static_cast<std::int64_t>(engine_stats.dirty_marked));
+  engine.set("edge_updates",
+             static_cast<std::int64_t>(engine_stats.edge_updates));
+
+  Json latency = Json::object();
+  latency.set("count", static_cast<std::int64_t>(latency_us_.count()));
+  if (!latency_us_.empty()) {
+    latency.set("mean_us", latency_us_.mean());
+    latency.set("p50_us", latency_us_.percentile(50));
+    latency.set("p99_us", latency_us_.percentile(99));
+    latency.set("max_us", latency_us_.max());
+  }
+
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("population", static_cast<std::int64_t>(ctrl_.size()));
+  reply.set("verbs", std::move(verbs));
+  reply.set("engine", std::move(engine));
+  reply.set("latency", std::move(latency));
+  reply.set("histogram", latency_hist_.render());
+  return reply;
+}
+
+std::string Service::stats_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  char buf[512];
+  std::string out = "wormrtd stats\n";
+  std::snprintf(buf, sizeof buf,
+                "  population %zu\n"
+                "  verbs: %llu requests (%llu admitted, %llu rejected), "
+                "%llu removes, %llu queries, %llu snapshots, %llu stats, "
+                "%llu errors\n",
+                ctrl_.size(),
+                static_cast<unsigned long long>(counters_.requests),
+                static_cast<unsigned long long>(counters_.admitted),
+                static_cast<unsigned long long>(counters_.rejected),
+                static_cast<unsigned long long>(counters_.removes),
+                static_cast<unsigned long long>(counters_.queries),
+                static_cast<unsigned long long>(counters_.snapshots),
+                static_cast<unsigned long long>(counters_.stats_calls),
+                static_cast<unsigned long long>(counters_.errors));
+  out += buf;
+  const auto& es = ctrl_.engine().stats();
+  std::snprintf(buf, sizeof buf,
+                "  engine: %llu adds, %llu removes, %llu bound recomputes, "
+                "%llu dirty marked, %llu edge updates\n",
+                static_cast<unsigned long long>(es.adds),
+                static_cast<unsigned long long>(es.removes),
+                static_cast<unsigned long long>(es.bound_recomputes),
+                static_cast<unsigned long long>(es.dirty_marked),
+                static_cast<unsigned long long>(es.edge_updates));
+  out += buf;
+  if (!latency_us_.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "  admission latency (us): mean %.1f  p50 %.1f  p99 %.1f  "
+                  "max %.1f over %zu decisions\n",
+                  latency_us_.mean(), latency_us_.percentile(50),
+                  latency_us_.percentile(99), latency_us_.max(),
+                  latency_us_.count());
+    out += buf;
+    out += latency_hist_.render();
+  }
+  return out;
+}
+
+}  // namespace wormrt::svc

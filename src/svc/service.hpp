@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/admission.hpp"
+#include "svc/json.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+/// \file service.hpp
+/// The wormrtd verb layer: maps protocol requests (newline-delimited
+/// JSON objects, see DESIGN.md §7) onto the incremental
+/// AdmissionController and keeps per-verb metrics.  Thread-safe: the
+/// server hands lines to this class from multiple connection workers;
+/// one mutex serialises controller mutations (the engine parallelises
+/// internally across the dirty set via AnalysisConfig::num_threads).
+///
+/// Verbs:
+///   REQUEST  {src,dst,priority,period,length,deadline} -> admit/reject
+///   REMOVE   {handle}                                  -> teardown
+///   QUERY    {handle}                                  -> cached bound
+///   SNAPSHOT {}            -> population as stream_io CSV
+///   STATS    {}            -> verb counters, engine work counters,
+///                             admission-latency percentiles + histogram
+///   SHUTDOWN {}            -> ask the daemon to exit cleanly
+/// Every response carries "ok"; failures add "error".
+
+namespace wormrt::svc {
+
+class Service {
+ public:
+  /// Topology and routing are borrowed and must outlive the service.
+  Service(const topo::Topology& topo, const route::RoutingAlgorithm& routing,
+          core::AnalysisConfig config = {});
+
+  /// Parses one protocol line, dispatches, returns the serialized
+  /// response (exactly one line, no trailing newline).
+  std::string handle_line(const std::string& line);
+
+  /// Dispatches one parsed request object.
+  Json handle(const Json& request);
+
+  /// True once a SHUTDOWN verb has been served (the daemon main loop and
+  /// the server poll this).
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Human-readable metrics dump (the SIGTERM report).
+  std::string stats_text() const;
+
+  std::size_t population() const;
+
+ private:
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t snapshots = 0;
+    std::uint64_t stats_calls = 0;
+    std::uint64_t errors = 0;
+  };
+
+  Json do_request(const Json& request);
+  Json do_remove(const Json& request);
+  Json do_query(const Json& request);
+  Json do_snapshot();
+  Json do_stats();
+  Json error_reply(const std::string& what);
+
+  const topo::Topology& topo_;
+  mutable std::mutex mu_;
+  core::AdmissionController ctrl_;
+  Counters counters_;
+  /// Admission decision latency in microseconds (REQUEST verb only —
+  /// the service's hot path).
+  util::Histogram latency_hist_;
+  util::SampleSet latency_us_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace wormrt::svc

@@ -1,0 +1,135 @@
+// wormrt-cli — command-line client for the wormrtd daemon.
+//
+//   wormrt-cli --socket /tmp/wormrtd.sock request --src 0 --dst 5
+//       --priority 2 --period 50 --length 20 --deadline 250
+//   wormrt-cli --socket /tmp/wormrtd.sock query --handle 3
+//   wormrt-cli --port 4817 stats
+//   wormrt-cli --socket /tmp/wormrtd.sock raw '{"verb":"SNAPSHOT"}'
+//
+// Every invocation sends one protocol line and prints the one response
+// line to stdout.  Exit status: 0 when the response carries "ok":true
+// (and, for `request`, the channel was admitted), 1 otherwise, 2 for
+// usage or transport errors.
+
+#include <cstdio>
+#include <string>
+
+#include "svc/json.hpp"
+#include "svc/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int usage(const char* program) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--socket PATH | --port N [--host H]) COMMAND [flags]\n"
+      "commands:\n"
+      "  request  --src N --dst N --priority N --period N --length N "
+      "--deadline N\n"
+      "  remove   --handle H\n"
+      "  query    --handle H\n"
+      "  snapshot\n"
+      "  stats\n"
+      "  shutdown\n"
+      "  raw JSON          send a raw protocol line\n",
+      program);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wormrt;
+  using svc::Json;
+
+  const util::Args args(argc, argv);
+  if (args.positional().empty() || args.has("help")) {
+    return usage(args.program().c_str());
+  }
+  const std::string& command = args.positional().front();
+
+  Json request = Json::object();
+  bool want_admitted = false;
+  if (command == "request") {
+    request.set("verb", "REQUEST");
+    for (const char* key :
+         {"src", "dst", "priority", "period", "length", "deadline"}) {
+      if (!args.has(key)) {
+        std::fprintf(stderr, "%s: request needs --%s\n",
+                     args.program().c_str(), key);
+        return 2;
+      }
+      request.set(key, args.get_int(key, 0));
+    }
+    want_admitted = true;
+  } else if (command == "remove" || command == "query") {
+    if (!args.has("handle")) {
+      std::fprintf(stderr, "%s: %s needs --handle\n", args.program().c_str(),
+                   command.c_str());
+      return 2;
+    }
+    request.set("verb", command == "remove" ? "REMOVE" : "QUERY");
+    request.set("handle", args.get_int("handle", -1));
+  } else if (command == "snapshot") {
+    request.set("verb", "SNAPSHOT");
+  } else if (command == "stats") {
+    request.set("verb", "STATS");
+  } else if (command == "shutdown") {
+    request.set("verb", "SHUTDOWN");
+  } else if (command == "raw") {
+    if (args.positional().size() < 2) {
+      std::fprintf(stderr, "%s: raw needs a JSON argument\n",
+                   args.program().c_str());
+      return 2;
+    }
+  } else {
+    return usage(args.program().c_str());
+  }
+
+  const std::string socket_path = args.get_string("socket", "");
+  const std::int64_t port = args.get_int("port", -1);
+  svc::Client client;
+  std::string error;
+  bool connected = false;
+  if (!socket_path.empty()) {
+    connected = client.connect_unix(socket_path, &error);
+  } else if (port >= 0) {
+    connected = client.connect_tcp(args.get_string("host", "127.0.0.1"),
+                                   static_cast<int>(port), &error);
+  } else {
+    std::fprintf(stderr, "%s: need --socket or --port\n",
+                 args.program().c_str());
+    return 2;
+  }
+  if (!connected) {
+    std::fprintf(stderr, "%s: %s\n", args.program().c_str(), error.c_str());
+    return 2;
+  }
+
+  const std::string line =
+      command == "raw" ? args.positional()[1] : request.dump();
+  std::string response;
+  if (!client.call(line, &response, &error)) {
+    std::fprintf(stderr, "%s: %s\n", args.program().c_str(), error.c_str());
+    return 2;
+  }
+  std::printf("%s\n", response.c_str());
+
+  std::string parse_error;
+  const Json reply = Json::parse(response, &parse_error);
+  if (!parse_error.empty() || !reply.is_object()) {
+    return 1;
+  }
+  const Json* ok = reply.get("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    return 1;
+  }
+  if (want_admitted) {
+    const Json* admitted = reply.get("admitted");
+    return (admitted != nullptr && admitted->is_bool() && admitted->as_bool())
+               ? 0
+               : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// wormrtd — the online admission-control daemon.
+//
+// Serves the newline-delimited JSON protocol of DESIGN.md §7 over a
+// Unix-domain socket (--socket PATH) or loopback TCP (--port N; 0 picks
+// an ephemeral port).  Each REQUEST is decided by the incremental
+// analysis engine; metrics accumulate per verb and are dumped on STATS
+// and again on clean shutdown (SIGTERM/SIGINT or the SHUTDOWN verb).
+//
+//   ./wormrtd --socket /tmp/wormrtd.sock --mesh 8 --threads 0
+//   ./wormrtd --port 0 --mesh 16x16 --workers 8
+//
+// After a successful listen the daemon prints a single line
+//   READY unix /tmp/wormrtd.sock      (or: READY tcp 127.0.0.1:PORT)
+// to stdout so scripts and tests can synchronise on startup.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "svc/server.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+/// "--mesh 8" -> 8x8, "--mesh 16x16" -> 16x16.
+bool parse_mesh(const std::string& spec, int* cols, int* rows) {
+  const std::size_t x = spec.find('x');
+  char* end = nullptr;
+  if (x == std::string::npos) {
+    const long n = std::strtol(spec.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 2) {
+      return false;
+    }
+    *cols = *rows = static_cast<int>(n);
+    return true;
+  }
+  const long c = std::strtol(spec.substr(0, x).c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || c < 2) {
+    return false;
+  }
+  const long r = std::strtol(spec.substr(x + 1).c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || r < 2) {
+    return false;
+  }
+  *cols = static_cast<int>(c);
+  *rows = static_cast<int>(r);
+  return true;
+}
+
+int usage(const char* program) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--socket PATH | --port N) [--mesh CxR] [--threads N]\n"
+      "          [--workers N]\n"
+      "  --socket PATH  listen on a Unix-domain socket\n"
+      "  --port N       listen on 127.0.0.1:N (0 = ephemeral, printed on "
+      "READY)\n"
+      "  --mesh CxR     mesh topology, e.g. 8 or 16x16 (default 8x8)\n"
+      "  --threads N    analysis threads per decision (0 = all cores, "
+      "default 0)\n"
+      "  --workers N    connection workers (default 4)\n",
+      program);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wormrt;
+
+  const util::Args args(argc, argv);
+  if (args.has("help")) {
+    return usage(args.program().c_str());
+  }
+  const std::string socket_path = args.get_string("socket", "");
+  const std::int64_t tcp_port = args.get_int("port", -1);
+  if (socket_path.empty() && tcp_port < 0) {
+    return usage(args.program().c_str());
+  }
+
+  int cols = 8, rows = 8;
+  if (!parse_mesh(args.get_string("mesh", "8x8"), &cols, &rows)) {
+    std::fprintf(stderr, "wormrtd: bad --mesh (want e.g. 8 or 16x16)\n");
+    return 2;
+  }
+
+  core::AnalysisConfig config;
+  config.num_threads = static_cast<int>(args.get_int("threads", 0));
+
+  const topo::Mesh mesh(cols, rows);
+  const route::XYRouting routing;
+  svc::Service service(mesh, routing, config);
+
+  svc::ServerConfig server_config;
+  server_config.unix_path = socket_path;
+  server_config.tcp_port = static_cast<int>(tcp_port);
+  server_config.workers = static_cast<int>(args.get_int("workers", 4));
+
+  svc::Server server(service, server_config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "wormrtd: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  if (!socket_path.empty()) {
+    std::printf("READY unix %s\n", socket_path.c_str());
+  } else {
+    std::printf("READY tcp 127.0.0.1:%d\n", server.port());
+  }
+  std::fflush(stdout);
+
+  while (g_signalled == 0 && !service.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.stop();
+  std::fputs(service.stats_text().c_str(), stderr);
+  return 0;
+}

@@ -115,6 +115,71 @@ TEST_F(AdmissionTest, ManyDisjointChannelsAllAdmitted) {
   EXPECT_EQ(ctrl_.size(), 5u);
 }
 
+TEST_F(AdmissionTest, DuplicateRemoveFails) {
+  const auto d = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({4, 0}),
+                               1, 60, 10, 60);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_TRUE(ctrl_.remove(d.handle));
+  EXPECT_FALSE(ctrl_.remove(d.handle));  // already torn down
+  EXPECT_EQ(ctrl_.bound_of(d.handle), std::nullopt);
+  EXPECT_EQ(ctrl_.size(), 0u);
+}
+
+TEST_F(AdmissionTest, RemoveThenReadmitReusesFreedCapacity) {
+  // Fill the row so a second same-shape channel is refused, then free it
+  // and verify the exact same request is admitted with the same bound.
+  const auto first = ctrl_.request(mesh_.node_at({0, 0}),
+                                   mesh_.node_at({7, 0}), 3, 30, 24, 60);
+  ASSERT_TRUE(first.admitted);
+  const auto refused = ctrl_.request(mesh_.node_at({0, 0}),
+                                     mesh_.node_at({7, 0}), 3, 30, 24, 60);
+  EXPECT_FALSE(refused.admitted);
+  ASSERT_TRUE(ctrl_.remove(first.handle));
+  const auto readmitted = ctrl_.request(mesh_.node_at({0, 0}),
+                                        mesh_.node_at({7, 0}), 3, 30, 24, 60);
+  EXPECT_TRUE(readmitted.admitted);
+  EXPECT_EQ(readmitted.bound, first.bound);
+  EXPECT_NE(readmitted.handle, first.handle);  // handles are never reused
+}
+
+TEST_F(AdmissionTest, WouldBreakReportsEveryBrokenVictim) {
+  // Two zero-slack victims: one sharing row-0 channels with the
+  // newcomer, one sharing its ejection port.  A higher-priority
+  // newcomer touching both must name both handles, in establishment
+  // order.
+  const auto v1 = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({6, 0}),
+                                1, 60, 10, /*D=*/15);
+  const auto v2 = ctrl_.request(mesh_.node_at({0, 1}), mesh_.node_at({6, 1}),
+                                1, 60, 10, /*D=*/15);
+  ASSERT_TRUE(v1.admitted && v2.admitted);
+  const auto d = ctrl_.request(mesh_.node_at({1, 0}), mesh_.node_at({6, 1}),
+                               2, 60, 10, 600);
+  EXPECT_FALSE(d.admitted);
+  ASSERT_EQ(d.would_break.size(), 2u);
+  EXPECT_EQ(d.would_break[0], v1.handle);
+  EXPECT_EQ(d.would_break[1], v2.handle);
+  // The rejection rolled the trial back: both guarantees intact.
+  EXPECT_EQ(ctrl_.bound_of(v1.handle), std::optional<Time>(15));
+  EXPECT_EQ(ctrl_.bound_of(v2.handle), std::optional<Time>(15));
+}
+
+TEST_F(AdmissionTest, BoundQueriesAreServedFromCache) {
+  // Regression for the pre-incremental behaviour where every bound_of
+  // re-analysed the whole population: consecutive queries must do no
+  // re-analysis at all.
+  const auto a = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({6, 0}),
+                               1, 60, 10, 60);
+  const auto b = ctrl_.request(mesh_.node_at({1, 0}), mesh_.node_at({7, 0}),
+                               2, 60, 10, 600);
+  ASSERT_TRUE(a.admitted && b.admitted);
+  const auto recomputes = ctrl_.engine().stats().bound_recomputes;
+  const auto first = ctrl_.bound_of(a.handle);
+  const auto second = ctrl_.bound_of(a.handle);
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(ctrl_.bound_of(b.handle).has_value());
+  EXPECT_EQ(ctrl_.engine().stats().bound_recomputes, recomputes);
+}
+
 TEST_F(AdmissionTest, AdmissionAccountsForEjectionPort) {
   // Two streams delivering to the same node from disjoint paths: the
   // second sees the first through the ejection port.

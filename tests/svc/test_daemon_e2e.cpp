@@ -1,0 +1,206 @@
+// End-to-end: launch the real wormrtd binary, drive it with the real
+// wormrt-cli binary over a Unix-domain socket, and check every decision
+// against an in-process AdmissionController replaying the same
+// operations.  Binary locations are injected by CMake as
+// WORMRTD_BIN / WORMRT_CLI_BIN.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/stream_io.hpp"
+#include "route/dor.hpp"
+#include "svc/json.hpp"
+#include "topo/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace wormrt {
+namespace {
+
+using svc::Json;
+
+/// Runs a command, captures stdout, returns the exit status.
+int run(const std::string& command, std::string* out) {
+  out->clear();
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return -1;
+  }
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, pipe)) > 0) {
+    out->append(chunk, n);
+  }
+  const int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string first_line(const std::string& text) {
+  const std::size_t nl = text.find('\n');
+  return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+class DaemonE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::snprintf(socket_, sizeof socket_, "/tmp/wormrtd-e2e-%d.sock",
+                  static_cast<int>(::getpid()));
+    const std::string command = std::string(WORMRTD_BIN) + " --socket " +
+                                socket_ + " --mesh 8 --threads 1";
+    daemon_ = ::popen(command.c_str(), "r");
+    ASSERT_NE(daemon_, nullptr);
+    // The daemon prints READY after listen succeeds; block on it so the
+    // cli never races the bind.
+    char line[256];
+    ASSERT_NE(std::fgets(line, sizeof line, daemon_), nullptr);
+    ASSERT_EQ(std::string(line).rfind("READY unix ", 0), 0u) << line;
+  }
+
+  void TearDown() override {
+    std::string out;
+    cli("shutdown", &out);
+    if (daemon_ != nullptr) {
+      ::pclose(daemon_);  // waits for the daemon to exit
+    }
+    ::unlink(socket_);
+  }
+
+  int cli(const std::string& args, std::string* out) {
+    return run(std::string(WORMRT_CLI_BIN) + " --socket " + socket_ + " " +
+                   args,
+               out);
+  }
+
+  Json cli_json(const std::string& args, int* status = nullptr) {
+    std::string out;
+    const int rc = cli(args, &out);
+    if (status != nullptr) {
+      *status = rc;
+    }
+    std::string error;
+    Json reply = Json::parse(first_line(out), &error);
+    EXPECT_TRUE(error.empty()) << error << " in: " << out;
+    return reply;
+  }
+
+  char socket_[128];
+  FILE* daemon_ = nullptr;
+};
+
+TEST_F(DaemonE2E, DecisionsMatchInProcessReplay) {
+  const topo::Mesh mesh(8, 8);
+  const route::XYRouting routing;
+  core::AdmissionController replay(mesh, routing);
+
+  util::Rng rng(42);
+  std::vector<core::AdmissionController::Handle> live;
+  int admits = 0, rejects = 0, removes = 0;
+  for (int step = 0; step < 40; ++step) {
+    if (!live.empty() && rng.bernoulli(0.25)) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const auto handle = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      int status = 0;
+      const Json reply = cli_json(
+          "remove --handle " + std::to_string(handle), &status);
+      EXPECT_EQ(status, 0);
+      EXPECT_TRUE(reply.get("removed")->as_bool());
+      EXPECT_TRUE(replay.remove(handle));
+      ++removes;
+      continue;
+    }
+    const int src = static_cast<int>(rng.uniform_int(0, 63));
+    const int dst = (src + static_cast<int>(rng.uniform_int(1, 63))) % 64;
+    const int priority = static_cast<int>(rng.uniform_int(1, 4));
+    const Time period = rng.uniform_int(40, 89);
+    const Time length = rng.uniform_int(1, 18);
+    const Time deadline = rng.uniform_int(40, 339);
+
+    char flags[256];
+    std::snprintf(flags, sizeof flags,
+                  "request --src %d --dst %d --priority %d --period %lld "
+                  "--length %lld --deadline %lld",
+                  src, dst, priority, static_cast<long long>(period),
+                  static_cast<long long>(length),
+                  static_cast<long long>(deadline));
+    int status = 0;
+    const Json reply = cli_json(flags, &status);
+    const auto expect =
+        replay.request(src, dst, priority, period, length, deadline);
+
+    EXPECT_EQ(status == 0, expect.admitted);
+    ASSERT_TRUE(reply.get("ok")->as_bool());
+    EXPECT_EQ(reply.get("admitted")->as_bool(), expect.admitted);
+    EXPECT_EQ(reply.get("bound")->as_int(), expect.bound);
+    ASSERT_EQ(reply.get("would_break")->items().size(),
+              expect.would_break.size());
+    for (std::size_t i = 0; i < expect.would_break.size(); ++i) {
+      EXPECT_EQ(reply.get("would_break")->items()[i].as_int(),
+                expect.would_break[i]);
+    }
+    if (expect.admitted) {
+      EXPECT_EQ(reply.get("handle")->as_int(), expect.handle);
+      live.push_back(expect.handle);
+      ++admits;
+    } else {
+      ++rejects;
+    }
+  }
+  ASSERT_GT(admits, 0);
+  ASSERT_GT(removes, 0);
+
+  // Cached bounds served over the wire match the replay's bound cache.
+  for (const auto handle : live) {
+    const Json reply = cli_json("query --handle " + std::to_string(handle));
+    EXPECT_TRUE(reply.get("ok")->as_bool());
+    EXPECT_EQ(reply.get("bound")->as_int(), *replay.bound_of(handle));
+  }
+
+  // SNAPSHOT returns the identical population.
+  const Json snap = cli_json("snapshot");
+  EXPECT_EQ(snap.get("size")->as_int(),
+            static_cast<std::int64_t>(replay.size()));
+  EXPECT_EQ(snap.get("csv")->as_string(),
+            core::streams_to_csv(replay.snapshot()));
+
+  // STATS accounts for everything this test sent.
+  const Json stats = cli_json("stats");
+  EXPECT_EQ(stats.get("verbs")->get("requests")->as_int(), admits + rejects);
+  EXPECT_EQ(stats.get("verbs")->get("admitted")->as_int(), admits);
+  EXPECT_EQ(stats.get("verbs")->get("rejected")->as_int(), rejects);
+  EXPECT_EQ(stats.get("verbs")->get("removes")->as_int(), removes);
+  EXPECT_EQ(stats.get("population")->as_int(),
+            static_cast<std::int64_t>(replay.size()));
+  EXPECT_EQ(stats.get("latency")->get("count")->as_int(), admits + rejects);
+}
+
+TEST_F(DaemonE2E, CliExitCodesAndRawVerb) {
+  std::string out;
+  EXPECT_EQ(cli("request --src 0 --dst 5 --priority 2 --period 50 "
+                "--length 20 --deadline 250",
+                &out),
+            0);
+  // Unknown handle: protocol-level error, exit 1.
+  EXPECT_EQ(cli("query --handle 999", &out), 1);
+  // Raw protocol line passthrough.
+  EXPECT_EQ(cli("raw '{\"verb\":\"STATS\"}'", &out), 0);
+  std::string error;
+  const Json stats = Json::parse(first_line(out), &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(stats.get("verbs")->get("requests")->as_int(), 1);
+  // Malformed raw line: error reply, exit 1.
+  EXPECT_EQ(cli("raw 'not json'", &out), 1);
+  EXPECT_NE(first_line(out).find("bad json"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace wormrt

@@ -1,0 +1,349 @@
+// The wormrtd protocol layer: JSON round-trips, Service verb dispatch
+// against an in-process replay controller, and the Server/Client socket
+// transport end to end over a real Unix-domain socket.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/stream_io.hpp"
+#include "route/dor.hpp"
+#include "svc/json.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "topo/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace wormrt {
+namespace {
+
+using svc::Json;
+
+TEST(Json, RoundTripsScalarsArraysAndObjects) {
+  Json obj = Json::object();
+  obj.set("verb", "REQUEST");
+  obj.set("n", std::int64_t{42});
+  obj.set("big", std::int64_t{1} << 60);
+  obj.set("neg", std::int64_t{-7});
+  obj.set("pi", 3.5);
+  obj.set("yes", true);
+  obj.set("no", false);
+  obj.set("nothing", nullptr);
+  Json arr = Json::array();
+  arr.push_back(std::int64_t{1});
+  arr.push_back("two");
+  obj.set("list", std::move(arr));
+
+  std::string error;
+  const Json back = Json::parse(obj.dump(), &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_TRUE(back.is_object());
+  EXPECT_EQ(back.get("verb")->as_string(), "REQUEST");
+  EXPECT_EQ(back.get("n")->as_int(), 42);
+  EXPECT_EQ(back.get("big")->as_int(), std::int64_t{1} << 60);
+  EXPECT_EQ(back.get("neg")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(back.get("pi")->as_double(), 3.5);
+  EXPECT_TRUE(back.get("yes")->as_bool());
+  EXPECT_FALSE(back.get("no")->as_bool());
+  EXPECT_TRUE(back.get("nothing")->is_null());
+  ASSERT_TRUE(back.get("list")->is_array());
+  EXPECT_EQ(back.get("list")->items()[0].as_int(), 1);
+  EXPECT_EQ(back.get("list")->items()[1].as_string(), "two");
+}
+
+TEST(Json, EscapesControlCharactersAndQuotes) {
+  Json obj = Json::object();
+  obj.set("s", std::string("a\"b\\c\nd\te\x01f"));
+  const std::string text = obj.dump();
+  std::string error;
+  const Json back = Json::parse(text, &error);
+  EXPECT_TRUE(error.empty()) << error << " in " << text;
+  EXPECT_EQ(back.get("s")->as_string(), "a\"b\\c\nd\te\x01f");
+}
+
+TEST(Json, ParsesEscapesAndUnicode) {
+  std::string error;
+  const Json v = Json::parse(R"({"s":"Aé€\/"})", &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(v.get("s")->as_string(), "A\xC3\xA9\xE2\x82\xAC/");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",        "{",        "[1,",      "{\"a\":}",  "tru",
+      "1 2",     "\"open",   "{\"a\" 1}", "[1,]",     "nope",
+  };
+  for (const char* text : bad) {
+    std::string error;
+    Json::parse(text, &error);
+    EXPECT_FALSE(error.empty()) << "accepted: " << text;
+  }
+}
+
+TEST(Json, NumbersStayInt64Exact) {
+  std::string error;
+  const Json v = Json::parse("{\"h\":1152921504606846975}", &error);
+  EXPECT_TRUE(error.empty());
+  EXPECT_TRUE(v.get("h")->is_int());
+  EXPECT_EQ(v.get("h")->as_int(), 1152921504606846975LL);
+}
+
+/// Drives the Service and an in-process AdmissionController with the
+/// same operations; decisions and bounds must agree exactly.
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : mesh_(8, 8), service_(mesh_, routing_), replay_(mesh_, routing_) {}
+
+  Json call(const std::string& line) {
+    std::string error;
+    Json reply = Json::parse(service_.handle_line(line), &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_TRUE(reply.is_object());
+    return reply;
+  }
+
+  static std::string request_line(int src, int dst, int priority, Time period,
+                                  Time length, Time deadline) {
+    Json r = Json::object();
+    r.set("verb", "REQUEST");
+    r.set("src", std::int64_t{src});
+    r.set("dst", std::int64_t{dst});
+    r.set("priority", std::int64_t{priority});
+    r.set("period", period);
+    r.set("length", length);
+    r.set("deadline", deadline);
+    return r.dump();
+  }
+
+  topo::Mesh mesh_;
+  route::XYRouting routing_;
+  svc::Service service_;
+  core::AdmissionController replay_;
+};
+
+TEST_F(ServiceTest, RequestQueryRemoveMatchInProcessController) {
+  util::Rng rng(20260806);
+  std::vector<core::AdmissionController::Handle> live;
+  for (int step = 0; step < 120; ++step) {
+    if (!live.empty() && rng.bernoulli(0.3)) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const auto handle = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      Json r = Json::object();
+      r.set("verb", "REMOVE");
+      r.set("handle", handle);
+      const Json reply = call(r.dump());
+      EXPECT_TRUE(reply.get("ok")->as_bool());
+      EXPECT_TRUE(reply.get("removed")->as_bool());
+      EXPECT_TRUE(replay_.remove(handle));
+      continue;
+    }
+    const int src = static_cast<int>(rng.uniform_int(0, 63));
+    int dst = static_cast<int>(rng.uniform_int(0, 63));
+    if (dst == src) {
+      dst = (dst + 1) % 64;
+    }
+    const int priority = static_cast<int>(rng.uniform_int(1, 4));
+    const Time period = rng.uniform_int(40, 89);
+    const Time length = rng.uniform_int(1, 18);
+    const Time deadline = rng.uniform_int(40, 339);
+
+    const Json reply =
+        call(request_line(src, dst, priority, period, length, deadline));
+    const auto expect = replay_.request(src, dst, priority, period, length,
+                                        deadline);
+    ASSERT_TRUE(reply.get("ok")->as_bool());
+    EXPECT_EQ(reply.get("admitted")->as_bool(), expect.admitted);
+    EXPECT_EQ(reply.get("bound")->as_int(), expect.bound);
+    ASSERT_EQ(reply.get("would_break")->items().size(),
+              expect.would_break.size());
+    for (std::size_t i = 0; i < expect.would_break.size(); ++i) {
+      EXPECT_EQ(reply.get("would_break")->items()[i].as_int(),
+                expect.would_break[i]);
+    }
+    if (expect.admitted) {
+      EXPECT_EQ(reply.get("handle")->as_int(), expect.handle);
+      live.push_back(expect.handle);
+
+      Json q = Json::object();
+      q.set("verb", "QUERY");
+      q.set("handle", expect.handle);
+      const Json qr = call(q.dump());
+      EXPECT_TRUE(qr.get("ok")->as_bool());
+      EXPECT_EQ(qr.get("bound")->as_int(), expect.bound);
+      EXPECT_EQ(qr.get("deadline")->as_int(), deadline);
+      EXPECT_TRUE(qr.get("guaranteed")->as_bool());
+    }
+  }
+  EXPECT_EQ(service_.population(), replay_.size());
+}
+
+TEST_F(ServiceTest, SnapshotMatchesReplaySnapshot) {
+  call(request_line(0, 5, 2, 50, 20, 250));
+  call(request_line(8, 13, 1, 60, 10, 300));
+  replay_.request(0, 5, 2, 50, 20, 250);
+  replay_.request(8, 13, 1, 60, 10, 300);
+
+  const Json reply = call(R"({"verb":"SNAPSHOT"})");
+  EXPECT_TRUE(reply.get("ok")->as_bool());
+  EXPECT_EQ(reply.get("size")->as_int(), 2);
+  EXPECT_EQ(reply.get("csv")->as_string(),
+            core::streams_to_csv(replay_.snapshot()));
+}
+
+TEST_F(ServiceTest, ValidationAndErrorPaths) {
+  EXPECT_FALSE(call("this is not json").get("ok")->as_bool());
+  EXPECT_FALSE(call("[1,2,3]").get("ok")->as_bool());
+  EXPECT_FALSE(call(R"({"no_verb":1})").get("ok")->as_bool());
+  EXPECT_FALSE(call(R"({"verb":"FROBNICATE"})").get("ok")->as_bool());
+  EXPECT_FALSE(call(R"({"verb":"REQUEST","src":0})").get("ok")->as_bool());
+  EXPECT_FALSE(call(request_line(0, 999, 1, 50, 10, 100)).get("ok")->as_bool());
+  EXPECT_FALSE(call(request_line(3, 3, 1, 50, 10, 100)).get("ok")->as_bool());
+  EXPECT_FALSE(call(request_line(0, 5, 1, -2, 10, 100)).get("ok")->as_bool());
+  EXPECT_FALSE(call(R"({"verb":"REMOVE"})").get("ok")->as_bool());
+  EXPECT_FALSE(call(R"({"verb":"QUERY","handle":99})").get("ok")->as_bool());
+
+  const Json removed = call(R"({"verb":"REMOVE","handle":12345})");
+  EXPECT_TRUE(removed.get("ok")->as_bool());
+  EXPECT_FALSE(removed.get("removed")->as_bool());
+
+  const Json stats = call(R"({"verb":"STATS"})");
+  EXPECT_TRUE(stats.get("ok")->as_bool());
+  EXPECT_GE(stats.get("verbs")->get("errors")->as_int(), 9);
+}
+
+TEST_F(ServiceTest, ShutdownVerbRaisesTheFlag) {
+  EXPECT_FALSE(service_.shutdown_requested());
+  const Json reply = call(R"({"verb":"SHUTDOWN"})");
+  EXPECT_TRUE(reply.get("ok")->as_bool());
+  EXPECT_TRUE(service_.shutdown_requested());
+}
+
+TEST_F(ServiceTest, StatsCountLatencySamplesPerRequest) {
+  call(request_line(0, 5, 2, 50, 20, 250));
+  call(request_line(16, 21, 1, 60, 10, 300));
+  const Json stats = call(R"({"verb":"STATS"})");
+  EXPECT_EQ(stats.get("latency")->get("count")->as_int(), 2);
+  EXPECT_GT(stats.get("latency")->get("p99_us")->as_double(), 0.0);
+  EXPECT_FALSE(stats.get("histogram")->as_string().empty());
+}
+
+/// The socket transport: a real Server on a Unix socket, several client
+/// connections (serial and concurrent), decisions matching a replay
+/// controller.
+TEST(ServerSocket, ServesClientsOverUnixSocket) {
+  const topo::Mesh mesh(8, 8);
+  const route::XYRouting routing;
+  svc::Service service(mesh, routing);
+  core::AdmissionController replay(mesh, routing);
+
+  char path[128];
+  std::snprintf(path, sizeof path, "/tmp/wormrt-test-%d.sock",
+                static_cast<int>(::getpid()));
+  svc::ServerConfig config;
+  config.unix_path = path;
+  config.workers = 4;
+  svc::Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  svc::Client client;
+  ASSERT_TRUE(client.connect_unix(path, &error)) << error;
+
+  util::Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    const int src = static_cast<int>(rng.uniform_int(0, 63));
+    const int dst = (src + static_cast<int>(rng.uniform_int(1, 63))) % 64;
+    const int priority = static_cast<int>(rng.uniform_int(1, 3));
+    const Time period = rng.uniform_int(40, 89);
+    const Time length = rng.uniform_int(1, 15);
+    const Time deadline = rng.uniform_int(50, 299);
+
+    Json r = Json::object();
+    r.set("verb", "REQUEST");
+    r.set("src", std::int64_t{src});
+    r.set("dst", std::int64_t{dst});
+    r.set("priority", std::int64_t{priority});
+    r.set("period", period);
+    r.set("length", length);
+    r.set("deadline", deadline);
+    std::string response;
+    ASSERT_TRUE(client.call(r.dump(), &response, &error)) << error;
+    const Json reply = Json::parse(response, &error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    const auto expect =
+        replay.request(src, dst, priority, period, length, deadline);
+    EXPECT_EQ(reply.get("admitted")->as_bool(), expect.admitted);
+    EXPECT_EQ(reply.get("bound")->as_int(), expect.bound);
+  }
+
+  // Concurrent clients on their own connections: the service stays
+  // consistent (sum of verb counters matches what was sent).
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&path, t] {
+      svc::Client c;
+      std::string err;
+      ASSERT_TRUE(c.connect_unix(path, &err)) << err;
+      for (int i = 0; i < 10; ++i) {
+        Json q = Json::object();
+        q.set("verb", "QUERY");
+        q.set("handle", std::int64_t{t * 1000 + i});  // all unknown: fine
+        std::string resp;
+        ASSERT_TRUE(c.call(q.dump(), &resp, &err)) << err;
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+
+  std::string response;
+  ASSERT_TRUE(client.call(R"({"verb":"STATS"})", &response, &error)) << error;
+  const Json stats = Json::parse(response, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(stats.get("verbs")->get("requests")->as_int(), 40);
+  EXPECT_GE(stats.get("verbs")->get("queries")->as_int(), 40);
+  EXPECT_EQ(stats.get("population")->as_int(),
+            static_cast<std::int64_t>(replay.size()));
+
+  server.stop();
+  EXPECT_FALSE(client.call(R"({"verb":"STATS"})", &response, &error));
+}
+
+TEST(ServerSocket, ServesClientsOverLoopbackTcp) {
+  const topo::Mesh mesh(4, 4);
+  const route::XYRouting routing;
+  svc::Service service(mesh, routing);
+
+  svc::ServerConfig config;
+  config.tcp_port = 0;  // ephemeral
+  svc::Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  svc::Client client;
+  ASSERT_TRUE(client.connect_tcp("127.0.0.1", server.port(), &error)) << error;
+  std::string response;
+  ASSERT_TRUE(client.call(
+      R"({"verb":"REQUEST","src":0,"dst":3,"priority":1,"period":50,"length":10,"deadline":200})",
+      &response, &error))
+      << error;
+  const Json reply = Json::parse(response, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(reply.get("ok")->as_bool());
+  EXPECT_TRUE(reply.get("admitted")->as_bool());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace wormrt
