@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/invariants.hpp"
+#include "fuzz/scenario.hpp"
+#include "svc/json.hpp"
+
+/// \file fuzzer.hpp
+/// The differential fuzz loop: generate scenario from seed, run the four
+/// oracles, shrink failures to minimal reproducers, report RunStats.
+/// Used by tools/wormrt-fuzz and, with a fixed seed block, by the CI
+/// smoke test and the corpus-replay ctest.
+
+namespace wormrt::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed_start = 1;
+  std::uint64_t seeds = 100;
+  GenParams gen;
+  CheckConfig check;
+
+  /// Directory minimal reproducers are written into (created on first
+  /// failure); empty disables corpus output.
+  std::string corpus_dir;
+  bool shrink = true;
+  /// Predicate-evaluation budget per failing seed.
+  int max_shrink_checks = 400;
+
+  /// Progress / failure narration (one line per call); null for silence.
+  std::function<void(const std::string&)> on_progress;
+};
+
+struct Failure {
+  std::uint64_t seed = 0;
+  std::string invariant;
+  std::string detail;        ///< witness of the original violation
+  std::size_t ops_before = 0;  ///< churn length as generated
+  std::size_t ops_after = 0;   ///< churn length after shrinking
+  int shrink_attempts = 0;
+  std::string corpus_file;   ///< written reproducer ("" when disabled)
+};
+
+struct RunStats {
+  std::uint64_t seed_start = 0;
+  std::uint64_t seeds_run = 0;
+  /// check_scenario verdicts by invariant name (only violated ones
+  /// appear; a clean run has an empty map).
+  std::vector<Failure> failures;
+  double elapsed_seconds = 0.0;
+
+  bool clean() const { return failures.empty(); }
+  std::uint64_t violations_of(const std::string& invariant) const;
+  svc::Json to_json() const;
+};
+
+/// Runs the fuzz loop over seeds [seed_start, seed_start + seeds).
+RunStats run_fuzz(const FuzzOptions& options);
+
+/// Replays one corpus file through the oracles.  Returns the violation
+/// (the expected outcome of a committed reproducer is nullopt — fixed
+/// bugs stay fixed), or a Violation with invariant "corpus" when the
+/// file itself cannot be loaded.
+std::optional<Violation> replay_corpus_file(const std::string& path,
+                                            const CheckConfig& config);
+
+}  // namespace wormrt::fuzz

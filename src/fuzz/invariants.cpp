@@ -1,0 +1,430 @@
+#include "fuzz/invariants.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/feasibility.hpp"
+#include "core/incremental.hpp"
+#include "core/message_stream.hpp"
+#include "route/dor.hpp"
+#include "sim/simulator.hpp"
+#include "svc/json.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "util/rng.hpp"
+
+namespace wormrt::fuzz {
+
+namespace {
+
+using core::AdmissionController;
+using core::AnalysisConfig;
+using core::StreamSet;
+using svc::Json;
+
+/// Substream id of the monotonicity probe draw (0..2 are generation's).
+constexpr std::uint64_t kProbeStream = 3;
+
+std::optional<Violation> fail(const char* invariant, std::string detail) {
+  return Violation{invariant, std::move(detail)};
+}
+
+/// From-scratch per-stream bounds: the independent oracle the cached /
+/// incremental bounds are compared against.
+std::vector<Time> bounds_of(const StreamSet& streams,
+                            const AnalysisConfig& config) {
+  const core::FeasibilityReport report =
+      core::determine_feasibility(streams, config);
+  std::vector<Time> bounds(report.streams.size(), kNoTime);
+  for (std::size_t j = 0; j < report.streams.size(); ++j) {
+    bounds[j] = report.streams[j].bound;
+  }
+  return bounds;
+}
+
+/// kNoTime means "not reached within the deadline" — rank it above every
+/// finite bound so "never improves" comparisons order correctly.
+Time rank(Time bound) { return bound == kNoTime ? kTimeMax : bound; }
+
+std::string describe_stream(const core::MessageStream& s) {
+  return "stream(src=" + std::to_string(s.src) +
+         " dst=" + std::to_string(s.dst) +
+         " P=" + std::to_string(s.priority) +
+         " T=" + std::to_string(s.period) + " C=" + std::to_string(s.length) +
+         " D=" + std::to_string(s.deadline) + ")";
+}
+
+/// Equivalence + monotonicity: replay the churn through the incremental
+/// engine (no admission gate, so infeasible streams exercise the kNoTime
+/// cache states too) and diff against from-scratch analysis.
+std::optional<Violation> check_engine_invariants(
+    const Scenario& scenario, const topo::Topology& topo,
+    const route::RoutingAlgorithm& routing, const CheckConfig& config) {
+  core::IncrementalAnalyzer engine(topo, config.analysis);
+  std::vector<core::IncrementalAnalyzer::Handle> handle_of_op(
+      scenario.ops.size(), -1);
+
+  for (std::size_t i = 0; i < scenario.ops.size(); ++i) {
+    const Op& op = scenario.ops[i];
+    if (op.kind == Op::Kind::kAdd) {
+      const auto mut = engine.add_stream(core::make_stream(
+          topo, routing, /*id=*/0, op.src, op.dst, op.priority, op.period,
+          op.length, op.deadline));
+      handle_of_op[i] = mut.handle;
+    } else {
+      auto& handle = handle_of_op[static_cast<std::size_t>(op.target)];
+      if (handle >= 0) {
+        engine.remove_stream(handle);
+        handle = -1;
+      }
+    }
+    if (!config.check_equivalence) {
+      continue;
+    }
+    // Bitwise equality against determine_feasibility after every single
+    // mutation — the dirty-set recompute must be exact, not approximate.
+    const std::vector<Time> reference =
+        bounds_of(engine.snapshot(), config.analysis);
+    for (std::size_t j = 0; j < engine.size(); ++j) {
+      const Time cached = engine.bound_at(static_cast<StreamId>(j));
+      if (cached != reference[j]) {
+        return fail(kInvariantEquivalence,
+                    "after op " + std::to_string(i) + " stream " +
+                        std::to_string(j) + " cached bound " +
+                        std::to_string(cached) + " != from-scratch " +
+                        std::to_string(reference[j]));
+      }
+    }
+  }
+
+  if (!config.check_monotonicity || engine.size() == 0) {
+    return std::nullopt;
+  }
+  const StreamSet set = engine.snapshot();
+  const std::vector<Time> base = bounds_of(set, config.analysis);
+
+  // (a) U_i can never undercut the contention-free network latency.
+  for (std::size_t j = 0; j < set.size(); ++j) {
+    const auto& s = set[static_cast<StreamId>(j)];
+    if (base[j] != kNoTime && base[j] < s.latency) {
+      return fail(kInvariantMonotonicity,
+                  "stream " + std::to_string(j) + " bound " +
+                      std::to_string(base[j]) + " below network latency " +
+                      std::to_string(s.latency) + " " + describe_stream(s));
+    }
+  }
+
+  // (b) Documented-pessimistic configurations must never yield a bound
+  // below the default analysis.
+  struct Variant {
+    const char* name;
+    AnalysisConfig config;
+  };
+  Variant variants[2] = {{"carry-over", config.analysis},
+                         {"no-relaxation", config.analysis}};
+  variants[0].config.carry_over = true;
+  variants[1].config.relaxation = core::IndirectRelaxation::kNone;
+  for (const Variant& v : variants) {
+    const std::vector<Time> pessimistic = bounds_of(set, v.config);
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      if (rank(pessimistic[j]) < rank(base[j])) {
+        return fail(kInvariantMonotonicity,
+                    std::string(v.name) + " bound " +
+                        std::to_string(pessimistic[j]) + " improves on default " +
+                        std::to_string(base[j]) + " for stream " +
+                        std::to_string(j));
+      }
+    }
+  }
+
+  // (c) Adding a strictly higher-priority stream is pure extra
+  // interference: nobody's bound may improve.
+  util::Rng probe_rng(scenario.seed, kProbeStream);
+  const int nodes = topo.num_nodes();
+  const int src = static_cast<int>(probe_rng.uniform_int(0, nodes - 1));
+  int dst = static_cast<int>(probe_rng.uniform_int(0, nodes - 2));
+  if (dst >= src) {
+    ++dst;
+  }
+  StreamSet grown = set;
+  grown.add(core::make_stream(topo, routing,
+                              static_cast<StreamId>(set.size()), src, dst,
+                              set.max_priority() + 1, /*period=*/60,
+                              /*length=*/6, /*deadline=*/60));
+  const std::vector<Time> after = bounds_of(grown, config.analysis);
+  for (std::size_t j = 0; j < set.size(); ++j) {
+    if (rank(after[j]) < rank(base[j])) {
+      return fail(kInvariantMonotonicity,
+                  "stream " + std::to_string(j) + " bound improved from " +
+                      std::to_string(base[j]) + " to " +
+                      std::to_string(after[j]) +
+                      " when higher-priority interference was added");
+    }
+  }
+  return std::nullopt;
+}
+
+/// The protocol transport: either Service::handle_line directly or the
+/// same service behind a real Server socket and a blocking Client.
+class ProtocolReplica {
+ public:
+  ProtocolReplica(const topo::Topology& topo,
+                  const route::RoutingAlgorithm& routing,
+                  const CheckConfig& config)
+      : service_(topo, routing, config.analysis) {
+    if (config.protocol_over_socket) {
+      svc::ServerConfig server_config;
+      server_config.tcp_port = 0;  // ephemeral loopback
+      server_config.workers = 2;
+      server_ = std::make_unique<svc::Server>(service_, server_config);
+      std::string error;
+      if (!server_->start(&error)) {
+        transport_error_ = "server start failed: " + error;
+        return;
+      }
+      if (!client_.connect_tcp("127.0.0.1", server_->port(), &error)) {
+        transport_error_ = "client connect failed: " + error;
+      }
+    }
+  }
+
+  ~ProtocolReplica() {
+    client_.close();
+    if (server_ != nullptr) {
+      server_->stop();
+    }
+  }
+
+  const std::string& transport_error() const { return transport_error_; }
+
+  /// One request line in, one parsed reply out (empty Json + error text
+  /// on transport or parse failure).
+  Json roundtrip(const Json& request, std::string* error) {
+    const std::string line = request.dump();
+    std::string reply_line;
+    if (server_ != nullptr) {
+      if (!client_.call(line, &reply_line, error)) {
+        return Json();
+      }
+    } else {
+      reply_line = service_.handle_line(line);
+    }
+    return Json::parse(reply_line, error);
+  }
+
+ private:
+  svc::Service service_;
+  std::unique_ptr<svc::Server> server_;
+  svc::Client client_;
+  std::string transport_error_;
+};
+
+Json request_json(const Op& op) {
+  Json req = Json::object();
+  req.set("verb", "REQUEST");
+  req.set("src", static_cast<std::int64_t>(op.src));
+  req.set("dst", static_cast<std::int64_t>(op.dst));
+  req.set("priority", static_cast<std::int64_t>(op.priority));
+  req.set("period", op.period);
+  req.set("length", op.length);
+  req.set("deadline", op.deadline);
+  return req;
+}
+
+/// Soundness + protocol: replay the churn through the admission gate,
+/// mirror every decision over the wire protocol, then simulate the final
+/// admitted population flit by flit against the cached bounds.
+std::optional<Violation> check_admission_invariants(
+    const Scenario& scenario, const topo::Topology& topo,
+    const route::RoutingAlgorithm& routing, const CheckConfig& config) {
+  AdmissionController ctrl(topo, routing, config.analysis);
+  std::unique_ptr<ProtocolReplica> replica;
+  if (config.check_protocol) {
+    replica = std::make_unique<ProtocolReplica>(topo, routing, config);
+    if (!replica->transport_error().empty()) {
+      return fail(kInvariantProtocol, replica->transport_error());
+    }
+  }
+
+  std::vector<AdmissionController::Handle> handle_of_op(scenario.ops.size(),
+                                                        -1);
+  for (std::size_t i = 0; i < scenario.ops.size(); ++i) {
+    const Op& op = scenario.ops[i];
+    if (op.kind == Op::Kind::kAdd) {
+      const auto decision = ctrl.request(op.src, op.dst, op.priority,
+                                         op.period, op.length, op.deadline);
+      if (decision.admitted) {
+        handle_of_op[i] = decision.handle;
+      }
+      if (replica == nullptr) {
+        continue;
+      }
+      std::string error;
+      const Json reply = replica->roundtrip(request_json(op), &error);
+      if (!error.empty()) {
+        return fail(kInvariantProtocol, "op " + std::to_string(i) + ": " + error);
+      }
+      const Json* ok = reply.get("ok");
+      const Json* admitted = reply.get("admitted");
+      const Json* bound = reply.get("bound");
+      const Json* would_break = reply.get("would_break");
+      if (ok == nullptr || !ok->as_bool() || admitted == nullptr ||
+          bound == nullptr || would_break == nullptr) {
+        return fail(kInvariantProtocol,
+                    "op " + std::to_string(i) + ": malformed REQUEST reply");
+      }
+      if (admitted->as_bool() != decision.admitted ||
+          bound->as_int() != decision.bound) {
+        return fail(kInvariantProtocol,
+                    "op " + std::to_string(i) + ": wire decision admitted=" +
+                        std::to_string(admitted->as_bool()) + " bound=" +
+                        std::to_string(bound->as_int()) +
+                        " != in-process admitted=" +
+                        std::to_string(decision.admitted) +
+                        " bound=" + std::to_string(decision.bound));
+      }
+      if (decision.admitted &&
+          (reply.get("handle") == nullptr ||
+           reply.get("handle")->as_int() != decision.handle)) {
+        return fail(kInvariantProtocol,
+                    "op " + std::to_string(i) + ": wire handle mismatch");
+      }
+      if (would_break->items().size() != decision.would_break.size()) {
+        return fail(kInvariantProtocol,
+                    "op " + std::to_string(i) + ": would_break size mismatch");
+      }
+      for (std::size_t k = 0; k < decision.would_break.size(); ++k) {
+        if (would_break->items()[k].as_int() != decision.would_break[k]) {
+          return fail(kInvariantProtocol,
+                      "op " + std::to_string(i) + ": would_break[" +
+                          std::to_string(k) + "] mismatch");
+        }
+      }
+    } else {
+      auto& handle = handle_of_op[static_cast<std::size_t>(op.target)];
+      if (handle < 0) {
+        continue;  // the referenced add was rejected or already removed
+      }
+      const bool removed = ctrl.remove(handle);
+      if (replica != nullptr) {
+        Json req = Json::object();
+        req.set("verb", "REMOVE");
+        req.set("handle", handle);
+        std::string error;
+        const Json reply = replica->roundtrip(req, &error);
+        if (!error.empty()) {
+          return fail(kInvariantProtocol,
+                      "op " + std::to_string(i) + ": " + error);
+        }
+        const Json* wire_removed = reply.get("removed");
+        if (wire_removed == nullptr || wire_removed->as_bool() != removed) {
+          return fail(kInvariantProtocol,
+                      "op " + std::to_string(i) + ": wire removed flag != " +
+                          std::to_string(removed));
+        }
+      }
+      handle = -1;
+    }
+  }
+
+  // Cached bounds served over the wire must match the replica's cache.
+  if (replica != nullptr) {
+    for (std::size_t i = 0; i < handle_of_op.size(); ++i) {
+      if (handle_of_op[i] < 0) {
+        continue;
+      }
+      Json req = Json::object();
+      req.set("verb", "QUERY");
+      req.set("handle", handle_of_op[i]);
+      std::string error;
+      const Json reply = replica->roundtrip(req, &error);
+      if (!error.empty()) {
+        return fail(kInvariantProtocol, "QUERY: " + error);
+      }
+      const auto expected = ctrl.bound_of(handle_of_op[i]);
+      const Json* bound = reply.get("bound");
+      if (!expected.has_value() || bound == nullptr ||
+          bound->as_int() != *expected) {
+        return fail(kInvariantProtocol,
+                    "QUERY handle " + std::to_string(handle_of_op[i]) +
+                        ": wire bound != cached bound");
+      }
+    }
+  }
+
+  if (!config.check_soundness || ctrl.size() == 0) {
+    return std::nullopt;
+  }
+
+  // Soundness: the admitted population is feasible by construction, so
+  // no simulated message may exceed its stream's bound under the
+  // analysis-consistent preemptive-VC policy (one lane per stream; see
+  // ArbPolicy::kIdealPreemptive).  Checked at the synchronized critical
+  // instant and under random release phases.
+  const StreamSet population = ctrl.snapshot();
+  for (int phase = 0; phase <= config.phase_seeds; ++phase) {
+    sim::SimConfig sim_config;
+    sim_config.duration = config.sim_duration;
+    sim_config.warmup = 0;
+    sim_config.policy = sim::ArbPolicy::kIdealPreemptive;
+    sim_config.vc_buffer_depth = 1;
+    sim_config.record_arrivals = true;
+    if (phase > 0) {
+      sim_config.random_phase = true;
+      sim_config.phase_seed =
+          scenario.seed * 1000003ull + static_cast<std::uint64_t>(phase);
+    }
+    sim::Simulator simulator(topo, population, sim_config);
+    const sim::SimResult result = simulator.run();
+    const std::string phase_tag =
+        phase == 0 ? "synchronized" : "phase seed " + std::to_string(phase);
+    if (!result.drained) {
+      return fail(kInvariantSoundness,
+                  "admitted population failed to drain (" + phase_tag + ")");
+    }
+    if (result.flits_injected != result.flits_ejected) {
+      return fail(kInvariantSoundness,
+                  "flit conservation broken (" + phase_tag + ")");
+    }
+    for (const auto& arrival : result.arrivals) {
+      const Time observed = arrival.arrived - arrival.generated;
+      const Time bound =
+          ctrl.engine().bound_at(arrival.stream) - config.soundness_tightening;
+      if (observed > bound) {
+        const auto& s = population[arrival.stream];
+        return fail(kInvariantSoundness,
+                    "observed latency " + std::to_string(observed) +
+                        " > bound " + std::to_string(bound) + " for " +
+                        describe_stream(s) + " message generated at " +
+                        std::to_string(arrival.generated) + " (" + phase_tag +
+                        ")");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Violation> check_scenario(const Scenario& scenario,
+                                        const CheckConfig& config) {
+  const std::unique_ptr<topo::Topology> topo = scenario.topo.build();
+  const route::DimensionOrderRouting routing;
+
+  if (config.check_equivalence || config.check_monotonicity) {
+    if (auto violation =
+            check_engine_invariants(scenario, *topo, routing, config)) {
+      return violation;
+    }
+  }
+  if (config.check_soundness || config.check_protocol) {
+    if (auto violation =
+            check_admission_invariants(scenario, *topo, routing, config)) {
+      return violation;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wormrt::fuzz

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/analysis_config.hpp"
+#include "fuzz/scenario.hpp"
+
+/// \file invariants.hpp
+/// The four differential oracles every fuzz scenario is checked against
+/// (DESIGN.md §8).  Each one validates the optimised production path —
+/// bit-packed diagrams, the incremental dirty-set engine, the wire
+/// protocol — against an independent witness:
+///
+///   soundness     admitted population simulated flit-by-flit under the
+///                 analysis-consistent preemptive-VC policy; no message
+///                 may ever exceed its stream's computed bound U_i.
+///   equivalence   IncrementalAnalyzer bounds after every mutation of
+///                 the churn must be bitwise identical to a from-scratch
+///                 determine_feasibility of the same population.
+///   monotonicity  U_i >= network latency (h + C - 1); documented-
+///                 pessimistic configs (carry-over, no relaxation) never
+///                 yield a smaller bound; adding a strictly higher-
+///                 priority stream never improves anyone's bound.
+///   protocol      every decision replayed through Service::handle_line
+///                 (optionally over a real socket) matches the
+///                 in-process AdmissionController byte for byte.
+
+namespace wormrt::fuzz {
+
+/// Names used in reports, corpus files, and shrink predicates.
+inline constexpr const char* kInvariantSoundness = "soundness";
+inline constexpr const char* kInvariantEquivalence = "equivalence";
+inline constexpr const char* kInvariantMonotonicity = "monotonicity";
+inline constexpr const char* kInvariantProtocol = "protocol";
+
+struct Violation {
+  std::string invariant;  ///< one of the kInvariant* names
+  std::string detail;     ///< human-readable witness
+};
+
+struct CheckConfig {
+  core::AnalysisConfig analysis;
+
+  bool check_soundness = true;
+  bool check_equivalence = true;
+  bool check_monotonicity = true;
+  bool check_protocol = true;
+
+  /// Injection window of each soundness simulation (flit times).
+  Time sim_duration = 3000;
+  /// Random-phase simulations per scenario on top of the synchronized
+  /// (critical instant) run.
+  int phase_seeds = 1;
+
+  /// Replay the protocol through an in-process Server + Client over a
+  /// loopback TCP socket instead of calling handle_line directly —
+  /// exercises the real transport (framing, EINTR retry, thread pool).
+  bool protocol_over_socket = false;
+
+  /// Fault injection for the fuzzer's own tests: the soundness oracle
+  /// compares observed latencies against bound - soundness_tightening,
+  /// so a positive value manufactures "violations" on healthy code and
+  /// proves the detect -> shrink -> corpus pipeline actually fires.
+  Time soundness_tightening = 0;
+};
+
+/// Runs every enabled oracle over \p scenario; returns the first
+/// violation found, or nullopt when the scenario is clean.
+std::optional<Violation> check_scenario(const Scenario& scenario,
+                                        const CheckConfig& config);
+
+}  // namespace wormrt::fuzz

@@ -1,0 +1,280 @@
+#include "fuzz/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace wormrt::fuzz {
+
+namespace {
+
+/// Substream ids of a fuzz seed (util::Rng split-stream constructor).
+enum : std::uint64_t { kTopoStream = 0, kChurnStream = 1, kWorkloadStream = 2 };
+
+}  // namespace
+
+const char* to_string(TopoKind kind) {
+  switch (kind) {
+    case TopoKind::kMesh: return "mesh";
+    case TopoKind::kTorus: return "torus";
+    case TopoKind::kHypercube: return "hypercube";
+  }
+  return "?";
+}
+
+std::unique_ptr<topo::Topology> TopoSpec::build() const {
+  switch (kind) {
+    case TopoKind::kMesh:
+      return std::make_unique<topo::Mesh>(a, b);
+    case TopoKind::kTorus:
+      return std::make_unique<topo::Torus>(a, b);
+    case TopoKind::kHypercube:
+      return std::make_unique<topo::Hypercube>(a);
+  }
+  return nullptr;
+}
+
+int TopoSpec::num_nodes() const {
+  return kind == TopoKind::kHypercube ? (1 << a) : a * b;
+}
+
+std::string TopoSpec::describe() const {
+  if (kind == TopoKind::kHypercube) {
+    return "hypercube " + std::to_string(a);
+  }
+  return std::string(to_string(kind)) + " " + std::to_string(a) + "x" +
+         std::to_string(b);
+}
+
+std::size_t Scenario::num_adds() const {
+  return static_cast<std::size_t>(
+      std::count_if(ops.begin(), ops.end(),
+                    [](const Op& op) { return op.kind == Op::Kind::kAdd; }));
+}
+
+Scenario generate_scenario(std::uint64_t seed, const GenParams& params) {
+  Scenario s;
+  s.seed = seed;
+
+  util::Rng topo_rng(seed, kTopoStream);
+  switch (topo_rng.uniform_int(0, 3)) {
+    case 0:
+    case 1:
+      s.topo.kind = TopoKind::kMesh;
+      s.topo.a = static_cast<int>(topo_rng.uniform_int(4, 8));
+      s.topo.b = static_cast<int>(topo_rng.uniform_int(4, 8));
+      break;
+    case 2:
+      s.topo.kind = TopoKind::kTorus;
+      s.topo.a = static_cast<int>(topo_rng.uniform_int(4, 6));
+      s.topo.b = static_cast<int>(topo_rng.uniform_int(4, 6));
+      break;
+    default:
+      s.topo.kind = TopoKind::kHypercube;
+      s.topo.a = static_cast<int>(topo_rng.uniform_int(3, 5));
+      break;
+  }
+  s.priority_levels = static_cast<int>(topo_rng.uniform_int(1, 5));
+
+  util::Rng churn_rng(seed, kChurnStream);
+  util::Rng workload_rng(seed, kWorkloadStream);
+  const int num_ops =
+      static_cast<int>(churn_rng.uniform_int(params.min_ops, params.max_ops));
+  const int nodes = s.topo.num_nodes();
+
+  std::vector<int> live_adds;  // indices of add ops not yet targeted
+  for (int i = 0; i < num_ops; ++i) {
+    Op op;
+    if (!live_adds.empty() && churn_rng.bernoulli(params.remove_probability)) {
+      const auto pick = static_cast<std::size_t>(churn_rng.uniform_int(
+          0, static_cast<std::int64_t>(live_adds.size()) - 1));
+      op.kind = Op::Kind::kRemove;
+      op.target = live_adds[pick];
+      live_adds.erase(live_adds.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      op.kind = Op::Kind::kAdd;
+      op.src = static_cast<int>(workload_rng.uniform_int(0, nodes - 1));
+      op.dst = static_cast<int>(workload_rng.uniform_int(0, nodes - 2));
+      if (op.dst >= op.src) {
+        ++op.dst;  // uniform over the other nodes
+      }
+      op.priority = static_cast<Priority>(
+          workload_rng.uniform_int(1, s.priority_levels));
+      op.period = workload_rng.uniform_int(params.period_min, params.period_max);
+      op.length = workload_rng.uniform_int(
+          params.length_min, std::min(params.length_max, op.period));
+      const Time deadline_max =
+          params.deadline_within_period ? op.period : 4 * op.period;
+      op.deadline = workload_rng.uniform_int(op.length, deadline_max);
+      live_adds.push_back(static_cast<int>(s.ops.size()));
+    }
+    s.ops.push_back(op);
+  }
+  return s;
+}
+
+std::string scenario_to_text(const Scenario& scenario) {
+  std::string out = "wormrt-fuzz-corpus v1\n";
+  out += "topology " + scenario.topo.describe() + "\n";
+  out += "levels " + std::to_string(scenario.priority_levels) + "\n";
+  out += "seed " + std::to_string(scenario.seed) + "\n";
+  for (const Op& op : scenario.ops) {
+    if (op.kind == Op::Kind::kAdd) {
+      char line[160];
+      std::snprintf(line, sizeof line, "add %d %d %d %lld %lld %lld\n", op.src,
+                    op.dst, static_cast<int>(op.priority),
+                    static_cast<long long>(op.period),
+                    static_cast<long long>(op.length),
+                    static_cast<long long>(op.deadline));
+      out += line;
+    } else {
+      out += "remove " + std::to_string(op.target) + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+ScenarioParseResult parse_fail(int line_no, const std::string& what) {
+  ScenarioParseResult r;
+  r.error = "line " + std::to_string(line_no) + ": " + what;
+  return r;
+}
+
+}  // namespace
+
+ScenarioParseResult scenario_from_text(const std::string& text) {
+  ScenarioParseResult result;
+  Scenario& s = result.scenario;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false, saw_topology = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string word;
+    fields >> word;
+    if (!saw_header) {
+      std::string version;
+      fields >> version;
+      if (word != "wormrt-fuzz-corpus" || version != "v1") {
+        return parse_fail(line_no, "expected header 'wormrt-fuzz-corpus v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (word == "topology") {
+      std::string kind, shape;
+      fields >> kind >> shape;
+      if (kind == "hypercube") {
+        s.topo.kind = TopoKind::kHypercube;
+        s.topo.a = std::atoi(shape.c_str());
+        s.topo.b = 0;
+        if (s.topo.a < 1 || s.topo.a > 10) {
+          return parse_fail(line_no, "hypercube order out of range [1, 10]");
+        }
+      } else if (kind == "mesh" || kind == "torus") {
+        s.topo.kind = kind == "mesh" ? TopoKind::kMesh : TopoKind::kTorus;
+        const std::size_t x = shape.find('x');
+        if (x == std::string::npos) {
+          return parse_fail(line_no, "expected CxR shape, got '" + shape + "'");
+        }
+        s.topo.a = std::atoi(shape.substr(0, x).c_str());
+        s.topo.b = std::atoi(shape.substr(x + 1).c_str());
+        if (s.topo.a < 2 || s.topo.b < 2 || s.topo.num_nodes() > 4096) {
+          return parse_fail(line_no, "radices out of range");
+        }
+      } else {
+        return parse_fail(line_no, "unknown topology '" + kind + "'");
+      }
+      saw_topology = true;
+    } else if (word == "levels") {
+      fields >> s.priority_levels;
+      if (s.priority_levels < 1 || s.priority_levels > 64) {
+        return parse_fail(line_no, "levels out of range [1, 64]");
+      }
+    } else if (word == "seed") {
+      fields >> s.seed;
+    } else if (word == "add") {
+      if (!saw_topology) {
+        return parse_fail(line_no, "add before topology");
+      }
+      Op op;
+      op.kind = Op::Kind::kAdd;
+      long long period = 0, length = 0, deadline = 0;
+      if (!(fields >> op.src >> op.dst >> op.priority >> period >> length >>
+            deadline)) {
+        return parse_fail(line_no, "add needs 6 integer fields");
+      }
+      op.period = period;
+      op.length = length;
+      op.deadline = deadline;
+      const int nodes = s.topo.num_nodes();
+      if (op.src < 0 || op.src >= nodes || op.dst < 0 || op.dst >= nodes ||
+          op.src == op.dst) {
+        return parse_fail(line_no, "node ids invalid for the topology");
+      }
+      if (op.period <= 0 || op.length <= 0 || op.deadline <= 0) {
+        return parse_fail(line_no, "period, length, deadline must be positive");
+      }
+      if (op.priority < 0) {
+        return parse_fail(line_no, "priority must be non-negative");
+      }
+      s.ops.push_back(op);
+    } else if (word == "remove") {
+      Op op;
+      op.kind = Op::Kind::kRemove;
+      if (!(fields >> op.target)) {
+        return parse_fail(line_no, "remove needs the index of an add op");
+      }
+      if (op.target < 0 || op.target >= static_cast<int>(s.ops.size()) ||
+          s.ops[static_cast<std::size_t>(op.target)].kind != Op::Kind::kAdd) {
+        return parse_fail(line_no, "remove target is not an earlier add op");
+      }
+      s.ops.push_back(op);
+    } else {
+      return parse_fail(line_no, "unknown directive '" + word + "'");
+    }
+  }
+  if (!saw_header) {
+    return parse_fail(line_no, "missing corpus header");
+  }
+  if (!saw_topology) {
+    return parse_fail(line_no, "missing topology line");
+  }
+  return result;
+}
+
+bool save_scenario(const std::string& path, const Scenario& scenario) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << scenario_to_text(scenario);
+  return static_cast<bool>(out);
+}
+
+ScenarioParseResult load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ScenarioParseResult r;
+    r.error = "cannot open " + path;
+    return r;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return scenario_from_text(text.str());
+}
+
+}  // namespace wormrt::fuzz

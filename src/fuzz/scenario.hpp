@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/types.hpp"
+
+/// \file scenario.hpp
+/// The fuzzer's unit of work: one *scenario* = a topology plus an
+/// ordered churn sequence of admission operations (stream adds and
+/// removes).  Scenarios are drawn deterministically from a 64-bit seed
+/// (split-stream RNG: topology, workload, and churn decisions each get a
+/// private substream, so shrinking one dimension never perturbs the
+/// others), serialize to a line-oriented text format, and replay
+/// byte-for-byte — a failing seed becomes a corpus file that reproduces
+/// forever (see corpus format below and DESIGN.md §8).
+///
+/// Corpus file format (one scenario per file, '#' comments ignored):
+///   wormrt-fuzz-corpus v1
+///   topology mesh 6x6         | topology torus 4x4 | topology hypercube 3
+///   levels 4
+///   seed 123                  (provenance; replay never re-draws)
+///   add SRC DST PRIORITY PERIOD LENGTH DEADLINE
+///   remove K                  (K = 0-based index of the `add` line this
+///                              removes; a no-op when that add was
+///                              rejected or already removed)
+
+namespace wormrt::fuzz {
+
+enum class TopoKind { kMesh, kTorus, kHypercube };
+
+const char* to_string(TopoKind kind);
+
+/// Shape of a scenario's network, buildable on demand.
+struct TopoSpec {
+  TopoKind kind = TopoKind::kMesh;
+  /// Mesh/torus: columns; hypercube: order (log2 of the node count).
+  int a = 6;
+  /// Mesh/torus: rows; ignored for hypercubes.
+  int b = 6;
+
+  std::unique_ptr<topo::Topology> build() const;
+  int num_nodes() const;
+  /// "mesh 6x6" / "torus 4x4" / "hypercube 3" (the corpus spelling).
+  std::string describe() const;
+};
+
+/// One churn operation.
+struct Op {
+  enum class Kind { kAdd, kRemove };
+  Kind kind = Kind::kAdd;
+
+  // kAdd: the seven-tuple inputs (the path is derived by routing).
+  int src = 0;
+  int dst = 0;
+  Priority priority = 1;
+  Time period = 0;
+  Time length = 0;
+  Time deadline = 0;
+
+  // kRemove: index into Scenario::ops of the kAdd this tears down.
+  int target = -1;
+
+  bool operator==(const Op&) const = default;
+};
+
+struct Scenario {
+  TopoSpec topo;
+  int priority_levels = 4;
+  /// Provenance only — replay uses the recorded ops, never the seed.
+  std::uint64_t seed = 0;
+  std::vector<Op> ops;
+
+  std::size_t num_adds() const;
+};
+
+/// Knobs of scenario generation; the defaults keep populations small
+/// enough that all four oracles run in milliseconds on one core.
+struct GenParams {
+  int min_ops = 8;
+  int max_ops = 26;
+  double remove_probability = 0.3;
+  Time period_min = 30;
+  Time period_max = 120;
+  Time length_min = 1;
+  Time length_max = 24;
+  /// Draw deadlines within the period (D_i <= T_i).  An admitted set
+  /// then satisfies U_i <= T_i, which keeps the simulated workload
+  /// stable — the regime in which the paper's bound claims soundness.
+  bool deadline_within_period = true;
+};
+
+/// Deterministic scenario from \p seed: same seed, same scenario, on
+/// every platform (util::Rng split streams, no std:: distributions).
+Scenario generate_scenario(std::uint64_t seed, const GenParams& params = {});
+
+std::string scenario_to_text(const Scenario& scenario);
+
+struct ScenarioParseResult {
+  Scenario scenario;
+  /// Empty on success, otherwise "line N: what went wrong".
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+ScenarioParseResult scenario_from_text(const std::string& text);
+
+/// File helpers; save returns false on I/O failure, load reports it
+/// through ScenarioParseResult::error.
+bool save_scenario(const std::string& path, const Scenario& scenario);
+ScenarioParseResult load_scenario(const std::string& path);
+
+}  // namespace wormrt::fuzz

@@ -1,0 +1,176 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "route/dor.hpp"
+#include "route/path.hpp"
+
+namespace wormrt::fuzz {
+
+namespace {
+
+/// Drops op \p victim, cascading to removes whose target add disappears
+/// and reindexing the remaining remove targets (they reference positions
+/// in Scenario::ops).
+Scenario drop_op(const Scenario& s, std::size_t victim) {
+  std::vector<bool> keep(s.ops.size(), true);
+  keep[victim] = false;
+  for (std::size_t i = 0; i < s.ops.size(); ++i) {
+    const Op& op = s.ops[i];
+    if (keep[i] && op.kind == Op::Kind::kRemove &&
+        !keep[static_cast<std::size_t>(op.target)]) {
+      keep[i] = false;
+    }
+  }
+  Scenario out = s;
+  out.ops.clear();
+  std::vector<int> new_index(s.ops.size(), -1);
+  for (std::size_t i = 0; i < s.ops.size(); ++i) {
+    if (!keep[i]) {
+      continue;
+    }
+    Op op = s.ops[i];
+    if (op.kind == Op::Kind::kRemove) {
+      op.target = new_index[static_cast<std::size_t>(op.target)];
+    }
+    new_index[i] = static_cast<int>(out.ops.size());
+    out.ops.push_back(op);
+  }
+  return out;
+}
+
+/// Strictly-smaller values to try for a numeric field, largest first so a
+/// single accepted halving skips many singles.
+std::vector<Time> smaller_values(Time v, Time floor) {
+  std::vector<Time> out;
+  for (const Time candidate : {floor, v / 2, v - 1}) {
+    if (candidate >= floor && candidate < v &&
+        std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+/// The routed midpoint between src and dst — pulling the destination
+/// here halves the path while keeping it a genuine route.
+std::optional<int> path_midpoint(const topo::Topology& topo,
+                                 const route::RoutingAlgorithm& routing,
+                                 int src, int dst) {
+  const route::Path path = routing.route(topo, src, dst);
+  if (path.hops() < 2) {
+    return std::nullopt;
+  }
+  const topo::ChannelId mid =
+      path.channels[static_cast<std::size_t>(path.hops() / 2) - 1];
+  const int node = topo.channels().channel(mid).dst;
+  if (node == src || node == dst) {
+    return std::nullopt;
+  }
+  return node;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const Scenario& start,
+                             const ShrinkPredicate& still_fails,
+                             int max_attempts) {
+  ShrinkResult result;
+  result.scenario = start;
+
+  const std::unique_ptr<topo::Topology> topo = start.topo.build();
+  const route::DimensionOrderRouting routing;
+
+  const auto try_candidate = [&](const Scenario& candidate) {
+    if (result.attempts >= max_attempts) {
+      return false;
+    }
+    ++result.attempts;
+    if (!still_fails(candidate)) {
+      return false;
+    }
+    result.scenario = candidate;
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && result.attempts < max_attempts) {
+    improved = false;
+    ++result.rounds;
+    Scenario& cur = result.scenario;
+
+    // 1. Drop whole ops, last first so earlier indices stay meaningful
+    //    across accepted drops within the pass.
+    for (std::size_t i = cur.ops.size(); i-- > 0;) {
+      if (i >= cur.ops.size()) {
+        continue;  // an accepted drop shortened the sequence
+      }
+      improved |= try_candidate(drop_op(cur, i));
+    }
+
+    // 2. Shrink the numeric fields of the surviving adds.
+    for (std::size_t i = 0; i < cur.ops.size(); ++i) {
+      if (cur.ops[i].kind != Op::Kind::kAdd) {
+        continue;
+      }
+      const auto reduce = [&](Time Op::*field, Time floor) {
+        for (const Time v : smaller_values(cur.ops[i].*field, floor)) {
+          Scenario candidate = cur;
+          candidate.ops[i].*field = v;
+          // Keep length <= period and length <= deadline so the stream
+          // stays shaped like a generated one.
+          candidate.ops[i].length =
+              std::min({candidate.ops[i].length, candidate.ops[i].period,
+                        candidate.ops[i].deadline});
+          if (try_candidate(candidate)) {
+            return true;
+          }
+        }
+        return false;
+      };
+      improved |= reduce(&Op::length, 1);
+      improved |= reduce(&Op::period, 1);
+      improved |= reduce(&Op::deadline, 1);
+      // Priorities shrink toward 1 (Priority is int32, reuse the Time
+      // helper through a copy).
+      for (const Time v : smaller_values(cur.ops[i].priority, 1)) {
+        Scenario candidate = cur;
+        candidate.ops[i].priority = static_cast<Priority>(v);
+        if (try_candidate(candidate)) {
+          improved = true;
+          break;
+        }
+      }
+    }
+
+    // 3. Pull destinations toward their sources along the actual route.
+    for (std::size_t i = 0; i < cur.ops.size(); ++i) {
+      if (cur.ops[i].kind != Op::Kind::kAdd) {
+        continue;
+      }
+      const auto mid =
+          path_midpoint(*topo, routing, cur.ops[i].src, cur.ops[i].dst);
+      if (!mid.has_value()) {
+        continue;
+      }
+      Scenario candidate = cur;
+      candidate.ops[i].dst = *mid;
+      improved |= try_candidate(candidate);
+    }
+  }
+
+  // Cosmetic normalisation: the generation metadata should match what
+  // survived (levels is not read by the oracles).
+  Priority top = 1;
+  for (const Op& op : result.scenario.ops) {
+    if (op.kind == Op::Kind::kAdd) {
+      top = std::max(top, op.priority);
+    }
+  }
+  result.scenario.priority_levels = static_cast<int>(top);
+  return result;
+}
+
+}  // namespace wormrt::fuzz

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+
+#include "fuzz/scenario.hpp"
+
+/// \file shrink.hpp
+/// Greedy scenario minimisation.  A failing fuzz seed typically carries
+/// twenty-odd streams on a large network; the bug usually needs two or
+/// three.  The shrinker repeatedly proposes strictly-smaller candidate
+/// scenarios — drop an op, shrink a message, pull a destination closer —
+/// and keeps a candidate whenever the caller's predicate says it still
+/// fails, iterating to a fixpoint.  The result is the minimal reproducer
+/// written into tests/fuzz_corpus/ (DESIGN.md §8).
+
+namespace wormrt::fuzz {
+
+/// Returns true when \p candidate still reproduces the original failure
+/// (same invariant violated).  Must be deterministic.
+using ShrinkPredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkResult {
+  Scenario scenario;  ///< the smallest still-failing scenario found
+  int rounds = 0;     ///< greedy passes until fixpoint (or cap)
+  int attempts = 0;   ///< predicate evaluations spent
+};
+
+/// Shrinks \p start under \p still_fails, spending at most
+/// \p max_attempts predicate evaluations.  \p start itself is assumed to
+/// fail and is returned unchanged when nothing smaller does.
+ShrinkResult shrink_scenario(const Scenario& start,
+                             const ShrinkPredicate& still_fails,
+                             int max_attempts = 400);
+
+}  // namespace wormrt::fuzz

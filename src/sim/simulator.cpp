@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -624,7 +625,13 @@ void Simulator::process_channel(topo::ChannelId c) {
 }
 
 SimResult Simulator::run() {
-  assert(!ran_ && "Simulator::run() can only be called once");
+  // A second run() would start from the moved-out result and half-drained
+  // queues — a checked error, not a silent corruption (the assert alone
+  // disappears under NDEBUG).
+  if (ran_) {
+    throw std::logic_error(
+        "Simulator::run() may only be called once per instance");
+  }
   ran_ = true;
   for (Time t = 0;; ++t) {
     if (cfg_.policy == ArbPolicy::kThrottlePreempt) {

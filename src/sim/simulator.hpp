@@ -41,7 +41,9 @@ class Simulator {
             SimConfig config);
 
   /// Runs injection for config.duration cycles plus a drain phase, and
-  /// returns the collected statistics.  Can be called once.
+  /// returns the collected statistics.  The run consumes the simulator's
+  /// state: calling run() a second time on the same instance throws
+  /// std::logic_error (construct a fresh Simulator per run instead).
   SimResult run();
 
  private:

@@ -1,6 +1,7 @@
 #include "svc/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -126,9 +127,16 @@ class Parser {
   }
 
  private:
+  /// Recursion cap for nested containers.  The parser is recursive
+  /// descent, so without a cap one hostile line of 10^5 '[' characters
+  /// overflows the daemon's stack — not an exception, not catchable.
+  /// The protocol nests at most ~3 levels; 64 is generous.
+  static constexpr int kMaxDepth = 64;
+
   const std::string& text_;
   std::string* error_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   bool failed_ = false;
 
   Json fail(const std::string& what) {
@@ -202,18 +210,30 @@ class Parser {
       return fail("malformed number");
     }
     if (integral) {
-      errno = 0;
-      char* end = nullptr;
-      const long long v = std::strtoll(token.c_str(), &end, 10);
-      if (errno == 0 && end != nullptr && *end == '\0') {
-        return Json(static_cast<std::int64_t>(v));
+      // Exact int64 or a parse error: the protocol carries handles and
+      // flit times as int64 end to end, so an out-of-range literal must
+      // not silently degrade to a rounded double (and a partially
+      // consumed token must not pass as a number).
+      std::int64_t v = 0;
+      const char* first = token.data();
+      const char* last = token.data() + token.size();
+      const auto [ptr, ec] = std::from_chars(first, last, v, 10);
+      if (ec == std::errc::result_out_of_range) {
+        return fail("integer out of range");
       }
-      // fall through to double on overflow
+      if (ec != std::errc() || ptr != last) {
+        return fail("malformed number");
+      }
+      return Json(v);
     }
     char* end = nullptr;
+    errno = 0;
     const double d = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') {
       return fail("malformed number");
+    }
+    if (!std::isfinite(d)) {
+      return fail("number out of range");
     }
     return Json(d);
   }
@@ -282,9 +302,13 @@ class Parser {
 
   Json parse_array() {
     ++pos_;  // '['
+    if (++depth_ > kMaxDepth) {
+      return fail("nesting too deep");
+    }
     Json arr = Json::array();
     skip_ws();
     if (consume(']')) {
+      --depth_;
       return arr;
     }
     for (;;) {
@@ -295,6 +319,7 @@ class Parser {
       arr.push_back(std::move(v));
       skip_ws();
       if (consume(']')) {
+        --depth_;
         return arr;
       }
       if (!consume(',')) {
@@ -305,9 +330,13 @@ class Parser {
 
   Json parse_object() {
     ++pos_;  // '{'
+    if (++depth_ > kMaxDepth) {
+      return fail("nesting too deep");
+    }
     Json obj = Json::object();
     skip_ws();
     if (consume('}')) {
+      --depth_;
       return obj;
     }
     for (;;) {
@@ -330,6 +359,7 @@ class Parser {
       obj.set(key.as_string(), std::move(v));
       skip_ws();
       if (consume('}')) {
+        --depth_;
         return obj;
       }
       if (!consume(',')) {

@@ -37,6 +37,20 @@ bool send_all(int fd, const std::string& data) {
   return true;
 }
 
+/// recv() that retries EINTR internally, so a signal delivered to a
+/// connection worker (or to a client blocked on a response) never turns
+/// into a spurious disconnect.  Returns what recv() returns otherwise:
+/// 0 on orderly shutdown, -1 with errno set on a real transport error.
+ssize_t recv_some(int fd, char* buffer, std::size_t capacity) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return n;
+  }
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -73,10 +87,7 @@ struct Server::Impl {
     std::string buffer;
     char chunk[4096];
     for (;;) {
-      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
+      const ssize_t n = recv_some(fd, chunk, sizeof chunk);
       if (n <= 0) {
         break;  // peer closed, transport error, or stop() shut us down
       }
@@ -319,10 +330,7 @@ bool Client::call(const std::string& request_line, std::string* response_line,
       buffer_.erase(0, nl + 1);
       return true;
     }
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
+    const ssize_t n = recv_some(fd_, chunk, sizeof chunk);
     if (n <= 0) {
       if (error != nullptr) {
         *error = n == 0 ? "connection closed by server"

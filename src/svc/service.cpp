@@ -48,16 +48,28 @@ Json Service::error_reply(const std::string& what) {
 }
 
 std::string Service::handle_line(const std::string& line) {
-  std::string parse_error;
-  const Json request = Json::parse(line, &parse_error);
-  Json reply;
-  if (!parse_error.empty()) {
+  // No exception may escape into the connection worker that called us:
+  // a malformed or hostile line costs the sender one error reply, never
+  // the daemon.  (parse() reports via parse_error, but dispatch runs
+  // analysis code whose invariant checks may throw.)
+  try {
+    std::string parse_error;
+    const Json request = Json::parse(line, &parse_error);
+    Json reply;
+    if (!parse_error.empty()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      reply = error_reply("bad json: " + parse_error);
+    } else {
+      reply = handle(request);
+    }
+    return reply.dump();
+  } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lk(mu_);
-    reply = error_reply("bad json: " + parse_error);
-  } else {
-    reply = handle(request);
+    return error_reply(std::string("internal error: ") + e.what()).dump();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return error_reply("internal error").dump();
   }
-  return reply.dump();
 }
 
 Json Service::handle(const Json& request) {

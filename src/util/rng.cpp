@@ -33,6 +33,23 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id into the SplitMix64 seeding state via an extra
+  // golden-ratio step, so (seed, a) and (seed, b) start the seeding
+  // chain far apart for any a != b.
+  std::uint64_t sm = seed;
+  std::uint64_t salt = stream;
+  sm ^= splitmix64(salt);
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ull;
+  }
+}
+
+Rng Rng::split(std::uint64_t stream) { return Rng(next_u64(), stream); }
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -19,6 +19,17 @@ class Rng {
   /// Seeds the four 64-bit state words from \p seed with SplitMix64.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+  /// Split-stream constructor: an independent generator identified by
+  /// (\p seed, \p stream).  Distinct stream ids under the same seed
+  /// yield statistically independent sequences, so one fuzz seed can
+  /// deal a private substream to each concern (topology, workload,
+  /// churn, phases) without the draw order of one perturbing another.
+  Rng(std::uint64_t seed, std::uint64_t stream);
+
+  /// Child generator for substream \p stream of this generator's next
+  /// draw: split(a) and split(b) are independent for a != b.
+  Rng split(std::uint64_t stream);
+
   /// Next raw 64-bit output.
   std::uint64_t next_u64();
 

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/invariants.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrink.hpp"
+#include "svc/json.hpp"
+
+namespace wormrt::fuzz {
+namespace {
+
+// ---------------------------------------------------------------- scenario
+
+TEST(Scenario, GenerationIsDeterministic) {
+  const Scenario a = generate_scenario(42);
+  const Scenario b = generate_scenario(42);
+  EXPECT_EQ(a.topo.kind, b.topo.kind);
+  EXPECT_EQ(a.topo.a, b.topo.a);
+  EXPECT_EQ(a.topo.b, b.topo.b);
+  EXPECT_EQ(a.priority_levels, b.priority_levels);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_NE(a.ops, generate_scenario(43).ops);
+}
+
+TEST(Scenario, GenerationRespectsParams) {
+  GenParams params;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const Scenario s = generate_scenario(seed, params);
+    EXPECT_GE(static_cast<int>(s.ops.size()), params.min_ops);
+    EXPECT_LE(static_cast<int>(s.ops.size()), params.max_ops);
+    const int nodes = s.topo.num_nodes();
+    for (const Op& op : s.ops) {
+      if (op.kind == Op::Kind::kRemove) {
+        ASSERT_GE(op.target, 0);
+        ASSERT_LT(op.target, static_cast<int>(s.ops.size()));
+        EXPECT_EQ(s.ops[static_cast<std::size_t>(op.target)].kind,
+                  Op::Kind::kAdd);
+        continue;
+      }
+      EXPECT_GE(op.src, 0);
+      EXPECT_LT(op.src, nodes);
+      EXPECT_GE(op.dst, 0);
+      EXPECT_LT(op.dst, nodes);
+      EXPECT_NE(op.src, op.dst);
+      EXPECT_GE(op.priority, 1);
+      EXPECT_LE(op.priority, s.priority_levels);
+      EXPECT_GE(op.length, params.length_min);
+      EXPECT_LE(op.length, op.period);
+      EXPECT_GE(op.deadline, op.length);
+      EXPECT_LE(op.deadline, op.period);  // deadline_within_period
+    }
+  }
+}
+
+TEST(Scenario, CorpusTextRoundTrips) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Scenario original = generate_scenario(seed);
+    const ScenarioParseResult parsed =
+        scenario_from_text(scenario_to_text(original));
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.scenario.topo.kind, original.topo.kind);
+    EXPECT_EQ(parsed.scenario.topo.a, original.topo.a);
+    EXPECT_EQ(parsed.scenario.priority_levels, original.priority_levels);
+    EXPECT_EQ(parsed.scenario.seed, original.seed);
+    EXPECT_EQ(parsed.scenario.ops, original.ops);
+  }
+}
+
+TEST(Scenario, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(scenario_from_text("").ok());
+  EXPECT_FALSE(scenario_from_text("not-a-corpus v1\n").ok());
+  // Missing topology before the first add.
+  EXPECT_FALSE(
+      scenario_from_text("wormrt-fuzz-corpus v1\nadd 0 1 1 10 2 10\n").ok());
+  const std::string header = "wormrt-fuzz-corpus v1\ntopology mesh 4x4\n";
+  // Self-loop, out-of-range node, non-positive period.
+  EXPECT_FALSE(scenario_from_text(header + "add 3 3 1 10 2 10\n").ok());
+  EXPECT_FALSE(scenario_from_text(header + "add 0 16 1 10 2 10\n").ok());
+  EXPECT_FALSE(scenario_from_text(header + "add 0 1 1 0 2 10\n").ok());
+  // Remove pointing at nothing / at another remove.
+  EXPECT_FALSE(scenario_from_text(header + "remove 0\n").ok());
+  EXPECT_FALSE(scenario_from_text(header + "add 0 1 1 10 2 10\nremove 0\nremove 1\n").ok());
+  // A well-formed file with comments parses.
+  EXPECT_TRUE(scenario_from_text(header + "# comment\nadd 0 1 1 10 2 10\nremove 0\n").ok());
+}
+
+// -------------------------------------------------------------- invariants
+
+TEST(Invariants, FixedSeedBlockIsClean) {
+  // The CI smoke block in miniature: every oracle on 20 seeds.  Any
+  // regression in the analysis, the incremental engine, the simulator,
+  // or the protocol shows up here as a named invariant violation.
+  CheckConfig config;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto violation = check_scenario(generate_scenario(seed), config);
+    EXPECT_FALSE(violation.has_value())
+        << "seed " << seed << ": " << violation->invariant << ": "
+        << violation->detail;
+  }
+}
+
+TEST(Invariants, SocketProtocolMatchesInProcess) {
+  CheckConfig config;
+  config.protocol_over_socket = true;
+  config.check_soundness = false;  // transport is what's under test here
+  config.check_equivalence = false;
+  config.check_monotonicity = false;
+  const auto violation = check_scenario(generate_scenario(7), config);
+  EXPECT_FALSE(violation.has_value())
+      << violation->invariant << ": " << violation->detail;
+}
+
+TEST(Invariants, FaultInjectionIsDetected) {
+  // Tightening the bound manufactures a soundness violation on healthy
+  // code — proof the oracle actually compares something.
+  CheckConfig config;
+  config.soundness_tightening = 1000;
+  const auto violation = check_scenario(generate_scenario(1), config);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->invariant, kInvariantSoundness);
+}
+
+// ------------------------------------------------------------------ shrink
+
+TEST(Shrink, MinimisesAgainstArtificialPredicate) {
+  // Predicate: "some add has length >= 5".  The minimal reproducer is a
+  // single add with length exactly 5.
+  const Scenario start = generate_scenario(3);
+  ASSERT_TRUE(std::any_of(start.ops.begin(), start.ops.end(), [](const Op& op) {
+    return op.kind == Op::Kind::kAdd && op.length >= 5;
+  }));
+  const ShrinkResult result = shrink_scenario(start, [](const Scenario& s) {
+    return std::any_of(s.ops.begin(), s.ops.end(), [](const Op& op) {
+      return op.kind == Op::Kind::kAdd && op.length >= 5;
+    });
+  });
+  ASSERT_EQ(result.scenario.ops.size(), 1u);
+  EXPECT_EQ(result.scenario.ops[0].kind, Op::Kind::kAdd);
+  EXPECT_EQ(result.scenario.ops[0].length, 5);
+  EXPECT_EQ(result.scenario.ops[0].priority, 1);
+  EXPECT_GT(result.attempts, 0);
+}
+
+TEST(Shrink, KeepsRemoveTargetsConsistent) {
+  // Predicate: "at least one remove survives" — forces the shrinker to
+  // keep an (add, remove) pair and reindex the target as ops drop out.
+  const Scenario start = generate_scenario(3);  // 18 ops, 6 removes
+  const ShrinkResult result = shrink_scenario(start, [](const Scenario& s) {
+    return std::any_of(s.ops.begin(), s.ops.end(), [](const Op& op) {
+      return op.kind == Op::Kind::kRemove;
+    });
+  });
+  ASSERT_EQ(result.scenario.ops.size(), 2u);
+  EXPECT_EQ(result.scenario.ops[0].kind, Op::Kind::kAdd);
+  EXPECT_EQ(result.scenario.ops[1].kind, Op::Kind::kRemove);
+  EXPECT_EQ(result.scenario.ops[1].target, 0);
+  // The surviving scenario must still parse (targets are validated).
+  EXPECT_TRUE(scenario_from_text(scenario_to_text(result.scenario)).ok());
+}
+
+// ------------------------------------------------------------------ fuzzer
+
+TEST(Fuzzer, CleanRunReportsStats) {
+  FuzzOptions options;
+  options.seed_start = 1;
+  options.seeds = 5;
+  const RunStats stats = run_fuzz(options);
+  EXPECT_TRUE(stats.clean());
+  EXPECT_EQ(stats.seeds_run, 5u);
+
+  const svc::Json report = stats.to_json();
+  ASSERT_TRUE(report.is_object());
+  EXPECT_EQ(report.get("seeds_run")->as_int(), 5);
+  EXPECT_EQ(report.get("violations")->as_int(), 0);
+  ASSERT_NE(report.get("invariant_violations"), nullptr);
+  for (const char* name : {kInvariantSoundness, kInvariantEquivalence,
+                           kInvariantMonotonicity, kInvariantProtocol}) {
+    ASSERT_NE(report.get("invariant_violations")->get(name), nullptr) << name;
+  }
+  EXPECT_TRUE(report.get("failures")->is_array());
+  // The dumped report is valid single-line JSON.
+  std::string error;
+  svc::Json::parse(report.dump(), &error);
+  EXPECT_TRUE(error.empty()) << error;
+}
+
+TEST(Fuzzer, InjectedFailureShrinksAndReplays) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "wormrt_fuzz_test_corpus")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  FuzzOptions options;
+  options.seed_start = 1;
+  options.seeds = 2;
+  options.corpus_dir = dir;
+  options.check.soundness_tightening = 40;  // fault injection
+  const RunStats stats = run_fuzz(options);
+  ASSERT_FALSE(stats.clean());
+  const Failure& failure = stats.failures.front();
+  EXPECT_EQ(failure.invariant, kInvariantSoundness);
+  EXPECT_LT(failure.ops_after, failure.ops_before);
+  ASSERT_FALSE(failure.corpus_file.empty());
+
+  // The written reproducer replays deterministically: it fails under the
+  // injected config and is clean under the honest one.
+  const auto replayed = replay_corpus_file(failure.corpus_file, options.check);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->invariant, kInvariantSoundness);
+  EXPECT_FALSE(replay_corpus_file(failure.corpus_file, CheckConfig{})
+                   .has_value());
+
+  EXPECT_TRUE(replay_corpus_file(dir + "/no_such_file.corpus", CheckConfig{})
+                  .has_value());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wormrt::fuzz

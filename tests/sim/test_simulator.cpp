@@ -263,5 +263,25 @@ TEST(Accounting, RandomPhaseIsDeterministicPerSeed) {
   }
 }
 
+TEST(Lifecycle, SecondRunOnSameInstanceThrows) {
+  // run() consumes the simulator's state; a second call used to be an
+  // assert that NDEBUG compiled out, silently returning statistics
+  // accumulated over corrupted state in release builds.
+  topo::Mesh mesh(4, 1);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, mesh.node_at({0, 0}),
+                      mesh.node_at({3, 0}), 0, /*period=*/20,
+                      /*length=*/4, /*deadline=*/1000));
+  Simulator sim(mesh, set, quiet_config(/*duration=*/100, /*num_vcs=*/1));
+  const SimResult first = sim.run();
+  EXPECT_TRUE(first.drained);
+  EXPECT_THROW(sim.run(), std::logic_error);
+  // A fresh instance reproduces the first run exactly.
+  Simulator again(mesh, set, quiet_config(/*duration=*/100, /*num_vcs=*/1));
+  const SimResult second = again.run();
+  EXPECT_EQ(first.flits_injected, second.flits_injected);
+  EXPECT_EQ(first.flits_ejected, second.flits_ejected);
+}
+
 }  // namespace
 }  // namespace wormrt::sim

@@ -6,19 +6,24 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/admission.hpp"
 #include "core/stream_io.hpp"
 #include "route/dor.hpp"
 #include "svc/json.hpp"
+#include "svc/server.hpp"
 #include "topo/mesh.hpp"
 #include "util/rng.hpp"
 
@@ -200,6 +205,71 @@ TEST_F(DaemonE2E, CliExitCodesAndRawVerb) {
   // Malformed raw line: error reply, exit 1.
   EXPECT_EQ(cli("raw 'not json'", &out), 1);
   EXPECT_NE(first_line(out).find("bad json"), std::string::npos) << out;
+}
+
+void noop_handler(int) {}
+
+TEST(SignalDuringRecv, CallsSurviveASignalStorm) {
+  // Regression for the recv() EINTR path (svc/server.cpp recv_some): a
+  // signal delivered while a connection worker or the client blocks in
+  // recv() must not abort the call.  SIGUSR1 is installed WITHOUT
+  // SA_RESTART so every delivery genuinely interrupts the syscall.
+  struct sigaction action = {};
+  action.sa_handler = noop_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction previous = {};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  topo::Mesh mesh(8, 8);
+  route::XYRouting routing;
+  svc::Service service(mesh, routing);
+  svc::ServerConfig config;
+  config.tcp_port = 0;
+  config.workers = 2;
+  svc::Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  svc::Client client;
+  ASSERT_TRUE(client.connect_tcp("127.0.0.1", server.port(), &error)) << error;
+
+  std::atomic<bool> done{false};
+  const pthread_t victim = pthread_self();
+  std::thread storm([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  util::Rng rng(2024);
+  for (int i = 0; i < 300; ++i) {
+    Json request = Json::object();
+    request.set("verb", "REQUEST");
+    request.set("src", rng.uniform_int(0, 63));
+    std::int64_t dst = rng.uniform_int(0, 62);
+    if (dst >= request.get("src")->as_int()) {
+      ++dst;
+    }
+    request.set("dst", dst);
+    request.set("priority", rng.uniform_int(1, 4));
+    request.set("period", rng.uniform_int(40, 100));
+    request.set("length", rng.uniform_int(1, 16));
+    request.set("deadline", rng.uniform_int(30, 90));
+    std::string reply_line;
+    ASSERT_TRUE(client.call(request.dump(), &reply_line, &error))
+        << "call " << i << ": " << error;
+    std::string parse_error;
+    const Json reply = Json::parse(reply_line, &parse_error);
+    ASSERT_TRUE(parse_error.empty()) << parse_error;
+    EXPECT_TRUE(reply.get("ok")->as_bool()) << reply_line;
+  }
+
+  done.store(true, std::memory_order_release);
+  storm.join();
+  client.close();
+  server.stop();
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -92,6 +93,53 @@ TEST(Json, NumbersStayInt64Exact) {
   EXPECT_TRUE(error.empty());
   EXPECT_TRUE(v.get("h")->is_int());
   EXPECT_EQ(v.get("h")->as_int(), 1152921504606846975LL);
+}
+
+TEST(Json, ParsesInt64Boundaries) {
+  std::string error;
+  const Json lo = Json::parse("-9223372036854775808", &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(lo.is_int());
+  EXPECT_EQ(lo.as_int(), std::numeric_limits<std::int64_t>::min());
+
+  const Json hi = Json::parse("9223372036854775807", &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(hi.is_int());
+  EXPECT_EQ(hi.as_int(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Json, RejectsIntegerOverflowAndTrailingGarbage) {
+  // strtoll used to saturate these to INT64_MIN/MAX and accept "12abc"
+  // up to the first bad character — a handle forged as 2^63 would have
+  // aliased a real one.  from_chars makes both hard parse errors.
+  const char* bad[] = {
+      "9223372036854775808",          // INT64_MAX + 1
+      "-9223372036854775809",         // INT64_MIN - 1
+      "99999999999999999999999999",   // way out of range
+      "{\"h\":9223372036854775808}",  // nested in an object
+      "12abc",                        // trailing garbage
+      "1e",                           // truncated exponent
+      "--5",                          // double sign
+  };
+  for (const char* text : bad) {
+    std::string error;
+    Json::parse(text, &error);
+    EXPECT_FALSE(error.empty()) << "accepted: " << text;
+  }
+}
+
+TEST(Json, CapsContainerNesting) {
+  // The parser is recursive descent; without a depth cap one line of
+  // 10^5 '[' bytes would overflow the stack (uncatchable daemon death).
+  std::string shallow = std::string(10, '[') + std::string(10, ']');
+  std::string error;
+  Json::parse(shallow, &error);
+  EXPECT_TRUE(error.empty()) << error;
+
+  std::string deep = std::string(100000, '[');
+  Json::parse(deep, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
 }
 
 /// Drives the Service and an in-process AdmissionController with the
@@ -217,6 +265,35 @@ TEST_F(ServiceTest, ValidationAndErrorPaths) {
   const Json stats = call(R"({"verb":"STATS"})");
   EXPECT_TRUE(stats.get("ok")->as_bool());
   EXPECT_GE(stats.get("verbs")->get("errors")->as_int(), 9);
+}
+
+TEST_F(ServiceTest, HostileLinesNeverEscapeAsExceptions) {
+  // handle_line runs on pool workers; an escaping exception would kill
+  // the daemon.  Every hostile line must come back as one ok:false line.
+  std::vector<std::string> lines = {
+      "",                                  // empty line
+      "{",                                 // truncated JSON
+      R"({"verb":"REQUEST","src":)",       // truncated mid-value
+      std::string(1, '\0'),                // NUL
+      "\x01\x02\xff\xfe binary noise",     // binary garbage
+      R"({"verb":"REQUEST","src":9223372036854775808})",  // overflow
+      std::string(1 << 16, 'x'),           // oversized junk
+  };
+  std::string deep(2000, '[');             // parser recursion stress
+  deep += std::string(2000, ']');
+  lines.push_back(deep);
+  for (const std::string& line : lines) {
+    std::string reply;
+    ASSERT_NO_THROW(reply = service_.handle_line(line));
+    std::string error;
+    const Json parsed = Json::parse(reply, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_TRUE(parsed.is_object());
+    EXPECT_FALSE(parsed.get("ok")->as_bool());
+    EXPECT_NE(parsed.get("error"), nullptr);
+  }
+  // The service still works afterwards.
+  EXPECT_TRUE(call(request_line(0, 5, 1, 50, 10, 250)).get("ok")->as_bool());
 }
 
 TEST_F(ServiceTest, ShutdownVerbRaisesTheFlag) {

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -68,6 +69,52 @@ TEST(ParallelFor, PropagatesException) {
         std::runtime_error)
         << "threads " << threads;
   }
+}
+
+TEST(ParallelFor, ManySimultaneousExceptionsPropagateExactlyOne) {
+  // Every index throwing at once must surface as one exception to the
+  // caller — no std::terminate from a second in-flight exception, no
+  // deadlocked worker, no leaked task — and the machinery must stay
+  // usable round after round.
+  for (const int threads : {2, 4, 0}) {
+    for (int round = 0; round < 25; ++round) {
+      std::atomic<int> attempts{0};
+      try {
+        parallel_for(64, threads, [&](std::size_t i) {
+          attempts.fetch_add(1, std::memory_order_relaxed);
+          throw std::runtime_error("boom " + std::to_string(i));
+        });
+        FAIL() << "no exception propagated (threads " << threads << ")";
+      } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+      }
+      EXPECT_GE(attempts.load(), 1);
+    }
+    // The same pool still completes clean work afterwards.
+    std::atomic<int> total{0};
+    parallel_for(100, threads,
+                 [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(total.load(), 100) << "threads " << threads;
+  }
+}
+
+TEST(ParallelFor, InnerNestedExceptionReachesOuterCaller) {
+  // A throw inside a nested parallel_for must propagate out through the
+  // outer loop's caller, not kill a worker thread.
+  EXPECT_THROW(parallel_for(4, 4,
+                            [&](std::size_t) {
+                              parallel_for(4, 4, [&](std::size_t j) {
+                                if (j == 3) {
+                                  throw std::runtime_error("inner boom");
+                                }
+                              });
+                            }),
+               std::runtime_error);
+  // And the shared machinery still works.
+  std::atomic<int> total{0};
+  parallel_for(16, 4,
+               [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(total.load(), 16);
 }
 
 TEST(ParallelFor, NestedLoopsComplete) {
