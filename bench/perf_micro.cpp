@@ -7,6 +7,8 @@
 #include "core/delay_bound.hpp"
 #include "core/feasibility.hpp"
 #include "core/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "route/dor.hpp"
 #include "sim/simulator.hpp"
 #include "topo/mesh.hpp"
@@ -195,6 +197,68 @@ void BM_TimingDiagramBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TimingDiagramBuild)->Arg(4)->Arg(16)->Arg(60)
     ->Unit(benchmark::kMicrosecond);
+
+// --- Observability-layer costs (BENCH_obs.json) -------------------------
+// The contract the obs layer must keep: a counter increment is one
+// relaxed atomic op, a histogram observe one uncontended mutex, and a
+// span guard with tracing DISABLED (the state every analysis hot path
+// runs in by default) one relaxed load + branch — the <2% budget on
+// BM_CalU / BM_AdmissionChurn.
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("bench_counter_total");
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("bench_latency_us", 0.0, 5000.0, 50);
+  double x = 0.0;
+  for (auto _ : state) {
+    h.observe(x);
+    x += 17.0;
+    if (x >= 5000.0) {
+      x -= 5000.0;
+    }
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Tracer::set_enabled(false);
+  for (auto _ : state) {
+    OBS_SPAN("bench_disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Tracer::set_enabled(true);
+  obs::Tracer::clear();
+  std::size_t spans = 0;
+  for (auto _ : state) {
+    OBS_SPAN("bench_enabled");
+    benchmark::ClobberMemory();
+    // Drop the buffered events periodically so a long --benchmark_min_time
+    // run cannot hit the per-thread event cap and silence the record path.
+    if (++spans == (1u << 19)) {
+      state.PauseTiming();
+      obs::Tracer::clear();
+      spans = 0;
+      state.ResumeTiming();
+    }
+  }
+  obs::Tracer::set_enabled(false);
+  obs::Tracer::clear();
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 }  // namespace
 

@@ -27,3 +27,16 @@ fi
   --benchmark_out="$OUT"
 
 echo "wrote $OUT"
+
+# Observability-layer costs, next to the analysis numbers: counter
+# increment, histogram observe, and the span guard both disabled (the
+# default state of every hot path) and enabled.
+OBS_OUT="$(dirname "$OUT")/BENCH_obs.json"
+"$BIN" \
+  --benchmark_filter='BM_Obs' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$OBS_OUT"
+
+echo "wrote $OBS_OUT"

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace wormrt::core {
 
 AdmissionController::AdmissionController(const topo::Topology& topo,
@@ -14,11 +16,25 @@ AdmissionController::AdmissionController(const topo::Topology& topo,
 AdmissionController::Decision AdmissionController::request(
     topo::NodeId src, topo::NodeId dst, Priority priority, Time period,
     Time length, Time deadline) {
+  return request(src, dst, priority, period, length, deadline, nullptr);
+}
+
+AdmissionController::Decision AdmissionController::request(
+    topo::NodeId src, topo::NodeId dst, Priority priority, Time period,
+    Time length, Time deadline, BoundProvenance* provenance) {
+  OBS_SPAN("admission_request");
   Decision decision;
   MessageStream candidate =
       make_stream(topo_, routing_, /*id=*/0, src, dst, priority, period,
                   length, deadline);
   if (candidate.latency > candidate.deadline) {
+    if (provenance != nullptr) {
+      // No trial happens; report the short-circuit itself.
+      *provenance = BoundProvenance{};
+      provenance->deadline = candidate.deadline;
+      provenance->base_latency = candidate.latency;
+      provenance->deadline_pruned = true;
+    }
     return decision;  // trivially impossible, nothing else to blame
   }
 
@@ -28,6 +44,11 @@ AdmissionController::Decision AdmissionController::request(
   const IncrementalAnalyzer::Mutation trial =
       engine_.add_stream(std::move(candidate));
   decision.bound = *engine_.bound(trial.handle);
+  if (provenance != nullptr) {
+    // Captured while the trial population is still in place: the terms
+    // blame the HP streams of the (possibly rejected) trial set.
+    *provenance = *engine_.explain(trial.handle);
+  }
 
   bool ok = decision.bound != kNoTime && decision.bound <= deadline;
   for (const Handle h : trial.dirty) {

@@ -61,6 +61,21 @@ class AdmissionController {
   Decision request(topo::NodeId src, topo::NodeId dst, Priority priority,
                    Time period, Time length, Time deadline);
 
+  /// Like request(), additionally capturing the candidate's bound
+  /// provenance (see explain.hpp) into *\p provenance when non-null —
+  /// measured against the trial population, i.e. BEFORE any rejection
+  /// rollback, so a rejected requester still learns which HP streams
+  /// pushed its bound past the deadline.
+  Decision request(topo::NodeId src, topo::NodeId dst, Priority priority,
+                   Time period, Time length, Time deadline,
+                   BoundProvenance* provenance);
+
+  /// Provenance of an established channel's current bound; nullopt for
+  /// unknown handles.  Diagnostic path — re-runs Cal_U for the stream.
+  std::optional<BoundProvenance> explain(Handle handle) const {
+    return engine_.explain(handle);
+  }
+
   /// Tears down an established channel, releasing its interference.
   /// Returns false for an unknown handle.
   bool remove(Handle handle);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace wormrt::core {
 
 DelayBoundCalculator::DelayBoundCalculator(const StreamSet& streams,
@@ -35,6 +37,7 @@ std::vector<RowSpec> DelayBoundCalculator::make_rows(const HpSet& hp) const {
 
 int DelayBoundCalculator::relax(StreamId j, const HpSet& hp,
                                 TimingDiagram& diagram) const {
+  OBS_SPAN("modify_diagram");
   // One stream-id -> diagram-row map serves every lookup below (row_of_hp
   // and the intermediate rows), instead of a linear scan per query.
   std::vector<std::size_t> row_of_stream(streams_.size(), diagram.num_rows());
@@ -95,6 +98,7 @@ TimingDiagram DelayBoundCalculator::build_diagram(StreamId j, const HpSet& hp,
 void DelayBoundCalculator::evaluate(StreamId j, const HpSet& hp,
                                     TimingDiagram& diagram,
                                     DelayBoundResult& result) const {
+  OBS_SPAN("diagram_evaluate");
   const bool want_relax = config_.relaxation == IndirectRelaxation::kInstance &&
                           result.indirect_elements > 0 && !config_.carry_over;
   result.suppressed_instances = want_relax ? relax(j, hp, diagram) : 0;
@@ -103,6 +107,7 @@ void DelayBoundCalculator::evaluate(StreamId j, const HpSet& hp,
 
 DelayBoundResult DelayBoundCalculator::calc_with_hp(StreamId j,
                                                     const HpSet& hp) const {
+  OBS_SPAN("cal_u");
   const auto& s = streams_[j];
   DelayBoundResult result;
   for (const auto& e : hp) {

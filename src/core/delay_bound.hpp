@@ -60,6 +60,7 @@ class DelayBoundCalculator {
                               bool relax) const;
 
   const AnalysisConfig& config() const { return config_; }
+  const StreamSet& streams() const { return streams_; }
 
  private:
   const StreamSet& streams_;

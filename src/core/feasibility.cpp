@@ -1,11 +1,13 @@
 #include "core/feasibility.hpp"
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wormrt::core {
 
 FeasibilityReport determine_feasibility(const StreamSet& streams,
                                         const AnalysisConfig& config) {
+  OBS_SPAN("determine_feasibility");
   FeasibilityReport report;
   report.streams.resize(streams.size());
 

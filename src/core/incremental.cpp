@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "core/delay_bound.hpp"
+#include "obs/trace.hpp"
 #include "topo/topology.hpp"
 #include "util/thread_pool.hpp"
 
@@ -117,6 +118,7 @@ HpSet IncrementalAnalyzer::hp_set(StreamId j) const {
 }
 
 void IncrementalAnalyzer::recompute(const std::vector<StreamId>& ids) {
+  OBS_SPAN("incremental_recompute");
   const DelayBoundCalculator calc(streams_, *this, config_);
   // Bounds are independent given the (now settled) digraph; fan them out
   // like the full-recompute path does, each into its own slot.
@@ -292,7 +294,20 @@ std::optional<Time> IncrementalAnalyzer::bound(Handle handle) const {
   if (it == index_.end()) {
     return std::nullopt;
   }
+  ++stats_.bound_cache_hits;
   return bounds_[static_cast<std::size_t>(it->second)];
+}
+
+std::optional<BoundProvenance> IncrementalAnalyzer::explain(
+    Handle handle) const {
+  const auto it = index_.find(handle);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  OBS_SPAN("incremental_explain");
+  const StreamId j = it->second;
+  const DelayBoundCalculator calc(streams_, *this, config_);
+  return explain_bound(calc, j, hp_set(j));
 }
 
 const MessageStream* IncrementalAnalyzer::find(Handle handle) const {

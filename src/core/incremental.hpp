@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/analysis_config.hpp"
+#include "core/explain.hpp"
 #include "core/hpset.hpp"
 #include "core/message_stream.hpp"
 
@@ -73,7 +74,14 @@ class IncrementalAnalyzer : public DirectBlocking {
 
   /// Cached bound of a stream — O(1), no re-analysis (kNoTime when the
   /// free slots never accumulated to the latency within the deadline).
+  /// Counted in Stats::bound_cache_hits.
   std::optional<Time> bound(Handle handle) const;
+
+  /// Provenance of a cached bound: re-runs Cal_U for just this stream
+  /// and decomposes the result (see explain.hpp).  The decomposition's
+  /// `bound` always equals the cached one — same deterministic
+  /// computation over the same population.  nullopt for unknown handles.
+  std::optional<BoundProvenance> explain(Handle handle) const;
 
   /// The registered stream behind \p handle, or nullptr.
   const MessageStream* find(Handle handle) const;
@@ -118,6 +126,8 @@ class IncrementalAnalyzer : public DirectBlocking {
     std::uint64_t dirty_marked = 0;
     /// Direct-blocking edges inserted or erased.
     std::uint64_t edge_updates = 0;
+    /// bound() lookups served from the cache with no re-analysis.
+    std::uint64_t bound_cache_hits = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -128,7 +138,8 @@ class IncrementalAnalyzer : public DirectBlocking {
   AnalysisConfig config_;
   bool force_full_ = false;
   Handle next_handle_ = 0;
-  Stats stats_;
+  /// mutable: bound() is logically const but counts its cache hits.
+  mutable Stats stats_;
 
   StreamSet streams_;                    // dense ids = positions
   std::vector<Handle> handles_;          // id -> handle

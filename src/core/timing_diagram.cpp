@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace wormrt::core {
 
 namespace {
@@ -44,6 +46,7 @@ TimingDiagram::TimingDiagram(std::vector<RowSpec> rows, Time horizon,
 }
 
 void TimingDiagram::reset(Time horizon) {
+  OBS_SPAN("diagram_build");
   assert(horizon >= 1);
   horizon_ = horizon;
   words_ = (static_cast<std::size_t>(horizon_) + kBits - 1) / kBits;
@@ -247,6 +250,23 @@ Time TimingDiagram::accumulate_free(Time required) const {
     }
   }
   return kNoTime;
+}
+
+Time TimingDiagram::allocated_before(std::size_t r, Time end) const {
+  assert(r < rows_.size());
+  end = std::min(end, horizon_);
+  if (end <= 0) {
+    return 0;
+  }
+  const std::uint64_t* alloc = row_alloc(r);
+  Time count = 0;
+  const std::size_t w1 = word_of(end - 1);
+  for (std::size_t w = 0; w < w1; ++w) {
+    count += std::popcount(alloc[w]);
+  }
+  const auto hi = static_cast<unsigned>((end - 1) % static_cast<Time>(kBits));
+  count += std::popcount(alloc[w1] & span_mask(0, hi));
+  return count;
 }
 
 std::string TimingDiagram::render() const {

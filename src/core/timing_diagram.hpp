@@ -104,6 +104,13 @@ class TimingDiagram {
   /// remaining before the horizon cannot reach \p required.
   Time accumulate_free(Time required) const;
 
+  /// Number of ALLOCATED slots of row \p r in [0, min(end, horizon)).
+  /// Rows allocate only slots left free by the rows above, so these
+  /// counts are disjoint across rows and the provenance identity
+  ///   bound = latency + sum_r allocated_before(r, bound)
+  /// holds exactly (see explain.hpp).
+  Time allocated_before(std::size_t r, Time end) const;
+
   /// ASCII rendering in the style of the paper's Figs. 4/6/7/9:
   /// '#' allocated, '.' waiting, ' ' free-or-busy, bottom row 'F' free.
   std::string render() const;

@@ -4,6 +4,8 @@
 #include <filesystem>
 
 #include "fuzz/shrink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wormrt::fuzz {
 
@@ -47,9 +49,17 @@ svc::Json RunStats::to_json() const {
 }
 
 RunStats run_fuzz(const FuzzOptions& options) {
+  OBS_SPAN("run_fuzz");
   const auto t0 = std::chrono::steady_clock::now();
   RunStats stats;
   stats.seed_start = options.seed_start;
+
+  // The fuzzer feeds the process-global registry (one fuzz binary = one
+  // process), unlike svc::Service's per-instance one.
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& seeds_total =
+      reg.counter("wormrt_fuzz_seeds_total", {},
+                  "Fuzz seeds generated and checked.");
 
   const auto narrate = [&](const std::string& line) {
     if (options.on_progress) {
@@ -62,9 +72,14 @@ RunStats run_fuzz(const FuzzOptions& options) {
     const Scenario scenario = generate_scenario(seed, options.gen);
     const auto violation = check_scenario(scenario, options.check);
     ++stats.seeds_run;
+    seeds_total.inc();
     if (!violation.has_value()) {
       continue;
     }
+    reg.counter("wormrt_fuzz_violations_total",
+                {{"invariant", violation->invariant}},
+                "Invariant violations found, by invariant.")
+        .inc();
 
     Failure failure;
     failure.seed = seed;

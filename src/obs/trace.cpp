@@ -1,0 +1,133 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace wormrt::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::int64_t ts_us;
+  std::int64_t dur_us;
+  unsigned tid;
+};
+
+/// One per recording thread; kept alive past thread exit by the
+/// registry's shared_ptr so export_json can still read it.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* r = new BufferRegistry();  // leaked: outlives threads
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+/// Backstop against a forgotten enabled tracer filling memory; far above
+/// anything a test or a daemon trace session produces.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+std::string escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::record_complete(const char* name, std::int64_t ts_us,
+                             std::int64_t dur_us) {
+  record_complete(name, ts_us, dur_us, util::thread_index());
+}
+
+void Tracer::record_complete(const char* name, std::int64_t ts_us,
+                             std::int64_t dur_us, unsigned tid) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    return;
+  }
+  buf.events.push_back(Event{name, ts_us, dur_us, tid});
+}
+
+std::int64_t Tracer::now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+std::string Tracer::export_json() {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> rlk(r.mu);
+  for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    for (const Event& e : buf->events) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "{\"name\":\"" + escape(e.name) +
+             "\",\"cat\":\"wormrt\",\"ph\":\"X\",\"ts\":" +
+             std::to_string(e.ts_us) + ",\"dur\":" + std::to_string(e.dur_us) +
+             ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::clear() {
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> rlk(r.mu);
+  for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::size_t Tracer::event_count() {
+  std::size_t n = 0;
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> rlk(r.mu);
+  for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+}  // namespace wormrt::obs

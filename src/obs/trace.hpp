@@ -1,0 +1,105 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+/// \file trace.hpp
+/// Scoped trace spans exportable as Chrome trace_event JSON.
+///
+/// Usage: drop `OBS_SPAN("cal_u")` at the top of a scope.  When tracing
+/// is disabled (the default) the guard costs one relaxed atomic load and
+/// a branch — cheap enough to leave in Cal_U's hot loop (<2% on the
+/// BM_CalU / BM_AdmissionChurn benches, see BENCH_obs.json).  When
+/// enabled, span completion appends one fixed-size event to a per-thread
+/// buffer under an uncontended per-buffer mutex (the mutex exists so the
+/// exporter can read buffers of live threads without racing — this keeps
+/// TSan clean).
+///
+/// Export with Tracer::export_json(); the result loads directly into
+/// chrome://tracing or https://ui.perfetto.dev.  Nesting is recovered by
+/// the viewer from timestamps ("X" complete events on one tid stack by
+/// containment), so spans need no explicit parent links.
+///
+/// Span names must be string literals (or otherwise outlive the
+/// process): events store the `const char*` unformatted to keep the
+/// enabled hot path allocation-free.
+
+namespace wormrt::obs {
+
+class SpanGuard;
+
+class Tracer {
+ public:
+  /// Globally switches span recording on or off.  Spans already open
+  /// when tracing flips on record normally at close; events recorded
+  /// before a clear() are dropped.
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one complete ("X") event.  \p name must outlive the
+  /// process (string literal).  Timestamps are microseconds on the
+  /// shared monotonic scale returned by now_us().
+  static void record_complete(const char* name, std::int64_t ts_us,
+                              std::int64_t dur_us);
+  /// Same, with an explicit tid — the simulator uses virtual "tids" to
+  /// lay packet lifetimes out per-stream instead of per-thread.
+  static void record_complete(const char* name, std::int64_t ts_us,
+                              std::int64_t dur_us, unsigned tid);
+
+  /// Microseconds since the first call, monotonic, shared across
+  /// threads.  The same scale `util::log_message` prints as [+mono].
+  static std::int64_t now_us();
+
+  /// Serialises all recorded events as Chrome trace_event JSON:
+  /// {"displayTimeUnit":"ms","traceEvents":[{name,cat,ph,ts,dur,pid,tid}]}.
+  static std::string export_json();
+
+  /// Drops all recorded events (buffers stay registered).
+  static void clear();
+
+  /// Number of events currently buffered across all threads.
+  static std::size_t event_count();
+
+ private:
+  friend class SpanGuard;
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII guard: records a complete event covering its own lifetime.
+/// The enabled check happens at construction; a span that starts
+/// enabled records even if tracing is switched off before it closes
+/// (the reverse — starting disabled — records nothing).
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name)
+      : name_(Tracer::enabled() ? name : nullptr),
+        start_us_(name_ != nullptr ? Tracer::now_us() : 0) {}
+  ~SpanGuard() {
+    if (name_ != nullptr) {
+      Tracer::record_complete(name_, start_us_, Tracer::now_us() - start_us_);
+    }
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_us_;
+};
+
+}  // namespace wormrt::obs
+
+#define WORMRT_OBS_CONCAT2(a, b) a##b
+#define WORMRT_OBS_CONCAT(a, b) WORMRT_OBS_CONCAT2(a, b)
+
+/// Opens a span named \p name (a string literal) covering the enclosing
+/// scope.  Compiles to nothing when WORMRT_OBS_DISABLE is defined.
+#if defined(WORMRT_OBS_DISABLE)
+#define OBS_SPAN(name) ((void)0)
+#else
+#define OBS_SPAN(name) \
+  ::wormrt::obs::SpanGuard WORMRT_OBS_CONCAT(obs_span_, __LINE__)(name)
+#endif

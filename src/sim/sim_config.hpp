@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "util/types.hpp"
@@ -81,6 +82,14 @@ struct SimConfig {
   /// When true, every completed message's (stream, generation, arrival)
   /// is recorded in SimResult::arrivals — for tests and traces.
   bool record_arrivals = false;
+
+  /// Called for EVERY delivered message (warmup included, unlike the
+  /// statistics above) with its stream, generation time and delivery
+  /// time — the observability layer turns these into trace spans
+  /// (obs::Tracer::record_complete with the stream as a virtual tid).
+  /// Invoked synchronously from the simulation loop: keep it cheap.
+  std::function<void(StreamId stream, Time generated, Time delivered)>
+      on_delivery;
 };
 
 }  // namespace wormrt::sim

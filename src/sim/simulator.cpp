@@ -553,6 +553,9 @@ void Simulator::complete_packet(PacketId pid, Time now) {
     sources_[static_cast<std::size_t>(p.stream)].outstanding = kNoPacket;
     start_front_packet(p.stream);
   }
+  if (cfg_.on_delivery) {
+    cfg_.on_delivery(p.stream, p.generated, now);
+  }
   if (p.generated < cfg_.warmup) {
     return;
   }

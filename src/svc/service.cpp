@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "core/stream_io.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wormrt::svc {
 
@@ -27,20 +29,94 @@ double now_us() {
 
 }  // namespace
 
+Service::Metrics::Metrics(obs::Registry& reg)
+    : requests(reg.counter("wormrt_requests_total", {{"verb", "REQUEST"}},
+                           "Protocol verbs served, by verb.")),
+      removes(reg.counter("wormrt_requests_total", {{"verb", "REMOVE"}})),
+      queries(reg.counter("wormrt_requests_total", {{"verb", "QUERY"}})),
+      explains(reg.counter("wormrt_requests_total", {{"verb", "EXPLAIN"}})),
+      snapshots(reg.counter("wormrt_requests_total", {{"verb", "SNAPSHOT"}})),
+      stats(reg.counter("wormrt_requests_total", {{"verb", "STATS"}})),
+      metrics(reg.counter("wormrt_requests_total", {{"verb", "METRICS"}})),
+      admitted(reg.counter("wormrt_admission_decisions_total",
+                           {{"decision", "admitted"}},
+                           "Admission decisions, by outcome.")),
+      rejected(reg.counter("wormrt_admission_decisions_total",
+                           {{"decision", "rejected"}})),
+      errors(reg.counter("wormrt_errors_total", {},
+                         "Error replies sent (bad json, bad verb, bad "
+                         "arguments, internal errors).")),
+      latency_us(reg.histogram(
+          "wormrt_admission_latency_us", 0.0, 5000.0, 50, {},
+          "REQUEST verb service time in microseconds (the admission "
+          "decision, including the trial analysis).")),
+      population(reg.gauge("wormrt_population", {},
+                           "Established channels currently admitted.")) {}
+
 Service::Service(const topo::Topology& topo,
                  const route::RoutingAlgorithm& routing,
                  core::AnalysisConfig config)
-    : topo_(topo),
-      ctrl_(topo, routing, config),
-      latency_hist_(0.0, 5000.0, 50) {}
+    : topo_(topo), ctrl_(topo, routing, config), metrics_(registry_) {}
 
 std::size_t Service::population() const {
   std::lock_guard<std::mutex> lk(mu_);
   return ctrl_.size();
 }
 
+void Service::refresh_mirrors() const {
+  const util::ThreadPool::Stats pool = util::ThreadPool::shared().stats();
+  registry_
+      .gauge("wormrt_threadpool_workers", {},
+             "Worker threads of the shared analysis pool.")
+      .set(static_cast<double>(pool.workers));
+  registry_
+      .gauge("wormrt_threadpool_queue_depth", {},
+             "Tasks waiting in the shared pool's queue right now.")
+      .set(static_cast<double>(pool.queue_depth));
+  registry_
+      .counter("wormrt_threadpool_tasks_submitted_total", {},
+               "Tasks ever submitted to the shared pool.")
+      .mirror(pool.tasks_submitted);
+  registry_
+      .counter("wormrt_threadpool_tasks_executed_total", {},
+               "Tasks the shared pool's workers completed.")
+      .mirror(pool.tasks_executed);
+  registry_
+      .counter("wormrt_threadpool_busy_micros_total", {},
+               "Wall time workers spent inside tasks, microseconds.")
+      .mirror(pool.busy_micros);
+
+  const core::IncrementalAnalyzer::Stats& es = ctrl_.engine().stats();
+  registry_
+      .counter("wormrt_engine_adds_total", {},
+               "Stream additions the incremental engine performed.")
+      .mirror(es.adds);
+  registry_
+      .counter("wormrt_engine_removes_total", {},
+               "Stream removals the incremental engine performed.")
+      .mirror(es.removes);
+  registry_
+      .counter("wormrt_engine_bound_recomputes_total", {},
+               "Cal_U evaluations (dirty-set recomputations).")
+      .mirror(es.bound_recomputes);
+  registry_
+      .counter("wormrt_engine_dirty_marked_total", {},
+               "Established streams marked dirty across mutations.")
+      .mirror(es.dirty_marked);
+  registry_
+      .counter("wormrt_engine_edge_updates_total", {},
+               "Direct-blocking edges inserted or erased.")
+      .mirror(es.edge_updates);
+  registry_
+      .counter("wormrt_engine_bound_cache_hits_total", {},
+               "Bound lookups served from the cache with no re-analysis.")
+      .mirror(es.bound_cache_hits);
+
+  metrics_.population.set(static_cast<double>(ctrl_.size()));
+}
+
 Json Service::error_reply(const std::string& what) {
-  ++counters_.errors;
+  metrics_.errors.inc();
   Json reply = Json::object();
   reply.set("ok", false);
   reply.set("error", what);
@@ -52,42 +128,40 @@ std::string Service::handle_line(const std::string& line) {
   // a malformed or hostile line costs the sender one error reply, never
   // the daemon.  (parse() reports via parse_error, but dispatch runs
   // analysis code whose invariant checks may throw.)
+  OBS_SPAN("handle_line");
   try {
     std::string parse_error;
     const Json request = Json::parse(line, &parse_error);
     Json reply;
     if (!parse_error.empty()) {
-      std::lock_guard<std::mutex> lk(mu_);
       reply = error_reply("bad json: " + parse_error);
     } else {
       reply = handle(request);
     }
     return reply.dump();
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lk(mu_);
     return error_reply(std::string("internal error: ") + e.what()).dump();
   } catch (...) {
-    std::lock_guard<std::mutex> lk(mu_);
     return error_reply("internal error").dump();
   }
 }
 
 Json Service::handle(const Json& request) {
   if (!request.is_object()) {
-    std::lock_guard<std::mutex> lk(mu_);
     return error_reply("request must be a json object");
   }
   const Json* verb = request.get("verb");
   if (verb == nullptr || !verb->is_string()) {
-    std::lock_guard<std::mutex> lk(mu_);
     return error_reply("missing verb");
   }
   const std::string& v = verb->as_string();
   if (v == "REQUEST") return do_request(request);
   if (v == "REMOVE") return do_remove(request);
   if (v == "QUERY") return do_query(request);
+  if (v == "EXPLAIN") return do_explain(request);
   if (v == "SNAPSHOT") return do_snapshot();
   if (v == "STATS") return do_stats();
+  if (v == "METRICS") return do_metrics();
   if (v == "SHUTDOWN") {
     shutdown_.store(true, std::memory_order_release);
     Json reply = Json::object();
@@ -95,11 +169,41 @@ Json Service::handle(const Json& request) {
     reply.set("shutting_down", true);
     return reply;
   }
-  std::lock_guard<std::mutex> lk(mu_);
   return error_reply("unknown verb: " + v);
 }
 
+Json Service::provenance_json(const core::BoundProvenance& p) {
+  Json out = Json::object();
+  out.set("bound", p.bound);
+  out.set("deadline", p.deadline);
+  out.set("base_latency", p.base_latency);
+  out.set("interference", p.interference);
+  out.set("horizon", p.horizon_used);
+  out.set("doublings", static_cast<std::int64_t>(p.horizon_doublings));
+  out.set("suppressed_instances",
+          static_cast<std::int64_t>(p.suppressed_instances));
+  out.set("deadline_pruned", p.deadline_pruned);
+  Json terms = Json::array();
+  for (const core::InterferenceTerm& t : p.terms) {
+    Json term = Json::object();
+    term.set("stream", t.id);
+    term.set("priority", static_cast<std::int64_t>(t.priority));
+    term.set("mode", t.mode == core::BlockMode::kDirect ? "direct"
+                                                        : "indirect");
+    term.set("period", t.period);
+    term.set("length", t.length);
+    term.set("slots", t.slots);
+    term.set("instances", static_cast<std::int64_t>(t.instances));
+    term.set("suppressed", static_cast<std::int64_t>(t.suppressed));
+    terms.push_back(std::move(term));
+  }
+  out.set("terms", std::move(terms));
+  out.set("text", p.render());
+  return out;
+}
+
 Json Service::do_request(const Json& request) {
+  OBS_SPAN("verb_request");
   std::int64_t src = 0, dst = 0, priority = 0, period = 0, length = 0,
                deadline = 0;
   std::lock_guard<std::mutex> lk(mu_);
@@ -121,21 +225,24 @@ Json Service::do_request(const Json& request) {
   if (period <= 0 || length <= 0 || deadline <= 0) {
     return error_reply("period, length, deadline must be positive");
   }
+  const Json* ex = request.get("explain");
+  const bool want_explain = ex != nullptr && ex->as_bool();
 
+  core::BoundProvenance provenance;
   const double t0 = now_us();
   const auto decision = ctrl_.request(
       static_cast<topo::NodeId>(src), static_cast<topo::NodeId>(dst),
-      static_cast<Priority>(priority), period, length, deadline);
-  const double elapsed = now_us() - t0;
-  latency_hist_.add(elapsed);
-  latency_us_.add(elapsed);
+      static_cast<Priority>(priority), period, length, deadline,
+      want_explain ? &provenance : nullptr);
+  metrics_.latency_us.observe(now_us() - t0);
 
-  ++counters_.requests;
+  metrics_.requests.inc();
   if (decision.admitted) {
-    ++counters_.admitted;
+    metrics_.admitted.inc();
   } else {
-    ++counters_.rejected;
+    metrics_.rejected.inc();
   }
+  metrics_.population.set(static_cast<double>(ctrl_.size()));
 
   Json reply = Json::object();
   reply.set("ok", true);
@@ -149,6 +256,9 @@ Json Service::do_request(const Json& request) {
     broken.push_back(h);
   }
   reply.set("would_break", std::move(broken));
+  if (want_explain) {
+    reply.set("explain", provenance_json(provenance));
+  }
   return reply;
 }
 
@@ -159,7 +269,8 @@ Json Service::do_remove(const Json& request) {
     return error_reply("REMOVE needs integer handle");
   }
   const bool removed = ctrl_.remove(handle);
-  ++counters_.removes;
+  metrics_.removes.inc();
+  metrics_.population.set(static_cast<double>(ctrl_.size()));
   Json reply = Json::object();
   reply.set("ok", true);
   reply.set("removed", removed);
@@ -172,7 +283,7 @@ Json Service::do_query(const Json& request) {
   if (!req_int(request, "handle", &handle)) {
     return error_reply("QUERY needs integer handle");
   }
-  ++counters_.queries;
+  metrics_.queries.inc();
   const auto bound = ctrl_.bound_of(handle);
   if (!bound.has_value()) {
     return error_reply("unknown handle");
@@ -186,9 +297,27 @@ Json Service::do_query(const Json& request) {
   return reply;
 }
 
+Json Service::do_explain(const Json& request) {
+  OBS_SPAN("verb_explain");
+  std::int64_t handle = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!req_int(request, "handle", &handle)) {
+    return error_reply("EXPLAIN needs integer handle");
+  }
+  metrics_.explains.inc();
+  const auto provenance = ctrl_.explain(handle);
+  if (!provenance.has_value()) {
+    return error_reply("unknown handle");
+  }
+  Json reply = provenance_json(*provenance);
+  reply.set("ok", true);
+  reply.set("handle", handle);
+  return reply;
+}
+
 Json Service::do_snapshot() {
   std::lock_guard<std::mutex> lk(mu_);
-  ++counters_.snapshots;
+  metrics_.snapshots.inc();
   const core::StreamSet streams = ctrl_.snapshot();
   Json reply = Json::object();
   reply.set("ok", true);
@@ -199,17 +328,27 @@ Json Service::do_snapshot() {
 
 Json Service::do_stats() {
   std::lock_guard<std::mutex> lk(mu_);
-  ++counters_.stats_calls;
+  metrics_.stats.inc();
 
+  // The wire format predates the metrics registry and is kept stable
+  // (asserted by the daemon e2e test): per-verb counts under "verbs",
+  // engine work counters under "engine", latency summary + rendered
+  // histogram at the top level.
   Json verbs = Json::object();
-  verbs.set("requests", static_cast<std::int64_t>(counters_.requests));
-  verbs.set("admitted", static_cast<std::int64_t>(counters_.admitted));
-  verbs.set("rejected", static_cast<std::int64_t>(counters_.rejected));
-  verbs.set("removes", static_cast<std::int64_t>(counters_.removes));
-  verbs.set("queries", static_cast<std::int64_t>(counters_.queries));
-  verbs.set("snapshots", static_cast<std::int64_t>(counters_.snapshots));
-  verbs.set("stats", static_cast<std::int64_t>(counters_.stats_calls));
-  verbs.set("errors", static_cast<std::int64_t>(counters_.errors));
+  verbs.set("requests",
+            static_cast<std::int64_t>(metrics_.requests.value()));
+  verbs.set("admitted",
+            static_cast<std::int64_t>(metrics_.admitted.value()));
+  verbs.set("rejected",
+            static_cast<std::int64_t>(metrics_.rejected.value()));
+  verbs.set("removes", static_cast<std::int64_t>(metrics_.removes.value()));
+  verbs.set("queries", static_cast<std::int64_t>(metrics_.queries.value()));
+  verbs.set("explains",
+            static_cast<std::int64_t>(metrics_.explains.value()));
+  verbs.set("snapshots",
+            static_cast<std::int64_t>(metrics_.snapshots.value()));
+  verbs.set("stats", static_cast<std::int64_t>(metrics_.stats.value()));
+  verbs.set("errors", static_cast<std::int64_t>(metrics_.errors.value()));
 
   const auto& engine_stats = ctrl_.engine().stats();
   Json engine = Json::object();
@@ -221,14 +360,18 @@ Json Service::do_stats() {
              static_cast<std::int64_t>(engine_stats.dirty_marked));
   engine.set("edge_updates",
              static_cast<std::int64_t>(engine_stats.edge_updates));
+  engine.set("bound_cache_hits",
+             static_cast<std::int64_t>(engine_stats.bound_cache_hits));
 
   Json latency = Json::object();
-  latency.set("count", static_cast<std::int64_t>(latency_us_.count()));
-  if (!latency_us_.empty()) {
-    latency.set("mean_us", latency_us_.mean());
-    latency.set("p50_us", latency_us_.percentile(50));
-    latency.set("p99_us", latency_us_.percentile(99));
-    latency.set("max_us", latency_us_.max());
+  const std::uint64_t count = metrics_.latency_us.count();
+  latency.set("count", static_cast<std::int64_t>(count));
+  if (count > 0) {
+    latency.set("mean_us", metrics_.latency_us.sum() /
+                               static_cast<double>(count));
+    latency.set("p50_us", metrics_.latency_us.quantile(0.50));
+    latency.set("p99_us", metrics_.latency_us.quantile(0.99));
+    latency.set("max_us", metrics_.latency_us.max());
   }
 
   Json reply = Json::object();
@@ -237,48 +380,74 @@ Json Service::do_stats() {
   reply.set("verbs", std::move(verbs));
   reply.set("engine", std::move(engine));
   reply.set("latency", std::move(latency));
-  reply.set("histogram", latency_hist_.render());
+  reply.set("histogram", metrics_.latency_us.merged().render());
   return reply;
+}
+
+Json Service::do_metrics() {
+  std::lock_guard<std::mutex> lk(mu_);
+  metrics_.metrics.inc();
+  refresh_mirrors();
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("prometheus", registry_.to_prometheus());
+  std::string parse_error;
+  Json exposition = Json::parse(registry_.to_json(), &parse_error);
+  if (parse_error.empty()) {
+    reply.set("metrics", std::move(exposition));
+  }
+  return reply;
+}
+
+std::string Service::prometheus_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  refresh_mirrors();
+  return registry_.to_prometheus();
 }
 
 std::string Service::stats_text() const {
   std::lock_guard<std::mutex> lk(mu_);
   char buf[512];
   std::string out = "wormrtd stats\n";
-  std::snprintf(buf, sizeof buf,
-                "  population %zu\n"
-                "  verbs: %llu requests (%llu admitted, %llu rejected), "
-                "%llu removes, %llu queries, %llu snapshots, %llu stats, "
-                "%llu errors\n",
-                ctrl_.size(),
-                static_cast<unsigned long long>(counters_.requests),
-                static_cast<unsigned long long>(counters_.admitted),
-                static_cast<unsigned long long>(counters_.rejected),
-                static_cast<unsigned long long>(counters_.removes),
-                static_cast<unsigned long long>(counters_.queries),
-                static_cast<unsigned long long>(counters_.snapshots),
-                static_cast<unsigned long long>(counters_.stats_calls),
-                static_cast<unsigned long long>(counters_.errors));
+  std::snprintf(
+      buf, sizeof buf,
+      "  population %zu\n"
+      "  verbs: %llu requests (%llu admitted, %llu rejected), "
+      "%llu removes, %llu queries, %llu explains, %llu snapshots, "
+      "%llu stats, %llu errors\n",
+      ctrl_.size(),
+      static_cast<unsigned long long>(metrics_.requests.value()),
+      static_cast<unsigned long long>(metrics_.admitted.value()),
+      static_cast<unsigned long long>(metrics_.rejected.value()),
+      static_cast<unsigned long long>(metrics_.removes.value()),
+      static_cast<unsigned long long>(metrics_.queries.value()),
+      static_cast<unsigned long long>(metrics_.explains.value()),
+      static_cast<unsigned long long>(metrics_.snapshots.value()),
+      static_cast<unsigned long long>(metrics_.stats.value()),
+      static_cast<unsigned long long>(metrics_.errors.value()));
   out += buf;
   const auto& es = ctrl_.engine().stats();
   std::snprintf(buf, sizeof buf,
                 "  engine: %llu adds, %llu removes, %llu bound recomputes, "
-                "%llu dirty marked, %llu edge updates\n",
+                "%llu dirty marked, %llu edge updates, %llu cache hits\n",
                 static_cast<unsigned long long>(es.adds),
                 static_cast<unsigned long long>(es.removes),
                 static_cast<unsigned long long>(es.bound_recomputes),
                 static_cast<unsigned long long>(es.dirty_marked),
-                static_cast<unsigned long long>(es.edge_updates));
+                static_cast<unsigned long long>(es.edge_updates),
+                static_cast<unsigned long long>(es.bound_cache_hits));
   out += buf;
-  if (!latency_us_.empty()) {
+  const std::uint64_t count = metrics_.latency_us.count();
+  if (count > 0) {
     std::snprintf(buf, sizeof buf,
                   "  admission latency (us): mean %.1f  p50 %.1f  p99 %.1f  "
-                  "max %.1f over %zu decisions\n",
-                  latency_us_.mean(), latency_us_.percentile(50),
-                  latency_us_.percentile(99), latency_us_.max(),
-                  latency_us_.count());
+                  "max %.1f over %llu decisions\n",
+                  metrics_.latency_us.sum() / static_cast<double>(count),
+                  metrics_.latency_us.quantile(0.50),
+                  metrics_.latency_us.quantile(0.99), metrics_.latency_us.max(),
+                  static_cast<unsigned long long>(count));
     out += buf;
-    out += latency_hist_.render();
+    out += metrics_.latency_us.merged().render();
   }
   return out;
 }

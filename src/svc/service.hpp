@@ -6,9 +6,8 @@
 #include <string>
 
 #include "core/admission.hpp"
+#include "obs/metrics.hpp"
 #include "svc/json.hpp"
-#include "util/histogram.hpp"
-#include "util/stats.hpp"
 
 /// \file service.hpp
 /// The wormrtd verb layer: maps protocol requests (newline-delimited
@@ -19,14 +18,22 @@
 /// internally across the dirty set via AnalysisConfig::num_threads).
 ///
 /// Verbs:
-///   REQUEST  {src,dst,priority,period,length,deadline} -> admit/reject
+///   REQUEST  {src,dst,priority,period,length,deadline[,explain]}
+///                          -> admit/reject (+ bound provenance on demand)
 ///   REMOVE   {handle}                                  -> teardown
 ///   QUERY    {handle}                                  -> cached bound
+///   EXPLAIN  {handle}      -> bound provenance of an established channel
 ///   SNAPSHOT {}            -> population as stream_io CSV
 ///   STATS    {}            -> verb counters, engine work counters,
 ///                             admission-latency percentiles + histogram
+///   METRICS  {}            -> full registry: Prometheus text + JSON
 ///   SHUTDOWN {}            -> ask the daemon to exit cleanly
 /// Every response carries "ok"; failures add "error".
+///
+/// Metrics live in a per-Service obs::Registry (not the process-global
+/// one, so two Services in one test binary never share counts); see
+/// DESIGN.md §9 for the metric names.  Thread-pool and engine counters
+/// are mirrored into the registry at scrape time.
 
 namespace wormrt::svc {
 
@@ -52,35 +59,56 @@ class Service {
   /// Human-readable metrics dump (the SIGTERM report).
   std::string stats_text() const;
 
+  /// Prometheus text exposition of this service's registry, with the
+  /// thread-pool and engine mirrors refreshed — what METRICS returns.
+  std::string prometheus_text() const;
+
   std::size_t population() const;
 
+  /// This service's metric registry (tests scrape it directly).
+  obs::Registry& registry() { return registry_; }
+
  private:
-  struct Counters {
-    std::uint64_t requests = 0;
-    std::uint64_t admitted = 0;
-    std::uint64_t rejected = 0;
-    std::uint64_t removes = 0;
-    std::uint64_t queries = 0;
-    std::uint64_t snapshots = 0;
-    std::uint64_t stats_calls = 0;
-    std::uint64_t errors = 0;
+  /// References into registry_, resolved once at construction so the
+  /// request hot path never walks the registry map.
+  struct Metrics {
+    explicit Metrics(obs::Registry& reg);
+    obs::Counter& requests;   ///< wormrt_requests_total{verb="REQUEST"}
+    obs::Counter& removes;
+    obs::Counter& queries;
+    obs::Counter& explains;
+    obs::Counter& snapshots;
+    obs::Counter& stats;
+    obs::Counter& metrics;
+    obs::Counter& admitted;   ///< wormrt_admission_decisions_total{...}
+    obs::Counter& rejected;
+    obs::Counter& errors;     ///< wormrt_errors_total
+    obs::Histogram& latency_us;  ///< wormrt_admission_latency_us
+    obs::Gauge& population;   ///< wormrt_population
   };
 
   Json do_request(const Json& request);
   Json do_remove(const Json& request);
   Json do_query(const Json& request);
+  Json do_explain(const Json& request);
   Json do_snapshot();
   Json do_stats();
+  Json do_metrics();
   Json error_reply(const std::string& what);
+
+  /// Mirrors ThreadPool::shared().stats() and the engine's work counters
+  /// into registry_ (call with mu_ held, before any exposition).
+  void refresh_mirrors() const;
+
+  /// Provenance as a wire object {bound, base_latency, terms, text, ...}.
+  static Json provenance_json(const core::BoundProvenance& p);
 
   const topo::Topology& topo_;
   mutable std::mutex mu_;
   core::AdmissionController ctrl_;
-  Counters counters_;
-  /// Admission decision latency in microseconds (REQUEST verb only —
-  /// the service's hot path).
-  util::Histogram latency_hist_;
-  util::SampleSet latency_us_;
+  /// Declared before metrics_: the cached references point into it.
+  mutable obs::Registry registry_;
+  Metrics metrics_;
   std::atomic<bool> shutdown_{false};
 };
 

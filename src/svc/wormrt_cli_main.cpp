@@ -26,11 +26,13 @@ int usage(const char* program) {
       "usage: %s (--socket PATH | --port N [--host H]) COMMAND [flags]\n"
       "commands:\n"
       "  request  --src N --dst N --priority N --period N --length N "
-      "--deadline N\n"
+      "--deadline N [--explain]\n"
       "  remove   --handle H\n"
       "  query    --handle H\n"
+      "  explain  --handle H   bound provenance of an established channel\n"
       "  snapshot\n"
       "  stats\n"
+      "  metrics               Prometheus text exposition of the daemon\n"
       "  shutdown\n"
       "  raw JSON          send a raw protocol line\n",
       program);
@@ -62,19 +64,27 @@ int main(int argc, char** argv) {
       }
       request.set(key, args.get_int(key, 0));
     }
+    if (args.has("explain")) {
+      request.set("explain", true);
+    }
     want_admitted = true;
-  } else if (command == "remove" || command == "query") {
+  } else if (command == "remove" || command == "query" ||
+             command == "explain") {
     if (!args.has("handle")) {
       std::fprintf(stderr, "%s: %s needs --handle\n", args.program().c_str(),
                    command.c_str());
       return 2;
     }
-    request.set("verb", command == "remove" ? "REMOVE" : "QUERY");
+    request.set("verb", command == "remove"  ? "REMOVE"
+                        : command == "query" ? "QUERY"
+                                             : "EXPLAIN");
     request.set("handle", args.get_int("handle", -1));
   } else if (command == "snapshot") {
     request.set("verb", "SNAPSHOT");
   } else if (command == "stats") {
     request.set("verb", "STATS");
+  } else if (command == "metrics") {
+    request.set("verb", "METRICS");
   } else if (command == "shutdown") {
     request.set("verb", "SHUTDOWN");
   } else if (command == "raw") {
@@ -114,10 +124,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", args.program().c_str(), error.c_str());
     return 2;
   }
-  std::printf("%s\n", response.c_str());
 
   std::string parse_error;
   const Json reply = Json::parse(response, &parse_error);
+
+  // `metrics` and `explain` carry a multi-line text payload escaped
+  // inside the one-line JSON response; print the unescaped text (the
+  // Prometheus exposition / the provenance tree).  Everything else — and
+  // any failure reply — prints the raw response line.
+  const Json* pretty = nullptr;
+  if (parse_error.empty() && reply.is_object()) {
+    if (command == "metrics") {
+      pretty = reply.get("prometheus");
+    } else if (command == "explain") {
+      pretty = reply.get("text");
+    }
+  }
+  if (pretty != nullptr && pretty->is_string()) {
+    std::printf("%s", pretty->as_string().c_str());
+  } else {
+    std::printf("%s\n", response.c_str());
+  }
+
   if (!parse_error.empty() || !reply.is_object()) {
     return 1;
   }

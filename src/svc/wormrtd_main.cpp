@@ -19,6 +19,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "svc/server.hpp"
 #include "route/dor.hpp"
 #include "topo/mesh.hpp"
@@ -59,14 +60,16 @@ int usage(const char* program) {
   std::fprintf(
       stderr,
       "usage: %s (--socket PATH | --port N) [--mesh CxR] [--threads N]\n"
-      "          [--workers N]\n"
+      "          [--workers N] [--trace FILE]\n"
       "  --socket PATH  listen on a Unix-domain socket\n"
       "  --port N       listen on 127.0.0.1:N (0 = ephemeral, printed on "
       "READY)\n"
       "  --mesh CxR     mesh topology, e.g. 8 or 16x16 (default 8x8)\n"
       "  --threads N    analysis threads per decision (0 = all cores, "
       "default 0)\n"
-      "  --workers N    connection workers (default 4)\n",
+      "  --workers N    connection workers (default 4)\n"
+      "  --trace FILE   record trace spans; written as Chrome trace_event "
+      "JSON on shutdown\n",
       program);
   return 2;
 }
@@ -94,6 +97,11 @@ int main(int argc, char** argv) {
 
   core::AnalysisConfig config;
   config.num_threads = static_cast<int>(args.get_int("threads", 0));
+
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    obs::Tracer::set_enabled(true);
+  }
 
   const topo::Mesh mesh(cols, rows);
   const route::XYRouting routing;
@@ -126,6 +134,19 @@ int main(int argc, char** argv) {
   }
 
   server.stop();
+  if (!trace_path.empty()) {
+    FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string json = obs::Tracer::export_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wormrtd: wrote %zu trace events to %s\n",
+                   obs::Tracer::event_count(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "wormrtd: cannot write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
   std::fputs(service.stats_text().c_str(), stderr);
   return 0;
 }

@@ -18,6 +18,19 @@ class Histogram {
 
   void add(double x);
 
+  /// Adds every sample of \p other into this histogram.  Requires an
+  /// identical layout (same lo, hi, bucket count) — the sharded metrics
+  /// registry aggregates per-thread shards this way.
+  void merge(const Histogram& other);
+
+  /// Estimated q-quantile, q in [0, 1], assuming samples distribute
+  /// uniformly within their bucket.  Underflow samples are treated as
+  /// lo and overflow samples as hi (the closest representable value),
+  /// so the estimate never leaves [lo, hi].  Returns lo when empty.
+  /// The estimate and the true nearest-rank sample always fall in the
+  /// same bucket, so the error is bounded by one bucket width.
+  double quantile(double q) const;
+
   std::size_t total() const { return total_; }
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }

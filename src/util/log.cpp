@@ -1,12 +1,22 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
 
 namespace wormrt::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// The sink is read and written under one mutex: log lines are rare
+// enough that contention does not matter, and a callback sink must not
+// be torn down mid-call.
+std::mutex g_sink_mu;
+FILE* g_sink_stream = nullptr;  // nullptr = stderr
+LogSink g_sink_fn;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,22 +28,76 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::chrono::steady_clock::time_point mono_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+void set_log_sink(FILE* stream) {
+  std::lock_guard<std::mutex> lk(g_sink_mu);
+  g_sink_stream = stream;
+  g_sink_fn = nullptr;
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lk(g_sink_mu);
+  g_sink_fn = std::move(sink);
+}
+
+unsigned thread_index() {
+  static std::atomic<unsigned> next{1};
+  thread_local unsigned index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
 void log_message(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] ", level_name(level));
+
+  const auto wall = std::chrono::system_clock::now();
+  const double mono =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    mono_epoch())
+          .count();
+
+  const std::time_t secs = std::chrono::system_clock::to_time_t(wall);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          wall.time_since_epoch())
+          .count() %
+      1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+
+  char prefix[96];
+  std::snprintf(prefix, sizeof prefix,
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ [+%.6f] [tid %u] [%s] ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(millis), mono, thread_index(),
+                level_name(level));
+
+  char body[1024];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(body, sizeof body, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+
+  std::lock_guard<std::mutex> lk(g_sink_mu);
+  if (g_sink_fn) {
+    g_sink_fn(level, std::string(prefix) + body);
+    return;
+  }
+  FILE* out = g_sink_stream != nullptr ? g_sink_stream : stderr;
+  std::fprintf(out, "%s%s\n", prefix, body);
 }
 
 }  // namespace wormrt::util

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdio>
+#include <functional>
 #include <string>
 
 /// \file log.hpp
@@ -8,6 +10,17 @@
 /// go through LOG_DEBUG so they compile away to a level check in release
 /// runs; benches use LOG_INFO for progress lines on stderr (stdout is
 /// reserved for result tables).
+///
+/// Every emitted line carries a wall-clock timestamp (UTC, millisecond
+/// resolution), a monotonic offset from the first log call (stable
+/// across wall-clock steps — what you correlate with trace spans), and
+/// the calling thread's index:
+///
+///   2026-08-06T12:34:56.789Z [+12.345678] [tid 2] [warn] message
+///
+/// The sink is pluggable: a FILE* (default stderr) or a callback that
+/// receives the formatted line — tests capture output this way instead
+/// of scraping stderr.
 
 namespace wormrt::util {
 
@@ -17,7 +30,22 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Core sink: writes "[level] message\n" to stderr when enabled.
+/// Routes formatted lines to \p stream (default stderr).  Passing
+/// nullptr restores stderr.  Clears any callback sink.
+void set_log_sink(FILE* stream);
+
+/// Routes each formatted line (no trailing newline) to \p sink instead
+/// of a FILE*.  An empty function restores the FILE* sink.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+/// Small dense index of the calling thread (1-based, assigned on first
+/// use).  Shared by the log prefix and the trace exporter so a log line
+/// and a span from the same thread carry the same id.
+unsigned thread_index();
+
+/// Core sink: formats "<wall> [+mono] [tid N] [level] message" and hands
+/// it to the active sink when \p level passes the threshold.
 void log_message(LogLevel level, const char* fmt, ...)
 #if defined(__GNUC__)
     __attribute__((format(printf, 2, 3)))

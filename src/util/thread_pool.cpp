@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -17,6 +18,9 @@ struct ThreadPool::Impl {
   std::deque<std::function<void()>> queue;
   std::vector<std::thread> workers;
   bool stopping = false;
+  std::atomic<std::uint64_t> tasks_submitted{0};
+  std::atomic<std::uint64_t> tasks_executed{0};
+  std::atomic<std::uint64_t> busy_micros{0};
 
   void worker_loop() {
     for (;;) {
@@ -30,7 +34,13 @@ struct ThreadPool::Impl {
         task = std::move(queue.front());
         queue.pop_front();
       }
+      const auto t0 = std::chrono::steady_clock::now();
       task();
+      const auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0);
+      busy_micros.fetch_add(static_cast<std::uint64_t>(dt.count()),
+                            std::memory_order_relaxed);
+      tasks_executed.fetch_add(1, std::memory_order_relaxed);
     }
   }
 };
@@ -63,7 +73,21 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lk(impl_->mu);
     impl_->queue.push_back(std::move(task));
   }
+  impl_->tasks_submitted.fetch_add(1, std::memory_order_relaxed);
   impl_->cv.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_submitted = impl_->tasks_submitted.load(std::memory_order_relaxed);
+  s.tasks_executed = impl_->tasks_executed.load(std::memory_order_relaxed);
+  s.busy_micros = impl_->busy_micros.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    s.queue_depth = impl_->queue.size();
+  }
+  s.workers = static_cast<unsigned>(impl_->workers.size());
+  return s;
 }
 
 ThreadPool& ThreadPool::shared() {

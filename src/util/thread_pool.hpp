@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 /// \file thread_pool.hpp
@@ -39,6 +40,19 @@ class ThreadPool {
   /// helpers never wait, only the submitting caller does, and the caller
   /// makes progress on its own).
   void submit(std::function<void()> task);
+
+  /// Work counters for the observability layer.  Counters are
+  /// cumulative; queue_depth is an instantaneous snapshot.
+  struct Stats {
+    std::uint64_t tasks_submitted = 0;
+    std::uint64_t tasks_executed = 0;
+    /// Wall time workers spent inside tasks, in microseconds (the
+    /// busy-time numerator of a utilization gauge).
+    std::uint64_t busy_micros = 0;
+    std::size_t queue_depth = 0;
+    unsigned workers = 0;
+  };
+  Stats stats() const;
 
   /// Process-wide pool sized to the hardware concurrency, created on
   /// first use.  All parallel_for calls share it.

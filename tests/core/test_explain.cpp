@@ -1,0 +1,259 @@
+// Bound provenance (explain.hpp): the decomposition must reproduce
+// Cal_U *exactly*.  Fuzzed over 100 random scenarios and every config
+// axis (horizon policy, relaxation, carry-over):
+//
+//   provenance.bound == DelayBoundResult.bound       (determinism)
+//   base_latency + sum(term.slots) == bound          (when it exists)
+//
+// and the IncrementalAnalyzer::explain path must agree with the cached
+// bound it explains.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/delay_bound.hpp"
+#include "core/explain.hpp"
+#include "core/hpset.hpp"
+#include "core/incremental.hpp"
+#include "core/message_stream.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+#include "util/rng.hpp"
+
+namespace wormrt::core {
+namespace {
+
+const route::XYRouting kXy;
+
+StreamSet random_streams(util::Rng& rng, const topo::Mesh& mesh, int count,
+                         int priority_levels) {
+  StreamSet set;
+  const auto n = static_cast<std::int64_t>(mesh.num_nodes());
+  for (int i = 0; i < count; ++i) {
+    const auto src = static_cast<topo::NodeId>(rng.uniform_int(0, n - 1));
+    auto dst = static_cast<topo::NodeId>(rng.uniform_int(0, n - 2));
+    if (dst >= src) {
+      ++dst;
+    }
+    set.add(make_stream(
+        mesh, kXy, static_cast<StreamId>(i), src, dst,
+        static_cast<Priority>(rng.uniform_int(1, priority_levels)),
+        /*period=*/rng.uniform_int(40, 90), /*length=*/rng.uniform_int(1, 20),
+        // The floor of 4 makes deadline < base-latency (the kDeadline
+        // prune regime) reachable by the fuzz.
+        /*deadline=*/rng.uniform_int(4, 400)));
+  }
+  return set;
+}
+
+Time term_sum(const BoundProvenance& p) {
+  Time sum = 0;
+  for (const InterferenceTerm& t : p.terms) {
+    sum += t.slots;
+  }
+  return sum;
+}
+
+void expect_provenance_consistent(const BoundProvenance& p,
+                                  const DelayBoundResult& result,
+                                  const MessageStream& s, const HpSet& hp,
+                                  const char* label) {
+  SCOPED_TRACE(label);
+  // The decomposition reproduces the result exactly.
+  EXPECT_EQ(p.bound, result.bound) << "stream " << s.id;
+  EXPECT_EQ(p.horizon_used, result.horizon_used) << "stream " << s.id;
+  EXPECT_EQ(p.suppressed_instances, result.suppressed_instances)
+      << "stream " << s.id;
+  EXPECT_EQ(p.stream, s.id);
+  EXPECT_EQ(p.deadline, s.deadline);
+  EXPECT_EQ(p.base_latency, s.latency);
+
+  EXPECT_EQ(p.interference, term_sum(p)) << "stream " << s.id;
+  if (p.deadline_pruned) {
+    EXPECT_TRUE(p.terms.empty());
+    EXPECT_EQ(p.bound, kNoTime);
+    return;
+  }
+  EXPECT_EQ(p.terms.size(), hp.size()) << "stream " << s.id;
+  if (p.bound != kNoTime) {
+    // The identity: U_j = L_j + the HP rows' allocations before U_j.
+    EXPECT_EQ(p.base_latency + p.interference, p.bound)
+        << "stream " << s.id;
+    EXPECT_LE(p.bound, p.horizon_used);
+  }
+  // Term metadata matches the HP set element for element.
+  for (const InterferenceTerm& t : p.terms) {
+    bool found = false;
+    for (const HpElement& e : hp) {
+      if (e.id != t.id) {
+        continue;
+      }
+      found = true;
+      EXPECT_EQ(t.mode, e.mode);
+      EXPECT_GE(t.slots, 0);
+      EXPECT_GT(t.period, 0);
+      EXPECT_GT(t.length, 0);
+    }
+    EXPECT_TRUE(found) << "term for stream " << t.id << " not in HP set";
+  }
+}
+
+// 100 fuzzed scenarios x every config axis; every stream explained.
+TEST(ExplainProperty, DecompositionReproducesCalUExactly) {
+  constexpr int kSeeds = 100;
+  topo::Mesh mesh(6, 6);
+  const AnalysisConfig configs[] = {
+      [] { AnalysisConfig c; return c; }(),  // paper defaults (kDeadline)
+      [] {
+        AnalysisConfig c;
+        c.horizon = HorizonPolicy::kExtended;
+        return c;
+      }(),
+      [] {
+        AnalysisConfig c;
+        c.relaxation = IndirectRelaxation::kNone;
+        return c;
+      }(),
+      [] {
+        AnalysisConfig c;
+        c.horizon = HorizonPolicy::kExtended;
+        c.carry_over = true;
+        return c;
+      }(),
+  };
+  const char* labels[] = {"deadline", "extended", "no-relax",
+                          "extended+carry"};
+
+  int bounds_found = 0, bounds_missing = 0, pruned = 0, doublings = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    util::Rng rng(seed);
+    const int count = static_cast<int>(rng.uniform_int(2, 14));
+    const int levels = static_cast<int>(rng.uniform_int(1, 5));
+    const StreamSet streams = random_streams(rng, mesh, count, levels);
+
+    const std::size_t which = static_cast<std::size_t>(seed % 4);
+    const AnalysisConfig& cfg = configs[which];
+    const BlockingAnalysis blocking(streams);
+    const DelayBoundCalculator calc(streams, blocking, cfg);
+
+    for (const MessageStream& s : streams) {
+      const HpSet& hp = blocking.hp_set(s.id);
+      const DelayBoundResult result = calc.calc_with_hp(s.id, hp);
+      const BoundProvenance p = explain_bound(calc, s.id, hp);
+      expect_provenance_consistent(p, result, s, hp, labels[which]);
+      bounds_found += p.bound != kNoTime ? 1 : 0;
+      bounds_missing += p.bound == kNoTime ? 1 : 0;
+      pruned += p.deadline_pruned ? 1 : 0;
+      doublings += p.horizon_doublings;
+    }
+  }
+  // The fuzz must exercise all interesting regimes, or the identity
+  // check above proves nothing.
+  EXPECT_GT(bounds_found, 100);
+  EXPECT_GT(bounds_missing, 0);
+  EXPECT_GT(pruned, 0);
+  EXPECT_GT(doublings, 0);
+}
+
+TEST(Explain, DeadlinePrunedStreamHasNoTerms) {
+  topo::Mesh mesh(8, 8);
+  StreamSet set;
+  // 14 hops + 20 - 1 = latency 33 > deadline 5: pruned before any
+  // diagram is built.
+  set.add(make_stream(mesh, kXy, 0, 0, 63, /*priority=*/1, /*period=*/50,
+                      /*length=*/20, /*deadline=*/5));
+  const BlockingAnalysis blocking(set);
+  const DelayBoundCalculator calc(set, blocking, {});
+  const BoundProvenance p = explain_bound(calc, 0, blocking.hp_set(0));
+  EXPECT_TRUE(p.deadline_pruned);
+  EXPECT_EQ(p.bound, kNoTime);
+  EXPECT_TRUE(p.terms.empty());
+  EXPECT_GT(p.base_latency, p.deadline);
+}
+
+TEST(Explain, UncontendedStreamBoundIsItsBaseLatency) {
+  topo::Mesh mesh(8, 8);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, 0, 7, /*priority=*/1, /*period=*/100,
+                      /*length=*/10, /*deadline=*/300));
+  const BlockingAnalysis blocking(set);
+  const DelayBoundCalculator calc(set, blocking, {});
+  const BoundProvenance p = explain_bound(calc, 0, blocking.hp_set(0));
+  EXPECT_FALSE(p.deadline_pruned);
+  EXPECT_TRUE(p.terms.empty());
+  EXPECT_EQ(p.interference, 0);
+  EXPECT_EQ(p.bound, p.base_latency);
+}
+
+TEST(Explain, RenderShowsTheTree) {
+  topo::Mesh mesh(4, 4);
+  StreamSet set;
+  set.add(make_stream(mesh, kXy, 0, 0, 3, 2, 50, 8, 200));
+  set.add(make_stream(mesh, kXy, 1, 0, 3, 1, 60, 6, 300));
+  const BlockingAnalysis blocking(set);
+  const DelayBoundCalculator calc(set, blocking, {});
+  const BoundProvenance p = explain_bound(calc, 1, blocking.hp_set(1));
+  ASSERT_EQ(p.terms.size(), 1u);
+  const std::string text = p.render();
+  EXPECT_NE(text.find("U(stream 1)"), std::string::npos) << text;
+  EXPECT_NE(text.find("base latency"), std::string::npos) << text;
+  EXPECT_NE(text.find("interference"), std::string::npos) << text;
+  EXPECT_NE(text.find("stream 0"), std::string::npos) << text;
+}
+
+// The incremental engine's explain(): agrees with its own bound cache
+// across churn, including after removals renumber ids.
+TEST(ExplainIncremental, AgreesWithCachedBoundsAcrossChurn) {
+  topo::Mesh mesh(6, 6);
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    util::Rng rng(seed ^ 0x9e3779b9u);
+    IncrementalAnalyzer engine(mesh);
+    std::vector<IncrementalAnalyzer::Handle> live;
+    for (int step = 0; step < 20; ++step) {
+      if (!live.empty() && rng.bernoulli(0.35)) {
+        const auto pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1));
+        ASSERT_TRUE(engine.remove_stream(live[pick]).has_value());
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        const auto n = static_cast<std::int64_t>(mesh.num_nodes());
+        const auto src =
+            static_cast<topo::NodeId>(rng.uniform_int(0, n - 1));
+        auto dst = static_cast<topo::NodeId>(rng.uniform_int(0, n - 2));
+        if (dst >= src) {
+          ++dst;
+        }
+        const auto mut = engine.add_stream(make_stream(
+            mesh, kXy, 0, src, dst,
+            static_cast<Priority>(rng.uniform_int(1, 4)),
+            rng.uniform_int(40, 90), rng.uniform_int(1, 16),
+            rng.uniform_int(30, 350)));
+        live.push_back(mut.handle);
+      }
+      for (const auto handle : live) {
+        const auto cached = engine.bound(handle);
+        ASSERT_TRUE(cached.has_value());
+        const auto p = engine.explain(handle);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(p->bound, *cached)
+            << "seed " << seed << " step " << step << " handle " << handle;
+        EXPECT_EQ(p->interference, term_sum(*p));
+        if (p->bound != kNoTime) {
+          EXPECT_EQ(p->base_latency + p->interference, p->bound)
+              << "seed " << seed << " step " << step;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExplainIncremental, UnknownHandleIsNullopt) {
+  topo::Mesh mesh(4, 4);
+  IncrementalAnalyzer engine(mesh);
+  EXPECT_FALSE(engine.explain(12345).has_value());
+}
+
+}  // namespace
+}  // namespace wormrt::core

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -205,6 +206,140 @@ TEST_F(DaemonE2E, CliExitCodesAndRawVerb) {
   // Malformed raw line: error reply, exit 1.
   EXPECT_EQ(cli("raw 'not json'", &out), 1);
   EXPECT_NE(first_line(out).find("bad json"), std::string::npos) << out;
+}
+
+TEST_F(DaemonE2E, MetricsCommandServesValidPrometheusText) {
+  std::string out;
+  ASSERT_EQ(cli("request --src 0 --dst 5 --priority 2 --period 50 "
+                "--length 20 --deadline 250",
+                &out),
+            0);
+  ASSERT_EQ(cli("metrics", &out), 0);
+  // The cli unescapes the exposition: multi-line Prometheus text, not a
+  // JSON line.
+  EXPECT_EQ(out.rfind("# ", 0), 0u) << out;
+  EXPECT_NE(out.find("# TYPE wormrt_requests_total counter"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("wormrt_requests_total{verb=\"REQUEST\"} 1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("wormrt_admission_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("wormrt_threadpool_workers"), std::string::npos) << out;
+  EXPECT_NE(out.find("wormrt_engine_adds_total 1"), std::string::npos) << out;
+  // Every non-comment line is "series value".
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_LT(space + 1, line.size()) << line;
+  }
+}
+
+TEST_F(DaemonE2E, ExplainCommandRendersTheProvenanceTree) {
+  int status = 0;
+  const Json admitted = cli_json(
+      "request --src 0 --dst 5 --priority 2 --period 50 --length 20 "
+      "--deadline 250",
+      &status);
+  ASSERT_EQ(status, 0);
+  const std::int64_t handle = admitted.get("handle")->as_int();
+
+  // The rendered tree, unescaped.
+  std::string out;
+  ASSERT_EQ(cli("explain --handle " + std::to_string(handle), &out), 0);
+  EXPECT_NE(out.find("U(stream"), std::string::npos) << out;
+  EXPECT_NE(out.find("base latency"), std::string::npos) << out;
+
+  // The same verb over raw JSON decomposes the QUERY bound exactly.
+  const Json query = cli_json("query --handle " + std::to_string(handle));
+  const Json explain = cli_json(
+      "raw '{\"verb\":\"EXPLAIN\",\"handle\":" + std::to_string(handle) +
+      "}'");
+  ASSERT_TRUE(explain.get("ok")->as_bool());
+  EXPECT_EQ(explain.get("bound")->as_int(), query.get("bound")->as_int());
+  EXPECT_EQ(explain.get("base_latency")->as_int() +
+                explain.get("interference")->as_int(),
+            explain.get("bound")->as_int());
+
+  EXPECT_EQ(cli("explain --handle 99999", &out), 1);
+}
+
+/// Launches its own daemon with --trace, works it, shuts it down, and
+/// schema-checks the Chrome trace_event JSON it wrote.  The file name is
+/// fixed: CI uploads build/tests/wormrtd_e2e_trace.json as an artifact.
+TEST(DaemonTrace, TraceFlagWritesChromeTraceEventJson) {
+  const char* kTraceFile = "wormrtd_e2e_trace.json";
+  ::unlink(kTraceFile);
+  char socket_path[128];
+  std::snprintf(socket_path, sizeof socket_path, "/tmp/wormrtd-trace-%d.sock",
+                static_cast<int>(::getpid()));
+  const std::string command = std::string(WORMRTD_BIN) + " --socket " +
+                              socket_path + " --mesh 8 --threads 1 --trace " +
+                              kTraceFile;
+  FILE* daemon = ::popen(command.c_str(), "r");
+  ASSERT_NE(daemon, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof line, daemon), nullptr);
+  ASSERT_EQ(std::string(line).rfind("READY unix ", 0), 0u) << line;
+
+  std::string out;
+  for (int i = 0; i < 3; ++i) {
+    run(std::string(WORMRT_CLI_BIN) + " --socket " + socket_path +
+            " request --src " + std::to_string(i) + " --dst " +
+            std::to_string(10 + i) +
+            " --priority 2 --period 50 --length 10 --deadline 250",
+        &out);
+  }
+  run(std::string(WORMRT_CLI_BIN) + " --socket " + socket_path + " shutdown",
+      &out);
+  ::pclose(daemon);  // waits: the trace is written on shutdown
+  ::unlink(socket_path);
+
+  FILE* f = std::fopen(kTraceFile, "r");
+  ASSERT_NE(f, nullptr) << "daemon did not write " << kTraceFile;
+  std::string text;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    text.append(chunk, n);
+  }
+  std::fclose(f);
+
+  std::string error;
+  const Json doc = Json::parse(text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get("displayTimeUnit")->as_string(), "ms");
+  const Json* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->items().empty());
+
+  bool saw_handle_line = false, saw_cal_u = false;
+  for (const Json& e : events->items()) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_TRUE(e.get("name")->is_string());
+    EXPECT_EQ(e.get("cat")->as_string(), "wormrt");
+    EXPECT_EQ(e.get("ph")->as_string(), "X");
+    EXPECT_GE(e.get("ts")->as_int(), 0);
+    EXPECT_GE(e.get("dur")->as_int(), 0);
+    EXPECT_EQ(e.get("pid")->as_int(), 1);
+    EXPECT_GE(e.get("tid")->as_int(), 1);
+    saw_handle_line |= e.get("name")->as_string() == "handle_line";
+    saw_cal_u |= e.get("name")->as_string() == "cal_u";
+  }
+  // The daemon's spans cover both layers: the service verb path and the
+  // analysis kernel beneath it.
+  EXPECT_TRUE(saw_handle_line);
+  EXPECT_TRUE(saw_cal_u);
 }
 
 void noop_handler(int) {}

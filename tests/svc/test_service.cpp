@@ -312,6 +312,102 @@ TEST_F(ServiceTest, StatsCountLatencySamplesPerRequest) {
   EXPECT_FALSE(stats.get("histogram")->as_string().empty());
 }
 
+TEST_F(ServiceTest, MetricsVerbReturnsPrometheusTextAndJson) {
+  call(request_line(0, 5, 2, 50, 20, 250));
+  call(R"({"verb":"QUERY","handle":0})");
+  const Json reply = call(R"({"verb":"METRICS"})");
+  ASSERT_TRUE(reply.get("ok")->as_bool());
+
+  const std::string prom = reply.get("prometheus")->as_string();
+  EXPECT_NE(prom.find("# TYPE wormrt_requests_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("wormrt_requests_total{verb=\"REQUEST\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("wormrt_requests_total{verb=\"QUERY\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("wormrt_admission_latency_us_count 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("wormrt_population 1"), std::string::npos) << prom;
+
+  const Json* metrics = reply.get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_object());
+  ASSERT_TRUE(metrics->get("metrics")->is_array());
+  EXPECT_FALSE(metrics->get("metrics")->items().empty());
+}
+
+TEST_F(ServiceTest, ExplainVerbDecomposesTheCachedBound) {
+  const Json admitted = call(request_line(0, 5, 2, 50, 20, 250));
+  ASSERT_TRUE(admitted.get("admitted")->as_bool());
+  const std::int64_t handle = admitted.get("handle")->as_int();
+
+  Json q = Json::object();
+  q.set("verb", "QUERY");
+  q.set("handle", handle);
+  const Json query = call(q.dump());
+
+  Json e = Json::object();
+  e.set("verb", "EXPLAIN");
+  e.set("handle", handle);
+  const Json explain = call(e.dump());
+  ASSERT_TRUE(explain.get("ok")->as_bool());
+  EXPECT_EQ(explain.get("handle")->as_int(), handle);
+  // The provenance's bound is the cached bound QUERY serves.
+  EXPECT_EQ(explain.get("bound")->as_int(), query.get("bound")->as_int());
+  // And it decomposes exactly.
+  EXPECT_EQ(explain.get("base_latency")->as_int() +
+                explain.get("interference")->as_int(),
+            explain.get("bound")->as_int());
+  ASSERT_TRUE(explain.get("terms")->is_array());
+  EXPECT_FALSE(explain.get("text")->as_string().empty());
+  EXPECT_NE(explain.get("text")->as_string().find("U(stream"),
+            std::string::npos);
+
+  EXPECT_FALSE(call(R"({"verb":"EXPLAIN","handle":9999})")
+                   .get("ok")
+                   ->as_bool());
+  EXPECT_FALSE(call(R"({"verb":"EXPLAIN"})").get("ok")->as_bool());
+}
+
+TEST_F(ServiceTest, RequestWithExplainAttachesProvenance) {
+  Json r = Json::object();
+  r.set("verb", "REQUEST");
+  r.set("src", std::int64_t{0});
+  r.set("dst", std::int64_t{5});
+  r.set("priority", std::int64_t{2});
+  r.set("period", std::int64_t{50});
+  r.set("length", std::int64_t{20});
+  r.set("deadline", std::int64_t{250});
+  r.set("explain", true);
+  const Json reply = call(r.dump());
+  ASSERT_TRUE(reply.get("ok")->as_bool());
+  const Json* prov = reply.get("explain");
+  ASSERT_NE(prov, nullptr);
+  EXPECT_EQ(prov->get("bound")->as_int(), reply.get("bound")->as_int());
+  EXPECT_EQ(prov->get("base_latency")->as_int() +
+                prov->get("interference")->as_int(),
+            prov->get("bound")->as_int());
+
+  // Without the flag the reply carries no provenance (wire compat).
+  const Json plain = call(request_line(8, 13, 1, 60, 10, 300));
+  EXPECT_EQ(plain.get("explain"), nullptr);
+}
+
+TEST_F(ServiceTest, StatsCountsExplainsAndCacheHits) {
+  const Json admitted = call(request_line(0, 5, 2, 50, 20, 250));
+  Json e = Json::object();
+  e.set("verb", "EXPLAIN");
+  e.set("handle", admitted.get("handle")->as_int());
+  call(e.dump());
+  const Json stats = call(R"({"verb":"STATS"})");
+  EXPECT_EQ(stats.get("verbs")->get("explains")->as_int(), 1);
+  EXPECT_GE(stats.get("engine")->get("bound_cache_hits")->as_int(), 0);
+}
+
 /// The socket transport: a real Server on a Unix socket, several client
 /// connections (serial and concurrent), decisions matching a replay
 /// controller.

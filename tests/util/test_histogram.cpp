@@ -1,0 +1,137 @@
+// util::Histogram quantile() and merge(): property-tested against a
+// sorted-vector oracle.  The histogram's contract (histogram.hpp): the
+// quantile estimate and the true nearest-rank sample fall in the same
+// bucket, so the estimate is within one bucket width of the oracle once
+// the oracle is clamped to [lo, hi]; merge() is sample-for-sample
+// equivalent to feeding every sample into one histogram.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace wormrt::util {
+namespace {
+
+/// Nearest-rank q-quantile of the raw samples, clamped the way the
+/// histogram clamps (underflow counts as lo, overflow as hi).
+double oracle_quantile(std::vector<double> samples, double q, double lo,
+                       double hi) {
+  if (samples.empty()) {
+    return lo;
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto n = samples.size();
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::min(std::max<std::size_t>(rank, 1), n) - 1;
+  return std::min(std::max(samples[rank], lo), hi);
+}
+
+TEST(HistogramQuantile, EmptyReturnsLo) {
+  const Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramQuantile, SingleSampleEveryQuantileHitsItsBucket) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(42.0);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, 40.0) << "q=" << q;
+    EXPECT_LE(est, 50.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, MatchesSortedVectorOracleWithinOneBucket) {
+  Rng rng(20260807);
+  for (int round = 0; round < 200; ++round) {
+    const double lo = static_cast<double>(rng.uniform_int(-50, 50));
+    const double hi = lo + static_cast<double>(rng.uniform_int(10, 500));
+    const auto buckets = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    const double width = (hi - lo) / static_cast<double>(buckets);
+
+    Histogram h(lo, hi, buckets);
+    std::vector<double> samples;
+    const auto n = static_cast<int>(rng.uniform_int(1, 400));
+    for (int i = 0; i < n; ++i) {
+      // Mostly in range, with deliberate under- and overflow tails.
+      double x = lo + rng.uniform_real() * (hi - lo);
+      const double u = rng.uniform_real();
+      if (u < 0.05) {
+        x = lo - 1.0 - rng.uniform_real() * 100.0;
+      } else if (u < 0.10) {
+        x = hi + rng.uniform_real() * 100.0;
+      }
+      h.add(x);
+      samples.push_back(x);
+    }
+
+    for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      const double want = oracle_quantile(samples, q, lo, hi);
+      const double got = h.quantile(q);
+      EXPECT_GE(got, lo) << "round " << round << " q " << q;
+      EXPECT_LE(got, hi) << "round " << round << " q " << q;
+      EXPECT_NEAR(got, want, width + 1e-9)
+          << "round " << round << " q " << q << " n " << n << " lo " << lo
+          << " hi " << hi << " buckets " << buckets;
+    }
+  }
+}
+
+TEST(HistogramMerge, EquivalentToFeedingOneHistogram) {
+  Rng rng(7);
+  for (int round = 0; round < 100; ++round) {
+    const double lo = 0.0;
+    const double hi = static_cast<double>(rng.uniform_int(50, 1000));
+    const auto buckets = static_cast<std::size_t>(rng.uniform_int(1, 40));
+
+    Histogram all(lo, hi, buckets);
+    const auto parts = static_cast<int>(rng.uniform_int(2, 8));
+    std::vector<Histogram> shards(static_cast<std::size_t>(parts),
+                                  Histogram(lo, hi, buckets));
+    const auto n = static_cast<int>(rng.uniform_int(0, 300));
+    for (int i = 0; i < n; ++i) {
+      const double x = lo - 10.0 + rng.uniform_real() * (hi - lo + 20.0);
+      all.add(x);
+      shards[static_cast<std::size_t>(rng.uniform_int(0, parts - 1))].add(x);
+    }
+
+    Histogram merged(lo, hi, buckets);
+    for (const Histogram& s : shards) {
+      merged.merge(s);
+    }
+
+    ASSERT_EQ(merged.total(), all.total()) << "round " << round;
+    EXPECT_EQ(merged.underflow(), all.underflow()) << "round " << round;
+    EXPECT_EQ(merged.overflow(), all.overflow()) << "round " << round;
+    ASSERT_EQ(merged.bucket_count(), all.bucket_count());
+    for (std::size_t b = 0; b < all.bucket_count(); ++b) {
+      EXPECT_EQ(merged.bucket(b), all.bucket(b))
+          << "round " << round << " bucket " << b;
+    }
+    for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+      EXPECT_DOUBLE_EQ(merged.quantile(q), all.quantile(q))
+          << "round " << round << " q " << q;
+    }
+  }
+}
+
+TEST(HistogramMerge, EmptyMergeIsIdentity) {
+  Histogram a(0.0, 10.0, 4);
+  a.add(1.0);
+  a.add(9.0);
+  const Histogram empty(0.0, 10.0, 4);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_EQ(a.bucket(3), 1u);
+}
+
+}  // namespace
+}  // namespace wormrt::util

@@ -1,0 +1,145 @@
+// util::log_message line format and sink plumbing.  The prefix is a
+// contract (log.hpp): wall-clock UTC timestamp with millisecond
+// resolution, monotonic offset in microsecond resolution, the calling
+// thread's dense index, then the level tag — a regression here breaks
+// log/trace correlation and every downstream parser.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace wormrt::util {
+namespace {
+
+/// Captures lines through the callback sink for the test's duration and
+/// restores the default stderr sink (and level) on the way out.
+class SinkCapture {
+ public:
+  SinkCapture() {
+    previous_level_ = log_level();
+    set_log_level(LogLevel::kDebug);
+    set_log_sink([this](LogLevel level, const std::string& line) {
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+  }
+  ~SinkCapture() {
+    set_log_sink(LogSink{});
+    set_log_sink(static_cast<FILE*>(nullptr));
+    set_log_level(previous_level_);
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  const std::vector<LogLevel>& levels() const { return levels_; }
+
+ private:
+  LogLevel previous_level_;
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+};
+
+const std::regex kPrefix(
+    R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z \[\+\d+\.\d{6}\] \[tid \d+\] \[(debug|info|warn|error)\] )");
+
+TEST(LogFormat, PrefixMatchesDocumentedShape) {
+  SinkCapture capture;
+  WORMRT_LOG_WARN("answer %d", 42);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  EXPECT_TRUE(std::regex_search(line, kPrefix)) << line;
+  // The formatted payload follows the prefix verbatim, no trailing newline.
+  EXPECT_EQ(line.substr(line.size() - 9), "answer 42") << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(capture.levels()[0], LogLevel::kWarn);
+}
+
+TEST(LogFormat, LevelTagMatchesSeverity) {
+  SinkCapture capture;
+  WORMRT_LOG_DEBUG("d");
+  WORMRT_LOG_INFO("i");
+  WORMRT_LOG_WARN("w");
+  WORMRT_LOG_ERROR("e");
+  ASSERT_EQ(capture.lines().size(), 4u);
+  const char* tags[] = {"[debug] d", "[info] i", "[warn] w", "[error] e"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NE(capture.lines()[i].find(tags[i]), std::string::npos)
+        << capture.lines()[i];
+    EXPECT_TRUE(std::regex_search(capture.lines()[i], kPrefix))
+        << capture.lines()[i];
+  }
+}
+
+TEST(LogFormat, ThresholdDropsLowerLevels) {
+  SinkCapture capture;
+  set_log_level(LogLevel::kWarn);
+  WORMRT_LOG_DEBUG("dropped");
+  WORMRT_LOG_INFO("dropped");
+  WORMRT_LOG_WARN("kept");
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_NE(capture.lines()[0].find("kept"), std::string::npos);
+}
+
+TEST(LogFormat, MonotonicOffsetNeverDecreases) {
+  SinkCapture capture;
+  WORMRT_LOG_INFO("first");
+  WORMRT_LOG_INFO("second");
+  ASSERT_EQ(capture.lines().size(), 2u);
+  const std::regex mono(R"(\[\+(\d+\.\d{6})\])");
+  std::smatch m0, m1;
+  ASSERT_TRUE(std::regex_search(capture.lines()[0], m0, mono));
+  ASSERT_TRUE(std::regex_search(capture.lines()[1], m1, mono));
+  EXPECT_LE(std::stod(m0[1]), std::stod(m1[1]));
+}
+
+TEST(LogFormat, FileSinkWritesLinesWithNewline) {
+  FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kInfo);
+  set_log_sink(tmp);
+  WORMRT_LOG_INFO("to file %s", "sink");
+  set_log_sink(static_cast<FILE*>(nullptr));
+  set_log_level(previous);
+
+  std::rewind(tmp);
+  char buffer[512] = {};
+  ASSERT_NE(std::fgets(buffer, sizeof buffer, tmp), nullptr);
+  const std::string line(buffer);
+  EXPECT_TRUE(std::regex_search(line, kPrefix)) << line;
+  EXPECT_NE(line.find("to file sink\n"), std::string::npos) << line;
+  std::fclose(tmp);
+}
+
+TEST(LogFormat, ThreadIndexIsStableAndDistinct) {
+  // Per-thread: stable across calls from the same thread, distinct
+  // across threads.  thread_index() itself is what the prefix prints.
+  const unsigned self = thread_index();
+  EXPECT_GE(self, 1u);
+  EXPECT_EQ(thread_index(), self);
+
+  std::vector<unsigned> ids(4, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    threads.emplace_back([&ids, t] {
+      ids[t] = thread_index();
+      EXPECT_EQ(thread_index(), ids[t]);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (std::size_t a = 0; a < ids.size(); ++a) {
+    EXPECT_NE(ids[a], self);
+    for (std::size_t b = a + 1; b < ids.size(); ++b) {
+      EXPECT_NE(ids[a], ids[b]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wormrt::util
