@@ -60,8 +60,12 @@ AdmissionController::Decision AdmissionController::request(
   }
   if (!ok) {
     // Roll the trial back; the reverse mutation recomputes the same dirty
-    // closure, restoring every cached bound to its pre-trial value.
+    // closure, restoring every cached bound to its pre-trial value.  The
+    // trial handle is released too: a rejected request must leave no
+    // trace, so the handle sequence is a pure function of the admitted
+    // mutations — the property journal recovery relies on.
     engine_.remove_stream(trial.handle);
+    engine_.set_next_handle(trial.handle);
     return decision;
   }
 
@@ -72,6 +76,21 @@ AdmissionController::Decision AdmissionController::request(
 
 bool AdmissionController::remove(Handle handle) {
   return engine_.remove_stream(handle).has_value();
+}
+
+void AdmissionController::restore(topo::NodeId src, topo::NodeId dst,
+                                  Priority priority, Time period, Time length,
+                                  Time deadline, Handle handle) {
+  engine_.add_stream(make_stream(topo_, routing_, /*id=*/0, src, dst, priority,
+                                 period, length, deadline),
+                     handle);
+}
+
+void AdmissionController::unadmit(Handle handle) {
+  assert(handle == engine_.next_handle() - 1 &&
+         "unadmit only reverses the most recent admission");
+  engine_.remove_stream(handle);
+  engine_.set_next_handle(handle);
 }
 
 std::optional<Time> AdmissionController::bound_of(Handle handle) const {

@@ -80,6 +80,26 @@ class AdmissionController {
   /// Returns false for an unknown handle.
   bool remove(Handle handle);
 
+  /// Re-establishes a previously admitted channel exactly as journaled:
+  /// no feasibility gate, the recorded \p handle is forced.  Recovery
+  /// replays the snapshot population in engine order and then the
+  /// post-snapshot journal through this, which reproduces the pre-crash
+  /// engine state (population order, digraph, bounds, handle numbering)
+  /// bit for bit — rejected requests leave no trace (their trial handle
+  /// is released on rollback), so the admitted mutation sequence fully
+  /// determines the state.
+  void restore(topo::NodeId src, topo::NodeId dst, Priority priority,
+               Time period, Time length, Time deadline, Handle handle);
+
+  /// Undoes an admission that could not be made durable (journal append
+  /// failed): removes the stream and returns the handle to the pool.
+  /// Only valid for the most recently admitted handle.
+  void unadmit(Handle handle);
+
+  /// Durable handle-numbering state (see restore()).
+  Handle next_handle() const { return engine_.next_handle(); }
+  void set_next_handle(Handle handle) { engine_.set_next_handle(handle); }
+
   std::size_t size() const { return engine_.size(); }
 
   /// Current delay bound of an established channel, or nullopt for an

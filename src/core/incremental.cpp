@@ -130,7 +130,7 @@ void IncrementalAnalyzer::recompute(const std::vector<StreamId>& ids) {
 }
 
 IncrementalAnalyzer::Mutation IncrementalAnalyzer::add_stream(
-    MessageStream stream) {
+    MessageStream stream, Handle forced_handle) {
   const std::size_t n = streams_.size();
   const auto id = static_cast<StreamId>(n);
   stream.id = id;
@@ -166,7 +166,15 @@ IncrementalAnalyzer::Mutation IncrementalAnalyzer::add_stream(
   by_src_[static_cast<std::size_t>(stream.src)].push_back(id);
   by_dst_[static_cast<std::size_t>(stream.dst)].push_back(id);
 
-  const Handle handle = next_handle_++;
+  Handle handle;
+  if (forced_handle >= 0) {
+    assert(index_.find(forced_handle) == index_.end() &&
+           "forced handle collides with a live stream");
+    handle = forced_handle;
+    next_handle_ = std::max(next_handle_, forced_handle + 1);
+  } else {
+    handle = next_handle_++;
+  }
   streams_.add(std::move(stream));
   handles_.push_back(handle);
   bounds_.push_back(kNoTime);

@@ -61,7 +61,12 @@ class IncrementalAnalyzer : public DirectBlocking {
   /// Registers \p stream (its id is rewritten to the dense position),
   /// updates the overlap index and blocking digraph, and recomputes the
   /// bounds of the dirty closure.  Returns the new handle + dirty set.
-  Mutation add_stream(MessageStream stream);
+  /// A non-negative \p forced_handle registers under that exact handle
+  /// instead of drawing the next one — the journal-replay path, which
+  /// must reproduce pre-crash handle numbering bit for bit.  The forced
+  /// handle must not collide with a live one; next_handle() advances
+  /// past it.
+  Mutation add_stream(MessageStream stream, Handle forced_handle = -1);
 
   /// Tears a stream down, releasing its interference and recomputing the
   /// bounds of the streams it blocked.  nullopt for an unknown handle.
@@ -90,6 +95,12 @@ class IncrementalAnalyzer : public DirectBlocking {
   /// removal; handles never do.
   StreamId id_of(Handle handle) const;
   Handle handle_of(StreamId id) const;
+
+  /// The handle the next add_stream() will assign.  Part of the durable
+  /// controller state: recovery restores it exactly so a recovered
+  /// daemon hands out the same handles the crashed one would have.
+  Handle next_handle() const { return next_handle_; }
+  void set_next_handle(Handle handle) { next_handle_ = handle; }
 
   /// Cached bound by dense id (no recompute).
   Time bound_at(StreamId id) const { return bounds_.at(static_cast<std::size_t>(id)); }

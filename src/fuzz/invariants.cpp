@@ -1,5 +1,12 @@
 #include "fuzz/invariants.hpp"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -9,9 +16,11 @@
 #include "core/message_stream.hpp"
 #include "route/dor.hpp"
 #include "sim/simulator.hpp"
+#include "svc/journal.hpp"
 #include "svc/json.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
+#include "util/fault_injector.hpp"
 #include "util/rng.hpp"
 
 namespace wormrt::fuzz {
@@ -25,6 +34,9 @@ using svc::Json;
 
 /// Substream id of the monotonicity probe draw (0..2 are generation's).
 constexpr std::uint64_t kProbeStream = 3;
+/// Substream id of the recovery check's draws (crash point, torn-write
+/// size, tail mutilation, post-recovery probe).
+constexpr std::uint64_t kRecoveryStream = 4;
 
 std::optional<Violation> fail(const char* invariant, std::string detail) {
   return Violation{invariant, std::move(detail)};
@@ -405,6 +417,297 @@ std::optional<Violation> check_admission_invariants(
   return std::nullopt;
 }
 
+/// A plausible extra REQUEST, drawn from the recovery substream — used
+/// both as the doomed mid-crash mutation and as the post-recovery
+/// decision-parity probe.
+Op random_probe(util::Rng& rng, const topo::Topology& topo,
+                const Scenario& scenario) {
+  Op op;
+  const int nodes = topo.num_nodes();
+  op.src = static_cast<int>(rng.uniform_int(0, nodes - 1));
+  op.dst = static_cast<int>(rng.uniform_int(0, nodes - 2));
+  if (op.dst >= op.src) {
+    ++op.dst;
+  }
+  op.priority = static_cast<Priority>(
+      rng.uniform_int(1, std::max(1, scenario.priority_levels)));
+  op.period = rng.uniform_int(30, 120);
+  op.length = rng.uniform_int(1, 24);
+  op.deadline = rng.uniform_int(op.length, op.period);
+  return op;
+}
+
+/// XORs the byte at \p offset of \p path with 0xFF.  Returns false when
+/// the file cannot be patched (missing, too short).
+bool flip_byte(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = false;
+  if (std::fseek(f, offset, SEEK_SET) == 0) {
+    const int c = std::fgetc(f);
+    if (c != EOF && std::fseek(f, offset, SEEK_SET) == 0) {
+      ok = std::fputc(c ^ 0xFF, f) != EOF;
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+long file_size(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<long>(st.st_size) : -1;
+}
+
+/// Recovery: run a journaled Service next to a plain in-process oracle,
+/// crash the service at a random point of the churn (dropping it,
+/// possibly mid-append via an injected torn write, possibly with
+/// garbage appended to the WAL afterwards), reopen from the state dir,
+/// and require the recovered engine — population order, parameters,
+/// bounds, handle numbering, next handle — to equal the oracle exactly.
+/// The acknowledged prefix fully determines the state, so anything less
+/// than equality is a durability bug.
+std::optional<Violation> check_recovery_invariants(
+    const Scenario& scenario, const topo::Topology& topo,
+    const route::RoutingAlgorithm& routing, const CheckConfig& config) {
+  std::string dir_template =
+      config.recovery_tmp_root + "/wormrt-recovery-XXXXXX";
+  std::vector<char> dir_buf(dir_template.begin(), dir_template.end());
+  dir_buf.push_back('\0');
+  if (::mkdtemp(dir_buf.data()) == nullptr) {
+    return fail(kInvariantRecovery,
+                std::string("mkdtemp: ") + std::strerror(errno));
+  }
+  const std::string dir(dir_buf.data());
+  struct Cleanup {
+    std::string dir;
+    ~Cleanup() {
+      std::remove(svc::Journal::journal_path(dir).c_str());
+      std::remove(svc::Journal::snapshot_path(dir).c_str());
+      std::remove((dir + "/snapshot.tmp").c_str());
+      ::rmdir(dir.c_str());
+    }
+  } cleanup{dir};
+
+  util::Rng rng(scenario.seed, kRecoveryStream);
+  const std::size_t crash_at =
+      scenario.ops.empty()
+          ? 0
+          : static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(scenario.ops.size())));
+
+  util::FaultInjector faults;
+  svc::ServiceOptions options;
+  options.state_dir = dir;
+  // Small compaction interval: scenarios regularly cross it, so the
+  // snapshot + LSN-skip recovery path gets real fuzz coverage.
+  options.compact_every = 8;
+  // The crash is simulated by destroying the Service, not the process;
+  // page-cache contents survive that without fsync, and skipping the
+  // syscall keeps thousands of CI seeds fast.
+  options.journal_fsync = false;
+  options.journal_faults = &faults;
+
+  AdmissionController oracle(topo, routing, config.analysis);
+  std::vector<AdmissionController::Handle> handle_of_op(scenario.ops.size(),
+                                                        -1);
+  std::optional<Op> doomed;
+  {
+    svc::Service primary(topo, routing, config.analysis, options);
+    std::string err;
+    if (!primary.open_state(&err)) {
+      return fail(kInvariantRecovery, "primary open_state: " + err);
+    }
+    for (std::size_t i = 0; i < crash_at; ++i) {
+      const Op& op = scenario.ops[i];
+      if (op.kind == Op::Kind::kAdd) {
+        const auto decision = oracle.request(op.src, op.dst, op.priority,
+                                             op.period, op.length, op.deadline);
+        const Json reply = primary.handle(request_json(op));
+        const Json* ok = reply.get("ok");
+        const Json* admitted = reply.get("admitted");
+        if (ok == nullptr || !ok->as_bool() || admitted == nullptr ||
+            admitted->as_bool() != decision.admitted ||
+            (decision.admitted &&
+             (reply.get("handle") == nullptr ||
+              reply.get("handle")->as_int() != decision.handle))) {
+          return fail(kInvariantRecovery,
+                      "op " + std::to_string(i) +
+                          ": journaled service diverged from the oracle "
+                          "before any crash");
+        }
+        if (decision.admitted) {
+          handle_of_op[i] = decision.handle;
+        }
+      } else {
+        auto& handle = handle_of_op[static_cast<std::size_t>(op.target)];
+        if (handle < 0) {
+          continue;
+        }
+        const bool removed = oracle.remove(handle);
+        Json req = Json::object();
+        req.set("verb", "REMOVE");
+        req.set("handle", handle);
+        const Json reply = primary.handle(req);
+        const Json* wire_removed = reply.get("removed");
+        if (wire_removed == nullptr || wire_removed->as_bool() != removed) {
+          return fail(kInvariantRecovery,
+                      "op " + std::to_string(i) +
+                          ": REMOVE diverged from the oracle before any "
+                          "crash");
+        }
+        handle = -1;
+      }
+    }
+
+    // Half the time, die mid-append: arm a torn write and fire one extra
+    // REQUEST the oracle never sees.  If it tries to mutate, its journal
+    // record is cut short (a partial frame on disk) and the service
+    // replies with an error — unacknowledged either way, so recovery
+    // must reproduce the state WITHOUT it.
+    if (rng.bernoulli(0.5)) {
+      faults.arm_torn_write(static_cast<std::size_t>(rng.uniform_int(0, 72)));
+      doomed = random_probe(rng, topo, scenario);
+      primary.handle(request_json(*doomed));
+    }
+  }  // ~Service == the crash: nothing beyond append()'s writes survives
+
+  faults.reset();
+
+  // Post-crash tail mutilation: a real crash can leave arbitrary bytes
+  // after the last acknowledged record (torn sector, preallocated
+  // zeros).  Recovery must discard them silently.
+  const std::string wal = svc::Journal::journal_path(dir);
+  const std::int64_t mutilation = rng.uniform_int(0, 2);
+  if (mutilation > 0) {
+    std::FILE* f = std::fopen(wal.c_str(), "ab");
+    if (f != nullptr) {
+      const int tail_len = static_cast<int>(rng.uniform_int(1, 40));
+      for (int k = 0; k < tail_len; ++k) {
+        const int byte =
+            mutilation == 1 ? static_cast<int>(rng.uniform_int(0, 255)) : 0;
+        std::fputc(byte, f);
+      }
+      std::fclose(f);
+    }
+  }
+
+  if (config.recovery_corrupt_acknowledged) {
+    // Detection-proof mode: damage a record recovery is NOT allowed to
+    // drop.  The comparison below (or recovery itself) must now fail.
+    const long wal_size = file_size(wal);
+    if (wal_size > 0) {
+      flip_byte(wal, wal_size / 2);
+    } else {
+      const std::string snap = svc::Journal::snapshot_path(dir);
+      const long snap_size = file_size(snap);
+      if (snap_size > 0) {
+        flip_byte(snap, snap_size / 2);
+      }
+    }
+  }
+
+  svc::ServiceOptions recovered_options = options;
+  recovered_options.journal_faults = nullptr;
+  svc::Service recovered(topo, routing, config.analysis, recovered_options);
+  std::string err;
+  if (!recovered.open_state(&err)) {
+    return fail(kInvariantRecovery, "recovery open_state: " + err);
+  }
+
+  const std::string where =
+      " (crash after op " + std::to_string(crash_at) + "/" +
+      std::to_string(scenario.ops.size()) + ")";
+  const auto compare_state = [&]() -> std::optional<Violation> {
+    const core::IncrementalAnalyzer& want = oracle.engine();
+    const core::IncrementalAnalyzer& got = recovered.controller().engine();
+    if (want.size() != got.size()) {
+      return fail(kInvariantRecovery,
+                  "recovered population " + std::to_string(got.size()) +
+                      " != oracle " + std::to_string(want.size()) + where);
+    }
+    if (oracle.next_handle() != recovered.controller().next_handle()) {
+      return fail(kInvariantRecovery,
+                  "recovered next handle " +
+                      std::to_string(recovered.controller().next_handle()) +
+                      " != oracle " + std::to_string(oracle.next_handle()) +
+                      where);
+    }
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      const auto id = static_cast<StreamId>(j);
+      if (want.handle_of(id) != got.handle_of(id)) {
+        return fail(kInvariantRecovery,
+                    "handle numbering diverged at stream " + std::to_string(j) +
+                        ": recovered " + std::to_string(got.handle_of(id)) +
+                        " != oracle " + std::to_string(want.handle_of(id)) +
+                        where);
+      }
+      if (want.bound_at(id) != got.bound_at(id)) {
+        return fail(kInvariantRecovery,
+                    "recovered bound " + std::to_string(got.bound_at(id)) +
+                        " != oracle " + std::to_string(want.bound_at(id)) +
+                        " for stream " + std::to_string(j) + where);
+      }
+      const core::MessageStream& sw = want.streams()[id];
+      const core::MessageStream& sg = got.streams()[id];
+      if (sw.src != sg.src || sw.dst != sg.dst || sw.priority != sg.priority ||
+          sw.period != sg.period || sw.length != sg.length ||
+          sw.deadline != sg.deadline) {
+        return fail(kInvariantRecovery,
+                    "recovered parameters diverged for stream " +
+                        std::to_string(j) + ": " + describe_stream(sg) +
+                        " != " + describe_stream(sw) + where);
+      }
+    }
+    return std::nullopt;
+  };
+
+  std::optional<Violation> mismatch = compare_state();
+  if (mismatch.has_value() && doomed.has_value()) {
+    // A torn append is ambiguous when every byte it lost was zero — and
+    // record tails usually are, because the payload's small integers are
+    // stored as 64-bit little-endian.  Zero-fill mutilation then rebuilds
+    // the record byte-for-byte, CRC included, and recovery legitimately
+    // replays the in-flight, never-acknowledged mutation: no journal
+    // format can tell a reconstructed tail from one that was written.
+    // Crash consistency therefore allows exactly two outcomes — the
+    // acknowledged prefix with or without the in-flight op — so retry
+    // the comparison against the extended oracle before declaring a
+    // violation.
+    oracle.request(doomed->src, doomed->dst, doomed->priority, doomed->period,
+                   doomed->length, doomed->deadline);
+    if (!compare_state().has_value()) {
+      mismatch = std::nullopt;
+    }
+  }
+  if (mismatch.has_value()) {
+    return mismatch;
+  }
+
+  // The next admission decision must also come out identically — the
+  // recovered daemon continues exactly where the crashed one left off.
+  const Op probe = random_probe(rng, topo, scenario);
+  const auto decision = oracle.request(probe.src, probe.dst, probe.priority,
+                                       probe.period, probe.length,
+                                       probe.deadline);
+  const Json reply = recovered.handle(request_json(probe));
+  const Json* ok = reply.get("ok");
+  const Json* admitted = reply.get("admitted");
+  const Json* bound = reply.get("bound");
+  if (ok == nullptr || !ok->as_bool() || admitted == nullptr ||
+      bound == nullptr || admitted->as_bool() != decision.admitted ||
+      bound->as_int() != decision.bound ||
+      (decision.admitted &&
+       (reply.get("handle") == nullptr ||
+        reply.get("handle")->as_int() != decision.handle))) {
+    return fail(kInvariantRecovery,
+                "post-recovery admission decision diverged from the oracle" +
+                    where);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::optional<Violation> check_scenario(const Scenario& scenario,
@@ -421,6 +724,12 @@ std::optional<Violation> check_scenario(const Scenario& scenario,
   if (config.check_soundness || config.check_protocol) {
     if (auto violation =
             check_admission_invariants(scenario, *topo, routing, config)) {
+      return violation;
+    }
+  }
+  if (config.check_recovery) {
+    if (auto violation =
+            check_recovery_invariants(scenario, *topo, routing, config)) {
       return violation;
     }
   }

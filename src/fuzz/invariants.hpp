@@ -7,10 +7,10 @@
 #include "fuzz/scenario.hpp"
 
 /// \file invariants.hpp
-/// The four differential oracles every fuzz scenario is checked against
+/// The five differential oracles every fuzz scenario is checked against
 /// (DESIGN.md §8).  Each one validates the optimised production path —
 /// bit-packed diagrams, the incremental dirty-set engine, the wire
-/// protocol — against an independent witness:
+/// protocol, the write-ahead journal — against an independent witness:
 ///
 ///   soundness     admitted population simulated flit-by-flit under the
 ///                 analysis-consistent preemptive-VC policy; no message
@@ -25,6 +25,13 @@
 ///   protocol      every decision replayed through Service::handle_line
 ///                 (optionally over a real socket) matches the
 ///                 in-process AdmissionController byte for byte.
+///   recovery      a journaled Service is crashed at a random point of
+///                 the churn (possibly mid-append, leaving a torn tail)
+///                 and reopened; the recovered engine state — bounds,
+///                 handle numbering, population order, next handle —
+///                 must match an in-process oracle that applied exactly
+///                 the acknowledged prefix, and the next admission
+///                 decision must come out identically.
 
 namespace wormrt::fuzz {
 
@@ -33,6 +40,7 @@ inline constexpr const char* kInvariantSoundness = "soundness";
 inline constexpr const char* kInvariantEquivalence = "equivalence";
 inline constexpr const char* kInvariantMonotonicity = "monotonicity";
 inline constexpr const char* kInvariantProtocol = "protocol";
+inline constexpr const char* kInvariantRecovery = "recovery";
 
 struct Violation {
   std::string invariant;  ///< one of the kInvariant* names
@@ -46,6 +54,7 @@ struct CheckConfig {
   bool check_equivalence = true;
   bool check_monotonicity = true;
   bool check_protocol = true;
+  bool check_recovery = true;
 
   /// Injection window of each soundness simulation (flit times).
   Time sim_duration = 3000;
@@ -63,6 +72,18 @@ struct CheckConfig {
   /// so a positive value manufactures "violations" on healthy code and
   /// proves the detect -> shrink -> corpus pipeline actually fires.
   Time soundness_tightening = 0;
+
+  /// Fault injection for the recovery oracle's own tests: corrupt an
+  /// ACKNOWLEDGED journal record after the simulated crash.  Recovery
+  /// then genuinely diverges from the acknowledged history, and the
+  /// recovery invariant must say so — proving the comparison has teeth.
+  /// (The normal fuzz path only ever mutilates the unacknowledged tail,
+  /// which recovery must absorb silently.)
+  bool recovery_corrupt_acknowledged = false;
+
+  /// Directory under which the recovery check creates its per-scenario
+  /// state dirs (mkdtemp).  Tests point it at their own tmp dir.
+  std::string recovery_tmp_root = "/tmp";
 };
 
 /// Runs every enabled oracle over \p scenario; returns the first

@@ -1,0 +1,546 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/crc32.hpp"
+
+namespace wormrt::svc {
+
+namespace {
+
+constexpr char kJournalFile[] = "journal.wal";
+constexpr char kSnapshotFile[] = "snapshot.bin";
+constexpr char kSnapshotTmp[] = "snapshot.tmp";
+constexpr char kSnapshotMagic[8] = {'W', 'R', 'T', 'S', 'N', 'A', 'P', '1'};
+
+// Journal payload: type(1) + lsn(8) + handle(8) [+ 6 params x 8 for ADD].
+constexpr std::size_t kRemovePayload = 1 + 8 + 8;
+constexpr std::size_t kAddPayload = kRemovePayload + 6 * 8;
+// Any frame claiming a larger payload than the biggest snapshot we could
+// plausibly write is garbage bytes, not a record.
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::int64_t get_i64(const char* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+std::string frame(const std::string& payload) {
+  std::string out;
+  out.reserve(8 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, util::crc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string encode_record(JournalRecord::Type type, std::uint64_t lsn,
+                          const JournalEntry& e) {
+  std::string payload;
+  payload.reserve(type == JournalRecord::Type::kAdd ? kAddPayload
+                                                    : kRemovePayload);
+  payload.push_back(static_cast<char>(type));
+  put_u64(payload, lsn);
+  put_i64(payload, e.handle);
+  if (type == JournalRecord::Type::kAdd) {
+    put_i64(payload, e.src);
+    put_i64(payload, e.dst);
+    put_i64(payload, e.priority);
+    put_i64(payload, e.period);
+    put_i64(payload, e.length);
+    put_i64(payload, e.deadline);
+  }
+  return payload;
+}
+
+bool read_file(const std::string& path, std::string* out, bool* exists,
+               std::string* error) {
+  out->clear();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      *exists = false;
+      return true;
+    }
+    *error = path + ": open: " + std::strerror(errno);
+    return false;
+  }
+  *exists = true;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = path + ": read: " + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) {
+      break;
+    }
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+/// Checks the frame at `data+off` and returns its payload span, or
+/// nullptr when the remainder of the buffer is not a valid frame (short,
+/// implausible length, or CRC mismatch).
+const char* check_frame(const std::string& data, std::size_t off,
+                        std::size_t* payload_len) {
+  if (data.size() - off < 8) {
+    return nullptr;
+  }
+  const std::uint32_t len = get_u32(data.data() + off);
+  if (len == 0 || len > kMaxPayload || data.size() - off - 8 < len) {
+    return nullptr;
+  }
+  const std::uint32_t crc = get_u32(data.data() + off + 4);
+  const char* payload = data.data() + off + 8;
+  if (util::crc32(payload, len) != crc) {
+    return nullptr;
+  }
+  *payload_len = len;
+  return payload;
+}
+
+bool parse_snapshot(const std::string& data, RecoveredState* state,
+                    std::string* error) {
+  std::size_t len = 0;
+  const char* p = check_frame(data, 0, &len);
+  // The snapshot is written to a temp file and renamed into place, so a
+  // crash never leaves it half-written — a bad frame is real corruption,
+  // not a torn tail, and recovery must not silently drop the population.
+  if (p == nullptr || len < 8 + 8 + 8 + 8 ||
+      std::memcmp(p, kSnapshotMagic, 8) != 0) {
+    *error = "snapshot.bin is corrupt (bad frame or magic)";
+    return false;
+  }
+  const std::uint64_t last_lsn = get_u64(p + 8);
+  const std::int64_t next_handle = get_i64(p + 16);
+  const std::uint64_t count = get_u64(p + 24);
+  if (len != 32 + count * 7 * 8) {
+    *error = "snapshot.bin is corrupt (count disagrees with payload size)";
+    return false;
+  }
+  state->had_snapshot = true;
+  state->snapshot_lsn = last_lsn;
+  state->next_handle = next_handle;
+  state->snapshot.reserve(count);
+  const char* row = p + 32;
+  for (std::uint64_t i = 0; i < count; ++i, row += 7 * 8) {
+    JournalEntry e;
+    e.handle = get_i64(row);
+    e.src = get_i64(row + 8);
+    e.dst = get_i64(row + 16);
+    e.priority = get_i64(row + 24);
+    e.period = get_i64(row + 32);
+    e.length = get_i64(row + 40);
+    e.deadline = get_i64(row + 48);
+    state->snapshot.push_back(e);
+  }
+  return true;
+}
+
+/// Walks the journal, appending valid post-snapshot records to
+/// state->records.  Returns the byte offset just past the last valid
+/// record; everything beyond it is torn/corrupt tail.
+std::size_t parse_journal(const std::string& data, RecoveredState* state) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::size_t len = 0;
+    const char* p = check_frame(data, off, &len);
+    if (p == nullptr) {
+      break;
+    }
+    const auto type = static_cast<std::uint8_t>(p[0]);
+    const bool is_add = type == static_cast<std::uint8_t>(JournalRecord::Type::kAdd);
+    const bool is_remove =
+        type == static_cast<std::uint8_t>(JournalRecord::Type::kRemove);
+    if ((!is_add && !is_remove) || len != (is_add ? kAddPayload : kRemovePayload)) {
+      break;  // framed garbage — same treatment as a CRC failure
+    }
+    JournalRecord rec;
+    rec.type = is_add ? JournalRecord::Type::kAdd : JournalRecord::Type::kRemove;
+    rec.lsn = get_u64(p + 1);
+    rec.entry.handle = get_i64(p + 9);
+    if (is_add) {
+      rec.entry.src = get_i64(p + 17);
+      rec.entry.dst = get_i64(p + 25);
+      rec.entry.priority = get_i64(p + 33);
+      rec.entry.period = get_i64(p + 41);
+      rec.entry.length = get_i64(p + 49);
+      rec.entry.deadline = get_i64(p + 57);
+    }
+    off += 8 + len;
+    if (state->had_snapshot && rec.lsn <= state->snapshot_lsn) {
+      // Leftover of a crash between snapshot rename and journal
+      // truncation: the snapshot already folds this mutation in.
+      ++state->skipped_records;
+      continue;
+    }
+    state->records.push_back(rec);
+  }
+  state->discarded_bytes += data.size() - off;
+  return off;
+}
+
+bool read_state(const std::string& dir, RecoveredState* state,
+                std::size_t* journal_valid_bytes, std::string* error) {
+  *state = RecoveredState{};
+  std::string data;
+  bool exists = false;
+  if (!read_file(dir + "/" + kSnapshotFile, &data, &exists, error)) {
+    return false;
+  }
+  if (exists && !parse_snapshot(data, state, error)) {
+    return false;
+  }
+  if (!read_file(dir + "/" + kJournalFile, &data, &exists, error)) {
+    return false;
+  }
+  *journal_valid_bytes = exists ? parse_journal(data, state) : 0;
+  return true;
+}
+
+}  // namespace
+
+std::string Journal::journal_path(const std::string& dir) {
+  return dir + "/" + kJournalFile;
+}
+
+std::string Journal::snapshot_path(const std::string& dir) {
+  return dir + "/" + kSnapshotFile;
+}
+
+Journal::Metrics::Metrics(obs::Registry& reg)
+    : appends(reg.counter("wormrt_journal_appends_total", {},
+                          "Mutation records durably appended to the WAL.")),
+      append_failures(reg.counter(
+          "wormrt_journal_append_failures_total", {},
+          "Journal appends that failed (write error, torn write, or "
+          "fsync error); the paired admission is rolled back.")),
+      bytes_written(reg.counter("wormrt_journal_bytes_written_total", {},
+                                "Bytes written to the WAL (framing "
+                                "included).")),
+      snapshots(reg.counter("wormrt_journal_snapshots_total", {},
+                            "Snapshot compactions completed.")),
+      replayed_snapshot(reg.counter(
+          "wormrt_journal_replayed_snapshot_entries_total", {},
+          "Streams restored from the snapshot at recovery.")),
+      replayed_records(reg.counter(
+          "wormrt_journal_replayed_records_total", {},
+          "Post-snapshot WAL records replayed at recovery.")),
+      skipped_records(reg.counter(
+          "wormrt_journal_skipped_records_total", {},
+          "Stale WAL records skipped by LSN at recovery (already folded "
+          "into the snapshot).")),
+      discarded_bytes(reg.counter(
+          "wormrt_journal_discarded_tail_bytes_total", {},
+          "Torn/corrupt WAL tail bytes discarded at recovery.")),
+      fsync_us(reg.histogram("wormrt_journal_fsync_us", 0.0, 50000.0, 50, {},
+                             "WAL fsync latency in microseconds.")) {}
+
+Journal::Journal(JournalConfig config, obs::Registry* registry)
+    : config_(std::move(config)) {
+  if (registry != nullptr) {
+    metrics_ = new Metrics(*registry);
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  delete metrics_;
+}
+
+bool Journal::sync_fd(int fd, std::string* error) {
+  if (config_.faults != nullptr) {
+    const int err = config_.faults->on_fsync();
+    if (err != 0) {
+      *error = std::string("fsync (injected): ") + std::strerror(err);
+      return false;
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (::fsync(fd) != 0) {
+    *error = std::string("fsync: ") + std::strerror(errno);
+    return false;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->fsync_us.observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  return true;
+}
+
+bool Journal::sync_dir(std::string* error) {
+  const int dfd = ::open(config_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    *error = config_.dir + ": open dir: " + std::strerror(errno);
+    return false;
+  }
+  const bool ok = ::fsync(dfd) == 0;
+  if (!ok) {
+    *error = config_.dir + ": fsync dir: " + std::strerror(errno);
+  }
+  ::close(dfd);
+  return ok;
+}
+
+bool Journal::write_blob(int fd, const std::string& blob, bool* torn,
+                         std::string* error) {
+  *torn = false;
+  std::size_t budget = blob.size();
+  int inject_errno = 0;
+  if (config_.faults != nullptr) {
+    const util::FaultInjector::WriteOutcome out =
+        config_.faults->on_write(blob.size());
+    budget = out.allowed;
+    inject_errno = out.error;
+    *torn = out.torn;
+  }
+  std::size_t written = 0;
+  while (written < budget) {
+    const ssize_t n =
+        ::write(fd, blob.data() + written, budget - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (budget < blob.size()) {
+    *error = std::string("write (injected): ") +
+             std::strerror(inject_errno != 0 ? inject_errno : EIO);
+    return false;
+  }
+  return true;
+}
+
+bool Journal::open(RecoveredState* state, std::string* error) {
+  if (::mkdir(config_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    *error = config_.dir + ": mkdir: " + std::strerror(errno);
+    return false;
+  }
+  std::size_t valid_bytes = 0;
+  if (!read_state(config_.dir, state, &valid_bytes, error)) {
+    return false;
+  }
+
+  const std::string path = journal_path(config_.dir);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd_ < 0) {
+    *error = path + ": open: " + std::strerror(errno);
+    return false;
+  }
+  // Cut off the torn/corrupt tail so fresh records never land beyond a
+  // tear.  Those bytes were never acknowledged (fsync-before-ack), so
+  // discarding them loses nothing a client was promised.
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0) {
+    *error = path + ": ftruncate: " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+
+  std::uint64_t max_lsn = state->snapshot_lsn;
+  for (const JournalRecord& rec : state->records) {
+    max_lsn = std::max(max_lsn, rec.lsn);
+  }
+  next_lsn_ = max_lsn + 1;
+  appends_since_snapshot_ = state->records.size();
+
+  if (metrics_ != nullptr) {
+    metrics_->replayed_snapshot.inc(state->snapshot.size());
+    metrics_->replayed_records.inc(state->records.size());
+    metrics_->skipped_records.inc(state->skipped_records);
+    metrics_->discarded_bytes.inc(state->discarded_bytes);
+  }
+  return true;
+}
+
+bool Journal::append(JournalRecord::Type type, const JournalEntry& entry,
+                     std::string* error) {
+  if (fd_ < 0) {
+    *error = "journal is not open";
+    return false;
+  }
+  if (poisoned_) {
+    if (metrics_ != nullptr) {
+      metrics_->append_failures.inc();
+    }
+    *error = "journal poisoned by an earlier torn write or fsync failure";
+    return false;
+  }
+
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    *error = std::string("fstat: ") + std::strerror(errno);
+    if (metrics_ != nullptr) {
+      metrics_->append_failures.inc();
+    }
+    return false;
+  }
+  const off_t size_before = st.st_size;
+
+  const std::string blob = frame(encode_record(type, next_lsn_, entry));
+  bool torn = false;
+  if (!write_blob(fd_, blob, &torn, error)) {
+    if (torn || ::ftruncate(fd_, size_before) != 0) {
+      // A torn write models a crash mid-append: the partial record stays
+      // on disk for recovery's CRC check to discard, and this journal is
+      // done — the "process" is dead.  An unrepairable clean failure
+      // poisons too (the tail is now unknown).
+      poisoned_ = true;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->append_failures.inc();
+    }
+    return false;
+  }
+  if (config_.fsync_data && !sync_fd(fd_, error)) {
+    // Durability of the record is unknown; pull it back (the process is
+    // still alive, so the truncate is observed) and stop trusting the
+    // device.
+    static_cast<void>(::ftruncate(fd_, size_before));
+    poisoned_ = true;
+    if (metrics_ != nullptr) {
+      metrics_->append_failures.inc();
+    }
+    return false;
+  }
+
+  ++next_lsn_;
+  ++appends_since_snapshot_;
+  if (metrics_ != nullptr) {
+    metrics_->appends.inc();
+    metrics_->bytes_written.inc(blob.size());
+  }
+  return true;
+}
+
+bool Journal::write_snapshot(std::int64_t next_handle,
+                             const std::vector<JournalEntry>& entries,
+                             std::string* error) {
+  if (fd_ < 0) {
+    *error = "journal is not open";
+    return false;
+  }
+  if (poisoned_) {
+    *error = "journal poisoned by an earlier torn write or fsync failure";
+    return false;
+  }
+
+  std::string payload;
+  payload.reserve(32 + entries.size() * 7 * 8);
+  payload.append(kSnapshotMagic, 8);
+  put_u64(payload, next_lsn_ - 1);  // every record so far is folded in
+  put_i64(payload, next_handle);
+  put_u64(payload, entries.size());
+  for (const JournalEntry& e : entries) {
+    put_i64(payload, e.handle);
+    put_i64(payload, e.src);
+    put_i64(payload, e.dst);
+    put_i64(payload, e.priority);
+    put_i64(payload, e.period);
+    put_i64(payload, e.length);
+    put_i64(payload, e.deadline);
+  }
+
+  const std::string tmp = config_.dir + "/" + kSnapshotTmp;
+  const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) {
+    *error = tmp + ": open: " + std::strerror(errno);
+    return false;
+  }
+  bool torn = false;
+  if (!write_blob(tfd, frame(payload), &torn, error) ||
+      (config_.fsync_data && !sync_fd(tfd, error))) {
+    ::close(tfd);
+    ::unlink(tmp.c_str());  // the real snapshot is untouched
+    if (torn) {
+      poisoned_ = true;
+    }
+    return false;
+  }
+  ::close(tfd);
+
+  // The atomic switch: once the rename is durable, the snapshot covers
+  // LSNs <= next_lsn_-1 and the journal content is redundant (records
+  // are skipped by LSN even if the truncate below never happens).
+  if (::rename(tmp.c_str(), snapshot_path(config_.dir).c_str()) != 0) {
+    *error = std::string("rename snapshot: ") + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (config_.fsync_data && !sync_dir(error)) {
+    return false;
+  }
+  if (::ftruncate(fd_, 0) != 0) {
+    *error = std::string("truncate journal: ") + std::strerror(errno);
+    return false;
+  }
+
+  appends_since_snapshot_ = 0;
+  if (metrics_ != nullptr) {
+    metrics_->snapshots.inc();
+  }
+  return true;
+}
+
+bool Journal::recover(const std::string& dir, RecoveredState* state,
+                      std::string* error) {
+  std::size_t valid_bytes = 0;
+  return read_state(dir, state, &valid_bytes, error);
+}
+
+}  // namespace wormrt::svc

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/fault_injector.hpp"
+
+/// \file journal.hpp
+/// The wormrtd write-ahead journal: crash durability for the admission
+/// state (DESIGN.md §10).
+///
+/// Every admission mutation — an admitted REQUEST or a successful
+/// REMOVE — is appended as one length-prefixed, CRC-32-checksummed
+/// record and fsync'd BEFORE the client sees the acknowledgement, so
+/// the acknowledged history is always recoverable.  Periodically the
+/// full population is compacted into a snapshot file (written to a
+/// temp file, fsync'd, atomically renamed) and the journal is
+/// truncated; a monotonic LSN stitches the two together, making a
+/// crash at any point of the compaction sequence recoverable (journal
+/// records already covered by the snapshot are skipped by LSN at
+/// replay).
+///
+/// On-disk layout under the state dir:
+///   journal.wal    framed mutation records (see below)
+///   snapshot.bin   one framed full-population record, atomically
+///                  replaced on compaction
+///
+/// Record framing (all integers little-endian):
+///   u32 payload_len | u32 crc32(payload) | payload
+/// Journal payload:   u8 type (1=ADD, 2=REMOVE) | u64 lsn | i64 handle
+///                    | for ADD: i64 src,dst,priority,period,length,deadline
+/// Snapshot payload:  8-byte magic "WRTSNAP1" | u64 last_lsn
+///                    | i64 next_handle | u64 count
+///                    | count x (i64 handle,src,dst,priority,period,length,deadline)
+///
+/// A torn, truncated, or bit-rotted journal tail fails the length or
+/// CRC check; recovery discards everything from the first bad record on
+/// — by the write-ahead contract those bytes were never acknowledged.
+/// Opening the journal for appending truncates the file back to the
+/// last valid record so new records never land beyond a tear.
+
+namespace wormrt::svc {
+
+/// One admitted stream: a snapshot row, and the parameter block of an
+/// ADD record.  REMOVE records use only `handle`.
+struct JournalEntry {
+  std::int64_t handle = -1;
+  std::int64_t src = 0;
+  std::int64_t dst = 0;
+  std::int64_t priority = 0;
+  std::int64_t period = 0;
+  std::int64_t length = 0;
+  std::int64_t deadline = 0;
+
+  bool operator==(const JournalEntry&) const = default;
+};
+
+struct JournalRecord {
+  enum class Type : std::uint8_t { kAdd = 1, kRemove = 2 };
+  Type type = Type::kAdd;
+  std::uint64_t lsn = 0;
+  JournalEntry entry;
+};
+
+struct JournalConfig {
+  /// State directory (created if missing).
+  std::string dir;
+  /// fsync the journal after every append (the durability guarantee).
+  /// Off only where the test harness simulates crashes by dropping the
+  /// in-memory objects, not the process — file contents survive that
+  /// without fsync, and skipping 10k syscalls keeps the fuzzer fast.
+  bool fsync_data = true;
+  /// Fault-injection hook for the write/fsync paths; nullptr = real I/O.
+  util::FaultInjector* faults = nullptr;
+};
+
+/// Everything recovery learned from the state dir, in replay order.
+struct RecoveredState {
+  bool had_snapshot = false;
+  /// Journal LSNs <= this are already folded into `snapshot`.
+  std::uint64_t snapshot_lsn = 0;
+  std::int64_t next_handle = 0;
+  /// The snapshotted population in engine order (replay first).
+  std::vector<JournalEntry> snapshot;
+  /// Post-snapshot mutations in append order (replay second).
+  std::vector<JournalRecord> records;
+  /// Stale records skipped by LSN (a crash between snapshot rename and
+  /// journal truncation leaves these behind; they are harmless).
+  std::uint64_t skipped_records = 0;
+  /// Bytes of torn/corrupt journal tail that were discarded.
+  std::uint64_t discarded_bytes = 0;
+};
+
+class Journal {
+ public:
+  /// Metrics (journal fsync latency, appends, compactions, replay
+  /// counts) land in \p registry when non-null.
+  explicit Journal(JournalConfig config, obs::Registry* registry = nullptr);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Reads snapshot + journal into \p state, repairs a torn journal
+  /// tail, and opens the journal for appending.  False + \p error on an
+  /// unrecoverable problem (unreadable dir, corrupt snapshot).
+  bool open(RecoveredState* state, std::string* error);
+
+  /// Durably appends one mutation (assigns its LSN, writes, fsyncs).
+  /// False + \p error on failure; a clean write failure (e.g. ENOSPC)
+  /// leaves the journal usable with the partial record truncated away,
+  /// while a torn write (simulated crash) poisons the journal — every
+  /// later append fails fast.
+  bool append(JournalRecord::Type type, const JournalEntry& entry,
+              std::string* error);
+
+  /// Compacts the full population into the snapshot file and truncates
+  /// the journal.  The caller passes the authoritative controller state
+  /// (entries in engine order).  False + \p error on failure; the
+  /// previous snapshot and journal stay intact in that case.
+  bool write_snapshot(std::int64_t next_handle,
+                      const std::vector<JournalEntry>& entries,
+                      std::string* error);
+
+  /// Appends since the last successful write_snapshot (or open).
+  std::uint64_t appends_since_snapshot() const {
+    return appends_since_snapshot_;
+  }
+
+  /// Reads the state dir without touching it (no tail repair, nothing
+  /// opened for writing) — what a read-only inspection or the recovery
+  /// invariant's oracle uses.
+  static bool recover(const std::string& dir, RecoveredState* state,
+                      std::string* error);
+
+  static std::string journal_path(const std::string& dir);
+  static std::string snapshot_path(const std::string& dir);
+
+ private:
+  bool write_blob(int fd, const std::string& blob, bool* torn,
+                  std::string* error);
+  bool sync_fd(int fd, std::string* error);
+  bool sync_dir(std::string* error);
+
+  JournalConfig config_;
+  int fd_ = -1;
+  bool poisoned_ = false;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t appends_since_snapshot_ = 0;
+
+  struct Metrics {
+    explicit Metrics(obs::Registry& reg);
+    obs::Counter& appends;
+    obs::Counter& append_failures;
+    obs::Counter& bytes_written;
+    obs::Counter& snapshots;
+    obs::Counter& replayed_snapshot;
+    obs::Counter& replayed_records;
+    obs::Counter& skipped_records;
+    obs::Counter& discarded_bytes;
+    obs::Histogram& fsync_us;
+  };
+  Metrics* metrics_ = nullptr;  // owned; null when no registry was given
+};
+
+}  // namespace wormrt::svc

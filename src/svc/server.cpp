@@ -1,8 +1,11 @@
 #include "svc/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -14,7 +17,9 @@
 #include <thread>
 #include <vector>
 
+#include "svc/json.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wormrt::svc {
@@ -51,6 +56,51 @@ ssize_t recv_some(int fd, char* buffer, std::size_t capacity) {
   }
 }
 
+/// connect() with an optional deadline: non-blocking connect + poll,
+/// then back to blocking mode.  timeout_ms <= 0 blocks forever.
+bool connect_deadline(int fd, const sockaddr* addr, socklen_t len,
+                      int timeout_ms, std::string* detail) {
+  if (timeout_ms <= 0) {
+    if (::connect(fd, addr, len) != 0) {
+      *detail = std::strerror(errno);
+      return false;
+    }
+    return true;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  bool ok = ::connect(fd, addr, len) == 0;
+  if (!ok && errno == EINPROGRESS) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r == 0) {
+      *detail = "connect timed out";
+      ::fcntl(fd, F_SETFL, flags);
+      return false;
+    }
+    int soerr = 0;
+    socklen_t soerr_len = sizeof soerr;
+    if (r < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) != 0) {
+      *detail = std::strerror(errno);
+      ::fcntl(fd, F_SETFL, flags);
+      return false;
+    }
+    if (soerr != 0) {
+      *detail = std::strerror(soerr);
+      ::fcntl(fd, F_SETFL, flags);
+      return false;
+    }
+    ok = true;
+  } else if (!ok) {
+    *detail = std::strerror(errno);
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return ok;
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -64,11 +114,29 @@ struct Server::Impl {
   bool started = false;
   std::mutex conn_mu;
   std::vector<int> connections;
+  /// Sheds by reason; lives in the service registry so METRICS shows it.
+  obs::Counter& shed_overloaded;
+  obs::Counter& shed_line_too_long;
+  obs::Counter& shed_idle;
 
   Impl(Service& svc, ServerConfig cfg)
       : service(svc),
         config(std::move(cfg)),
-        pool(static_cast<unsigned>(std::max(1, cfg.workers))) {}
+        // Bounding the pool's submit queue makes a connection flood
+        // backpressure the acceptor (it blocks in submit) instead of
+        // growing an unbounded task queue; the connection cap keeps the
+        // bound from ever actually stalling a healthy accept loop.
+        pool(static_cast<unsigned>(std::max(1, config.workers)),
+             config.max_connections > 0
+                 ? static_cast<std::size_t>(config.max_connections)
+                 : 0),
+        shed_overloaded(svc.registry().counter(
+            "wormrt_server_sheds_total", {{"reason", "overloaded"}},
+            "Connections dropped by overload protection, by reason.")),
+        shed_line_too_long(svc.registry().counter(
+            "wormrt_server_sheds_total", {{"reason", "line_too_long"}})),
+        shed_idle(svc.registry().counter(
+            "wormrt_server_sheds_total", {{"reason", "idle_timeout"}})) {}
 
   void track(int fd) {
     std::lock_guard<std::mutex> lk(conn_mu);
@@ -81,13 +149,33 @@ struct Server::Impl {
                       connections.end());
   }
 
+  std::size_t live_connections() {
+    std::lock_guard<std::mutex> lk(conn_mu);
+    return connections.size();
+  }
+
   /// One connection's lifetime: buffered line reader over recv, one
-  /// response line per request line.
+  /// response line per request line.  The buffer is capped at
+  /// config.max_line_bytes: a client streaming newline-free bytes gets
+  /// one error reply and the connection closed, so hostile input cannot
+  /// grow daemon memory.  A recv idle for config.idle_timeout_ms (set
+  /// as SO_RCVTIMEO) reaps the connection.
   void serve_connection(int fd) {
+    if (config.idle_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = config.idle_timeout_ms / 1000;
+      tv.tv_usec = (config.idle_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
     std::string buffer;
     char chunk[4096];
     for (;;) {
       const ssize_t n = recv_some(fd, chunk, sizeof chunk);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        shed_idle.inc();
+        send_all(fd, "{\"ok\":false,\"error\":\"idle timeout\"}\n");
+        break;
+      }
       if (n <= 0) {
         break;  // peer closed, transport error, or stop() shut us down
       }
@@ -110,6 +198,11 @@ struct Server::Impl {
         }
       }
       buffer.erase(0, start);
+      if (buffer.size() > config.max_line_bytes) {
+        shed_line_too_long.inc();
+        send_all(fd, "{\"ok\":false,\"error\":\"line too long\"}\n");
+        break;
+      }
     }
     untrack(fd);
     ::close(fd);
@@ -127,6 +220,16 @@ struct Server::Impl {
       if (stopping.load(std::memory_order_acquire)) {
         ::close(fd);
         return;
+      }
+      if (config.max_connections > 0 &&
+          live_connections() >=
+              static_cast<std::size_t>(config.max_connections)) {
+        // Load shed: one honest reply, then the boot.  Serving a capped
+        // population well beats serving an unbounded one badly.
+        shed_overloaded.inc();
+        send_all(fd, "{\"ok\":false,\"error\":\"overloaded\"}\n");
+        ::close(fd);
+        continue;
       }
       track(fd);
       pool.submit([this, fd] { serve_connection(fd); });
@@ -170,6 +273,25 @@ bool Server::start(std::string* error) {
     }
     std::strncpy(addr.sun_path, impl_->config.unix_path.c_str(),
                  sizeof(addr.sun_path) - 1);
+    // A socket file may be left behind by a crashed daemon (stale, safe
+    // to unlink) or owned by a live one (unlinking would steal its
+    // address: old clients keep talking to it while new ones reach us).
+    // Disambiguate with a connect probe and refuse the live case.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      if (::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+          0) {
+        ::close(probe);
+        if (error != nullptr) {
+          *error = "bind " + impl_->config.unix_path +
+                   ": a live server already listens there";
+        }
+        ::close(impl_->listen_fd);
+        impl_->listen_fd = -1;
+        return false;
+      }
+      ::close(probe);
+    }
     ::unlink(impl_->config.unix_path.c_str());
     if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
                sizeof addr) != 0) {
@@ -248,8 +370,31 @@ void Client::close() {
   buffer_.clear();
 }
 
+bool Client::apply_timeouts(std::string* error) {
+  if (timeout_ms_ <= 0) {
+    return true;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) != 0) {
+    if (error != nullptr) {
+      *error = std::string("setsockopt timeout: ") + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
 bool Client::connect_unix(const std::string& path, std::string* error) {
+  // Remember the endpoint before close() so reconnect() can pass the
+  // member back into this function.
+  const std::string target = path;
   close();
+  endpoint_ = Endpoint::kUnix;
+  unix_path_ = target;
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
     if (error != nullptr) {
@@ -259,27 +404,33 @@ bool Client::connect_unix(const std::string& path, std::string* error) {
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
+  if (target.size() >= sizeof(addr.sun_path)) {
     if (error != nullptr) {
       *error = "unix socket path too long";
     }
     close();
     return false;
   }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  std::strncpy(addr.sun_path, target.c_str(), sizeof(addr.sun_path) - 1);
+  std::string detail;
+  if (!connect_deadline(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr,
+                        timeout_ms_, &detail)) {
     if (error != nullptr) {
-      *error = "connect " + path + ": " + std::strerror(errno);
+      *error = "connect " + target + ": " + detail;
     }
     close();
     return false;
   }
-  return true;
+  return apply_timeouts(error);
 }
 
 bool Client::connect_tcp(const std::string& host, int port,
                          std::string* error) {
+  const std::string target_host = host;
   close();
+  endpoint_ = Endpoint::kTcp;
+  tcp_host_ = target_host;
+  tcp_port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     if (error != nullptr) {
@@ -290,22 +441,93 @@ bool Client::connect_tcp(const std::string& host, int port,
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  if (::inet_pton(AF_INET, target_host.c_str(), &addr.sin_addr) != 1) {
     if (error != nullptr) {
-      *error = "bad host address: " + host;
+      *error = "bad host address: " + target_host;
     }
     close();
     return false;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  std::string detail;
+  if (!connect_deadline(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr,
+                        timeout_ms_, &detail)) {
     if (error != nullptr) {
-      *error = "connect " + host + ":" + std::to_string(port) + ": " +
-               std::strerror(errno);
+      *error = "connect " + target_host + ":" + std::to_string(port) + ": " +
+               detail;
     }
     close();
     return false;
   }
-  return true;
+  return apply_timeouts(error);
+}
+
+bool Client::reconnect(std::string* error) {
+  switch (endpoint_) {
+    case Endpoint::kUnix:
+      return connect_unix(unix_path_, error);
+    case Endpoint::kTcp:
+      return connect_tcp(tcp_host_, tcp_port_, error);
+    case Endpoint::kNone:
+      break;
+  }
+  if (error != nullptr) {
+    *error = "not connected";
+  }
+  return false;
+}
+
+bool Client::idempotent_verb(const std::string& verb) {
+  return verb == "QUERY" || verb == "EXPLAIN" || verb == "SNAPSHOT" ||
+         verb == "STATS" || verb == "METRICS";
+}
+
+bool Client::call_with_retry(const std::string& request_line,
+                             const RetryPolicy& policy,
+                             std::string* response_line, std::string* error,
+                             int* attempts) {
+  // A lost-response retry of a mutation could double-apply it, so only
+  // verbs whose replay is harmless retry unless the policy opts in.
+  bool retryable = policy.retry_non_idempotent;
+  if (!retryable) {
+    std::string parse_error;
+    const Json request = Json::parse(request_line, &parse_error);
+    if (parse_error.empty() && request.is_object()) {
+      const Json* verb = request.get("verb");
+      retryable = verb != nullptr && verb->is_string() &&
+                  idempotent_verb(verb->as_string());
+    }
+  }
+
+  util::Rng jitter(policy.jitter_seed, /*stream=*/0);
+  std::int64_t sleep_ms = std::max(1, policy.base_delay_ms);
+  int tries = 0;
+  std::string err;
+  for (;;) {
+    ++tries;
+    if (attempts != nullptr) {
+      *attempts = tries;
+    }
+    const bool up = connected() || reconnect(&err);
+    if (up && call(request_line, response_line, &err)) {
+      return true;
+    }
+    if (error != nullptr) {
+      *error = err;
+    }
+    if (!retryable || tries > policy.max_retries) {
+      return false;
+    }
+    // Decorrelated jitter: each sleep is drawn from [base, 3 * previous
+    // sleep], capped — uncoordinated clients spread out instead of
+    // retrying in lockstep.
+    sleep_ms = std::min<std::int64_t>(
+        policy.max_delay_ms,
+        jitter.uniform_int(std::max(1, policy.base_delay_ms),
+                           std::max<std::int64_t>(std::max(1, policy.base_delay_ms),
+                                                  sleep_ms * 3)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    close();  // a fresh connection for the next attempt
+  }
 }
 
 bool Client::call(const std::string& request_line, std::string* response_line,
@@ -333,8 +555,14 @@ bool Client::call(const std::string& request_line, std::string* response_line,
     const ssize_t n = recv_some(fd_, chunk, sizeof chunk);
     if (n <= 0) {
       if (error != nullptr) {
-        *error = n == 0 ? "connection closed by server"
-                        : std::string("recv: ") + std::strerror(errno);
+        if (n == 0) {
+          *error = "connection closed by server";
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          *error = "call timed out after " + std::to_string(timeout_ms_) +
+                   " ms";
+        } else {
+          *error = std::string("recv: ") + std::strerror(errno);
+        }
       }
       return false;
     }

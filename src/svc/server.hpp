@@ -12,18 +12,40 @@
 /// util::ThreadPool worker.  The pool bounds concurrent connections;
 /// further accepts queue until a worker frees up.  The Service layer is
 /// thread-safe, so workers dispatch concurrently.
+///
+/// Overload protection (DESIGN.md §10): request lines are capped at
+/// max_line_bytes (a hostile client streaming newline-free garbage gets
+/// one error reply and the boot, never unbounded daemon memory),
+/// concurrent connections are capped at max_connections (excess clients
+/// are shed with `ok:false error:"overloaded"`), idle connections are
+/// reaped after idle_timeout_ms, and the worker pool's submit queue is
+/// bounded so a connection flood backpressures the acceptor instead of
+/// growing an unbounded task queue.  Sheds are counted per reason in
+/// the service registry (wormrt_server_sheds_total).
 
 namespace wormrt::svc {
 
 struct ServerConfig {
   /// When non-empty: listen on this Unix-domain socket path (unlinked on
-  /// start and on stop).
+  /// start and on stop).  A pre-existing socket file is connect-probed
+  /// first: if a live server answers, start() fails instead of stealing
+  /// the address; only a stale (dead) socket is unlinked.
   std::string unix_path;
   /// When >= 0 and unix_path is empty: listen on 127.0.0.1:tcp_port
   /// (0 picks an ephemeral port, reported by port()).
   int tcp_port = -1;
   /// Connection workers (>= 1).
   int workers = 4;
+  /// Per-connection request-line cap in bytes.  A connection whose
+  /// buffered partial line exceeds this gets one
+  /// `ok:false error:"line too long"` reply and is closed.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Concurrent-connection cap; clients beyond it get one
+  /// `ok:false error:"overloaded"` reply and are closed.  <= 0 = no cap.
+  int max_connections = 64;
+  /// Close connections that stay silent this long, freeing their worker
+  /// slot.  <= 0 = never.
+  int idle_timeout_ms = 30000;
 };
 
 class Server {
@@ -50,8 +72,27 @@ class Server {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Retry policy for Client::call_with_retry: exponential backoff with
+/// decorrelated jitter (each sleep is drawn uniformly from
+/// [base_delay_ms, 3 * previous_sleep], clamped to max_delay_ms), and —
+/// by default — retries only idempotent verbs: retrying a REQUEST or
+/// REMOVE whose response was lost could double-apply the mutation.
+struct RetryPolicy {
+  /// Additional attempts after the first (0 = no retries).
+  int max_retries = 0;
+  int base_delay_ms = 10;
+  int max_delay_ms = 1000;
+  /// Also retry REQUEST/REMOVE/SHUTDOWN (at-least-once instead of
+  /// at-most-once semantics for mutations).
+  bool retry_non_idempotent = false;
+  /// Seed for the jitter stream (deterministic tests).
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
 /// Blocking newline-delimited JSON client, used by wormrt-cli, the load
-/// generator, and the end-to-end tests.
+/// generator, and the end-to-end tests.  Optional deadlines cover
+/// connect and each call; call_with_retry layers reconnect + backoff on
+/// top for resilience against restarts and sheds.
 class Client {
  public:
   Client() = default;
@@ -60,20 +101,49 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  /// Deadline for connect() and for each call()'s send/recv, applied to
+  /// subsequent connects.  <= 0 (default) = block forever.
+  void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
+
   bool connect_unix(const std::string& path, std::string* error);
   bool connect_tcp(const std::string& host, int port, std::string* error);
   bool connected() const { return fd_ >= 0; }
 
   /// Sends one request line and blocks for the one response line.
-  /// Returns false on transport failure.
+  /// Returns false on transport failure (including a deadline expiry
+  /// when set_timeout_ms was used).
   bool call(const std::string& request_line, std::string* response_line,
             std::string* error);
+
+  /// call() with resilience: on transport failure, reconnects to the
+  /// last connect_unix/connect_tcp endpoint and retries per \p policy.
+  /// Only idempotent verbs (QUERY, EXPLAIN, SNAPSHOT, STATS, METRICS)
+  /// are retried unless the policy opts in; non-retryable failures
+  /// surface immediately.  Returns the attempt count via \p attempts
+  /// when non-null.
+  bool call_with_retry(const std::string& request_line,
+                       const RetryPolicy& policy, std::string* response_line,
+                       std::string* error, int* attempts = nullptr);
+
+  /// True for verbs whose replay cannot change service state.
+  static bool idempotent_verb(const std::string& verb);
 
   void close();
 
  private:
+  bool reconnect(std::string* error);
+  bool apply_timeouts(std::string* error);
+
   int fd_ = -1;
+  int timeout_ms_ = 0;
   std::string buffer_;  // bytes received past the last response line
+
+  /// Last endpoint, for call_with_retry's reconnect.
+  enum class Endpoint { kNone, kUnix, kTcp };
+  Endpoint endpoint_ = Endpoint::kNone;
+  std::string unix_path_;
+  std::string tcp_host_;
+  int tcp_port_ = -1;
 };
 
 }  // namespace wormrt::svc

@@ -1,5 +1,6 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -55,8 +56,90 @@ Service::Metrics::Metrics(obs::Registry& reg)
 
 Service::Service(const topo::Topology& topo,
                  const route::RoutingAlgorithm& routing,
-                 core::AnalysisConfig config)
-    : topo_(topo), ctrl_(topo, routing, config), metrics_(registry_) {}
+                 core::AnalysisConfig config, ServiceOptions options)
+    : topo_(topo),
+      options_(std::move(options)),
+      ctrl_(topo, routing, config),
+      metrics_(registry_) {}
+
+bool Service::open_state(std::string* error) {
+  if (options_.state_dir.empty()) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  journal_ = std::make_unique<Journal>(
+      JournalConfig{options_.state_dir, options_.journal_fsync,
+                    options_.journal_faults},
+      &registry_);
+  RecoveredState state;
+  if (!journal_->open(&state, error)) {
+    journal_.reset();
+    return false;
+  }
+
+  // Replay: snapshot population in engine order, then the post-snapshot
+  // mutations in append order.  Each restore() forces the journaled
+  // handle, so population order AND handle numbering come out exactly
+  // as the crashed daemon left them.
+  const auto restore = [this](const JournalEntry& e) {
+    ctrl_.restore(static_cast<topo::NodeId>(e.src),
+                  static_cast<topo::NodeId>(e.dst),
+                  static_cast<Priority>(e.priority), e.period, e.length,
+                  e.deadline, e.handle);
+  };
+  for (const JournalEntry& e : state.snapshot) {
+    restore(e);
+  }
+  for (const JournalRecord& rec : state.records) {
+    if (rec.type == JournalRecord::Type::kAdd) {
+      restore(rec.entry);
+    } else {
+      ctrl_.remove(rec.entry.handle);
+    }
+  }
+  // Replayed adds advance next_handle past their own handles; the
+  // snapshot's next_handle additionally covers handles freed by
+  // removals above the surviving maximum.
+  ctrl_.set_next_handle(std::max(ctrl_.next_handle(), state.next_handle));
+
+  recovery_.snapshot_entries = state.snapshot.size();
+  recovery_.journal_records = state.records.size();
+  recovery_.skipped_records = state.skipped_records;
+  recovery_.discarded_bytes = state.discarded_bytes;
+  metrics_.population.set(static_cast<double>(ctrl_.size()));
+  return true;
+}
+
+void Service::maybe_compact() {
+  if (journal_ == nullptr ||
+      journal_->appends_since_snapshot() < options_.compact_every) {
+    return;
+  }
+  const core::IncrementalAnalyzer& engine = ctrl_.engine();
+  const core::StreamSet& streams = engine.streams();
+  std::vector<JournalEntry> entries;
+  entries.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const auto id = static_cast<StreamId>(i);
+    const core::MessageStream& s = streams[id];
+    JournalEntry e;
+    e.handle = engine.handle_of(id);
+    e.src = s.src;
+    e.dst = s.dst;
+    e.priority = s.priority;
+    e.period = s.period;
+    e.length = s.length;
+    e.deadline = s.deadline;
+    entries.push_back(e);
+  }
+  std::string err;
+  if (!journal_->write_snapshot(ctrl_.next_handle(), entries, &err)) {
+    registry_
+        .counter("wormrt_journal_compaction_failures_total", {},
+                 "Snapshot compactions that failed (journal kept intact).")
+        .inc();
+  }
+}
 
 std::size_t Service::population() const {
   std::lock_guard<std::mutex> lk(mu_);
@@ -235,14 +318,36 @@ Json Service::do_request(const Json& request) {
       static_cast<Priority>(priority), period, length, deadline,
       want_explain ? &provenance : nullptr);
   metrics_.latency_us.observe(now_us() - t0);
-
   metrics_.requests.inc();
+
+  if (decision.admitted && journal_ != nullptr) {
+    // Write-ahead contract: the admission is acknowledged only once its
+    // journal record is durable.  A failed append rolls the admission
+    // back (releasing the handle), so the journal and the acknowledged
+    // history never diverge.
+    JournalEntry e;
+    e.handle = decision.handle;
+    e.src = src;
+    e.dst = dst;
+    e.priority = priority;
+    e.period = period;
+    e.length = length;
+    e.deadline = deadline;
+    std::string err;
+    if (!journal_->append(JournalRecord::Type::kAdd, e, &err)) {
+      ctrl_.unadmit(decision.handle);
+      metrics_.population.set(static_cast<double>(ctrl_.size()));
+      return error_reply("admission not durable: " + err);
+    }
+  }
+
   if (decision.admitted) {
     metrics_.admitted.inc();
   } else {
     metrics_.rejected.inc();
   }
   metrics_.population.set(static_cast<double>(ctrl_.size()));
+  maybe_compact();
 
   Json reply = Json::object();
   reply.set("ok", true);
@@ -268,9 +373,21 @@ Json Service::do_remove(const Json& request) {
   if (!req_int(request, "handle", &handle)) {
     return error_reply("REMOVE needs integer handle");
   }
-  const bool removed = ctrl_.remove(handle);
   metrics_.removes.inc();
+  if (journal_ != nullptr && ctrl_.engine().find(handle) != nullptr) {
+    // Journal the teardown BEFORE applying it, so a durability failure
+    // leaves the engine untouched and the reply can honestly say the
+    // channel is still established.
+    JournalEntry e;
+    e.handle = handle;
+    std::string err;
+    if (!journal_->append(JournalRecord::Type::kRemove, e, &err)) {
+      return error_reply("teardown not durable: " + err);
+    }
+  }
+  const bool removed = ctrl_.remove(handle);
   metrics_.population.set(static_cast<double>(ctrl_.size()));
+  maybe_compact();
   Json reply = Json::object();
   reply.set("ok", true);
   reply.set("removed", removed);

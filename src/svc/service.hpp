@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "core/admission.hpp"
 #include "obs/metrics.hpp"
+#include "svc/journal.hpp"
 #include "svc/json.hpp"
 
 /// \file service.hpp
@@ -37,11 +39,44 @@
 
 namespace wormrt::svc {
 
+/// Durability and robustness knobs, beyond the analysis config.
+struct ServiceOptions {
+  /// Directory for the write-ahead journal + snapshot; empty = the
+  /// admission state is in-memory only (the pre-journal behaviour).
+  std::string state_dir;
+  /// Compact the journal into a snapshot after this many appends.
+  std::uint64_t compact_every = 256;
+  /// fsync the journal on every append — the crash-durability
+  /// guarantee.  See JournalConfig::fsync_data for when tests turn it
+  /// off.
+  bool journal_fsync = true;
+  /// Fault injection for the journal's I/O paths (tests, fuzzer).
+  util::FaultInjector* journal_faults = nullptr;
+};
+
 class Service {
  public:
   /// Topology and routing are borrowed and must outlive the service.
   Service(const topo::Topology& topo, const route::RoutingAlgorithm& routing,
-          core::AnalysisConfig config = {});
+          core::AnalysisConfig config = {}, ServiceOptions options = {});
+
+  /// Opens the state dir (when ServiceOptions::state_dir is set) and
+  /// replays snapshot + journal into the controller — the recovered
+  /// engine state is bitwise-identical to the crashed daemon's
+  /// acknowledged state (see DESIGN.md §10).  Must be called before
+  /// serving; a false return (+ \p error) means the state dir is
+  /// unusable and the daemon must not start.  No-op without a state
+  /// dir.
+  bool open_state(std::string* error);
+
+  /// What open_state() found (zeros when no state dir / nothing there).
+  struct RecoveryInfo {
+    std::uint64_t snapshot_entries = 0;
+    std::uint64_t journal_records = 0;
+    std::uint64_t skipped_records = 0;
+    std::uint64_t discarded_bytes = 0;
+  };
+  const RecoveryInfo& recovery_info() const { return recovery_; }
 
   /// Parses one protocol line, dispatches, returns the serialized
   /// response (exactly one line, no trailing newline).
@@ -67,6 +102,10 @@ class Service {
 
   /// This service's metric registry (tests scrape it directly).
   obs::Registry& registry() { return registry_; }
+
+  /// The live controller — the recovery tests and the fuzzer's crash
+  /// oracle compare engine state (bounds, handles) across a restart.
+  const core::AdmissionController& controller() const { return ctrl_; }
 
  private:
   /// References into registry_, resolved once at construction so the
@@ -103,9 +142,18 @@ class Service {
   /// Provenance as a wire object {bound, base_latency, terms, text, ...}.
   static Json provenance_json(const core::BoundProvenance& p);
 
+  /// Compacts the journal into a snapshot once appends_since_snapshot
+  /// crosses options_.compact_every (call with mu_ held, after a
+  /// successful mutation).  A failed compaction is counted and retried
+  /// at the next threshold crossing; the journal stays authoritative.
+  void maybe_compact();
+
   const topo::Topology& topo_;
+  ServiceOptions options_;
   mutable std::mutex mu_;
   core::AdmissionController ctrl_;
+  std::unique_ptr<Journal> journal_;
+  RecoveryInfo recovery_;
   /// Declared before metrics_: the cached references point into it.
   mutable obs::Registry registry_;
   Metrics metrics_;

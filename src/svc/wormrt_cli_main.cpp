@@ -34,7 +34,15 @@ int usage(const char* program) {
       "  stats\n"
       "  metrics               Prometheus text exposition of the daemon\n"
       "  shutdown\n"
-      "  raw JSON          send a raw protocol line\n",
+      "  raw JSON          send a raw protocol line\n"
+      "resilience flags:\n"
+      "  --timeout-ms N    connect/call deadline (default: block forever)\n"
+      "  --retries N       retry transport failures up to N times with\n"
+      "                    backoff; only idempotent commands (query,\n"
+      "                    explain, snapshot, stats, metrics) retry unless\n"
+      "                    --retry-mutations is given\n"
+      "  --retry-mutations also retry request/remove/shutdown (at-least-"
+      "once)\n",
       program);
   return 2;
 }
@@ -100,6 +108,7 @@ int main(int argc, char** argv) {
   const std::string socket_path = args.get_string("socket", "");
   const std::int64_t port = args.get_int("port", -1);
   svc::Client client;
+  client.set_timeout_ms(static_cast<int>(args.get_int("timeout-ms", 0)));
   std::string error;
   bool connected = false;
   if (!socket_path.empty()) {
@@ -119,8 +128,11 @@ int main(int argc, char** argv) {
 
   const std::string line =
       command == "raw" ? args.positional()[1] : request.dump();
+  svc::RetryPolicy retry;
+  retry.max_retries = static_cast<int>(args.get_int("retries", 0));
+  retry.retry_non_idempotent = args.has("retry-mutations");
   std::string response;
-  if (!client.call(line, &response, &error)) {
+  if (!client.call_with_retry(line, retry, &response, &error)) {
     std::fprintf(stderr, "%s: %s\n", args.program().c_str(), error.c_str());
     return 2;
   }

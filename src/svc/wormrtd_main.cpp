@@ -60,7 +60,9 @@ int usage(const char* program) {
   std::fprintf(
       stderr,
       "usage: %s (--socket PATH | --port N) [--mesh CxR] [--threads N]\n"
-      "          [--workers N] [--trace FILE]\n"
+      "          [--workers N] [--trace FILE] [--state-dir DIR]\n"
+      "          [--compact-every N] [--no-journal-fsync]\n"
+      "          [--max-connections N] [--idle-timeout-ms N]\n"
       "  --socket PATH  listen on a Unix-domain socket\n"
       "  --port N       listen on 127.0.0.1:N (0 = ephemeral, printed on "
       "READY)\n"
@@ -69,7 +71,17 @@ int usage(const char* program) {
       "default 0)\n"
       "  --workers N    connection workers (default 4)\n"
       "  --trace FILE   record trace spans; written as Chrome trace_event "
-      "JSON on shutdown\n",
+      "JSON on shutdown\n"
+      "  --state-dir DIR  write-ahead journal + snapshots; admitted state "
+      "survives crashes\n"
+      "  --compact-every N  snapshot-compact the journal every N appends "
+      "(default 256)\n"
+      "  --no-journal-fsync  skip the per-append fsync (crash durability "
+      "becomes best-effort)\n"
+      "  --max-connections N  concurrent connection cap; excess clients "
+      "are shed (default 64)\n"
+      "  --idle-timeout-ms N  drop connections idle for N ms (0 = never, "
+      "default 30000)\n",
       program);
   return 2;
 }
@@ -103,17 +115,45 @@ int main(int argc, char** argv) {
     obs::Tracer::set_enabled(true);
   }
 
+  svc::ServiceOptions service_options;
+  service_options.state_dir = args.get_string("state-dir", "");
+  service_options.compact_every =
+      static_cast<std::uint64_t>(args.get_int("compact-every", 256));
+  service_options.journal_fsync = !args.has("no-journal-fsync");
+
   const topo::Mesh mesh(cols, rows);
   const route::XYRouting routing;
-  svc::Service service(mesh, routing, config);
+  svc::Service service(mesh, routing, config, service_options);
+
+  std::string error;
+  if (!service.open_state(&error)) {
+    std::fprintf(stderr, "wormrtd: cannot open state dir: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  if (!service_options.state_dir.empty()) {
+    const svc::Service::RecoveryInfo& rec = service.recovery_info();
+    std::fprintf(stderr,
+                 "wormrtd: recovered %llu snapshot entries + %llu journal "
+                 "records (%llu stale skipped, %llu torn tail bytes "
+                 "discarded), population %zu\n",
+                 static_cast<unsigned long long>(rec.snapshot_entries),
+                 static_cast<unsigned long long>(rec.journal_records),
+                 static_cast<unsigned long long>(rec.skipped_records),
+                 static_cast<unsigned long long>(rec.discarded_bytes),
+                 service.population());
+  }
 
   svc::ServerConfig server_config;
   server_config.unix_path = socket_path;
   server_config.tcp_port = static_cast<int>(tcp_port);
   server_config.workers = static_cast<int>(args.get_int("workers", 4));
+  server_config.max_connections =
+      static_cast<int>(args.get_int("max-connections", 64));
+  server_config.idle_timeout_ms =
+      static_cast<int>(args.get_int("idle-timeout-ms", 30000));
 
   svc::Server server(service, server_config);
-  std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "wormrtd: %s\n", error.c_str());
     return 1;

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// guarding the wormrtd write-ahead journal.  Chosen over a fancier hash
+/// on purpose: the journal needs corruption *detection* of short binary
+/// records (torn tails, bit rot, trailing zeros from preallocated
+/// blocks), not collision resistance, and CRC-32 detects all burst
+/// errors up to 32 bits — exactly the failure mode of a torn sector.
+
+namespace wormrt::util {
+
+/// CRC-32 of \p data, optionally chaining from a previous value:
+/// crc32(b, nb, crc32(a, na)) == crc32(concat(a, b)).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace wormrt::util

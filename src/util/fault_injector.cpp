@@ -1,0 +1,77 @@
+#include "util/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace wormrt::util {
+
+FaultInjector::WriteOutcome FaultInjector::on_write(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  WriteOutcome outcome;
+  outcome.allowed = n;
+  if (torn_armed_) {
+    torn_armed_ = false;
+    ++faults_injected_;
+    outcome.allowed = std::min(n, torn_keep_);
+    outcome.error = 5;  // EIO: the write never completed
+    outcome.torn = true;
+    return outcome;
+  }
+  if (write_error_ != 0) {
+    if (write_error_countdown_ > 0) {
+      --write_error_countdown_;
+    } else {
+      outcome.allowed = 0;
+      outcome.error = write_error_;
+      write_error_ = 0;
+      ++faults_injected_;
+    }
+  }
+  return outcome;
+}
+
+int FaultInjector::on_fsync() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fsync_error_ == 0) {
+    return 0;
+  }
+  if (fsync_error_countdown_ > 0) {
+    --fsync_error_countdown_;
+    return 0;
+  }
+  const int error = fsync_error_;
+  fsync_error_ = 0;
+  ++faults_injected_;
+  return error;
+}
+
+void FaultInjector::arm_torn_write(std::size_t keep_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  torn_armed_ = true;
+  torn_keep_ = keep_bytes;
+}
+
+void FaultInjector::arm_write_error(int error, std::uint64_t after_writes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  write_error_ = error;
+  write_error_countdown_ = after_writes;
+}
+
+void FaultInjector::arm_fsync_error(int error, std::uint64_t after_fsyncs) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fsync_error_ = error;
+  fsync_error_countdown_ = after_fsyncs;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  torn_armed_ = false;
+  write_error_ = 0;
+  fsync_error_ = 0;
+}
+
+std::uint64_t FaultInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return faults_injected_;
+}
+
+}  // namespace wormrt::util

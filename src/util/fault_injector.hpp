@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+/// \file fault_injector.hpp
+/// Deterministic I/O fault injection for the durability layer.  The
+/// journal asks the injector before every write and fsync; an armed
+/// fault fires exactly once at the programmed point, so a test (or the
+/// fuzzer's crash simulation) can manufacture the precise failure it
+/// wants to survive:
+///
+///   - short write ("crash"): only a prefix of the record reaches the
+///     file and the writer dies before it can clean up — the torn-tail
+///     case recovery must discard.
+///   - write error (e.g. ENOSPC): the syscall fails before any byte is
+///     written; the writer stays alive and must report the error
+///     upward without corrupting the file.
+///   - fsync error: the data may or may not be durable; the writer must
+///     treat the record as not acknowledged.
+///
+/// All faults are armed programmatically (no randomness inside): the
+/// caller decides *where* to inject, which keeps fuzz scenarios
+/// reproducible from their seed.
+
+namespace wormrt::util {
+
+class FaultInjector {
+ public:
+  /// What the next write is allowed to do.
+  struct WriteOutcome {
+    /// Bytes of the request the caller may actually write.
+    std::size_t allowed = 0;
+    /// 0 = proceed normally; otherwise fail with this errno AFTER
+    /// writing `allowed` bytes.
+    int error = 0;
+    /// True when the failure models a process death mid-write: the
+    /// writer must NOT repair the file (truncate the partial record) —
+    /// recovery has to cope with the torn tail instead.
+    bool torn = false;
+  };
+
+  /// The \p n-byte write the caller is about to issue.  Unarmed: allows
+  /// all \p n bytes.
+  WriteOutcome on_write(std::size_t n);
+
+  /// Returns 0 to proceed, or an errno the fsync should fail with.
+  int on_fsync();
+
+  /// Arms a torn write: the next write is truncated to at most
+  /// \p keep_bytes bytes and then fails as if the process crashed.
+  void arm_torn_write(std::size_t keep_bytes);
+
+  /// Arms a clean write error (nothing written), firing on the
+  /// \p after_writes-th subsequent write (0 = the very next one).
+  void arm_write_error(int error, std::uint64_t after_writes = 0);
+
+  /// Arms an fsync error on the \p after_fsyncs-th subsequent fsync.
+  void arm_fsync_error(int error, std::uint64_t after_fsyncs = 0);
+
+  /// Disarms everything.
+  void reset();
+
+  /// Faults fired since construction (tests assert the injection
+  /// actually happened).
+  std::uint64_t faults_injected() const;
+
+ private:
+  mutable std::mutex mu_;
+  bool torn_armed_ = false;
+  std::size_t torn_keep_ = 0;
+  int write_error_ = 0;
+  std::uint64_t write_error_countdown_ = 0;
+  int fsync_error_ = 0;
+  std::uint64_t fsync_error_countdown_ = 0;
+  std::uint64_t faults_injected_ = 0;
+};
+
+}  // namespace wormrt::util

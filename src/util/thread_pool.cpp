@@ -15,8 +15,11 @@ namespace wormrt::util {
 struct ThreadPool::Impl {
   std::mutex mu;
   std::condition_variable cv;
+  /// Signalled when a bounded queue frees a slot (blocked submitters).
+  std::condition_variable space_cv;
   std::deque<std::function<void()>> queue;
   std::vector<std::thread> workers;
+  std::size_t max_queue = 0;  // 0 = unbounded
   bool stopping = false;
   std::atomic<std::uint64_t> tasks_submitted{0};
   std::atomic<std::uint64_t> tasks_executed{0};
@@ -33,6 +36,9 @@ struct ThreadPool::Impl {
         }
         task = std::move(queue.front());
         queue.pop_front();
+        if (max_queue > 0) {
+          space_cv.notify_one();
+        }
       }
       const auto t0 = std::chrono::steady_clock::now();
       task();
@@ -45,7 +51,9 @@ struct ThreadPool::Impl {
   }
 };
 
-ThreadPool::ThreadPool(unsigned workers) : impl_(new Impl) {
+ThreadPool::ThreadPool(unsigned workers, std::size_t max_queue)
+    : impl_(new Impl) {
+  impl_->max_queue = max_queue;
   impl_->workers.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });
@@ -58,6 +66,7 @@ ThreadPool::~ThreadPool() {
     impl_->stopping = true;
   }
   impl_->cv.notify_all();
+  impl_->space_cv.notify_all();
   for (auto& w : impl_->workers) {
     w.join();
   }
@@ -70,7 +79,14 @@ unsigned ThreadPool::size() const {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    if (impl_->max_queue > 0) {
+      // Backpressure: hold the producer until a slot frees.  Shutdown
+      // admits unconditionally so no submission is ever dropped.
+      impl_->space_cv.wait(lk, [&] {
+        return impl_->stopping || impl_->queue.size() < impl_->max_queue;
+      });
+    }
     impl_->queue.push_back(std::move(task));
   }
   impl_->tasks_submitted.fetch_add(1, std::memory_order_relaxed);

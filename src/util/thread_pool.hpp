@@ -26,8 +26,11 @@ namespace wormrt::util {
 class ThreadPool {
  public:
   /// Spawns \p workers worker threads (0 is allowed; the pool is then a
-  /// queue nobody drains — only useful in tests).
-  explicit ThreadPool(unsigned workers);
+  /// queue nobody drains — only useful in tests).  A non-zero
+  /// \p max_queue bounds the submit queue: submit() then BLOCKS the
+  /// caller while the queue is full, so a producer (e.g. the server's
+  /// acceptor) backpressures instead of growing memory without bound.
+  explicit ThreadPool(unsigned workers, std::size_t max_queue = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -38,7 +41,9 @@ class ThreadPool {
   /// Enqueues \p task for execution by some worker.  Tasks must not
   /// block waiting for other queued tasks (parallel_for obeys this: its
   /// helpers never wait, only the submitting caller does, and the caller
-  /// makes progress on its own).
+  /// makes progress on its own).  On a bounded pool this blocks until a
+  /// queue slot frees up (or the pool is stopping, which always admits
+  /// the task so no submission is ever lost).
   void submit(std::function<void()> task);
 
   /// Work counters for the observability layer.  Counters are

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -340,6 +341,216 @@ TEST(DaemonTrace, TraceFlagWritesChromeTraceEventJson) {
   // analysis kernel beneath it.
   EXPECT_TRUE(saw_handle_line);
   EXPECT_TRUE(saw_cal_u);
+}
+
+TEST_F(DaemonE2E, CliExitCodesCoverRejectionsAndTransportFailures) {
+  std::string out;
+  // A hopeless deadline is rejected: ok:true but admitted:false -> 1.
+  EXPECT_EQ(cli("request --src 0 --dst 63 --priority 1 --period 50 "
+                "--length 20 --deadline 1",
+                &out),
+            1);
+  // Nobody listening: transport failure -> 2.
+  EXPECT_EQ(run(std::string(WORMRT_CLI_BIN) +
+                    " --socket /tmp/wormrt-no-such-daemon.sock stats",
+                &out),
+            2);
+  // Same with retries: still a transport failure once they run out.
+  EXPECT_EQ(run(std::string(WORMRT_CLI_BIN) +
+                    " --socket /tmp/wormrt-no-such-daemon.sock --retries 2 "
+                    "stats",
+                &out),
+            2);
+}
+
+/// Spawned wormrtd whose pid we control — popen cannot deliver SIGKILL.
+struct Daemon {
+  pid_t pid = -1;
+  FILE* out = nullptr;  // the daemon's stdout (READY line)
+
+  void wait_ready() {
+    char line[256];
+    ASSERT_NE(std::fgets(line, sizeof line, out), nullptr);
+    ASSERT_EQ(std::string(line).rfind("READY unix ", 0), 0u) << line;
+  }
+
+  void kill_hard() {
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    std::fclose(out);
+    pid = -1;
+    out = nullptr;
+  }
+
+  void reap() {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    std::fclose(out);
+    pid = -1;
+    out = nullptr;
+  }
+};
+
+Daemon spawn_daemon(const std::vector<std::string>& args) {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::pipe(fds), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  Daemon d;
+  d.pid = pid;
+  d.out = ::fdopen(fds[0], "r");
+  return d;
+}
+
+TEST(KillRecover, SigkilledDaemonRecoversItsAcknowledgedState) {
+  const std::string tag = std::to_string(::getpid());
+  const std::string socket_path = "/tmp/wormrtd-recover-" + tag + ".sock";
+  const std::string state_dir = "/tmp/wormrtd-recover-state-" + tag;
+  std::filesystem::remove_all(state_dir);
+  ::unlink(socket_path.c_str());
+  const std::vector<std::string> daemon_args = {
+      WORMRTD_BIN,  "--socket",        socket_path, "--mesh", "8",
+      "--threads",  "1",               "--state-dir", state_dir,
+      "--compact-every", "8"};
+
+  // The oracle replays every ACKNOWLEDGED mutation in-process; fsync-
+  // before-ack means a SIGKILL at a quiescent point (between calls)
+  // loses nothing.
+  const topo::Mesh mesh(8, 8);
+  const route::XYRouting routing;
+  core::AdmissionController oracle(mesh, routing);
+  std::vector<core::AdmissionController::Handle> live;
+  util::Rng rng(77);
+
+  const auto churn = [&](svc::Client& client, int ops) {
+    for (int i = 0; i < ops; ++i) {
+      std::string reply_line, error;
+      std::string parse_error;
+      if (!live.empty() && rng.bernoulli(0.3)) {
+        const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1));
+        const auto handle = live[pick];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        Json req = Json::object();
+        req.set("verb", "REMOVE");
+        req.set("handle", handle);
+        ASSERT_TRUE(client.call(req.dump(), &reply_line, &error)) << error;
+        const Json reply = Json::parse(reply_line, &parse_error);
+        ASSERT_TRUE(parse_error.empty()) << parse_error;
+        ASSERT_TRUE(reply.get("ok")->as_bool()) << reply_line;
+        EXPECT_EQ(reply.get("removed")->as_bool(), oracle.remove(handle));
+        continue;
+      }
+      const int src = static_cast<int>(rng.uniform_int(0, 63));
+      const int dst = (src + static_cast<int>(rng.uniform_int(1, 63))) % 64;
+      Json req = Json::object();
+      req.set("verb", "REQUEST");
+      req.set("src", std::int64_t{src});
+      req.set("dst", std::int64_t{dst});
+      req.set("priority", rng.uniform_int(1, 4));
+      req.set("period", rng.uniform_int(40, 90));
+      req.set("length", rng.uniform_int(1, 16));
+      req.set("deadline", rng.uniform_int(30, 200));
+      const auto expect = oracle.request(
+          src, dst, static_cast<int>(req.get("priority")->as_int()),
+          req.get("period")->as_int(), req.get("length")->as_int(),
+          req.get("deadline")->as_int());
+      ASSERT_TRUE(client.call(req.dump(), &reply_line, &error)) << error;
+      const Json reply = Json::parse(reply_line, &parse_error);
+      ASSERT_TRUE(parse_error.empty()) << parse_error;
+      ASSERT_TRUE(reply.get("ok")->as_bool()) << reply_line;
+      ASSERT_EQ(reply.get("admitted")->as_bool(), expect.admitted)
+          << reply_line;
+      if (expect.admitted) {
+        ASSERT_EQ(reply.get("handle")->as_int(), expect.handle);
+        live.push_back(expect.handle);
+      }
+    }
+  };
+
+  const auto verify_recovered = [&](svc::Client& client) {
+    std::string reply_line, error, parse_error;
+    for (const auto handle : live) {
+      Json req = Json::object();
+      req.set("verb", "QUERY");
+      req.set("handle", handle);
+      ASSERT_TRUE(client.call(req.dump(), &reply_line, &error)) << error;
+      const Json reply = Json::parse(reply_line, &parse_error);
+      ASSERT_TRUE(reply.get("ok")->as_bool()) << reply_line;
+      EXPECT_EQ(reply.get("bound")->as_int(), *oracle.bound_of(handle));
+    }
+    ASSERT_TRUE(client.call("{\"verb\":\"SNAPSHOT\"}", &reply_line, &error))
+        << error;
+    const Json snap = Json::parse(reply_line, &parse_error);
+    ASSERT_TRUE(snap.get("ok")->as_bool()) << reply_line;
+    EXPECT_EQ(snap.get("size")->as_int(),
+              static_cast<std::int64_t>(oracle.size()));
+    EXPECT_EQ(snap.get("csv")->as_string(),
+              core::streams_to_csv(oracle.snapshot()));
+  };
+
+  Daemon daemon = spawn_daemon(daemon_args);
+  daemon.wait_ready();
+
+  // Three kill/recover cycles; churn grows state across all of them.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    svc::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(socket_path, &error)) << error;
+    churn(client, 15);
+    client.close();
+    daemon.kill_hard();  // SIGKILL: no shutdown path runs, no unlink
+
+    // The restart reclaims the stale socket and replays the journal.
+    daemon = spawn_daemon(daemon_args);
+    daemon.wait_ready();
+    svc::Client verifier;
+    ASSERT_TRUE(verifier.connect_unix(socket_path, &error)) << error;
+    verify_recovered(verifier);
+    verifier.close();
+  }
+  ASSERT_FALSE(live.empty());
+
+  // A clean shutdown also preserves state.
+  {
+    svc::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(socket_path, &error)) << error;
+    std::string reply_line;
+    ASSERT_TRUE(client.call("{\"verb\":\"SHUTDOWN\"}", &reply_line, &error))
+        << error;
+    client.close();
+  }
+  daemon.reap();
+  daemon = spawn_daemon(daemon_args);
+  daemon.wait_ready();
+  {
+    svc::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(socket_path, &error)) << error;
+    verify_recovered(client);
+    std::string reply_line;
+    ASSERT_TRUE(client.call("{\"verb\":\"SHUTDOWN\"}", &reply_line, &error))
+        << error;
+    client.close();
+  }
+  daemon.reap();
+  std::filesystem::remove_all(state_dir);
+  ::unlink(socket_path.c_str());
 }
 
 void noop_handler(int) {}

@@ -1,0 +1,492 @@
+// The write-ahead journal: record framing, CRC-guarded replay, snapshot
+// compaction with LSN stitching, every corruption mode recovery must
+// absorb (torn tail, bad CRC, truncated length, trailing zeros), the
+// fault-injected failure paths (short write, ENOSPC, fsync error), and
+// the Service-level recovery round trip.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "route/dor.hpp"
+#include "svc/journal.hpp"
+#include "svc/json.hpp"
+#include "svc/service.hpp"
+#include "topo/mesh.hpp"
+#include "util/fault_injector.hpp"
+
+namespace wormrt::svc {
+namespace {
+
+// On-disk record sizes (u32 len + u32 crc + payload).
+constexpr std::size_t kAddRecordBytes = 8 + 65;
+constexpr std::size_t kRemoveRecordBytes = 8 + 17;
+
+JournalEntry entry(std::int64_t handle, std::int64_t src = 0,
+                   std::int64_t dst = 1) {
+  JournalEntry e;
+  e.handle = handle;
+  e.src = src;
+  e.dst = dst;
+  e.priority = 2;
+  e.period = 50;
+  e.length = 10;
+  e.deadline = 40;
+  return e;
+}
+
+long size_of(const std::string& path) {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(path, ec);
+  return ec ? -1 : static_cast<long>(n);
+}
+
+void truncate_to(const std::string& path, long size) {
+  ASSERT_EQ(::truncate(path.c_str(), size), 0) << path;
+}
+
+void flip_byte_at(const std::string& path, long offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(offset);
+  char b = 0;
+  f.read(&b, 1);
+  f.seekp(offset);
+  b = static_cast<char>(b ^ 0xFF);
+  f.write(&b, 1);
+}
+
+void append_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::app | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("wormrt-journal-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  JournalConfig config() const {
+    JournalConfig c;
+    c.dir = dir_;
+    return c;
+  }
+
+  std::string wal() const { return Journal::journal_path(dir_); }
+  std::string snap() const { return Journal::snapshot_path(dir_); }
+
+  /// Opens a journal in dir_ and appends ADD(1), ADD(2), REMOVE(1).
+  void seed_three_records(Journal& journal) {
+    RecoveredState state;
+    std::string error;
+    ASSERT_TRUE(journal.open(&state, &error)) << error;
+    ASSERT_TRUE(
+        journal.append(JournalRecord::Type::kAdd, entry(1, 0, 5), &error))
+        << error;
+    ASSERT_TRUE(
+        journal.append(JournalRecord::Type::kAdd, entry(2, 3, 7), &error))
+        << error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kRemove, entry(1), &error))
+        << error;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(JournalTest, FreshDirOpensEmptyAndRecordsReplayInOrder) {
+  {
+    Journal journal(config());
+    RecoveredState state;
+    std::string error;
+    ASSERT_TRUE(journal.open(&state, &error)) << error;
+    EXPECT_FALSE(state.had_snapshot);
+    EXPECT_TRUE(state.snapshot.empty());
+    EXPECT_TRUE(state.records.empty());
+    seed_three_records(journal);  // re-open of an open dir is also fine
+  }
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 3u);
+  EXPECT_EQ(state.records[0].type, JournalRecord::Type::kAdd);
+  EXPECT_EQ(state.records[0].lsn, 1u);
+  EXPECT_EQ(state.records[0].entry, entry(1, 0, 5));
+  EXPECT_EQ(state.records[1].lsn, 2u);
+  EXPECT_EQ(state.records[1].entry, entry(2, 3, 7));
+  EXPECT_EQ(state.records[2].type, JournalRecord::Type::kRemove);
+  EXPECT_EQ(state.records[2].lsn, 3u);
+  EXPECT_EQ(state.records[2].entry.handle, 1);
+  EXPECT_EQ(state.discarded_bytes, 0u);
+  EXPECT_EQ(state.skipped_records, 0u);
+}
+
+TEST_F(JournalTest, ReopenContinuesTheLsnSequence) {
+  {
+    Journal journal(config());
+    seed_three_records(journal);
+  }
+  Journal journal(config());
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+  EXPECT_EQ(state.records.size(), 3u);
+  ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(3), &error))
+      << error;
+  RecoveredState again;
+  ASSERT_TRUE(Journal::recover(dir_, &again, &error)) << error;
+  ASSERT_EQ(again.records.size(), 4u);
+  EXPECT_EQ(again.records[3].lsn, 4u);
+}
+
+TEST_F(JournalTest, SnapshotCompactsAndTruncatesTheJournal) {
+  Journal journal(config());
+  seed_three_records(journal);
+  EXPECT_EQ(journal.appends_since_snapshot(), 3u);
+
+  const std::vector<JournalEntry> population = {entry(2, 3, 7)};
+  std::string error;
+  ASSERT_TRUE(journal.write_snapshot(3, population, &error)) << error;
+  EXPECT_EQ(journal.appends_since_snapshot(), 0u);
+  EXPECT_EQ(size_of(wal()), 0);
+
+  ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(3), &error))
+      << error;
+
+  RecoveredState state;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  EXPECT_TRUE(state.had_snapshot);
+  EXPECT_EQ(state.snapshot_lsn, 3u);
+  EXPECT_EQ(state.next_handle, 3);
+  ASSERT_EQ(state.snapshot.size(), 1u);
+  EXPECT_EQ(state.snapshot[0], entry(2, 3, 7));
+  ASSERT_EQ(state.records.size(), 1u);
+  EXPECT_EQ(state.records[0].lsn, 4u);  // LSNs keep counting across it
+}
+
+TEST_F(JournalTest, StaleRecordsLeftByACrashedCompactionAreSkipped) {
+  Journal journal(config());
+  seed_three_records(journal);
+
+  // A crash between the snapshot rename and the journal truncation
+  // leaves the old records behind the new snapshot: reconstruct that
+  // state by saving the journal bytes across write_snapshot.
+  const std::string old_records = read_bytes(wal());
+  std::string error;
+  ASSERT_TRUE(journal.write_snapshot(3, {entry(2, 3, 7)}, &error)) << error;
+  append_bytes(wal(), old_records);
+
+  RecoveredState state;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  EXPECT_TRUE(state.had_snapshot);
+  EXPECT_EQ(state.skipped_records, 3u);  // all three predate the snapshot
+  EXPECT_TRUE(state.records.empty());
+  ASSERT_EQ(state.snapshot.size(), 1u);
+  EXPECT_EQ(state.snapshot[0], entry(2, 3, 7));
+}
+
+TEST_F(JournalTest, TornTailIsDiscardedAndRepairedOnOpen) {
+  {
+    Journal journal(config());
+    seed_three_records(journal);
+  }
+  const long full = size_of(wal());
+  truncate_to(wal(), full - 10);  // tear the REMOVE record mid-payload
+
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 2u);
+  EXPECT_EQ(state.discarded_bytes, kRemoveRecordBytes - 10);
+
+  // open() truncates the tear away and appends land cleanly after it.
+  Journal journal(config());
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+  EXPECT_EQ(size_of(wal()), full - static_cast<long>(kRemoveRecordBytes));
+  ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(9), &error))
+      << error;
+  RecoveredState again;
+  ASSERT_TRUE(Journal::recover(dir_, &again, &error)) << error;
+  ASSERT_EQ(again.records.size(), 3u);
+  EXPECT_EQ(again.records[2].entry.handle, 9);
+  EXPECT_EQ(again.discarded_bytes, 0u);
+}
+
+TEST_F(JournalTest, BadCrcStopsReplayAtTheCorruptRecord) {
+  {
+    Journal journal(config());
+    seed_three_records(journal);
+  }
+  // Flip a payload byte of the second record: it and everything after
+  // it is discarded (replay cannot trust the stream past a bad frame).
+  flip_byte_at(wal(), static_cast<long>(kAddRecordBytes + 20));
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 1u);
+  EXPECT_EQ(state.records[0].entry.handle, 1);
+  EXPECT_EQ(state.discarded_bytes, kAddRecordBytes + kRemoveRecordBytes);
+}
+
+TEST_F(JournalTest, TrailingZerosFromPreallocationAreDiscarded) {
+  {
+    Journal journal(config());
+    seed_three_records(journal);
+  }
+  append_bytes(wal(), std::string(17, '\0'));
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  EXPECT_EQ(state.records.size(), 3u);
+  EXPECT_EQ(state.discarded_bytes, 17u);
+}
+
+TEST_F(JournalTest, TruncatedOrAbsurdLengthFieldsAreDiscarded) {
+  {
+    Journal journal(config());
+    seed_three_records(journal);
+  }
+  // Three garbage bytes: not even a complete length field.
+  append_bytes(wal(), "\xff\xff\xff");
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  EXPECT_EQ(state.records.size(), 3u);
+  EXPECT_EQ(state.discarded_bytes, 3u);
+
+  // A full header whose length claims ~2 GiB: rejected without any
+  // attempt to allocate or read that much.
+  truncate_to(wal(), static_cast<long>(2 * kAddRecordBytes + kRemoveRecordBytes));
+  std::string huge(8, '\0');
+  huge[0] = '\xff';
+  huge[1] = '\xff';
+  huge[2] = '\xff';
+  huge[3] = '\x7f';
+  const long before = size_of(wal());
+  append_bytes(wal(), huge);
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  EXPECT_EQ(state.discarded_bytes, 8u);
+  EXPECT_EQ(size_of(wal()), before + 8);
+}
+
+TEST_F(JournalTest, CorruptSnapshotIsAHardError) {
+  Journal journal(config());
+  seed_three_records(journal);
+  std::string error;
+  ASSERT_TRUE(journal.write_snapshot(3, {entry(2, 3, 7)}, &error)) << error;
+
+  flip_byte_at(snap(), size_of(snap()) / 2);
+  RecoveredState state;
+  EXPECT_FALSE(Journal::recover(dir_, &state, &error));
+  EXPECT_NE(error.find("snapshot"), std::string::npos) << error;
+
+  // A journal cannot open over a corrupt snapshot either: silently
+  // serving a partial population would violate the durability contract.
+  Journal reopened(config());
+  EXPECT_FALSE(reopened.open(&state, &error));
+}
+
+TEST_F(JournalTest, TornWriteInjectionPoisonsTheJournal) {
+  util::FaultInjector faults;
+  JournalConfig cfg = config();
+  cfg.faults = &faults;
+  Journal journal(cfg);
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+  ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(1), &error))
+      << error;
+
+  faults.arm_torn_write(10);
+  EXPECT_FALSE(journal.append(JournalRecord::Type::kAdd, entry(2), &error));
+  EXPECT_EQ(faults.faults_injected(), 1u);
+  // The partial record stays on disk (the "process" died mid-write)...
+  EXPECT_EQ(size_of(wal()), static_cast<long>(kAddRecordBytes) + 10);
+  // ...and the journal is poisoned: later appends fail fast.
+  EXPECT_FALSE(journal.append(JournalRecord::Type::kAdd, entry(3), &error));
+  EXPECT_NE(error.find("poisoned"), std::string::npos) << error;
+
+  // Recovery sees one whole record and discards the 10-byte tear.
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 1u);
+  EXPECT_EQ(state.discarded_bytes, 10u);
+}
+
+TEST_F(JournalTest, CleanWriteErrorLeavesTheJournalUsable) {
+  util::FaultInjector faults;
+  JournalConfig cfg = config();
+  cfg.faults = &faults;
+  Journal journal(cfg);
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+  ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(1), &error))
+      << error;
+
+  faults.arm_write_error(28 /* ENOSPC */);
+  EXPECT_FALSE(journal.append(JournalRecord::Type::kAdd, entry(2), &error));
+  EXPECT_NE(error.find("No space"), std::string::npos) << error;
+
+  // ENOSPC failed the append cleanly: nothing partial on disk, and the
+  // journal keeps working once space is back.
+  EXPECT_EQ(size_of(wal()), static_cast<long>(kAddRecordBytes));
+  ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(2), &error))
+      << error;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 2u);
+  EXPECT_EQ(state.records[1].entry.handle, 2);
+  EXPECT_EQ(state.discarded_bytes, 0u);
+}
+
+TEST_F(JournalTest, FsyncFailurePullsTheRecordBackAndPoisons) {
+  util::FaultInjector faults;
+  JournalConfig cfg = config();
+  cfg.faults = &faults;
+  Journal journal(cfg);
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+  ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(1), &error))
+      << error;
+
+  faults.arm_fsync_error(5 /* EIO */);
+  EXPECT_FALSE(journal.append(JournalRecord::Type::kAdd, entry(2), &error));
+  // Durability unknown -> the record is withdrawn and the device is no
+  // longer trusted.
+  EXPECT_EQ(size_of(wal()), static_cast<long>(kAddRecordBytes));
+  EXPECT_FALSE(journal.append(JournalRecord::Type::kAdd, entry(3), &error));
+
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 1u);
+}
+
+// ------------------------------------------------------------- service level
+
+Json request_line(int src, int dst, int priority, Time period, Time length,
+                  Time deadline) {
+  Json j = Json::object();
+  j.set("verb", "REQUEST");
+  j.set("src", std::int64_t{src});
+  j.set("dst", std::int64_t{dst});
+  j.set("priority", std::int64_t{priority});
+  j.set("period", period);
+  j.set("length", length);
+  j.set("deadline", deadline);
+  return j;
+}
+
+TEST_F(JournalTest, ServiceRecoversBitwiseIdenticalAdmissionState) {
+  const topo::Mesh mesh(4, 4);
+  const route::XYRouting routing;
+  core::AdmissionController oracle(mesh, routing);
+
+  ServiceOptions options;
+  options.state_dir = dir_;
+  options.compact_every = 4;  // cross the compaction threshold mid-churn
+  {
+    Service service(mesh, routing, {}, options);
+    std::string error;
+    ASSERT_TRUE(service.open_state(&error)) << error;
+    std::vector<std::int64_t> handles;
+    for (int i = 0; i < 10; ++i) {
+      const int src = i % 16;
+      const int dst = (i + 5) % 16;
+      const auto expect = oracle.request(src, dst, 1 + i % 3, 60, 8, 50);
+      const Json reply =
+          service.handle(request_line(src, dst, 1 + i % 3, 60, 8, 50));
+      ASSERT_TRUE(reply.get("ok")->as_bool());
+      ASSERT_EQ(reply.get("admitted")->as_bool(), expect.admitted);
+      if (expect.admitted) {
+        handles.push_back(expect.handle);
+      }
+    }
+    ASSERT_GE(handles.size(), 2u);
+    // Tear one stream down so the journal holds REMOVEs too.
+    Json remove = Json::object();
+    remove.set("verb", "REMOVE");
+    remove.set("handle", handles.front());
+    ASSERT_TRUE(service.handle(remove).get("removed")->as_bool());
+    ASSERT_TRUE(oracle.remove(handles.front()));
+  }  // crash
+
+  Service recovered(mesh, routing, {}, options);
+  std::string error;
+  ASSERT_TRUE(recovered.open_state(&error)) << error;
+  EXPECT_GT(recovered.recovery_info().snapshot_entries +
+                recovered.recovery_info().journal_records,
+            0u);
+
+  const core::IncrementalAnalyzer& want = oracle.engine();
+  const core::IncrementalAnalyzer& got = recovered.controller().engine();
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(recovered.controller().next_handle(), oracle.next_handle());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const auto id = static_cast<StreamId>(i);
+    EXPECT_EQ(got.handle_of(id), want.handle_of(id));
+    EXPECT_EQ(got.bound_at(id), want.bound_at(id));
+  }
+
+  // Journal activity is visible through the service metrics.
+  const std::string metrics = recovered.prometheus_text();
+  EXPECT_NE(metrics.find("wormrt_journal_appends_total"), std::string::npos);
+  EXPECT_NE(metrics.find("wormrt_journal_replayed_records_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("wormrt_journal_fsync_us"), std::string::npos);
+}
+
+TEST_F(JournalTest, ServiceFailsAdmissionWhenTheJournalCannotAck) {
+  const topo::Mesh mesh(4, 4);
+  const route::XYRouting routing;
+  util::FaultInjector faults;
+  ServiceOptions options;
+  options.state_dir = dir_;
+  options.journal_faults = &faults;
+
+  Service service(mesh, routing, {}, options);
+  std::string error;
+  ASSERT_TRUE(service.open_state(&error)) << error;
+  ASSERT_TRUE(service.handle(request_line(0, 5, 2, 60, 8, 50))
+                  .get("admitted")
+                  ->as_bool());
+
+  // The append for this admission tears: the client must get an error,
+  // not an acknowledgement the journal cannot honour...
+  faults.arm_torn_write(12);
+  const Json reply = service.handle(request_line(1, 6, 2, 60, 8, 50));
+  ASSERT_FALSE(reply.get("ok")->as_bool());
+  EXPECT_NE(reply.get("error")->as_string().find("not durable"),
+            std::string::npos);
+  // ...and the in-memory state must not contain the unacknowledged
+  // stream either (the admission was rolled back).
+  EXPECT_EQ(service.population(), 1u);
+
+  // Recovery agrees: only the acknowledged admission comes back.
+  Service recovered(mesh, routing, {},
+                    ServiceOptions{dir_, 256, true, nullptr});
+  ASSERT_TRUE(recovered.open_state(&error)) << error;
+  EXPECT_EQ(recovered.population(), 1u);
+}
+
+}  // namespace
+}  // namespace wormrt::svc

@@ -1,0 +1,113 @@
+// The durability layer's support pieces: CRC-32 against known vectors
+// and the chaining identity, and the deterministic fault injector's
+// fire-exactly-once contract for each fault class.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/crc32.hpp"
+#include "util/fault_injector.hpp"
+
+namespace wormrt::util {
+namespace {
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The IEEE 802.3 check value: CRC-32 of the ASCII digits 1..9.
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  const char a[] = "a";
+  EXPECT_EQ(crc32(a, 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, ChainsAcrossSplits) {
+  const std::string text = "wormhole switching networks";
+  const std::uint32_t whole = crc32(text.data(), text.size());
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    const std::uint32_t first = crc32(text.data(), cut);
+    EXPECT_EQ(crc32(text.data() + cut, text.size() - cut, first), whole)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlipsAndTrailingZeros) {
+  unsigned char record[32];
+  for (std::size_t i = 0; i < sizeof record; ++i) {
+    record[i] = static_cast<unsigned char>(i * 7 + 1);
+  }
+  const std::uint32_t good = crc32(record, sizeof record);
+  for (std::size_t byte = 0; byte < sizeof record; ++byte) {
+    record[byte] ^= 0x10;
+    EXPECT_NE(crc32(record, sizeof record), good) << "flip at " << byte;
+    record[byte] ^= 0x10;
+  }
+  // A record truncated and padded with zeros (preallocated blocks) must
+  // not collide with the original.
+  unsigned char padded[32];
+  std::memcpy(padded, record, 20);
+  std::memset(padded + 20, 0, 12);
+  EXPECT_NE(crc32(padded, sizeof padded), good);
+}
+
+TEST(FaultInjector, UnarmedInjectorAllowsEverything) {
+  FaultInjector faults;
+  const auto out = faults.on_write(100);
+  EXPECT_EQ(out.allowed, 100u);
+  EXPECT_EQ(out.error, 0);
+  EXPECT_FALSE(out.torn);
+  EXPECT_EQ(faults.on_fsync(), 0);
+  EXPECT_EQ(faults.faults_injected(), 0u);
+}
+
+TEST(FaultInjector, TornWriteFiresExactlyOnce) {
+  FaultInjector faults;
+  faults.arm_torn_write(10);
+  const auto torn = faults.on_write(73);
+  EXPECT_EQ(torn.allowed, 10u);
+  EXPECT_TRUE(torn.torn);
+  EXPECT_NE(torn.error, 0);
+  // The next write proceeds normally: the fault modelled one crash.
+  const auto after = faults.on_write(73);
+  EXPECT_EQ(after.allowed, 73u);
+  EXPECT_FALSE(after.torn);
+  EXPECT_EQ(faults.faults_injected(), 1u);
+
+  // keep_bytes never exceeds what the caller asked to write.
+  faults.arm_torn_write(1000);
+  EXPECT_EQ(faults.on_write(73).allowed, 73u);
+}
+
+TEST(FaultInjector, WriteErrorHonoursTheCountdown) {
+  FaultInjector faults;
+  faults.arm_write_error(28 /* ENOSPC */, 2);  // fail the third write
+  EXPECT_EQ(faults.on_write(8).error, 0);
+  EXPECT_EQ(faults.on_write(8).error, 0);
+  const auto failed = faults.on_write(8);
+  EXPECT_EQ(failed.error, 28);
+  EXPECT_EQ(failed.allowed, 0u);
+  EXPECT_FALSE(failed.torn);
+  EXPECT_EQ(faults.on_write(8).error, 0);  // disarmed after firing
+}
+
+TEST(FaultInjector, FsyncErrorAndReset) {
+  FaultInjector faults;
+  faults.arm_fsync_error(5 /* EIO */, 1);  // fail the second fsync
+  EXPECT_EQ(faults.on_fsync(), 0);
+  EXPECT_EQ(faults.on_fsync(), 5);
+  EXPECT_EQ(faults.on_fsync(), 0);
+  EXPECT_EQ(faults.faults_injected(), 1u);
+
+  // reset() disarms everything that has not fired yet.
+  faults.arm_torn_write(4);
+  faults.arm_write_error(28);
+  faults.arm_fsync_error(5);
+  faults.reset();
+  EXPECT_EQ(faults.on_write(16).allowed, 16u);
+  EXPECT_EQ(faults.on_fsync(), 0);
+  EXPECT_EQ(faults.faults_injected(), 1u);  // the one from above
+}
+
+}  // namespace
+}  // namespace wormrt::util

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -134,6 +137,52 @@ TEST(ThreadPool, ResolveThreads) {
   EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
   EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
   EXPECT_GE(ThreadPool::resolve_threads(-3), 1u);
+}
+
+TEST(ThreadPool, BoundedQueueBackpressuresTheProducer) {
+  // One worker parked on a gate, a queue of 2: the 4th submit (1 running
+  // + 2 queued) must block the producer until a slot frees — the
+  // backpressure the server's acceptor relies on instead of unbounded
+  // task memory.
+  std::mutex gate;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> executed{0};
+  const auto task = [&] {
+    std::unique_lock<std::mutex> lk(gate);
+    cv.wait(lk, [&] { return open; });
+    executed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  ThreadPool pool(1, 2);
+  pool.submit(task);  // occupies the worker
+  // Wait until the worker has actually dequeued it, so the next two
+  // submissions fill the queue rather than racing the dequeue.
+  while (pool.stats().queue_depth > 0) {
+    std::this_thread::yield();
+  }
+  pool.submit(task);
+  pool.submit(task);  // queue now full
+
+  std::atomic<bool> fourth_submitted{false};
+  std::thread producer([&] {
+    pool.submit(task);  // must block here
+    fourth_submitted.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(fourth_submitted.load(std::memory_order_acquire))
+      << "submit did not block on a full queue";
+
+  {
+    std::lock_guard<std::mutex> lk(gate);
+    open = true;
+  }
+  cv.notify_all();
+  producer.join();
+  EXPECT_TRUE(fourth_submitted.load());
+  while (executed.load(std::memory_order_relaxed) < 4) {
+    std::this_thread::yield();
+  }
 }
 
 TEST(ThreadPool, SharedPoolRunsSubmittedTasks) {

@@ -1,13 +1,15 @@
 // wormrt-fuzz — differential soundness fuzzer (DESIGN.md §8).
 //
 // Draws random scenarios (topology + admission churn) from sequential
-// seeds and checks each against four independent oracles: soundness
+// seeds and checks each against five independent oracles: soundness
 // (flit-level simulation never exceeds a computed bound), equivalence
 // (incremental bounds == from-scratch analysis after every mutation),
 // monotonicity (bounds respect the network-latency floor and never
-// improve under added interference or pessimistic configs), and
-// protocol (wire decisions match the in-process controller).  Failing
-// seeds are shrunk to minimal reproducers and written as corpus files.
+// improve under added interference or pessimistic configs), protocol
+// (wire decisions match the in-process controller), and recovery (a
+// journaled service crashed mid-churn — possibly with a torn tail —
+// recovers to exactly the acknowledged state).  Failing seeds are
+// shrunk to minimal reproducers and written as corpus files.
 //
 //   ./wormrt-fuzz --seeds 500
 //   ./wormrt-fuzz --seeds 200 --seed-start 1000 --corpus-dir corpus
@@ -40,6 +42,10 @@ int usage(const char* program) {
       "  --phase-seeds N   extra random-phase soundness runs (default 1)\n"
       "  --e2e             replay the protocol over a loopback socket\n"
       "                    instead of in-process dispatch\n"
+      "  --no-recovery     skip the crash/recovery oracle (no journal\n"
+      "                    state dirs, faster)\n"
+      "  --recovery-tmp D  root for per-scenario journal dirs (default\n"
+      "                    /tmp)\n"
       "  --threads N       analysis threads per decision (default 1)\n"
       "  --report FILE     write the RunStats JSON here ('-' = stdout)\n"
       "  --replay-dir DIR  replay every *.corpus file in DIR and exit\n",
@@ -85,6 +91,8 @@ int main(int argc, char** argv) {
   options.check.phase_seeds =
       static_cast<int>(args.get_int("phase-seeds", 1));
   options.check.protocol_over_socket = args.has("e2e");
+  options.check.check_recovery = !args.has("no-recovery");
+  options.check.recovery_tmp_root = args.get_string("recovery-tmp", "/tmp");
   options.check.analysis.num_threads =
       static_cast<int>(args.get_int("threads", 1));
   options.on_progress = [](const std::string& line) {
