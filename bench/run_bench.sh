@@ -40,3 +40,23 @@ OBS_OUT="$(dirname "$OUT")/BENCH_obs.json"
   --benchmark_out="$OBS_OUT"
 
 echo "wrote $OBS_OUT"
+
+# Service-layer throughput: admission churn through the socket server in
+# four modes (no journal, durable serial, durable pipelined with group
+# commit, pipelined with fsync off).  Emits p50/p99 per mode plus the
+# pipelined-vs-serial speedup ratios the perf-smoke CI step checks.
+SVC_BIN="$BUILD_DIR/bench/svc_churn"
+SVC_OUT="$(dirname "$OUT")/BENCH_service.json"
+if [[ ! -x "$SVC_BIN" ]]; then
+  echo "error: $SVC_BIN not built" >&2
+  exit 1
+fi
+
+"$SVC_BIN" \
+  --ops "${SVC_OPS:-4000}" \
+  --clients "${SVC_CLIENTS:-4}" \
+  --pipeline-clients "${SVC_PIPELINE_CLIENTS:-8}" \
+  --batch-window "${SVC_BATCH_WINDOW:-16}" \
+  --out "$SVC_OUT"
+
+echo "wrote $SVC_OUT"

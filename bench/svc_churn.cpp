@@ -2,20 +2,36 @@
 // churn and emits BENCH_service.json.
 //
 //   ./bench/svc_churn [--streams 60] [--ops 1500] [--clients 4]
+//                     [--pipeline-clients 8] [--batch-window 16]
 //                     [--mesh 16x16 (cols equal rows: --mesh 16)]
 //                     [--out BENCH_service.json]
+//                     [--min-durable-speedup N] [--min-nofsync-speedup N]
 //
-// Three measurements:
+// Measurements:
 //   1. in-process churn with the incremental engine (decision latency
 //      percentiles and decisions/s),
 //   2. the same operation sequence under full recompute per decision
 //      (the pre-incremental baseline; the ratio is the speedup),
-//   3. end-to-end over a real Unix-domain socket: N client threads
-//      driving REQUEST/REMOVE churn against a Server, with
-//      client-observed latencies and aggregate throughput.
+//   3. end-to-end over a real Unix-domain socket, four ways:
+//        socket                   no journal, one call per request
+//                                 (the wire-overhead reference)
+//        socket_durable_serial    journal + fsync, group commit OFF —
+//                                 one fsync per mutation, the PR-5
+//                                 durability baseline
+//        socket_durable_pipelined journal + fsync, group commit ON,
+//                                 clients pipeline BATCH lines — many
+//                                 admissions share one fsync
+//        socket_pipelined         journal, fsync off, pipelined BATCH —
+//                                 the engine/wire ceiling
+//      The headline ratios (socket_durable_pipelined and
+//      socket_pipelined over socket_durable_serial) quantify what
+//      group commit + pipelining buy; --min-durable-speedup /
+//      --min-nofsync-speedup turn them into CI floors (exit 1 below).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -92,43 +108,89 @@ ChurnResult run_inprocess(const topo::Mesh& mesh,
   return r;
 }
 
+struct SocketMode {
+  const char* name;        // console + JSON label
+  bool journal = false;    // state dir + write-ahead journal
+  bool fsync = true;       // fsync per group commit (when journal)
+  bool group_commit = true;
+  int batch_window = 0;    // 0 = one call per request; >0 = BATCH lines
+                           // of this many churn steps, pipelined
+};
+
 struct SocketResult {
   double throughput_rps = 0;
-  double p50_us = 0;
+  double p50_us = 0;       // per REQUEST call, or per pipelined round
   double p99_us = 0;
   std::uint64_t calls = 0;
   std::uint64_t errors = 0;
+  double mean_commit_batch = 0;  // journal appends per group commit
+  double fsync_total_us = 0;     // wall time inside fsync, summed
 };
 
+/// One REQUEST line for stream \p s.
+Json request_json(const core::MessageStream& s) {
+  Json rq = Json::object();
+  rq.set("verb", "REQUEST");
+  rq.set("src", static_cast<std::int64_t>(s.src));
+  rq.set("dst", static_cast<std::int64_t>(s.dst));
+  rq.set("priority", static_cast<std::int64_t>(s.priority));
+  rq.set("period", s.period);
+  rq.set("length", s.length);
+  rq.set("deadline", s.deadline);
+  return rq;
+}
+
 /// N client threads, each on its own connection, churning its own slice
-/// of the stream population against a live Server.
+/// of the stream population against a live Server.  Per-call mode sends
+/// one request per round trip; batch mode wraps `batch_window` churn
+/// steps in a BATCH line and pipelines two of them back to back, so the
+/// server always has a full window in flight per connection.
 SocketResult run_socket(const topo::Mesh& mesh,
                         const route::XYRouting& routing,
-                        const core::StreamSet& streams, int ops, int clients) {
-  svc::Service service(mesh, routing);
+                        const core::StreamSet& streams, int ops, int clients,
+                        const SocketMode& mode) {
+  const std::string state_dir = "/tmp/wormrt-churn-state-" +
+                                std::to_string(::getpid()) + "-" + mode.name;
+  svc::ServiceOptions options;
+  if (mode.journal) {
+    std::filesystem::remove_all(state_dir);
+    options.state_dir = state_dir;
+    options.journal_fsync = mode.fsync;
+    options.group_commit = mode.group_commit;
+  }
+  svc::Service service(mesh, routing, {}, options);
+  std::string error;
+  if (!service.open_state(&error)) {
+    std::fprintf(stderr, "svc_churn: %s\n", error.c_str());
+    return {};
+  }
   char path[128];
-  std::snprintf(path, sizeof path, "/tmp/wormrt-churn-%d.sock",
-                static_cast<int>(::getpid()));
+  std::snprintf(path, sizeof path, "/tmp/wormrt-churn-%d-%s.sock",
+                static_cast<int>(::getpid()), mode.name);
   svc::ServerConfig config;
   config.unix_path = path;
-  config.workers = clients;
+  config.workers = std::min(clients, 8);
   svc::Server server(service, config);
-  std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "svc_churn: %s\n", error.c_str());
     return {};
   }
 
   std::vector<std::vector<double>> latencies(static_cast<std::size_t>(clients));
+  std::vector<std::uint64_t> requests_done(static_cast<std::size_t>(clients),
+                                           0);
   std::vector<std::uint64_t> errors(static_cast<std::size_t>(clients), 0);
   std::vector<std::thread> threads;
   const double t0 = now_us();
   for (int t = 0; t < clients; ++t) {
     threads.emplace_back([&, t] {
+      auto& my_latencies = latencies[static_cast<std::size_t>(t)];
+      auto& my_errors = errors[static_cast<std::size_t>(t)];
+      auto& my_requests = requests_done[static_cast<std::size_t>(t)];
       svc::Client client;
       std::string err;
       if (!client.connect_unix(path, &err)) {
-        ++errors[static_cast<std::size_t>(t)];
+        ++my_errors;
         return;
       }
       // This client's slice of the population.
@@ -142,43 +204,122 @@ SocketResult run_socket(const topo::Mesh& mesh,
       }
       const int my_ops = ops / clients;
       std::size_t idx = 0;
-      for (int op = 0; op < my_ops; ++op) {
-        auto& [s, handle] = mine[idx];
-        idx = (idx + 1) % mine.size();
-        std::string response;
-        if (handle >= 0) {
-          Json rm = Json::object();
-          rm.set("verb", "REMOVE");
-          rm.set("handle", handle);
-          if (!client.call(rm.dump(), &response, &err)) {
-            ++errors[static_cast<std::size_t>(t)];
+
+      if (mode.batch_window <= 0) {
+        // Per-call churn: REMOVE (when established), then REQUEST.
+        for (int op = 0; op < my_ops; ++op) {
+          auto& [s, handle] = mine[idx];
+          idx = (idx + 1) % mine.size();
+          std::string response;
+          if (handle >= 0) {
+            Json rm = Json::object();
+            rm.set("verb", "REMOVE");
+            rm.set("handle", handle);
+            if (!client.call(rm.dump(), &response, &err)) {
+              ++my_errors;
+              return;
+            }
+            handle = -1;
+          }
+          const double c0 = now_us();
+          if (!client.call(request_json(*s).dump(), &response, &err)) {
+            ++my_errors;
             return;
           }
-          handle = -1;
+          my_latencies.push_back(now_us() - c0);
+          ++my_requests;
+          std::string parse_error;
+          const Json reply = Json::parse(response, &parse_error);
+          if (!parse_error.empty() || !reply.is_object()) {
+            ++my_errors;
+            continue;
+          }
+          const Json* h = reply.get("handle");
+          if (h != nullptr) {
+            handle = h->as_int();
+          }
         }
-        Json rq = Json::object();
-        rq.set("verb", "REQUEST");
-        rq.set("src", static_cast<std::int64_t>(s->src));
-        rq.set("dst", static_cast<std::int64_t>(s->dst));
-        rq.set("priority", static_cast<std::int64_t>(s->priority));
-        rq.set("period", s->period);
-        rq.set("length", s->length);
-        rq.set("deadline", s->deadline);
+        return;
+      }
+
+      // Batched + pipelined churn: each BATCH line carries up to
+      // `batch_window` churn steps (REMOVE + REQUEST per established
+      // slot), and a round pipelines up to two BATCH lines in one
+      // coalesced write.  A round never exceeds the slice size: a
+      // slot's handle is only learned from the reply, so revisiting a
+      // slot with its REQUEST still in flight would re-admit the same
+      // stream without the paired teardown and grow the population the
+      // churn is supposed to hold fixed.  The latency sample is the
+      // whole round — what a caller waiting for the LAST admission in
+      // the window observes.
+      const int kLinesPerRound = 2;
+      const int window =
+          std::min(mode.batch_window, static_cast<int>(mine.size()));
+      int sent = 0;
+      while (sent < my_ops) {
+        std::vector<std::string> lines;
+        // request_slots[line][k] = slot whose REQUEST produced reply k
+        // of that line's replies array (-1 for a REMOVE reply).
+        std::vector<std::vector<std::int64_t>> request_slots;
+        int round_steps =
+            std::min(static_cast<int>(mine.size()), my_ops - sent);
+        for (int line_i = 0; line_i < kLinesPerRound && round_steps > 0;
+             ++line_i) {
+          Json batch = Json::object();
+          batch.set("verb", "BATCH");
+          Json subs = Json::array();
+          std::vector<std::int64_t> slots;
+          for (int w = 0; w < window && round_steps > 0;
+               ++w, --round_steps, ++sent) {
+            auto& [s, handle] = mine[idx];
+            if (handle >= 0) {
+              Json rm = Json::object();
+              rm.set("verb", "REMOVE");
+              rm.set("handle", handle);
+              subs.push_back(std::move(rm));
+              slots.push_back(-1);
+              handle = -1;
+            }
+            subs.push_back(request_json(*s));
+            slots.push_back(static_cast<std::int64_t>(idx));
+            idx = (idx + 1) % mine.size();
+          }
+          batch.set("requests", std::move(subs));
+          lines.push_back(batch.dump());
+          request_slots.push_back(std::move(slots));
+        }
+
+        std::vector<std::string> responses;
         const double c0 = now_us();
-        if (!client.call(rq.dump(), &response, &err)) {
-          ++errors[static_cast<std::size_t>(t)];
+        if (!client.call_pipelined(lines, &responses, &err)) {
+          ++my_errors;
           return;
         }
-        latencies[static_cast<std::size_t>(t)].push_back(now_us() - c0);
-        std::string parse_error;
-        const Json reply = Json::parse(response, &parse_error);
-        if (!parse_error.empty() || !reply.is_object()) {
-          ++errors[static_cast<std::size_t>(t)];
-          continue;
-        }
-        const Json* h = reply.get("handle");
-        if (h != nullptr) {
-          handle = h->as_int();
+        my_latencies.push_back(now_us() - c0);
+        for (std::size_t line_i = 0; line_i < responses.size(); ++line_i) {
+          std::string parse_error;
+          const Json reply = Json::parse(responses[line_i], &parse_error);
+          if (!parse_error.empty() || !reply.is_object() ||
+              reply.get("replies") == nullptr) {
+            ++my_errors;
+            continue;
+          }
+          const auto& replies = reply.get("replies")->items();
+          const auto& slots = request_slots[line_i];
+          if (replies.size() != slots.size()) {
+            ++my_errors;
+            continue;
+          }
+          for (std::size_t k = 0; k < replies.size(); ++k) {
+            if (slots[k] < 0) {
+              continue;  // a REMOVE reply
+            }
+            ++my_requests;
+            const Json* h = replies[k].get("handle");
+            if (h != nullptr) {
+              mine[static_cast<std::size_t>(slots[k])].second = h->as_int();
+            }
+          }
         }
       }
     });
@@ -187,26 +328,65 @@ SocketResult run_socket(const topo::Mesh& mesh,
     t.join();
   }
   const double elapsed_us = now_us() - t0;
+
+  SocketResult r;
+  const double appends =
+      static_cast<double>(service.registry()
+                              .counter("wormrt_journal_appends_total", {})
+                              .value());
+  const double commits =
+      static_cast<double>(service.registry()
+                              .counter("wormrt_journal_group_commits_total", {})
+                              .value());
+  r.fsync_total_us = service.registry()
+                         .histogram("wormrt_journal_fsync_us", 0.0, 50000.0,
+                                    50, {})
+                         .sum();
   server.stop();
+  if (mode.journal) {
+    std::filesystem::remove_all(state_dir);
+  }
 
   util::SampleSet all;
-  std::uint64_t total_errors = 0;
   for (int t = 0; t < clients; ++t) {
     for (const double v : latencies[static_cast<std::size_t>(t)]) {
       all.add(v);
     }
-    total_errors += errors[static_cast<std::size_t>(t)];
+    r.calls += requests_done[static_cast<std::size_t>(t)];
+    r.errors += errors[static_cast<std::size_t>(t)];
   }
-
-  SocketResult r;
-  r.calls = all.count();
-  r.errors = total_errors;
   if (!all.empty()) {
-    r.throughput_rps = static_cast<double>(all.count()) / (elapsed_us * 1e-6);
+    r.throughput_rps = static_cast<double>(r.calls) / (elapsed_us * 1e-6);
     r.p50_us = all.percentile(50);
     r.p99_us = all.percentile(99);
   }
+  if (commits > 0) {
+    r.mean_commit_batch = appends / commits;
+  }
   return r;
+}
+
+Json to_json(const SocketMode& mode, int clients, const SocketResult& r) {
+  Json j = Json::object();
+  j.set("clients", std::int64_t{clients});
+  j.set("journal", mode.journal);
+  j.set("fsync", mode.journal && mode.fsync);
+  j.set("group_commit", mode.journal && mode.group_commit);
+  j.set("batch_window", std::int64_t{mode.batch_window});
+  j.set("latency_scope",
+        std::string(mode.batch_window > 0 ? "per_round" : "per_call"));
+  j.set("throughput_rps", r.throughput_rps);
+  j.set("p50_us", r.p50_us);
+  j.set("p99_us", r.p99_us);
+  j.set("calls", static_cast<std::int64_t>(r.calls));
+  j.set("errors", static_cast<std::int64_t>(r.errors));
+  if (r.mean_commit_batch > 0) {
+    j.set("mean_commit_batch", r.mean_commit_batch);
+  }
+  if (mode.journal) {
+    j.set("fsync_total_us", r.fsync_total_us);
+  }
+  return j;
 }
 
 Json to_json(const ChurnResult& r) {
@@ -225,6 +405,13 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("streams", 60));
   const int ops = static_cast<int>(args.get_int("ops", 1500));
   const int clients = static_cast<int>(args.get_int("clients", 4));
+  const int pipeline_clients =
+      static_cast<int>(args.get_int("pipeline-clients", 8));
+  const int batch_window = static_cast<int>(args.get_int("batch-window", 16));
+  const double min_durable_speedup =
+      static_cast<double>(args.get_int("min-durable-speedup", 0));
+  const double min_nofsync_speedup =
+      static_cast<double>(args.get_int("min-nofsync-speedup", 0));
   const std::string out_path = args.get_string("out", "BENCH_service.json");
   int side = static_cast<int>(args.get_int("mesh", 16));
   if (side * side < n) {
@@ -266,13 +453,51 @@ int main(int argc, char** argv) {
                              : 0;
   std::printf("  incremental vs full speedup: %.2fx\n", speedup);
 
+  const SocketMode kPlain = {"socket", false, true, true, 0};
+  const SocketMode kDurableSerial = {"durable-serial", true, true, false, 0};
+  const SocketMode kDurablePipelined = {"durable-pipelined", true, true, true,
+                                        batch_window};
+  const SocketMode kNoFsyncPipelined = {"nofsync-pipelined", true, false, true,
+                                        batch_window};
+
+  const auto report = [&](const char* label, int mode_clients,
+                          const SocketResult& r) {
+    std::printf("  %-24s (%2d clients): %8.0f req/s  p50 %8.1f us  "
+                "p99 %8.1f us  (%llu calls, %llu errors",
+                label, mode_clients, r.throughput_rps, r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.calls),
+                static_cast<unsigned long long>(r.errors));
+    if (r.mean_commit_batch > 0) {
+      std::printf(", %.1f appends/commit, %.0f ms in fsync",
+                  r.mean_commit_batch, r.fsync_total_us / 1000.0);
+    }
+    std::printf(")\n");
+  };
+
   const SocketResult socket =
-      run_socket(mesh, routing, streams, ops, clients);
-  std::printf("  socket (%d clients): %8.0f req/s  p50 %8.1f us  p99 %8.1f us"
-              "  (%llu calls, %llu errors)\n",
-              clients, socket.throughput_rps, socket.p50_us, socket.p99_us,
-              static_cast<unsigned long long>(socket.calls),
-              static_cast<unsigned long long>(socket.errors));
+      run_socket(mesh, routing, streams, ops, clients, kPlain);
+  report("socket", clients, socket);
+  const SocketResult durable_serial =
+      run_socket(mesh, routing, streams, ops, clients, kDurableSerial);
+  report("socket durable serial", clients, durable_serial);
+  const SocketResult durable_pipelined = run_socket(
+      mesh, routing, streams, ops, pipeline_clients, kDurablePipelined);
+  report("socket durable pipelined", pipeline_clients, durable_pipelined);
+  const SocketResult nofsync_pipelined = run_socket(
+      mesh, routing, streams, ops, pipeline_clients, kNoFsyncPipelined);
+  report("socket nofsync pipelined", pipeline_clients, nofsync_pipelined);
+
+  const double durable_speedup =
+      durable_serial.throughput_rps > 0
+          ? durable_pipelined.throughput_rps / durable_serial.throughput_rps
+          : 0;
+  const double nofsync_speedup =
+      durable_serial.throughput_rps > 0
+          ? nofsync_pipelined.throughput_rps / durable_serial.throughput_rps
+          : 0;
+  std::printf("  group commit + pipelining vs durable serial: %.2fx "
+              "(fsync on), %.2fx (fsync off)\n",
+              durable_speedup, nofsync_speedup);
 
   Json doc = Json::object();
   doc.set("bench", "svc_churn");
@@ -282,17 +507,39 @@ int main(int argc, char** argv) {
   doc.set("incremental", to_json(incremental));
   doc.set("full_recompute", to_json(full));
   doc.set("incremental_vs_full_speedup", speedup);
-  Json sock = Json::object();
-  sock.set("clients", std::int64_t{clients});
-  sock.set("throughput_rps", socket.throughput_rps);
-  sock.set("p50_us", socket.p50_us);
-  sock.set("p99_us", socket.p99_us);
-  sock.set("calls", static_cast<std::int64_t>(socket.calls));
-  sock.set("errors", static_cast<std::int64_t>(socket.errors));
-  doc.set("socket", std::move(sock));
+  doc.set("socket", to_json(kPlain, clients, socket));
+  doc.set("socket_durable_serial",
+          to_json(kDurableSerial, clients, durable_serial));
+  doc.set("socket_durable_pipelined",
+          to_json(kDurablePipelined, pipeline_clients, durable_pipelined));
+  doc.set("socket_pipelined",
+          to_json(kNoFsyncPipelined, pipeline_clients, nofsync_pipelined));
+  doc.set("speedup_durable_pipelined_vs_serial", durable_speedup);
+  doc.set("speedup_nofsync_pipelined_vs_serial", nofsync_speedup);
 
   std::ofstream out(out_path);
   out << doc.dump() << "\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return socket.errors == 0 ? 0 : 1;
+
+  const std::uint64_t total_errors = socket.errors + durable_serial.errors +
+                                     durable_pipelined.errors +
+                                     nofsync_pipelined.errors;
+  if (total_errors != 0) {
+    return 1;
+  }
+  if (min_durable_speedup > 0 && durable_speedup < min_durable_speedup) {
+    std::fprintf(stderr,
+                 "svc_churn: durable pipelined speedup %.2fx below the "
+                 "%.0fx floor\n",
+                 durable_speedup, min_durable_speedup);
+    return 1;
+  }
+  if (min_nofsync_speedup > 0 && nofsync_speedup < min_nofsync_speedup) {
+    std::fprintf(stderr,
+                 "svc_churn: nofsync pipelined speedup %.2fx below the "
+                 "%.0fx floor\n",
+                 nofsync_speedup, min_nofsync_speedup);
+    return 1;
+  }
+  return 0;
 }

@@ -27,6 +27,10 @@ constexpr std::size_t kAddPayload = kRemovePayload + 6 * 8;
 // Any frame claiming a larger payload than the biggest snapshot we could
 // plausibly write is garbage bytes, not a record.
 constexpr std::uint32_t kMaxPayload = 64u << 20;
+// Failed-range history cap: a range only matters while a waiter for one
+// of its LSNs is still blocked, and waiters return at the failure's
+// notify — old ranges are dead weight, not correctness.
+constexpr std::size_t kMaxFailedRanges = 256;
 
 void put_u32(std::string& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -281,7 +285,12 @@ Journal::Metrics::Metrics(obs::Registry& reg)
           "wormrt_journal_discarded_tail_bytes_total", {},
           "Torn/corrupt WAL tail bytes discarded at recovery.")),
       fsync_us(reg.histogram("wormrt_journal_fsync_us", 0.0, 50000.0, 50, {},
-                             "WAL fsync latency in microseconds.")) {}
+                             "WAL fsync latency in microseconds.")),
+      group_commits(reg.counter("wormrt_journal_group_commits_total", {},
+                                "Leader commits (one write + fsync each).")),
+      group_commit_batch(reg.histogram(
+          "wormrt_journal_group_commit_batch_size", 0.0, 128.0, 32, {},
+          "Records made durable per leader commit.")) {}
 
 Journal::Journal(JournalConfig config, obs::Registry* registry)
     : config_(std::move(config)) {
@@ -397,6 +406,10 @@ bool Journal::open(RecoveredState* state, std::string* error) {
     max_lsn = std::max(max_lsn, rec.lsn);
   }
   next_lsn_ = max_lsn + 1;
+  durable_lsn_ = max_lsn;  // everything on disk is, by definition, durable
+  pending_.clear();
+  pending_count_ = 0;
+  failed_ranges_.clear();
   appends_since_snapshot_ = state->records.size();
 
   if (metrics_ != nullptr) {
@@ -410,6 +423,16 @@ bool Journal::open(RecoveredState* state, std::string* error) {
 
 bool Journal::append(JournalRecord::Type type, const JournalEntry& entry,
                      std::string* error) {
+  std::uint64_t lsn = 0;
+  if (!stage(type, entry, &lsn, error)) {
+    return false;
+  }
+  return wait_durable(lsn, error);
+}
+
+bool Journal::stage(JournalRecord::Type type, const JournalEntry& entry,
+                    std::uint64_t* lsn, std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (fd_ < 0) {
     *error = "journal is not open";
     return false;
@@ -421,56 +444,157 @@ bool Journal::append(JournalRecord::Type type, const JournalEntry& entry,
     *error = "journal poisoned by an earlier torn write or fsync failure";
     return false;
   }
-
-  struct stat st {};
-  if (::fstat(fd_, &st) != 0) {
-    *error = std::string("fstat: ") + std::strerror(errno);
-    if (metrics_ != nullptr) {
-      metrics_->append_failures.inc();
-    }
-    return false;
-  }
-  const off_t size_before = st.st_size;
-
-  const std::string blob = frame(encode_record(type, next_lsn_, entry));
-  bool torn = false;
-  if (!write_blob(fd_, blob, &torn, error)) {
-    if (torn || ::ftruncate(fd_, size_before) != 0) {
-      // A torn write models a crash mid-append: the partial record stays
-      // on disk for recovery's CRC check to discard, and this journal is
-      // done — the "process" is dead.  An unrepairable clean failure
-      // poisons too (the tail is now unknown).
-      poisoned_ = true;
-    }
-    if (metrics_ != nullptr) {
-      metrics_->append_failures.inc();
-    }
-    return false;
-  }
-  if (config_.fsync_data && !sync_fd(fd_, error)) {
-    // Durability of the record is unknown; pull it back (the process is
-    // still alive, so the truncate is observed) and stop trusting the
-    // device.
-    static_cast<void>(::ftruncate(fd_, size_before));
-    poisoned_ = true;
-    if (metrics_ != nullptr) {
-      metrics_->append_failures.inc();
-    }
-    return false;
-  }
-
-  ++next_lsn_;
+  *lsn = next_lsn_++;
+  pending_ += frame(encode_record(type, *lsn, entry));
+  ++pending_count_;
   ++appends_since_snapshot_;
-  if (metrics_ != nullptr) {
-    metrics_->appends.inc();
-    metrics_->bytes_written.inc(blob.size());
-  }
   return true;
+}
+
+bool Journal::lsn_failed(std::uint64_t lsn, std::string* error) const {
+  for (const auto& range : failed_ranges_) {
+    if (lsn > range.first && lsn <= range.second) {
+      *error = fail_error_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Journal::lead_commit(std::unique_lock<std::mutex>& lk) {
+  // Take the whole staged batch; records staged while the I/O below is
+  // in flight accumulate into a fresh pending_ for the next leader.
+  std::string batch = std::move(pending_);
+  pending_.clear();
+  const std::uint64_t batch_count = pending_count_;
+  pending_count_ = 0;
+  const std::uint64_t batch_last = next_lsn_ - 1;
+  const bool fsync_data = config_.fsync_data;
+
+  lk.unlock();
+  struct stat st {};
+  std::string err;
+  bool ok = true;
+  bool poison = false;
+  if (::fstat(fd_, &st) != 0) {
+    err = std::string("fstat: ") + std::strerror(errno);
+    ok = false;
+  } else {
+    const off_t size_before = st.st_size;
+    bool torn = false;
+    if (!write_blob(fd_, batch, &torn, &err)) {
+      ok = false;
+      if (torn || ::ftruncate(fd_, size_before) != 0) {
+        // A torn write models a crash mid-batch: the partial bytes stay
+        // on disk for recovery's CRC check to discard, and this journal
+        // is done — the "process" is dead.  An unrepairable clean
+        // failure poisons too (the tail is now unknown).
+        poison = true;
+      }
+    } else if (fsync_data && !sync_fd(fd_, &err)) {
+      // Durability of the batch is unknown; pull it back (the process
+      // is still alive, so the truncate is observed) and stop trusting
+      // the device.
+      static_cast<void>(::ftruncate(fd_, size_before));
+      ok = false;
+      poison = true;
+    }
+  }
+  lk.lock();
+
+  leader_active_ = false;
+  if (ok) {
+    durable_lsn_ = batch_last;
+    if (metrics_ != nullptr) {
+      metrics_->appends.inc(batch_count);
+      metrics_->bytes_written.inc(batch.size());
+      metrics_->group_commits.inc();
+      metrics_->group_commit_batch.observe(static_cast<double>(batch_count));
+    }
+  } else {
+    // The batch failed, and anything staged while we were writing never
+    // reached the file either: fail every LSN assigned so far, so each
+    // waiter rolls its mutation back.
+    poisoned_ = poisoned_ || poison;
+    fail_error_ = err;
+    const std::uint64_t failed_count =
+        batch_count + pending_count_;
+    pending_.clear();
+    pending_count_ = 0;
+    failed_ranges_.emplace_back(durable_lsn_, next_lsn_ - 1);
+    if (failed_ranges_.size() > kMaxFailedRanges) {
+      failed_ranges_.erase(failed_ranges_.begin());
+    }
+    if (metrics_ != nullptr) {
+      metrics_->append_failures.inc(failed_count);
+    }
+  }
+  cv_.notify_all();
+}
+
+bool Journal::wait_durable(std::uint64_t lsn, std::string* error) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // Failure first: a later successful batch moves durable_lsn_ past a
+    // failed range, and a failed record must never read as durable.
+    if (lsn_failed(lsn, error)) {
+      return false;
+    }
+    if (lsn <= durable_lsn_) {
+      return true;
+    }
+    if (!leader_active_) {
+      if (pending_count_ == 0) {
+        // Defensive: our record is neither durable, failed, nor staged —
+        // cannot happen while every stager waits on its own LSN.
+        *error = "journal record " + std::to_string(lsn) + " was lost";
+        return false;
+      }
+      leader_active_ = true;
+      lead_commit(lk);
+      continue;
+    }
+    cv_.wait(lk);
+  }
+}
+
+std::uint64_t Journal::durable_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_lsn_;
+}
+
+std::uint64_t Journal::failed_through() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failed_ranges_.empty() ? 0 : failed_ranges_.back().second;
+}
+
+bool Journal::flush_staged(std::string* error) {
+  std::uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (pending_count_ == 0 && !leader_active_) {
+      return true;
+    }
+    target = next_lsn_ - 1;
+  }
+  return wait_durable(target, error);
 }
 
 bool Journal::write_snapshot(std::int64_t next_handle,
                              const std::vector<JournalEntry>& entries,
                              std::string* error) {
+  // The snapshot's LSN watermark covers every LSN assigned so far, so
+  // staged records must be durable before the snapshot claims them.
+  // (Callers serialise mutations against snapshotting, so nothing new
+  // is staged while we run; the flush also makes this thread the leader
+  // for whatever is in flight.)
+  if (!flush_staged(error)) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  while (leader_active_) {
+    cv_.wait(lk);
+  }
   if (fd_ < 0) {
     *error = "journal is not open";
     return false;

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,19 @@
 /// — by the write-ahead contract those bytes were never acknowledged.
 /// Opening the journal for appending truncates the file back to the
 /// last valid record so new records never land beyond a tear.
+///
+/// Group commit (DESIGN.md §11): concurrent mutators stage() records
+/// into an in-memory batch (each gets its LSN immediately, so LSN order
+/// is the order records were staged) and then wait_durable() their LSN.
+/// The first waiter to find no leader active becomes the leader: it
+/// takes the whole staged batch, performs ONE write + fsync for all of
+/// it, publishes the new durable LSN, and wakes every waiter.  One
+/// fsync thus covers N acknowledgements, and while the leader sleeps in
+/// fsync the other threads keep running admission analysis — but no
+/// waiter returns success before the fsync covering its record has
+/// completed, so the fsync-before-ack contract is exactly the serial
+/// one.  append() is stage() + wait_durable(): a batch of one, with the
+/// identical on-disk bytes and failure semantics as before.
 
 namespace wormrt::svc {
 
@@ -112,9 +127,36 @@ class Journal {
   /// False + \p error on failure; a clean write failure (e.g. ENOSPC)
   /// leaves the journal usable with the partial record truncated away,
   /// while a torn write (simulated crash) poisons the journal — every
-  /// later append fails fast.
+  /// later append fails fast.  Equivalent to stage() + wait_durable().
   bool append(JournalRecord::Type type, const JournalEntry& entry,
               std::string* error);
+
+  /// Stages one mutation record into the group-commit batch and assigns
+  /// its LSN (returned via \p lsn).  The record is NOT yet durable — the
+  /// caller must wait_durable(lsn) before acknowledging anything.  LSN
+  /// order is staging order; callers serialise staging with the same
+  /// lock that orders their state mutations so replay order equals
+  /// apply order.  False + \p error when the journal is closed or
+  /// poisoned (nothing is staged then).
+  bool stage(JournalRecord::Type type, const JournalEntry& entry,
+             std::uint64_t* lsn, std::string* error);
+
+  /// Blocks until every record with LSN <= \p lsn is durable (one
+  /// waiter becomes the commit leader and writes + fsyncs the whole
+  /// staged batch).  True when the covering fsync completed; false +
+  /// \p error when the batch containing \p lsn failed — the caller must
+  /// roll the staged mutation back, exactly as for a failed append().
+  bool wait_durable(std::uint64_t lsn, std::string* error);
+
+  /// Highest LSN known durable (fsync'd, or written when fsync_data is
+  /// off).  Staged-but-unacknowledged records are above this watermark.
+  std::uint64_t durable_lsn() const;
+
+  /// Highest LSN ever covered by a failed batch; records in
+  /// (durable-at-failure, failed_through] were never written durably
+  /// and their staged mutations must be rolled back.  Monotone; 0 when
+  /// no batch ever failed.
+  std::uint64_t failed_through() const;
 
   /// Compacts the full population into the snapshot file and truncates
   /// the journal.  The caller passes the authoritative controller state
@@ -124,8 +166,9 @@ class Journal {
                       const std::vector<JournalEntry>& entries,
                       std::string* error);
 
-  /// Appends since the last successful write_snapshot (or open).
+  /// Appends staged since the last successful write_snapshot (or open).
   std::uint64_t appends_since_snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
     return appends_since_snapshot_;
   }
 
@@ -143,12 +186,37 @@ class Journal {
                   std::string* error);
   bool sync_fd(int fd, std::string* error);
   bool sync_dir(std::string* error);
+  /// Commits the staged batch as leader: called with mu_ held and
+  /// leader_active_ set; drops the lock for the I/O, reacquires it to
+  /// publish the outcome and wake waiters.
+  void lead_commit(std::unique_lock<std::mutex>& lk);
+  /// Drives the staged batch durable (becoming leader if needed);
+  /// true when nothing is pending.  Used before snapshotting.
+  bool flush_staged(std::string* error);
+  bool lsn_failed(std::uint64_t lsn, std::string* error) const;
 
   JournalConfig config_;
   int fd_ = -1;
   bool poisoned_ = false;
   std::uint64_t next_lsn_ = 1;
   std::uint64_t appends_since_snapshot_ = 0;
+
+  /// Group-commit state, all under mu_.  `pending_` holds the framed
+  /// bytes of records staged but not yet handed to a leader; they cover
+  /// exactly the LSNs in (max(durable, last failure), next_lsn_ - 1].
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string pending_;
+  std::uint64_t pending_count_ = 0;
+  std::uint64_t durable_lsn_ = 0;
+  bool leader_active_ = false;
+  std::string fail_error_;
+  /// Failed LSN ranges (lo, hi], newest last.  Checked BEFORE the
+  /// durable watermark: a later successful batch advances durable_lsn_
+  /// past a failed range, and a failed record must never turn into a
+  /// success.  Bounded: oldest ranges (whose waiters have long since
+  /// returned) are dropped past a small cap.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> failed_ranges_;
 
   struct Metrics {
     explicit Metrics(obs::Registry& reg);
@@ -161,6 +229,8 @@ class Journal {
     obs::Counter& skipped_records;
     obs::Counter& discarded_bytes;
     obs::Histogram& fsync_us;
+    obs::Counter& group_commits;
+    obs::Histogram& group_commit_batch;  ///< records per leader commit
   };
   Metrics* metrics_ = nullptr;  // owned; null when no registry was given
 };

@@ -3,7 +3,10 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -12,9 +15,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "svc/json.hpp"
@@ -25,6 +31,35 @@
 namespace wormrt::svc {
 
 namespace {
+
+/// Parsed-but-undispatched lines per connection.  Past this, the loop
+/// stops reading that socket: further input stays in the kernel buffer
+/// and backpressures the sender, so a pipelining client cannot grow
+/// daemon memory faster than dispatch drains it.
+constexpr std::size_t kMaxPendingLines = 128;
+
+/// Lines one dispatch task serves before resubmitting itself to the
+/// pool: a deeply pipelined connection shares the dispatch workers
+/// fairly with everyone else's STATS probe.
+constexpr int kDispatchBudget = 64;
+
+constexpr int kMaxEpollEvents = 64;
+
+constexpr char kShedOverloaded[] = "{\"ok\":false,\"error\":\"overloaded\"}\n";
+constexpr char kShedLineTooLong[] =
+    "{\"ok\":false,\"error\":\"line too long\"}\n";
+constexpr char kShedIdle[] = "{\"ok\":false,\"error\":\"idle timeout\"}\n";
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
 
 bool send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
@@ -43,9 +78,9 @@ bool send_all(int fd, const std::string& data) {
 }
 
 /// recv() that retries EINTR internally, so a signal delivered to a
-/// connection worker (or to a client blocked on a response) never turns
-/// into a spurious disconnect.  Returns what recv() returns otherwise:
-/// 0 on orderly shutdown, -1 with errno set on a real transport error.
+/// client blocked on a response never turns into a spurious disconnect.
+/// Returns what recv() returns otherwise: 0 on orderly shutdown, -1
+/// with errno set on a real transport error.
 ssize_t recv_some(int fd, char* buffer, std::size_t capacity) {
   for (;;) {
     const ssize_t n = ::recv(fd, buffer, capacity, 0);
@@ -103,136 +138,497 @@ bool connect_deadline(int fd, const sockaddr* addr, socklen_t len,
 
 }  // namespace
 
+/// The epoll front end (DESIGN.md §11).  Threading model:
+///   - event-loop threads own epoll_wait, accept, socket reads, idle
+///     reaping, and connection teardown;
+///   - dispatch-pool workers run Service verbs and write replies.
+/// Every connection has its own mutex; the loop-wide mutex guards only
+/// the fd -> connection map.  Lock order: a thread holding a Conn's
+/// mutex may take its Loop's mutex (to retire the fd), never the other
+/// way around — the loop copies the shared_ptr out of the map and
+/// RELEASES the map lock before touching the connection, so a dispatch
+/// worker blocked in fsync while holding a Conn mutex can never stall
+/// the loop for longer than one map lookup.
 struct Server::Impl {
+  struct Loop;
+
+  /// One connection's state.  The fd is closed in the destructor, never
+  /// earlier: loop and dispatch both hold shared_ptrs, so the fd number
+  /// cannot be reused by a new accept while any thread still references
+  /// this object.
+  struct Conn {
+    ~Conn() {
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+    int fd = -1;
+    Loop* loop = nullptr;
+    std::mutex mu;
+    std::string inbuf;                 ///< bytes with no newline yet
+    std::deque<std::string> pending;   ///< parsed lines awaiting dispatch
+    std::string outbuf;                ///< replies not yet on the wire
+    std::size_t out_pos = 0;
+    bool dispatch_inflight = false;    ///< at most ONE task per conn
+    bool read_shutdown = false;        ///< peer sent FIN
+    bool want_close = false;           ///< close once outbuf drains
+    bool dead = false;                 ///< deregistered, fd shut down
+    /// Shed reply to emit once in-flight dispatch drains (keeps replies
+    /// in request order even when the shed decision interleaves).
+    std::string shed_reply;
+    /// Millisecond steady-clock stamp of the last read or reply;
+    /// atomic so the reaper can scan without taking every Conn mutex.
+    std::atomic<std::int64_t> last_active{0};
+    std::size_t highwater = 0;  ///< max buffered bytes over the lifetime
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  struct Loop {
+    ~Loop() {
+      if (epfd >= 0) {
+        ::close(epfd);
+      }
+      if (wake_fd >= 0) {
+        ::close(wake_fd);
+      }
+    }
+    int epfd = -1;
+    int wake_fd = -1;  ///< eventfd: stop() and retirements wake the wait
+    std::thread thread;
+    std::mutex mu;     ///< guards conns + retired only
+    std::unordered_map<int, ConnPtr> conns;
+    std::vector<int> retired;
+  };
+
   Service& service;
   ServerConfig config;
-  util::ThreadPool pool;
   int listen_fd = -1;
+  bool listen_is_tcp = false;
   int tcp_port = -1;
-  std::thread acceptor;
   std::atomic<bool> stopping{false};
   bool started = false;
-  std::mutex conn_mu;
-  std::vector<int> connections;
+  std::atomic<int> live_conns{0};
+  std::atomic<unsigned> next_loop{0};
+
   /// Sheds by reason; lives in the service registry so METRICS shows it.
   obs::Counter& shed_overloaded;
   obs::Counter& shed_line_too_long;
   obs::Counter& shed_idle;
+  obs::Histogram& epoll_events;
+  obs::Histogram& conn_highwater;
+  obs::Gauge& open_conns;
+
+  /// Declared before pool so the pool is destroyed FIRST: in-flight
+  /// dispatch tasks may still touch Loop fds (epoll_ctl on retire) and
+  /// must drain before the epoll/event fds close.
+  std::vector<std::unique_ptr<Loop>> loops;
+  util::ThreadPool pool;
 
   Impl(Service& svc, ServerConfig cfg)
       : service(svc),
         config(std::move(cfg)),
-        // Bounding the pool's submit queue makes a connection flood
-        // backpressure the acceptor (it blocks in submit) instead of
-        // growing an unbounded task queue; the connection cap keeps the
-        // bound from ever actually stalling a healthy accept loop.
-        pool(static_cast<unsigned>(std::max(1, config.workers)),
-             config.max_connections > 0
-                 ? static_cast<std::size_t>(config.max_connections)
-                 : 0),
         shed_overloaded(svc.registry().counter(
             "wormrt_server_sheds_total", {{"reason", "overloaded"}},
             "Connections dropped by overload protection, by reason.")),
         shed_line_too_long(svc.registry().counter(
             "wormrt_server_sheds_total", {{"reason", "line_too_long"}})),
         shed_idle(svc.registry().counter(
-            "wormrt_server_sheds_total", {{"reason", "idle_timeout"}})) {}
+            "wormrt_server_sheds_total", {{"reason", "idle_timeout"}})),
+        epoll_events(svc.registry().histogram(
+            "wormrt_server_epoll_events", 0.0,
+            static_cast<double>(kMaxEpollEvents), 32, {},
+            "Ready events per epoll_wait wakeup (loop depth).")),
+        conn_highwater(svc.registry().histogram(
+            "wormrt_server_conn_buffer_highwater_bytes", 0.0, 65536.0, 32, {},
+            "Peak buffered bytes (input + unsent output) per connection, "
+            "observed at connection close.")),
+        open_conns(svc.registry().gauge(
+            "wormrt_server_open_connections", {},
+            "Connections currently registered with the event loops.")),
+        // The dispatch queue is unbounded, but at most one task per
+        // connection is ever queued (dispatch_inflight), so the
+        // connection cap bounds it; accepts NEVER block on the pool —
+        // that was the old accept-stall bug.
+        pool(static_cast<unsigned>(std::max(1, config.workers)), 0) {}
 
-  void track(int fd) {
-    std::lock_guard<std::mutex> lk(conn_mu);
-    connections.push_back(fd);
+  // ---- connection state machine (Conn::mu held for *_locked) ----
+
+  void track_highwater(Conn& c) {
+    const std::size_t depth =
+        c.inbuf.size() + (c.outbuf.size() - c.out_pos);
+    c.highwater = std::max(c.highwater, depth);
   }
 
-  void untrack(int fd) {
-    std::lock_guard<std::mutex> lk(conn_mu);
-    connections.erase(std::remove(connections.begin(), connections.end(), fd),
-                      connections.end());
-  }
-
-  std::size_t live_connections() {
-    std::lock_guard<std::mutex> lk(conn_mu);
-    return connections.size();
-  }
-
-  /// One connection's lifetime: buffered line reader over recv, one
-  /// response line per request line.  The buffer is capped at
-  /// config.max_line_bytes: a client streaming newline-free bytes gets
-  /// one error reply and the connection closed, so hostile input cannot
-  /// grow daemon memory.  A recv idle for config.idle_timeout_ms (set
-  /// as SO_RCVTIMEO) reaps the connection.
-  void serve_connection(int fd) {
-    if (config.idle_timeout_ms > 0) {
-      timeval tv{};
-      tv.tv_sec = config.idle_timeout_ms / 1000;
-      tv.tv_usec = (config.idle_timeout_ms % 1000) * 1000;
-      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  /// Deregisters from epoll, counts the close, and sends FIN.  The fd
+  /// stays open (and its number unreusable) until the last shared_ptr
+  /// drops; the loop erases its map entry on the next wakeup.
+  void mark_dead_locked(Conn& c) {
+    if (c.dead) {
+      return;
     }
-    std::string buffer;
-    char chunk[4096];
-    for (;;) {
-      const ssize_t n = recv_some(fd, chunk, sizeof chunk);
+    c.dead = true;
+    ::epoll_ctl(c.loop->epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::shutdown(c.fd, SHUT_RDWR);
+    conn_highwater.observe(static_cast<double>(c.highwater));
+    open_conns.set(static_cast<double>(live_conns.fetch_sub(1) - 1));
+    {
+      std::lock_guard<std::mutex> lk(c.loop->mu);
+      c.loop->retired.push_back(c.fd);
+    }
+    wake(*c.loop);
+  }
+
+  /// Nonblocking drain of outbuf.  EAGAIN just returns — the armed
+  /// edge-triggered EPOLLOUT fires when the socket drains and pump()
+  /// resumes the flush.  A transport error kills the connection.
+  void flush_locked(Conn& c) {
+    while (c.out_pos < c.outbuf.size()) {
+      const ssize_t n = ::send(c.fd, c.outbuf.data() + c.out_pos,
+                               c.outbuf.size() - c.out_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_pos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        shed_idle.inc();
-        send_all(fd, "{\"ok\":false,\"error\":\"idle timeout\"}\n");
-        break;
-      }
-      if (n <= 0) {
-        break;  // peer closed, transport error, or stop() shut us down
-      }
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t start = 0;
-      for (;;) {
-        const std::size_t nl = buffer.find('\n', start);
-        if (nl == std::string::npos) {
-          break;
+        if (c.out_pos > 65536) {
+          c.outbuf.erase(0, c.out_pos);
+          c.out_pos = 0;
         }
-        const std::string line = buffer.substr(start, nl - start);
-        start = nl + 1;
-        if (line.empty()) {
-          continue;
-        }
-        const std::string reply = service.handle_line(line);
-        if (!send_all(fd, reply + "\n")) {
-          start = buffer.size();
-          break;
-        }
+        return;
       }
-      buffer.erase(0, start);
-      if (buffer.size() > config.max_line_bytes) {
-        shed_line_too_long.inc();
-        send_all(fd, "{\"ok\":false,\"error\":\"line too long\"}\n");
-        break;
-      }
+      mark_dead_locked(c);
+      return;
     }
-    untrack(fd);
-    ::close(fd);
+    c.outbuf.clear();
+    c.out_pos = 0;
   }
 
-  void accept_loop() {
+  /// Emits a deferred shed reply once dispatch has drained (keeping
+  /// replies in order), flushes, and closes when everything is on the
+  /// wire and nothing more can arrive.
+  void finish_or_flush_locked(Conn& c) {
+    if (c.dead) {
+      return;
+    }
+    const bool queues_idle = !c.dispatch_inflight && c.pending.empty();
+    if (queues_idle && !c.shed_reply.empty()) {
+      c.outbuf.append(c.shed_reply);
+      c.shed_reply.clear();
+      c.want_close = true;
+    }
+    if (queues_idle && c.read_shutdown) {
+      c.want_close = true;
+    }
+    flush_locked(c);
+    if (c.dead) {
+      return;
+    }
+    if (c.want_close && queues_idle && c.shed_reply.empty() &&
+        c.out_pos == c.outbuf.size()) {
+      mark_dead_locked(c);
+    }
+  }
+
+  /// Carves complete lines out of inbuf into the pending queue (up to
+  /// the cap), then applies the line-length guard to the remainder.
+  void parse_lines_locked(Conn& c) {
+    if (!c.shed_reply.empty() || c.want_close) {
+      return;
+    }
+    std::size_t start = 0;
+    while (c.pending.size() < kMaxPendingLines) {
+      const std::size_t nl = c.inbuf.find('\n', start);
+      if (nl == std::string::npos) {
+        break;
+      }
+      if (nl > start) {
+        c.pending.emplace_back(c.inbuf.substr(start, nl - start));
+      }
+      start = nl + 1;
+    }
+    if (start > 0) {
+      c.inbuf.erase(0, start);
+    }
+    if (c.inbuf.size() > config.max_line_bytes) {
+      shed_line_too_long.inc();
+      c.shed_reply = kShedLineTooLong;
+      c.inbuf.clear();
+      c.inbuf.shrink_to_fit();
+    }
+  }
+
+  void schedule_dispatch_locked(const ConnPtr& cp) {
+    if (cp->dead || cp->dispatch_inflight || cp->pending.empty()) {
+      return;
+    }
+    cp->dispatch_inflight = true;
+    pool.submit([this, cp] { run_dispatch(cp); });
+  }
+
+  /// The whole per-connection machine, callable from the loop thread
+  /// (on any epoll event) and from a dispatch worker (after draining
+  /// the pending queue, to resume a backpressured read): read until
+  /// EAGAIN, frame lines, kick dispatch, flush, close if finished.
+  void pump(const ConnPtr& cp) {
+    std::lock_guard<std::mutex> lk(cp->mu);
+    Conn& c = *cp;
+    if (c.dead) {
+      return;
+    }
+    char chunk[16384];
+    while (!c.read_shutdown && c.shed_reply.empty() && !c.want_close &&
+           c.pending.size() < kMaxPendingLines) {
+      const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        c.inbuf.append(chunk, static_cast<std::size_t>(n));
+        c.last_active.store(now_ms(), std::memory_order_relaxed);
+        parse_lines_locked(c);
+        track_highwater(c);
+        continue;
+      }
+      if (n == 0) {
+        c.read_shutdown = true;
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      mark_dead_locked(c);
+      return;
+    }
+    schedule_dispatch_locked(cp);
+    finish_or_flush_locked(c);
+  }
+
+  /// Dispatch task: serves this connection's parsed lines FIFO —
+  /// replies therefore come back in request order.  The Conn mutex is
+  /// NOT held across Service::handle (it can block on a journal fsync;
+  /// the loop thread must stay free to serve other connections).
+  void run_dispatch(const ConnPtr& cp) {
+    for (int served = 0; served < kDispatchBudget; ++served) {
+      std::string line;
+      {
+        std::lock_guard<std::mutex> lk(cp->mu);
+        if (cp->dead) {
+          cp->dispatch_inflight = false;
+          return;
+        }
+        if (cp->pending.empty()) {
+          cp->dispatch_inflight = false;
+          break;  // pump below resumes a backpressured read
+        }
+        line = std::move(cp->pending.front());
+        cp->pending.pop_front();
+      }
+      const std::string reply = service.handle_line(line);
+      {
+        std::lock_guard<std::mutex> lk(cp->mu);
+        if (cp->dead) {
+          cp->dispatch_inflight = false;
+          return;
+        }
+        cp->outbuf.append(reply);
+        cp->outbuf.push_back('\n');
+        cp->last_active.store(now_ms(), std::memory_order_relaxed);
+        track_highwater(*cp);
+        flush_locked(*cp);
+        if (cp->dead) {
+          cp->dispatch_inflight = false;
+          return;
+        }
+      }
+    }
+    bool resubmit = false;
+    {
+      std::lock_guard<std::mutex> lk(cp->mu);
+      if (cp->dispatch_inflight) {
+        // Budget exhausted with lines still queued: yield the worker
+        // and come back, so one firehose connection cannot starve a
+        // STATS probe on another.
+        resubmit = !cp->dead && !cp->pending.empty();
+        cp->dispatch_inflight = resubmit;
+      }
+    }
+    if (resubmit) {
+      pool.submit([this, cp] { run_dispatch(cp); });
+    } else {
+      pump(cp);
+    }
+  }
+
+  // ---- event loops ----
+
+  void wake(Loop& loop) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(loop.wake_fd, &one, sizeof one);
+  }
+
+  void accept_burst() {
     for (;;) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EINTR) {
           continue;
         }
-        return;  // listener closed by stop()
+        return;  // EAGAIN, or the listener was closed by stop()
       }
       if (stopping.load(std::memory_order_acquire)) {
         ::close(fd);
         return;
       }
       if (config.max_connections > 0 &&
-          live_connections() >=
-              static_cast<std::size_t>(config.max_connections)) {
-        // Load shed: one honest reply, then the boot.  Serving a capped
-        // population well beats serving an unbounded one badly.
+          live_conns.load(std::memory_order_relaxed) >=
+              config.max_connections) {
+        // Load shed: one honest reply, then the boot.  This runs on the
+        // event loop, so it stays responsive however saturated the
+        // dispatch pool is.  (The reply is a single small write to a
+        // fresh socket buffer — it cannot block.)
         shed_overloaded.inc();
-        send_all(fd, "{\"ok\":false,\"error\":\"overloaded\"}\n");
+        ::send(fd, kShedOverloaded, sizeof kShedOverloaded - 1, MSG_NOSIGNAL);
         ::close(fd);
         continue;
       }
-      track(fd);
-      pool.submit([this, fd] { serve_connection(fd); });
+      if (listen_is_tcp) {
+        set_nodelay(fd);
+      }
+      auto cp = std::make_shared<Conn>();
+      cp->fd = fd;
+      cp->last_active.store(now_ms(), std::memory_order_relaxed);
+      Loop& loop = *loops[next_loop.fetch_add(1) % loops.size()];
+      cp->loop = &loop;
+      {
+        std::lock_guard<std::mutex> lk(loop.mu);
+        loop.conns.emplace(fd, cp);
+      }
+      epoll_event ev{};
+      // Edge-triggered, both directions armed once and for all: the
+      // write side only edges on full->writable transitions, so keeping
+      // EPOLLOUT armed costs no spurious wakeups and no epoll_ctl MODs.
+      ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+      ev.data.fd = fd;
+      if (::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        std::lock_guard<std::mutex> lk(loop.mu);
+        loop.conns.erase(fd);  // ~Conn closes the fd
+        continue;
+      }
+      open_conns.set(static_cast<double>(live_conns.fetch_add(1) + 1));
+    }
+  }
+
+  void reap_idle(Loop& loop) {
+    const std::int64_t now = now_ms();
+    std::vector<ConnPtr> candidates;
+    {
+      std::lock_guard<std::mutex> lk(loop.mu);
+      for (const auto& [fd, cp] : loop.conns) {
+        if (now - cp->last_active.load(std::memory_order_relaxed) >=
+            config.idle_timeout_ms) {
+          candidates.push_back(cp);
+        }
+      }
+    }
+    for (const ConnPtr& cp : candidates) {
+      std::lock_guard<std::mutex> lk(cp->mu);
+      Conn& c = *cp;
+      if (c.dead || c.dispatch_inflight || !c.pending.empty() ||
+          !c.shed_reply.empty() || c.want_close ||
+          c.out_pos != c.outbuf.size()) {
+        continue;  // busy, not idle
+      }
+      if (now_ms() - c.last_active.load(std::memory_order_relaxed) <
+          config.idle_timeout_ms) {
+        continue;
+      }
+      shed_idle.inc();
+      c.shed_reply = kShedIdle;
+      finish_or_flush_locked(c);
+    }
+  }
+
+  void loop_main(Loop& loop, bool owns_listener) {
+    std::vector<epoll_event> events(kMaxEpollEvents);
+    const int wait_ms =
+        config.idle_timeout_ms > 0
+            ? std::clamp(config.idle_timeout_ms / 2, 10, 1000)
+            : -1;
+    while (!stopping.load(std::memory_order_acquire)) {
+      const int n =
+          ::epoll_wait(loop.epfd, events.data(), kMaxEpollEvents, wait_ms);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      if (stopping.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (n > 0) {
+        epoll_events.observe(static_cast<double>(n));
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == loop.wake_fd) {
+          std::uint64_t buf = 0;
+          [[maybe_unused]] const ssize_t r =
+              ::read(loop.wake_fd, &buf, sizeof buf);
+          continue;
+        }
+        if (owns_listener && fd == listen_fd) {
+          accept_burst();
+          continue;
+        }
+        ConnPtr cp;
+        {
+          std::lock_guard<std::mutex> lk(loop.mu);
+          const auto it = loop.conns.find(fd);
+          if (it != loop.conns.end()) {
+            cp = it->second;
+          }
+        }
+        if (cp != nullptr) {
+          pump(cp);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lk(loop.mu);
+        for (const int fd : loop.retired) {
+          loop.conns.erase(fd);
+        }
+        loop.retired.clear();
+      }
+      if (config.idle_timeout_ms > 0) {
+        reap_idle(loop);
+      }
+    }
+    // Shutdown: send FIN on everything we own so in-flight dispatch
+    // tasks fail fast on their next write; fds close as the last
+    // shared_ptrs drop (at the latest when the pool drains in ~Impl).
+    std::vector<ConnPtr> snapshot;
+    {
+      std::lock_guard<std::mutex> lk(loop.mu);
+      snapshot.reserve(loop.conns.size());
+      for (const auto& [fd, cp] : loop.conns) {
+        snapshot.push_back(cp);
+      }
+      loop.conns.clear();
+      loop.retired.clear();
+    }
+    for (const ConnPtr& cp : snapshot) {
+      std::lock_guard<std::mutex> lk(cp->mu);
+      if (!cp->dead) {
+        cp->dead = true;
+        ::shutdown(cp->fd, SHUT_RDWR);
+        open_conns.set(static_cast<double>(live_conns.fetch_sub(1) - 1));
+      }
     }
   }
 };
@@ -253,11 +649,13 @@ bool Server::start(std::string* error) {
       ::close(impl_->listen_fd);
       impl_->listen_fd = -1;
     }
+    impl_->loops.clear();
     return false;
   };
 
   if (!impl_->config.unix_path.empty()) {
-    impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    impl_->listen_fd =
+        ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (impl_->listen_fd < 0) {
       return fail("socket");
     }
@@ -297,8 +695,10 @@ bool Server::start(std::string* error) {
                sizeof addr) != 0) {
       return fail("bind " + impl_->config.unix_path);
     }
+    impl_->listen_is_tcp = false;
   } else if (impl_->config.tcp_port >= 0) {
-    impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    impl_->listen_fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (impl_->listen_fd < 0) {
       return fail("socket");
     }
@@ -318,6 +718,7 @@ bool Server::start(std::string* error) {
                       &len) == 0) {
       impl_->tcp_port = ntohs(bound.sin_port);
     }
+    impl_->listen_is_tcp = true;
   } else {
     if (error != nullptr) {
       *error = "server config needs a unix path or a tcp port";
@@ -325,10 +726,45 @@ bool Server::start(std::string* error) {
     return false;
   }
 
-  if (::listen(impl_->listen_fd, 64) != 0) {
+  if (::listen(impl_->listen_fd, 256) != 0) {
     return fail("listen");
   }
-  impl_->acceptor = std::thread([this] { impl_->accept_loop(); });
+
+  const int nloops = std::max(1, impl_->config.event_threads);
+  for (int i = 0; i < nloops; ++i) {
+    auto loop = std::make_unique<Impl::Loop>();
+    loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epfd < 0) {
+      return fail("epoll_create1");
+    }
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->wake_fd < 0) {
+      return fail("eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wake_fd, &ev) != 0) {
+      return fail("epoll_ctl wake_fd");
+    }
+    impl_->loops.push_back(std::move(loop));
+  }
+  // Loop 0 owns the listener; accepted connections are spread round-
+  // robin over all loops.
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = impl_->listen_fd;
+    if (::epoll_ctl(impl_->loops[0]->epfd, EPOLL_CTL_ADD, impl_->listen_fd,
+                    &ev) != 0) {
+      return fail("epoll_ctl listen_fd");
+    }
+  }
+  for (int i = 0; i < nloops; ++i) {
+    Impl::Loop* loop = impl_->loops[static_cast<std::size_t>(i)].get();
+    loop->thread =
+        std::thread([this, loop, i] { impl_->loop_main(*loop, i == 0); });
+  }
   impl_->started = true;
   return true;
 }
@@ -339,22 +775,23 @@ void Server::stop() {
   }
   impl_->started = false;
   impl_->stopping.store(true, std::memory_order_release);
-  // Closing the listener unblocks accept(); shutting connections down
-  // unblocks their recv() so the pool workers drain and can be joined.
-  ::shutdown(impl_->listen_fd, SHUT_RDWR);
-  ::close(impl_->listen_fd);
-  impl_->listen_fd = -1;
-  {
-    std::lock_guard<std::mutex> lk(impl_->conn_mu);
-    for (const int fd : impl_->connections) {
-      ::shutdown(fd, SHUT_RDWR);
+  // Close the listener, then wake every loop through its eventfd: each
+  // sees `stopping`, FINs its connections, and exits — no waiting on
+  // idle-connection timeouts or in-flight dispatch.
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  for (const auto& loop : impl_->loops) {
+    impl_->wake(*loop);
+  }
+  for (const auto& loop : impl_->loops) {
+    if (loop->thread.joinable()) {
+      loop->thread.join();
     }
   }
-  if (impl_->acceptor.joinable()) {
-    impl_->acceptor.join();
-  }
-  // Busy-wait-free drain: connection workers unregister themselves; the
-  // pool destructor in ~Impl joins the worker threads once tasks finish.
+  // In-flight dispatch tasks drain in ~Impl (the pool is destroyed
+  // before the loops' epoll fds close).
   if (!impl_->config.unix_path.empty()) {
     ::unlink(impl_->config.unix_path.c_str());
   }
@@ -458,6 +895,9 @@ bool Client::connect_tcp(const std::string& host, int port,
     close();
     return false;
   }
+  // Each call is one complete small write; without TCP_NODELAY, Nagle
+  // would hold a pipelined batch hostage to the server's ack clock.
+  set_nodelay(fd_);
   return apply_timeouts(error);
 }
 
@@ -530,20 +970,7 @@ bool Client::call_with_retry(const std::string& request_line,
   }
 }
 
-bool Client::call(const std::string& request_line, std::string* response_line,
-                  std::string* error) {
-  if (fd_ < 0) {
-    if (error != nullptr) {
-      *error = "not connected";
-    }
-    return false;
-  }
-  if (!send_all(fd_, request_line + "\n")) {
-    if (error != nullptr) {
-      *error = std::string("send: ") + std::strerror(errno);
-    }
-    return false;
-  }
+bool Client::read_line(std::string* response_line, std::string* error) {
   char chunk[4096];
   for (;;) {
     const std::size_t nl = buffer_.find('\n');
@@ -568,6 +995,65 @@ bool Client::call(const std::string& request_line, std::string* response_line,
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+bool Client::call(const std::string& request_line, std::string* response_line,
+                  std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "not connected";
+    }
+    return false;
+  }
+  if (!send_all(fd_, request_line + "\n")) {
+    if (error != nullptr) {
+      *error = std::string("send: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  return read_line(response_line, error);
+}
+
+bool Client::call_pipelined(const std::vector<std::string>& request_lines,
+                            std::vector<std::string>* response_lines,
+                            std::string* error) {
+  response_lines->clear();
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "not connected";
+    }
+    return false;
+  }
+  if (request_lines.empty()) {
+    return true;
+  }
+  // One coalesced write for the whole batch — with TCP_NODELAY this is
+  // exactly one packet train, not N ack-clocked round trips.
+  std::string wire;
+  std::size_t total = 0;
+  for (const std::string& line : request_lines) {
+    total += line.size() + 1;
+  }
+  wire.reserve(total);
+  for (const std::string& line : request_lines) {
+    wire.append(line);
+    wire.push_back('\n');
+  }
+  if (!send_all(fd_, wire)) {
+    if (error != nullptr) {
+      *error = std::string("send: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  response_lines->reserve(request_lines.size());
+  for (std::size_t i = 0; i < request_lines.size(); ++i) {
+    std::string line;
+    if (!read_line(&line, error)) {
+      return false;  // responses so far are in *response_lines
+    }
+    response_lines->push_back(std::move(line));
+  }
+  return true;
 }
 
 }  // namespace wormrt::svc

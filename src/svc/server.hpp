@@ -2,26 +2,41 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "svc/service.hpp"
 
 /// \file server.hpp
-/// The wormrtd socket front end: listens on a Unix-domain or loopback
-/// TCP socket, accepts connections, and runs each connection's
-/// read-line / dispatch / write-line loop as a task on a
-/// util::ThreadPool worker.  The pool bounds concurrent connections;
-/// further accepts queue until a worker frees up.  The Service layer is
-/// thread-safe, so workers dispatch concurrently.
+/// The wormrtd socket front end: an event-driven epoll server
+/// (DESIGN.md §11).  A small set of event-loop threads watches all
+/// connections with edge-triggered epoll; sockets are nonblocking, each
+/// connection owns an input buffer (incremental newline framing) and an
+/// output buffer (in-order replies, flushed as the socket allows), and
+/// parsed request lines are handed to a dispatch ThreadPool that runs
+/// the Service verbs — so thousands of idle connections cost no threads
+/// and a stalled dispatch (e.g. a journal fsync) never blocks accepts
+/// or other connections' reads.
+///
+/// The protocol is pipelined: a client may write any number of
+/// newline-framed requests without waiting; responses come back in
+/// request order on the same connection (at most one dispatch task per
+/// connection is in flight, draining that connection's parsed-line
+/// queue FIFO).  Client::call_pipelined sends a whole batch in one
+/// write and collects the N responses.
 ///
 /// Overload protection (DESIGN.md §10): request lines are capped at
 /// max_line_bytes (a hostile client streaming newline-free garbage gets
 /// one error reply and the boot, never unbounded daemon memory),
 /// concurrent connections are capped at max_connections (excess clients
-/// are shed with `ok:false error:"overloaded"`), idle connections are
-/// reaped after idle_timeout_ms, and the worker pool's submit queue is
-/// bounded so a connection flood backpressures the acceptor instead of
-/// growing an unbounded task queue.  Sheds are counted per reason in
-/// the service registry (wormrt_server_sheds_total).
+/// are shed with `ok:false error:"overloaded"` at accept, which stays
+/// responsive under dispatch saturation because accepting and shedding
+/// happen on the event loop, never behind the dispatch pool), parsed
+/// lines per connection are capped (further input stays in the kernel
+/// socket buffer, backpressuring the sender), and idle connections are
+/// reaped after idle_timeout_ms by the loop's timer bookkeeping.  Sheds
+/// are counted per reason in the service registry
+/// (wormrt_server_sheds_total).  stop() wakes every loop through an
+/// eventfd, so shutdown is prompt even with open idle connections.
 
 namespace wormrt::svc {
 
@@ -34,8 +49,11 @@ struct ServerConfig {
   /// When >= 0 and unix_path is empty: listen on 127.0.0.1:tcp_port
   /// (0 picks an ephemeral port, reported by port()).
   int tcp_port = -1;
-  /// Connection workers (>= 1).
+  /// Dispatch workers (>= 1): threads running Service verbs.  The queue
+  /// is unbounded but naturally capped at one task per connection.
   int workers = 4;
+  /// Event-loop threads (>= 1) sharing the connection population.
+  int event_threads = 2;
   /// Per-connection request-line cap in bytes.  A connection whose
   /// buffered partial line exceeds this gets one
   /// `ok:false error:"line too long"` reply and is closed.
@@ -43,8 +61,7 @@ struct ServerConfig {
   /// Concurrent-connection cap; clients beyond it get one
   /// `ok:false error:"overloaded"` reply and are closed.  <= 0 = no cap.
   int max_connections = 64;
-  /// Close connections that stay silent this long, freeing their worker
-  /// slot.  <= 0 = never.
+  /// Close connections that stay silent this long.  <= 0 = never.
   int idle_timeout_ms = 30000;
 };
 
@@ -56,15 +73,16 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the accept loop.  False + \p error on
+  /// Binds, listens, and starts the event loops.  False + \p error on
   /// failure.
   bool start(std::string* error);
 
   /// Actual TCP port (after an ephemeral bind), or -1 for Unix sockets.
   int port() const;
 
-  /// Stops accepting, shuts down live connections, joins all workers.
-  /// Idempotent.
+  /// Stops accepting, wakes every event loop via its eventfd, shuts
+  /// down live connections, and joins loops + dispatch workers.
+  /// Idempotent, and prompt even with open idle connections.
   void stop();
 
  private:
@@ -92,7 +110,9 @@ struct RetryPolicy {
 /// Blocking newline-delimited JSON client, used by wormrt-cli, the load
 /// generator, and the end-to-end tests.  Optional deadlines cover
 /// connect and each call; call_with_retry layers reconnect + backoff on
-/// top for resilience against restarts and sheds.
+/// top for resilience against restarts and sheds.  TCP connections set
+/// TCP_NODELAY: every request is a complete small write and Nagle would
+/// serialize the pipelined stream against the server's ack clock.
 class Client {
  public:
   Client() = default;
@@ -115,6 +135,14 @@ class Client {
   bool call(const std::string& request_line, std::string* response_line,
             std::string* error);
 
+  /// Pipelined batch: coalesces all request lines into ONE send, then
+  /// collects exactly one response line per request, in request order.
+  /// On transport failure \p response_lines holds the responses
+  /// received so far (the caller knows how far the server got).
+  bool call_pipelined(const std::vector<std::string>& request_lines,
+                      std::vector<std::string>* response_lines,
+                      std::string* error);
+
   /// call() with resilience: on transport failure, reconnects to the
   /// last connect_unix/connect_tcp endpoint and retries per \p policy.
   /// Only idempotent verbs (QUERY, EXPLAIN, SNAPSHOT, STATS, METRICS)
@@ -133,6 +161,7 @@ class Client {
  private:
   bool reconnect(std::string* error);
   bool apply_timeouts(std::string* error);
+  bool read_line(std::string* response_line, std::string* error);
 
   int fd_ = -1;
   int timeout_ms_ = 0;

@@ -238,13 +238,35 @@ Json Service::handle(const Json& request) {
     return error_reply("missing verb");
   }
   const std::string& v = verb->as_string();
+  // Mutating verbs manage mu_ themselves (they must release it while
+  // waiting on the group commit); read verbs take it here.
   if (v == "REQUEST") return do_request(request);
   if (v == "REMOVE") return do_remove(request);
-  if (v == "QUERY") return do_query(request);
-  if (v == "EXPLAIN") return do_explain(request);
-  if (v == "SNAPSHOT") return do_snapshot();
-  if (v == "STATS") return do_stats();
-  if (v == "METRICS") return do_metrics();
+  if (v == "BATCH") return do_batch(request);
+  std::lock_guard<std::mutex> lk(mu_);
+  PendingAck ack;
+  return dispatch_locked(request, &ack);
+}
+
+Json Service::dispatch_locked(const Json& request, PendingAck* ack) {
+  if (!request.is_object()) {
+    return error_reply("request must be a json object");
+  }
+  const Json* verb = request.get("verb");
+  if (verb == nullptr || !verb->is_string()) {
+    return error_reply("missing verb");
+  }
+  const std::string& v = verb->as_string();
+  if (v == "REQUEST") return do_request_locked(request, ack);
+  if (v == "REMOVE") return do_remove_locked(request, ack);
+  if (v == "QUERY") return do_query_locked(request);
+  if (v == "EXPLAIN") return do_explain_locked(request);
+  if (v == "SNAPSHOT") return do_snapshot_locked();
+  if (v == "STATS") return do_stats_locked();
+  if (v == "METRICS") return do_metrics_locked();
+  if (v == "BATCH") {
+    return error_reply("BATCH does not nest");
+  }
   if (v == "SHUTDOWN") {
     shutdown_.store(true, std::memory_order_release);
     Json reply = Json::object();
@@ -253,6 +275,59 @@ Json Service::handle(const Json& request) {
     return reply;
   }
   return error_reply("unknown verb: " + v);
+}
+
+void Service::prune_staged_locked() {
+  if (journal_ == nullptr || staged_.empty()) {
+    return;
+  }
+  const std::uint64_t durable = journal_->durable_lsn();
+  while (!staged_.empty() && staged_.front().lsn <= durable) {
+    staged_.pop_front();
+  }
+}
+
+void Service::catch_up_rollback_locked() {
+  if (journal_ == nullptr) {
+    return;
+  }
+  const std::uint64_t failed = journal_->failed_through();
+  if (failed <= rolled_back_through_) {
+    return;
+  }
+  // Undo newest-first: each unadmit() then reverses the engine's most
+  // recent admission, and a rolled-back REMOVE's restore() cannot sit
+  // above a staged ADD it predates.
+  const std::uint64_t durable = journal_->durable_lsn();
+  while (!staged_.empty() && staged_.back().lsn > durable) {
+    const StagedMutation& m = staged_.back();
+    if (m.type == JournalRecord::Type::kAdd) {
+      ctrl_.unadmit(m.entry.handle);
+    } else {
+      ctrl_.restore(static_cast<topo::NodeId>(m.entry.src),
+                    static_cast<topo::NodeId>(m.entry.dst),
+                    static_cast<Priority>(m.entry.priority), m.entry.period,
+                    m.entry.length, m.entry.deadline, m.entry.handle);
+    }
+    staged_.pop_back();
+  }
+  rolled_back_through_ = failed;
+  metrics_.population.set(static_cast<double>(ctrl_.size()));
+}
+
+bool Service::await_durable(const PendingAck& ack, Json* reply) {
+  std::string err;
+  if (journal_->wait_durable(ack.lsn, &err)) {
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    catch_up_rollback_locked();
+  }
+  *reply = error_reply(std::string(ack.is_add ? "admission not durable: "
+                                              : "teardown not durable: ") +
+                       err);
+  return false;
 }
 
 Json Service::provenance_json(const core::BoundProvenance& p) {
@@ -285,11 +360,10 @@ Json Service::provenance_json(const core::BoundProvenance& p) {
   return out;
 }
 
-Json Service::do_request(const Json& request) {
+Json Service::do_request_locked(const Json& request, PendingAck* ack) {
   OBS_SPAN("verb_request");
   std::int64_t src = 0, dst = 0, priority = 0, period = 0, length = 0,
                deadline = 0;
-  std::lock_guard<std::mutex> lk(mu_);
   if (!req_int(request, "src", &src) || !req_int(request, "dst", &dst) ||
       !req_int(request, "priority", &priority) ||
       !req_int(request, "period", &period) ||
@@ -311,6 +385,10 @@ Json Service::do_request(const Json& request) {
   const Json* ex = request.get("explain");
   const bool want_explain = ex != nullptr && ex->as_bool();
 
+  // Never decide against state a failed commit is about to unwind.
+  catch_up_rollback_locked();
+  prune_staged_locked();
+
   core::BoundProvenance provenance;
   const double t0 = now_us();
   const auto decision = ctrl_.request(
@@ -322,9 +400,10 @@ Json Service::do_request(const Json& request) {
 
   if (decision.admitted && journal_ != nullptr) {
     // Write-ahead contract: the admission is acknowledged only once its
-    // journal record is durable.  A failed append rolls the admission
-    // back (releasing the handle), so the journal and the acknowledged
-    // history never diverge.
+    // journal record is durable.  The record is staged here, inside the
+    // same critical section that applied the admission (LSN order ==
+    // apply order, which replay depends on); the durability wait runs
+    // after mu_ is released so concurrent admissions share one fsync.
     JournalEntry e;
     e.handle = decision.handle;
     e.src = src;
@@ -334,20 +413,23 @@ Json Service::do_request(const Json& request) {
     e.length = length;
     e.deadline = deadline;
     std::string err;
-    if (!journal_->append(JournalRecord::Type::kAdd, e, &err)) {
+    std::uint64_t lsn = 0;
+    if (!journal_->stage(JournalRecord::Type::kAdd, e, &lsn, &err)) {
       ctrl_.unadmit(decision.handle);
       metrics_.population.set(static_cast<double>(ctrl_.size()));
       return error_reply("admission not durable: " + err);
     }
-  }
-
-  if (decision.admitted) {
+    staged_.push_back({lsn, JournalRecord::Type::kAdd, e});
+    ack->staged = true;
+    ack->lsn = lsn;
+    ack->is_add = true;
+  } else if (decision.admitted) {
     metrics_.admitted.inc();
-  } else {
+  }
+  if (!decision.admitted) {
     metrics_.rejected.inc();
   }
   metrics_.population.set(static_cast<double>(ctrl_.size()));
-  maybe_compact();
 
   Json reply = Json::object();
   reply.set("ok", true);
@@ -367,36 +449,174 @@ Json Service::do_request(const Json& request) {
   return reply;
 }
 
-Json Service::do_remove(const Json& request) {
+Json Service::do_request(const Json& request) {
+  PendingAck ack;
+  Json reply;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    reply = do_request_locked(request, &ack);
+    if (ack.staged && !options_.group_commit) {
+      // Serial mode: wait under the lock — one fsync per mutation, the
+      // exact PR-5 behaviour.
+      std::string err;
+      if (journal_->wait_durable(ack.lsn, &err)) {
+        metrics_.admitted.inc();
+      } else {
+        catch_up_rollback_locked();
+        reply = error_reply("admission not durable: " + err);
+      }
+      ack.staged = false;
+    }
+    maybe_compact();
+  }
+  if (ack.staged && await_durable(ack, &reply)) {
+    metrics_.admitted.inc();
+  }
+  return reply;
+}
+
+Json Service::do_remove_locked(const Json& request, PendingAck* ack) {
   std::int64_t handle = 0;
-  std::lock_guard<std::mutex> lk(mu_);
   if (!req_int(request, "handle", &handle)) {
     return error_reply("REMOVE needs integer handle");
   }
   metrics_.removes.inc();
-  if (journal_ != nullptr && ctrl_.engine().find(handle) != nullptr) {
-    // Journal the teardown BEFORE applying it, so a durability failure
-    // leaves the engine untouched and the reply can honestly say the
-    // channel is still established.
+  catch_up_rollback_locked();
+  prune_staged_locked();
+  bool removed = false;
+  const core::MessageStream* stream = ctrl_.engine().find(handle);
+  if (journal_ != nullptr && stream != nullptr) {
+    // Journal the teardown BEFORE applying it, so a stage failure
+    // leaves the engine untouched; the full parameter block is kept in
+    // staged_ (not on disk — REMOVE records stay handle-only) so a
+    // failed commit can restore the stream.
     JournalEntry e;
     e.handle = handle;
+    e.src = stream->src;
+    e.dst = stream->dst;
+    e.priority = stream->priority;
+    e.period = stream->period;
+    e.length = stream->length;
+    e.deadline = stream->deadline;
     std::string err;
-    if (!journal_->append(JournalRecord::Type::kRemove, e, &err)) {
+    std::uint64_t lsn = 0;
+    if (!journal_->stage(JournalRecord::Type::kRemove, e, &lsn, &err)) {
       return error_reply("teardown not durable: " + err);
     }
+    staged_.push_back({lsn, JournalRecord::Type::kRemove, e});
+    ack->staged = true;
+    ack->lsn = lsn;
+    ack->is_add = false;
+    removed = ctrl_.remove(handle);
+  } else {
+    removed = ctrl_.remove(handle);
   }
-  const bool removed = ctrl_.remove(handle);
   metrics_.population.set(static_cast<double>(ctrl_.size()));
-  maybe_compact();
   Json reply = Json::object();
   reply.set("ok", true);
   reply.set("removed", removed);
   return reply;
 }
 
-Json Service::do_query(const Json& request) {
+Json Service::do_remove(const Json& request) {
+  PendingAck ack;
+  Json reply;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    reply = do_remove_locked(request, &ack);
+    if (ack.staged && !options_.group_commit) {
+      std::string err;
+      if (!journal_->wait_durable(ack.lsn, &err)) {
+        catch_up_rollback_locked();
+        reply = error_reply("teardown not durable: " + err);
+      }
+      ack.staged = false;
+    }
+    maybe_compact();
+  }
+  if (ack.staged) {
+    await_durable(ack, &reply);
+  }
+  return reply;
+}
+
+Json Service::do_batch(const Json& request) {
+  OBS_SPAN("verb_batch");
+  const Json* reqs = request.get("requests");
+  if (reqs == nullptr || !reqs->is_array()) {
+    return error_reply("BATCH needs a requests array");
+  }
+  const std::vector<Json>& items = reqs->items();
+  constexpr std::size_t kMaxBatch = 4096;
+  if (items.size() > kMaxBatch) {
+    return error_reply("BATCH too large (max 4096 sub-requests)");
+  }
+  std::vector<Json> replies(items.size());
+  std::vector<PendingAck> acks(items.size());
+  std::uint64_t max_lsn = 0;
+  bool any_staged = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      replies[i] = dispatch_locked(items[i], &acks[i]);
+      if (acks[i].staged) {
+        max_lsn = acks[i].lsn;
+        any_staged = true;
+      }
+    }
+    if (any_staged && !options_.group_commit) {
+      std::string err;
+      if (!journal_->wait_durable(max_lsn, &err)) {
+        catch_up_rollback_locked();
+      }
+      // Fixed up below against the durable watermark, same as the
+      // group-commit path.
+    }
+    maybe_compact();
+  }
+  if (any_staged && options_.group_commit) {
+    // One wait covers the whole batch: the leader's single fsync makes
+    // every staged sub-request durable at once.
+    std::string err;
+    if (!journal_->wait_durable(max_lsn, &err)) {
+      std::lock_guard<std::mutex> lk(mu_);
+      catch_up_rollback_locked();
+    }
+  }
+  if (any_staged) {
+    // Per-sub-request fixup.  wait_durable() is instant here — every
+    // LSN <= max_lsn is already resolved — and, unlike a durable_lsn()
+    // comparison, it reports an LSN inside a failed range honestly even
+    // after a later batch advanced the watermark past it.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!acks[i].staged) {
+        continue;
+      }
+      std::string sub_err;
+      if (journal_->wait_durable(acks[i].lsn, &sub_err)) {
+        if (acks[i].is_add) {
+          metrics_.admitted.inc();
+        }
+      } else {
+        replies[i] = error_reply(
+            std::string(acks[i].is_add ? "admission not durable: "
+                                       : "teardown not durable: ") +
+            sub_err);
+      }
+    }
+  }
+  Json reply = Json::object();
+  reply.set("ok", true);
+  Json arr = Json::array();
+  for (Json& r : replies) {
+    arr.push_back(std::move(r));
+  }
+  reply.set("replies", std::move(arr));
+  return reply;
+}
+
+Json Service::do_query_locked(const Json& request) {
   std::int64_t handle = 0;
-  std::lock_guard<std::mutex> lk(mu_);
   if (!req_int(request, "handle", &handle)) {
     return error_reply("QUERY needs integer handle");
   }
@@ -414,10 +634,9 @@ Json Service::do_query(const Json& request) {
   return reply;
 }
 
-Json Service::do_explain(const Json& request) {
+Json Service::do_explain_locked(const Json& request) {
   OBS_SPAN("verb_explain");
   std::int64_t handle = 0;
-  std::lock_guard<std::mutex> lk(mu_);
   if (!req_int(request, "handle", &handle)) {
     return error_reply("EXPLAIN needs integer handle");
   }
@@ -432,8 +651,7 @@ Json Service::do_explain(const Json& request) {
   return reply;
 }
 
-Json Service::do_snapshot() {
-  std::lock_guard<std::mutex> lk(mu_);
+Json Service::do_snapshot_locked() {
   metrics_.snapshots.inc();
   const core::StreamSet streams = ctrl_.snapshot();
   Json reply = Json::object();
@@ -443,8 +661,7 @@ Json Service::do_snapshot() {
   return reply;
 }
 
-Json Service::do_stats() {
-  std::lock_guard<std::mutex> lk(mu_);
+Json Service::do_stats_locked() {
   metrics_.stats.inc();
 
   // The wire format predates the metrics registry and is kept stable
@@ -501,8 +718,7 @@ Json Service::do_stats() {
   return reply;
 }
 
-Json Service::do_metrics() {
-  std::lock_guard<std::mutex> lk(mu_);
+Json Service::do_metrics_locked() {
   metrics_.metrics.inc();
   refresh_mirrors();
   Json reply = Json::object();

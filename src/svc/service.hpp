@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/admission.hpp"
 #include "obs/metrics.hpp"
@@ -29,8 +31,23 @@
 ///   STATS    {}            -> verb counters, engine work counters,
 ///                             admission-latency percentiles + histogram
 ///   METRICS  {}            -> full registry: Prometheus text + JSON
+///   BATCH    {requests:[...]} -> dispatches N sub-requests under one
+///                             lock acquisition; "replies" array in
+///                             sub-request order.  Mutations in the
+///                             batch share one group-commit wait, so N
+///                             admissions cost one fsync.  BATCH does
+///                             not nest.
 ///   SHUTDOWN {}            -> ask the daemon to exit cleanly
 /// Every response carries "ok"; failures add "error".
+///
+/// Durability (DESIGN.md §11): admissions/teardowns are applied to the
+/// engine and staged into the journal under mu_ (so LSN order == apply
+/// order), then the lock is RELEASED while the caller waits for the
+/// covering group commit.  The ack goes out only after the fsync; on a
+/// failed commit every staged-but-undurable mutation is rolled back, in
+/// reverse staging order, before any new mutation is decided — readers
+/// (QUERY/SNAPSHOT) may observe a staged-not-yet-durable admission, but
+/// no client ever receives an ack for one.
 ///
 /// Metrics live in a per-Service obs::Registry (not the process-global
 /// one, so two Services in one test binary never share counts); see
@@ -50,6 +67,11 @@ struct ServiceOptions {
   /// guarantee.  See JournalConfig::fsync_data for when tests turn it
   /// off.
   bool journal_fsync = true;
+  /// Group commit: release mu_ while waiting for the covering fsync so
+  /// concurrent admissions share one journal write.  Off = wait under
+  /// mu_ (the serial PR-5 behaviour: one fsync per mutation, mutations
+  /// fully serialised) — the A/B baseline knob for the bench.
+  bool group_commit = true;
   /// Fault injection for the journal's I/O paths (tests, fuzzer).
   util::FaultInjector* journal_faults = nullptr;
 };
@@ -126,14 +148,42 @@ class Service {
     obs::Gauge& population;   ///< wormrt_population
   };
 
+  /// One staged-but-unacknowledged journal mutation produced by a
+  /// *_locked dispatch; the caller must wait_durable(lsn) (releasing
+  /// mu_ when group commit is on) before the reply may be sent.
+  struct PendingAck {
+    bool staged = false;
+    std::uint64_t lsn = 0;
+    bool is_add = false;  ///< for the admitted-counter and error label
+  };
+
   Json do_request(const Json& request);
   Json do_remove(const Json& request);
-  Json do_query(const Json& request);
-  Json do_explain(const Json& request);
-  Json do_snapshot();
-  Json do_stats();
-  Json do_metrics();
+  Json do_batch(const Json& request);
+  /// Verb dispatch with mu_ held; REQUEST/REMOVE report staged journal
+  /// work via \p ack instead of waiting inline.  Nested BATCH is
+  /// rejected.
+  Json dispatch_locked(const Json& request, PendingAck* ack);
+  Json do_request_locked(const Json& request, PendingAck* ack);
+  Json do_remove_locked(const Json& request, PendingAck* ack);
+  Json do_query_locked(const Json& request);
+  Json do_explain_locked(const Json& request);
+  Json do_snapshot_locked();
+  Json do_stats_locked();
+  Json do_metrics_locked();
   Json error_reply(const std::string& what);
+
+  /// Rolls back every staged mutation above the journal's durable
+  /// watermark after a failed commit, newest first (mu_ held).  Called
+  /// by failing waiters AND by every mutator before it decides, so no
+  /// admission is ever judged against doomed state.
+  void catch_up_rollback_locked();
+  /// Drops staged_ entries whose LSN the journal has made durable
+  /// (mu_ held).
+  void prune_staged_locked();
+  /// Waits for \p lsn outside mu_, rolling back on failure; returns
+  /// false and replaces \p reply with an honest error then.
+  bool await_durable(const PendingAck& ack, Json* reply);
 
   /// Mirrors ThreadPool::shared().stats() and the engine's work counters
   /// into registry_ (call with mu_ held, before any exposition).
@@ -154,6 +204,16 @@ class Service {
   core::AdmissionController ctrl_;
   std::unique_ptr<Journal> journal_;
   RecoveryInfo recovery_;
+  /// Staged-but-unacknowledged mutations in LSN order, with the full
+  /// parameter block so a failed REMOVE can be restored.  Under mu_.
+  struct StagedMutation {
+    std::uint64_t lsn = 0;
+    JournalRecord::Type type = JournalRecord::Type::kAdd;
+    JournalEntry entry;
+  };
+  std::deque<StagedMutation> staged_;
+  /// Journal failure watermark already rolled back (under mu_).
+  std::uint64_t rolled_back_through_ = 0;
   /// Declared before metrics_: the cached references point into it.
   mutable obs::Registry registry_;
   Metrics metrics_;

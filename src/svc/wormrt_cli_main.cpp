@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "svc/json.hpp"
 #include "svc/server.hpp"
@@ -35,6 +36,9 @@ int usage(const char* program) {
       "  metrics               Prometheus text exposition of the daemon\n"
       "  shutdown\n"
       "  raw JSON          send a raw protocol line\n"
+      "  batch             read protocol lines from stdin, send them all\n"
+      "                    pipelined in one write, print one response per\n"
+      "                    line (exit 1 if any response is not ok)\n"
       "resilience flags:\n"
       "  --timeout-ms N    connect/call deadline (default: block forever)\n"
       "  --retries N       retry transport failures up to N times with\n"
@@ -101,6 +105,8 @@ int main(int argc, char** argv) {
                    args.program().c_str());
       return 2;
     }
+  } else if (command == "batch") {
+    // Handled below: needs the connection first.
   } else {
     return usage(args.program().c_str());
   }
@@ -124,6 +130,43 @@ int main(int argc, char** argv) {
   if (!connected) {
     std::fprintf(stderr, "%s: %s\n", args.program().c_str(), error.c_str());
     return 2;
+  }
+
+  if (command == "batch") {
+    // Pipelined mode: every stdin line goes out in ONE coalesced write;
+    // the server streams the responses back in order.
+    std::vector<std::string> lines;
+    std::string in_line;
+    for (int c = std::getchar(); ; c = std::getchar()) {
+      if (c == EOF || c == '\n') {
+        if (!in_line.empty()) {
+          lines.push_back(in_line);
+          in_line.clear();
+        }
+        if (c == EOF) {
+          break;
+        }
+        continue;
+      }
+      in_line.push_back(static_cast<char>(c));
+    }
+    std::vector<std::string> responses;
+    if (!client.call_pipelined(lines, &responses, &error)) {
+      std::fprintf(stderr, "%s: %s\n", args.program().c_str(), error.c_str());
+      return 2;
+    }
+    int status = 0;
+    for (const std::string& resp : responses) {
+      std::printf("%s\n", resp.c_str());
+      std::string batch_parse_error;
+      const Json r = Json::parse(resp, &batch_parse_error);
+      const Json* ok =
+          batch_parse_error.empty() && r.is_object() ? r.get("ok") : nullptr;
+      if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+        status = 1;
+      }
+    }
+    return status;
   }
 
   const std::string line =

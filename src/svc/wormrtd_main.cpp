@@ -60,16 +60,18 @@ int usage(const char* program) {
   std::fprintf(
       stderr,
       "usage: %s (--socket PATH | --port N) [--mesh CxR] [--threads N]\n"
-      "          [--workers N] [--trace FILE] [--state-dir DIR]\n"
-      "          [--compact-every N] [--no-journal-fsync]\n"
-      "          [--max-connections N] [--idle-timeout-ms N]\n"
+      "          [--workers N] [--event-threads N] [--trace FILE]\n"
+      "          [--state-dir DIR] [--compact-every N] [--no-journal-fsync]\n"
+      "          [--no-group-commit] [--max-connections N]\n"
+      "          [--idle-timeout-ms N]\n"
       "  --socket PATH  listen on a Unix-domain socket\n"
       "  --port N       listen on 127.0.0.1:N (0 = ephemeral, printed on "
       "READY)\n"
       "  --mesh CxR     mesh topology, e.g. 8 or 16x16 (default 8x8)\n"
       "  --threads N    analysis threads per decision (0 = all cores, "
       "default 0)\n"
-      "  --workers N    connection workers (default 4)\n"
+      "  --workers N    dispatch workers running verbs (default 4)\n"
+      "  --event-threads N  epoll event-loop threads (default 2)\n"
       "  --trace FILE   record trace spans; written as Chrome trace_event "
       "JSON on shutdown\n"
       "  --state-dir DIR  write-ahead journal + snapshots; admitted state "
@@ -78,6 +80,8 @@ int usage(const char* program) {
       "(default 256)\n"
       "  --no-journal-fsync  skip the per-append fsync (crash durability "
       "becomes best-effort)\n"
+      "  --no-group-commit  one fsync per admission instead of batched "
+      "group commits (slower, for A/B runs)\n"
       "  --max-connections N  concurrent connection cap; excess clients "
       "are shed (default 64)\n"
       "  --idle-timeout-ms N  drop connections idle for N ms (0 = never, "
@@ -120,6 +124,7 @@ int main(int argc, char** argv) {
   service_options.compact_every =
       static_cast<std::uint64_t>(args.get_int("compact-every", 256));
   service_options.journal_fsync = !args.has("no-journal-fsync");
+  service_options.group_commit = !args.has("no-group-commit");
 
   const topo::Mesh mesh(cols, rows);
   const route::XYRouting routing;
@@ -148,6 +153,8 @@ int main(int argc, char** argv) {
   server_config.unix_path = socket_path;
   server_config.tcp_port = static_cast<int>(tcp_port);
   server_config.workers = static_cast<int>(args.get_int("workers", 4));
+  server_config.event_threads =
+      static_cast<int>(args.get_int("event-threads", 2));
   server_config.max_connections =
       static_cast<int>(args.get_int("max-connections", 64));
   server_config.idle_timeout_ms =

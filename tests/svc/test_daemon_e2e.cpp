@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -551,6 +552,139 @@ TEST(KillRecover, SigkilledDaemonRecoversItsAcknowledgedState) {
   daemon.reap();
   std::filesystem::remove_all(state_dir);
   ::unlink(socket_path.c_str());
+}
+
+TEST(DaemonBatch, CliBatchCommandPipelinesStdinLines) {
+  // The `batch` CLI command reads protocol lines from stdin, sends them
+  // all in one pipelined write, and prints one response line each — in
+  // order.  Drive the real daemon + real cli through a shell pipe.
+  char socket_path[128];
+  std::snprintf(socket_path, sizeof socket_path, "/tmp/wormrtd-batch-%d.sock",
+                static_cast<int>(::getpid()));
+  const std::string command = std::string(WORMRTD_BIN) + " --socket " +
+                              socket_path + " --mesh 8 --threads 1";
+  FILE* daemon = ::popen(command.c_str(), "r");
+  ASSERT_NE(daemon, nullptr);
+  char ready[256];
+  ASSERT_NE(std::fgets(ready, sizeof ready, daemon), nullptr);
+  ASSERT_EQ(std::string(ready).rfind("READY unix ", 0), 0u) << ready;
+
+  // Six disjoint single-hop streams (node i straight down to node
+  // 8 + i): no shared links, so every request is admitted and the
+  // handles come back dense.
+  std::string lines;
+  for (int i = 0; i < 6; ++i) {
+    lines += "{\"verb\":\"REQUEST\",\"src\":" + std::to_string(i) +
+             ",\"dst\":" + std::to_string(8 + i) +
+             ",\"priority\":2,\"period\":50,\"length\":10,"
+             "\"deadline\":250}\\n";
+  }
+  lines += "{\"verb\":\"STATS\"}\\n";
+  std::string out;
+  const int status = run("printf '" + lines + "' | " + WORMRT_CLI_BIN +
+                             " --socket " + socket_path + " batch",
+                         &out);
+  EXPECT_EQ(status, 0) << out;
+
+  // Seven response lines, in request order: handles 0..5, then STATS
+  // counting exactly the six requests.
+  std::istringstream responses(out);
+  std::string line;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(static_cast<bool>(std::getline(responses, line))) << out;
+    std::string error;
+    const Json reply = Json::parse(line, &error);
+    ASSERT_TRUE(error.empty()) << error << " in: " << line;
+    ASSERT_TRUE(reply.is_object()) << line;
+    const Json* admitted = reply.get("admitted");
+    ASSERT_NE(admitted, nullptr) << line;
+    EXPECT_TRUE(admitted->as_bool()) << line;
+    const Json* handle = reply.get("handle");
+    ASSERT_NE(handle, nullptr) << line;
+    EXPECT_EQ(handle->as_int(), i) << line;
+  }
+  ASSERT_TRUE(static_cast<bool>(std::getline(responses, line))) << out;
+  std::string error;
+  const Json stats = Json::parse(line, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(stats.get("verbs")->get("requests")->as_int(), 6);
+
+  run(std::string(WORMRT_CLI_BIN) + " --socket " + socket_path + " shutdown",
+      &out);
+  ::pclose(daemon);
+  ::unlink(socket_path);
+}
+
+TEST(DaemonShutdown, ShutdownIsPromptDespiteIdleConnections) {
+  // A daemon with open idle connections must still stop quickly: the
+  // eventfd wake-up, not the 30 s idle timer, ends the epoll loops.
+  char socket_path[128];
+  std::snprintf(socket_path, sizeof socket_path,
+                "/tmp/wormrtd-promptstop-%d.sock", static_cast<int>(::getpid()));
+  Daemon daemon = spawn_daemon({WORMRTD_BIN, "--socket", socket_path, "--mesh",
+                                "8", "--threads", "1"});
+  daemon.wait_ready();
+
+  std::vector<std::unique_ptr<svc::Client>> idlers;
+  std::string error;
+  for (int i = 0; i < 4; ++i) {
+    idlers.push_back(std::make_unique<svc::Client>());
+    ASSERT_TRUE(idlers.back()->connect_unix(socket_path, &error)) << error;
+  }
+  svc::Client talker;
+  ASSERT_TRUE(talker.connect_unix(socket_path, &error)) << error;
+  std::string reply;
+  ASSERT_TRUE(talker.call("{\"verb\":\"SHUTDOWN\"}", &reply, &error)) << error;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon.pid, &status, 0), daemon.pid);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 3000) << "shutdown waited on idle connections";
+  std::fclose(daemon.out);
+  daemon.pid = -1;
+  daemon.out = nullptr;
+
+  talker.close();
+  for (auto& c : idlers) {
+    c->close();
+  }
+  ::unlink(socket_path);
+}
+
+TEST(TcpLatency, SequentialCallsAreNotNagleThrottled) {
+  // TCP_NODELAY on both sides: 200 sequential small request/response
+  // round trips over loopback must complete in single-digit
+  // milliseconds each, never the 40 ms delayed-ACK/Nagle beat.  The
+  // budget is deliberately loose (25 ms/call) so only a genuine Nagle
+  // regression — not scheduler noise — trips it.
+  topo::Mesh mesh(8, 8);
+  route::XYRouting routing;
+  svc::Service service(mesh, routing);
+  svc::ServerConfig config;
+  config.tcp_port = 0;
+  svc::Server server(service, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  svc::Client client;
+  ASSERT_TRUE(client.connect_tcp("127.0.0.1", server.port(), &error)) << error;
+
+  const int kCalls = 200;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCalls; ++i) {
+    std::string reply;
+    ASSERT_TRUE(client.call("{\"verb\":\"STATS\"}", &reply, &error)) << error;
+  }
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed_ms, kCalls * 25) << "round trips look Nagle-throttled";
+
+  client.close();
+  server.stop();
 }
 
 void noop_handler(int) {}

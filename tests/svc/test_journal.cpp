@@ -8,12 +8,16 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 #include "core/admission.hpp"
 #include "route/dor.hpp"
@@ -483,7 +487,217 @@ TEST_F(JournalTest, ServiceFailsAdmissionWhenTheJournalCannotAck) {
 
   // Recovery agrees: only the acknowledged admission comes back.
   Service recovered(mesh, routing, {},
-                    ServiceOptions{dir_, 256, true, nullptr});
+                    ServiceOptions{dir_, 256, true, true, nullptr});
+  ASSERT_TRUE(recovered.open_state(&error)) << error;
+  EXPECT_EQ(recovered.population(), 1u);
+}
+
+// -------------------------------------------------------------- group commit
+
+TEST_F(JournalTest, GroupCommitBatchedAppendsMatchSerialAppendsOnDisk) {
+  // The same mutation sequence, appended one-fsync-per-record vs staged
+  // as one batch with a single leader commit, must produce IDENTICAL
+  // journal bytes — replay cannot tell the modes apart.
+  const std::string serial_dir = dir_ + "-serial";
+  std::filesystem::remove_all(serial_dir);
+  {
+    Journal serial(JournalConfig{serial_dir, true, nullptr});
+    RecoveredState state;
+    std::string error;
+    ASSERT_TRUE(serial.open(&state, &error)) << error;
+    ASSERT_TRUE(serial.append(JournalRecord::Type::kAdd, entry(1, 0, 5),
+                              &error));
+    ASSERT_TRUE(serial.append(JournalRecord::Type::kAdd, entry(2, 3, 7),
+                              &error));
+    ASSERT_TRUE(serial.append(JournalRecord::Type::kRemove, entry(1),
+                              &error));
+  }
+  {
+    Journal batched(config());
+    RecoveredState state;
+    std::string error;
+    ASSERT_TRUE(batched.open(&state, &error)) << error;
+    std::uint64_t lsn1 = 0, lsn2 = 0, lsn3 = 0;
+    ASSERT_TRUE(batched.stage(JournalRecord::Type::kAdd, entry(1, 0, 5),
+                              &lsn1, &error));
+    ASSERT_TRUE(batched.stage(JournalRecord::Type::kAdd, entry(2, 3, 7),
+                              &lsn2, &error));
+    ASSERT_TRUE(batched.stage(JournalRecord::Type::kRemove, entry(1), &lsn3,
+                              &error));
+    EXPECT_EQ(lsn1, 1u);
+    EXPECT_EQ(lsn2, 2u);
+    EXPECT_EQ(lsn3, 3u);
+    // Nothing is durable until someone waits (and thereby leads).
+    EXPECT_EQ(batched.durable_lsn(), 0u);
+    ASSERT_TRUE(batched.wait_durable(lsn3, &error)) << error;
+    EXPECT_EQ(batched.durable_lsn(), 3u);
+    // Waiting on the already-covered earlier LSNs is instant and true.
+    EXPECT_TRUE(batched.wait_durable(lsn1, &error));
+  }
+  EXPECT_EQ(read_bytes(Journal::journal_path(serial_dir)),
+            read_bytes(wal()));
+
+  RecoveredState serial_state, batched_state;
+  std::string error;
+  ASSERT_TRUE(Journal::recover(serial_dir, &serial_state, &error)) << error;
+  ASSERT_TRUE(Journal::recover(dir_, &batched_state, &error)) << error;
+  ASSERT_EQ(batched_state.records.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batched_state.records[i].lsn, serial_state.records[i].lsn);
+    EXPECT_EQ(batched_state.records[i].type, serial_state.records[i].type);
+    EXPECT_EQ(batched_state.records[i].entry, serial_state.records[i].entry);
+  }
+  std::filesystem::remove_all(serial_dir);
+}
+
+TEST_F(JournalTest, GroupCommitConcurrentAppendsAckOnlyAfterCoveringFsync) {
+  obs::Registry registry;
+  Journal journal(config(), &registry);
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<int> acked{0};
+  std::atomic<bool> invariant_ok{true};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string err;
+        std::uint64_t lsn = 0;
+        if (!journal.stage(JournalRecord::Type::kAdd,
+                           entry(t * kPerThread + i, t, 8 + i % 4), &lsn,
+                           &err) ||
+            !journal.wait_durable(lsn, &err)) {
+          invariant_ok.store(false);
+          return;
+        }
+        // The ack contract: once wait_durable returns true, the record
+        // is under the durable watermark — the covering fsync already
+        // happened, whatever thread led it.
+        if (journal.durable_lsn() < lsn) {
+          invariant_ok.store(false);
+        }
+        acked.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  EXPECT_TRUE(invariant_ok.load());
+  EXPECT_EQ(acked.load(), kThreads * kPerThread);
+
+  // LSNs on disk are dense and monotone: 1..N with no gaps, whatever
+  // interleaving the batches had.
+  RecoveredState recovered;
+  ASSERT_TRUE(Journal::recover(dir_, &recovered, &error)) << error;
+  ASSERT_EQ(recovered.records.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 0; i < recovered.records.size(); ++i) {
+    EXPECT_EQ(recovered.records[i].lsn, i + 1);
+  }
+
+  // Group commit actually grouped: fewer leader commits than records
+  // (with 8 writers racing, some batches must exceed one record), and
+  // the batch-size histogram saw every record.
+  const double commits =
+      registry.counter("wormrt_journal_group_commits_total", {}).value();
+  const double appends =
+      registry.counter("wormrt_journal_appends_total", {}).value();
+  EXPECT_EQ(appends, static_cast<double>(kThreads * kPerThread));
+  EXPECT_GE(commits, 1.0);
+  EXPECT_LE(commits, appends);
+}
+
+TEST_F(JournalTest, GroupCommitLeaderFsyncFailureFailsEveryBatchedRecord) {
+  util::FaultInjector faults;
+  JournalConfig cfg = config();
+  cfg.faults = &faults;
+  Journal journal(cfg);
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+  ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(1), &error))
+      << error;
+
+  // Three records staged into one batch, then the leader's fsync fails:
+  // every waiter in the batch must see the failure — none of the three
+  // may ever read as durable, even though a single fsync covered them.
+  std::uint64_t lsn2 = 0, lsn3 = 0, lsn4 = 0;
+  ASSERT_TRUE(journal.stage(JournalRecord::Type::kAdd, entry(2), &lsn2,
+                            &error));
+  ASSERT_TRUE(journal.stage(JournalRecord::Type::kAdd, entry(3), &lsn3,
+                            &error));
+  ASSERT_TRUE(journal.stage(JournalRecord::Type::kRemove, entry(2), &lsn4,
+                            &error));
+  faults.arm_fsync_error(5 /* EIO */);
+  std::string err2, err3, err4;
+  EXPECT_FALSE(journal.wait_durable(lsn2, &err2));
+  EXPECT_FALSE(journal.wait_durable(lsn3, &err3));
+  EXPECT_FALSE(journal.wait_durable(lsn4, &err4));
+  EXPECT_NE(err3.find("fsync"), std::string::npos) << err3;
+  EXPECT_EQ(journal.durable_lsn(), 1u);
+  EXPECT_GE(journal.failed_through(), lsn4);
+
+  // Unknown durability poisons the journal, exactly as a serial fsync
+  // failure does.
+  EXPECT_FALSE(journal.append(JournalRecord::Type::kAdd, entry(5), &error));
+  EXPECT_NE(error.find("poisoned"), std::string::npos) << error;
+
+  // The withdrawn batch never reaches replay.
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 1u);
+  EXPECT_EQ(state.records[0].entry.handle, 1);
+}
+
+TEST_F(JournalTest, ServiceRollsBackEveryConcurrentAdmissionOnFsyncFailure) {
+  const topo::Mesh mesh(4, 4);
+  const route::XYRouting routing;
+  util::FaultInjector faults;
+  ServiceOptions options;
+  options.state_dir = dir_;
+  options.journal_faults = &faults;
+  ASSERT_TRUE(options.group_commit);
+
+  Service service(mesh, routing, {}, options);
+  std::string error;
+  ASSERT_TRUE(service.open_state(&error)) << error;
+  ASSERT_TRUE(service.handle(request_line(0, 5, 2, 60, 8, 50))
+                  .get("admitted")
+                  ->as_bool());
+
+  // The NEXT fsync fails — whichever admission's leader runs it.  All
+  // concurrent admissions either land in that doomed batch or hit the
+  // poisoned journal afterwards: every one must come back "not durable"
+  // and be rolled back, leaving only the pre-failure acknowledged state.
+  faults.arm_fsync_error(5 /* EIO */);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<Json> replies(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      replies[static_cast<std::size_t>(t)] =
+          service.handle(request_line(t, 8 + t, 2, 60, 8, 50));
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  for (const Json& reply : replies) {
+    ASSERT_FALSE(reply.get("ok")->as_bool());
+    EXPECT_NE(reply.get("error")->as_string().find("not durable"),
+              std::string::npos);
+  }
+  EXPECT_EQ(service.population(), 1u);
+
+  // Recovery sees exactly the acknowledged history.
+  Service recovered(mesh, routing, {},
+                    ServiceOptions{dir_, 256, true, true, nullptr});
   ASSERT_TRUE(recovered.open_state(&error)) << error;
   EXPECT_EQ(recovered.population(), 1u);
 }

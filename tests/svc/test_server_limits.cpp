@@ -12,9 +12,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "svc/json.hpp"
 
 #include "route/dor.hpp"
 #include "svc/server.hpp"
@@ -197,6 +201,122 @@ TEST_F(ServerLimits, IdleConnectionsAreReaped) {
   EXPECT_TRUE(peer_closed(fd));
   ::close(fd);
   EXPECT_EQ(sheds("idle_timeout"), 1u);
+}
+
+TEST_F(ServerLimits, IdleConnectionsNeverStarveNewClients) {
+  // Regression for the thread-per-connection accept stall: with one
+  // dispatch worker, a single idle connection used to pin the only
+  // worker inside recv() forever, so a second client's STATS never got
+  // an answer (and under a connection flood, accept itself stalled
+  // behind the full submit queue).  The event loop owns reads and
+  // accepts now; idle connections cost no worker at all.
+  ServerConfig config;
+  config.workers = 1;
+  config.event_threads = 1;
+  start(config);
+
+  std::vector<int> idlers;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = raw_connect(server_->port());
+    ASSERT_GE(fd, 0);
+    idlers.push_back(fd);  // connected, never speaks
+  }
+
+  // A late client must still be answered promptly.  The receive timeout
+  // turns a regression into a failed read instead of a hung test.
+  const int probe = raw_connect(server_->port());
+  ASSERT_GE(probe, 0);
+  timeval tv = {};
+  tv.tv_sec = 5;
+  ASSERT_EQ(::setsockopt(probe, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv), 0);
+  ASSERT_TRUE(send_all(probe, "{\"verb\":\"STATS\"}\n"));
+  EXPECT_NE(read_reply(probe).find("\"ok\":true"), std::string::npos)
+      << "STATS probe starved behind idle connections";
+  ::close(probe);
+  for (const int fd : idlers) {
+    ::close(fd);
+  }
+}
+
+TEST_F(ServerLimits, PipelinedRequestsAnswerInOrder) {
+  ServerConfig config;
+  config.workers = 2;
+  config.event_threads = 2;
+  start(config);
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect_tcp("127.0.0.1", server_->port(), &error))
+      << error;
+
+  // A whole batch in one write; admissions hand out dense handles from
+  // 0, so in-order responses mean handle i on line i — any reordering
+  // or reply loss breaks the sequence.
+  std::vector<std::string> requests;
+  for (int i = 0; i < 24; ++i) {
+    Json req = Json::object();
+    req.set("verb", "REQUEST");
+    req.set("src", std::int64_t{i % 8});
+    req.set("dst", std::int64_t{56 + i % 8});
+    req.set("priority", std::int64_t{4});
+    req.set("period", std::int64_t{100000});
+    req.set("length", std::int64_t{1});
+    req.set("deadline", std::int64_t{100000});
+    requests.push_back(req.dump());
+  }
+  requests.push_back("{\"verb\":\"STATS\"}");
+
+  std::vector<std::string> responses;
+  ASSERT_TRUE(client.call_pipelined(requests, &responses, &error)) << error;
+  ASSERT_EQ(responses.size(), requests.size());
+  for (int i = 0; i < 24; ++i) {
+    std::string parse_error;
+    const Json reply = Json::parse(responses[static_cast<std::size_t>(i)],
+                                   &parse_error);
+    ASSERT_TRUE(parse_error.empty()) << parse_error;
+    ASSERT_TRUE(reply.get("ok")->as_bool()) << responses[i];
+    ASSERT_TRUE(reply.get("admitted")->as_bool()) << responses[i];
+    EXPECT_EQ(reply.get("handle")->as_int(), i)
+        << "responses arrived out of request order";
+  }
+  std::string parse_error;
+  const Json stats = Json::parse(responses.back(), &parse_error);
+  ASSERT_TRUE(parse_error.empty()) << parse_error;
+  EXPECT_EQ(stats.get("verbs")->get("requests")->as_int(), 24);
+  client.close();
+}
+
+TEST_F(ServerLimits, StopIsPromptWithOpenIdleConnections) {
+  ServerConfig config;
+  config.idle_timeout_ms = 30000;  // far longer than this test may take
+  start(config);
+
+  std::vector<int> idlers;
+  for (int i = 0; i < 5; ++i) {
+    const int fd = raw_connect(server_->port());
+    ASSERT_GE(fd, 0);
+    idlers.push_back(fd);
+  }
+  // One served call guarantees the loops have registered connections.
+  Client client;
+  std::string error, reply;
+  ASSERT_TRUE(client.connect_tcp("127.0.0.1", server_->port(), &error))
+      << error;
+  ASSERT_TRUE(client.call("{\"verb\":\"STATS\"}", &reply, &error)) << error;
+
+  // stop() must wake every epoll loop via its eventfd instead of
+  // waiting out the 30 s idle timer (or for the idlers to speak).
+  const auto t0 = std::chrono::steady_clock::now();
+  server_->stop();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 2000) << "stop() waited on idle connections";
+
+  client.close();
+  for (const int fd : idlers) {
+    ::close(fd);
+  }
 }
 
 TEST(StaleSocket, LiveServerIsNotStolenStaleFileIsReclaimed) {

@@ -408,6 +408,85 @@ TEST_F(ServiceTest, StatsCountsExplainsAndCacheHits) {
   EXPECT_GE(stats.get("engine")->get("bound_cache_hits")->as_int(), 0);
 }
 
+TEST_F(ServiceTest, BatchVerbDispatchesSubRequestsInOrder) {
+  // One BATCH line carrying a mixed bag of sub-requests; the replies
+  // array answers them in order, and each sub-reply matches what the
+  // serial verb would have said.
+  Json batch = Json::object();
+  batch.set("verb", "BATCH");
+  Json requests = Json::array();
+  std::string parse_error;
+  requests.push_back(
+      Json::parse(request_line(0, 5, 2, 50, 20, 250), &parse_error));
+  requests.push_back(
+      Json::parse(request_line(8, 13, 1, 60, 10, 300), &parse_error));
+  Json query = Json::object();
+  query.set("verb", "QUERY");
+  query.set("handle", std::int64_t{0});  // the batch's first admission
+  requests.push_back(std::move(query));
+  Json bogus = Json::object();
+  bogus.set("verb", "FROBNICATE");
+  requests.push_back(std::move(bogus));
+  batch.set("requests", std::move(requests));
+
+  const Json reply = call(batch.dump());
+  ASSERT_TRUE(reply.get("ok")->as_bool()) << batch.dump();
+  const auto& replies = reply.get("replies")->items();
+  ASSERT_EQ(replies.size(), 4u);
+
+  const auto first = replay_.request(0, 5, 2, 50, 20, 250);
+  const auto second = replay_.request(8, 13, 1, 60, 10, 300);
+  EXPECT_TRUE(replies[0].get("admitted")->as_bool());
+  EXPECT_EQ(replies[0].get("handle")->as_int(), first.handle);
+  EXPECT_EQ(replies[0].get("bound")->as_int(), first.bound);
+  EXPECT_TRUE(replies[1].get("admitted")->as_bool());
+  EXPECT_EQ(replies[1].get("handle")->as_int(), second.handle);
+  EXPECT_EQ(replies[1].get("bound")->as_int(), second.bound);
+  // The QUERY inside the batch sees the admission made two slots
+  // earlier in the same batch (handle 0: the first admission).
+  EXPECT_TRUE(replies[2].get("ok")->as_bool());
+  EXPECT_EQ(replies[2].get("bound")->as_int(), first.bound);
+  // A failing sub-request fails alone; the batch itself is still ok.
+  EXPECT_FALSE(replies[3].get("ok")->as_bool());
+
+  // STATS counts the sub-verbs, not the envelope.
+  const Json stats = call(R"({"verb":"STATS"})");
+  EXPECT_EQ(stats.get("verbs")->get("requests")->as_int(), 2);
+  EXPECT_EQ(stats.get("verbs")->get("admitted")->as_int(), 2);
+  EXPECT_EQ(stats.get("population")->as_int(), 2);
+}
+
+TEST_F(ServiceTest, BatchVerbRejectsAbuse) {
+  // No requests array.
+  EXPECT_FALSE(call(R"({"verb":"BATCH"})").get("ok")->as_bool());
+  EXPECT_FALSE(call(R"({"verb":"BATCH","requests":3})").get("ok")->as_bool());
+
+  // Nested BATCH is refused (it could recurse without bound).
+  const Json nested = call(
+      R"({"verb":"BATCH","requests":[{"verb":"BATCH","requests":[]}]})");
+  ASSERT_TRUE(nested.get("ok")->as_bool());
+  const auto& replies = nested.get("replies")->items();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].get("ok")->as_bool());
+  EXPECT_NE(replies[0].get("error")->as_string().find("nest"),
+            std::string::npos);
+
+  // Oversized batches are refused outright.
+  Json big = Json::object();
+  big.set("verb", "BATCH");
+  Json many = Json::array();
+  for (int i = 0; i < 4097; ++i) {
+    Json stats = Json::object();
+    stats.set("verb", "STATS");
+    many.push_back(std::move(stats));
+  }
+  big.set("requests", std::move(many));
+  const Json refused = call(big.dump());
+  EXPECT_FALSE(refused.get("ok")->as_bool());
+  EXPECT_NE(refused.get("error")->as_string().find("BATCH too large"),
+            std::string::npos);
+}
+
 /// The socket transport: a real Server on a Unix socket, several client
 /// connections (serial and concurrent), decisions matching a replay
 /// controller.
