@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/delay_bound.hpp"
+#include "flitsim/flit_sim.hpp"
 #include "route/dor.hpp"
 #include "sim/simulator.hpp"
 #include "topo/hypercube.hpp"
@@ -20,6 +21,14 @@ const char* to_string(TopoKind kind) {
     case TopoKind::kMesh: return "mesh";
     case TopoKind::kTorus: return "torus";
     case TopoKind::kHypercube: return "hypercube";
+  }
+  return "?";
+}
+
+const char* to_string(SimBackend backend) {
+  switch (backend) {
+    case SimBackend::kIdeal: return "ideal";
+    case SimBackend::kFlit: return "flit-accurate";
   }
   return "?";
 }
@@ -93,37 +102,20 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
       }
     }
 
-    sim::SimConfig sc;
-    sc.duration = params.sim_duration;
-    sc.warmup = params.sim_warmup;
-    sc.policy = params.policy;
-    sc.num_vcs = params.num_vcs_override > 0
-                     ? params.num_vcs_override
-                     : std::max(params.priority_levels, 1);
-    sc.vc_buffer_depth = params.vc_buffer_depth;
-    sc.record_arrivals = true;
-    sim::Simulator sim(mesh, streams, sc);
-    const sim::SimResult sr = sim.run();
-    out.retransmissions = sr.retransmissions;
-    out.flits_dropped = sr.flits_dropped;
-
-    for (const auto& a : sr.arrivals) {
+    const auto count_arrival = [&](StreamId stream, Time delay) {
       ++out.messages_measured;
-      if (a.arrived - a.generated >
-          adjusted.bounds[static_cast<std::size_t>(a.stream)]) {
+      if (delay > adjusted.bounds[static_cast<std::size_t>(stream)]) {
         ++out.bound_violations;
       }
-    }
-
-    for (const auto& s : streams) {
-      const auto& st = sr.per_stream[static_cast<std::size_t>(s.id)];
-      if (st.completed == 0) {
+    };
+    const auto count_stream = [&](const core::MessageStream& s,
+                                  std::int64_t completed, double actual) {
+      if (completed == 0) {
         ++out.silent_streams;
-        continue;
+        return;
       }
       const auto bound = static_cast<double>(
           adjusted.bounds[static_cast<std::size_t>(s.id)]);
-      const double actual = st.latency.mean();
       const double ratio = actual / bound;
       auto& acc = out.levels[s.priority];
       ++acc.streams;
@@ -132,6 +124,44 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
       acc.ratio_max = std::max(acc.ratio_max, ratio);
       acc.actual_sum += actual;
       acc.bound_sum += bound;
+    };
+
+    if (params.backend == SimBackend::kFlit) {
+      flitsim::FlitSimConfig fc;
+      fc.duration = params.sim_duration;
+      fc.warmup = params.sim_warmup;
+      fc.vc_buffer_depth = params.vc_buffer_depth;
+      fc.record_arrivals = true;
+      flitsim::FlitSimulator sim(mesh, streams, fc);
+      const flitsim::FlitSimResult fr = sim.run();
+      for (const auto& a : fr.arrivals) {
+        count_arrival(a.stream, a.delivered - a.generated);
+      }
+      for (const auto& s : streams) {
+        const auto& st = fr.per_stream[static_cast<std::size_t>(s.id)];
+        count_stream(s, st.completed, st.latency.mean());
+      }
+    } else {
+      sim::SimConfig sc;
+      sc.duration = params.sim_duration;
+      sc.warmup = params.sim_warmup;
+      sc.policy = params.policy;
+      sc.num_vcs = params.num_vcs_override > 0
+                       ? params.num_vcs_override
+                       : std::max(params.priority_levels, 1);
+      sc.vc_buffer_depth = params.vc_buffer_depth;
+      sc.record_arrivals = true;
+      sim::Simulator sim(mesh, streams, sc);
+      const sim::SimResult sr = sim.run();
+      out.retransmissions = sr.retransmissions;
+      out.flits_dropped = sr.flits_dropped;
+      for (const auto& a : sr.arrivals) {
+        count_arrival(a.stream, a.arrived - a.generated);
+      }
+      for (const auto& s : streams) {
+        const auto& st = sr.per_stream[static_cast<std::size_t>(s.id)];
+        count_stream(s, st.completed, st.latency.mean());
+      }
     }
   });
 
@@ -184,8 +214,12 @@ std::string format_table(const ExperimentParams& params,
          std::to_string(params.num_streams) + " streams, " +
          std::to_string(params.priority_levels) + " priority level(s), " +
          std::to_string(params.replications) + " replication(s), " +
-         std::string(core::to_string(params.pattern)) + " traffic, policy " +
-         sim::to_string(params.policy) + "\n";
+         std::string(core::to_string(params.pattern)) + " traffic, " +
+         (params.backend == SimBackend::kFlit
+              ? "flit-accurate backend (depth " +
+                    std::to_string(params.vc_buffer_depth) + ")"
+              : "policy " + std::string(sim::to_string(params.policy))) +
+         "\n";
   util::Table table({"P", "streams", "ratio(actual/U)", "min", "max",
                      "avg actual", "avg U"});
   for (const auto& row : result.rows) {

@@ -25,6 +25,20 @@ enum class TopoKind { kMesh, kTorus, kHypercube };
 
 const char* to_string(TopoKind kind);
 
+/// Which simulation backend measures the workload.
+enum class SimBackend {
+  /// sim::Simulator — idealized preemptive channels (infinite effective
+  /// buffering, no flow control); `policy` and `num_vcs_override` apply.
+  kIdeal,
+  /// flitsim::FlitSimulator — event-driven flit-accurate router: real
+  /// per-VC buffers of `vc_buffer_depth`, credit flow control, single
+  /// injection/ejection ports, per-stream lanes (DESIGN.md §12).
+  /// `policy` and `num_vcs_override` are ignored.
+  kFlit,
+};
+
+const char* to_string(SimBackend backend);
+
 struct ExperimentParams {
   int num_streams = 20;
   int priority_levels = 1;
@@ -37,6 +51,7 @@ struct ExperimentParams {
   int mesh_height = 10;   ///< mesh/torus dimension 1
   int hypercube_order = 6;
   core::TrafficPattern pattern = core::TrafficPattern::kUniform;
+  SimBackend backend = SimBackend::kIdeal;
   Time sim_duration = 30000;
   Time sim_warmup = 2000;
   /// Default is the work-conserving per-stream-lane idealisation whose

@@ -7,6 +7,7 @@
 #include "core/delay_bound.hpp"
 #include "core/feasibility.hpp"
 #include "core/workload.hpp"
+#include "flitsim/flit_sim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "route/dor.hpp"
@@ -52,6 +53,64 @@ void BM_SimulatorRun(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(flits), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorRun)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+// Flit-accurate backend throughput (BENCH_flitsim.json): events/s and
+// flits/s of the event-driven router as the mesh and the population
+// scale.  Args are {mesh side, streams}: the 32x32 row is the "large
+// mesh, thousands of flits in flight" regime the event queue and the
+// per-channel wire deques are designed for.
+void BM_FlitSim(benchmark::State& state) {
+  const auto side = static_cast<int>(state.range(0));
+  const auto n = static_cast<int>(state.range(1));
+  topo::Mesh mesh(side, side);
+  const StreamSet streams = make_workload(mesh, n, 4);
+  flitsim::FlitSimConfig cfg;
+  cfg.duration = 10000;
+  cfg.warmup = 0;
+  cfg.vc_buffer_depth = 4;
+  std::int64_t events = 0;
+  std::int64_t flits = 0;
+  for (auto _ : state) {
+    flitsim::FlitSimulator sim(mesh, streams, cfg);
+    const auto result = sim.run();
+    events += result.events_processed;
+    flits += result.flits_delivered;
+    benchmark::DoNotOptimize(result.flits_delivered);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["flits/s"] = benchmark::Counter(
+      static_cast<double>(flits), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlitSim)
+    ->Args({10, 20})->Args({10, 60})->Args({32, 200})->Args({32, 1000})
+    ->Unit(benchmark::kMillisecond);
+
+// Parallel replications on the shared thread pool: the scaling knob the
+// ablation benches use.  Args are {replications, threads}; the
+// threads=1 row is the serial baseline of the speedup ratio (results
+// are bitwise identical across rows — see FlitSimDeterminism).
+void BM_FlitSimReplications(benchmark::State& state) {
+  const auto reps = static_cast<int>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
+  topo::Mesh mesh(10, 10);
+  const StreamSet streams = make_workload(mesh, 40, 4);
+  flitsim::FlitSimConfig cfg;
+  cfg.duration = 5000;
+  cfg.warmup = 0;
+  cfg.vc_buffer_depth = 4;
+  for (auto _ : state) {
+    const auto results =
+        flitsim::run_replications(mesh, streams, cfg, reps, threads);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.counters["reps/s"] = benchmark::Counter(
+      static_cast<double>(reps) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlitSimReplications)
+    ->Args({8, 1})->Args({8, 2})->Args({8, 4})->Args({8, 0})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_BlockingAnalysis(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));

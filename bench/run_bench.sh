@@ -41,6 +41,20 @@ OBS_OUT="$(dirname "$OUT")/BENCH_obs.json"
 
 echo "wrote $OBS_OUT"
 
+# Flit-accurate simulator throughput: events/s and flits/s as the mesh
+# and population scale (32x32 rows are the large-mesh regime), plus the
+# parallel-replication scaling rows (threads 1/2/4/hw; bitwise-identical
+# results across thread counts).
+FLITSIM_OUT="$(dirname "$OUT")/BENCH_flitsim.json"
+"$BIN" \
+  --benchmark_filter='BM_FlitSim' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$FLITSIM_OUT"
+
+echo "wrote $FLITSIM_OUT"
+
 # Service-layer throughput: admission churn through the socket server in
 # four modes (no journal, durable serial, durable pipelined with group
 # commit, pipelined with fsync off).  Emits p50/p99 per mode plus the

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// \file event_queue.hpp
+/// The flit simulator's global timestamped event queue (netsim-style).
+///
+/// Only two event kinds exist: message releases (periodic traffic
+/// generation) and router ticks (one router evaluates one cycle).  All
+/// cross-router effects — flits and credits on wires — take exactly one
+/// cycle, so a router only ever needs a tick when something can happen,
+/// and idle regions of the network cost nothing.
+///
+/// Pop order is a total order on (time, kind, id, seq): releases before
+/// ticks at the same timestamp (a message released at t can start
+/// injecting at t), ids ascending, push order last.  The order is a pure
+/// function of the pushed set, which is the root of the simulator's
+/// bit-for-bit determinism (DESIGN.md §12).
+
+namespace wormrt::flitsim {
+
+enum class EventKind : std::uint8_t {
+  kRelease = 0,  ///< id = stream: generate one message, reschedule next
+  kTick = 1,     ///< id = node: run one router cycle
+};
+
+struct Event {
+  Time time = 0;
+  EventKind kind = EventKind::kTick;
+  std::int32_t id = 0;
+  std::uint64_t seq = 0;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    if (a.id != b.id) return a.id > b.id;
+    return a.seq > b.seq;
+  }
+};
+
+class EventQueue {
+ public:
+  void push(Time time, EventKind kind, std::int32_t id) {
+    heap_.push(Event{time, kind, id, seq_++});
+  }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const Event& top() const { return heap_.top(); }
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace wormrt::flitsim

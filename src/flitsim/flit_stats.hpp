@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+/// \file flit_stats.hpp
+/// Measurement output of one event-driven flit-level simulation run.
+
+namespace wormrt::flitsim {
+
+/// Per-stream transmission-delay statistics (generation to tail
+/// ejection, flit times) over messages generated at or after warmup.
+struct FlitStreamStats {
+  util::StreamingStats latency;
+  /// Worst observed generation-to-delivery delay (kNoTime when no
+  /// message of the stream completed inside the measurement window).
+  Time worst = kNoTime;
+  std::int64_t generated = 0;
+  std::int64_t completed = 0;
+  /// Cycles this stream's headers spent waiting for a VC grant, summed
+  /// over all hops and messages (0 in per-stream-lane mode unless two
+  /// instances of the same stream chase each other).
+  Time vc_block_cycles = 0;
+};
+
+struct FlitArrival {
+  StreamId stream = kNoStream;
+  Time generated = 0;
+  Time delivered = 0;
+};
+
+struct FlitSimResult {
+  std::vector<FlitStreamStats> per_stream;
+
+  /// Flits pushed out of the injection ports / consumed by the ejection
+  /// ports.  After a clean drain the two are equal (flit conservation:
+  /// injected == delivered + in-flight, and in-flight is zero).
+  std::int64_t flits_injected = 0;
+  std::int64_t flits_delivered = 0;
+
+  /// Simulation events processed (releases + router cycles) — the
+  /// denominator of the BM_FlitSim events/sec throughput metric.
+  std::int64_t events_processed = 0;
+
+  /// Flits transmitted per directed physical channel; divided by
+  /// cycles_run this is the link's utilization.
+  std::vector<std::int64_t> flits_per_channel;
+  /// Total header wait-for-VC time across all streams.
+  Time vc_block_cycles = 0;
+
+  Time cycles_run = 0;
+  /// False when the drain limit expired with worms still in flight.
+  bool drained = false;
+
+  std::vector<FlitArrival> arrivals;
+};
+
+}  // namespace wormrt::flitsim

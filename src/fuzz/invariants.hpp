@@ -7,7 +7,7 @@
 #include "fuzz/scenario.hpp"
 
 /// \file invariants.hpp
-/// The five differential oracles every fuzz scenario is checked against
+/// The six differential oracles every fuzz scenario is checked against
 /// (DESIGN.md §8).  Each one validates the optimised production path —
 /// bit-packed diagrams, the incremental dirty-set engine, the wire
 /// protocol, the write-ahead journal — against an independent witness:
@@ -15,6 +15,18 @@
 ///   soundness     admitted population simulated flit-by-flit under the
 ///                 analysis-consistent preemptive-VC policy; no message
 ///                 may ever exceed its stream's computed bound U_i.
+///   flit-soundness
+///                 the same admitted population replayed through the
+///                 event-driven flit-accurate router (flitsim: real VC
+///                 buffers, credit flow control, injection/ejection
+///                 ports) — every delivered message must still meet its
+///                 bound.  Mesh scenarios only (flitsim models the
+///                 paper's mesh router), and only streams whose period
+///                 leaves headroom for the 2-cycle credit round trip
+///                 between back-to-back messages (U_i + 2 <= T_i);
+///                 conservative VC reallocation is real-router behavior
+///                 the idealized analysis model does not charge
+///                 (DESIGN.md §12).
 ///   equivalence   IncrementalAnalyzer bounds after every mutation of
 ///                 the churn must be bitwise identical to a from-scratch
 ///                 determine_feasibility of the same population.
@@ -37,6 +49,7 @@ namespace wormrt::fuzz {
 
 /// Names used in reports, corpus files, and shrink predicates.
 inline constexpr const char* kInvariantSoundness = "soundness";
+inline constexpr const char* kInvariantFlit = "flit-soundness";
 inline constexpr const char* kInvariantEquivalence = "equivalence";
 inline constexpr const char* kInvariantMonotonicity = "monotonicity";
 inline constexpr const char* kInvariantProtocol = "protocol";
@@ -51,6 +64,8 @@ struct CheckConfig {
   core::AnalysisConfig analysis;
 
   bool check_soundness = true;
+  /// Flit-accurate soundness (mesh scenarios only; a no-op elsewhere).
+  bool check_flit = true;
   bool check_equivalence = true;
   bool check_monotonicity = true;
   bool check_protocol = true;
@@ -61,6 +76,11 @@ struct CheckConfig {
   /// Random-phase simulations per scenario on top of the synchronized
   /// (critical instant) run.
   int phase_seeds = 1;
+
+  /// Per-VC buffer depth of the flit-accurate oracle.  Must be >= 2 so
+  /// the credit round trip is hidden and the pipeline matches the
+  /// analysis model L_i = h + C - 1 (see DESIGN.md §12).
+  int flit_buffer_depth = 4;
 
   /// Replay the protocol through an in-process Server + Client over a
   /// loopback TCP socket instead of calling handle_line directly —

@@ -1,0 +1,124 @@
+// Determinism of the flit simulator: one run is a pure function of
+// (topology, streams, config), and parallel replications produce
+// bitwise-identical results at any thread count because each
+// replication is an independent single-threaded simulation writing into
+// its own pre-sized slot (the repo-wide parallel_for pattern).
+//
+// This test intentionally exercises util::ThreadPool from multiple
+// threads and is part of the TSan CI filter.
+
+#include <gtest/gtest.h>
+
+#include "core/workload.hpp"
+#include "flitsim/flit_sim.hpp"
+#include "route/dor.hpp"
+#include "topo/mesh.hpp"
+
+namespace wormrt {
+namespace {
+
+core::StreamSet busy_workload(const topo::Topology& topo) {
+  const route::XYRouting xy;
+  core::WorkloadParams wp;
+  wp.num_streams = 14;
+  wp.priority_levels = 3;
+  wp.seed = 7;
+  wp.period_min = 30;
+  wp.period_max = 70;
+  wp.length_min = 2;
+  wp.length_max = 20;
+  return core::generate_workload(topo, xy, wp);
+}
+
+void expect_identical(const flitsim::FlitSimResult& a,
+                      const flitsim::FlitSimResult& b) {
+  EXPECT_EQ(a.flits_injected, b.flits_injected);
+  EXPECT_EQ(a.flits_delivered, b.flits_delivered);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_EQ(a.vc_block_cycles, b.vc_block_cycles);
+  EXPECT_EQ(a.drained, b.drained);
+  ASSERT_EQ(a.per_stream.size(), b.per_stream.size());
+  for (std::size_t i = 0; i < a.per_stream.size(); ++i) {
+    const auto& sa = a.per_stream[i];
+    const auto& sb = b.per_stream[i];
+    EXPECT_EQ(sa.worst, sb.worst) << "stream " << i;
+    EXPECT_EQ(sa.generated, sb.generated) << "stream " << i;
+    EXPECT_EQ(sa.completed, sb.completed) << "stream " << i;
+    EXPECT_EQ(sa.vc_block_cycles, sb.vc_block_cycles) << "stream " << i;
+    EXPECT_EQ(sa.latency.count(), sb.latency.count()) << "stream " << i;
+    // Welford updates run in the same order in both runs, so the means
+    // are bitwise equal, not just approximately equal.
+    EXPECT_EQ(sa.latency.mean(), sb.latency.mean()) << "stream " << i;
+  }
+  EXPECT_EQ(a.flits_per_channel, b.flits_per_channel);
+}
+
+TEST(FlitSimDeterminism, RepeatedRunsAreBitwiseIdentical) {
+  const topo::Mesh mesh(4, 4);
+  const core::StreamSet set = busy_workload(mesh);
+  flitsim::FlitSimConfig fc;
+  fc.duration = 1500;
+  fc.warmup = 200;
+  fc.random_phase = true;
+  fc.phase_seed = 3;
+  flitsim::FlitSimulator sim_a(mesh, set, fc);
+  flitsim::FlitSimulator sim_b(mesh, set, fc);
+  const flitsim::FlitSimResult a = sim_a.run();
+  const flitsim::FlitSimResult b = sim_b.run();
+  expect_identical(a, b);
+}
+
+TEST(FlitSimDeterminism, ReplicationsIdenticalAcrossThreadCounts) {
+  const topo::Mesh mesh(4, 4);
+  const core::StreamSet set = busy_workload(mesh);
+  flitsim::FlitSimConfig fc;
+  fc.duration = 1000;
+  fc.warmup = 100;
+  constexpr int kReps = 6;
+
+  const auto serial = flitsim::run_replications(mesh, set, fc, kReps,
+                                                /*num_threads=*/1);
+  const auto two = flitsim::run_replications(mesh, set, fc, kReps,
+                                             /*num_threads=*/2);
+  const auto hw = flitsim::run_replications(mesh, set, fc, kReps,
+                                            /*num_threads=*/0);
+  ASSERT_EQ(serial.size(), static_cast<std::size_t>(kReps));
+  ASSERT_EQ(two.size(), serial.size());
+  ASSERT_EQ(hw.size(), serial.size());
+  for (int rep = 0; rep < kReps; ++rep) {
+    SCOPED_TRACE("replication " + std::to_string(rep));
+    expect_identical(serial[static_cast<std::size_t>(rep)],
+                     two[static_cast<std::size_t>(rep)]);
+    expect_identical(serial[static_cast<std::size_t>(rep)],
+                     hw[static_cast<std::size_t>(rep)]);
+  }
+}
+
+TEST(FlitSimDeterminism, ReplicationsVaryPhasesButShareWorkload) {
+  const topo::Mesh mesh(4, 4);
+  const core::StreamSet set = busy_workload(mesh);
+  flitsim::FlitSimConfig fc;
+  fc.duration = 1000;
+  fc.warmup = 0;
+  const auto reps = flitsim::run_replications(mesh, set, fc, 4,
+                                              /*num_threads=*/2);
+  ASSERT_EQ(reps.size(), 4u);
+  for (const auto& r : reps) {
+    EXPECT_TRUE(r.drained);
+    EXPECT_EQ(r.flits_injected, r.flits_delivered);
+  }
+  // Replication 0 keeps the caller's (synchronized) phases; later
+  // replications draw random phases, so at least one differs.
+  bool any_differs = false;
+  for (std::size_t rep = 1; rep < reps.size(); ++rep) {
+    if (reps[rep].events_processed != reps[0].events_processed ||
+        reps[rep].vc_block_cycles != reps[0].vc_block_cycles) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+}  // namespace
+}  // namespace wormrt

@@ -125,6 +125,43 @@ TEST(Invariants, FaultInjectionIsDetected) {
   EXPECT_EQ(violation->invariant, kInvariantSoundness);
 }
 
+TEST(Invariants, FlitOracleDetectsDepthOnePipeliningLoss) {
+  // Detection proof for the flit-accurate oracle: depth-1 buffers expose
+  // the 2-cycle credit round trip, so an uncontended worm's tail lands
+  // at h + 2(C-1) — beyond the analytic bound L_i = h + C - 1, which
+  // assumes full pipelining.  Forcing depth 1 therefore manufactures a
+  // flit-soundness violation on healthy code, proving the oracle
+  // actually measures the flit-level router.
+  Scenario scenario;
+  scenario.topo.kind = TopoKind::kMesh;
+  scenario.topo.a = 4;
+  scenario.topo.b = 1;
+  scenario.priority_levels = 1;
+  Op op;
+  op.src = 0;
+  op.dst = 3;
+  op.priority = 1;
+  op.period = 1000;
+  op.length = 5;
+  op.deadline = 1000;
+  scenario.ops.push_back(op);
+
+  CheckConfig config;
+  config.check_soundness = false;
+  config.check_equivalence = false;
+  config.check_monotonicity = false;
+  config.check_protocol = false;
+  config.check_recovery = false;
+  config.flit_buffer_depth = 1;
+  const auto violation = check_scenario(scenario, config);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->invariant, kInvariantFlit);
+
+  // At the documented depth the same scenario is clean.
+  config.flit_buffer_depth = 4;
+  EXPECT_FALSE(check_scenario(scenario, config).has_value());
+}
+
 TEST(Invariants, RecoveryOracleSurvivesCrashChurn) {
   // The crash/recovery oracle alone, over enough seeds to hit every
   // crash shape: mid-churn, post-compaction, torn-tail, mutilated tail.
@@ -218,8 +255,8 @@ TEST(Fuzzer, CleanRunReportsStats) {
   EXPECT_EQ(report.get("violations")->as_int(), 0);
   ASSERT_NE(report.get("invariant_violations"), nullptr);
   for (const char* name :
-       {kInvariantSoundness, kInvariantEquivalence, kInvariantMonotonicity,
-        kInvariantProtocol, kInvariantRecovery}) {
+       {kInvariantSoundness, kInvariantFlit, kInvariantEquivalence,
+        kInvariantMonotonicity, kInvariantProtocol, kInvariantRecovery}) {
     ASSERT_NE(report.get("invariant_violations")->get(name), nullptr) << name;
   }
   EXPECT_TRUE(report.get("failures")->is_array());

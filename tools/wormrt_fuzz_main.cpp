@@ -1,8 +1,11 @@
 // wormrt-fuzz — differential soundness fuzzer (DESIGN.md §8).
 //
 // Draws random scenarios (topology + admission churn) from sequential
-// seeds and checks each against five independent oracles: soundness
-// (flit-level simulation never exceeds a computed bound), equivalence
+// seeds and checks each against six independent oracles: soundness
+// (idealized preemptive simulation never exceeds a computed bound),
+// flit-soundness (the event-driven flit-accurate router — real VC
+// buffers, credit flow control — never exceeds it either; meshes only),
+// equivalence
 // (incremental bounds == from-scratch analysis after every mutation),
 // monotonicity (bounds respect the network-latency floor and never
 // improve under added interference or pessimistic configs), protocol
@@ -44,6 +47,10 @@ int usage(const char* program) {
       "                    instead of in-process dispatch\n"
       "  --no-recovery     skip the crash/recovery oracle (no journal\n"
       "                    state dirs, faster)\n"
+      "  --no-flit-oracle  skip the flit-accurate soundness oracle\n"
+      "                    (on by default for mesh scenarios)\n"
+      "  --flit-depth N    per-VC buffer depth of the flit oracle\n"
+      "                    (default 4; must be >= 2)\n"
       "  --recovery-tmp D  root for per-scenario journal dirs (default\n"
       "                    /tmp)\n"
       "  --threads N       analysis threads per decision (default 1)\n"
@@ -92,6 +99,9 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("phase-seeds", 1));
   options.check.protocol_over_socket = args.has("e2e");
   options.check.check_recovery = !args.has("no-recovery");
+  options.check.check_flit = !args.has("no-flit-oracle");
+  options.check.flit_buffer_depth =
+      static_cast<int>(args.get_int("flit-depth", 4));
   options.check.recovery_tmp_root = args.get_string("recovery-tmp", "/tmp");
   options.check.analysis.num_threads =
       static_cast<int>(args.get_int("threads", 1));
