@@ -74,3 +74,22 @@ fi
   --out "$SVC_OUT"
 
 echo "wrote $SVC_OUT"
+
+# Fault storm: kill the busiest spine link under an established
+# workload, measure the eviction/reroute cascade and the time until the
+# admission state reconverges, on the incremental engine vs the full
+# recompute baseline.  Also audits post-storm bounds against a
+# from-scratch recompute (hard failure on divergence).
+STORM_BIN="$BUILD_DIR/bench/fault_storm"
+STORM_OUT="$(dirname "$OUT")/BENCH_fault_storm.json"
+if [[ ! -x "$STORM_BIN" ]]; then
+  echo "error: $STORM_BIN not built" >&2
+  exit 1
+fi
+
+"$STORM_BIN" \
+  --streams "${STORM_STREAMS:-60}" \
+  --storms "${STORM_OPS:-400}" \
+  --out "$STORM_OUT"
+
+echo "wrote $STORM_OUT"

@@ -70,7 +70,7 @@ struct ChurnResult {
 
 /// Establishes the feasible population, then runs `ops` single-channel
 /// teardown + re-establishment cycles, timing each decision.
-ChurnResult run_inprocess(const topo::Mesh& mesh,
+ChurnResult run_inprocess(topo::Mesh& mesh,
                           const route::XYRouting& routing,
                           const core::StreamSet& streams, int ops,
                           core::AdmissionController::Mode mode) {
@@ -145,7 +145,7 @@ Json request_json(const core::MessageStream& s) {
 /// one request per round trip; batch mode wraps `batch_window` churn
 /// steps in a BATCH line and pipelines two of them back to back, so the
 /// server always has a full window in flight per connection.
-SocketResult run_socket(const topo::Mesh& mesh,
+SocketResult run_socket(topo::Mesh& mesh,
                         const route::XYRouting& routing,
                         const core::StreamSet& streams, int ops, int clients,
                         const SocketMode& mode) {
@@ -420,7 +420,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const topo::Mesh mesh(side, side);
+  topo::Mesh mesh(side, side);
   const route::XYRouting routing;
   core::WorkloadParams wp;
   wp.num_streams = n;

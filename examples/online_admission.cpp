@@ -26,7 +26,7 @@ struct Request {
 }  // namespace
 
 int main() {
-  const topo::Mesh mesh(6, 6);
+  topo::Mesh mesh(6, 6);
   const route::XYRouting xy;
   core::AdmissionController ctrl(mesh, xy);
 

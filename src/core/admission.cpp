@@ -1,16 +1,50 @@
 #include "core/admission.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/trace.hpp"
 
 namespace wormrt::core {
 
-AdmissionController::AdmissionController(const topo::Topology& topo,
+namespace {
+
+/// PR-7 flit-validity domain: the bound survives real credit flow
+/// control only when the stream keeps two flit times of slack for the
+/// credit round trip (EXPERIMENTS.md finding 2).
+bool has_credit_slack(Time bound, Time period) {
+  return bound != kNoTime && bound + 2 <= period;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(topo::Topology& topo,
                                          const route::RoutingAlgorithm& routing,
                                          AnalysisConfig config, Mode mode)
     : topo_(topo), routing_(routing), engine_(topo, config) {
   engine_.set_force_full(mode == Mode::kFullRecompute);
+}
+
+bool AdmissionController::gate_ok(Time bound, Time deadline, Time period,
+                                  const std::vector<Handle>& dirty,
+                                  std::vector<Handle>* would_break) const {
+  const bool guard = engine_.config().credit_slack_guard;
+  bool ok = bound != kNoTime && bound <= deadline;
+  if (guard && !has_credit_slack(bound, period)) {
+    ok = false;
+  }
+  for (const Handle h : dirty) {
+    const Time b = *engine_.bound(h);
+    const MessageStream* s = engine_.find(h);
+    if (b == kNoTime || b > s->deadline ||
+        (guard && !has_credit_slack(b, s->period))) {
+      if (would_break != nullptr) {
+        would_break->push_back(h);
+      }
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 AdmissionController::Decision AdmissionController::request(
@@ -24,9 +58,20 @@ AdmissionController::Decision AdmissionController::request(
     Time length, Time deadline, BoundProvenance* provenance) {
   OBS_SPAN("admission_request");
   Decision decision;
+  route::FaultAwarePath choice;
+  if (!route::route_avoiding_faults(topo_, src, dst, &choice)) {
+    decision.no_route = true;
+    if (provenance != nullptr) {
+      *provenance = BoundProvenance{};
+      provenance->deadline = deadline;
+      provenance->deadline_pruned = true;
+    }
+    return decision;  // every route order crosses a faulted link
+  }
+  decision.route_order = choice.route_order;
   MessageStream candidate =
-      make_stream(topo_, routing_, /*id=*/0, src, dst, priority, period,
-                  length, deadline);
+      make_stream_with_order(topo_, /*id=*/0, src, dst, priority, period,
+                             length, deadline, choice.route_order);
   if (candidate.latency > candidate.deadline) {
     if (provenance != nullptr) {
       // No trial happens; report the short-circuit itself.
@@ -44,20 +89,15 @@ AdmissionController::Decision AdmissionController::request(
   const IncrementalAnalyzer::Mutation trial =
       engine_.add_stream(std::move(candidate));
   decision.bound = *engine_.bound(trial.handle);
+  decision.flit_valid = has_credit_slack(decision.bound, period);
   if (provenance != nullptr) {
     // Captured while the trial population is still in place: the terms
     // blame the HP streams of the (possibly rejected) trial set.
     *provenance = *engine_.explain(trial.handle);
   }
 
-  bool ok = decision.bound != kNoTime && decision.bound <= deadline;
-  for (const Handle h : trial.dirty) {
-    const Time b = *engine_.bound(h);
-    if (b == kNoTime || b > engine_.find(h)->deadline) {
-      decision.would_break.push_back(h);
-      ok = false;
-    }
-  }
+  const bool ok = gate_ok(decision.bound, deadline, period, trial.dirty,
+                          &decision.would_break);
   if (!ok) {
     // Roll the trial back; the reverse mutation recomputes the same dirty
     // closure, restoring every cached bound to its pre-trial value.  The
@@ -78,11 +118,97 @@ bool AdmissionController::remove(Handle handle) {
   return engine_.remove_stream(handle).has_value();
 }
 
+AdmissionController::LinkMutation AdmissionController::link_down(
+    topo::ChannelId channel) {
+  OBS_SPAN("admission_link_down");
+  LinkMutation m;
+  m.channel = channel;
+  if (topo_.channel_faulted(channel)) {
+    return m;  // already down; nothing to do, nothing to replay
+  }
+  m.changed = true;
+  topo_.set_channel_faulted(channel, true);
+
+  // Channel-level dirtiness: the victims come straight off the engine's
+  // overlap index, ascending handles so replay processes them in the
+  // same order.
+  const std::vector<Handle> victims = engine_.handles_on_channel(channel);
+  std::vector<MessageStream> params;
+  params.reserve(victims.size());
+  engine_.begin_batch();
+  for (const Handle h : victims) {
+    params.push_back(*engine_.find(h));
+    engine_.remove_stream(h);
+  }
+  // One recompute for the union of the victims' dirty closures.
+  m.recomputed = engine_.end_batch();
+
+  // Re-admit each victim on the first fault-free route order that passes
+  // the full admission gate, keeping its original handle.  A forced
+  // handle below next_handle() never perturbs the handle sequence, so a
+  // failed trial rolls back with a plain remove.
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    const Handle h = victims[i];
+    const MessageStream& old = params[i];
+    route::FaultAwarePath choice;
+    if (!route::route_avoiding_faults(topo_, old.src, old.dst, &choice)) {
+      m.evicted.push_back(h);
+      continue;
+    }
+    MessageStream candidate = make_stream_with_order(
+        topo_, /*id=*/0, old.src, old.dst, old.priority, old.period,
+        old.length, old.deadline, choice.route_order);
+    if (candidate.latency > candidate.deadline) {
+      m.evicted.push_back(h);
+      continue;
+    }
+    const IncrementalAnalyzer::Mutation trial =
+        engine_.add_stream(std::move(candidate), h);
+    const Time bound = *engine_.bound(h);
+    if (!gate_ok(bound, old.deadline, old.period, trial.dirty, nullptr)) {
+      engine_.remove_stream(h);
+      m.evicted.push_back(h);
+      continue;
+    }
+    m.rerouted.push_back(h);
+    m.recomputed.insert(m.recomputed.end(), trial.dirty.begin(),
+                        trial.dirty.end());
+  }
+
+  // Tidy the recompute report: ascending, deduplicated, survivors only.
+  std::sort(m.recomputed.begin(), m.recomputed.end());
+  m.recomputed.erase(std::unique(m.recomputed.begin(), m.recomputed.end()),
+                     m.recomputed.end());
+  m.recomputed.erase(
+      std::remove_if(m.recomputed.begin(), m.recomputed.end(),
+                     [this](Handle h) { return engine_.find(h) == nullptr; }),
+      m.recomputed.end());
+  return m;
+}
+
+AdmissionController::LinkMutation AdmissionController::link_up(
+    topo::ChannelId channel) {
+  OBS_SPAN("admission_link_up");
+  LinkMutation m;
+  m.channel = channel;
+  if (!topo_.channel_faulted(channel)) {
+    return m;  // already up
+  }
+  m.changed = true;
+  topo_.set_channel_faulted(channel, false);
+  // Established streams keep their detour paths: their bounds are still
+  // valid (the healthy channel only *adds* routing options), and silently
+  // migrating them would change interference under their guarantees.
+  return m;
+}
+
 void AdmissionController::restore(topo::NodeId src, topo::NodeId dst,
                                   Priority priority, Time period, Time length,
-                                  Time deadline, Handle handle) {
-  engine_.add_stream(make_stream(topo_, routing_, /*id=*/0, src, dst, priority,
-                                 period, length, deadline),
+                                  Time deadline, Handle handle,
+                                  int route_order) {
+  engine_.add_stream(make_stream_with_order(topo_, /*id=*/0, src, dst,
+                                            priority, period, length, deadline,
+                                            route_order),
                      handle);
 }
 

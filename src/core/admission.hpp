@@ -6,6 +6,7 @@
 #include "core/analysis_config.hpp"
 #include "core/incremental.hpp"
 #include "core/message_stream.hpp"
+#include "route/fault_aware.hpp"
 
 /// \file admission.hpp
 /// Online admission control ("real-time channel establishment").  The
@@ -25,6 +26,18 @@
 /// their bounds, so the decisions are identical to the full-recompute
 /// procedure — the kFullRecompute mode keeps that baseline available for
 /// benchmarking and the exactness property tests.
+///
+/// Dynamic fabrics: the controller owns the fault lifecycle of its
+/// (borrowed, mutable) topology.  link_down() marks a channel faulted,
+/// evicts every established stream whose path crosses it (one batched
+/// dirty recompute via the engine's channel-level dirtiness), then tries
+/// to re-establish each victim on the deterministic detour order
+/// (route/fault_aware.hpp) under the full admission gate, keeping its
+/// original handle on success.  link_up() clears the flag; established
+/// streams are NOT migrated back — their detour paths stay valid, and
+/// new requests simply see the healthy channel again.  Paths are always
+/// chosen via the two persisted route orders, so journal replay of the
+/// same mutation sequence reproduces every path bit for bit.
 
 namespace wormrt::core {
 
@@ -39,7 +52,12 @@ class AdmissionController {
   enum class Mode { kIncremental, kFullRecompute };
 
   /// Topology and routing are borrowed and must outlive the controller.
-  AdmissionController(const topo::Topology& topo,
+  /// The topology is mutable because the controller drives its fault
+  /// flags (link_down / link_up); the channel set itself never changes.
+  /// \p routing must agree with the primary dimension order — it is the
+  /// vocabulary-level name of the paper's routing function, while path
+  /// construction goes through the persisted route orders.
+  AdmissionController(topo::Topology& topo,
                       const route::RoutingAlgorithm& routing,
                       AnalysisConfig config = {},
                       Mode mode = Mode::kIncremental);
@@ -54,6 +72,17 @@ class AdmissionController {
     /// Established channels whose guarantee the request would have
     /// broken (only when rejected because of them).
     std::vector<Handle> would_break;
+    /// No route order avoids the currently faulted channels (rejection
+    /// with no trial — bound stays kNoTime).
+    bool no_route = false;
+    /// PR-7 flit-validity of the bound: U + 2 <= T, i.e. the stream has
+    /// slack for the credit round trip and the analytic bound holds
+    /// under real credit flow control (EXPERIMENTS.md finding 2).
+    /// Reported for every trial; enforced when
+    /// AnalysisConfig::credit_slack_guard is on.
+    bool flit_valid = false;
+    /// Route order the trial used (route/fault_aware.hpp).
+    int route_order = route::kRouteOrderPrimary;
   };
 
   /// Tries to establish a channel.  On admission the stream is
@@ -80,16 +109,49 @@ class AdmissionController {
   /// Returns false for an unknown handle.
   bool remove(Handle handle);
 
+  /// Outcome of one topology mutation.
+  struct LinkMutation {
+    topo::ChannelId channel = topo::kNoChannel;
+    /// False when the channel was already in the requested fault state
+    /// (nothing happened).
+    bool changed = false;
+    /// Victims torn down for good: no fault-free route order, or the
+    /// detour failed the admission gate.
+    std::vector<Handle> evicted;
+    /// Victims re-established on a detour, keeping their handles.
+    std::vector<Handle> rerouted;
+    /// Established streams whose bounds were recomputed along the way
+    /// (ascending, deduplicated; excludes evicted victims).
+    std::vector<Handle> recomputed;
+  };
+
+  /// Takes a channel down: marks it faulted, evicts every established
+  /// stream crossing it (single batched recompute of the union dirty
+  /// closure), then re-admits each victim — ascending handle order, so
+  /// replay is deterministic — on the first fault-free route order that
+  /// passes the full admission gate (deadline, credit-slack guard when
+  /// on, no established guarantee broken).  Victims that fit keep their
+  /// original handles; the rest are evicted.
+  LinkMutation link_down(topo::ChannelId channel);
+
+  /// Brings a channel back up: clears the fault flag.  Established
+  /// streams keep their current (detour) paths and bounds — no
+  /// recompute, no migration; the repaired channel is simply available
+  /// to future requests and reroutes again.
+  LinkMutation link_up(topo::ChannelId channel);
+
   /// Re-establishes a previously admitted channel exactly as journaled:
-  /// no feasibility gate, the recorded \p handle is forced.  Recovery
-  /// replays the snapshot population in engine order and then the
-  /// post-snapshot journal through this, which reproduces the pre-crash
-  /// engine state (population order, digraph, bounds, handle numbering)
-  /// bit for bit — rejected requests leave no trace (their trial handle
-  /// is released on rollback), so the admitted mutation sequence fully
-  /// determines the state.
+  /// no feasibility gate, the recorded \p handle is forced and the
+  /// recorded \p route_order rebuilds the identical path without
+  /// consulting fault state.  Recovery replays the snapshot population
+  /// in engine order and then the post-snapshot journal through this,
+  /// which reproduces the pre-crash engine state (population order,
+  /// digraph, bounds, handle numbering) bit for bit — rejected requests
+  /// leave no trace (their trial handle is released on rollback), so
+  /// the admitted mutation sequence fully determines the state.
   void restore(topo::NodeId src, topo::NodeId dst, Priority priority,
-               Time period, Time length, Time deadline, Handle handle);
+               Time period, Time length, Time deadline, Handle handle,
+               int route_order = route::kRouteOrderPrimary);
 
   /// Undoes an admission that could not be made durable (journal append
   /// failed): removes the stream and returns the handle to the pool.
@@ -114,10 +176,21 @@ class AdmissionController {
   /// The underlying engine (bound cache, work counters, digraph).
   const IncrementalAnalyzer& engine() const { return engine_; }
 
+  /// The (mutable) fabric this controller administers.
+  topo::Topology& topology() { return topo_; }
+  const topo::Topology& topology() const { return topo_; }
+
  private:
-  const topo::Topology& topo_;
+  topo::Topology& topo_;
   const route::RoutingAlgorithm& routing_;
   IncrementalAnalyzer engine_;
+
+  /// Shared admission gate: own bound within deadline (+ credit slack
+  /// when guarded), and no perturbed established stream loses its
+  /// guarantee.  Fills \p would_break when non-null.
+  bool gate_ok(Time bound, Time deadline, Time period,
+               const std::vector<Handle>& dirty,
+               std::vector<Handle>* would_break) const;
 };
 
 }  // namespace wormrt::core

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+
 #include "util/types.hpp"
 
 /// \file analysis_config.hpp
@@ -62,6 +64,23 @@ struct AnalysisConfig {
   /// not converge below the cap is reported as not found.
   Time horizon_cap = Time{1} << 18;
 
+  /// PR-7 finding 2 (EXPERIMENTS.md): under real credit flow control a
+  /// zero-slack stream (U_i + 2 > T_i) backlogs — the two-flit-time
+  /// credit round trip eats the slack the bound says it has — so its
+  /// analytic bound, while correct in the paper's model, is not flit
+  /// valid.  With the guard on, admission additionally requires
+  /// U + 2 <= T for the candidate and for every established stream the
+  /// decision perturbs.  Off by default for paper-table reproduction;
+  /// wormrtd turns it on unless --no-credit-slack-guard.
+  bool credit_slack_guard = false;
+
+  /// Modelled per-VC flit-buffer depth of the fabric the bounds are
+  /// issued against.  PR-7 finding 3 (EXPERIMENTS.md): depth 1 cannot
+  /// sustain one-flit-per-cycle pipelining (latency degrades to
+  /// h + 2(C-1)), which breaks the classic backend's L_i = h + C - 1
+  /// model — validate_analysis_config() rejects depth < 2.
+  int vc_buffer_depth = 2;
+
   /// Threads used to fan out the per-stream Cal_U calls of
   /// determine_feasibility / AdmissionController (and the replications of
   /// the table benches).  1 = the serial paper-fidelity path (default);
@@ -70,5 +89,20 @@ struct AnalysisConfig {
   /// dynamically but each result lands in its own pre-sized slot.
   int num_threads = 1;
 };
+
+/// Validates a config against the classic (paper) backend's model
+/// assumptions.  Returns "" when consistent, else an explanation suitable
+/// for a startup hard error.  Today's single check: vc_buffer_depth < 2
+/// breaks the L_i = h + C - 1 latency model (EXPERIMENTS.md finding 3).
+inline std::string validate_analysis_config(const AnalysisConfig& config) {
+  if (config.vc_buffer_depth < 2) {
+    return "vc_buffer_depth " + std::to_string(config.vc_buffer_depth) +
+           " is unsound for the classic backend: depth-1 VC buffers cannot "
+           "sustain one-flit-per-cycle pipelining, so real latency is "
+           "h + 2(C-1) while the analysis assumes L_i = h + C - 1 "
+           "(see EXPERIMENTS.md, flit-accurate finding 3); use depth >= 2";
+  }
+  return "";
+}
 
 }  // namespace wormrt::core

@@ -201,6 +201,12 @@ IncrementalAnalyzer::Mutation IncrementalAnalyzer::add_stream(
   stats_.dirty_marked += dirty.size();
   ++stats_.adds;
 
+  if (batching_) {
+    batch_dirty_.insert(batch_dirty_.end(), result.dirty.begin(),
+                        result.dirty.end());
+    batch_dirty_.push_back(handle);
+    return result;
+  }
   dirty.push_back(id);
   recompute(dirty);
   return result;
@@ -286,6 +292,12 @@ std::optional<IncrementalAnalyzer::Mutation> IncrementalAnalyzer::remove_stream(
   stats_.dirty_marked += dirty.size();
   ++stats_.removes;
 
+  if (batching_) {
+    batch_dirty_.insert(batch_dirty_.end(), result.dirty.begin(),
+                        result.dirty.end());
+    return result;
+  }
+
   // Re-resolve the dirty streams at their post-shift ids and recompute.
   std::vector<StreamId> ids;
   ids.reserve(result.dirty.size());
@@ -295,6 +307,49 @@ std::optional<IncrementalAnalyzer::Mutation> IncrementalAnalyzer::remove_stream(
   std::sort(ids.begin(), ids.end());
   recompute(ids);
   return result;
+}
+
+std::vector<IncrementalAnalyzer::Handle>
+IncrementalAnalyzer::handles_on_channel(topo::ChannelId channel) const {
+  std::vector<Handle> out;
+  const auto& ids = by_channel_.at(static_cast<std::size_t>(channel));
+  out.reserve(ids.size());
+  for (const StreamId id : ids) {
+    out.push_back(handles_[static_cast<std::size_t>(id)]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void IncrementalAnalyzer::begin_batch() {
+  assert(!batching_ && "batches do not nest");
+  batching_ = true;
+  batch_dirty_.clear();
+}
+
+std::vector<IncrementalAnalyzer::Handle> IncrementalAnalyzer::end_batch() {
+  assert(batching_);
+  batching_ = false;
+  std::sort(batch_dirty_.begin(), batch_dirty_.end());
+  batch_dirty_.erase(std::unique(batch_dirty_.begin(), batch_dirty_.end()),
+                     batch_dirty_.end());
+  // Keep only the survivors: handles removed later in the same batch are
+  // gone, and their bounds with them.
+  std::vector<Handle> alive;
+  std::vector<StreamId> ids;
+  alive.reserve(batch_dirty_.size());
+  ids.reserve(batch_dirty_.size());
+  for (const Handle h : batch_dirty_) {
+    const auto it = index_.find(h);
+    if (it != index_.end()) {
+      alive.push_back(h);
+      ids.push_back(it->second);
+    }
+  }
+  batch_dirty_.clear();
+  std::sort(ids.begin(), ids.end());
+  recompute(ids);
+  return alive;
 }
 
 std::optional<Time> IncrementalAnalyzer::bound(Handle handle) const {

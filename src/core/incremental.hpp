@@ -72,6 +72,32 @@ class IncrementalAnalyzer : public DirectBlocking {
   /// bounds of the streams it blocked.  nullopt for an unknown handle.
   std::optional<Mutation> remove_stream(Handle handle);
 
+  /// Channel-level dirtiness: the live streams whose paths traverse the
+  /// directed channel, in ascending handle order.  This is the root set
+  /// of a topology mutation — when a link goes down, exactly these
+  /// streams lose their path, and the union of their removal closures is
+  /// everything the fault can touch.  Served from the maintained
+  /// channel-overlap index; O(streams on channel), no scan.
+  std::vector<Handle> handles_on_channel(topo::ChannelId channel) const;
+
+  /// Batch mode, for multi-mutation events like a link fault that evicts
+  /// several streams at once.  Between begin_batch() and end_batch(),
+  /// add_stream/remove_stream maintain the digraph and indexes exactly
+  /// as usual and record each mutation's dirty closure (as handles, at
+  /// mutation time), but defer the bound recompute; end_batch() resolves
+  /// the accumulated closure against the surviving population and
+  /// recomputes once.  Exact for the same reason the per-mutation rule
+  /// is: a stream's HP set changed across the batch only if some
+  /// mutation reached it at that mutation's time, and the single final
+  /// recompute runs against the settled digraph.  Cached bounds of
+  /// dirty streams are stale inside a batch — don't read them until
+  /// end_batch() returns.
+  void begin_batch();
+  /// Ends the batch and recomputes; returns the recomputed streams'
+  /// handles, ascending (mutated-then-removed streams excluded).
+  std::vector<Handle> end_batch();
+  bool in_batch() const { return batching_; }
+
   /// Number of registered streams.
   std::size_t size() const override { return streams_.size(); }
 
@@ -148,6 +174,8 @@ class IncrementalAnalyzer : public DirectBlocking {
   const topo::Topology& topo_;
   AnalysisConfig config_;
   bool force_full_ = false;
+  bool batching_ = false;
+  std::vector<Handle> batch_dirty_;  // dirty handles accumulated in a batch
   Handle next_handle_ = 0;
   /// mutable: bound() is logically const but counts its cache hits.
   mutable Stats stats_;

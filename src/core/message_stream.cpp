@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/latency.hpp"
+#include "route/fault_aware.hpp"
 
 namespace wormrt::core {
 
@@ -107,6 +108,25 @@ MessageStream make_stream(const topo::Topology& topo,
   s.length = length;
   s.deadline = deadline;
   s.path = routing.route(topo, src, dst);
+  s.latency = kPaperLatencyModel.network_latency(s.path.hops(), length);
+  return s;
+}
+
+MessageStream make_stream_with_order(const topo::Topology& topo, StreamId id,
+                                     topo::NodeId src, topo::NodeId dst,
+                                     Priority priority, Time period,
+                                     Time length, Time deadline,
+                                     int route_order) {
+  MessageStream s;
+  s.id = id;
+  s.src = src;
+  s.dst = dst;
+  s.priority = priority;
+  s.period = period;
+  s.length = length;
+  s.deadline = deadline;
+  s.route_order = route_order;
+  s.path = route::route_with_order(topo, src, dst, route_order);
   s.latency = kPaperLatencyModel.network_latency(s.path.hops(), length);
   return s;
 }

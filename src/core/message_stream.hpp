@@ -26,6 +26,11 @@ struct MessageStream {
   Time deadline = 0;             ///< D_i, requested delay limit
   Time latency = 0;              ///< L_i, max network latency with no traffic
   route::Path path;              ///< static route (e.g. X-Y)
+  /// Which deterministic route order produced `path` (see
+  /// route/fault_aware.hpp): 0 = primary dimension order, 1 = reversed.
+  /// Part of the stream's durable identity — journaled and snapshotted so
+  /// recovery rebuilds the identical path without consulting fault state.
+  int route_order = 0;
 
   /// Long-run fraction of a channel's bandwidth the stream can demand.
   double utilization() const {
@@ -83,9 +88,20 @@ class StreamSet {
 
 /// Builds a stream with its path computed by \p routing and its network
 /// latency from the default model (hops + C - 1; see latency.hpp).
+/// route_order stays 0 (primary): the single-algorithm callers all route
+/// in primary dimension order.
 MessageStream make_stream(const topo::Topology& topo,
                           const route::RoutingAlgorithm& routing, StreamId id,
                           topo::NodeId src, topo::NodeId dst, Priority priority,
                           Time period, Time length, Time deadline);
+
+/// Builds a stream routed under an explicit persisted route order
+/// (route::kRouteOrderPrimary / kRouteOrderReversed) — the fault-aware
+/// admission and journal-replay path.  Ignores fault state by design.
+MessageStream make_stream_with_order(const topo::Topology& topo, StreamId id,
+                                     topo::NodeId src, topo::NodeId dst,
+                                     Priority priority, Time period,
+                                     Time length, Time deadline,
+                                     int route_order);
 
 }  // namespace wormrt::core

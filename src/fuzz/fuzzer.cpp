@@ -21,7 +21,8 @@ svc::Json RunStats::to_json() const {
   svc::Json invariants = svc::Json::object();
   for (const char* name :
        {kInvariantSoundness, kInvariantFlit, kInvariantEquivalence,
-        kInvariantMonotonicity, kInvariantProtocol, kInvariantRecovery}) {
+        kInvariantMonotonicity, kInvariantProtocol, kInvariantRecovery,
+        kInvariantFault}) {
     invariants.set(name,
                    static_cast<std::int64_t>(violations_of(name)));
   }

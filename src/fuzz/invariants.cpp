@@ -70,10 +70,14 @@ std::string describe_stream(const core::MessageStream& s) {
 
 /// Equivalence + monotonicity: replay the churn through the incremental
 /// engine (no admission gate, so infeasible streams exercise the kNoTime
-/// cache states too) and diff against from-scratch analysis.
+/// cache states too) and diff against from-scratch analysis.  Link
+/// mutations are skipped — the engine has no fault model of its own;
+/// the fault-repair oracle covers that axis at the controller level.
 std::optional<Violation> check_engine_invariants(
-    const Scenario& scenario, const topo::Topology& topo,
-    const route::RoutingAlgorithm& routing, const CheckConfig& config) {
+    const Scenario& scenario, const route::RoutingAlgorithm& routing,
+    const CheckConfig& config) {
+  const std::unique_ptr<topo::Topology> topo_owned = scenario.topo.build();
+  const topo::Topology& topo = *topo_owned;
   core::IncrementalAnalyzer engine(topo, config.analysis);
   std::vector<core::IncrementalAnalyzer::Handle> handle_of_op(
       scenario.ops.size(), -1);
@@ -85,12 +89,14 @@ std::optional<Violation> check_engine_invariants(
           topo, routing, /*id=*/0, op.src, op.dst, op.priority, op.period,
           op.length, op.deadline));
       handle_of_op[i] = mut.handle;
-    } else {
+    } else if (op.kind == Op::Kind::kRemove) {
       auto& handle = handle_of_op[static_cast<std::size_t>(op.target)];
       if (handle >= 0) {
         engine.remove_stream(handle);
         handle = -1;
       }
+    } else {
+      continue;  // link mutations: not part of the engine's world
     }
     if (!config.check_equivalence) {
       continue;
@@ -180,12 +186,14 @@ std::optional<Violation> check_engine_invariants(
 
 /// The protocol transport: either Service::handle_line directly or the
 /// same service behind a real Server socket and a blocking Client.
+/// Owns a private topology instance: LINK verbs mutate fault flags, so
+/// the replica must not share fault state with the in-process oracle it
+/// is compared against.
 class ProtocolReplica {
  public:
-  ProtocolReplica(const topo::Topology& topo,
-                  const route::RoutingAlgorithm& routing,
+  ProtocolReplica(const TopoSpec& spec, const route::RoutingAlgorithm& routing,
                   const CheckConfig& config)
-      : service_(topo, routing, config.analysis) {
+      : topo_(spec.build()), service_(*topo_, routing, config.analysis) {
     if (config.protocol_over_socket) {
       svc::ServerConfig server_config;
       server_config.tcp_port = 0;  // ephemeral loopback
@@ -227,6 +235,7 @@ class ProtocolReplica {
   }
 
  private:
+  std::unique_ptr<topo::Topology> topo_;  // before service_: init order
   svc::Service service_;
   std::unique_ptr<svc::Server> server_;
   svc::Client client_;
@@ -245,18 +254,65 @@ Json request_json(const Op& op) {
   return req;
 }
 
+Json link_json(const Op& op) {
+  Json req = Json::object();
+  req.set("verb", op.kind == Op::Kind::kLinkDown ? "LINK_DOWN" : "LINK_UP");
+  req.set("src", static_cast<std::int64_t>(op.src));
+  req.set("dst", static_cast<std::int64_t>(op.dst));
+  return req;
+}
+
+/// Compares a LINK_DOWN/LINK_UP wire reply against the in-process
+/// LinkMutation.  A no-op mutation (changed == false) must come back as
+/// an error reply; a real one must report the identical evicted and
+/// rerouted handle sets.
+std::optional<std::string> diff_link_reply(
+    const Json& reply, const core::AdmissionController::LinkMutation& m) {
+  const Json* ok = reply.get("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return "malformed LINK reply";
+  }
+  if (ok->as_bool() != m.changed) {
+    return "wire ok=" + std::to_string(ok->as_bool()) +
+           " != in-process changed=" + std::to_string(m.changed);
+  }
+  if (!m.changed) {
+    return std::nullopt;
+  }
+  for (const char* key : {"evicted", "rerouted"}) {
+    const Json* arr = reply.get(key);
+    const auto& want = std::string(key) == "evicted" ? m.evicted : m.rerouted;
+    if (arr == nullptr || !arr->is_array() ||
+        arr->items().size() != want.size()) {
+      return std::string(key) + " handle list size mismatch";
+    }
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      if (arr->items()[k].as_int() != want[k]) {
+        return std::string(key) + "[" + std::to_string(k) + "] = " +
+               std::to_string(arr->items()[k].as_int()) +
+               " != " + std::to_string(want[k]);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 /// Soundness (idealized + flit-accurate) + protocol: replay the churn
 /// through the admission gate, mirror every decision over the wire
 /// protocol, then simulate the final admitted population against the
 /// cached bounds — first under the idealized preemptive model, then
 /// through the event-driven flit-level router (meshes only).
 std::optional<Violation> check_admission_invariants(
-    const Scenario& scenario, const topo::Topology& topo,
-    const route::RoutingAlgorithm& routing, const CheckConfig& config) {
+    const Scenario& scenario, const route::RoutingAlgorithm& routing,
+    const CheckConfig& config) {
+  // Private topology instance: link mutations flip fault flags in place,
+  // and the replica keeps its own copy for the same reason.
+  const std::unique_ptr<topo::Topology> topo_owned = scenario.topo.build();
+  topo::Topology& topo = *topo_owned;
   AdmissionController ctrl(topo, routing, config.analysis);
   std::unique_ptr<ProtocolReplica> replica;
   if (config.check_protocol) {
-    replica = std::make_unique<ProtocolReplica>(topo, routing, config);
+    replica = std::make_unique<ProtocolReplica>(scenario.topo, routing, config);
     if (!replica->transport_error().empty()) {
       return fail(kInvariantProtocol, replica->transport_error());
     }
@@ -316,7 +372,7 @@ std::optional<Violation> check_admission_invariants(
                           std::to_string(k) + "] mismatch");
         }
       }
-    } else {
+    } else if (op.kind == Op::Kind::kRemove) {
       auto& handle = handle_of_op[static_cast<std::size_t>(op.target)];
       if (handle < 0) {
         continue;  // the referenced add was rejected or already removed
@@ -340,6 +396,35 @@ std::optional<Violation> check_admission_invariants(
         }
       }
       handle = -1;
+    } else {
+      const topo::ChannelId channel = topo.channel_between(op.src, op.dst);
+      if (channel == topo::kNoChannel) {
+        continue;  // shrunk scenarios may reference a non-channel pair
+      }
+      const auto mutation = op.kind == Op::Kind::kLinkDown
+                                ? ctrl.link_down(channel)
+                                : ctrl.link_up(channel);
+      // Evicted streams are gone from both sides: forget their handles so
+      // the REMOVE path and the final QUERY sweep see survivors only.
+      for (const auto victim : mutation.evicted) {
+        for (auto& handle : handle_of_op) {
+          if (handle == victim) {
+            handle = -1;
+          }
+        }
+      }
+      if (replica != nullptr) {
+        std::string error;
+        const Json reply = replica->roundtrip(link_json(op), &error);
+        if (!error.empty()) {
+          return fail(kInvariantProtocol,
+                      "op " + std::to_string(i) + ": " + error);
+        }
+        if (const auto diff = diff_link_reply(reply, mutation)) {
+          return fail(kInvariantProtocol,
+                      "op " + std::to_string(i) + ": " + *diff);
+        }
+      }
     }
   }
 
@@ -486,6 +571,86 @@ std::optional<Violation> check_admission_invariants(
   return std::nullopt;
 }
 
+/// Fault-repair: replay the full churn (adds, removes, link mutations)
+/// through the admission controller; after every topology mutation and
+/// once at the end, every surviving stream's cached bound must be
+/// bitwise identical to a from-scratch determine_feasibility of the
+/// surviving set, and no surviving path may cross a faulted channel —
+/// the reroute/evict cascade's dirty closure must be exact.
+std::optional<Violation> check_fault_invariants(
+    const Scenario& scenario, const route::RoutingAlgorithm& routing,
+    const CheckConfig& config) {
+  const std::unique_ptr<topo::Topology> topo_owned = scenario.topo.build();
+  topo::Topology& topo = *topo_owned;
+  AdmissionController ctrl(topo, routing, config.analysis);
+  std::vector<AdmissionController::Handle> handle_of_op(scenario.ops.size(),
+                                                        -1);
+
+  const auto audit = [&](const std::string& when) -> std::optional<Violation> {
+    const StreamSet survivors = ctrl.snapshot();
+    const std::vector<Time> reference = bounds_of(survivors, config.analysis);
+    for (std::size_t j = 0; j < survivors.size(); ++j) {
+      const auto id = static_cast<StreamId>(j);
+      const Time cached = ctrl.engine().bound_at(id);
+      if (cached != reference[j] + config.fault_oracle_skew) {
+        return fail(kInvariantFault,
+                    when + ": surviving stream " + std::to_string(j) +
+                        " cached bound " + std::to_string(cached) +
+                        " != from-scratch " + std::to_string(reference[j]) +
+                        " " + describe_stream(survivors[id]));
+      }
+      for (const topo::ChannelId ch : survivors[id].path.channels) {
+        if (topo.channel_faulted(ch)) {
+          return fail(kInvariantFault,
+                      when + ": surviving stream " + std::to_string(j) +
+                          " still routed across faulted channel " +
+                          std::to_string(ch) + " " +
+                          describe_stream(survivors[id]));
+        }
+      }
+    }
+    return std::nullopt;
+  };
+
+  for (std::size_t i = 0; i < scenario.ops.size(); ++i) {
+    const Op& op = scenario.ops[i];
+    if (op.kind == Op::Kind::kAdd) {
+      const auto decision = ctrl.request(op.src, op.dst, op.priority,
+                                         op.period, op.length, op.deadline);
+      if (decision.admitted) {
+        handle_of_op[i] = decision.handle;
+      }
+    } else if (op.kind == Op::Kind::kRemove) {
+      auto& handle = handle_of_op[static_cast<std::size_t>(op.target)];
+      if (handle >= 0) {
+        ctrl.remove(handle);
+        handle = -1;
+      }
+    } else {
+      const topo::ChannelId channel = topo.channel_between(op.src, op.dst);
+      if (channel == topo::kNoChannel) {
+        continue;
+      }
+      const auto mutation = op.kind == Op::Kind::kLinkDown
+                                ? ctrl.link_down(channel)
+                                : ctrl.link_up(channel);
+      for (const auto victim : mutation.evicted) {
+        for (auto& handle : handle_of_op) {
+          if (handle == victim) {
+            handle = -1;
+          }
+        }
+      }
+      if (auto violation = audit("after op " + std::to_string(i))) {
+        return violation;
+      }
+    }
+  }
+  // One end-of-run audit regardless: scenarios without link churn keep
+  // the oracle (and its detection knob) from being silently vacuous.
+  return audit("after final op");
+}
+
 /// A plausible extra REQUEST, drawn from the recovery substream — used
 /// both as the doomed mid-crash mutation and as the post-recovery
 /// decision-parity probe.
@@ -538,8 +703,15 @@ long file_size(const std::string& path) {
 /// The acknowledged prefix fully determines the state, so anything less
 /// than equality is a durability bug.
 std::optional<Violation> check_recovery_invariants(
-    const Scenario& scenario, const topo::Topology& topo,
-    const route::RoutingAlgorithm& routing, const CheckConfig& config) {
+    const Scenario& scenario, const route::RoutingAlgorithm& routing,
+    const CheckConfig& config) {
+  // Three private topology instances: link mutations flip fault flags in
+  // place, so oracle, crashed primary, and recovered service each need
+  // their own fabric (recovery itself re-applies the fault history to
+  // the recovered instance — that replay is part of what's under test).
+  const std::unique_ptr<topo::Topology> oracle_topo = scenario.topo.build();
+  const std::unique_ptr<topo::Topology> primary_topo = scenario.topo.build();
+  const std::unique_ptr<topo::Topology> recovered_topo = scenario.topo.build();
   std::string dir_template =
       config.recovery_tmp_root + "/wormrt-recovery-XXXXXX";
   std::vector<char> dir_buf(dir_template.begin(), dir_template.end());
@@ -578,12 +750,12 @@ std::optional<Violation> check_recovery_invariants(
   options.journal_fsync = false;
   options.journal_faults = &faults;
 
-  AdmissionController oracle(topo, routing, config.analysis);
+  AdmissionController oracle(*oracle_topo, routing, config.analysis);
   std::vector<AdmissionController::Handle> handle_of_op(scenario.ops.size(),
                                                         -1);
   std::optional<Op> doomed;
   {
-    svc::Service primary(topo, routing, config.analysis, options);
+    svc::Service primary(*primary_topo, routing, config.analysis, options);
     std::string err;
     if (!primary.open_state(&err)) {
       return fail(kInvariantRecovery, "primary open_state: " + err);
@@ -609,7 +781,7 @@ std::optional<Violation> check_recovery_invariants(
         if (decision.admitted) {
           handle_of_op[i] = decision.handle;
         }
-      } else {
+      } else if (op.kind == Op::Kind::kRemove) {
         auto& handle = handle_of_op[static_cast<std::size_t>(op.target)];
         if (handle < 0) {
           continue;
@@ -627,6 +799,29 @@ std::optional<Violation> check_recovery_invariants(
                           "crash");
         }
         handle = -1;
+      } else {
+        const topo::ChannelId channel =
+            oracle_topo->channel_between(op.src, op.dst);
+        if (channel == topo::kNoChannel) {
+          continue;
+        }
+        const auto mutation = op.kind == Op::Kind::kLinkDown
+                                  ? oracle.link_down(channel)
+                                  : oracle.link_up(channel);
+        for (const auto victim : mutation.evicted) {
+          for (auto& handle : handle_of_op) {
+            if (handle == victim) {
+              handle = -1;
+            }
+          }
+        }
+        const Json reply = primary.handle(link_json(op));
+        if (const auto diff = diff_link_reply(reply, mutation)) {
+          return fail(kInvariantRecovery,
+                      "op " + std::to_string(i) +
+                          ": LINK mutation diverged from the oracle before "
+                          "any crash: " + *diff);
+        }
       }
     }
 
@@ -637,7 +832,7 @@ std::optional<Violation> check_recovery_invariants(
     // must reproduce the state WITHOUT it.
     if (rng.bernoulli(0.5)) {
       faults.arm_torn_write(static_cast<std::size_t>(rng.uniform_int(0, 72)));
-      doomed = random_probe(rng, topo, scenario);
+      doomed = random_probe(rng, *oracle_topo, scenario);
       primary.handle(request_json(*doomed));
     }
   }  // ~Service == the crash: nothing beyond append()'s writes survives
@@ -679,7 +874,8 @@ std::optional<Violation> check_recovery_invariants(
 
   svc::ServiceOptions recovered_options = options;
   recovered_options.journal_faults = nullptr;
-  svc::Service recovered(topo, routing, config.analysis, recovered_options);
+  svc::Service recovered(*recovered_topo, routing, config.analysis,
+                         recovered_options);
   std::string err;
   if (!recovered.open_state(&err)) {
     return fail(kInvariantRecovery, "recovery open_state: " + err);
@@ -728,6 +924,25 @@ std::optional<Violation> check_recovery_invariants(
                         std::to_string(j) + ": " + describe_stream(sg) +
                         " != " + describe_stream(sw) + where);
       }
+      if (sw.route_order != sg.route_order ||
+          sw.path.channels != sg.path.channels) {
+        return fail(kInvariantRecovery,
+                    "recovered route diverged for stream " +
+                        std::to_string(j) + ": route_order " +
+                        std::to_string(sg.route_order) + " != oracle " +
+                        std::to_string(sw.route_order) + where);
+      }
+    }
+    // Fault flags are journaled state too: the recovered fabric must
+    // carry exactly the oracle's fault set.
+    for (std::size_t c = 0; c < oracle_topo->num_channels(); ++c) {
+      const auto ch = static_cast<topo::ChannelId>(c);
+      if (oracle_topo->channel_faulted(ch) !=
+          recovered_topo->channel_faulted(ch)) {
+        return fail(kInvariantRecovery,
+                    "recovered fault flag diverged on channel " +
+                        std::to_string(c) + where);
+      }
     }
     return std::nullopt;
   };
@@ -756,7 +971,7 @@ std::optional<Violation> check_recovery_invariants(
 
   // The next admission decision must also come out identically — the
   // recovered daemon continues exactly where the crashed one left off.
-  const Op probe = random_probe(rng, topo, scenario);
+  const Op probe = random_probe(rng, *oracle_topo, scenario);
   const auto decision = oracle.request(probe.src, probe.dst, probe.priority,
                                        probe.period, probe.length,
                                        probe.deadline);
@@ -781,24 +996,30 @@ std::optional<Violation> check_recovery_invariants(
 
 std::optional<Violation> check_scenario(const Scenario& scenario,
                                         const CheckConfig& config) {
-  const std::unique_ptr<topo::Topology> topo = scenario.topo.build();
+  // Each oracle builds its own topology instance: link mutations flip
+  // fault flags in place, so a shared fabric would let one consumer's
+  // mutation leak into another's view (e.g. a replica LINK_DOWN seeing
+  // an already-faulted channel and reporting a spurious no-op).
   const route::DimensionOrderRouting routing;
 
   if (config.check_equivalence || config.check_monotonicity) {
-    if (auto violation =
-            check_engine_invariants(scenario, *topo, routing, config)) {
+    if (auto violation = check_engine_invariants(scenario, routing, config)) {
       return violation;
     }
   }
   if (config.check_soundness || config.check_flit || config.check_protocol) {
     if (auto violation =
-            check_admission_invariants(scenario, *topo, routing, config)) {
+            check_admission_invariants(scenario, routing, config)) {
+      return violation;
+    }
+  }
+  if (config.check_fault) {
+    if (auto violation = check_fault_invariants(scenario, routing, config)) {
       return violation;
     }
   }
   if (config.check_recovery) {
-    if (auto violation =
-            check_recovery_invariants(scenario, *topo, routing, config)) {
+    if (auto violation = check_recovery_invariants(scenario, routing, config)) {
       return violation;
     }
   }

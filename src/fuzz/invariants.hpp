@@ -7,7 +7,7 @@
 #include "fuzz/scenario.hpp"
 
 /// \file invariants.hpp
-/// The six differential oracles every fuzz scenario is checked against
+/// The seven differential oracles every fuzz scenario is checked against
 /// (DESIGN.md §8).  Each one validates the optimised production path —
 /// bit-packed diagrams, the incremental dirty-set engine, the wire
 /// protocol, the write-ahead journal — against an independent witness:
@@ -40,10 +40,18 @@
 ///   recovery      a journaled Service is crashed at a random point of
 ///                 the churn (possibly mid-append, leaving a torn tail)
 ///                 and reopened; the recovered engine state — bounds,
-///                 handle numbering, population order, next handle —
-///                 must match an in-process oracle that applied exactly
-///                 the acknowledged prefix, and the next admission
-///                 decision must come out identically.
+///                 handle numbering, population order, next handle,
+///                 fault flags, route orders — must match an in-process
+///                 oracle that applied exactly the acknowledged prefix,
+///                 and the next admission decision must come out
+///                 identically.
+///   fault-repair  the churn (including link_down / link_up mutations)
+///                 replayed through the admission controller; after
+///                 every topology mutation and at the end, every
+///                 surviving stream's cached bound must be bitwise
+///                 identical to a from-scratch analysis of the
+///                 surviving set, and no surviving path may cross a
+///                 faulted channel.
 
 namespace wormrt::fuzz {
 
@@ -54,6 +62,7 @@ inline constexpr const char* kInvariantEquivalence = "equivalence";
 inline constexpr const char* kInvariantMonotonicity = "monotonicity";
 inline constexpr const char* kInvariantProtocol = "protocol";
 inline constexpr const char* kInvariantRecovery = "recovery";
+inline constexpr const char* kInvariantFault = "fault-repair";
 
 struct Violation {
   std::string invariant;  ///< one of the kInvariant* names
@@ -70,6 +79,7 @@ struct CheckConfig {
   bool check_monotonicity = true;
   bool check_protocol = true;
   bool check_recovery = true;
+  bool check_fault = true;
 
   /// Injection window of each soundness simulation (flit times).
   Time sim_duration = 3000;
@@ -104,6 +114,12 @@ struct CheckConfig {
   /// Directory under which the recovery check creates its per-scenario
   /// state dirs (mkdtemp).  Tests point it at their own tmp dir.
   std::string recovery_tmp_root = "/tmp";
+
+  /// Fault injection for the fault-repair oracle's own tests: the cached
+  /// bound is compared against reference + fault_oracle_skew, so a
+  /// non-zero value manufactures "violations" on healthy code and proves
+  /// the seventh oracle actually bites.
+  Time fault_oracle_skew = 0;
 };
 
 /// Runs every enabled oracle over \p scenario; returns the first

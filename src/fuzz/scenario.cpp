@@ -88,10 +88,43 @@ Scenario generate_scenario(std::uint64_t seed, const GenParams& params) {
       static_cast<int>(churn_rng.uniform_int(params.min_ops, params.max_ops));
   const int nodes = s.topo.num_nodes();
 
+  // Channel endpoints for link mutations come from the real topology —
+  // deterministic for a given spec, so generation stays reproducible.
+  const std::unique_ptr<topo::Topology> net =
+      params.link_fault_probability > 0 ? s.topo.build() : nullptr;
+
   std::vector<int> live_adds;  // indices of add ops not yet targeted
+  std::vector<topo::ChannelId> downed;  // channels currently faulted
   for (int i = 0; i < num_ops; ++i) {
     Op op;
-    if (!live_adds.empty() && churn_rng.bernoulli(params.remove_probability)) {
+    if (net != nullptr &&
+        churn_rng.bernoulli(params.link_fault_probability)) {
+      // Repair-biased once the cap is reached; never emits a no-op.
+      const bool repair =
+          !downed.empty() &&
+          (static_cast<int>(downed.size()) >= params.max_links_down ||
+           churn_rng.bernoulli(0.5));
+      topo::ChannelId channel;
+      if (repair) {
+        const auto pick = static_cast<std::size_t>(churn_rng.uniform_int(
+            0, static_cast<std::int64_t>(downed.size()) - 1));
+        channel = downed[pick];
+        downed.erase(downed.begin() + static_cast<std::ptrdiff_t>(pick));
+        op.kind = Op::Kind::kLinkUp;
+      } else {
+        do {
+          channel = static_cast<topo::ChannelId>(churn_rng.uniform_int(
+              0, static_cast<std::int64_t>(net->num_channels()) - 1));
+        } while (std::find(downed.begin(), downed.end(), channel) !=
+                 downed.end());
+        downed.push_back(channel);
+        op.kind = Op::Kind::kLinkDown;
+      }
+      const topo::Channel& ch = net->channels().channel(channel);
+      op.src = ch.src;
+      op.dst = ch.dst;
+    } else if (!live_adds.empty() &&
+               churn_rng.bernoulli(params.remove_probability)) {
       const auto pick = static_cast<std::size_t>(churn_rng.uniform_int(
           0, static_cast<std::int64_t>(live_adds.size()) - 1));
       op.kind = Op::Kind::kRemove;
@@ -125,16 +158,28 @@ std::string scenario_to_text(const Scenario& scenario) {
   out += "levels " + std::to_string(scenario.priority_levels) + "\n";
   out += "seed " + std::to_string(scenario.seed) + "\n";
   for (const Op& op : scenario.ops) {
-    if (op.kind == Op::Kind::kAdd) {
-      char line[160];
-      std::snprintf(line, sizeof line, "add %d %d %d %lld %lld %lld\n", op.src,
-                    op.dst, static_cast<int>(op.priority),
-                    static_cast<long long>(op.period),
-                    static_cast<long long>(op.length),
-                    static_cast<long long>(op.deadline));
-      out += line;
-    } else {
-      out += "remove " + std::to_string(op.target) + "\n";
+    switch (op.kind) {
+      case Op::Kind::kAdd: {
+        char line[160];
+        std::snprintf(line, sizeof line, "add %d %d %d %lld %lld %lld\n",
+                      op.src, op.dst, static_cast<int>(op.priority),
+                      static_cast<long long>(op.period),
+                      static_cast<long long>(op.length),
+                      static_cast<long long>(op.deadline));
+        out += line;
+        break;
+      }
+      case Op::Kind::kRemove:
+        out += "remove " + std::to_string(op.target) + "\n";
+        break;
+      case Op::Kind::kLinkDown:
+        out += "link_down " + std::to_string(op.src) + " " +
+               std::to_string(op.dst) + "\n";
+        break;
+      case Op::Kind::kLinkUp:
+        out += "link_up " + std::to_string(op.src) + " " +
+               std::to_string(op.dst) + "\n";
+        break;
     }
   }
   return out;
@@ -242,6 +287,25 @@ ScenarioParseResult scenario_from_text(const std::string& text) {
           s.ops[static_cast<std::size_t>(op.target)].kind != Op::Kind::kAdd) {
         return parse_fail(line_no, "remove target is not an earlier add op");
       }
+      s.ops.push_back(op);
+    } else if (word == "link_down" || word == "link_up") {
+      if (!saw_topology) {
+        return parse_fail(line_no, word + " before topology");
+      }
+      Op op;
+      op.kind =
+          word == "link_down" ? Op::Kind::kLinkDown : Op::Kind::kLinkUp;
+      if (!(fields >> op.src >> op.dst)) {
+        return parse_fail(line_no, word + " needs SRC DST");
+      }
+      const int nodes = s.topo.num_nodes();
+      if (op.src < 0 || op.src >= nodes || op.dst < 0 || op.dst >= nodes ||
+          op.src == op.dst) {
+        return parse_fail(line_no, "node ids invalid for the topology");
+      }
+      // Whether SRC->DST is actually a channel is checked at replay time
+      // (a non-channel pair makes the op a no-op, so shrunk scenarios
+      // stay parseable).
       s.ops.push_back(op);
     } else {
       return parse_fail(line_no, "unknown directive '" + word + "'");

@@ -27,6 +27,10 @@
 ///   remove K                  (K = 0-based index of the `add` line this
 ///                              removes; a no-op when that add was
 ///                              rejected or already removed)
+///   link_down SRC DST         (mark the directed channel SRC->DST
+///                              faulted; established streams crossing it
+///                              are rerouted or evicted)
+///   link_up SRC DST           (repair the channel)
 
 namespace wormrt::fuzz {
 
@@ -50,10 +54,11 @@ struct TopoSpec {
 
 /// One churn operation.
 struct Op {
-  enum class Kind { kAdd, kRemove };
+  enum class Kind { kAdd, kRemove, kLinkDown, kLinkUp };
   Kind kind = Kind::kAdd;
 
   // kAdd: the seven-tuple inputs (the path is derived by routing).
+  // kLinkDown/kLinkUp: src/dst are the directed channel's endpoints.
   int src = 0;
   int dst = 0;
   Priority priority = 1;
@@ -91,6 +96,13 @@ struct GenParams {
   /// then satisfies U_i <= T_i, which keeps the simulated workload
   /// stable — the regime in which the paper's bound claims soundness.
   bool deadline_within_period = true;
+  /// Per-op probability of a topology mutation (link_down, or link_up of
+  /// a previously downed channel).  Generation tracks the downed set so
+  /// it never emits a no-op mutation, and keeps at most
+  /// `max_links_down` channels down at once so the fabric stays mostly
+  /// connected.
+  double link_fault_probability = 0.15;
+  int max_links_down = 2;
 };
 
 /// Deterministic scenario from \p seed: same seed, same scenario, on

@@ -4,8 +4,16 @@
 
 namespace wormrt::route {
 
-Path DimensionOrderRouting::route(const topo::Topology& topo,
-                                  topo::NodeId src, topo::NodeId dst) const {
+namespace {
+
+// Shared dimension-order walker: corrects one dimension at a time in the
+// order produced by `dim_at` (identity for classic DOR, reversed for the
+// fault-detour variant).  The per-ring stepping rule is identical in both
+// directions, so the two orders differ only in which channels a given
+// (src,dst) pair occupies.
+template <typename DimAt>
+Path route_dimension_order(const topo::Topology& topo, topo::NodeId src,
+                           topo::NodeId dst, DimAt dim_at) {
   assert(src >= 0 && src < topo.num_nodes());
   assert(dst >= 0 && dst < topo.num_nodes());
   Path path;
@@ -15,7 +23,8 @@ Path DimensionOrderRouting::route(const topo::Topology& topo,
   topo::Coord at = topo.coord_of(src);
   const topo::Coord goal = topo.coord_of(dst);
 
-  for (int d = 0; d < topo.dimensions(); ++d) {
+  for (int i = 0; i < topo.dimensions(); ++i) {
+    const int d = dim_at(i);
     const std::int32_t k = topo.radix(d);
     while (at[static_cast<std::size_t>(d)] != goal[static_cast<std::size_t>(d)]) {
       const std::int32_t cur = at[static_cast<std::size_t>(d)];
@@ -41,6 +50,21 @@ Path DimensionOrderRouting::route(const topo::Topology& topo,
     }
   }
   return path;
+}
+
+}  // namespace
+
+Path DimensionOrderRouting::route(const topo::Topology& topo,
+                                  topo::NodeId src, topo::NodeId dst) const {
+  return route_dimension_order(topo, src, dst, [](int i) { return i; });
+}
+
+Path ReverseDimensionOrderRouting::route(const topo::Topology& topo,
+                                         topo::NodeId src,
+                                         topo::NodeId dst) const {
+  const int last = topo.dimensions() - 1;
+  return route_dimension_order(topo, src, dst,
+                               [last](int i) { return last - i; });
 }
 
 }  // namespace wormrt::route

@@ -21,6 +21,22 @@ class DimensionOrderRouting : public RoutingAlgorithm {
   std::string name() const override { return "dimension-order(X-Y)"; }
 };
 
+/// Dimension-order routing with the dimensions corrected highest first
+/// (Y-X on a 2-D mesh).  Deadlock-free by the same turn argument as DOR;
+/// used as the single deterministic detour when a primary-order path
+/// crosses a faulted link.  Mixing both orders in one fabric stays
+/// deadlock-free here because provisioning is per-stream-lane (each
+/// admitted stream owns a private VC class end to end — the paper's
+/// priority-VC model, and flitsim's kPerStreamLane), so the two routing
+/// subnetworks never share wait-for edges.
+class ReverseDimensionOrderRouting : public RoutingAlgorithm {
+ public:
+  Path route(const topo::Topology& topo, topo::NodeId src,
+             topo::NodeId dst) const override;
+
+  std::string name() const override { return "dimension-order(Y-X)"; }
+};
+
 /// Alias emphasising the 2-D mesh reading used throughout the paper.
 using XYRouting = DimensionOrderRouting;
 

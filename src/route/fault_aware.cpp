@@ -1,0 +1,42 @@
+#include "route/fault_aware.hpp"
+
+#include <cassert>
+
+#include "route/dor.hpp"
+
+namespace wormrt::route {
+
+Path route_with_order(const topo::Topology& topo, topo::NodeId src,
+                      topo::NodeId dst, int order) {
+  assert(is_route_order(order));
+  if (order == kRouteOrderReversed) {
+    static const ReverseDimensionOrderRouting kReversed;
+    return kReversed.route(topo, src, dst);
+  }
+  static const DimensionOrderRouting kPrimary;
+  return kPrimary.route(topo, src, dst);
+}
+
+bool crosses_faulted(const topo::Topology& topo, const Path& path) {
+  for (const auto cid : path.channels) {
+    if (topo.channels().is_faulted(cid)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool route_avoiding_faults(const topo::Topology& topo, topo::NodeId src,
+                           topo::NodeId dst, FaultAwarePath* out) {
+  for (const int order : {kRouteOrderPrimary, kRouteOrderReversed}) {
+    Path candidate = route_with_order(topo, src, dst, order);
+    if (!crosses_faulted(topo, candidate)) {
+      out->path = std::move(candidate);
+      out->route_order = order;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace wormrt::route

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "route/path.hpp"
+
+/// \file fault_aware.hpp
+/// Deterministic fault-aware path selection.  A stream is routed on one
+/// of exactly two deterministic orders — primary dimension order
+/// (ascending dims; X-Y / e-cube) or reversed dimension order (descending
+/// dims; Y-X) — and the chosen order is part of the stream's persistent
+/// identity: it is journaled with the ADD record so recovery rebuilds the
+/// same path bit for bit regardless of what the fault state looked like
+/// at admission time.
+///
+/// Selection policy: take the primary-order path when it avoids every
+/// faulted channel, else the reversed-order path when that one does, else
+/// fail.  Both orders are deadlock-free (see dor.hpp on why mixing them
+/// is safe under per-stream-lane provisioning), and trying exactly two
+/// candidates keeps admission decisions reproducible and explainable.
+
+namespace wormrt::route {
+
+/// Route-order discriminants persisted in journals and snapshots.
+inline constexpr int kRouteOrderPrimary = 0;   ///< ascending dims (X-Y)
+inline constexpr int kRouteOrderReversed = 1;  ///< descending dims (Y-X)
+
+/// True when \p order is one of the two persisted route orders.
+inline bool is_route_order(int order) {
+  return order == kRouteOrderPrimary || order == kRouteOrderReversed;
+}
+
+/// The deterministic path from \p src to \p dst under \p order
+/// (kRouteOrderPrimary or kRouteOrderReversed).  Ignores fault state —
+/// this is the replay primitive.
+Path route_with_order(const topo::Topology& topo, topo::NodeId src,
+                      topo::NodeId dst, int order);
+
+/// True when any channel of \p path is currently marked faulted.
+bool crosses_faulted(const topo::Topology& topo, const Path& path);
+
+/// Result of fault-aware selection.
+struct FaultAwarePath {
+  Path path;
+  int route_order = kRouteOrderPrimary;
+};
+
+/// Picks the first of {primary, reversed} whose path avoids every faulted
+/// channel; false (and \p out untouched) when both orders cross a fault.
+bool route_avoiding_faults(const topo::Topology& topo, topo::NodeId src,
+                           topo::NodeId dst, FaultAwarePath* out);
+
+}  // namespace wormrt::route

@@ -19,11 +19,18 @@ namespace {
 constexpr char kJournalFile[] = "journal.wal";
 constexpr char kSnapshotFile[] = "snapshot.bin";
 constexpr char kSnapshotTmp[] = "snapshot.tmp";
-constexpr char kSnapshotMagic[8] = {'W', 'R', 'T', 'S', 'N', 'A', 'P', '1'};
+constexpr char kSnapshotMagicV1[8] = {'W', 'R', 'T', 'S', 'N', 'A', 'P', '1'};
+constexpr char kSnapshotMagic[8] = {'W', 'R', 'T', 'S', 'N', 'A', 'P', '2'};
+constexpr char kHeaderMagic[8] = {'W', 'R', 'T', 'J', 'H', 'D', 'R', '1'};
 
-// Journal payload: type(1) + lsn(8) + handle(8) [+ 6 params x 8 for ADD].
+// Journal payload: type(1) + lsn(8) + handle(8) [+ 7 params x 8 for ADD].
 constexpr std::size_t kRemovePayload = 1 + 8 + 8;
-constexpr std::size_t kAddPayload = kRemovePayload + 6 * 8;
+constexpr std::size_t kAddPayloadV1 = kRemovePayload + 6 * 8;  // no route_order
+constexpr std::size_t kAddPayload = kRemovePayload + 7 * 8;
+// LINK_DOWN / LINK_UP: type(1) + lsn(8) + src(8) + dst(8).
+constexpr std::size_t kLinkPayload = 1 + 8 + 8 + 8;
+// Header: type 0 (1) + lsn 0 (8) + magic (8) + fingerprint (8).
+constexpr std::size_t kHeaderPayload = 1 + 8 + 8 + 8;
 // Any frame claiming a larger payload than the biggest snapshot we could
 // plausibly write is garbage bytes, not a record.
 constexpr std::uint32_t kMaxPayload = 64u << 20;
@@ -80,19 +87,41 @@ std::string frame(const std::string& payload) {
 std::string encode_record(JournalRecord::Type type, std::uint64_t lsn,
                           const JournalEntry& e) {
   std::string payload;
-  payload.reserve(type == JournalRecord::Type::kAdd ? kAddPayload
-                                                    : kRemovePayload);
+  payload.reserve(kAddPayload);
   payload.push_back(static_cast<char>(type));
   put_u64(payload, lsn);
-  put_i64(payload, e.handle);
-  if (type == JournalRecord::Type::kAdd) {
-    put_i64(payload, e.src);
-    put_i64(payload, e.dst);
-    put_i64(payload, e.priority);
-    put_i64(payload, e.period);
-    put_i64(payload, e.length);
-    put_i64(payload, e.deadline);
+  switch (type) {
+    case JournalRecord::Type::kAdd:
+      put_i64(payload, e.handle);
+      put_i64(payload, e.src);
+      put_i64(payload, e.dst);
+      put_i64(payload, e.priority);
+      put_i64(payload, e.period);
+      put_i64(payload, e.length);
+      put_i64(payload, e.deadline);
+      put_i64(payload, e.route_order);
+      break;
+    case JournalRecord::Type::kRemove:
+      put_i64(payload, e.handle);
+      break;
+    case JournalRecord::Type::kLinkDown:
+    case JournalRecord::Type::kLinkUp:
+      put_i64(payload, e.src);
+      put_i64(payload, e.dst);
+      break;
   }
+  return payload;
+}
+
+/// The header record: type 0, LSN 0, magic + topology fingerprint.
+/// Always the first frame of a fresh (or freshly truncated) journal.
+std::string encode_header(std::uint64_t fingerprint) {
+  std::string payload;
+  payload.reserve(kHeaderPayload);
+  payload.push_back(static_cast<char>(0));
+  put_u64(payload, 0);
+  payload.append(kHeaderMagic, 8);
+  put_u64(payload, fingerprint);
   return payload;
 }
 
@@ -157,15 +186,54 @@ bool parse_snapshot(const std::string& data, RecoveredState* state,
   // The snapshot is written to a temp file and renamed into place, so a
   // crash never leaves it half-written — a bad frame is real corruption,
   // not a torn tail, and recovery must not silently drop the population.
-  if (p == nullptr || len < 8 + 8 + 8 + 8 ||
-      std::memcmp(p, kSnapshotMagic, 8) != 0) {
+  if (p == nullptr || len < 8 + 8 + 8 + 8) {
     *error = "snapshot.bin is corrupt (bad frame or magic)";
     return false;
   }
-  const std::uint64_t last_lsn = get_u64(p + 8);
-  const std::int64_t next_handle = get_i64(p + 16);
-  const std::uint64_t count = get_u64(p + 24);
-  if (len != 32 + count * 7 * 8) {
+  const bool v2 = std::memcmp(p, kSnapshotMagic, 8) == 0;
+  const bool v1 = !v2 && std::memcmp(p, kSnapshotMagicV1, 8) == 0;
+  if (!v1 && !v2) {
+    *error = "snapshot.bin is corrupt (bad frame or magic)";
+    return false;
+  }
+  const char* q = p + 8;
+  const char* end = p + len;
+  if (v2) {
+    state->has_snapshot_fingerprint = true;
+    state->snapshot_fingerprint = get_u64(q);
+    q += 8;
+  }
+  if (end - q < 16) {
+    *error = "snapshot.bin is corrupt (count disagrees with payload size)";
+    return false;
+  }
+  const std::uint64_t last_lsn = get_u64(q);
+  const std::int64_t next_handle = get_i64(q + 8);
+  q += 16;
+  if (v2) {
+    if (end - q < 8) {
+      *error = "snapshot.bin is corrupt (count disagrees with payload size)";
+      return false;
+    }
+    const std::uint64_t fault_count = get_u64(q);
+    q += 8;
+    if (static_cast<std::uint64_t>(end - q) < fault_count * 16 + 8) {
+      *error = "snapshot.bin is corrupt (count disagrees with payload size)";
+      return false;
+    }
+    state->faulted.reserve(fault_count);
+    for (std::uint64_t i = 0; i < fault_count; ++i, q += 16) {
+      state->faulted.emplace_back(get_i64(q), get_i64(q + 8));
+    }
+  }
+  if (end - q < 8) {
+    *error = "snapshot.bin is corrupt (count disagrees with payload size)";
+    return false;
+  }
+  const std::uint64_t count = get_u64(q);
+  q += 8;
+  const std::size_t row_size = (v2 ? 8 : 7) * 8;
+  if (static_cast<std::uint64_t>(end - q) != count * row_size) {
     *error = "snapshot.bin is corrupt (count disagrees with payload size)";
     return false;
   }
@@ -173,16 +241,18 @@ bool parse_snapshot(const std::string& data, RecoveredState* state,
   state->snapshot_lsn = last_lsn;
   state->next_handle = next_handle;
   state->snapshot.reserve(count);
-  const char* row = p + 32;
-  for (std::uint64_t i = 0; i < count; ++i, row += 7 * 8) {
+  for (std::uint64_t i = 0; i < count; ++i, q += row_size) {
     JournalEntry e;
-    e.handle = get_i64(row);
-    e.src = get_i64(row + 8);
-    e.dst = get_i64(row + 16);
-    e.priority = get_i64(row + 24);
-    e.period = get_i64(row + 32);
-    e.length = get_i64(row + 40);
-    e.deadline = get_i64(row + 48);
+    e.handle = get_i64(q);
+    e.src = get_i64(q + 8);
+    e.dst = get_i64(q + 16);
+    e.priority = get_i64(q + 24);
+    e.period = get_i64(q + 32);
+    e.length = get_i64(q + 40);
+    e.deadline = get_i64(q + 48);
+    if (v2) {
+      e.route_order = get_i64(q + 56);
+    }
     state->snapshot.push_back(e);
   }
   return true;
@@ -200,23 +270,49 @@ std::size_t parse_journal(const std::string& data, RecoveredState* state) {
       break;
     }
     const auto type = static_cast<std::uint8_t>(p[0]);
+    if (type == 0) {
+      // Header record: only valid as the journal's very first frame.
+      if (off != 0 || len != kHeaderPayload ||
+          std::memcmp(p + 9, kHeaderMagic, 8) != 0) {
+        break;  // framed garbage — same treatment as a CRC failure
+      }
+      state->has_journal_fingerprint = true;
+      state->journal_fingerprint = get_u64(p + 17);
+      off += 8 + len;
+      continue;
+    }
     const bool is_add = type == static_cast<std::uint8_t>(JournalRecord::Type::kAdd);
     const bool is_remove =
         type == static_cast<std::uint8_t>(JournalRecord::Type::kRemove);
-    if ((!is_add && !is_remove) || len != (is_add ? kAddPayload : kRemovePayload)) {
+    const bool is_link =
+        type == static_cast<std::uint8_t>(JournalRecord::Type::kLinkDown) ||
+        type == static_cast<std::uint8_t>(JournalRecord::Type::kLinkUp);
+    const bool size_ok =
+        is_add ? (len == kAddPayload || len == kAddPayloadV1)
+               : is_remove ? len == kRemovePayload
+                           : is_link && len == kLinkPayload;
+    if (!size_ok) {
       break;  // framed garbage — same treatment as a CRC failure
     }
     JournalRecord rec;
-    rec.type = is_add ? JournalRecord::Type::kAdd : JournalRecord::Type::kRemove;
+    rec.type = static_cast<JournalRecord::Type>(type);
     rec.lsn = get_u64(p + 1);
-    rec.entry.handle = get_i64(p + 9);
     if (is_add) {
+      rec.entry.handle = get_i64(p + 9);
       rec.entry.src = get_i64(p + 17);
       rec.entry.dst = get_i64(p + 25);
       rec.entry.priority = get_i64(p + 33);
       rec.entry.period = get_i64(p + 41);
       rec.entry.length = get_i64(p + 49);
       rec.entry.deadline = get_i64(p + 57);
+      // Legacy ADD records predate route orders: order 0 (primary) is
+      // what every stream used then.
+      rec.entry.route_order = len == kAddPayload ? get_i64(p + 65) : 0;
+    } else if (is_remove) {
+      rec.entry.handle = get_i64(p + 9);
+    } else {
+      rec.entry.src = get_i64(p + 9);
+      rec.entry.dst = get_i64(p + 17);
     }
     off += 8 + len;
     if (state->had_snapshot && rec.lsn <= state->snapshot_lsn) {
@@ -385,6 +481,30 @@ bool Journal::open(RecoveredState* state, std::string* error) {
     return false;
   }
 
+  // Fabric identity check: state stamped with a different topology
+  // fingerprint must not be replayed here — its paths, channel ids, and
+  // fault records describe different physical links.  Hard error, never
+  // a silent re-initialisation.
+  if (config_.fingerprint != 0) {
+    const auto mismatch = [&](const char* which, std::uint64_t found) {
+      *error = config_.dir + ": " + which +
+               " was written for a different topology (fingerprint " +
+               std::to_string(found) + ", this fabric is " +
+               std::to_string(config_.fingerprint) +
+               "); refusing to replay state from another fabric";
+    };
+    if (state->has_snapshot_fingerprint &&
+        state->snapshot_fingerprint != config_.fingerprint) {
+      mismatch("snapshot.bin", state->snapshot_fingerprint);
+      return false;
+    }
+    if (state->has_journal_fingerprint &&
+        state->journal_fingerprint != config_.fingerprint) {
+      mismatch("journal.wal", state->journal_fingerprint);
+      return false;
+    }
+  }
+
   const std::string path = journal_path(config_.dir);
   fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
   if (fd_ < 0) {
@@ -399,6 +519,20 @@ bool Journal::open(RecoveredState* state, std::string* error) {
     ::close(fd_);
     fd_ = -1;
     return false;
+  }
+
+  // A fresh (or fully repaired-to-empty) journal gets the fingerprint
+  // header as its first frame, so a later recovery can verify identity
+  // even before the first snapshot exists.
+  if (valid_bytes == 0 && config_.fingerprint != 0) {
+    const std::string blob = frame(encode_header(config_.fingerprint));
+    bool torn = false;
+    if (!write_blob(fd_, blob, &torn, error) ||
+        (config_.fsync_data && !sync_fd(fd_, error))) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
   }
 
   std::uint64_t max_lsn = state->snapshot_lsn;
@@ -580,9 +714,10 @@ bool Journal::flush_staged(std::string* error) {
   return wait_durable(target, error);
 }
 
-bool Journal::write_snapshot(std::int64_t next_handle,
-                             const std::vector<JournalEntry>& entries,
-                             std::string* error) {
+bool Journal::write_snapshot(
+    std::int64_t next_handle, const std::vector<JournalEntry>& entries,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& faulted,
+    std::string* error) {
   // The snapshot's LSN watermark covers every LSN assigned so far, so
   // staged records must be durable before the snapshot claims them.
   // (Callers serialise mutations against snapshotting, so nothing new
@@ -605,10 +740,16 @@ bool Journal::write_snapshot(std::int64_t next_handle,
   }
 
   std::string payload;
-  payload.reserve(32 + entries.size() * 7 * 8);
+  payload.reserve(48 + faulted.size() * 16 + entries.size() * 8 * 8);
   payload.append(kSnapshotMagic, 8);
+  put_u64(payload, config_.fingerprint);
   put_u64(payload, next_lsn_ - 1);  // every record so far is folded in
   put_i64(payload, next_handle);
+  put_u64(payload, faulted.size());
+  for (const auto& [src, dst] : faulted) {
+    put_i64(payload, src);
+    put_i64(payload, dst);
+  }
   put_u64(payload, entries.size());
   for (const JournalEntry& e : entries) {
     put_i64(payload, e.handle);
@@ -618,6 +759,7 @@ bool Journal::write_snapshot(std::int64_t next_handle,
     put_i64(payload, e.period);
     put_i64(payload, e.length);
     put_i64(payload, e.deadline);
+    put_i64(payload, e.route_order);
   }
 
   const std::string tmp = config_.dir + "/" + kSnapshotTmp;
@@ -652,6 +794,22 @@ bool Journal::write_snapshot(std::int64_t next_handle,
   if (::ftruncate(fd_, 0) != 0) {
     *error = std::string("truncate journal: ") + std::strerror(errno);
     return false;
+  }
+  // Re-stamp the truncated journal with the fingerprint header so the
+  // state dir carries the fabric identity in both files at all times.
+  // Best-effort failure handling: a torn header poisons the journal
+  // (the tail is unknown), a clean failure truncates back to empty —
+  // either way the snapshot just written stays authoritative.
+  if (config_.fingerprint != 0) {
+    bool torn = false;
+    if (!write_blob(fd_, frame(encode_header(config_.fingerprint)), &torn,
+                    error) ||
+        (config_.fsync_data && !sync_fd(fd_, error))) {
+      if (torn || ::ftruncate(fd_, 0) != 0) {
+        poisoned_ = true;
+      }
+      return false;
+    }
   }
 
   appends_since_snapshot_ = 0;

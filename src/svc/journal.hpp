@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -31,11 +32,31 @@
 ///
 /// Record framing (all integers little-endian):
 ///   u32 payload_len | u32 crc32(payload) | payload
-/// Journal payload:   u8 type (1=ADD, 2=REMOVE) | u64 lsn | i64 handle
-///                    | for ADD: i64 src,dst,priority,period,length,deadline
-/// Snapshot payload:  8-byte magic "WRTSNAP1" | u64 last_lsn
-///                    | i64 next_handle | u64 count
-///                    | count x (i64 handle,src,dst,priority,period,length,deadline)
+/// Journal payload:   u8 type (0=HEADER, 1=ADD, 2=REMOVE, 3=LINK_DOWN,
+///                            4=LINK_UP) | u64 lsn
+///                    | HEADER (lsn 0, always the first record of a fresh
+///                      or freshly-truncated journal): 8-byte magic
+///                      "WRTJHDR1" | u64 topology fingerprint
+///                    | ADD: i64 handle,src,dst,priority,period,length,
+///                      deadline,route_order  (the legacy 7-field ADD
+///                      without route_order is still parsed, as order 0)
+///                    | REMOVE: i64 handle
+///                    | LINK_DOWN / LINK_UP: i64 src,dst (the directed
+///                      channel's endpoints; the eviction/reroute cascade
+///                      is deterministic, so one record replays it all)
+/// Snapshot payload:  8-byte magic "WRTSNAP2" | u64 topology fingerprint
+///                    | u64 last_lsn | i64 next_handle
+///                    | u64 fault_count | fault_count x (i64 src,dst)
+///                    | u64 count | count x (i64 handle,src,dst,priority,
+///                      period,length,deadline,route_order)
+///                    ("WRTSNAP1" snapshots — no fingerprint, no faults,
+///                     7-field rows — are still read for upgrades)
+///
+/// The topology fingerprint (topo::Topology::fingerprint()) stamps the
+/// fabric the records were issued against into both files; recovery onto
+/// a topology with a different fingerprint is a hard error — journaled
+/// paths, channel ids, and fault records would silently mean different
+/// physical links there.
 ///
 /// A torn, truncated, or bit-rotted journal tail fails the length or
 /// CRC check; recovery discards everything from the first bad record on
@@ -59,7 +80,8 @@
 namespace wormrt::svc {
 
 /// One admitted stream: a snapshot row, and the parameter block of an
-/// ADD record.  REMOVE records use only `handle`.
+/// ADD record.  REMOVE records use only `handle`; LINK_DOWN/LINK_UP use
+/// only `src`/`dst` (the channel's endpoints).
 struct JournalEntry {
   std::int64_t handle = -1;
   std::int64_t src = 0;
@@ -68,12 +90,21 @@ struct JournalEntry {
   std::int64_t period = 0;
   std::int64_t length = 0;
   std::int64_t deadline = 0;
+  /// Which deterministic route order built the stream's path (see
+  /// route/fault_aware.hpp) — persisted so replay reconstructs the exact
+  /// path without consulting fault state.
+  std::int64_t route_order = 0;
 
   bool operator==(const JournalEntry&) const = default;
 };
 
 struct JournalRecord {
-  enum class Type : std::uint8_t { kAdd = 1, kRemove = 2 };
+  enum class Type : std::uint8_t {
+    kAdd = 1,
+    kRemove = 2,
+    kLinkDown = 3,
+    kLinkUp = 4,
+  };
   Type type = Type::kAdd;
   std::uint64_t lsn = 0;
   JournalEntry entry;
@@ -89,6 +120,13 @@ struct JournalConfig {
   bool fsync_data = true;
   /// Fault-injection hook for the write/fsync paths; nullptr = real I/O.
   util::FaultInjector* faults = nullptr;
+  /// Fingerprint of the fabric this journal serves
+  /// (topo::Topology::fingerprint()).  Non-zero: stamped into the journal
+  /// header and every snapshot, and open() hard-fails when the state dir
+  /// carries a different one — replaying another fabric's records would
+  /// silently produce garbage bounds.  0 disables stamping and checking
+  /// (topology-less unit tests).
+  std::uint64_t fingerprint = 0;
 };
 
 /// Everything recovery learned from the state dir, in replay order.
@@ -97,6 +135,16 @@ struct RecoveredState {
   /// Journal LSNs <= this are already folded into `snapshot`.
   std::uint64_t snapshot_lsn = 0;
   std::int64_t next_handle = 0;
+  /// Topology fingerprints found in the snapshot / journal header.
+  /// (Absent on legacy V1 state; Journal::open verifies present ones
+  /// against JournalConfig::fingerprint.)
+  bool has_snapshot_fingerprint = false;
+  std::uint64_t snapshot_fingerprint = 0;
+  bool has_journal_fingerprint = false;
+  std::uint64_t journal_fingerprint = 0;
+  /// Channels faulted at snapshot time, as (src,dst) endpoint pairs in
+  /// channel-id order — applied to the topology before the rows.
+  std::vector<std::pair<std::int64_t, std::int64_t>> faulted;
   /// The snapshotted population in engine order (replay first).
   std::vector<JournalEntry> snapshot;
   /// Post-snapshot mutations in append order (replay second).
@@ -160,11 +208,13 @@ class Journal {
 
   /// Compacts the full population into the snapshot file and truncates
   /// the journal.  The caller passes the authoritative controller state
-  /// (entries in engine order).  False + \p error on failure; the
+  /// (entries in engine order) plus the currently faulted channels as
+  /// (src,dst) endpoint pairs.  False + \p error on failure; the
   /// previous snapshot and journal stay intact in that case.
-  bool write_snapshot(std::int64_t next_handle,
-                      const std::vector<JournalEntry>& entries,
-                      std::string* error);
+  bool write_snapshot(
+      std::int64_t next_handle, const std::vector<JournalEntry>& entries,
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& faulted,
+      std::string* error);
 
   /// Appends staged since the last successful write_snapshot (or open).
   std::uint64_t appends_since_snapshot() const {

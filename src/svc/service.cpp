@@ -39,6 +39,13 @@ Service::Metrics::Metrics(obs::Registry& reg)
       snapshots(reg.counter("wormrt_requests_total", {{"verb", "SNAPSHOT"}})),
       stats(reg.counter("wormrt_requests_total", {{"verb", "STATS"}})),
       metrics(reg.counter("wormrt_requests_total", {{"verb", "METRICS"}})),
+      link_downs(reg.counter("wormrt_requests_total", {{"verb", "LINK_DOWN"}})),
+      link_ups(reg.counter("wormrt_requests_total", {{"verb", "LINK_UP"}})),
+      link_evicted(reg.counter(
+          "wormrt_link_streams_total", {{"outcome", "evicted"}},
+          "Established streams hit by LINK_DOWN, by outcome.")),
+      link_rerouted(
+          reg.counter("wormrt_link_streams_total", {{"outcome", "rerouted"}})),
       admitted(reg.counter("wormrt_admission_decisions_total",
                            {{"decision", "admitted"}},
                            "Admission decisions, by outcome.")),
@@ -54,8 +61,7 @@ Service::Metrics::Metrics(obs::Registry& reg)
       population(reg.gauge("wormrt_population", {},
                            "Established channels currently admitted.")) {}
 
-Service::Service(const topo::Topology& topo,
-                 const route::RoutingAlgorithm& routing,
+Service::Service(topo::Topology& topo, const route::RoutingAlgorithm& routing,
                  core::AnalysisConfig config, ServiceOptions options)
     : topo_(topo),
       options_(std::move(options)),
@@ -69,7 +75,7 @@ bool Service::open_state(std::string* error) {
   std::lock_guard<std::mutex> lk(mu_);
   journal_ = std::make_unique<Journal>(
       JournalConfig{options_.state_dir, options_.journal_fsync,
-                    options_.journal_faults},
+                    options_.journal_faults, topo_.fingerprint()},
       &registry_);
   RecoveredState state;
   if (!journal_->open(&state, error)) {
@@ -77,24 +83,68 @@ bool Service::open_state(std::string* error) {
     return false;
   }
 
-  // Replay: snapshot population in engine order, then the post-snapshot
-  // mutations in append order.  Each restore() forces the journaled
-  // handle, so population order AND handle numbering come out exactly
-  // as the crashed daemon left them.
+  // Replay: snapshot fault flags first (paths with non-primary route
+  // orders exist only because of them), then the snapshot population in
+  // engine order, then the post-snapshot mutations in append order.
+  // Each restore() forces the journaled handle and route order, so
+  // population order, paths, AND handle numbering come out exactly as
+  // the crashed daemon left them — without consulting fault state.
+  for (const auto& [src, dst] : state.faulted) {
+    const topo::ChannelId ch = topo_.channel_between(
+        static_cast<topo::NodeId>(src), static_cast<topo::NodeId>(dst));
+    if (ch == topo::kNoChannel) {
+      // The fingerprint check upstream makes this unreachable; a hit
+      // means the snapshot and the fabric disagree — refuse to guess.
+      *error = options_.state_dir + ": snapshot faults channel " +
+               std::to_string(src) + "->" + std::to_string(dst) +
+               " which this topology does not have";
+      journal_.reset();
+      return false;
+    }
+    topo_.set_channel_faulted(ch, true);
+    ++recovery_.topology_mutations;
+  }
   const auto restore = [this](const JournalEntry& e) {
     ctrl_.restore(static_cast<topo::NodeId>(e.src),
                   static_cast<topo::NodeId>(e.dst),
                   static_cast<Priority>(e.priority), e.period, e.length,
-                  e.deadline, e.handle);
+                  e.deadline, e.handle, static_cast<int>(e.route_order));
   };
   for (const JournalEntry& e : state.snapshot) {
     restore(e);
   }
   for (const JournalRecord& rec : state.records) {
-    if (rec.type == JournalRecord::Type::kAdd) {
-      restore(rec.entry);
-    } else {
-      ctrl_.remove(rec.entry.handle);
+    switch (rec.type) {
+      case JournalRecord::Type::kAdd:
+        restore(rec.entry);
+        break;
+      case JournalRecord::Type::kRemove:
+        ctrl_.remove(rec.entry.handle);
+        break;
+      case JournalRecord::Type::kLinkDown:
+      case JournalRecord::Type::kLinkUp: {
+        const topo::ChannelId ch =
+            topo_.channel_between(static_cast<topo::NodeId>(rec.entry.src),
+                                  static_cast<topo::NodeId>(rec.entry.dst));
+        if (ch == topo::kNoChannel) {
+          *error = options_.state_dir + ": journal mutates channel " +
+                   std::to_string(rec.entry.src) + "->" +
+                   std::to_string(rec.entry.dst) +
+                   " which this topology does not have";
+          journal_.reset();
+          return false;
+        }
+        // The cascade (evict / reroute / recompute) is deterministic
+        // given the engine state, so replaying the one record redoes it
+        // bit for bit.
+        if (rec.type == JournalRecord::Type::kLinkDown) {
+          ctrl_.link_down(ch);
+        } else {
+          ctrl_.link_up(ch);
+        }
+        ++recovery_.topology_mutations;
+        break;
+      }
     }
   }
   // Replayed adds advance next_handle past their own handles; the
@@ -130,10 +180,20 @@ void Service::maybe_compact() {
     e.period = s.period;
     e.length = s.length;
     e.deadline = s.deadline;
+    e.route_order = s.route_order;
     entries.push_back(e);
   }
+  std::vector<std::pair<std::int64_t, std::int64_t>> faulted;
+  const topo::ChannelGraph& channels = topo_.channels();
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const auto id = static_cast<topo::ChannelId>(i);
+    if (channels.is_faulted(id)) {
+      const topo::Channel& ch = channels.channel(id);
+      faulted.emplace_back(ch.src, ch.dst);
+    }
+  }
   std::string err;
-  if (!journal_->write_snapshot(ctrl_.next_handle(), entries, &err)) {
+  if (!journal_->write_snapshot(ctrl_.next_handle(), entries, faulted, &err)) {
     registry_
         .counter("wormrt_journal_compaction_failures_total", {},
                  "Snapshot compactions that failed (journal kept intact).")
@@ -243,6 +303,8 @@ Json Service::handle(const Json& request) {
   if (v == "REQUEST") return do_request(request);
   if (v == "REMOVE") return do_remove(request);
   if (v == "BATCH") return do_batch(request);
+  if (v == "LINK_DOWN") return do_link(request, /*down=*/true);
+  if (v == "LINK_UP") return do_link(request, /*down=*/false);
   std::lock_guard<std::mutex> lk(mu_);
   PendingAck ack;
   return dispatch_locked(request, &ack);
@@ -266,6 +328,11 @@ Json Service::dispatch_locked(const Json& request, PendingAck* ack) {
   if (v == "METRICS") return do_metrics_locked();
   if (v == "BATCH") {
     return error_reply("BATCH does not nest");
+  }
+  if (v == "LINK_DOWN" || v == "LINK_UP") {
+    // The link cascade must be durable before it is applied (wait under
+    // mu_), which the shared-group-commit batch path cannot provide.
+    return error_reply(v + " is not batchable");
   }
   if (v == "SHUTDOWN") {
     shutdown_.store(true, std::memory_order_release);
@@ -307,7 +374,8 @@ void Service::catch_up_rollback_locked() {
       ctrl_.restore(static_cast<topo::NodeId>(m.entry.src),
                     static_cast<topo::NodeId>(m.entry.dst),
                     static_cast<Priority>(m.entry.priority), m.entry.period,
-                    m.entry.length, m.entry.deadline, m.entry.handle);
+                    m.entry.length, m.entry.deadline, m.entry.handle,
+                    static_cast<int>(m.entry.route_order));
     }
     staged_.pop_back();
   }
@@ -412,6 +480,7 @@ Json Service::do_request_locked(const Json& request, PendingAck* ack) {
     e.period = period;
     e.length = length;
     e.deadline = deadline;
+    e.route_order = decision.route_order;
     std::string err;
     std::uint64_t lsn = 0;
     if (!journal_->stage(JournalRecord::Type::kAdd, e, &lsn, &err)) {
@@ -435,8 +504,13 @@ Json Service::do_request_locked(const Json& request, PendingAck* ack) {
   reply.set("ok", true);
   reply.set("admitted", decision.admitted);
   reply.set("bound", decision.bound);
+  reply.set("flit_valid", decision.flit_valid);
+  if (decision.no_route) {
+    reply.set("no_route", true);
+  }
   if (decision.admitted) {
     reply.set("handle", decision.handle);
+    reply.set("route_order", static_cast<std::int64_t>(decision.route_order));
   }
   Json broken = Json::array();
   for (const auto h : decision.would_break) {
@@ -498,6 +572,7 @@ Json Service::do_remove_locked(const Json& request, PendingAck* ack) {
     e.period = stream->period;
     e.length = stream->length;
     e.deadline = stream->deadline;
+    e.route_order = stream->route_order;
     std::string err;
     std::uint64_t lsn = 0;
     if (!journal_->stage(JournalRecord::Type::kRemove, e, &lsn, &err)) {
@@ -615,6 +690,93 @@ Json Service::do_batch(const Json& request) {
   return reply;
 }
 
+Json Service::do_link(const Json& request, bool down) {
+  OBS_SPAN(down ? "verb_link_down" : "verb_link_up");
+  std::lock_guard<std::mutex> lk(mu_);
+  (down ? metrics_.link_downs : metrics_.link_ups).inc();
+
+  // Channel addressing: {channel} by id, or {src,dst} by endpoints.
+  topo::ChannelId channel = topo::kNoChannel;
+  std::int64_t id = 0, src = 0, dst = 0;
+  if (req_int(request, "channel", &id)) {
+    if (id < 0 || id >= static_cast<std::int64_t>(topo_.num_channels())) {
+      return error_reply("channel id out of range");
+    }
+    channel = static_cast<topo::ChannelId>(id);
+  } else if (req_int(request, "src", &src) && req_int(request, "dst", &dst)) {
+    if (src < 0 || src >= topo_.num_nodes() || dst < 0 ||
+        dst >= topo_.num_nodes()) {
+      return error_reply("node id out of range");
+    }
+    channel = topo_.channel_between(static_cast<topo::NodeId>(src),
+                                    static_cast<topo::NodeId>(dst));
+    if (channel == topo::kNoChannel) {
+      return error_reply("no channel " + std::to_string(src) + "->" +
+                         std::to_string(dst) + " in this topology");
+    }
+  } else {
+    return error_reply(std::string(down ? "LINK_DOWN" : "LINK_UP") +
+                       " needs integer channel, or integer src and dst");
+  }
+  const topo::Channel& endpoints = topo_.channels().channel(channel);
+
+  // Never decide against state a failed commit is about to unwind.
+  catch_up_rollback_locked();
+  prune_staged_locked();
+
+  // A no-op mutation (taking down a faulted channel, repairing a healthy
+  // one) is an error and is NOT journaled — replay therefore never sees
+  // no-op link records, keeping the cascade replay deterministic.
+  if (topo_.channel_faulted(channel) == down) {
+    return error_reply(std::string("channel ") + std::to_string(channel) +
+                       (down ? " is already down" : " is already up"));
+  }
+
+  if (journal_ != nullptr) {
+    // Write-ahead, strictly: the record is made durable UNDER mu_
+    // before the cascade mutates anything.  On failure nothing was
+    // applied, so only concurrently staged mutations need rolling back.
+    JournalEntry e;
+    e.src = endpoints.src;
+    e.dst = endpoints.dst;
+    std::string err;
+    std::uint64_t lsn = 0;
+    const auto type = down ? JournalRecord::Type::kLinkDown
+                           : JournalRecord::Type::kLinkUp;
+    if (!journal_->stage(type, e, &lsn, &err) ||
+        !journal_->wait_durable(lsn, &err)) {
+      catch_up_rollback_locked();
+      return error_reply("link mutation not durable: " + err);
+    }
+  }
+
+  const core::AdmissionController::LinkMutation m =
+      down ? ctrl_.link_down(channel) : ctrl_.link_up(channel);
+  metrics_.link_evicted.inc(m.evicted.size());
+  metrics_.link_rerouted.inc(m.rerouted.size());
+  metrics_.population.set(static_cast<double>(ctrl_.size()));
+  maybe_compact();
+
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("channel", static_cast<std::int64_t>(channel));
+  reply.set("src", static_cast<std::int64_t>(endpoints.src));
+  reply.set("dst", static_cast<std::int64_t>(endpoints.dst));
+  reply.set("changed", m.changed);
+  Json evicted = Json::array();
+  for (const auto h : m.evicted) {
+    evicted.push_back(h);
+  }
+  reply.set("evicted", std::move(evicted));
+  Json rerouted = Json::array();
+  for (const auto h : m.rerouted) {
+    rerouted.push_back(h);
+  }
+  reply.set("rerouted", std::move(rerouted));
+  reply.set("recomputed", static_cast<std::int64_t>(m.recomputed.size()));
+  return reply;
+}
+
 Json Service::do_query_locked(const Json& request) {
   std::int64_t handle = 0;
   if (!req_int(request, "handle", &handle)) {
@@ -682,6 +844,9 @@ Json Service::do_stats_locked() {
   verbs.set("snapshots",
             static_cast<std::int64_t>(metrics_.snapshots.value()));
   verbs.set("stats", static_cast<std::int64_t>(metrics_.stats.value()));
+  verbs.set("link_downs",
+            static_cast<std::int64_t>(metrics_.link_downs.value()));
+  verbs.set("link_ups", static_cast<std::int64_t>(metrics_.link_ups.value()));
   verbs.set("errors", static_cast<std::int64_t>(metrics_.errors.value()));
 
   const auto& engine_stats = ctrl_.engine().stats();

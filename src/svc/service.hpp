@@ -36,7 +36,14 @@
 ///                             sub-request order.  Mutations in the
 ///                             batch share one group-commit wait, so N
 ///                             admissions cost one fsync.  BATCH does
-///                             not nest.
+///                             not nest, and LINK verbs are not
+///                             batchable.
+///   LINK_DOWN {channel | src,dst} -> mark the directed channel faulted;
+///                             evict/reroute every established stream
+///                             crossing it (AdmissionController::
+///                             link_down).  Journaled durably BEFORE the
+///                             cascade is applied.
+///   LINK_UP  {channel | src,dst}  -> mark the channel healthy again
 ///   SHUTDOWN {}            -> ask the daemon to exit cleanly
 /// Every response carries "ok"; failures add "error".
 ///
@@ -79,7 +86,9 @@ struct ServiceOptions {
 class Service {
  public:
   /// Topology and routing are borrowed and must outlive the service.
-  Service(const topo::Topology& topo, const route::RoutingAlgorithm& routing,
+  /// The topology is mutable: the LINK_DOWN / LINK_UP verbs drive its
+  /// channel fault flags (the channel set itself never changes).
+  Service(topo::Topology& topo, const route::RoutingAlgorithm& routing,
           core::AnalysisConfig config = {}, ServiceOptions options = {});
 
   /// Opens the state dir (when ServiceOptions::state_dir is set) and
@@ -97,6 +106,8 @@ class Service {
     std::uint64_t journal_records = 0;
     std::uint64_t skipped_records = 0;
     std::uint64_t discarded_bytes = 0;
+    /// LINK_DOWN/LINK_UP records replayed + snapshot fault rows applied.
+    std::uint64_t topology_mutations = 0;
   };
   const RecoveryInfo& recovery_info() const { return recovery_; }
 
@@ -141,6 +152,10 @@ class Service {
     obs::Counter& snapshots;
     obs::Counter& stats;
     obs::Counter& metrics;
+    obs::Counter& link_downs;
+    obs::Counter& link_ups;
+    obs::Counter& link_evicted;   ///< wormrt_link_streams_total{...}
+    obs::Counter& link_rerouted;
     obs::Counter& admitted;   ///< wormrt_admission_decisions_total{...}
     obs::Counter& rejected;
     obs::Counter& errors;     ///< wormrt_errors_total
@@ -160,6 +175,13 @@ class Service {
   Json do_request(const Json& request);
   Json do_remove(const Json& request);
   Json do_batch(const Json& request);
+  /// LINK_DOWN / LINK_UP: the whole verb runs under mu_ — the link
+  /// record is staged AND made durable (wait under the lock) before the
+  /// eviction/reroute cascade touches the engine, so a crash at any
+  /// point replays to the same state; a durability failure rolls back
+  /// nothing because nothing was applied.  Rare + heavyweight, so the
+  /// serialised fsync is fine.
+  Json do_link(const Json& request, bool down);
   /// Verb dispatch with mu_ held; REQUEST/REMOVE report staged journal
   /// work via \p ack instead of waiting inline.  Nested BATCH is
   /// rejected.
@@ -198,7 +220,7 @@ class Service {
   /// at the next threshold crossing; the journal stays authoritative.
   void maybe_compact();
 
-  const topo::Topology& topo_;
+  topo::Topology& topo_;
   ServiceOptions options_;
   mutable std::mutex mu_;
   core::AdmissionController ctrl_;

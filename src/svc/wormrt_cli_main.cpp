@@ -31,6 +31,9 @@ int usage(const char* program) {
       "  remove   --handle H\n"
       "  query    --handle H\n"
       "  explain  --handle H   bound provenance of an established channel\n"
+      "  link-down (--channel C | --src N --dst N)   take a directed link\n"
+      "                    down; crossing streams are rerouted or evicted\n"
+      "  link-up   (--channel C | --src N --dst N)   repair a link\n"
       "  snapshot\n"
       "  stats\n"
       "  metrics               Prometheus text exposition of the daemon\n"
@@ -91,6 +94,18 @@ int main(int argc, char** argv) {
                         : command == "query" ? "QUERY"
                                              : "EXPLAIN");
     request.set("handle", args.get_int("handle", -1));
+  } else if (command == "link-down" || command == "link-up") {
+    request.set("verb", command == "link-down" ? "LINK_DOWN" : "LINK_UP");
+    if (args.has("channel")) {
+      request.set("channel", args.get_int("channel", -1));
+    } else if (args.has("src") && args.has("dst")) {
+      request.set("src", args.get_int("src", -1));
+      request.set("dst", args.get_int("dst", -1));
+    } else {
+      std::fprintf(stderr, "%s: %s needs --channel, or --src and --dst\n",
+                   args.program().c_str(), command.c_str());
+      return 2;
+    }
   } else if (command == "snapshot") {
     request.set("verb", "SNAPSHOT");
   } else if (command == "stats") {

@@ -63,7 +63,8 @@ int usage(const char* program) {
       "          [--workers N] [--event-threads N] [--trace FILE]\n"
       "          [--state-dir DIR] [--compact-every N] [--no-journal-fsync]\n"
       "          [--no-group-commit] [--max-connections N]\n"
-      "          [--idle-timeout-ms N]\n"
+      "          [--idle-timeout-ms N] [--buffer-depth N]\n"
+      "          [--no-credit-slack-guard]\n"
       "  --socket PATH  listen on a Unix-domain socket\n"
       "  --port N       listen on 127.0.0.1:N (0 = ephemeral, printed on "
       "READY)\n"
@@ -85,7 +86,13 @@ int usage(const char* program) {
       "  --max-connections N  concurrent connection cap; excess clients "
       "are shed (default 64)\n"
       "  --idle-timeout-ms N  drop connections idle for N ms (0 = never, "
-      "default 30000)\n",
+      "default 30000)\n"
+      "  --buffer-depth N  per-VC flit-buffer depth of the fabric "
+      "(default 2; depth < 2 is rejected — the analysis model needs "
+      "one-flit-per-cycle pipelining, see EXPERIMENTS.md)\n"
+      "  --no-credit-slack-guard  admit zero-slack streams (U+2 > T) "
+      "even though their bounds do not survive credit flow control "
+      "(paper-table reproduction mode)\n",
       program);
   return 2;
 }
@@ -113,6 +120,18 @@ int main(int argc, char** argv) {
 
   core::AnalysisConfig config;
   config.num_threads = static_cast<int>(args.get_int("threads", 0));
+  // PR-7 soundness findings (EXPERIMENTS.md): the daemon defaults to the
+  // flit-valid admission domain — zero-slack streams are rejected unless
+  // the operator explicitly opts back into the paper's model — and the
+  // modelled buffer depth is validated against the latency model.
+  config.credit_slack_guard = !args.has("no-credit-slack-guard");
+  config.vc_buffer_depth =
+      static_cast<int>(args.get_int("buffer-depth", 2));
+  const std::string config_error = core::validate_analysis_config(config);
+  if (!config_error.empty()) {
+    std::fprintf(stderr, "wormrtd: %s\n", config_error.c_str());
+    return 2;
+  }
 
   const std::string trace_path = args.get_string("trace", "");
   if (!trace_path.empty()) {
@@ -126,7 +145,7 @@ int main(int argc, char** argv) {
   service_options.journal_fsync = !args.has("no-journal-fsync");
   service_options.group_commit = !args.has("no-group-commit");
 
-  const topo::Mesh mesh(cols, rows);
+  topo::Mesh mesh(cols, rows);  // mutable: LINK_DOWN/LINK_UP drive faults
   const route::XYRouting routing;
   svc::Service service(mesh, routing, config, service_options);
 
@@ -141,11 +160,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "wormrtd: recovered %llu snapshot entries + %llu journal "
                  "records (%llu stale skipped, %llu torn tail bytes "
-                 "discarded), population %zu\n",
+                 "discarded, %llu topology mutations), population %zu\n",
                  static_cast<unsigned long long>(rec.snapshot_entries),
                  static_cast<unsigned long long>(rec.journal_records),
                  static_cast<unsigned long long>(rec.skipped_records),
                  static_cast<unsigned long long>(rec.discarded_bytes),
+                 static_cast<unsigned long long>(rec.topology_mutations),
                  service.population());
   }
 

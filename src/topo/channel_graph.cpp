@@ -36,9 +36,20 @@ ChannelId ChannelGraph::add(NodeId src, NodeId dst) {
   assert(inserted && "duplicate directed channel");
   (void)inserted;
   channels_.push_back(Channel{src, dst});
+  faulted_.push_back(0);
   out_[static_cast<std::size_t>(src)].push_back(id);
   in_[static_cast<std::size_t>(dst)].push_back(id);
   return id;
+}
+
+bool ChannelGraph::set_faulted(ChannelId id, bool faulted) {
+  auto& flag = faulted_.at(static_cast<std::size_t>(id));
+  if ((flag != 0) == faulted) {
+    return false;
+  }
+  flag = faulted ? 1 : 0;
+  num_faulted_ += faulted ? 1 : -1;
+  return true;
 }
 
 ChannelId ChannelGraph::find(NodeId src, NodeId dst) const {

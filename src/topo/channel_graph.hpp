@@ -18,9 +18,12 @@ struct Channel {
   NodeId dst = kNoNode;
 };
 
-/// Immutable enumeration of the directed channels of a network.
-/// Channel ids are assigned in insertion order, so a topology that builds
-/// its channels deterministically yields stable ids across runs.
+/// Enumeration of the directed channels of a network.  The channel *set*
+/// is immutable after construction — ids are assigned in insertion order,
+/// so a topology that builds its channels deterministically yields stable
+/// ids across runs — but each channel carries a mutable fault flag so the
+/// live service can model links going down and coming back up without
+/// renumbering anything.
 class ChannelGraph {
  public:
   /// Adds the directed channel src->dst; returns its id.
@@ -43,8 +46,22 @@ class ChannelGraph {
   /// before add().
   void reserve_nodes(std::size_t n);
 
+  /// Marks the channel faulted (link down) or healthy (link up).
+  /// Returns true when the flag actually changed.
+  bool set_faulted(ChannelId id, bool faulted);
+
+  /// True when the channel is currently marked faulted.
+  bool is_faulted(ChannelId id) const {
+    return faulted_.at(static_cast<std::size_t>(id)) != 0;
+  }
+
+  /// Number of channels currently marked faulted.
+  std::size_t num_faulted() const { return num_faulted_; }
+
  private:
   std::vector<Channel> channels_;
+  std::vector<std::uint8_t> faulted_;
+  std::size_t num_faulted_ = 0;
   std::unordered_map<std::uint64_t, ChannelId> by_endpoints_;
   std::vector<std::vector<ChannelId>> out_;
   std::vector<std::vector<ChannelId>> in_;

@@ -40,6 +40,32 @@ NodeId Topology::node_at(const Coord& coord) const {
   return static_cast<NodeId>(id);
 }
 
+std::uint64_t Topology::fingerprint() const {
+  // FNV-1a over the shape description.  Not cryptographic — it guards
+  // against operator error (recovering a state dir onto a different
+  // fabric), not adversaries.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(radices_.size()));
+  for (std::size_t d = 0; d < radices_.size(); ++d) {
+    mix(static_cast<std::uint64_t>(radices_[d]));
+    mix(wraps(static_cast<int>(d)) ? 1 : 0);
+  }
+  mix(static_cast<std::uint64_t>(num_nodes_));
+  mix(channels_.size());
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_.channel(static_cast<ChannelId>(c));
+    mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(ch.src)) << 32) |
+        static_cast<std::uint32_t>(ch.dst));
+  }
+  return h;
+}
+
 bool Topology::contains(const Coord& coord) const {
   if (coord.size() != radices_.size()) {
     return false;

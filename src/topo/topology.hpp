@@ -50,6 +50,25 @@ class Topology {
     return channels_.find(src, dst);
   }
 
+  /// Marks a directed channel faulted (link down) or healthy (link up).
+  /// The channel set and ids never change — only the fault flag does.
+  /// Returns true when the flag actually changed.
+  bool set_channel_faulted(ChannelId id, bool faulted) {
+    return channels_.set_faulted(id, faulted);
+  }
+
+  /// True when the channel is currently marked faulted.
+  bool channel_faulted(ChannelId id) const { return channels_.is_faulted(id); }
+
+  /// Stable 64-bit identity of the fabric *shape*: dimensions, radices,
+  /// wrap flags, node count, and every channel's endpoints (in id order).
+  /// Two topologies with the same fingerprint have identical channel-id
+  /// assignments, so persisted stream paths and channel references are
+  /// interchangeable between them.  Fault flags are deliberately
+  /// excluded — they are dynamic state replayed from the journal, not
+  /// identity.
+  std::uint64_t fingerprint() const;
+
  protected:
   /// \p radices defines the shape; node ids enumerate coordinates with
   /// dimension 0 varying fastest (row-major over reversed dims), i.e. for

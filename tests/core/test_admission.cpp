@@ -192,5 +192,190 @@ TEST_F(AdmissionTest, AdmissionAccountsForEjectionPort) {
   EXPECT_GT(b.bound, 5);  // delayed beyond its contention-free latency
 }
 
+// ---------------------------------------------------------------------
+// PR-7 soundness finding 2 (EXPERIMENTS.md): a zero-slack stream
+// (U + 2 > T) backlogs without bound under real credit flow control.
+// The credit-slack guard turns that fidelity gap into a rejection.
+
+TEST_F(AdmissionTest, ZeroSlackAdmittedButFlaggedWithoutTheGuard) {
+  // Guard off (the paper-table reproduction default): U == T == D is
+  // admitted, but the decision reports the bound as not flit-valid.
+  const auto d = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({6, 0}),
+                               1, /*T=*/15, /*C=*/10, /*D=*/15);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.bound, 15);  // 6 hops + 10 - 1 == the period: zero slack
+  EXPECT_FALSE(d.flit_valid);
+}
+
+class GuardedAdmissionTest : public ::testing::Test {
+ protected:
+  static AnalysisConfig guarded() {
+    AnalysisConfig config;
+    config.credit_slack_guard = true;  // wormrtd's default
+    return config;
+  }
+  GuardedAdmissionTest() : mesh_(10, 2), ctrl_(mesh_, kXy, guarded()) {}
+  topo::Mesh mesh_;
+  AdmissionController ctrl_;
+};
+
+TEST_F(GuardedAdmissionTest, ZeroSlackRequestIsRejected) {
+  // The committed PR-7 reproducer, parameterized: bound 15 == period 15
+  // leaves no room for the 2-cycle credit round trip between
+  // back-to-back messages, so the guard must refuse the guarantee.
+  const auto d = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({6, 0}),
+                               1, /*T=*/15, /*C=*/10, /*D=*/15);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.bound, 15);  // the bound itself was computed fine
+  EXPECT_FALSE(d.flit_valid);
+  EXPECT_EQ(ctrl_.size(), 0u);  // trial rolled back
+
+  // Two cycles of slack (U + 2 <= T) clears the guard.
+  const auto ok = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({6, 0}),
+                                1, /*T=*/17, /*C=*/10, /*D=*/17);
+  EXPECT_TRUE(ok.admitted);
+  EXPECT_EQ(ok.bound, 15);
+  EXPECT_TRUE(ok.flit_valid);
+}
+
+TEST_F(GuardedAdmissionTest, GuardProtectsEstablishedStreamsToo) {
+  // An established stream sitting exactly at U + 2 == T: a newcomer
+  // that pushes its bound up by any amount breaks flit-validity, so
+  // the gate must reject the newcomer even though the victim's
+  // deadline would still be met.
+  const auto victim =
+      ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({6, 0}), 1,
+                    /*T=*/17, /*C=*/10, /*D=*/600);
+  ASSERT_TRUE(victim.admitted);
+  ASSERT_EQ(victim.bound, 15);
+  const auto d = ctrl_.request(mesh_.node_at({1, 0}), mesh_.node_at({7, 0}),
+                               2, 60, 10, /*D=*/600);
+  EXPECT_FALSE(d.admitted);
+  ASSERT_EQ(d.would_break.size(), 1u);
+  EXPECT_EQ(d.would_break[0], victim.handle);
+}
+
+// ---------------------------------------------------------------------
+// Dynamic fabrics: link_down / link_up.
+
+TEST_F(AdmissionTest, LinkDownReroutesOnTheReversedOrder) {
+  // (0,0) -> (2,1) routes X-Y through (1,0) -> (2,0).  Killing that
+  // channel leaves the Y-X detour (0,1) -> (1,1) -> (2,1) healthy.
+  const auto d = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({2, 1}),
+                               1, 60, 10, 600);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_EQ(d.route_order, route::kRouteOrderPrimary);
+
+  const topo::ChannelId ch =
+      mesh_.channel_between(mesh_.node_at({1, 0}), mesh_.node_at({2, 0}));
+  const auto m = ctrl_.link_down(ch);
+  EXPECT_TRUE(m.changed);
+  EXPECT_EQ(m.channel, ch);
+  EXPECT_TRUE(m.evicted.empty());
+  ASSERT_EQ(m.rerouted.size(), 1u);
+  EXPECT_EQ(m.rerouted[0], d.handle);
+
+  // The handle survived with a fault-free detour and a fresh bound.
+  ASSERT_TRUE(ctrl_.bound_of(d.handle).has_value());
+  const StreamSet survivors = ctrl_.snapshot();
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(survivors[0].route_order, route::kRouteOrderReversed);
+  for (const auto c : survivors[0].path.channels) {
+    EXPECT_FALSE(mesh_.channel_faulted(c));
+  }
+}
+
+TEST_F(AdmissionTest, LinkDownEvictsWhenBothOrdersAreFaulted) {
+  const auto d = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({2, 1}),
+                               1, 60, 10, 600);
+  ASSERT_TRUE(d.admitted);
+  // Kill the Y-X detour's first hop up front, then the X-Y path.
+  ASSERT_TRUE(mesh_.set_channel_faulted(
+      mesh_.channel_between(mesh_.node_at({0, 0}), mesh_.node_at({0, 1})),
+      true));
+  const auto m = ctrl_.link_down(
+      mesh_.channel_between(mesh_.node_at({1, 0}), mesh_.node_at({2, 0})));
+  EXPECT_TRUE(m.changed);
+  ASSERT_EQ(m.evicted.size(), 1u);
+  EXPECT_EQ(m.evicted[0], d.handle);
+  EXPECT_TRUE(m.rerouted.empty());
+  EXPECT_EQ(ctrl_.size(), 0u);
+  EXPECT_FALSE(ctrl_.bound_of(d.handle).has_value());
+}
+
+TEST_F(AdmissionTest, LinkDownLeavesUntouchedStreamsAlone) {
+  const auto far = ctrl_.request(mesh_.node_at({0, 1}), mesh_.node_at({5, 1}),
+                                 1, 60, 10, 600);
+  ASSERT_TRUE(far.admitted);
+  const Time before = *ctrl_.bound_of(far.handle);
+  const auto m = ctrl_.link_down(
+      mesh_.channel_between(mesh_.node_at({6, 0}), mesh_.node_at({7, 0})));
+  EXPECT_TRUE(m.changed);
+  EXPECT_TRUE(m.evicted.empty());
+  EXPECT_TRUE(m.rerouted.empty());
+  EXPECT_EQ(*ctrl_.bound_of(far.handle), before);
+}
+
+TEST_F(AdmissionTest, LinkMutationsReportNoOps) {
+  const topo::ChannelId ch =
+      mesh_.channel_between(mesh_.node_at({0, 0}), mesh_.node_at({1, 0}));
+  EXPECT_FALSE(ctrl_.link_up(ch).changed);  // already up
+  EXPECT_TRUE(ctrl_.link_down(ch).changed);
+  EXPECT_FALSE(ctrl_.link_down(ch).changed);  // already down
+  EXPECT_TRUE(ctrl_.link_up(ch).changed);
+}
+
+TEST_F(AdmissionTest, LinkUpReopensTheChannelWithoutMigratingBack) {
+  const auto d = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({2, 1}),
+                               1, 60, 10, 600);
+  ASSERT_TRUE(d.admitted);
+  const topo::ChannelId ch =
+      mesh_.channel_between(mesh_.node_at({1, 0}), mesh_.node_at({2, 0}));
+  ASSERT_EQ(ctrl_.link_down(ch).rerouted.size(), 1u);
+
+  const auto up = ctrl_.link_up(ch);
+  EXPECT_TRUE(up.changed);
+  EXPECT_TRUE(up.evicted.empty());
+  EXPECT_TRUE(up.rerouted.empty());
+  // The survivor keeps its detour (repair does not migrate) ...
+  EXPECT_EQ(ctrl_.snapshot()[0].route_order, route::kRouteOrderReversed);
+  // ... but new requests route through the repaired channel again.
+  const auto fresh = ctrl_.request(mesh_.node_at({1, 0}),
+                                   mesh_.node_at({2, 0}), 2, 60, 10, 600);
+  ASSERT_TRUE(fresh.admitted);
+  EXPECT_EQ(fresh.route_order, route::kRouteOrderPrimary);
+}
+
+TEST_F(AdmissionTest, NoRouteRejectionWhenEveryOrderIsFaulted) {
+  ASSERT_TRUE(mesh_.set_channel_faulted(
+      mesh_.channel_between(mesh_.node_at({1, 0}), mesh_.node_at({2, 0})),
+      true));
+  ASSERT_TRUE(mesh_.set_channel_faulted(
+      mesh_.channel_between(mesh_.node_at({0, 0}), mesh_.node_at({0, 1})),
+      true));
+  const auto d = ctrl_.request(mesh_.node_at({0, 0}), mesh_.node_at({2, 1}),
+                               1, 60, 10, 600);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_TRUE(d.no_route);
+  EXPECT_EQ(d.bound, kNoTime);  // no trial was even attempted
+  EXPECT_EQ(ctrl_.size(), 0u);
+}
+
+TEST_F(AdmissionTest, RestoreRebuildsTheJournaledDetourIgnoringFaults) {
+  // Replay semantics: the recorded route order alone determines the
+  // path — fault flags at replay time must not matter.
+  ctrl_.restore(mesh_.node_at({0, 0}), mesh_.node_at({2, 1}), 1, 60, 10, 600,
+                /*handle=*/0, route::kRouteOrderReversed);
+  ctrl_.set_next_handle(1);
+  const StreamSet set = ctrl_.snapshot();
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0].route_order, route::kRouteOrderReversed);
+  EXPECT_EQ(set[0].path.channels,
+            route::route_with_order(mesh_, mesh_.node_at({0, 0}),
+                                    mesh_.node_at({2, 1}),
+                                    route::kRouteOrderReversed)
+                .channels);
+}
+
 }  // namespace
 }  // namespace wormrt::core

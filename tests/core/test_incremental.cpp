@@ -179,6 +179,67 @@ TEST(IncrementalAnalyzer, RemoveRecomputesOnlyVictimsOfTheRemoved) {
   EXPECT_EQ(*engine.bound(mlow.handle), 14);  // 5 hops + 10 - 1
 }
 
+TEST(IncrementalAnalyzer, HandlesOnChannelIndexesExactlyTheCrossingStreams) {
+  topo::Mesh mesh(8, 8);
+  IncrementalAnalyzer engine(mesh);
+  // Two streams sharing the row-0 spine, one on a disjoint row.
+  const auto a = engine.add_stream(make_stream(
+      mesh, kXy, 0, mesh.node_at({0, 0}), mesh.node_at({4, 0}), 1, 60, 8, 600));
+  const auto b = engine.add_stream(make_stream(
+      mesh, kXy, 0, mesh.node_at({1, 0}), mesh.node_at({5, 0}), 2, 60, 8, 600));
+  const auto c = engine.add_stream(make_stream(
+      mesh, kXy, 0, mesh.node_at({0, 3}), mesh.node_at({4, 3}), 1, 60, 8, 600));
+  const topo::ChannelId spine =
+      mesh.channel_between(mesh.node_at({2, 0}), mesh.node_at({3, 0}));
+  ASSERT_NE(spine, topo::kNoChannel);
+  const auto on_spine = engine.handles_on_channel(spine);
+  ASSERT_EQ(on_spine.size(), 2u);
+  EXPECT_EQ(on_spine[0], a.handle);  // ascending handle order
+  EXPECT_EQ(on_spine[1], b.handle);
+
+  const topo::ChannelId row3 =
+      mesh.channel_between(mesh.node_at({2, 3}), mesh.node_at({3, 3}));
+  const auto on_row3 = engine.handles_on_channel(row3);
+  ASSERT_EQ(on_row3.size(), 1u);
+  EXPECT_EQ(on_row3[0], c.handle);
+
+  // Removal keeps the index exact.
+  engine.remove_stream(a.handle);
+  const auto after = engine.handles_on_channel(spine);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0], b.handle);
+}
+
+TEST(IncrementalAnalyzer, BatchRemovalsRecomputeOnceAndStayExact) {
+  topo::Mesh mesh(8, 8);
+  util::Rng rng(91);
+  IncrementalAnalyzer engine(mesh);
+  std::vector<IncrementalAnalyzer::Handle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(engine.add_stream(random_stream(rng, mesh, 3)).handle);
+  }
+
+  const auto recomputes_before = engine.stats().bound_recomputes;
+  engine.begin_batch();
+  EXPECT_TRUE(engine.in_batch());
+  engine.remove_stream(handles[1]);
+  engine.remove_stream(handles[4]);
+  engine.remove_stream(handles[7]);
+  // Inside the batch nothing recomputes — dirtiness only accumulates.
+  EXPECT_EQ(engine.stats().bound_recomputes, recomputes_before);
+  const auto dirty = engine.end_batch();
+  EXPECT_FALSE(engine.in_batch());
+
+  // The dirty closure names live handles only, ascending, deduplicated.
+  for (std::size_t k = 0; k < dirty.size(); ++k) {
+    EXPECT_TRUE(engine.bound(dirty[k]).has_value());
+    if (k > 0) {
+      EXPECT_LT(dirty[k - 1], dirty[k]);
+    }
+  }
+  expect_matches_full_recompute(engine, 91, 0);
+}
+
 TEST(IncrementalAnalyzer, HpSetsMatchBlockingAnalysis) {
   topo::Mesh mesh(8, 8);
   util::Rng rng(7);

@@ -358,7 +358,7 @@ TEST(ObsExposition, JsonParsesWithTheProtocolParser) {
 // The service's scrape carries every family DESIGN.md §9 documents.
 
 TEST(ObsServiceScrape, CarriesAllDocumentedFamilies) {
-  const topo::Mesh mesh(8, 8);
+  topo::Mesh mesh(8, 8);
   const route::XYRouting routing;
   svc::Service service(mesh, routing);
 
@@ -399,7 +399,7 @@ TEST(ObsServiceScrape, CarriesAllDocumentedFamilies) {
 }
 
 TEST(ObsServiceScrape, TwoServicesDoNotShareCounters) {
-  const topo::Mesh mesh(4, 4);
+  topo::Mesh mesh(4, 4);
   const route::XYRouting routing;
   svc::Service a(mesh, routing);
   svc::Service b(mesh, routing);

@@ -6,6 +6,7 @@
 
 #include "route/dor.hpp"
 #include "route/ecube.hpp"
+#include "route/fault_aware.hpp"
 #include "topo/hypercube.hpp"
 #include "topo/mesh.hpp"
 #include "topo/torus.hpp"
@@ -156,6 +157,78 @@ TEST(PathOverlap, SharedChannelsPreserveTraversalOrder) {
     EXPECT_EQ(mesh.channels().channel(shared[i]).dst,
               mesh.channels().channel(shared[i + 1]).src);
   }
+}
+
+TEST(ReverseDimensionOrder, RoutesHighestDimensionFirst) {
+  const topo::Mesh mesh(6, 6);
+  const ReverseDimensionOrderRouting yx;
+  EXPECT_EQ(yx.name(), "dimension-order(Y-X)");
+  const auto src = mesh.node_at({1, 1});
+  const auto dst = mesh.node_at({4, 3});
+  const Path path = yx.route(mesh, src, dst);
+  EXPECT_TRUE(is_valid_walk(mesh, path));
+  EXPECT_EQ(path.hops(), manhattan(mesh, src, dst));  // still minimal
+  // First hop corrects Y (dimension 1), i.e. moves to (1,2) — the
+  // mirror image of X-Y, which would go to (2,1).
+  EXPECT_EQ(mesh.channels().channel(path.channels[0]).dst,
+            mesh.node_at({1, 2}));
+}
+
+TEST(RouteWithOrder, BothOrdersArePersistedDiscriminants) {
+  const topo::Mesh mesh(6, 6);
+  const auto src = mesh.node_at({0, 0});
+  const auto dst = mesh.node_at({3, 2});
+  const XYRouting xy;
+  const ReverseDimensionOrderRouting yx;
+  EXPECT_EQ(route_with_order(mesh, src, dst, kRouteOrderPrimary).channels,
+            xy.route(mesh, src, dst).channels);
+  EXPECT_EQ(route_with_order(mesh, src, dst, kRouteOrderReversed).channels,
+            yx.route(mesh, src, dst).channels);
+  EXPECT_TRUE(is_route_order(kRouteOrderPrimary));
+  EXPECT_TRUE(is_route_order(kRouteOrderReversed));
+  EXPECT_FALSE(is_route_order(2));
+  EXPECT_FALSE(is_route_order(-1));
+}
+
+TEST(FaultAwareRouting, PrefersPrimaryThenDetoursThenFails) {
+  topo::Mesh mesh(6, 6);
+  const auto src = mesh.node_at({0, 0});
+  const auto dst = mesh.node_at({2, 1});
+
+  // Healthy fabric: the primary (X-Y) order wins.
+  FaultAwarePath chosen;
+  ASSERT_TRUE(route_avoiding_faults(mesh, src, dst, &chosen));
+  EXPECT_EQ(chosen.route_order, kRouteOrderPrimary);
+
+  // Fault a channel on the X-Y path: selection falls over to Y-X.
+  const topo::ChannelId on_xy = chosen.path.channels.front();
+  ASSERT_TRUE(mesh.set_channel_faulted(on_xy, true));
+  EXPECT_TRUE(crosses_faulted(mesh, chosen.path));
+  ASSERT_TRUE(route_avoiding_faults(mesh, src, dst, &chosen));
+  EXPECT_EQ(chosen.route_order, kRouteOrderReversed);
+  EXPECT_FALSE(crosses_faulted(mesh, chosen.path));
+  EXPECT_TRUE(is_valid_walk(mesh, chosen.path));
+
+  // Fault the detour too: no third order exists, selection fails and
+  // the output is left untouched.
+  ASSERT_TRUE(mesh.set_channel_faulted(chosen.path.channels.front(), true));
+  FaultAwarePath untouched = chosen;
+  EXPECT_FALSE(route_avoiding_faults(mesh, src, dst, &untouched));
+  EXPECT_EQ(untouched.path.channels, chosen.path.channels);
+}
+
+TEST(RouteWithOrder, IgnoresFaultState) {
+  // The replay primitive: journal recovery rebuilds paths from the
+  // recorded order without consulting fault flags.
+  topo::Mesh mesh(6, 6);
+  const auto src = mesh.node_at({0, 0});
+  const auto dst = mesh.node_at({3, 3});
+  const Path before = route_with_order(mesh, src, dst, kRouteOrderPrimary);
+  for (const auto ch : before.channels) {
+    mesh.set_channel_faulted(ch, true);
+  }
+  const Path after = route_with_order(mesh, src, dst, kRouteOrderPrimary);
+  EXPECT_EQ(before.channels, after.channels);
 }
 
 TEST(IsValidWalk, RejectsBrokenPaths) {

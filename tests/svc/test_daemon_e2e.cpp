@@ -104,9 +104,13 @@ class DaemonE2E : public ::testing::Test {
 };
 
 TEST_F(DaemonE2E, DecisionsMatchInProcessReplay) {
-  const topo::Mesh mesh(8, 8);
+  topo::Mesh mesh(8, 8);
   const route::XYRouting routing;
-  core::AdmissionController replay(mesh, routing);
+  // The daemon defaults to the flit-valid admission domain; the oracle
+  // must gate the same way or zero-slack decisions diverge.
+  core::AnalysisConfig daemon_defaults;
+  daemon_defaults.credit_slack_guard = true;
+  core::AdmissionController replay(mesh, routing, daemon_defaults);
 
   util::Rng rng(42);
   std::vector<core::AdmissionController::Handle> live;
@@ -431,9 +435,11 @@ TEST(KillRecover, SigkilledDaemonRecoversItsAcknowledgedState) {
   // The oracle replays every ACKNOWLEDGED mutation in-process; fsync-
   // before-ack means a SIGKILL at a quiescent point (between calls)
   // loses nothing.
-  const topo::Mesh mesh(8, 8);
+  topo::Mesh mesh(8, 8);
   const route::XYRouting routing;
-  core::AdmissionController oracle(mesh, routing);
+  core::AnalysisConfig daemon_defaults;
+  daemon_defaults.credit_slack_guard = true;  // the daemon's default gate
+  core::AdmissionController oracle(mesh, routing, daemon_defaults);
   std::vector<core::AdmissionController::Handle> live;
   util::Rng rng(77);
 
@@ -544,6 +550,158 @@ TEST(KillRecover, SigkilledDaemonRecoversItsAcknowledgedState) {
     std::string error;
     ASSERT_TRUE(client.connect_unix(socket_path, &error)) << error;
     verify_recovered(client);
+    std::string reply_line;
+    ASSERT_TRUE(client.call("{\"verb\":\"SHUTDOWN\"}", &reply_line, &error))
+        << error;
+    client.close();
+  }
+  daemon.reap();
+  std::filesystem::remove_all(state_dir);
+  ::unlink(socket_path.c_str());
+}
+
+TEST(KillRecover, SigkilledDaemonRecoversFaultStateAndDetours) {
+  // A LINK_DOWN is acknowledged (fsync-before-ack), the daemon is
+  // SIGKILLed, and the restart must rebuild the faulted fabric, the
+  // eviction/reroute cascade, and the detour route orders exactly — on
+  // a topology object that starts pristine.
+  const std::string tag = std::to_string(::getpid());
+  const std::string socket_path = "/tmp/wormrtd-fault-" + tag + ".sock";
+  const std::string state_dir = "/tmp/wormrtd-fault-state-" + tag;
+  std::filesystem::remove_all(state_dir);
+  ::unlink(socket_path.c_str());
+  const std::vector<std::string> daemon_args = {
+      WORMRTD_BIN,  "--socket",        socket_path, "--mesh", "8",
+      "--threads",  "1",               "--state-dir", state_dir,
+      "--compact-every", "8"};
+
+  topo::Mesh mesh(8, 8);
+  const route::XYRouting routing;
+  core::AnalysisConfig daemon_defaults;
+  daemon_defaults.credit_slack_guard = true;  // the daemon's default gate
+  core::AdmissionController oracle(mesh, routing, daemon_defaults);
+
+  const auto call_json = [](svc::Client& client, const Json& req) {
+    std::string reply_line, error, parse_error;
+    EXPECT_TRUE(client.call(req.dump(), &reply_line, &error)) << error;
+    const Json reply = Json::parse(reply_line, &parse_error);
+    EXPECT_TRUE(parse_error.empty()) << parse_error << " in " << reply_line;
+    return reply;
+  };
+  const auto request = [&](svc::Client& client, int src, int dst) {
+    Json req = Json::object();
+    req.set("verb", "REQUEST");
+    req.set("src", std::int64_t{src});
+    req.set("dst", std::int64_t{dst});
+    req.set("priority", std::int64_t{2});
+    req.set("period", std::int64_t{200});
+    req.set("length", std::int64_t{6});
+    req.set("deadline", std::int64_t{200});
+    const Json reply = call_json(client, req);
+    const auto expect = oracle.request(src, dst, 2, 200, 6, 200);
+    EXPECT_EQ(reply.get("admitted")->as_bool(), expect.admitted);
+    if (expect.admitted) {
+      EXPECT_EQ(reply.get("handle")->as_int(), expect.handle);
+      EXPECT_EQ(reply.get("bound")->as_int(), expect.bound);
+    }
+    return expect;
+  };
+  const auto link = [&](svc::Client& client, const char* verb) {
+    Json req = Json::object();
+    req.set("verb", verb);
+    req.set("src", std::int64_t{1});
+    req.set("dst", std::int64_t{2});
+    return call_json(client, req);
+  };
+  const auto verify_snapshot = [&](svc::Client& client) {
+    Json req = Json::object();
+    req.set("verb", "SNAPSHOT");
+    const Json snap = call_json(client, req);
+    ASSERT_TRUE(snap.get("ok")->as_bool());
+    EXPECT_EQ(snap.get("csv")->as_string(),
+              core::streams_to_csv(oracle.snapshot()));
+  };
+
+  Daemon daemon = spawn_daemon(daemon_args);
+  daemon.wait_ready();
+  std::vector<core::AdmissionController::Handle> live;
+  {
+    svc::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(socket_path, &error)) << error;
+    // Detourable (0,0)->(2,1), pinned-to-row-0 (0,0)->(3,0), far away.
+    for (const auto& s : {std::pair{0, 10}, {0, 3}, {40, 43}}) {
+      const auto d = request(client, s.first, s.second);
+      ASSERT_TRUE(d.admitted);
+      live.push_back(d.handle);
+    }
+
+    // Take down the (1,0)->(2,0) spine channel; ack lands on disk.
+    const Json down = link(client, "LINK_DOWN");
+    ASSERT_TRUE(down.get("ok")->as_bool()) << down.dump();
+    const auto m = oracle.link_down(mesh.channel_between(1, 2));
+    ASSERT_TRUE(m.changed);
+    ASSERT_EQ(m.rerouted.size(), 1u);
+    ASSERT_EQ(m.evicted.size(), 1u);
+    for (const auto h : m.evicted) {
+      live.erase(std::remove(live.begin(), live.end(), h), live.end());
+    }
+    client.close();
+  }
+  daemon.kill_hard();  // SIGKILL right after the fault: no shutdown path
+
+  daemon = spawn_daemon(daemon_args);
+  daemon.wait_ready();
+  {
+    svc::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(socket_path, &error)) << error;
+    // Bounds of the survivors (including the rerouted one) match the
+    // never-crashed oracle, and the full CSV snapshot is identical.
+    for (const auto handle : live) {
+      Json q = Json::object();
+      q.set("verb", "QUERY");
+      q.set("handle", handle);
+      const Json reply = call_json(client, q);
+      ASSERT_TRUE(reply.get("ok")->as_bool());
+      EXPECT_EQ(reply.get("bound")->as_int(), *oracle.bound_of(handle));
+    }
+    verify_snapshot(client);
+
+    // The fault flag itself was recovered: downing the channel again is
+    // a no-op error, and a new admission must detour around it.
+    const Json again = link(client, "LINK_DOWN");
+    EXPECT_FALSE(again.get("ok")->as_bool());
+    EXPECT_NE(again.get("error")->as_string().find("already down"),
+              std::string::npos);
+    const auto late = request(client, 1, 26);  // (1,0)->(2,3)
+    ASSERT_TRUE(late.admitted);
+    EXPECT_EQ(late.route_order, route::kRouteOrderReversed);
+    live.push_back(late.handle);
+
+    // Repair the channel, then SIGKILL before anything else happens.
+    const Json up = link(client, "LINK_UP");
+    ASSERT_TRUE(up.get("ok")->as_bool()) << up.dump();
+    const auto m = oracle.link_up(mesh.channel_between(1, 2));
+    ASSERT_TRUE(m.changed);
+    client.close();
+  }
+  daemon.kill_hard();
+
+  daemon = spawn_daemon(daemon_args);
+  daemon.wait_ready();
+  {
+    svc::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(socket_path, &error)) << error;
+    // The repair survived too: LINK_UP is now the no-op, and the
+    // detoured streams kept their reversed-order routes (no silent
+    // migration back on repair).
+    const Json up = link(client, "LINK_UP");
+    EXPECT_FALSE(up.get("ok")->as_bool());
+    EXPECT_NE(up.get("error")->as_string().find("already up"),
+              std::string::npos);
+    verify_snapshot(client);
     std::string reply_line;
     ASSERT_TRUE(client.call("{\"verb\":\"SHUTDOWN\"}", &reply_line, &error))
         << error;

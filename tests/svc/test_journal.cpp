@@ -25,13 +25,14 @@
 #include "svc/json.hpp"
 #include "svc/service.hpp"
 #include "topo/mesh.hpp"
+#include "util/crc32.hpp"
 #include "util/fault_injector.hpp"
 
 namespace wormrt::svc {
 namespace {
 
 // On-disk record sizes (u32 len + u32 crc + payload).
-constexpr std::size_t kAddRecordBytes = 8 + 65;
+constexpr std::size_t kAddRecordBytes = 8 + 73;
 constexpr std::size_t kRemoveRecordBytes = 8 + 17;
 
 JournalEntry entry(std::int64_t handle, std::int64_t src = 0,
@@ -171,7 +172,7 @@ TEST_F(JournalTest, SnapshotCompactsAndTruncatesTheJournal) {
 
   const std::vector<JournalEntry> population = {entry(2, 3, 7)};
   std::string error;
-  ASSERT_TRUE(journal.write_snapshot(3, population, &error)) << error;
+  ASSERT_TRUE(journal.write_snapshot(3, population, {}, &error)) << error;
   EXPECT_EQ(journal.appends_since_snapshot(), 0u);
   EXPECT_EQ(size_of(wal()), 0);
 
@@ -198,7 +199,7 @@ TEST_F(JournalTest, StaleRecordsLeftByACrashedCompactionAreSkipped) {
   // state by saving the journal bytes across write_snapshot.
   const std::string old_records = read_bytes(wal());
   std::string error;
-  ASSERT_TRUE(journal.write_snapshot(3, {entry(2, 3, 7)}, &error)) << error;
+  ASSERT_TRUE(journal.write_snapshot(3, {entry(2, 3, 7)}, {}, &error)) << error;
   append_bytes(wal(), old_records);
 
   RecoveredState state;
@@ -298,7 +299,7 @@ TEST_F(JournalTest, CorruptSnapshotIsAHardError) {
   Journal journal(config());
   seed_three_records(journal);
   std::string error;
-  ASSERT_TRUE(journal.write_snapshot(3, {entry(2, 3, 7)}, &error)) << error;
+  ASSERT_TRUE(journal.write_snapshot(3, {entry(2, 3, 7)}, {}, &error)) << error;
 
   flip_byte_at(snap(), size_of(snap()) / 2);
   RecoveredState state;
@@ -401,7 +402,7 @@ Json request_line(int src, int dst, int priority, Time period, Time length,
 }
 
 TEST_F(JournalTest, ServiceRecoversBitwiseIdenticalAdmissionState) {
-  const topo::Mesh mesh(4, 4);
+  topo::Mesh mesh(4, 4);
   const route::XYRouting routing;
   core::AdmissionController oracle(mesh, routing);
 
@@ -460,7 +461,7 @@ TEST_F(JournalTest, ServiceRecoversBitwiseIdenticalAdmissionState) {
 }
 
 TEST_F(JournalTest, ServiceFailsAdmissionWhenTheJournalCannotAck) {
-  const topo::Mesh mesh(4, 4);
+  topo::Mesh mesh(4, 4);
   const route::XYRouting routing;
   util::FaultInjector faults;
   ServiceOptions options;
@@ -655,7 +656,7 @@ TEST_F(JournalTest, GroupCommitLeaderFsyncFailureFailsEveryBatchedRecord) {
 }
 
 TEST_F(JournalTest, ServiceRollsBackEveryConcurrentAdmissionOnFsyncFailure) {
-  const topo::Mesh mesh(4, 4);
+  topo::Mesh mesh(4, 4);
   const route::XYRouting routing;
   util::FaultInjector faults;
   ServiceOptions options;
@@ -700,6 +701,316 @@ TEST_F(JournalTest, ServiceRollsBackEveryConcurrentAdmissionOnFsyncFailure) {
                     ServiceOptions{dir_, 256, true, true, nullptr});
   ASSERT_TRUE(recovered.open_state(&error)) << error;
   EXPECT_EQ(recovered.population(), 1u);
+}
+
+TEST_F(JournalTest, ServiceRecoversFaultStateAndDetourRoutes) {
+  // Every consumer gets its own topology instance: LINK_DOWN mutates
+  // fault flags in place, and recovery must rebuild them from disk on a
+  // pristine fabric.
+  topo::Mesh oracle_mesh(4, 4);
+  topo::Mesh live_mesh(4, 4);
+  topo::Mesh recovered_mesh(4, 4);
+  const route::XYRouting routing;
+  core::AdmissionController oracle(oracle_mesh, routing);
+
+  ServiceOptions options;
+  options.state_dir = dir_;
+  options.compact_every = 4;  // cross the threshold: the snapshot must
+                              // carry the fault set and detour orders
+  std::string error;
+  {
+    Service service(live_mesh, routing, {}, options);
+    ASSERT_TRUE(service.open_state(&error)) << error;
+    // Node ids on the 4x4 mesh: (x,y) = y*4+x.  Three streams against
+    // the (1,0)->(2,0) spine channel: detourable, pinned, far away.
+    const int specs[][2] = {{0, 6}, {0, 3}, {12, 15}};
+    for (const auto& s : specs) {
+      const auto expect = oracle.request(s[0], s[1], 2, 200, 6, 200);
+      const Json reply = service.handle(request_line(s[0], s[1], 2, 200, 6, 200));
+      ASSERT_TRUE(reply.get("admitted")->as_bool());
+      ASSERT_TRUE(expect.admitted);
+    }
+
+    Json down = Json::object();
+    down.set("verb", "LINK_DOWN");
+    down.set("src", std::int64_t{1});
+    down.set("dst", std::int64_t{2});
+    ASSERT_TRUE(service.handle(down).get("ok")->as_bool());
+    const auto m = oracle.link_down(oracle_mesh.channel_between(1, 2));
+    ASSERT_TRUE(m.changed);
+    ASSERT_FALSE(m.rerouted.empty());
+    ASSERT_FALSE(m.evicted.empty());
+
+    // A post-fault admission lands on the reversed order, so the
+    // journal holds an ADD whose route_order is the detour.
+    const auto late = oracle.request(1, 14, 2, 200, 6, 200);
+    ASSERT_TRUE(late.admitted);
+    EXPECT_EQ(late.route_order, route::kRouteOrderReversed);
+    ASSERT_TRUE(service.handle(request_line(1, 14, 2, 200, 6, 200))
+                    .get("admitted")
+                    ->as_bool());
+  }  // crash
+
+  Service recovered(recovered_mesh, routing, {}, options);
+  ASSERT_TRUE(recovered.open_state(&error)) << error;
+
+  // Fault flags restored channel by channel.
+  for (std::size_t c = 0; c < oracle_mesh.num_channels(); ++c) {
+    const auto id = static_cast<topo::ChannelId>(c);
+    EXPECT_EQ(recovered_mesh.channel_faulted(id),
+              oracle_mesh.channel_faulted(id))
+        << "channel " << c;
+  }
+
+  // Engine state identical to the never-crashed oracle: population,
+  // handles, bounds, detour paths, route orders.
+  const auto want = oracle.snapshot();
+  const auto got = recovered.controller().snapshot();
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(recovered.controller().next_handle(), oracle.next_handle());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const auto id = static_cast<StreamId>(i);
+    EXPECT_EQ(recovered.controller().engine().handle_of(id),
+              oracle.engine().handle_of(id));
+    EXPECT_EQ(recovered.controller().engine().bound_at(id),
+              oracle.engine().bound_at(id));
+    EXPECT_EQ(got[i].route_order, want[i].route_order);
+    EXPECT_EQ(got[i].path.channels, want[i].path.channels);
+  }
+}
+
+TEST_F(JournalTest, ServiceRefusesAStateDirFromAnotherFabric) {
+  const route::XYRouting routing;
+  ServiceOptions options;
+  options.state_dir = dir_;
+  std::string error;
+  {
+    topo::Mesh mesh(4, 4);
+    Service service(mesh, routing, {}, options);
+    ASSERT_TRUE(service.open_state(&error)) << error;
+    ASSERT_TRUE(service.handle(request_line(0, 5, 2, 60, 8, 50))
+                    .get("ok")
+                    ->as_bool());
+  }
+  // Same state dir, different fabric: the daemon must refuse to start,
+  // not silently replay channel ids onto the wrong links.
+  topo::Mesh other(5, 4);
+  Service service(other, routing, {}, options);
+  EXPECT_FALSE(service.open_state(&error));
+  EXPECT_NE(error.find("another fabric"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------
+// Journal v2: topology mutations, fabric fingerprints, and backwards
+// compatibility with the v1 on-disk formats.
+
+JournalEntry link_endpoints(std::int64_t src, std::int64_t dst) {
+  JournalEntry e;
+  e.src = src;
+  e.dst = dst;
+  return e;
+}
+
+TEST_F(JournalTest, LinkRecordsReplayInAppendOrder) {
+  std::string error;
+  {
+    Journal journal(config());
+    RecoveredState state;
+    ASSERT_TRUE(journal.open(&state, &error)) << error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(1, 0, 5),
+                               &error))
+        << error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kLinkDown,
+                               link_endpoints(3, 4), &error))
+        << error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kLinkUp,
+                               link_endpoints(3, 4), &error))
+        << error;
+  }
+  RecoveredState state;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 3u);
+  EXPECT_EQ(state.records[0].type, JournalRecord::Type::kAdd);
+  EXPECT_EQ(state.records[1].type, JournalRecord::Type::kLinkDown);
+  EXPECT_EQ(state.records[1].lsn, 2u);
+  EXPECT_EQ(state.records[1].entry.src, 3);
+  EXPECT_EQ(state.records[1].entry.dst, 4);
+  EXPECT_EQ(state.records[2].type, JournalRecord::Type::kLinkUp);
+  EXPECT_EQ(state.records[2].lsn, 3u);
+  EXPECT_EQ(state.records[2].entry.src, 3);
+  EXPECT_EQ(state.records[2].entry.dst, 4);
+}
+
+TEST_F(JournalTest, AddRecordsCarryTheRouteOrder) {
+  std::string error;
+  JournalEntry detoured = entry(7, 2, 9);
+  detoured.route_order = 1;  // the Y-X detour must survive replay
+  {
+    Journal journal(config());
+    RecoveredState state;
+    ASSERT_TRUE(journal.open(&state, &error)) << error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, detoured, &error))
+        << error;
+  }
+  RecoveredState state;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 1u);
+  EXPECT_EQ(state.records[0].entry, detoured);
+}
+
+TEST_F(JournalTest, FingerprintStampsTheJournalHeader) {
+  constexpr std::uint64_t kFabric = 0xABCDEF01u;
+  JournalConfig fabric = config();
+  fabric.fingerprint = kFabric;
+  std::string error;
+  {
+    Journal journal(fabric);
+    RecoveredState state;
+    ASSERT_TRUE(journal.open(&state, &error)) << error;
+    // Fresh journal: first frame is the header (type 0, magic,
+    // fingerprint), before any record lands.
+    EXPECT_EQ(size_of(wal()), 8 + 25);
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(1), &error))
+        << error;
+  }
+  // Same fabric reopens cleanly and sees the stamp.
+  Journal journal(fabric);
+  RecoveredState state;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+  EXPECT_TRUE(state.has_journal_fingerprint);
+  EXPECT_EQ(state.journal_fingerprint, kFabric);
+  ASSERT_EQ(state.records.size(), 1u);
+  EXPECT_EQ(state.records[0].entry.handle, 1);
+}
+
+TEST_F(JournalTest, RefusesToReplayAnotherFabricsJournal) {
+  JournalConfig fabric = config();
+  fabric.fingerprint = 41;
+  std::string error;
+  {
+    Journal journal(fabric);
+    RecoveredState state;
+    ASSERT_TRUE(journal.open(&state, &error)) << error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(1), &error))
+        << error;
+  }
+  JournalConfig other = config();
+  other.fingerprint = 42;
+  Journal stranger(other);
+  RecoveredState state;
+  EXPECT_FALSE(stranger.open(&state, &error));
+  EXPECT_NE(error.find("another fabric"), std::string::npos) << error;
+}
+
+TEST_F(JournalTest, SnapshotCarriesFingerprintAndFaultSet) {
+  constexpr std::uint64_t kFabric = 77;
+  JournalConfig fabric = config();
+  fabric.fingerprint = kFabric;
+  std::string error;
+  const std::vector<std::pair<std::int64_t, std::int64_t>> faulted = {
+      {2, 3}, {7, 6}};
+  {
+    Journal journal(fabric);
+    RecoveredState state;
+    ASSERT_TRUE(journal.open(&state, &error)) << error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(1, 0, 5),
+                               &error))
+        << error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kLinkDown,
+                               link_endpoints(2, 3), &error))
+        << error;
+    ASSERT_TRUE(journal.write_snapshot(2, {entry(1, 0, 5)}, faulted, &error))
+        << error;
+    // Compaction truncates the WAL back down to just the header stamp.
+    EXPECT_EQ(size_of(wal()), 8 + 25);
+  }
+  RecoveredState state;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  EXPECT_TRUE(state.had_snapshot);
+  EXPECT_TRUE(state.has_snapshot_fingerprint);
+  EXPECT_EQ(state.snapshot_fingerprint, kFabric);
+  EXPECT_EQ(state.faulted, faulted);
+  ASSERT_EQ(state.snapshot.size(), 1u);
+  EXPECT_EQ(state.snapshot[0], entry(1, 0, 5));
+  EXPECT_TRUE(state.records.empty());
+
+  // A different fabric must not adopt this snapshot either.
+  JournalConfig other = config();
+  other.fingerprint = kFabric + 1;
+  Journal stranger(other);
+  RecoveredState s2;
+  EXPECT_FALSE(stranger.open(&s2, &error));
+  EXPECT_NE(error.find("another fabric"), std::string::npos) << error;
+}
+
+void put_u32le(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64le(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::string framed(const std::string& payload) {
+  std::string out;
+  put_u32le(&out, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(&out, util::crc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+TEST_F(JournalTest, LegacyV1SnapshotStillReplays) {
+  // Hand-crafted WRTSNAP1 blob: no fingerprint, no fault set, and
+  // 7-field rows (pre-route_order).  A daemon upgraded in place must
+  // adopt it with every new field at its safe default.
+  std::string payload = "WRTSNAP1";
+  put_u64le(&payload, 3);  // last_lsn
+  put_u64le(&payload, 5);  // next_handle
+  put_u64le(&payload, 1);  // row count
+  for (const std::int64_t v : {2, 3, 7, 2, 50, 10, 40}) {
+    put_u64le(&payload, static_cast<std::uint64_t>(v));
+  }
+  std::filesystem::create_directories(dir_);
+  append_bytes(snap(), framed(payload));
+
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  EXPECT_TRUE(state.had_snapshot);
+  EXPECT_FALSE(state.has_snapshot_fingerprint);
+  EXPECT_TRUE(state.faulted.empty());
+  EXPECT_EQ(state.snapshot_lsn, 3u);
+  EXPECT_EQ(state.next_handle, 5);
+  ASSERT_EQ(state.snapshot.size(), 1u);
+  EXPECT_EQ(state.snapshot[0].handle, 2);
+  EXPECT_EQ(state.snapshot[0].src, 3);
+  EXPECT_EQ(state.snapshot[0].dst, 7);
+  EXPECT_EQ(state.snapshot[0].route_order, 0);  // legacy = primary order
+}
+
+TEST_F(JournalTest, LegacyV1AddRecordsDefaultToPrimaryOrder) {
+  // A 65-byte ADD payload (pre-route_order) must still parse, with the
+  // route order defaulting to primary.
+  std::string payload;
+  payload.push_back(static_cast<char>(JournalRecord::Type::kAdd));
+  put_u64le(&payload, 1);  // lsn
+  for (const std::int64_t v : {9, 0, 5, 2, 50, 10, 40}) {
+    put_u64le(&payload, static_cast<std::uint64_t>(v));
+  }
+  ASSERT_EQ(payload.size(), 65u);
+  std::filesystem::create_directories(dir_);
+  append_bytes(wal(), framed(payload));
+
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  ASSERT_EQ(state.records.size(), 1u);
+  EXPECT_EQ(state.records[0].entry.handle, 9);
+  EXPECT_EQ(state.records[0].entry.route_order, 0);
 }
 
 }  // namespace

@@ -487,11 +487,158 @@ TEST_F(ServiceTest, BatchVerbRejectsAbuse) {
             std::string::npos);
 }
 
+/// LINK_DOWN / LINK_UP dispatch.  The oracle controller gets its OWN
+/// topology instance: fault flags mutate the fabric in place, so the
+/// fixture's shared-mesh replay_ cannot mirror link verbs.
+class ServiceLinkTest : public ServiceTest {
+ protected:
+  ServiceLinkTest() : oracle_mesh_(8, 8), oracle_(oracle_mesh_, routing_) {}
+
+  Json link(const char* verb, int src, int dst) {
+    Json r = Json::object();
+    r.set("verb", verb);
+    r.set("src", std::int64_t{src});
+    r.set("dst", std::int64_t{dst});
+    return call(r.dump());
+  }
+
+  topo::Mesh oracle_mesh_;
+  core::AdmissionController oracle_;
+};
+
+TEST_F(ServiceLinkTest, LinkDownEvictsReroutesAndReportsTheCascade) {
+  // Three streams against the row-0 spine: one detourable (src and dst
+  // differ in both dimensions, so the reversed order sidesteps row 0),
+  // one pinned to row 0 in both orders, one far away.
+  const int specs[][2] = {
+      {mesh_.node_at({0, 0}), mesh_.node_at({2, 1})},  // rerouted
+      {mesh_.node_at({0, 0}), mesh_.node_at({3, 0})},  // evicted
+      {mesh_.node_at({0, 5}), mesh_.node_at({3, 5})},  // untouched
+  };
+  for (const auto& s : specs) {
+    const Json reply = call(request_line(s[0], s[1], 2, 200, 6, 200));
+    const auto expect = oracle_.request(s[0], s[1], 2, 200, 6, 200);
+    ASSERT_TRUE(reply.get("admitted")->as_bool());
+    ASSERT_TRUE(expect.admitted);
+    ASSERT_EQ(reply.get("handle")->as_int(), expect.handle);
+  }
+
+  const int fsrc = mesh_.node_at({1, 0});
+  const int fdst = mesh_.node_at({2, 0});
+  const auto channel = oracle_mesh_.channel_between(fsrc, fdst);
+  const auto m = oracle_.link_down(channel);
+  ASSERT_TRUE(m.changed);
+  ASSERT_EQ(m.rerouted.size(), 1u);
+  ASSERT_EQ(m.evicted.size(), 1u);
+
+  const Json reply = link("LINK_DOWN", fsrc, fdst);
+  ASSERT_TRUE(reply.get("ok")->as_bool()) << reply.dump();
+  EXPECT_EQ(reply.get("channel")->as_int(), channel);
+  EXPECT_EQ(reply.get("src")->as_int(), fsrc);
+  EXPECT_EQ(reply.get("dst")->as_int(), fdst);
+  EXPECT_TRUE(reply.get("changed")->as_bool());
+  ASSERT_EQ(reply.get("evicted")->items().size(), m.evicted.size());
+  for (std::size_t i = 0; i < m.evicted.size(); ++i) {
+    EXPECT_EQ(reply.get("evicted")->items()[i].as_int(), m.evicted[i]);
+  }
+  ASSERT_EQ(reply.get("rerouted")->items().size(), m.rerouted.size());
+  for (std::size_t i = 0; i < m.rerouted.size(); ++i) {
+    EXPECT_EQ(reply.get("rerouted")->items()[i].as_int(), m.rerouted[i]);
+  }
+  EXPECT_EQ(reply.get("recomputed")->as_int(),
+            static_cast<std::int64_t>(m.recomputed.size()));
+  EXPECT_EQ(service_.population(), oracle_.size());
+
+  // The evicted stream is gone; the rerouted one answers QUERY with the
+  // detour's recomputed bound.
+  Json q = Json::object();
+  q.set("verb", "QUERY");
+  q.set("handle", m.evicted[0]);
+  EXPECT_FALSE(call(q.dump()).get("ok")->as_bool());
+  q.set("handle", m.rerouted[0]);
+  const Json qr = call(q.dump());
+  ASSERT_TRUE(qr.get("ok")->as_bool());
+  const auto want = oracle_.bound_of(m.rerouted[0]);
+  ASSERT_TRUE(want.has_value());
+  EXPECT_EQ(qr.get("bound")->as_int(), *want);
+
+  // Repair: the flag clears, nobody migrates back.
+  const auto up = oracle_.link_up(channel);
+  ASSERT_TRUE(up.changed);
+  const Json upr = link("LINK_UP", fsrc, fdst);
+  ASSERT_TRUE(upr.get("ok")->as_bool()) << upr.dump();
+  EXPECT_TRUE(upr.get("changed")->as_bool());
+  EXPECT_TRUE(upr.get("evicted")->items().empty());
+  EXPECT_TRUE(upr.get("rerouted")->items().empty());
+
+  // Both mutations are visible in STATS.
+  const Json stats = call(R"({"verb":"STATS"})");
+  EXPECT_EQ(stats.get("verbs")->get("link_downs")->as_int(), 1);
+  EXPECT_EQ(stats.get("verbs")->get("link_ups")->as_int(), 1);
+}
+
+TEST_F(ServiceLinkTest, LinkVerbsRejectNoOpsBadAddressingAndBatch) {
+  // Repairing a healthy channel is an error, never a silent no-op (a
+  // journaled no-op would desynchronise cascade replay).
+  const Json up = link("LINK_UP", 0, 1);
+  EXPECT_FALSE(up.get("ok")->as_bool());
+  EXPECT_NE(up.get("error")->as_string().find("already up"),
+            std::string::npos);
+
+  ASSERT_TRUE(link("LINK_DOWN", 0, 1).get("ok")->as_bool());
+  const Json twice = link("LINK_DOWN", 0, 1);
+  EXPECT_FALSE(twice.get("ok")->as_bool());
+  EXPECT_NE(twice.get("error")->as_string().find("already down"),
+            std::string::npos);
+
+  // Addressing errors: non-adjacent endpoints, out-of-range ids.
+  const Json far = link("LINK_DOWN", 0, 9);
+  EXPECT_FALSE(far.get("ok")->as_bool());
+  EXPECT_NE(far.get("error")->as_string().find("no channel"),
+            std::string::npos);
+  EXPECT_FALSE(link("LINK_DOWN", -1, 0).get("ok")->as_bool());
+  EXPECT_FALSE(link("LINK_DOWN", 0, 64).get("ok")->as_bool());
+
+  Json by_channel = Json::object();
+  by_channel.set("verb", "LINK_DOWN");
+  by_channel.set("channel", std::int64_t{-1});
+  EXPECT_FALSE(call(by_channel.dump()).get("ok")->as_bool());
+  by_channel.set("channel",
+                 static_cast<std::int64_t>(mesh_.num_channels()));
+  EXPECT_FALSE(call(by_channel.dump()).get("ok")->as_bool());
+
+  const Json naked = call(R"({"verb":"LINK_DOWN"})");
+  EXPECT_FALSE(naked.get("ok")->as_bool());
+  EXPECT_NE(naked.get("error")->as_string().find("needs integer channel"),
+            std::string::npos);
+
+  // Addressing by channel id works and matches the endpoint form.
+  const auto rev = mesh_.channel_between(1, 0);
+  Json down = Json::object();
+  down.set("verb", "LINK_DOWN");
+  down.set("channel", static_cast<std::int64_t>(rev));
+  const Json dr = call(down.dump());
+  ASSERT_TRUE(dr.get("ok")->as_bool()) << dr.dump();
+  EXPECT_EQ(dr.get("src")->as_int(), 1);
+  EXPECT_EQ(dr.get("dst")->as_int(), 0);
+
+  // Topology mutations never ride inside a BATCH: the group-commit
+  // ack protocol only covers stream mutations.
+  const Json batch = call(
+      R"({"verb":"BATCH","requests":[{"verb":"LINK_UP","src":0,"dst":1}]})");
+  ASSERT_TRUE(batch.get("ok")->as_bool());
+  const auto& replies = batch.get("replies")->items();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].get("ok")->as_bool());
+  EXPECT_NE(replies[0].get("error")->as_string().find("not batchable"),
+            std::string::npos);
+}
+
 /// The socket transport: a real Server on a Unix socket, several client
 /// connections (serial and concurrent), decisions matching a replay
 /// controller.
 TEST(ServerSocket, ServesClientsOverUnixSocket) {
-  const topo::Mesh mesh(8, 8);
+  topo::Mesh mesh(8, 8);
   const route::XYRouting routing;
   svc::Service service(mesh, routing);
   core::AdmissionController replay(mesh, routing);
@@ -572,7 +719,7 @@ TEST(ServerSocket, ServesClientsOverUnixSocket) {
 }
 
 TEST(ServerSocket, ServesClientsOverLoopbackTcp) {
-  const topo::Mesh mesh(4, 4);
+  topo::Mesh mesh(4, 4);
   const route::XYRouting routing;
   svc::Service service(mesh, routing);
 

@@ -171,5 +171,62 @@ TEST(CoordToString, Formats) {
   EXPECT_EQ(to_string(Coord{1}), "(1)");
 }
 
+TEST(ChannelFaults, FlagsFlipCountAndReportNoOps) {
+  Mesh mesh(4, 4);
+  const ChannelId ch = mesh.channel_between(0, 1);
+  ASSERT_NE(ch, kNoChannel);
+  EXPECT_FALSE(mesh.channel_faulted(ch));
+  EXPECT_EQ(mesh.channels().num_faulted(), 0u);
+
+  EXPECT_TRUE(mesh.set_channel_faulted(ch, true));
+  EXPECT_TRUE(mesh.channel_faulted(ch));
+  EXPECT_EQ(mesh.channels().num_faulted(), 1u);
+  // Same state again: a no-op, and the count must not double-book.
+  EXPECT_FALSE(mesh.set_channel_faulted(ch, true));
+  EXPECT_EQ(mesh.channels().num_faulted(), 1u);
+
+  EXPECT_TRUE(mesh.set_channel_faulted(ch, false));
+  EXPECT_FALSE(mesh.channel_faulted(ch));
+  EXPECT_EQ(mesh.channels().num_faulted(), 0u);
+  EXPECT_FALSE(mesh.set_channel_faulted(ch, false));
+}
+
+TEST(ChannelFaults, DirectedFlagsAreIndependent)  {
+  Mesh mesh(4, 4);
+  const ChannelId fwd = mesh.channel_between(0, 1);
+  const ChannelId rev = mesh.channel_between(1, 0);
+  ASSERT_NE(fwd, rev);
+  ASSERT_TRUE(mesh.set_channel_faulted(fwd, true));
+  EXPECT_TRUE(mesh.channel_faulted(fwd));
+  EXPECT_FALSE(mesh.channel_faulted(rev));  // the reverse link is healthy
+}
+
+TEST(TopologyFingerprint, IdentifiesTheFabric) {
+  const Mesh a(4, 4), b(4, 4);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());  // same shape, same id
+  EXPECT_NE(a.fingerprint(), 0u);
+
+  const Mesh wider(5, 4), taller(4, 5);
+  EXPECT_NE(a.fingerprint(), wider.fingerprint());
+  EXPECT_NE(a.fingerprint(), taller.fingerprint());
+  EXPECT_NE(wider.fingerprint(), taller.fingerprint());
+
+  // Same node count, different wrap-around: a torus is NOT a mesh.
+  const Torus torus(4, 4);
+  EXPECT_NE(a.fingerprint(), torus.fingerprint());
+  const Hypercube cube(4);  // 16 nodes too
+  EXPECT_NE(a.fingerprint(), cube.fingerprint());
+}
+
+TEST(TopologyFingerprint, IgnoresDynamicFaultState) {
+  // The fingerprint names the fabric, not its current health: recovery
+  // stamps it before replaying the fault history, so a snapshot taken
+  // with links down must still match.
+  Mesh faulted(4, 4);
+  const Mesh pristine(4, 4);
+  ASSERT_TRUE(faulted.set_channel_faulted(faulted.channel_between(0, 1), true));
+  EXPECT_EQ(faulted.fingerprint(), pristine.fingerprint());
+}
+
 }  // namespace
 }  // namespace wormrt::topo

@@ -1,18 +1,21 @@
 // wormrt-fuzz — differential soundness fuzzer (DESIGN.md §8).
 //
-// Draws random scenarios (topology + admission churn) from sequential
-// seeds and checks each against six independent oracles: soundness
-// (idealized preemptive simulation never exceeds a computed bound),
-// flit-soundness (the event-driven flit-accurate router — real VC
-// buffers, credit flow control — never exceeds it either; meshes only),
-// equivalence
+// Draws random scenarios (topology + admission churn, including
+// link_down/link_up topology mutations) from sequential seeds and
+// checks each against seven independent oracles: soundness (idealized
+// preemptive simulation never exceeds a computed bound), flit-soundness
+// (the event-driven flit-accurate router — real VC buffers, credit flow
+// control — never exceeds it either; meshes only), equivalence
 // (incremental bounds == from-scratch analysis after every mutation),
 // monotonicity (bounds respect the network-latency floor and never
 // improve under added interference or pessimistic configs), protocol
-// (wire decisions match the in-process controller), and recovery (a
+// (wire decisions match the in-process controller), recovery (a
 // journaled service crashed mid-churn — possibly with a torn tail —
-// recovers to exactly the acknowledged state).  Failing seeds are
-// shrunk to minimal reproducers and written as corpus files.
+// recovers to exactly the acknowledged state, fault flags and detour
+// routes included), and fault-repair (after every link mutation the
+// surviving bounds equal a from-scratch analysis and no survivor
+// crosses a faulted channel).  Failing seeds are shrunk to minimal
+// reproducers and written as corpus files.
 //
 //   ./wormrt-fuzz --seeds 500
 //   ./wormrt-fuzz --seeds 200 --seed-start 1000 --corpus-dir corpus
@@ -49,6 +52,9 @@ int usage(const char* program) {
       "                    state dirs, faster)\n"
       "  --no-flit-oracle  skip the flit-accurate soundness oracle\n"
       "                    (on by default for mesh scenarios)\n"
+      "  --no-fault-oracle skip the fault-repair oracle (link_down/\n"
+      "                    link_up reconvergence vs from-scratch "
+      "analysis)\n"
       "  --flit-depth N    per-VC buffer depth of the flit oracle\n"
       "                    (default 4; must be >= 2)\n"
       "  --recovery-tmp D  root for per-scenario journal dirs (default\n"
@@ -100,6 +106,7 @@ int main(int argc, char** argv) {
   options.check.protocol_over_socket = args.has("e2e");
   options.check.check_recovery = !args.has("no-recovery");
   options.check.check_flit = !args.has("no-flit-oracle");
+  options.check.check_fault = !args.has("no-fault-oracle");
   options.check.flit_buffer_depth =
       static_cast<int>(args.get_int("flit-depth", 4));
   options.check.recovery_tmp_root = args.get_string("recovery-tmp", "/tmp");
