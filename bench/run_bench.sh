@@ -71,9 +71,23 @@ fi
   --clients "${SVC_CLIENTS:-4}" \
   --pipeline-clients "${SVC_PIPELINE_CLIENTS:-8}" \
   --batch-window "${SVC_BATCH_WINDOW:-16}" \
+  --max-obs-overhead-pct "${SVC_MAX_OBS_OVERHEAD_PCT:-1}" \
+  --obs-out "$SVC_OUT.obs.tmp" \
   --out "$SVC_OUT"
 
 echo "wrote $SVC_OUT"
+
+# Fold the service-layer A/B (durable-pipelined with the HISTORY
+# sampler + REPORT sweeps vs without, floor enforced above) into the
+# observability artifact next to the per-operation micro costs.
+python3 - "$OBS_OUT" "$SVC_OUT.obs.tmp" <<'PY'
+import json, sys
+obs = json.load(open(sys.argv[1]))
+obs["svc_overhead"] = json.load(open(sys.argv[2]))
+json.dump(obs, open(sys.argv[1], "w"), indent=1)
+PY
+rm -f "$SVC_OUT.obs.tmp"
+echo "merged sampler+conformance A/B into $OBS_OUT"
 
 # Fault storm: kill the busiest spine link under an established
 # workload, measure the eviction/reroute cascade and the time until the

@@ -4,8 +4,9 @@
 //   ./bench/svc_churn [--streams 60] [--ops 1500] [--clients 4]
 //                     [--pipeline-clients 8] [--batch-window 16]
 //                     [--mesh 16x16 (cols equal rows: --mesh 16)]
-//                     [--out BENCH_service.json]
+//                     [--out BENCH_service.json] [--obs-out FILE]
 //                     [--min-durable-speedup N] [--min-nofsync-speedup N]
+//                     [--max-obs-overhead-pct P]
 //
 // Measurements:
 //   1. in-process churn with the incremental engine (decision latency
@@ -115,6 +116,8 @@ struct SocketMode {
   bool group_commit = true;
   int batch_window = 0;    // 0 = one call per request; >0 = BATCH lines
                            // of this many churn steps, pipelined
+  int sample_interval_ms = 0;  // >0: run the HISTORY sampler thread
+  bool reports = false;    // periodic REPORT sweeps on the BATCH lines
 };
 
 struct SocketResult {
@@ -158,6 +161,7 @@ SocketResult run_socket(topo::Mesh& mesh,
     options.journal_fsync = mode.fsync;
     options.group_commit = mode.group_commit;
   }
+  options.sample_interval_ms = mode.sample_interval_ms;
   svc::Service service(mesh, routing, {}, options);
   std::string error;
   if (!service.open_state(&error)) {
@@ -256,6 +260,7 @@ SocketResult run_socket(topo::Mesh& mesh,
       const int window =
           std::min(mode.batch_window, static_cast<int>(mine.size()));
       int sent = 0;
+      int line_seq = 0;
       while (sent < my_ops) {
         std::vector<std::string> lines;
         // request_slots[line][k] = slot whose REQUEST produced reply k
@@ -283,6 +288,27 @@ SocketResult run_socket(topo::Mesh& mesh,
             subs.push_back(request_json(*s));
             slots.push_back(static_cast<std::int64_t>(idx));
             idx = (idx + 1) % mine.size();
+          }
+          if (mode.reports && line_seq++ % 4 == 0) {
+            // The measurement-harness shape: every 4th batch line also
+            // sweeps a REPORT of observed latencies for the established
+            // slice — the conformance-monitoring cost the obs A/B
+            // quantifies, at a monitoring cadence rather than one
+            // sweep per admission window.
+            Json sweep = Json::array();
+            for (const auto& [s, handle] : mine) {
+              if (handle >= 0) {
+                Json item = Json::object();
+                item.set("handle", handle);
+                item.set("observed_latency", 1.0);
+                sweep.push_back(std::move(item));
+              }
+            }
+            Json rep = Json::object();
+            rep.set("verb", "REPORT");
+            rep.set("reports", std::move(sweep));
+            subs.push_back(std::move(rep));
+            slots.push_back(-1);  // not a REQUEST reply
           }
           batch.set("requests", std::move(subs));
           lines.push_back(batch.dump());
@@ -340,7 +366,7 @@ SocketResult run_socket(topo::Mesh& mesh,
                               .value());
   r.fsync_total_us = service.registry()
                          .histogram("wormrt_journal_fsync_us", 0.0, 50000.0,
-                                    50, {})
+                                    1000, {})
                          .sum();
   server.stop();
   if (mode.journal) {
@@ -375,6 +401,8 @@ Json to_json(const SocketMode& mode, int clients, const SocketResult& r) {
   j.set("batch_window", std::int64_t{mode.batch_window});
   j.set("latency_scope",
         std::string(mode.batch_window > 0 ? "per_round" : "per_call"));
+  j.set("sample_interval_ms", std::int64_t{mode.sample_interval_ms});
+  j.set("reports", mode.reports);
   j.set("throughput_rps", r.throughput_rps);
   j.set("p50_us", r.p50_us);
   j.set("p99_us", r.p99_us);
@@ -412,7 +440,10 @@ int main(int argc, char** argv) {
       static_cast<double>(args.get_int("min-durable-speedup", 0));
   const double min_nofsync_speedup =
       static_cast<double>(args.get_int("min-nofsync-speedup", 0));
+  const double max_obs_overhead_pct =
+      args.get_double("max-obs-overhead-pct", 0.0);
   const std::string out_path = args.get_string("out", "BENCH_service.json");
+  const std::string obs_out_path = args.get_string("obs-out", "");
   int side = static_cast<int>(args.get_int("mesh", 16));
   if (side * side < n) {
     std::fprintf(stderr, "svc_churn: mesh %dx%d too small for %d streams\n",
@@ -487,6 +518,43 @@ int main(int argc, char** argv) {
       mesh, routing, streams, ops, pipeline_clients, kNoFsyncPipelined);
   report("socket nofsync pipelined", pipeline_clients, nofsync_pipelined);
 
+  // Observability A/B: durable-pipelined with the HISTORY sampler
+  // ticking fast (25ms vs the daemon's 1s default) AND a REPORT sweep
+  // per BATCH line, against re-runs of the plain mode.  Interleaved
+  // best-of-N damps scheduler noise: the claim is about the monitoring
+  // machinery, not about which run won the CPU lottery.
+  SocketMode obs_mode = kDurablePipelined;
+  obs_mode.name = "obs-pipelined";
+  obs_mode.sample_interval_ms = 25;
+  obs_mode.reports = true;
+  // Runs at `ops` finish in well under 100ms, where a single slow
+  // fsync swings throughput by several percent; the A/B rounds run 4x
+  // longer so the jitter amortizes below the floor being enforced.
+  const int obs_ops = ops * 4;
+  SocketResult obs_best, base_best;
+  for (int round = 0; round < 3; ++round) {
+    const SocketResult obs = run_socket(mesh, routing, streams, obs_ops,
+                                        pipeline_clients, obs_mode);
+    if (obs.throughput_rps > obs_best.throughput_rps) {
+      obs_best = obs;
+    }
+    const SocketResult base = run_socket(mesh, routing, streams, obs_ops,
+                                         pipeline_clients, kDurablePipelined);
+    if (base.throughput_rps > base_best.throughput_rps) {
+      base_best = base;
+    }
+  }
+  report("socket obs pipelined", pipeline_clients, obs_best);
+  const double obs_overhead_pct =
+      base_best.throughput_rps > 0
+          ? std::max(0.0, (1.0 - obs_best.throughput_rps /
+                                     base_best.throughput_rps) *
+                              100.0)
+          : 0.0;
+  std::printf("  sampler+conformance overhead vs durable pipelined: "
+              "%.2f%%\n",
+              obs_overhead_pct);
+
   const double durable_speedup =
       durable_serial.throughput_rps > 0
           ? durable_pipelined.throughput_rps / durable_serial.throughput_rps
@@ -516,10 +584,32 @@ int main(int argc, char** argv) {
           to_json(kNoFsyncPipelined, pipeline_clients, nofsync_pipelined));
   doc.set("speedup_durable_pipelined_vs_serial", durable_speedup);
   doc.set("speedup_nofsync_pipelined_vs_serial", nofsync_speedup);
+  doc.set("socket_obs_pipelined",
+          to_json(obs_mode, pipeline_clients, obs_best));
+  doc.set("obs_overhead_pct", obs_overhead_pct);
 
   std::ofstream out(out_path);
   out << doc.dump() << "\n";
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (!obs_out_path.empty()) {
+    Json obs_doc = Json::object();
+    obs_doc.set("bench", "svc_churn_obs");
+    obs_doc.set("streams", std::int64_t{n});
+    obs_doc.set("mesh", mesh.name());
+    obs_doc.set("ops", std::int64_t{ops});
+    obs_doc.set("sample_interval_ms",
+                std::int64_t{obs_mode.sample_interval_ms});
+    obs_doc.set("baseline_durable_pipelined",
+                to_json(kDurablePipelined, pipeline_clients, base_best));
+    obs_doc.set("obs_durable_pipelined",
+                to_json(obs_mode, pipeline_clients, obs_best));
+    obs_doc.set("obs_overhead_pct", obs_overhead_pct);
+    obs_doc.set("max_obs_overhead_pct", max_obs_overhead_pct);
+    std::ofstream obs_out(obs_out_path);
+    obs_out << obs_doc.dump() << "\n";
+    std::printf("wrote %s\n", obs_out_path.c_str());
+  }
 
   const std::uint64_t total_errors = socket.errors + durable_serial.errors +
                                      durable_pipelined.errors +
@@ -539,6 +629,13 @@ int main(int argc, char** argv) {
                  "svc_churn: nofsync pipelined speedup %.2fx below the "
                  "%.0fx floor\n",
                  nofsync_speedup, min_nofsync_speedup);
+    return 1;
+  }
+  if (max_obs_overhead_pct > 0 && obs_overhead_pct > max_obs_overhead_pct) {
+    std::fprintf(stderr,
+                 "svc_churn: sampler+conformance overhead %.2f%% above "
+                 "the %.2f%% ceiling\n",
+                 obs_overhead_pct, max_obs_overhead_pct);
     return 1;
   }
   return 0;

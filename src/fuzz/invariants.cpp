@@ -15,6 +15,8 @@
 #include "core/incremental.hpp"
 #include "core/message_stream.hpp"
 #include "flitsim/flit_sim.hpp"
+#include "obs/conformance.hpp"
+#include "obs/metrics.hpp"
 #include "route/dor.hpp"
 #include "sim/simulator.hpp"
 #include "svc/journal.hpp"
@@ -528,6 +530,14 @@ std::optional<Violation> check_admission_invariants(
     const Time bound = ctrl.engine().bound_at(id);
     has_rtt_slack[j] = bound != kNoTime && bound + 2 <= population[id].period;
   }
+  // Every flit-accurate arrival is also fed through the runtime
+  // ConformanceMonitor (the REPORT-verb machinery) so the fuzzer
+  // cross-checks the production violation detector against the direct
+  // observed>bound comparison below: the monitor must flag exactly the
+  // arrivals the oracle flags, and a sound population must leave it at
+  // zero violations.
+  obs::Registry conformance_registry;
+  obs::ConformanceMonitor conformance(conformance_registry);
   for (int phase = 0; phase <= config.phase_seeds; ++phase) {
     flitsim::FlitSimConfig flit_config;
     flit_config.duration = config.sim_duration;
@@ -552,12 +562,27 @@ std::optional<Violation> check_admission_invariants(
                   "flit conservation broken (" + phase_tag + ")");
     }
     for (const auto& arrival : result.arrivals) {
-      if (!has_rtt_slack[static_cast<std::size_t>(arrival.stream)]) {
-        continue;
-      }
       const Time observed = arrival.delivered - arrival.generated;
       const Time bound = ctrl.engine().bound_at(arrival.stream);
-      if (observed > bound) {
+      const bool flit_valid =
+          has_rtt_slack[static_cast<std::size_t>(arrival.stream)];
+      const obs::ConformanceMonitor::Outcome outcome = conformance.report(
+          static_cast<std::int64_t>(arrival.stream),
+          static_cast<double>(observed), static_cast<double>(bound),
+          static_cast<double>(population[arrival.stream].period),
+          flit_valid);
+      const bool oracle_violation = flit_valid && observed > bound;
+      if (outcome.violation != oracle_violation) {
+        return fail(kInvariantFlit,
+                    "conformance monitor disagrees with the flit oracle: "
+                    "monitor says " +
+                        std::string(outcome.violation ? "violation"
+                                                      : "conforming") +
+                        " for observed " + std::to_string(observed) +
+                        " vs bound " + std::to_string(bound) + " (" +
+                        phase_tag + ")");
+      }
+      if (oracle_violation) {
         const auto& s = population[arrival.stream];
         return fail(kInvariantFlit,
                     "flit-accurate latency " + std::to_string(observed) +
@@ -567,6 +592,16 @@ std::optional<Violation> check_admission_invariants(
                         ")");
       }
     }
+  }
+  // A sound, feasible population must leave the production violation
+  // counter untouched across every phase — the detection-proof half of
+  // the monitor's contract (the other half, that injected violations DO
+  // fire, is covered by tests/obs/test_conformance.cpp).
+  if (conformance.total_violations() != 0) {
+    return fail(kInvariantFlit,
+                "conformance monitor counted " +
+                    std::to_string(conformance.total_violations()) +
+                    " violations on a sound population");
   }
   return std::nullopt;
 }

@@ -1,0 +1,84 @@
+#include "obs/conformance.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace wormrt::obs {
+
+ConformanceMonitor::ConformanceMonitor(Registry& registry)
+    : registry_(registry),
+      violations_total_(registry.counter(
+          "wormrt_conformance_violations_total", {},
+          "Reported latencies exceeding the analytic bound on flit-valid "
+          "streams, all streams.")) {}
+
+ConformanceMonitor::Outcome ConformanceMonitor::report(std::int64_t handle,
+                                                       double observed,
+                                                       double bound,
+                                                       double period,
+                                                       bool flit_valid) {
+  const bool violation = flit_valid && observed > bound;
+  Outcome out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Record& rec = records_[handle];
+    rec.handle = handle;
+    rec.bound = bound;
+    rec.period = period;
+    rec.flit_valid = flit_valid;
+    rec.max_observed = std::max(rec.max_observed, observed);
+    ++rec.reports;
+    if (violation) {
+      ++rec.violations;
+    }
+    out.violation = violation;
+    out.max_observed = rec.max_observed;
+    out.violations = rec.violations;
+  }
+  if (violation) {
+    // Outside mu_: the lazy registration walks the registry map.
+    violations_total_.inc();
+    registry_
+        .counter("wormrt_bound_violations_total",
+                 {{"handle", std::to_string(handle)}},
+                 "Reported latencies exceeding the analytic bound, per "
+                 "stream handle (children appear on first violation).")
+        .inc();
+  }
+  return out;
+}
+
+void ConformanceMonitor::untrack(std::int64_t handle) {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_.erase(handle);
+}
+
+void ConformanceMonitor::retain(const std::vector<std::int64_t>& live) {
+  std::vector<std::int64_t> sorted = live;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (std::binary_search(sorted.begin(), sorted.end(), it->first)) {
+      ++it;
+    } else {
+      it = records_.erase(it);
+    }
+  }
+}
+
+std::vector<ConformanceMonitor::Record> ConformanceMonitor::records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Record> out;
+  out.reserve(records_.size());
+  for (const auto& [handle, rec] : records_) {
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::size_t ConformanceMonitor::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+}  // namespace wormrt::obs

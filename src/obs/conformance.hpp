@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+/// \file conformance.hpp
+/// Runtime conformance monitoring: does the fabric keep the analytic
+/// contract?
+///
+/// The paper's guarantee is that an admitted stream's observed latency
+/// never exceeds its delay bound U_i — on the flit-valid domain
+/// (U_i + 2 <= T_i, DESIGN.md §13) where the bound survives credit flow
+/// control.  This monitor is the runtime half of that contract: callers
+/// feed it observed latencies (the REPORT verb, or flitsim's exact
+/// per-stream worst cases in tests and the fuzzer) together with the
+/// stream's *current* analytic bound, and it keeps per-handle
+/// observation records and a violation count.
+///
+/// Bounds are passed in per report rather than cached here: bounds move
+/// whenever the admission engine recomputes a dirty closure, so a
+/// cached copy would go stale — the caller (who holds the engine lock
+/// anyway) always knows the current truth.
+///
+/// A violation — observed > bound on a flit-valid stream — increments
+/// `wormrt_bound_violations_total{handle="H"}`; the labelled child is
+/// registered lazily on the first violation so healthy populations do
+/// not bloat the exposition.  Reports on streams *outside* the validity
+/// domain (admitted under --no-credit-slack-guard) are recorded but
+/// never counted as violations: the analysis makes no claim there
+/// (EXPERIMENTS.md finding 2).
+///
+/// Thread safety: one internal mutex; every member is safe to call
+/// concurrently.  The monitor never calls out while holding it.
+namespace wormrt::obs {
+
+class ConformanceMonitor {
+ public:
+  /// Counters are registered in \p registry, which must outlive the
+  /// monitor.
+  explicit ConformanceMonitor(Registry& registry);
+
+  /// Per-stream observation record (a copy; see records()).
+  struct Record {
+    std::int64_t handle = -1;
+    /// Bound / period / validity as of the most recent report.
+    double bound = 0.0;
+    double period = 0.0;
+    bool flit_valid = false;
+    double max_observed = 0.0;
+    std::uint64_t reports = 0;
+    std::uint64_t violations = 0;
+  };
+
+  /// Outcome of one report, echoed to the REPORT caller.
+  struct Outcome {
+    bool violation = false;
+    double max_observed = 0.0;
+    std::uint64_t violations = 0;
+  };
+
+  /// Records one observed end-to-end latency for \p handle against its
+  /// current analytic \p bound and \p period.  \p flit_valid says the
+  /// stream is inside the validity domain; only then can a violation be
+  /// counted.  Unknown handles are tracked from their first report.
+  Outcome report(std::int64_t handle, double observed, double bound,
+                 double period, bool flit_valid);
+
+  /// Drops the record of a torn-down stream (its violation counter, if
+  /// any, stays in the registry — counters are cumulative).
+  void untrack(std::int64_t handle);
+
+  /// Keeps only the records whose handles \p live lists (ascending not
+  /// required).  The service calls this at scrape time with the live
+  /// population so records of removed/evicted streams do not accumulate.
+  void retain(const std::vector<std::int64_t>& live);
+
+  /// Snapshot of all records, ascending handle order.
+  std::vector<Record> records() const;
+
+  std::uint64_t total_violations() const {
+    return violations_total_.value();
+  }
+  std::size_t size() const;
+
+ private:
+  Registry& registry_;
+  /// Aggregate across all streams (wormrt_conformance_violations_total;
+  /// HEALTH reads it).  The per-handle children live in the separate
+  /// wormrt_bound_violations_total family so summing either is honest.
+  Counter& violations_total_;
+  mutable std::mutex mu_;
+  std::map<std::int64_t, Record> records_;
+};
+
+}  // namespace wormrt::obs

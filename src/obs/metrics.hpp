@@ -92,6 +92,8 @@ class Histogram {
   double max() const;
   /// Estimated q-quantile (q in [0,1]) over the merged buckets.
   double quantile(double q) const;
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
 
   double lo() const { return lo_; }
   double hi() const { return hi_; }

@@ -1,0 +1,135 @@
+#include "obs/timeseries.hpp"
+
+#include <utility>
+
+namespace wormrt::obs {
+
+TimeSeries::TimeSeries(std::string name, std::size_t capacity)
+    : name_(std::move(name)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      ring_(capacity_) {}
+
+void TimeSeries::append(std::int64_t t_ms, double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (size_ < capacity_) {
+    ring_[(start_ + size_) % capacity_] = {t_ms, value};
+    ++size_;
+  } else {
+    ring_[start_] = {t_ms, value};
+    start_ = (start_ + 1) % capacity_;
+  }
+}
+
+std::vector<TimeSeries::Sample> TimeSeries::window(
+    std::int64_t since_ms) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Sample> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Sample& s = ring_[(start_ + i) % capacity_];
+    if (s.t_ms >= since_ms) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::size_t TimeSeries::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return size_;
+}
+
+Sampler::Sampler(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::add_series(const std::string& name, Probe probe) {
+  std::lock_guard<std::mutex> lk(mu_);
+  series_.emplace_back(name, capacity_);
+  probes_.push_back(std::move(probe));
+}
+
+std::int64_t Sampler::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Sampler::sample_once() {
+  // The series set is append-only and start() forbids concurrent
+  // add_series, so probing without mu_ is safe — and required: a probe
+  // may itself be slow (histogram merge) and must not block stop().
+  const std::int64_t t = now_ms();
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    series_[i].append(t, probes_[i]());
+  }
+}
+
+void Sampler::start(int interval_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_) {
+    return;
+  }
+  interval_ms_ = interval_ms < 1 ? 1 : interval_ms;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Sampler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) {
+      return;
+    }
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+bool Sampler::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return running_;
+}
+
+void Sampler::run() {
+  sample_once();
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) {
+      return;
+    }
+    lk.unlock();
+    sample_once();
+    lk.lock();
+  }
+}
+
+std::vector<const TimeSeries*> Sampler::series() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<const TimeSeries*> out;
+  out.reserve(series_.size());
+  for (const TimeSeries& s : series_) {
+    out.push_back(&s);
+  }
+  return out;
+}
+
+const TimeSeries* Sampler::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const TimeSeries& s : series_) {
+    if (s.name() == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace wormrt::obs

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+/// \file timeseries.hpp
+/// Bounded metric history: fixed-size rings of (t_ms, value) samples
+/// plus a background sampler thread that fills them.
+///
+/// The metrics registry answers "how much ever" — the HISTORY verb and
+/// wormrt-top need "how much lately".  Each TimeSeries is a ring of the
+/// most recent `capacity` samples; the Sampler owns a set of series and
+/// a probe function per series, and snapshots every probe at a fixed
+/// interval on its own thread.
+///
+/// Probes run OUTSIDE any service lock — they must only touch
+/// independently synchronised state (registry counters/gauges, sharded
+/// histograms, the conformance monitor, ThreadPool stats).  A probe
+/// that took the service mutex would make the sampler a tail-latency
+/// source, which is exactly what it exists to watch.
+///
+/// Timestamps are milliseconds on the sampler's own monotonic scale
+/// (ms since construction), so windows are immune to wall-clock steps.
+namespace wormrt::obs {
+
+/// Fixed-capacity ring of timestamped samples.  Thread-safe.
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, std::size_t capacity);
+
+  struct Sample {
+    std::int64_t t_ms = 0;
+    double value = 0.0;
+  };
+
+  void append(std::int64_t t_ms, double value);
+
+  /// Samples with t_ms >= \p since_ms, oldest first.
+  std::vector<Sample> window(std::int64_t since_ms = 0) const;
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+
+ private:
+  const std::string name_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;  // ring_[ (start_ + i) % capacity_ ]
+  std::size_t start_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Periodic snapshotter: one thread, many series.
+class Sampler {
+ public:
+  using Probe = std::function<double()>;
+
+  /// \p capacity is the ring size of every series added later.
+  explicit Sampler(std::size_t capacity = 512);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Registers a series.  Only valid before start().
+  void add_series(const std::string& name, Probe probe);
+
+  /// Starts sampling every \p interval_ms milliseconds (>= 1).  One
+  /// sample of every series is taken immediately so HISTORY is never
+  /// empty after startup.  No-op if already running.
+  void start(int interval_ms);
+
+  /// Stops and joins the thread.  Idempotent; the rings keep their
+  /// samples.
+  void stop();
+
+  /// Takes one sample of every series now (also what the thread does
+  /// each tick).  Usable without start() — deterministic tests drive
+  /// the sampler manually.
+  void sample_once();
+
+  bool running() const;
+  int interval_ms() const { return interval_ms_; }
+
+  /// Milliseconds since construction, the timestamp scale of every
+  /// sample.
+  std::int64_t now_ms() const;
+
+  /// Stable pointers (deque-backed): valid for the sampler's lifetime.
+  std::vector<const TimeSeries*> series() const;
+  const TimeSeries* find(const std::string& name) const;
+
+ private:
+  void run();
+
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  int interval_ms_ = 0;
+
+  mutable std::mutex mu_;  // guards series_/probes_ shape + thread state
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::deque<TimeSeries> series_;
+  std::vector<Probe> probes_;
+  std::thread thread_;
+};
+
+}  // namespace wormrt::obs

@@ -1,6 +1,12 @@
 #include "obs/trace.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -108,6 +114,46 @@ std::string Tracer::export_json() {
   }
   out += "]}";
   return out;
+}
+
+bool Tracer::export_json_to_file(const std::string& path,
+                                 std::string* error) {
+  // tmp + fsync + rename: a crash or kill mid-write leaves either the
+  // previous file or the complete new one, never a torn JSON.
+  const std::string tmp = path + ".tmp";
+  const std::string json = export_json();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = tmp + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < json.size()) {
+    const ssize_t n = ::write(fd, json.data() + off, json.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (error != nullptr) {
+        *error = tmp + ": " + std::strerror(errno);
+      }
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0 ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = path + ": " + std::strerror(errno);
+    }
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 void Tracer::clear() {

@@ -57,6 +57,12 @@ class Tracer {
   /// {"displayTimeUnit":"ms","traceEvents":[{name,cat,ph,ts,dur,pid,tid}]}.
   static std::string export_json();
 
+  /// export_json() written crash-tolerantly: tmp file, fsync, rename —
+  /// readers never see a torn JSON even if the writer is killed
+  /// mid-export.  False + \p error on I/O failure.
+  static bool export_json_to_file(const std::string& path,
+                                  std::string* error = nullptr);
+
   /// Drops all recorded events (buffers stay registered).
   static void clear();
 

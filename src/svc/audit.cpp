@@ -1,0 +1,122 @@
+#include "svc/audit.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace wormrt::svc {
+
+namespace {
+
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+AuditLog::AuditLog(std::string path, std::uint64_t max_bytes)
+    : path_(std::move(path)),
+      max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
+
+AuditLog::~AuditLog() { close(); }
+
+bool AuditLog::open(std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = path_ + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  struct stat st {};
+  bytes_ = ::fstat(fd_, &st) == 0 ? static_cast<std::uint64_t>(st.st_size)
+                                  : 0;
+  return true;
+}
+
+void AuditLog::append(Json record) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ < 0) {
+    return;
+  }
+  record.set("seq", static_cast<std::int64_t>(seq_++));
+  record.set("ts_ms", wall_ms());
+  std::string line = record.dump();
+  line.push_back('\n');
+  if (bytes_ + line.size() > max_bytes_ && bytes_ > 0) {
+    rotate_locked();
+    if (fd_ < 0) {
+      return;
+    }
+  }
+  // One write(2) per record on O_APPEND: a crash tears at most the last
+  // line.  Partial writes (out of space) are counted as failures; the
+  // possibly-torn line is left for the reader to skip.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ++failures_;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  bytes_ += line.size();
+}
+
+void AuditLog::rotate_locked() {
+  ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  const std::string old = path_ + ".1";
+  if (::rename(path_.c_str(), old.c_str()) != 0) {
+    ++failures_;
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    ++failures_;
+    return;
+  }
+  bytes_ = 0;
+  ++rotations_;
+}
+
+void AuditLog::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+  }
+}
+
+void AuditLog::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t AuditLog::failures() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failures_;
+}
+
+std::uint64_t AuditLog::rotations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rotations_;
+}
+
+}  // namespace wormrt::svc

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "svc/json.hpp"
+
+/// \file audit.hpp
+/// The wormrtd audit log: one JSONL record per admission decision,
+/// teardown, and link mutation (--audit-log FILE).
+///
+/// The journal answers "what state do I recover to"; the audit log
+/// answers "who decided what, when, and why" — it includes rejections
+/// (which the journal never sees), bounds, route orders, the covering
+/// LSN, and optional EXPLAIN provenance, so an operator can reconstruct
+/// the decision history without replaying the WAL.
+///
+/// Crash tolerance: records are appended with a single write(2) each on
+/// an O_APPEND descriptor, so a crash can tear at most the final line —
+/// every earlier line stays parseable (the e2e test greps the log
+/// against a journal replay).  fsync happens on rotation and on
+/// close(), not per record: the audit log is an operator trail, not the
+/// durability contract — that is the journal's job.
+///
+/// Rotation: when the file exceeds max_bytes the current log is
+/// fsynced and renamed to `<path>.1` (replacing any previous `.1`) and
+/// a fresh file is started — bounded disk, last-two-generations
+/// retention.
+namespace wormrt::svc {
+
+class AuditLog {
+ public:
+  AuditLog(std::string path, std::uint64_t max_bytes);
+  ~AuditLog();
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Opens (creating or appending to) the log.  False + \p error when
+  /// the path is unusable.
+  bool open(std::string* error);
+
+  /// Appends one record as a single JSONL line.  A wall-clock
+  /// timestamp ("ts_ms", Unix milliseconds) and a monotonically
+  /// increasing sequence number ("seq") are stamped here.  Thread-safe.
+  /// Write failures are counted (failures()) but never surface to the
+  /// request path — auditing must not fail admissions.
+  void append(Json record);
+
+  /// fsyncs the current file (shutdown path).
+  void flush();
+
+  void close();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t failures() const;
+  std::uint64_t rotations() const;
+
+ private:
+  void rotate_locked();
+
+  const std::string path_;
+  const std::uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace wormrt::svc

@@ -380,8 +380,10 @@ Journal::Metrics::Metrics(obs::Registry& reg)
       discarded_bytes(reg.counter(
           "wormrt_journal_discarded_tail_bytes_total", {},
           "Torn/corrupt WAL tail bytes discarded at recovery.")),
-      fsync_us(reg.histogram("wormrt_journal_fsync_us", 0.0, 50000.0, 50, {},
-                             "WAL fsync latency in microseconds.")),
+      // 50µs buckets: the old 1ms buckets could not resolve the
+      // group-commit win against the serial baseline (DESIGN.md §14).
+      fsync_us(reg.histogram("wormrt_journal_fsync_us", 0.0, 50000.0, 1000,
+                             {}, "WAL fsync latency in microseconds.")),
       group_commits(reg.counter("wormrt_journal_group_commits_total", {},
                                 "Leader commits (one write + fsync each).")),
       group_commit_batch(reg.histogram(

@@ -795,6 +795,11 @@ void Server::stop() {
   if (!impl_->config.unix_path.empty()) {
     ::unlink(impl_->config.unix_path.c_str());
   }
+  // Shutdown barrier for the on-disk observability artifacts: stop the
+  // sampler and fsync the audit log so a process exit right after
+  // stop() loses nothing (the Service destructor fsyncs again for any
+  // dispatch still draining above).
+  impl_->service.flush_observability();
 }
 
 Client::~Client() { close(); }
@@ -918,7 +923,8 @@ bool Client::reconnect(std::string* error) {
 
 bool Client::idempotent_verb(const std::string& verb) {
   return verb == "QUERY" || verb == "EXPLAIN" || verb == "SNAPSHOT" ||
-         verb == "STATS" || verb == "METRICS";
+         verb == "STATS" || verb == "METRICS" || verb == "HEALTH" ||
+         verb == "HISTORY";
 }
 
 bool Client::call_with_retry(const std::string& request_line,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
+#include <map>
 
 #include "core/stream_io.hpp"
 #include "obs/trace.hpp"
@@ -41,6 +43,9 @@ Service::Metrics::Metrics(obs::Registry& reg)
       metrics(reg.counter("wormrt_requests_total", {{"verb", "METRICS"}})),
       link_downs(reg.counter("wormrt_requests_total", {{"verb", "LINK_DOWN"}})),
       link_ups(reg.counter("wormrt_requests_total", {{"verb", "LINK_UP"}})),
+      reports(reg.counter("wormrt_requests_total", {{"verb", "REPORT"}})),
+      healths(reg.counter("wormrt_requests_total", {{"verb", "HEALTH"}})),
+      histories(reg.counter("wormrt_requests_total", {{"verb", "HISTORY"}})),
       link_evicted(reg.counter(
           "wormrt_link_streams_total", {{"outcome", "evicted"}},
           "Established streams hit by LINK_DOWN, by outcome.")),
@@ -55,7 +60,9 @@ Service::Metrics::Metrics(obs::Registry& reg)
                          "Error replies sent (bad json, bad verb, bad "
                          "arguments, internal errors).")),
       latency_us(reg.histogram(
-          "wormrt_admission_latency_us", 0.0, 5000.0, 50, {},
+          // 10µs buckets: coarse 100µs buckets flattened the p99/p999
+          // split the dispatch pipeline actually has (DESIGN.md §14).
+          "wormrt_admission_latency_us", 0.0, 5000.0, 500, {},
           "REQUEST verb service time in microseconds (the admission "
           "decision, including the trial analysis).")),
       population(reg.gauge("wormrt_population", {},
@@ -66,9 +73,74 @@ Service::Service(topo::Topology& topo, const route::RoutingAlgorithm& routing,
     : topo_(topo),
       options_(std::move(options)),
       ctrl_(topo, routing, config),
-      metrics_(registry_) {}
+      metrics_(registry_),
+      conformance_(registry_),
+      channel_gauge_live_(topo.num_channels(), 0),
+      sampler_(options_.history_capacity) {
+  setup_sampler();
+  if (options_.sample_interval_ms > 0) {
+    sampler_.start(options_.sample_interval_ms);
+  }
+}
+
+void Service::setup_sampler() {
+  // Probes run on the sampler thread.  They read independently
+  // synchronised state (atomic counters, sharded histograms, the
+  // conformance monitor, ThreadPool stats) — the one exception takes
+  // mu_ briefly for the engine's plain-struct work counters, which at
+  // sampling cadence is noise (gated by the svc_churn obs-overhead
+  // floor, BENCH_obs.json).
+  sampler_.add_series("requests_total", [this] {
+    return static_cast<double>(metrics_.requests.value());
+  });
+  sampler_.add_series("admission_p99_us",
+                      [this] { return metrics_.latency_us.p99(); });
+  sampler_.add_series("fsync_p99_us", [this] {
+    return registry_
+        .histogram("wormrt_journal_fsync_us", 0.0, 50000.0, 1000, {})
+        .p99();
+  });
+  sampler_.add_series("sheds_total", [this] {
+    double total = 0.0;
+    for (const char* reason : {"overloaded", "line_too_long", "idle_timeout"}) {
+      total += static_cast<double>(
+          registry_.counter("wormrt_server_sheds_total", {{"reason", reason}})
+              .value());
+    }
+    return total;
+  });
+  sampler_.add_series("dirty_marked_total", [this] {
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<double>(ctrl_.engine().stats().dirty_marked);
+  });
+  sampler_.add_series("violations_total", [this] {
+    return static_cast<double>(conformance_.total_violations());
+  });
+  sampler_.add_series("population", [this] {
+    return metrics_.population.value();
+  });
+  sampler_.add_series("threadpool_queue_depth", [] {
+    return static_cast<double>(util::ThreadPool::shared().stats().queue_depth);
+  });
+}
+
+void Service::flush_observability() {
+  sampler_.stop();
+  if (audit_ != nullptr) {
+    audit_->flush();
+  }
+}
 
 bool Service::open_state(std::string* error) {
+  if (!options_.audit_path.empty() && audit_ == nullptr) {
+    auto audit =
+        std::make_unique<AuditLog>(options_.audit_path,
+                                   options_.audit_max_bytes);
+    if (!audit->open(error)) {
+      return false;
+    }
+    audit_ = std::move(audit);
+  }
   if (options_.state_dir.empty()) {
     return true;
   }
@@ -255,6 +327,64 @@ void Service::refresh_mirrors() const {
                "Bound lookups served from the cache with no re-analysis.")
       .mirror(es.bound_cache_hits);
 
+  // Channel heatmap gauges, from the engine's maintained channel index.
+  // Children are registered lazily on first occupancy and re-zeroed
+  // once live, so an emptied channel never freezes at its last value.
+  const core::IncrementalAnalyzer& engine = ctrl_.engine();
+  for (std::size_t c = 0; c < static_cast<std::size_t>(topo_.num_channels());
+       ++c) {
+    const auto ch = static_cast<topo::ChannelId>(c);
+    const std::vector<core::AdmissionController::Handle> on =
+        engine.handles_on_channel(ch);
+    if (on.empty() && channel_gauge_live_[c] == 0) {
+      continue;
+    }
+    channel_gauge_live_[c] = 1;
+    double util = 0.0;
+    for (const auto h : on) {
+      const core::MessageStream* s = engine.find(h);
+      if (s != nullptr && s->period > 0) {
+        util += static_cast<double>(s->length) /
+                static_cast<double>(s->period);
+      }
+    }
+    const obs::Labels labels = {{"channel", std::to_string(c)}};
+    registry_
+        .gauge("wormrt_channel_streams", labels,
+               "Established streams crossing each directed channel "
+               "(children appear once a channel is first occupied).")
+        .set(static_cast<double>(on.size()));
+    registry_
+        .gauge("wormrt_channel_utilization", labels,
+               "Sum of length/period over the streams crossing each "
+               "directed channel.")
+        .set(util);
+  }
+
+  // Conformance: drop records of departed streams, then mirror sizes.
+  std::vector<std::int64_t> live;
+  live.reserve(engine.size());
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    live.push_back(engine.handle_of(static_cast<StreamId>(i)));
+  }
+  conformance_.retain(live);
+  registry_
+      .gauge("wormrt_conformance_tracked_streams", {},
+             "Streams with at least one reported latency observation.")
+      .set(static_cast<double>(conformance_.size()));
+
+  if (audit_ != nullptr) {
+    registry_
+        .counter("wormrt_audit_write_failures_total", {},
+                 "Audit-log appends that failed (never surfaced to the "
+                 "request path).")
+        .mirror(audit_->failures());
+    registry_
+        .counter("wormrt_audit_rotations_total", {},
+                 "Audit-log size rotations performed.")
+        .mirror(audit_->rotations());
+  }
+
   metrics_.population.set(static_cast<double>(ctrl_.size()));
 }
 
@@ -326,6 +456,9 @@ Json Service::dispatch_locked(const Json& request, PendingAck* ack) {
   if (v == "SNAPSHOT") return do_snapshot_locked();
   if (v == "STATS") return do_stats_locked();
   if (v == "METRICS") return do_metrics_locked();
+  if (v == "REPORT") return do_report_locked(request);
+  if (v == "HEALTH") return do_health_locked();
+  if (v == "HISTORY") return do_history_locked(request);
   if (v == "BATCH") {
     return error_reply("BATCH does not nest");
   }
@@ -520,12 +653,50 @@ Json Service::do_request_locked(const Json& request, PendingAck* ack) {
   if (want_explain) {
     reply.set("explain", provenance_json(provenance));
   }
+
+  if (audit_ != nullptr) {
+    // Drafted here (all the decision context is in scope), written by
+    // audit_resolved() once the covering commit settles — the audit
+    // line records whether the ack actually went out durable.
+    Json rec = Json::object();
+    rec.set("event", "request");
+    rec.set("admitted", decision.admitted);
+    rec.set("src", src);
+    rec.set("dst", dst);
+    rec.set("priority", priority);
+    rec.set("period", period);
+    rec.set("length", length);
+    rec.set("deadline", deadline);
+    rec.set("bound", decision.bound);
+    rec.set("flit_valid", decision.flit_valid);
+    if (decision.no_route) {
+      rec.set("no_route", true);
+    }
+    if (!decision.would_break.empty()) {
+      Json wb = Json::array();
+      for (const auto h : decision.would_break) {
+        wb.push_back(h);
+      }
+      rec.set("would_break", std::move(wb));
+    }
+    if (decision.admitted) {
+      rec.set("handle", decision.handle);
+      rec.set("route_order",
+              static_cast<std::int64_t>(decision.route_order));
+    }
+    if (want_explain) {
+      rec.set("explain", provenance_json(provenance));
+    }
+    ack->audit = std::move(rec);
+    ack->has_audit = true;
+  }
   return reply;
 }
 
 Json Service::do_request(const Json& request) {
   PendingAck ack;
   Json reply;
+  bool durable_ok = true;
   {
     std::lock_guard<std::mutex> lk(mu_);
     reply = do_request_locked(request, &ack);
@@ -538,14 +709,19 @@ Json Service::do_request(const Json& request) {
       } else {
         catch_up_rollback_locked();
         reply = error_reply("admission not durable: " + err);
+        durable_ok = false;
       }
       ack.staged = false;
     }
     maybe_compact();
   }
-  if (ack.staged && await_durable(ack, &reply)) {
-    metrics_.admitted.inc();
+  if (ack.staged) {
+    durable_ok = await_durable(ack, &reply);
+    if (durable_ok) {
+      metrics_.admitted.inc();
+    }
   }
+  audit_resolved(&ack, durable_ok);
   return reply;
 }
 
@@ -587,6 +763,13 @@ Json Service::do_remove_locked(const Json& request, PendingAck* ack) {
     removed = ctrl_.remove(handle);
   }
   metrics_.population.set(static_cast<double>(ctrl_.size()));
+  if (audit_ != nullptr && removed) {
+    Json rec = Json::object();
+    rec.set("event", "remove");
+    rec.set("handle", handle);
+    ack->audit = std::move(rec);
+    ack->has_audit = true;
+  }
   Json reply = Json::object();
   reply.set("ok", true);
   reply.set("removed", removed);
@@ -596,6 +779,7 @@ Json Service::do_remove_locked(const Json& request, PendingAck* ack) {
 Json Service::do_remove(const Json& request) {
   PendingAck ack;
   Json reply;
+  bool durable_ok = true;
   {
     std::lock_guard<std::mutex> lk(mu_);
     reply = do_remove_locked(request, &ack);
@@ -604,14 +788,16 @@ Json Service::do_remove(const Json& request) {
       if (!journal_->wait_durable(ack.lsn, &err)) {
         catch_up_rollback_locked();
         reply = error_reply("teardown not durable: " + err);
+        durable_ok = false;
       }
       ack.staged = false;
     }
     maybe_compact();
   }
   if (ack.staged) {
-    await_durable(ack, &reply);
+    durable_ok = await_durable(ack, &reply);
   }
+  audit_resolved(&ack, durable_ok);
   return reply;
 }
 
@@ -658,27 +844,27 @@ Json Service::do_batch(const Json& request) {
       catch_up_rollback_locked();
     }
   }
-  if (any_staged) {
-    // Per-sub-request fixup.  wait_durable() is instant here — every
-    // LSN <= max_lsn is already resolved — and, unlike a durable_lsn()
-    // comparison, it reports an LSN inside a failed range honestly even
-    // after a later batch advanced the watermark past it.
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      if (!acks[i].staged) {
-        continue;
-      }
+  // Per-sub-request fixup.  wait_durable() is instant here — every
+  // LSN <= max_lsn is already resolved — and, unlike a durable_lsn()
+  // comparison, it reports an LSN inside a failed range honestly even
+  // after a later batch advanced the watermark past it.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    bool sub_ok = true;
+    if (acks[i].staged) {
       std::string sub_err;
       if (journal_->wait_durable(acks[i].lsn, &sub_err)) {
         if (acks[i].is_add) {
           metrics_.admitted.inc();
         }
       } else {
+        sub_ok = false;
         replies[i] = error_reply(
             std::string(acks[i].is_add ? "admission not durable: "
                                        : "teardown not durable: ") +
             sub_err);
       }
     }
+    audit_resolved(&acks[i], sub_ok);
   }
   Json reply = Json::object();
   reply.set("ok", true);
@@ -774,6 +960,28 @@ Json Service::do_link(const Json& request, bool down) {
   }
   reply.set("rerouted", std::move(rerouted));
   reply.set("recomputed", static_cast<std::int64_t>(m.recomputed.size()));
+
+  if (audit_ != nullptr) {
+    // Written under mu_ — acceptable for the rare, already-serialised
+    // link verbs (the record is durable-before-apply anyway).
+    Json rec = Json::object();
+    rec.set("event", down ? "link_down" : "link_up");
+    rec.set("channel", static_cast<std::int64_t>(channel));
+    rec.set("src", static_cast<std::int64_t>(endpoints.src));
+    rec.set("dst", static_cast<std::int64_t>(endpoints.dst));
+    Json audit_evicted = Json::array();
+    for (const auto h : m.evicted) {
+      audit_evicted.push_back(h);
+    }
+    rec.set("evicted", std::move(audit_evicted));
+    Json audit_rerouted = Json::array();
+    for (const auto h : m.rerouted) {
+      audit_rerouted.push_back(h);
+    }
+    rec.set("rerouted", std::move(audit_rerouted));
+    rec.set("recomputed", static_cast<std::int64_t>(m.recomputed.size()));
+    audit_->append(std::move(rec));
+  }
   return reply;
 }
 
@@ -847,6 +1055,15 @@ Json Service::do_stats_locked() {
   verbs.set("link_downs",
             static_cast<std::int64_t>(metrics_.link_downs.value()));
   verbs.set("link_ups", static_cast<std::int64_t>(metrics_.link_ups.value()));
+  verbs.set("metrics", static_cast<std::int64_t>(metrics_.metrics.value()));
+  verbs.set("reports", static_cast<std::int64_t>(metrics_.reports.value()));
+  verbs.set("healths", static_cast<std::int64_t>(metrics_.healths.value()));
+  verbs.set("histories",
+            static_cast<std::int64_t>(metrics_.histories.value()));
+  verbs.set("link_evicted",
+            static_cast<std::int64_t>(metrics_.link_evicted.value()));
+  verbs.set("link_rerouted",
+            static_cast<std::int64_t>(metrics_.link_rerouted.value()));
   verbs.set("errors", static_cast<std::int64_t>(metrics_.errors.value()));
 
   const auto& engine_stats = ctrl_.engine().stats();
@@ -870,6 +1087,7 @@ Json Service::do_stats_locked() {
                                static_cast<double>(count));
     latency.set("p50_us", metrics_.latency_us.quantile(0.50));
     latency.set("p99_us", metrics_.latency_us.quantile(0.99));
+    latency.set("p999_us", metrics_.latency_us.p999());
     latency.set("max_us", metrics_.latency_us.max());
   }
 
@@ -895,6 +1113,389 @@ Json Service::do_metrics_locked() {
     reply.set("metrics", std::move(exposition));
   }
   return reply;
+}
+
+bool Service::report_one_locked(std::int64_t handle, double observed,
+                                Json* out) {
+  const core::MessageStream* stream = ctrl_.engine().find(handle);
+  if (stream == nullptr) {
+    return false;
+  }
+  // Always the engine's CURRENT bound: a cached copy would go stale
+  // whenever a later mutation's dirty closure recomputes this stream.
+  const Time bound = ctrl_.engine().bound_at(ctrl_.engine().id_of(handle));
+  const bool flit_valid = bound != kNoTime && bound + 2 <= stream->period;
+  const obs::ConformanceMonitor::Outcome outcome = conformance_.report(
+      handle, observed, static_cast<double>(bound),
+      static_cast<double>(stream->period), flit_valid);
+  out->set("handle", handle);
+  out->set("observed_latency", observed);
+  out->set("bound", bound);
+  out->set("flit_valid", flit_valid);
+  out->set("violation", outcome.violation);
+  out->set("max_observed", outcome.max_observed);
+  out->set("violations", static_cast<std::int64_t>(outcome.violations));
+  return true;
+}
+
+Json Service::do_report_locked(const Json& request) {
+  metrics_.reports.inc();
+  const Json* reports = request.get("reports");
+  if (reports != nullptr) {
+    // Array form: one round trip for a whole measurement sweep.
+    // Unknown handles (e.g. removed since the harness sampled) are
+    // counted, not errors — the rest of the sweep still lands.
+    if (!reports->is_array()) {
+      return error_reply("REPORT reports must be an array");
+    }
+    std::int64_t accepted = 0, unknown = 0, violations = 0;
+    for (const Json& item : reports->items()) {
+      std::int64_t handle = 0;
+      const Json* observed = item.is_object() ? item.get("observed_latency")
+                                              : nullptr;
+      if (!item.is_object() || !req_int(item, "handle", &handle) ||
+          observed == nullptr || !observed->is_number()) {
+        return error_reply(
+            "REPORT reports entries need integer handle and numeric "
+            "observed_latency");
+      }
+      Json one = Json::object();
+      if (!report_one_locked(handle, observed->as_double(), &one)) {
+        ++unknown;
+        continue;
+      }
+      ++accepted;
+      const Json* v = one.get("violation");
+      if (v != nullptr && v->as_bool()) {
+        ++violations;
+      }
+    }
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("accepted", accepted);
+    reply.set("unknown", unknown);
+    reply.set("violations", violations);
+    return reply;
+  }
+  std::int64_t handle = 0;
+  const Json* observed = request.get("observed_latency");
+  if (!req_int(request, "handle", &handle) || observed == nullptr ||
+      !observed->is_number()) {
+    return error_reply(
+        "REPORT needs integer handle and numeric observed_latency (or a "
+        "reports array)");
+  }
+  Json reply = Json::object();
+  if (!report_one_locked(handle, observed->as_double(), &reply)) {
+    return error_reply("unknown handle");
+  }
+  reply.set("ok", true);
+  return reply;
+}
+
+std::string Service::health_status_locked(std::vector<std::string>* reasons,
+                                          Json* checks) const {
+  // Thresholds: conservative constants, documented in DESIGN.md §14.
+  // "critical" is reserved for lost durability — the daemon is up but
+  // its contract is broken; everything else degrades.
+  constexpr double kFsyncP99DegradedUs = 25000.0;  // half the ladder
+  constexpr double kQueueDepthPerWorker = 4.0;
+
+  bool critical = false;
+  const auto degrade = [reasons](const std::string& why) {
+    reasons->push_back(why);
+  };
+
+  const std::uint64_t violations = conformance_.total_violations();
+  checks->set("bound_violations", static_cast<std::int64_t>(violations));
+  if (violations > 0) {
+    degrade("bound_violations: " + std::to_string(violations) +
+            " reported latencies exceeded the analytic bound");
+  }
+
+  int faulted = 0;
+  const topo::ChannelGraph& channels = topo_.channels();
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (channels.is_faulted(static_cast<topo::ChannelId>(i))) {
+      ++faulted;
+    }
+  }
+  checks->set("faulted_channels", static_cast<std::int64_t>(faulted));
+  if (faulted > 0) {
+    degrade("faulted_links: " + std::to_string(faulted) +
+            " channels are marked down");
+  }
+
+  if (journal_ != nullptr) {
+    const std::uint64_t failed = journal_->failed_through();
+    checks->set("journal_failed_lsn", static_cast<std::int64_t>(failed));
+    if (failed > 0) {
+      critical = true;
+      degrade("journal_commit_failed: mutations through LSN " +
+              std::to_string(failed) + " could not be made durable");
+    }
+    const obs::Histogram& fsync = registry_.histogram(
+        "wormrt_journal_fsync_us", 0.0, 50000.0, 1000, {});
+    const double p99 = fsync.count() > 0 ? fsync.p99() : 0.0;
+    checks->set("fsync_p99_us", p99);
+    if (p99 > kFsyncP99DegradedUs) {
+      degrade("journal_fsync_p99_high: " + std::to_string(p99) + "us");
+    }
+    const std::uint64_t compaction_failures =
+        registry_.counter("wormrt_journal_compaction_failures_total", {})
+            .value();
+    checks->set("compaction_failures",
+                static_cast<std::int64_t>(compaction_failures));
+    if (compaction_failures > 0) {
+      degrade("journal_compaction_failures: " +
+              std::to_string(compaction_failures));
+    }
+  }
+
+  const util::ThreadPool::Stats pool = util::ThreadPool::shared().stats();
+  checks->set("threadpool_queue_depth",
+              static_cast<std::int64_t>(pool.queue_depth));
+  if (pool.workers > 0 &&
+      static_cast<double>(pool.queue_depth) >
+          kQueueDepthPerWorker * static_cast<double>(pool.workers)) {
+    degrade("dispatch_queue_deep: " + std::to_string(pool.queue_depth) +
+            " tasks queued over " + std::to_string(pool.workers) +
+            " workers");
+  }
+
+  double sheds = 0.0;
+  for (const char* reason : {"overloaded", "line_too_long", "idle_timeout"}) {
+    sheds += static_cast<double>(
+        registry_.counter("wormrt_server_sheds_total", {{"reason", reason}})
+            .value());
+  }
+  checks->set("sheds_total", sheds);
+  // Sheds degrade only while they are RECENT (the last minute of
+  // history): a shed an hour ago must not fail today's readiness probe.
+  const obs::TimeSeries* shed_series = sampler_.find("sheds_total");
+  if (shed_series != nullptr) {
+    const auto window = shed_series->window(sampler_.now_ms() - 60000);
+    if (window.size() >= 2 &&
+        window.back().value > window.front().value) {
+      degrade("connections_shed_recently: " +
+              std::to_string(static_cast<std::int64_t>(
+                  window.back().value - window.front().value)) +
+              " in the last minute");
+    }
+  }
+
+  if (audit_ != nullptr && audit_->failures() > 0) {
+    degrade("audit_write_failures: " + std::to_string(audit_->failures()));
+  }
+
+  if (critical) {
+    return "critical";
+  }
+  return reasons->empty() ? "ok" : "degraded";
+}
+
+Json Service::do_health_locked() {
+  OBS_SPAN("verb_health");
+  metrics_.healths.inc();
+  refresh_mirrors();
+
+  std::vector<std::string> reasons;
+  Json checks = Json::object();
+  const std::string status = health_status_locked(&reasons, &checks);
+
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("status", status);
+  Json reasons_json = Json::array();
+  for (const std::string& r : reasons) {
+    reasons_json.push_back(r);
+  }
+  reply.set("reasons", std::move(reasons_json));
+  checks.set("population", static_cast<std::int64_t>(ctrl_.size()));
+  reply.set("checks", std::move(checks));
+
+  // Conformance: every established stream with its CURRENT bound and
+  // slack, joined with the monitor's observations, tightest slack
+  // first (the wormrt-top "top-N streams by slack" feed), capped.
+  constexpr std::size_t kMaxStreams = 32;
+  std::map<std::int64_t, obs::ConformanceMonitor::Record> observed;
+  for (const obs::ConformanceMonitor::Record& rec : conformance_.records()) {
+    observed[rec.handle] = rec;
+  }
+  const core::IncrementalAnalyzer& engine = ctrl_.engine();
+  struct Row {
+    std::int64_t handle;
+    Time bound;
+    Time period;
+    Time slack;
+    bool flit_valid;
+  };
+  std::vector<Row> rows;
+  rows.reserve(engine.size());
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    const auto id = static_cast<StreamId>(i);
+    const Time bound = engine.bound_at(id);
+    const Time period = engine.streams()[id].period;
+    Row row;
+    row.handle = engine.handle_of(id);
+    row.bound = bound;
+    row.period = period;
+    row.slack = bound == kNoTime ? kNoTime : period - bound;
+    row.flit_valid = bound != kNoTime && bound + 2 <= period;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    // Unbounded streams (kNoTime) carry no claim — sort them last.
+    const Time sa = a.bound == kNoTime
+                        ? std::numeric_limits<Time>::max()
+                        : a.slack;
+    const Time sb = b.bound == kNoTime
+                        ? std::numeric_limits<Time>::max()
+                        : b.slack;
+    if (sa != sb) {
+      return sa < sb;
+    }
+    return a.handle < b.handle;
+  });
+  Json conformance = Json::object();
+  conformance.set("tracked", static_cast<std::int64_t>(conformance_.size()));
+  conformance.set("violations",
+                  static_cast<std::int64_t>(conformance_.total_violations()));
+  Json streams = Json::array();
+  for (std::size_t i = 0; i < rows.size() && i < kMaxStreams; ++i) {
+    const Row& row = rows[i];
+    Json s = Json::object();
+    s.set("handle", row.handle);
+    s.set("bound", row.bound);
+    s.set("period", row.period);
+    s.set("slack", row.slack);
+    s.set("flit_valid", row.flit_valid);
+    const auto it = observed.find(row.handle);
+    if (it != observed.end()) {
+      s.set("max_observed", it->second.max_observed);
+      s.set("reports", static_cast<std::int64_t>(it->second.reports));
+      s.set("violations", static_cast<std::int64_t>(it->second.violations));
+    }
+    streams.push_back(std::move(s));
+  }
+  conformance.set("streams", std::move(streams));
+  reply.set("conformance", std::move(conformance));
+
+  // Channel heatmap summary: the busiest channels by utilization
+  // (sum of length/period of the streams crossing each).
+  constexpr std::size_t kMaxChannels = 16;
+  struct ChannelRow {
+    topo::ChannelId channel;
+    std::size_t streams;
+    double utilization;
+  };
+  std::vector<ChannelRow> busy;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(topo_.num_channels());
+       ++c) {
+    const auto ch = static_cast<topo::ChannelId>(c);
+    const std::vector<core::AdmissionController::Handle> on =
+        engine.handles_on_channel(ch);
+    if (on.empty()) {
+      continue;
+    }
+    double util = 0.0;
+    for (const auto h : on) {
+      const core::MessageStream* s = engine.find(h);
+      if (s != nullptr && s->period > 0) {
+        util += static_cast<double>(s->length) /
+                static_cast<double>(s->period);
+      }
+    }
+    busy.push_back({ch, on.size(), util});
+  }
+  std::sort(busy.begin(), busy.end(),
+            [](const ChannelRow& a, const ChannelRow& b) {
+              if (a.utilization != b.utilization) {
+                return a.utilization > b.utilization;
+              }
+              return a.channel < b.channel;
+            });
+  Json channels_json = Json::object();
+  channels_json.set("count",
+                    static_cast<std::int64_t>(topo_.num_channels()));
+  channels_json.set("occupied", static_cast<std::int64_t>(busy.size()));
+  Json busiest = Json::array();
+  for (std::size_t i = 0; i < busy.size() && i < kMaxChannels; ++i) {
+    const topo::Channel& endpoints = topo_.channels().channel(busy[i].channel);
+    Json c = Json::object();
+    c.set("channel", static_cast<std::int64_t>(busy[i].channel));
+    c.set("src", static_cast<std::int64_t>(endpoints.src));
+    c.set("dst", static_cast<std::int64_t>(endpoints.dst));
+    c.set("streams", static_cast<std::int64_t>(busy[i].streams));
+    c.set("utilization", busy[i].utilization);
+    busiest.push_back(std::move(c));
+  }
+  channels_json.set("busiest", std::move(busiest));
+  reply.set("channels", std::move(channels_json));
+  return reply;
+}
+
+Json Service::do_history_locked(const Json& request) {
+  metrics_.histories.inc();
+  const Json* series_filter = request.get("series");
+  if (series_filter != nullptr && !series_filter->is_array()) {
+    return error_reply("HISTORY series must be an array of names");
+  }
+  std::int64_t since_ms = 0;
+  const Json* window = request.get("window_ms");
+  if (window != nullptr) {
+    if (!window->is_number() || window->as_int() < 0) {
+      return error_reply("HISTORY window_ms must be a non-negative integer");
+    }
+    since_ms = sampler_.now_ms() - window->as_int();
+  }
+  const auto wanted = [series_filter](const std::string& name) {
+    if (series_filter == nullptr) {
+      return true;
+    }
+    for (const Json& n : series_filter->items()) {
+      if (n.is_string() && n.as_string() == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("interval_ms",
+            static_cast<std::int64_t>(sampler_.interval_ms()));
+  reply.set("now_ms", sampler_.now_ms());
+  Json out = Json::array();
+  for (const obs::TimeSeries* ts : sampler_.series()) {
+    if (!wanted(ts->name())) {
+      continue;
+    }
+    Json series = Json::object();
+    series.set("name", ts->name());
+    Json samples = Json::array();
+    for (const obs::TimeSeries::Sample& s : ts->window(since_ms)) {
+      Json pair = Json::array();
+      pair.push_back(s.t_ms);
+      pair.push_back(s.value);
+      samples.push_back(std::move(pair));
+    }
+    series.set("samples", std::move(samples));
+    out.push_back(std::move(series));
+  }
+  reply.set("series", std::move(out));
+  return reply;
+}
+
+void Service::audit_resolved(PendingAck* ack, bool ok) {
+  if (!ack->has_audit || audit_ == nullptr) {
+    return;
+  }
+  if (ack->lsn != 0) {
+    ack->audit.set("lsn", static_cast<std::int64_t>(ack->lsn));
+    ack->audit.set("durable", ok);
+  }
+  audit_->append(std::move(ack->audit));
+  ack->has_audit = false;
 }
 
 std::string Service::prometheus_text() const {
@@ -939,10 +1540,11 @@ std::string Service::stats_text() const {
   if (count > 0) {
     std::snprintf(buf, sizeof buf,
                   "  admission latency (us): mean %.1f  p50 %.1f  p99 %.1f  "
-                  "max %.1f over %llu decisions\n",
+                  "p999 %.1f  max %.1f over %llu decisions\n",
                   metrics_.latency_us.sum() / static_cast<double>(count),
                   metrics_.latency_us.quantile(0.50),
-                  metrics_.latency_us.quantile(0.99), metrics_.latency_us.max(),
+                  metrics_.latency_us.quantile(0.99),
+                  metrics_.latency_us.p999(), metrics_.latency_us.max(),
                   static_cast<unsigned long long>(count));
     out += buf;
     out += metrics_.latency_us.merged().render();

@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "core/admission.hpp"
+#include "obs/conformance.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "svc/audit.hpp"
 #include "svc/journal.hpp"
 #include "svc/json.hpp"
 
@@ -31,6 +34,15 @@
 ///   STATS    {}            -> verb counters, engine work counters,
 ///                             admission-latency percentiles + histogram
 ///   METRICS  {}            -> full registry: Prometheus text + JSON
+///   REPORT   {handle,observed_latency} or {reports:[{...},...]}
+///                          -> feed observed end-to-end latencies into
+///                             the conformance monitor; latency > bound
+///                             on a flit-valid stream is a violation
+///   HEALTH   {}            -> ok|degraded|critical + machine-readable
+///                             reasons, conformance records, channel
+///                             heatmap summary
+///   HISTORY  {series:[..],window_ms:N} -> sampled time series (both
+///                             filters optional)
 ///   BATCH    {requests:[...]} -> dispatches N sub-requests under one
 ///                             lock acquisition; "replies" array in
 ///                             sub-request order.  Mutations in the
@@ -81,6 +93,17 @@ struct ServiceOptions {
   bool group_commit = true;
   /// Fault injection for the journal's I/O paths (tests, fuzzer).
   util::FaultInjector* journal_faults = nullptr;
+  /// History sampler tick; 0 (default) disables the sampler thread —
+  /// tests drive Sampler::sample_once() deterministically instead.
+  int sample_interval_ms = 0;
+  /// Ring capacity of every sampled series.
+  std::size_t history_capacity = 512;
+  /// JSONL audit log of admissions/removals/link mutations; empty =
+  /// off.  Opened by open_state() (which therefore must be called even
+  /// without a state dir when auditing is wanted).
+  std::string audit_path;
+  /// Size-rotate the audit log past this many bytes (to audit_path.1).
+  std::uint64_t audit_max_bytes = 64ull << 20;
 };
 
 class Service {
@@ -136,6 +159,23 @@ class Service {
   /// This service's metric registry (tests scrape it directly).
   obs::Registry& registry() { return registry_; }
 
+  /// The conformance monitor (tests and the flitsim feed report into
+  /// it; the REPORT verb is the socket path).
+  obs::ConformanceMonitor& conformance() { return conformance_; }
+
+  /// The history sampler.  Runs only when
+  /// ServiceOptions::sample_interval_ms > 0; tests call sample_once().
+  obs::Sampler& sampler() { return sampler_; }
+
+  /// The audit log, or nullptr when ServiceOptions::audit_path is
+  /// empty / open_state() has not run.
+  AuditLog* audit() { return audit_.get(); }
+
+  /// fsyncs the audit log and stops the sampler thread — the shutdown
+  /// barrier Server::stop() and the daemon's signal path run so the
+  /// on-disk artifacts are complete before exit.  Idempotent.
+  void flush_observability();
+
   /// The live controller — the recovery tests and the fuzzer's crash
   /// oracle compare engine state (bounds, handles) across a restart.
   const core::AdmissionController& controller() const { return ctrl_; }
@@ -154,6 +194,9 @@ class Service {
     obs::Counter& metrics;
     obs::Counter& link_downs;
     obs::Counter& link_ups;
+    obs::Counter& reports;
+    obs::Counter& healths;
+    obs::Counter& histories;
     obs::Counter& link_evicted;   ///< wormrt_link_streams_total{...}
     obs::Counter& link_rerouted;
     obs::Counter& admitted;   ///< wormrt_admission_decisions_total{...}
@@ -170,6 +213,11 @@ class Service {
     bool staged = false;
     std::uint64_t lsn = 0;
     bool is_add = false;  ///< for the admitted-counter and error label
+    /// Audit record drafted under mu_; written (with the durability
+    /// outcome stamped in) after the covering commit resolves, outside
+    /// the lock.
+    bool has_audit = false;
+    Json audit;
   };
 
   Json do_request(const Json& request);
@@ -193,7 +241,18 @@ class Service {
   Json do_snapshot_locked();
   Json do_stats_locked();
   Json do_metrics_locked();
+  Json do_report_locked(const Json& request);
+  Json do_health_locked();
+  Json do_history_locked(const Json& request);
   Json error_reply(const std::string& what);
+
+  /// One REPORT observation against the engine's current bound (mu_
+  /// held).  False when \p handle is unknown.
+  bool report_one_locked(std::int64_t handle, double observed, Json* out);
+
+  /// Writes \p ack's drafted audit record with the final durability
+  /// outcome (no lock required — AuditLog synchronises itself).
+  void audit_resolved(PendingAck* ack, bool durable);
 
   /// Rolls back every staged mutation above the journal's durable
   /// watermark after a failed commit, newest first (mu_ held).  Called
@@ -208,8 +267,19 @@ class Service {
   bool await_durable(const PendingAck& ack, Json* reply);
 
   /// Mirrors ThreadPool::shared().stats() and the engine's work counters
-  /// into registry_ (call with mu_ held, before any exposition).
+  /// into registry_ (call with mu_ held, before any exposition).  Also
+  /// refreshes the per-channel occupancy/utilization gauges from the
+  /// engine's channel index and purges conformance records of departed
+  /// streams.
   void refresh_mirrors() const;
+
+  /// Registers the sampler's series + probes (constructor only).
+  void setup_sampler();
+
+  /// HEALTH aggregation (mu_ held): fills \p reasons and returns
+  /// "ok" | "degraded" | "critical".
+  std::string health_status_locked(std::vector<std::string>* reasons,
+                                   Json* checks) const;
 
   /// Provenance as a wire object {bound, base_latency, terms, text, ...}.
   static Json provenance_json(const core::BoundProvenance& p);
@@ -239,7 +309,17 @@ class Service {
   /// Declared before metrics_: the cached references point into it.
   mutable obs::Registry registry_;
   Metrics metrics_;
+  /// mutable: refresh_mirrors() (logically const) purges records of
+  /// departed streams at scrape time.
+  mutable obs::ConformanceMonitor conformance_;
+  std::unique_ptr<AuditLog> audit_;
+  /// Channels whose gauges were ever set, so a channel that empties is
+  /// re-zeroed instead of freezing at its last value (refresh_mirrors).
+  mutable std::vector<std::uint8_t> channel_gauge_live_;
   std::atomic<bool> shutdown_{false};
+  /// Declared last: its thread probes the members above, so it must be
+  /// the first thing destroyed.
+  obs::Sampler sampler_;
 };
 
 }  // namespace wormrt::svc

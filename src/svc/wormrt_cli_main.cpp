@@ -37,6 +37,11 @@ int usage(const char* program) {
       "  snapshot\n"
       "  stats\n"
       "  metrics               Prometheus text exposition of the daemon\n"
+      "  health            aggregate health; exit 0 ok, 1 degraded,\n"
+      "                    2 critical, 3 transport failure\n"
+      "  history  [--window-ms N] [--series a,b]   sampled time series\n"
+      "  report   --handle H --latency L   report an observed end-to-end\n"
+      "                    latency for conformance checking\n"
       "  shutdown\n"
       "  raw JSON          send a raw protocol line\n"
       "  batch             read protocol lines from stdin, send them all\n"
@@ -112,6 +117,40 @@ int main(int argc, char** argv) {
     request.set("verb", "STATS");
   } else if (command == "metrics") {
     request.set("verb", "METRICS");
+  } else if (command == "health") {
+    request.set("verb", "HEALTH");
+  } else if (command == "history") {
+    request.set("verb", "HISTORY");
+    if (args.has("window-ms")) {
+      request.set("window_ms", args.get_int("window-ms", 0));
+    }
+    if (args.has("series")) {
+      Json names = Json::array();
+      const std::string list = args.get_string("series", "");
+      std::string name;
+      for (std::size_t i = 0; i <= list.size(); ++i) {
+        if (i == list.size() || list[i] == ',') {
+          if (!name.empty()) {
+            names.push_back(Json(name));
+            name.clear();
+          }
+        } else {
+          name.push_back(list[i]);
+        }
+      }
+      request.set("series", std::move(names));
+    }
+  } else if (command == "report") {
+    for (const char* key : {"handle", "latency"}) {
+      if (!args.has(key)) {
+        std::fprintf(stderr, "%s: report needs --%s\n",
+                     args.program().c_str(), key);
+        return 2;
+      }
+    }
+    request.set("verb", "REPORT");
+    request.set("handle", args.get_int("handle", -1));
+    request.set("observed_latency", args.get_double("latency", 0.0));
   } else if (command == "shutdown") {
     request.set("verb", "SHUTDOWN");
   } else if (command == "raw") {
@@ -142,9 +181,13 @@ int main(int argc, char** argv) {
                  args.program().c_str());
     return 2;
   }
+  // `health` is written for liveness probes: its exit code IS the health
+  // status (0 ok / 1 degraded / 2 critical), so transport failures get a
+  // distinct code 3 instead of the usual 2.
+  const int transport_status = command == "health" ? 3 : 2;
   if (!connected) {
     std::fprintf(stderr, "%s: %s\n", args.program().c_str(), error.c_str());
-    return 2;
+    return transport_status;
   }
 
   if (command == "batch") {
@@ -192,7 +235,7 @@ int main(int argc, char** argv) {
   std::string response;
   if (!client.call_with_retry(line, retry, &response, &error)) {
     std::fprintf(stderr, "%s: %s\n", args.program().c_str(), error.c_str());
-    return 2;
+    return transport_status;
   }
 
   std::string parse_error;
@@ -222,6 +265,16 @@ int main(int argc, char** argv) {
   const Json* ok = reply.get("ok");
   if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
     return 1;
+  }
+  if (command == "health") {
+    const Json* status = reply.get("status");
+    if (status == nullptr || !status->is_string()) {
+      return 3;
+    }
+    if (status->as_string() == "ok") {
+      return 0;
+    }
+    return status->as_string() == "degraded" ? 1 : 2;
   }
   if (want_admitted) {
     const Json* admitted = reply.get("admitted");

@@ -64,7 +64,8 @@ int usage(const char* program) {
       "          [--state-dir DIR] [--compact-every N] [--no-journal-fsync]\n"
       "          [--no-group-commit] [--max-connections N]\n"
       "          [--idle-timeout-ms N] [--buffer-depth N]\n"
-      "          [--no-credit-slack-guard]\n"
+      "          [--no-credit-slack-guard] [--sample-interval-ms N]\n"
+      "          [--audit-log FILE] [--audit-max-bytes N]\n"
       "  --socket PATH  listen on a Unix-domain socket\n"
       "  --port N       listen on 127.0.0.1:N (0 = ephemeral, printed on "
       "READY)\n"
@@ -92,7 +93,13 @@ int usage(const char* program) {
       "one-flit-per-cycle pipelining, see EXPERIMENTS.md)\n"
       "  --no-credit-slack-guard  admit zero-slack streams (U+2 > T) "
       "even though their bounds do not survive credit flow control "
-      "(paper-table reproduction mode)\n",
+      "(paper-table reproduction mode)\n"
+      "  --sample-interval-ms N  history sampler period for the HISTORY "
+      "verb (0 = off, default 1000)\n"
+      "  --audit-log FILE  append a JSONL audit record per admission "
+      "decision, removal, and link mutation\n"
+      "  --audit-max-bytes N  rotate the audit log to FILE.1 past N "
+      "bytes (default 64 MiB)\n",
       program);
   return 2;
 }
@@ -144,6 +151,11 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("compact-every", 256));
   service_options.journal_fsync = !args.has("no-journal-fsync");
   service_options.group_commit = !args.has("no-group-commit");
+  service_options.sample_interval_ms =
+      static_cast<int>(args.get_int("sample-interval-ms", 1000));
+  service_options.audit_path = args.get_string("audit-log", "");
+  service_options.audit_max_bytes =
+      static_cast<std::uint64_t>(args.get_int("audit-max-bytes", 64 << 20));
 
   topo::Mesh mesh(cols, rows);  // mutable: LINK_DOWN/LINK_UP drive faults
   const route::XYRouting routing;
@@ -202,16 +214,15 @@ int main(int argc, char** argv) {
 
   server.stop();
   if (!trace_path.empty()) {
-    FILE* f = std::fopen(trace_path.c_str(), "w");
-    if (f != nullptr) {
-      const std::string json = obs::Tracer::export_json();
-      std::fwrite(json.data(), 1, json.size(), f);
-      std::fclose(f);
+    // Atomic tmp+rename write: a reader racing the shutdown (or a crash
+    // mid-write) sees either no file or a complete, parseable trace.
+    std::string trace_error;
+    if (obs::Tracer::export_json_to_file(trace_path, &trace_error)) {
       std::fprintf(stderr, "wormrtd: wrote %zu trace events to %s\n",
                    obs::Tracer::event_count(), trace_path.c_str());
     } else {
-      std::fprintf(stderr, "wormrtd: cannot write trace to %s\n",
-                   trace_path.c_str());
+      std::fprintf(stderr, "wormrtd: cannot write trace to %s: %s\n",
+                   trace_path.c_str(), trace_error.c_str());
     }
   }
   std::fputs(service.stats_text().c_str(), stderr);

@@ -31,6 +31,12 @@ class Histogram {
   /// same bucket, so the error is bounded by one bucket width.
   double quantile(double q) const;
 
+  /// Tail shorthands.  p999 only resolves beyond p99 when the bucket
+  /// ladder is fine enough — the µs-scale service families use widths
+  /// of 10–50µs for exactly this (DESIGN.md §14).
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+
   std::size_t total() const { return total_; }
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }

@@ -1,0 +1,151 @@
+// ConformanceMonitor: the runtime violation detector behind the REPORT
+// verb.  The detection proof runs both ways — observed latencies above
+// the analytic bound on flit-valid streams MUST fire, and conforming or
+// out-of-domain observations MUST NOT — because a monitor that
+// over-fires poisons HEALTH just as surely as one that under-fires
+// misses real deadline misses.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/conformance.hpp"
+#include "obs/metrics.hpp"
+
+namespace wormrt::obs {
+namespace {
+
+class ConformanceTest : public ::testing::Test {
+ protected:
+  Registry registry_;
+  ConformanceMonitor monitor_{registry_};
+};
+
+TEST_F(ConformanceTest, LatencyAboveBoundOnFlitValidStreamFires) {
+  // bound 20, period 100: flit-valid (20 + 2 <= 100).
+  const auto ok = monitor_.report(7, 20.0, 20.0, 100.0, true);
+  EXPECT_FALSE(ok.violation);
+  EXPECT_EQ(ok.violations, 0u);
+
+  const auto bad = monitor_.report(7, 20.5, 20.0, 100.0, true);
+  EXPECT_TRUE(bad.violation);
+  EXPECT_EQ(bad.violations, 1u);
+  EXPECT_DOUBLE_EQ(bad.max_observed, 20.5);
+  EXPECT_EQ(monitor_.total_violations(), 1u);
+}
+
+TEST_F(ConformanceTest, LatencyAtOrBelowBoundNeverFires) {
+  for (double observed : {0.0, 1.0, 19.9, 20.0}) {
+    const auto outcome = monitor_.report(1, observed, 20.0, 100.0, true);
+    EXPECT_FALSE(outcome.violation) << "observed " << observed;
+  }
+  EXPECT_EQ(monitor_.total_violations(), 0u);
+  ASSERT_EQ(monitor_.records().size(), 1u);
+  EXPECT_EQ(monitor_.records()[0].violations, 0u);
+  EXPECT_DOUBLE_EQ(monitor_.records()[0].max_observed, 20.0);
+  EXPECT_EQ(monitor_.records()[0].reports, 4u);
+}
+
+TEST_F(ConformanceTest, FlitInvalidStreamsAreExcludedFromTheClaim) {
+  // The analytic bound only transfers to streams with credit
+  // round-trip slack (U+2 <= T); outside that domain an excursion is
+  // a documented fidelity gap, not a violation (DESIGN.md §12).
+  const auto outcome = monitor_.report(3, 500.0, 20.0, 21.0, false);
+  EXPECT_FALSE(outcome.violation);
+  EXPECT_EQ(monitor_.total_violations(), 0u);
+  // The observation is still recorded for HEALTH's max_observed column.
+  ASSERT_EQ(monitor_.records().size(), 1u);
+  EXPECT_DOUBLE_EQ(monitor_.records()[0].max_observed, 500.0);
+}
+
+TEST_F(ConformanceTest, ViolationsAccumulatePerHandleAndInAggregate) {
+  monitor_.report(1, 30.0, 20.0, 100.0, true);
+  monitor_.report(1, 40.0, 20.0, 100.0, true);
+  monitor_.report(2, 99.0, 50.0, 200.0, true);
+  monitor_.report(2, 10.0, 50.0, 200.0, true);
+  EXPECT_EQ(monitor_.total_violations(), 3u);
+
+  // Per-handle children materialize lazily on first violation.
+  Counter& h1 =
+      registry_.counter("wormrt_bound_violations_total", {{"handle", "1"}});
+  Counter& h2 =
+      registry_.counter("wormrt_bound_violations_total", {{"handle", "2"}});
+  EXPECT_DOUBLE_EQ(h1.value(), 2.0);
+  EXPECT_DOUBLE_EQ(h2.value(), 1.0);
+
+  for (const ConformanceMonitor::Record& rec : monitor_.records()) {
+    if (rec.handle == 1) {
+      EXPECT_EQ(rec.violations, 2u);
+      EXPECT_DOUBLE_EQ(rec.max_observed, 40.0);
+    } else {
+      EXPECT_EQ(rec.violations, 1u);
+      EXPECT_DOUBLE_EQ(rec.max_observed, 99.0);
+    }
+  }
+}
+
+TEST_F(ConformanceTest, BoundIsTakenFreshPerReport) {
+  // A later mutation's dirty closure can recompute this stream's bound;
+  // the caller passes the engine's CURRENT bound, and the monitor must
+  // judge against it, not against anything remembered.
+  EXPECT_FALSE(monitor_.report(5, 25.0, 30.0, 100.0, true).violation);
+  // Bound tightened to 20 after a recompute: the same latency now
+  // violates.
+  EXPECT_TRUE(monitor_.report(5, 25.0, 20.0, 100.0, true).violation);
+}
+
+TEST_F(ConformanceTest, RetainPurgesRemovedStreams) {
+  monitor_.report(1, 5.0, 20.0, 100.0, true);
+  monitor_.report(2, 5.0, 20.0, 100.0, true);
+  monitor_.report(3, 5.0, 20.0, 100.0, true);
+  EXPECT_EQ(monitor_.size(), 3u);
+
+  monitor_.retain({1, 3});
+  EXPECT_EQ(monitor_.size(), 2u);
+  for (const ConformanceMonitor::Record& rec : monitor_.records()) {
+    EXPECT_NE(rec.handle, 2);
+  }
+
+  monitor_.retain({});
+  EXPECT_EQ(monitor_.size(), 0u);
+}
+
+TEST_F(ConformanceTest, UntrackDropsOneHandle) {
+  monitor_.report(1, 5.0, 20.0, 100.0, true);
+  monitor_.report(2, 5.0, 20.0, 100.0, true);
+  monitor_.untrack(1);
+  ASSERT_EQ(monitor_.size(), 1u);
+  EXPECT_EQ(monitor_.records()[0].handle, 2);
+}
+
+TEST_F(ConformanceTest, AggregateCounterSurvivesRecordPurge) {
+  // The violation history is a counter, not a gauge: removing the
+  // offending stream must not launder the evidence out of HEALTH.
+  monitor_.report(9, 99.0, 20.0, 100.0, true);
+  EXPECT_EQ(monitor_.total_violations(), 1u);
+  monitor_.retain({});
+  EXPECT_EQ(monitor_.size(), 0u);
+  EXPECT_EQ(monitor_.total_violations(), 1u);
+}
+
+TEST_F(ConformanceTest, SweepOnValidityDomainNeverFires) {
+  // Detection-proof negative half, sweep form: a grid of conforming
+  // observations across many streams — including exactly-at-bound — is
+  // violation-free.
+  for (std::int64_t handle = 0; handle < 50; ++handle) {
+    const double bound = 10.0 + static_cast<double>(handle);
+    for (int step = 0; step < 10; ++step) {
+      const double observed = bound * static_cast<double>(step) / 9.0;
+      const auto outcome =
+          monitor_.report(handle, observed, bound, bound + 2.0, true);
+      EXPECT_FALSE(outcome.violation)
+          << "handle " << handle << " observed " << observed;
+    }
+  }
+  EXPECT_EQ(monitor_.total_violations(), 0u);
+  EXPECT_EQ(monitor_.size(), 50u);
+}
+
+}  // namespace
+}  // namespace wormrt::obs

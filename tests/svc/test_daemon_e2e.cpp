@@ -11,6 +11,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -908,6 +909,285 @@ TEST(SignalDuringRecv, CallsSurviveASignalStorm) {
   client.close();
   server.stop();
   ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+}
+
+// --- observability verbs over the wire -------------------------------
+
+std::string read_file(const std::string& path) {
+  std::string text;
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return text;
+  }
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    text.append(chunk, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+std::vector<Json> parse_jsonl(const std::string& text) {
+  std::vector<Json> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) {
+      continue;
+    }
+    std::string error;
+    Json parsed = Json::parse(line, &error);
+    EXPECT_TRUE(error.empty()) << error << " in: " << line;
+    out.push_back(std::move(parsed));
+  }
+  return out;
+}
+
+TEST_F(DaemonE2E, ReportHealthHistoryServeOverTheSocket) {
+  std::string out;
+  ASSERT_EQ(cli("request --src 0 --dst 5 --priority 2 --period 500 "
+                "--length 20 --deadline 2500",
+                &out),
+            0);
+  std::string parse_error;
+  const std::int64_t handle =
+      Json::parse(first_line(out), &parse_error).get("handle")->as_int();
+  ASSERT_TRUE(parse_error.empty()) << parse_error;
+
+  // Conforming report: ok, no violation, healthy daemon, exit 0.
+  const Json report = cli_json("report --handle " + std::to_string(handle) +
+                               " --latency 1");
+  EXPECT_TRUE(report.get("ok")->as_bool());
+  EXPECT_FALSE(report.get("violation")->as_bool());
+  int status = 0;
+  const Json health = cli_json("health", &status);
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(health.get("status")->as_string(), "ok");
+
+  // BATCHed REPORT: the array form inside the daemon's BATCH verb, the
+  // one-round-trip path a measurement harness uses.
+  const Json batched = cli_json(
+      "raw "
+      "'{\"verb\":\"BATCH\",\"requests\":[{\"verb\":\"REPORT\",\"reports\":"
+      "[{\"handle\":" +
+      std::to_string(handle) +
+      ",\"observed_latency\":2},{\"handle\":9999,\"observed_latency\":2}]},"
+      "{\"verb\":\"HEALTH\"}]}'");
+  ASSERT_TRUE(batched.get("ok")->as_bool());
+  const auto& replies = batched.get("replies")->items();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].get("accepted")->as_int(), 1);
+  EXPECT_EQ(replies[0].get("unknown")->as_int(), 1);
+  EXPECT_EQ(replies[1].get("status")->as_string(), "ok");
+
+  // HISTORY serves the sampler's rings (the daemon default is 1s ticks
+  // plus one immediate startup sample, so samples exist right away).
+  const Json history = cli_json("history --series population,requests_total");
+  ASSERT_TRUE(history.get("ok")->as_bool());
+  ASSERT_EQ(history.get("series")->items().size(), 2u);
+  for (const Json& s : history.get("series")->items()) {
+    EXPECT_FALSE(s.get("samples")->items().empty());
+  }
+}
+
+TEST_F(DaemonE2E, CliHealthExitCodeMirrorsDegradedStatus) {
+  std::string out;
+  ASSERT_EQ(cli("request --src 0 --dst 5 --priority 2 --period 500 "
+                "--length 20 --deadline 2500",
+                &out),
+            0);
+  std::string parse_error;
+  const std::int64_t handle =
+      Json::parse(first_line(out), &parse_error).get("handle")->as_int();
+
+  // A reported latency far above the bound flips the daemon to
+  // degraded; the cli's exit code mirrors it for liveness probes.
+  EXPECT_EQ(cli("report --handle " + std::to_string(handle) +
+                    " --latency 90000",
+                &out),
+            0);
+  int status = 0;
+  const Json health = cli_json("health", &status);
+  EXPECT_EQ(status, 1);
+  EXPECT_EQ(health.get("status")->as_string(), "degraded");
+  bool saw_reason = false;
+  for (const Json& r : health.get("reasons")->items()) {
+    saw_reason |= r.as_string().find("bound_violations") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_reason);
+
+  // Transport failure is exit 3 for `health` (0/1/2 mean statuses).
+  EXPECT_EQ(run(std::string(WORMRT_CLI_BIN) +
+                    " --socket /tmp/wormrt-no-such-daemon.sock health",
+                &out),
+            3);
+}
+
+TEST(DaemonObs, AuditLogAgreesWithJournalReplay) {
+  const std::string tag = std::to_string(::getpid());
+  const std::string socket_path = "/tmp/wormrtd-audit-" + tag + ".sock";
+  const std::string state_dir = "/tmp/wormrtd-audit-state-" + tag;
+  const std::string audit_path = "/tmp/wormrtd-audit-" + tag + ".jsonl";
+  std::filesystem::remove_all(state_dir);
+  ::unlink(socket_path.c_str());
+  ::unlink(audit_path.c_str());
+
+  Daemon daemon = spawn_daemon({WORMRTD_BIN, "--socket", socket_path,
+                                "--mesh", "8", "--threads", "1",
+                                "--state-dir", state_dir, "--audit-log",
+                                audit_path});
+  daemon.wait_ready();
+
+  svc::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect_unix(socket_path, &error)) << error;
+  util::Rng rng(4242);
+  std::vector<std::int64_t> live;
+  for (int i = 0; i < 60; ++i) {
+    std::string reply_line, parse_error;
+    if (!live.empty() && rng.bernoulli(0.35)) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      Json req = Json::object();
+      req.set("verb", "REMOVE");
+      req.set("handle", live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      ASSERT_TRUE(client.call(req.dump(), &reply_line, &error)) << error;
+      continue;
+    }
+    const int src = static_cast<int>(rng.uniform_int(0, 63));
+    const int dst = (src + static_cast<int>(rng.uniform_int(1, 63))) % 64;
+    Json req = Json::object();
+    req.set("verb", "REQUEST");
+    req.set("src", std::int64_t{src});
+    req.set("dst", std::int64_t{dst});
+    req.set("priority", rng.uniform_int(1, 4));
+    req.set("period", rng.uniform_int(200, 600));
+    req.set("length", rng.uniform_int(1, 16));
+    req.set("deadline", rng.uniform_int(100, 2000));
+    ASSERT_TRUE(client.call(req.dump(), &reply_line, &error)) << error;
+    const Json reply = Json::parse(reply_line, &parse_error);
+    ASSERT_TRUE(parse_error.empty()) << parse_error;
+    ASSERT_TRUE(reply.get("ok")->as_bool()) << reply_line;
+    if (reply.get("admitted")->as_bool()) {
+      live.push_back(reply.get("handle")->as_int());
+    }
+  }
+  client.close();
+  ASSERT_EQ(::kill(daemon.pid, SIGTERM), 0);
+  daemon.reap();
+
+  // Replay the audit log: admitted requests minus removals must equal
+  // the set the journal recovers — the audit trail and the WAL are two
+  // views of one history.
+  const std::vector<Json> records = parse_jsonl(read_file(audit_path));
+  ASSERT_FALSE(records.empty());
+  std::vector<std::int64_t> audit_live;
+  std::int64_t last_lsn = 0;
+  for (const Json& rec : records) {
+    const std::string event = rec.get("event")->as_string();
+    if (event == "request" && rec.get("admitted")->as_bool()) {
+      audit_live.push_back(rec.get("handle")->as_int());
+      // Durable admissions carry the covering journal LSN, in order.
+      const Json* lsn = rec.get("lsn");
+      ASSERT_NE(lsn, nullptr);
+      EXPECT_GT(lsn->as_int(), last_lsn);
+      last_lsn = lsn->as_int();
+      EXPECT_TRUE(rec.get("durable")->as_bool());
+    } else if (event == "remove") {
+      audit_live.erase(std::remove(audit_live.begin(), audit_live.end(),
+                                   rec.get("handle")->as_int()),
+                       audit_live.end());
+    }
+  }
+  std::sort(audit_live.begin(), audit_live.end());
+  std::sort(live.begin(), live.end());
+  EXPECT_EQ(audit_live, live);
+
+  // The journal's view: recover in-process and compare populations.
+  topo::Mesh mesh(8, 8);
+  route::XYRouting routing;
+  core::AnalysisConfig daemon_defaults;
+  daemon_defaults.credit_slack_guard = true;
+  svc::ServiceOptions options;
+  options.state_dir = state_dir;
+  svc::Service recovered(mesh, routing, daemon_defaults, options);
+  ASSERT_TRUE(recovered.open_state(&error)) << error;
+  EXPECT_EQ(recovered.population(), audit_live.size());
+  for (const std::int64_t handle : audit_live) {
+    Json q = Json::object();
+    q.set("verb", "QUERY");
+    q.set("handle", handle);
+    std::string parse_error;
+    const Json reply =
+        Json::parse(recovered.handle_line(q.dump()), &parse_error);
+    ASSERT_TRUE(parse_error.empty()) << parse_error;
+    EXPECT_TRUE(reply.get("ok")->as_bool())
+        << "audit-live handle " << handle << " missing after replay";
+  }
+
+  std::filesystem::remove_all(state_dir);
+  ::unlink(audit_path.c_str());
+  ::unlink((audit_path + ".1").c_str());
+}
+
+TEST(DaemonObs, SigtermFlushesParseableTraceAndAudit) {
+  // Shutdown-race regression: SIGTERM (not the SHUTDOWN verb) must
+  // still produce a complete, parseable Chrome trace (tmp+rename) and
+  // a flushed audit log — no torn JSON from a racing writer.
+  const std::string tag = std::to_string(::getpid());
+  const std::string socket_path = "/tmp/wormrtd-sigterm-" + tag + ".sock";
+  const std::string trace_path = "/tmp/wormrtd-sigterm-" + tag + ".trace";
+  const std::string audit_path = "/tmp/wormrtd-sigterm-" + tag + ".jsonl";
+  ::unlink(socket_path.c_str());
+  ::unlink(trace_path.c_str());
+  ::unlink(audit_path.c_str());
+
+  Daemon daemon = spawn_daemon({WORMRTD_BIN, "--socket", socket_path,
+                                "--mesh", "8", "--threads", "1", "--trace",
+                                trace_path, "--audit-log", audit_path});
+  daemon.wait_ready();
+
+  svc::Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect_unix(socket_path, &error)) << error;
+  for (int i = 0; i < 8; ++i) {
+    Json req = Json::object();
+    req.set("verb", "REQUEST");
+    req.set("src", std::int64_t{i});
+    req.set("dst", std::int64_t{i + 16});
+    req.set("priority", std::int64_t{2});
+    req.set("period", std::int64_t{300});
+    req.set("length", std::int64_t{10});
+    req.set("deadline", std::int64_t{1500});
+    std::string reply_line;
+    ASSERT_TRUE(client.call(req.dump(), &reply_line, &error)) << error;
+  }
+  client.close();
+  ASSERT_EQ(::kill(daemon.pid, SIGTERM), 0);
+  daemon.reap();
+
+  // The trace parses whole — an interrupted plain fwrite would leave a
+  // truncated file that fails right here.
+  std::string parse_error;
+  const Json trace = Json::parse(read_file(trace_path), &parse_error);
+  ASSERT_TRUE(parse_error.empty()) << parse_error;
+  ASSERT_TRUE(trace.get("traceEvents")->is_array());
+  EXPECT_FALSE(trace.get("traceEvents")->items().empty());
+
+  // Every audit line parses, and all 8 admissions are present.
+  const std::vector<Json> records = parse_jsonl(read_file(audit_path));
+  EXPECT_EQ(records.size(), 8u);
+
+  ::unlink(socket_path.c_str());
+  ::unlink(trace_path.c_str());
+  ::unlink(audit_path.c_str());
 }
 
 }  // namespace

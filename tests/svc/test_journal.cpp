@@ -487,8 +487,9 @@ TEST_F(JournalTest, ServiceFailsAdmissionWhenTheJournalCannotAck) {
   EXPECT_EQ(service.population(), 1u);
 
   // Recovery agrees: only the acknowledged admission comes back.
-  Service recovered(mesh, routing, {},
-                    ServiceOptions{dir_, 256, true, true, nullptr});
+  ServiceOptions recovery_options;
+  recovery_options.state_dir = dir_;
+  Service recovered(mesh, routing, {}, recovery_options);
   ASSERT_TRUE(recovered.open_state(&error)) << error;
   EXPECT_EQ(recovered.population(), 1u);
 }
@@ -697,8 +698,9 @@ TEST_F(JournalTest, ServiceRollsBackEveryConcurrentAdmissionOnFsyncFailure) {
   EXPECT_EQ(service.population(), 1u);
 
   // Recovery sees exactly the acknowledged history.
-  Service recovered(mesh, routing, {},
-                    ServiceOptions{dir_, 256, true, true, nullptr});
+  ServiceOptions recovery_options;
+  recovery_options.state_dir = dir_;
+  Service recovered(mesh, routing, {}, recovery_options);
   ASSERT_TRUE(recovered.open_state(&error)) << error;
   EXPECT_EQ(recovered.population(), 1u);
 }

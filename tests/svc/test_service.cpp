@@ -278,6 +278,10 @@ TEST_F(ServiceTest, HostileLinesNeverEscapeAsExceptions) {
       "\x01\x02\xff\xfe binary noise",     // binary garbage
       R"({"verb":"REQUEST","src":9223372036854775808})",  // overflow
       std::string(1 << 16, 'x'),           // oversized junk
+      R"({"verb":"REPORT","handle":true,"observed_latency":[]})",
+      R"({"verb":"REPORT","reports":[{"handle":1e400}]})",  // inf handle
+      R"({"verb":"HISTORY","window_ms":-9223372036854775807})",
+      R"({"verb":"HISTORY","series":{"a":1}})",
   };
   std::string deep(2000, '[');             // parser recursion stress
   deep += std::string(2000, ']');

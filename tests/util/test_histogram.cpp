@@ -72,7 +72,7 @@ TEST(HistogramQuantile, MatchesSortedVectorOracleWithinOneBucket) {
       samples.push_back(x);
     }
 
-    for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
       const double want = oracle_quantile(samples, q, lo, hi);
       const double got = h.quantile(q);
       EXPECT_GE(got, lo) << "round " << round << " q " << q;
@@ -82,6 +82,24 @@ TEST(HistogramQuantile, MatchesSortedVectorOracleWithinOneBucket) {
           << " hi " << hi << " buckets " << buckets;
     }
   }
+}
+
+TEST(HistogramQuantile, P999ResolvesTailAboveP99WithFineBuckets) {
+  // 1000 samples at 10 plus a 1%-sized tail at 4990: with 10-unit
+  // buckets the p999 estimate must land in the tail's bucket while p99
+  // stays at the body — the reason the service µs families use fine
+  // ladders.
+  Histogram h(0.0, 5000.0, 500);
+  for (int i = 0; i < 1000; ++i) {
+    h.add(10.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.add(4990.0);
+  }
+  EXPECT_DOUBLE_EQ(h.p99(), h.quantile(0.99));
+  EXPECT_DOUBLE_EQ(h.p999(), h.quantile(0.999));
+  EXPECT_LE(h.p99(), 20.0);  // body bucket [10,20): edge interpolation
+  EXPECT_GE(h.p999(), 4980.0);
 }
 
 TEST(HistogramMerge, EquivalentToFeedingOneHistogram) {
@@ -115,7 +133,7 @@ TEST(HistogramMerge, EquivalentToFeedingOneHistogram) {
       EXPECT_EQ(merged.bucket(b), all.bucket(b))
           << "round " << round << " bucket " << b;
     }
-    for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+    for (const double q : {0.0, 0.5, 0.95, 0.999, 1.0}) {
       EXPECT_DOUBLE_EQ(merged.quantile(q), all.quantile(q))
           << "round " << round << " q " << q;
     }
