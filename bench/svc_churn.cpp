@@ -42,6 +42,7 @@
 #include "core/workload.hpp"
 #include "route/dor.hpp"
 #include "svc/json.hpp"
+#include "svc/replication.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
 #include "topo/mesh.hpp"
@@ -417,6 +418,192 @@ Json to_json(const SocketMode& mode, int clients, const SocketResult& r) {
   return j;
 }
 
+struct ReplResult {
+  double throughput_rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double lag_p50_records = 0;   // primary durable - follower durable,
+  double lag_p99_records = 0;   // sampled after every mutation ack
+  double lag_max_records = 0;
+  double catchup_ms = 0;        // post-churn convergence to zero lag
+  double promote_us = 0;        // PROMOTE verb on the follower
+  double failover_us = 0;       // dead primary -> first write acked by
+                                // the promoted follower
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+};
+
+/// Primary + follower in one process over a real Unix socket: churn
+/// against the primary while the follower replicates, sampling the
+/// journal-record lag after every ack; then stop the primary cold and
+/// time PROMOTE -> first write on the survivor.  `sync` withholds each
+/// client ack until the follower reported the record durable.
+ReplResult run_replication(topo::Mesh& primary_mesh, topo::Mesh& follower_mesh,
+                           const route::XYRouting& routing,
+                           const core::StreamSet& streams, int ops,
+                           bool sync) {
+  const std::string tag = std::to_string(::getpid()) +
+                          (sync ? "-sync" : "-async");
+  const std::string p_dir = "/tmp/wormrt-repl-bench-p-" + tag;
+  const std::string f_dir = "/tmp/wormrt-repl-bench-f-" + tag;
+  std::filesystem::remove_all(p_dir);
+  std::filesystem::remove_all(f_dir);
+
+  svc::ServiceOptions p_options;
+  p_options.state_dir = p_dir;
+  p_options.sync_replication = sync;
+  svc::Service primary(primary_mesh, routing, {}, p_options);
+  std::string error;
+  ReplResult r;
+  if (!primary.open_state(&error)) {
+    std::fprintf(stderr, "svc_churn: %s\n", error.c_str());
+    ++r.errors;
+    return r;
+  }
+  char path[128];
+  std::snprintf(path, sizeof path, "/tmp/wormrt-repl-bench-%s.sock",
+                tag.c_str());
+  svc::ServerConfig server_config;
+  server_config.unix_path = path;
+  svc::Server server(primary, server_config);
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "svc_churn: %s\n", error.c_str());
+    ++r.errors;
+    return r;
+  }
+
+  svc::ServiceOptions f_options;
+  f_options.state_dir = f_dir;
+  f_options.follower = true;
+  svc::Service follower(follower_mesh, routing, {}, f_options);
+  if (!follower.open_state(&error)) {
+    std::fprintf(stderr, "svc_churn: %s\n", error.c_str());
+    ++r.errors;
+    return r;
+  }
+  svc::ReplicaConfig replica_config;
+  replica_config.endpoint = std::string("unix:") + path;
+  replica_config.follower_id = "bench";
+  replica_config.fingerprint = follower_mesh.fingerprint();
+  svc::ReplicaSession replica(follower, replica_config);
+  follower.set_promote_hook([&replica] { replica.stop(); });
+  replica.start();
+
+  svc::Client client;
+  if (!client.connect_unix(path, &error)) {
+    ++r.errors;
+    return r;
+  }
+  std::vector<std::pair<const core::MessageStream*, std::int64_t>> slots;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    slots.emplace_back(&streams[static_cast<StreamId>(i)], -1);
+  }
+  util::SampleSet latency, lag;
+  std::size_t idx = 0;
+  const double t0 = now_us();
+  for (int op = 0; op < ops; ++op) {
+    auto& [s, handle] = slots[idx];
+    idx = (idx + 1) % slots.size();
+    std::string response;
+    if (handle >= 0) {
+      Json rm = Json::object();
+      rm.set("verb", "REMOVE");
+      rm.set("handle", handle);
+      if (!client.call(rm.dump(), &response, &error)) {
+        ++r.errors;
+        break;
+      }
+      handle = -1;
+    }
+    const double c0 = now_us();
+    if (!client.call(request_json(*s).dump(), &response, &error)) {
+      ++r.errors;
+      break;
+    }
+    latency.add(now_us() - c0);
+    ++r.calls;
+    const std::uint64_t p_durable = primary.durable_lsn();
+    const std::uint64_t f_durable = follower.durable_lsn();
+    lag.add(p_durable > f_durable
+                ? static_cast<double>(p_durable - f_durable)
+                : 0.0);
+    std::string parse_error;
+    const Json reply = Json::parse(response, &parse_error);
+    const Json* h =
+        parse_error.empty() && reply.is_object() ? reply.get("handle") : nullptr;
+    if (h != nullptr) {
+      handle = h->as_int();
+    }
+  }
+  const double elapsed_us = now_us() - t0;
+  client.close();
+
+  // Convergence: how long until the follower has everything.
+  const double k0 = now_us();
+  while (follower.durable_lsn() < primary.durable_lsn() &&
+         now_us() - k0 < 5e6) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  r.catchup_ms = (now_us() - k0) / 1000.0;
+
+  // Failover: the primary disappears mid-flight (no drain), the
+  // follower is promoted, and the clock stops at its first acked write.
+  server.stop();
+  const double f0 = now_us();
+  Json promote = Json::object();
+  promote.set("verb", "PROMOTE");
+  std::string parse_error;
+  const Json promoted =
+      Json::parse(follower.handle_line(promote.dump()), &parse_error);
+  r.promote_us = now_us() - f0;
+  const Json* promote_ok =
+      parse_error.empty() ? promoted.get("ok") : nullptr;
+  if (promote_ok == nullptr || !promote_ok->as_bool()) {
+    ++r.errors;
+  } else {
+    const Json first = Json::parse(
+        follower.handle_line(request_json(*slots[0].first).dump()),
+        &parse_error);
+    const Json* ok = parse_error.empty() ? first.get("ok") : nullptr;
+    if (ok == nullptr || !ok->as_bool()) {
+      ++r.errors;
+    }
+    r.failover_us = now_us() - f0;
+  }
+  replica.stop();
+
+  if (!latency.empty()) {
+    r.throughput_rps = static_cast<double>(r.calls) / (elapsed_us * 1e-6);
+    r.p50_us = latency.percentile(50);
+    r.p99_us = latency.percentile(99);
+  }
+  if (!lag.empty()) {
+    r.lag_p50_records = lag.percentile(50);
+    r.lag_p99_records = lag.percentile(99);
+    r.lag_max_records = lag.percentile(100);
+  }
+  std::filesystem::remove_all(p_dir);
+  std::filesystem::remove_all(f_dir);
+  ::unlink(path);
+  return r;
+}
+
+Json to_json(const ReplResult& r) {
+  Json j = Json::object();
+  j.set("throughput_rps", r.throughput_rps);
+  j.set("p50_us", r.p50_us);
+  j.set("p99_us", r.p99_us);
+  j.set("lag_p50_records", r.lag_p50_records);
+  j.set("lag_p99_records", r.lag_p99_records);
+  j.set("lag_max_records", r.lag_max_records);
+  j.set("catchup_ms", r.catchup_ms);
+  j.set("promote_us", r.promote_us);
+  j.set("failover_us", r.failover_us);
+  j.set("calls", static_cast<std::int64_t>(r.calls));
+  j.set("errors", static_cast<std::int64_t>(r.errors));
+  return j;
+}
+
 Json to_json(const ChurnResult& r) {
   Json j = Json::object();
   j.set("decisions_per_sec", r.decisions_per_sec);
@@ -555,6 +742,28 @@ int main(int argc, char** argv) {
               "%.2f%%\n",
               obs_overhead_pct);
 
+  // Replication: a follower replays the primary's journal while the
+  // churn runs; then the primary dies and the survivor takes over.  The
+  // follower mutates its own fabric instance during replay, so it gets
+  // a private mesh.
+  topo::Mesh follower_mesh(side, side);
+  const int repl_ops = std::min(ops, 600);
+  const ReplResult repl_async = run_replication(
+      mesh, follower_mesh, routing, streams, repl_ops, /*sync=*/false);
+  std::printf("  replication async:  %8.0f req/s  p50 %8.1f us  p99 %8.1f us"
+              "  lag p99 %.0f rec  failover %.0f us\n",
+              repl_async.throughput_rps, repl_async.p50_us, repl_async.p99_us,
+              repl_async.lag_p99_records, repl_async.failover_us);
+  topo::Mesh sync_primary_mesh(side, side);
+  topo::Mesh sync_follower_mesh(side, side);
+  const ReplResult repl_sync =
+      run_replication(sync_primary_mesh, sync_follower_mesh, routing, streams,
+                      repl_ops, /*sync=*/true);
+  std::printf("  replication sync:   %8.0f req/s  p50 %8.1f us  p99 %8.1f us"
+              "  lag p99 %.0f rec  failover %.0f us\n",
+              repl_sync.throughput_rps, repl_sync.p50_us, repl_sync.p99_us,
+              repl_sync.lag_p99_records, repl_sync.failover_us);
+
   const double durable_speedup =
       durable_serial.throughput_rps > 0
           ? durable_pipelined.throughput_rps / durable_serial.throughput_rps
@@ -587,6 +796,11 @@ int main(int argc, char** argv) {
   doc.set("socket_obs_pipelined",
           to_json(obs_mode, pipeline_clients, obs_best));
   doc.set("obs_overhead_pct", obs_overhead_pct);
+  Json repl = Json::object();
+  repl.set("ops", std::int64_t{repl_ops});
+  repl.set("async", to_json(repl_async));
+  repl.set("sync", to_json(repl_sync));
+  doc.set("replication", std::move(repl));
 
   std::ofstream out(out_path);
   out << doc.dump() << "\n";
@@ -613,7 +827,8 @@ int main(int argc, char** argv) {
 
   const std::uint64_t total_errors = socket.errors + durable_serial.errors +
                                      durable_pipelined.errors +
-                                     nofsync_pipelined.errors;
+                                     nofsync_pipelined.errors +
+                                     repl_async.errors + repl_sync.errors;
   if (total_errors != 0) {
     return 1;
   }

@@ -1,0 +1,247 @@
+#!/usr/bin/env bash
+# Replication smoke test: a primary/follower wormrtd pair survives
+# kill-the-primary failover with a provably identical decision history.
+#
+#   usage: scripts/replication_smoke.sh [build-dir] [out-dir]
+#
+# The script boots a journaled primary with --sync-replication and a
+# follower with --follow, churns admissions/removals (plus a link
+# down/up cycle) against the primary, asserts the follower refuses
+# mutations and that wormrt-top --once shows both replication roles,
+# then SIGKILLs the primary mid-life, promotes the follower via
+# wormrt-cli, and requires:
+#
+#   - every decision the primary acked is in the survivor (audit-log
+#     diff: the primary's (lsn, event, handle) history must equal the
+#     follower's replicated_* history record for record),
+#   - the promoted follower answers QUERY for the last acked handle and
+#     accepts new mutations,
+#   - wormrt-top --once on the survivor shows role primary and a bumped
+#     epoch.
+#
+# Artifacts (both audit logs, their normalized diffs, daemon logs, top
+# snapshots) land in out-dir for CI upload on failure.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-replication-smoke-out}"
+
+WORMRTD="$BUILD_DIR/src/svc/wormrtd"
+CLI="$BUILD_DIR/src/svc/wormrt-cli"
+TOP="$BUILD_DIR/tools/wormrt-top"
+for bin in "$WORMRTD" "$CLI" "$TOP"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "$OUT_DIR"
+WORK="$(mktemp -d /tmp/wormrt-repl-smoke.XXXXXX)"
+P_SOCKET="$WORK/primary.sock"
+F_SOCKET="$WORK/follower.sock"
+P_STATE="$WORK/primary-state"
+F_STATE="$WORK/follower-state"
+P_AUDIT="$OUT_DIR/primary-audit.jsonl"
+F_AUDIT="$OUT_DIR/follower-audit.jsonl"
+rm -f "$P_AUDIT" "$F_AUDIT"
+mkdir -p "$P_STATE" "$F_STATE"
+P_PID=""
+F_PID=""
+
+cleanup() {
+  for pid in "$P_PID" "$F_PID"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+}
+trap cleanup EXIT
+
+wait_ready() { # pid out-file name
+  for _ in $(seq 1 200); do
+    if grep -q '^READY' "$2" 2>/dev/null; then
+      return 0
+    fi
+    if ! kill -0 "$1" 2>/dev/null; then
+      echo "error: $3 died during startup" >&2
+      cat "$2.err" >&2 || true
+      return 1
+    fi
+    sleep 0.05
+  done
+  echo "error: $3 never printed READY" >&2
+  return 1
+}
+
+"$WORMRTD" --socket "$P_SOCKET" --mesh 8 --threads 1 \
+  --state-dir "$P_STATE" --compact-every 64 --sync-replication \
+  --audit-log "$P_AUDIT" \
+  >"$WORK/primary.out" 2>"$WORK/primary.out.err" &
+P_PID=$!
+wait_ready "$P_PID" "$WORK/primary.out" primary
+
+"$WORMRTD" --socket "$F_SOCKET" --mesh 8 --threads 1 \
+  --state-dir "$F_STATE" --follow "unix:$P_SOCKET" --follower-id smoke \
+  --audit-log "$F_AUDIT" \
+  >"$WORK/follower.out" 2>"$WORK/follower.out.err" &
+F_PID=$!
+wait_ready "$F_PID" "$WORK/follower.out" follower
+
+pcli() { "$CLI" --socket "$P_SOCKET" --timeout-ms 5000 "$@"; }
+fcli() { "$CLI" --socket "$F_SOCKET" --timeout-ms 5000 "$@"; }
+
+# --- churn -----------------------------------------------------------
+last_handle=""
+for i in $(seq 1 30); do
+  src=$(( (i * 7) % 64 ))
+  dst=$(( (i * 13 + 5) % 64 ))
+  if [[ "$src" -eq "$dst" ]]; then dst=$(( (dst + 1) % 64 )); fi
+  reply="$(pcli request --src "$src" --dst "$dst" \
+    --priority $(( i % 4 + 1 )) --period $(( 400 + i * 10 )) \
+    --length $(( 4 + i % 12 )) --deadline $(( 380 + i * 20 )) || true)"
+  handle="$(printf '%s' "$reply" | sed -n 's/.*"handle":\([0-9]*\).*/\1/p')"
+  if [[ -n "$handle" ]]; then
+    last_handle="$handle"
+    if [[ $(( i % 6 )) -eq 0 ]]; then
+      pcli remove --handle "$handle" >/dev/null
+      last_handle=""
+    fi
+  fi
+done
+# A guaranteed keeper: the failover check below needs one acked channel
+# that was never removed (the loop's final iteration may remove its own).
+reply="$(pcli request --src 3 --dst 42 --priority 1 --period 900 \
+  --length 4 --deadline 2000)"
+last_handle="$(printf '%s' "$reply" | sed -n 's/.*"handle":\([0-9]*\).*/\1/p')"
+if [[ -z "$last_handle" ]]; then
+  echo "FAIL: keeper request was not admitted: $reply" >&2
+  exit 1
+fi
+# One topology mutation cycle rides along: link records replicate too.
+pcli link-down --src 1 --dst 2 >/dev/null
+pcli link-up --src 1 --dst 2 >/dev/null
+
+# --- follower is read-only and both roles are visible in wormrt-top --
+if fcli request --src 0 --dst 9 --priority 2 --period 500 --length 4 \
+    --deadline 1000 >"$WORK/refused.json" 2>&1; then
+  echo "FAIL: follower accepted a mutation" >&2
+  exit 1
+fi
+grep -q 'not primary' "$WORK/refused.json" || {
+  echo "FAIL: follower refusal did not say 'not primary'" >&2
+  cat "$WORK/refused.json" >&2
+  exit 1
+}
+
+"$TOP" --socket "$P_SOCKET" --once >"$OUT_DIR/top-primary.txt"
+grep -q 'role primary' "$OUT_DIR/top-primary.txt" || {
+  echo "FAIL: wormrt-top on the primary does not show role primary" >&2
+  cat "$OUT_DIR/top-primary.txt" >&2
+  exit 1
+}
+grep -q 'followers 1' "$OUT_DIR/top-primary.txt" || {
+  echo "FAIL: wormrt-top on the primary does not count its follower" >&2
+  cat "$OUT_DIR/top-primary.txt" >&2
+  exit 1
+}
+"$TOP" --socket "$F_SOCKET" --once >"$OUT_DIR/top-follower.txt"
+grep -q 'role follower' "$OUT_DIR/top-follower.txt" || {
+  echo "FAIL: wormrt-top on the follower does not show role follower" >&2
+  cat "$OUT_DIR/top-follower.txt" >&2
+  exit 1
+}
+
+# --- kill the primary, promote the survivor --------------------------
+kill -9 "$P_PID"
+wait "$P_PID" 2>/dev/null || true
+P_PID=""
+
+fcli promote >"$WORK/promote.json"
+grep -q '"promoted":true' "$WORK/promote.json" || {
+  echo "FAIL: promote did not report promoted:true" >&2
+  cat "$WORK/promote.json" >&2
+  exit 1
+}
+
+# Every acked decision survived: the last acked handle answers.
+fcli query --handle "$last_handle" >/dev/null || {
+  echo "FAIL: acked handle $last_handle lost in failover" >&2
+  exit 1
+}
+# The survivor is writable.
+fcli request --src 2 --dst 11 --priority 2 --period 500 --length 4 \
+  --deadline 1000 >/dev/null
+
+"$TOP" --socket "$F_SOCKET" --once >"$OUT_DIR/top-promoted.txt"
+grep -q 'role primary' "$OUT_DIR/top-promoted.txt" || {
+  echo "FAIL: promoted follower still renders as a follower" >&2
+  cat "$OUT_DIR/top-promoted.txt" >&2
+  exit 1
+}
+grep -q 'epoch 2' "$OUT_DIR/top-promoted.txt" || {
+  echo "FAIL: promotion did not bump the fencing epoch" >&2
+  cat "$OUT_DIR/top-promoted.txt" >&2
+  exit 1
+}
+
+# --- decision-history equality via audit-log diff --------------------
+# SIGTERM the survivor so its audit log is flushed and complete, then
+# normalize both logs to (lsn, add|remove|link_down|link_up, key) and
+# require the follower's replicated history to equal the primary's
+# acked history record for record.  --sync-replication is what makes
+# this an equality rather than a prefix check: nothing was acked that
+# the follower doesn't have.
+kill "$F_PID"
+wait "$F_PID" 2>/dev/null || true
+F_PID=""
+
+normalize() { # file local|replicated
+  python3 - "$@" <<'EOF'
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+rows = []
+for line in open(path):
+    line = line.strip()
+    if not line:
+        continue
+    rec = json.loads(line)
+    event = rec.get("event")
+    if mode == "local":
+        if event == "request" and rec.get("admitted") and "lsn" in rec:
+            rows.append((rec["lsn"], "add", rec["handle"]))
+        elif event == "remove" and "lsn" in rec:
+            rows.append((rec["lsn"], "remove", rec["handle"]))
+        elif event in ("link_down", "link_up") and "lsn" in rec:
+            rows.append((rec["lsn"], event, f'{rec["src"]}->{rec["dst"]}'))
+    else:
+        if event == "replicated_add":
+            rows.append((rec["lsn"], "add", rec["handle"]))
+        elif event == "replicated_remove":
+            rows.append((rec["lsn"], "remove", rec["handle"]))
+        elif event in ("replicated_link_down", "replicated_link_up"):
+            rows.append((rec["lsn"], event.replace("replicated_", ""),
+                         f'{rec["src"]}->{rec["dst"]}'))
+for lsn, event, key in sorted(rows):
+    print(lsn, event, key)
+EOF
+}
+
+normalize "$P_AUDIT" local >"$OUT_DIR/primary-history.txt"
+normalize "$F_AUDIT" replicated >"$OUT_DIR/follower-history.txt"
+if ! diff -u "$OUT_DIR/primary-history.txt" "$OUT_DIR/follower-history.txt" \
+    >"$OUT_DIR/history.diff"; then
+  echo "FAIL: primary and follower decision histories diverge" >&2
+  cat "$OUT_DIR/history.diff" >&2
+  exit 1
+fi
+records="$(wc -l <"$OUT_DIR/primary-history.txt")"
+if [[ "$records" -lt 10 ]]; then
+  echo "FAIL: only $records decisions in the history — churn too thin" >&2
+  exit 1
+fi
+
+cp "$WORK"/*.out "$WORK"/*.out.err "$OUT_DIR"/ 2>/dev/null || true
+echo "PASS: $records decisions, identical on both sides across a SIGKILL failover"
+rm -rf "$WORK"

@@ -22,7 +22,7 @@ svc::Json RunStats::to_json() const {
   for (const char* name :
        {kInvariantSoundness, kInvariantFlit, kInvariantEquivalence,
         kInvariantMonotonicity, kInvariantProtocol, kInvariantRecovery,
-        kInvariantFault}) {
+        kInvariantFault, kInvariantReplication}) {
     invariants.set(name,
                    static_cast<std::int64_t>(violations_of(name)));
   }

@@ -20,6 +20,7 @@
 #include "route/dor.hpp"
 #include "sim/simulator.hpp"
 #include "svc/journal.hpp"
+#include "svc/replication.hpp"
 #include "svc/json.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
@@ -40,6 +41,9 @@ constexpr std::uint64_t kProbeStream = 3;
 /// Substream id of the recovery check's draws (crash point, torn-write
 /// size, tail mutilation, post-recovery probe).
 constexpr std::uint64_t kRecoveryStream = 4;
+/// Substream id of the replication check's draws (pull cadence, follower
+/// crashes, buffer sizing, the post-promotion probe).
+constexpr std::uint64_t kReplicationStream = 5;
 
 std::optional<Violation> fail(const char* invariant, std::string detail) {
   return Violation{invariant, std::move(detail)};
@@ -1027,6 +1031,295 @@ std::optional<Violation> check_recovery_invariants(
   return std::nullopt;
 }
 
+/// Replication: ship the churn from a journaled primary to an
+/// in-process follower through the REPL_* verbs — the exact code path
+/// `wormrtd --follow` drives over sockets (Service::handle plus the
+/// shared apply_snapshot_reply / apply_pull_reply helpers), minus the
+/// transport.  The follower is crashed and rebooted at random points
+/// (recovery + re-handshake + resume), and small primary buffers force
+/// the snapshot-bootstrap path mid-churn.  After catch-up the follower
+/// must equal the primary bitwise, and once PROMOTEd it must make the
+/// identical next admission decision.
+std::optional<Violation> check_replication_invariants(
+    const Scenario& scenario, const route::RoutingAlgorithm& routing,
+    const CheckConfig& config) {
+  const std::unique_ptr<topo::Topology> primary_topo = scenario.topo.build();
+
+  struct Cleanup {
+    std::string dir;
+    ~Cleanup() {
+      if (dir.empty()) {
+        return;
+      }
+      std::remove(svc::Journal::journal_path(dir).c_str());
+      std::remove(svc::Journal::snapshot_path(dir).c_str());
+      std::remove((dir + "/snapshot.tmp").c_str());
+      ::rmdir(dir.c_str());
+    }
+  };
+  const auto make_dir = [&config](const char* tag,
+                                  std::string* out) -> bool {
+    std::string dir_template =
+        config.recovery_tmp_root + "/wormrt-repl-" + tag + "-XXXXXX";
+    std::vector<char> buf(dir_template.begin(), dir_template.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      return false;
+    }
+    *out = buf.data();
+    return true;
+  };
+  std::string primary_dir, follower_dir;
+  if (!make_dir("p", &primary_dir) || !make_dir("f", &follower_dir)) {
+    return fail(kInvariantReplication,
+                std::string("mkdtemp: ") + std::strerror(errno));
+  }
+  Cleanup primary_cleanup{primary_dir}, follower_cleanup{follower_dir};
+
+  util::Rng rng(scenario.seed, kReplicationStream);
+
+  svc::ServiceOptions primary_options;
+  primary_options.state_dir = primary_dir;
+  primary_options.compact_every = 8;
+  primary_options.journal_fsync = false;  // crash = object drop, as in recovery
+  // Small buffers half the time: the churn overflows them, the floor
+  // rises, and crashed/rebooted followers exercise the snapshot
+  // bootstrap path instead of pure streaming.
+  primary_options.repl_buffer_records =
+      rng.bernoulli(0.5) ? 12 : 4096;
+  svc::Service primary(*primary_topo, routing, config.analysis,
+                       primary_options);
+  std::string err;
+  if (!primary.open_state(&err)) {
+    return fail(kInvariantReplication, "primary open_state: " + err);
+  }
+
+  svc::ServiceOptions follower_options;
+  follower_options.state_dir = follower_dir;
+  follower_options.compact_every = 8;
+  follower_options.journal_fsync = false;
+  follower_options.follower = true;
+
+  // Follower incarnations: a crash drops the Service object (and its
+  // topology instance, which carries replicated fault flags) and boots
+  // a fresh one from the surviving state dir — recovery, re-handshake,
+  // and resume are all under test.
+  std::vector<std::unique_ptr<topo::Topology>> follower_topos;
+  std::unique_ptr<svc::Service> follower;
+  const auto boot_follower = [&]() -> std::optional<Violation> {
+    follower_topos.push_back(scenario.topo.build());
+    follower = std::make_unique<svc::Service>(
+        *follower_topos.back(), routing, config.analysis, follower_options);
+    std::string open_err;
+    if (!follower->open_state(&open_err)) {
+      return fail(kInvariantReplication,
+                  "follower open_state: " + open_err);
+    }
+    return std::nullopt;
+  };
+  if (auto violation = boot_follower()) {
+    return violation;
+  }
+
+  // One pull round trip through the primary's verb dispatch, exactly as
+  // a ReplicaSession would issue it.  Returns an error string on any
+  // protocol or apply failure.
+  const auto pull_once = [&](bool* progressed) -> std::optional<std::string> {
+    *progressed = false;
+    Json pull = Json::object();
+    pull.set("verb", "REPL_PULL");
+    pull.set("follower_id", "oracle");
+    pull.set("from_lsn",
+             static_cast<std::int64_t>(follower->durable_lsn() + 1));
+    pull.set("durable_lsn",
+             static_cast<std::int64_t>(follower->durable_lsn()));
+    pull.set("wait_ms", static_cast<std::int64_t>(0));
+    const Json reply = primary.handle(pull);
+    const Json* ok = reply.get("ok");
+    if (ok == nullptr || !ok->as_bool()) {
+      return "REPL_PULL refused: " + reply.dump();
+    }
+    if (reply.get("snapshot_needed") != nullptr &&
+        reply.get("snapshot_needed")->as_bool()) {
+      Json snap_req = Json::object();
+      snap_req.set("verb", "REPL_SNAPSHOT");
+      const Json snap = primary.handle(snap_req);
+      std::string apply_err;
+      if (!svc::apply_snapshot_reply(*follower, snap, &apply_err)) {
+        return "snapshot bootstrap: " + apply_err;
+      }
+      *progressed = true;
+      return std::nullopt;
+    }
+    std::uint64_t applied = 0;
+    std::string apply_err;
+    if (!svc::apply_pull_reply(*follower, reply, &applied, &apply_err)) {
+      return "apply_pull_reply: " + apply_err;
+    }
+    *progressed = applied > 0;
+    return std::nullopt;
+  };
+  const auto catch_up = [&]() -> std::optional<std::string> {
+    for (int rounds = 0; follower->durable_lsn() < primary.durable_lsn();
+         ++rounds) {
+      if (rounds > 10000) {
+        return "catch-up did not converge (follower durable " +
+               std::to_string(follower->durable_lsn()) + ", primary " +
+               std::to_string(primary.durable_lsn()) + ")";
+      }
+      bool progressed = false;
+      if (auto pull_err = pull_once(&progressed)) {
+        return pull_err;
+      }
+      if (!progressed) {
+        return "catch-up stalled without progress (follower durable " +
+               std::to_string(follower->durable_lsn()) + ", primary " +
+               std::to_string(primary.durable_lsn()) + ")";
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Churn on the primary, interleaved with pulls and follower crashes.
+  std::vector<std::int64_t> handle_of_op(scenario.ops.size(), -1);
+  for (std::size_t i = 0; i < scenario.ops.size(); ++i) {
+    const Op& op = scenario.ops[i];
+    if (op.kind == Op::Kind::kAdd) {
+      const Json reply = primary.handle(request_json(op));
+      const Json* admitted = reply.get("admitted");
+      if (admitted != nullptr && admitted->as_bool() &&
+          reply.get("handle") != nullptr) {
+        handle_of_op[i] = reply.get("handle")->as_int();
+      }
+    } else if (op.kind == Op::Kind::kRemove) {
+      auto& handle = handle_of_op[static_cast<std::size_t>(op.target)];
+      if (handle < 0) {
+        continue;
+      }
+      Json req = Json::object();
+      req.set("verb", "REMOVE");
+      req.set("handle", handle);
+      primary.handle(req);
+      handle = -1;
+    } else {
+      const Json reply = primary.handle(link_json(op));
+      const Json* evicted = reply.get("evicted");
+      if (evicted != nullptr && evicted->is_array()) {
+        for (const Json& victim : evicted->items()) {
+          for (auto& handle : handle_of_op) {
+            if (handle == victim.as_int()) {
+              handle = -1;
+            }
+          }
+        }
+      }
+    }
+    if (rng.bernoulli(0.6)) {
+      bool progressed = false;
+      if (auto pull_err = pull_once(&progressed)) {
+        return fail(kInvariantReplication,
+                    "op " + std::to_string(i) + ": " + *pull_err);
+      }
+    }
+    if (rng.bernoulli(0.04)) {
+      follower.reset();  // SIGKILL-equivalent: nothing flushed beyond disk
+      if (auto violation = boot_follower()) {
+        return violation;
+      }
+    }
+  }
+  if (auto catch_err = catch_up()) {
+    return fail(kInvariantReplication, *catch_err);
+  }
+
+  // The follower must now BE the primary, bit for bit.
+  const core::IncrementalAnalyzer& want = primary.controller().engine();
+  const core::IncrementalAnalyzer& got = follower->controller().engine();
+  if (want.size() != got.size()) {
+    return fail(kInvariantReplication,
+                "follower population " + std::to_string(got.size()) +
+                    " != primary " + std::to_string(want.size()));
+  }
+  if (primary.controller().next_handle() !=
+      follower->controller().next_handle()) {
+    return fail(kInvariantReplication,
+                "follower next handle " +
+                    std::to_string(follower->controller().next_handle()) +
+                    " != primary " +
+                    std::to_string(primary.controller().next_handle()));
+  }
+  for (std::size_t j = 0; j < want.size(); ++j) {
+    const auto id = static_cast<StreamId>(j);
+    if (want.handle_of(id) != got.handle_of(id)) {
+      return fail(kInvariantReplication,
+                  "handle numbering diverged at stream " +
+                      std::to_string(j) + ": follower " +
+                      std::to_string(got.handle_of(id)) + " != primary " +
+                      std::to_string(want.handle_of(id)));
+    }
+    if (got.bound_at(id) != want.bound_at(id) + config.replication_skew) {
+      return fail(kInvariantReplication,
+                  "follower bound " + std::to_string(got.bound_at(id)) +
+                      " != primary " + std::to_string(want.bound_at(id)) +
+                      " for stream " + std::to_string(j));
+    }
+    const core::MessageStream& sw = want.streams()[id];
+    const core::MessageStream& sg = got.streams()[id];
+    if (sw.src != sg.src || sw.dst != sg.dst ||
+        sw.priority != sg.priority || sw.period != sg.period ||
+        sw.length != sg.length || sw.deadline != sg.deadline) {
+      return fail(kInvariantReplication,
+                  "follower parameters diverged for stream " +
+                      std::to_string(j) + ": " + describe_stream(sg) +
+                      " != " + describe_stream(sw));
+    }
+    if (sw.route_order != sg.route_order ||
+        sw.path.channels != sg.path.channels) {
+      return fail(kInvariantReplication,
+                  "follower route diverged for stream " + std::to_string(j) +
+                      ": route_order " + std::to_string(sg.route_order) +
+                      " != primary " + std::to_string(sw.route_order));
+    }
+  }
+  for (std::size_t c = 0; c < primary_topo->num_channels(); ++c) {
+    const auto ch = static_cast<topo::ChannelId>(c);
+    if (primary_topo->channel_faulted(ch) !=
+        follower_topos.back()->channel_faulted(ch)) {
+      return fail(kInvariantReplication,
+                  "follower fault flag diverged on channel " +
+                      std::to_string(c));
+    }
+  }
+
+  // Failover decision parity: promote the follower (epoch bump through
+  // the same verb wormrt-cli drives) and require its next admission
+  // decision to be bitwise the primary's.
+  Json promote_req = Json::object();
+  promote_req.set("verb", "PROMOTE");
+  const Json promoted = follower->handle(promote_req);
+  const Json* promote_ok = promoted.get("ok");
+  if (promote_ok == nullptr || !promote_ok->as_bool()) {
+    return fail(kInvariantReplication,
+                "PROMOTE refused: " + promoted.dump());
+  }
+  const Op probe = random_probe(rng, *primary_topo, scenario);
+  const Json p_reply = primary.handle(request_json(probe));
+  const Json f_reply = follower->handle(request_json(probe));
+  for (const char* key : {"ok", "admitted", "bound", "handle"}) {
+    const Json* pv = p_reply.get(key);
+    const Json* fv = f_reply.get(key);
+    const bool p_has = pv != nullptr, f_has = fv != nullptr;
+    if (p_has != f_has ||
+        (p_has && pv->dump() != fv->dump())) {
+      return fail(kInvariantReplication,
+                  std::string("post-promotion decision diverged on \"") +
+                      key + "\": primary " + p_reply.dump() +
+                      " != follower " + f_reply.dump());
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::optional<Violation> check_scenario(const Scenario& scenario,
@@ -1055,6 +1348,12 @@ std::optional<Violation> check_scenario(const Scenario& scenario,
   }
   if (config.check_recovery) {
     if (auto violation = check_recovery_invariants(scenario, routing, config)) {
+      return violation;
+    }
+  }
+  if (config.check_replication) {
+    if (auto violation =
+            check_replication_invariants(scenario, routing, config)) {
       return violation;
     }
   }

@@ -7,7 +7,7 @@
 #include "fuzz/scenario.hpp"
 
 /// \file invariants.hpp
-/// The seven differential oracles every fuzz scenario is checked against
+/// The eight differential oracles every fuzz scenario is checked against
 /// (DESIGN.md §8).  Each one validates the optimised production path —
 /// bit-packed diagrams, the incremental dirty-set engine, the wire
 /// protocol, the write-ahead journal — against an independent witness:
@@ -52,6 +52,16 @@
 ///                 identical to a from-scratch analysis of the
 ///                 surviving set, and no surviving path may cross a
 ///                 faulted channel.
+///   replication   the churn applied to a journaled primary while an
+///                 in-process follower replays shipped records through
+///                 the REPL_* verbs (the same code path wormrtd
+///                 --follow drives over sockets), with random follower
+///                 crashes/reboots and forced snapshot bootstraps mid-
+///                 churn; after catch-up the follower's engine state —
+///                 population order, parameters, bounds, handles, next
+///                 handle, routes, fault flags — must equal the
+///                 primary's bitwise, and after PROMOTE the follower's
+///                 next admission decision must match the primary's.
 
 namespace wormrt::fuzz {
 
@@ -63,6 +73,7 @@ inline constexpr const char* kInvariantMonotonicity = "monotonicity";
 inline constexpr const char* kInvariantProtocol = "protocol";
 inline constexpr const char* kInvariantRecovery = "recovery";
 inline constexpr const char* kInvariantFault = "fault-repair";
+inline constexpr const char* kInvariantReplication = "replication";
 
 struct Violation {
   std::string invariant;  ///< one of the kInvariant* names
@@ -80,6 +91,7 @@ struct CheckConfig {
   bool check_protocol = true;
   bool check_recovery = true;
   bool check_fault = true;
+  bool check_replication = true;
 
   /// Injection window of each soundness simulation (flit times).
   Time sim_duration = 3000;
@@ -120,6 +132,12 @@ struct CheckConfig {
   /// non-zero value manufactures "violations" on healthy code and proves
   /// the seventh oracle actually bites.
   Time fault_oracle_skew = 0;
+
+  /// Fault injection for the replication oracle's own tests (skewed
+  /// replay): the follower's bounds are compared against the primary's
+  /// + replication_skew, so a non-zero value manufactures "violations"
+  /// on healthy code and proves the eighth oracle actually bites.
+  Time replication_skew = 0;
 };
 
 /// Runs every enabled oracle over \p scenario; returns the first

@@ -20,8 +20,10 @@ constexpr char kJournalFile[] = "journal.wal";
 constexpr char kSnapshotFile[] = "snapshot.bin";
 constexpr char kSnapshotTmp[] = "snapshot.tmp";
 constexpr char kSnapshotMagicV1[8] = {'W', 'R', 'T', 'S', 'N', 'A', 'P', '1'};
-constexpr char kSnapshotMagic[8] = {'W', 'R', 'T', 'S', 'N', 'A', 'P', '2'};
-constexpr char kHeaderMagic[8] = {'W', 'R', 'T', 'J', 'H', 'D', 'R', '1'};
+constexpr char kSnapshotMagicV2[8] = {'W', 'R', 'T', 'S', 'N', 'A', 'P', '2'};
+constexpr char kSnapshotMagic[8] = {'W', 'R', 'T', 'S', 'N', 'A', 'P', '3'};
+constexpr char kHeaderMagicV1[8] = {'W', 'R', 'T', 'J', 'H', 'D', 'R', '1'};
+constexpr char kHeaderMagic[8] = {'W', 'R', 'T', 'J', 'H', 'D', 'R', '2'};
 
 // Journal payload: type(1) + lsn(8) + handle(8) [+ 7 params x 8 for ADD].
 constexpr std::size_t kRemovePayload = 1 + 8 + 8;
@@ -29,8 +31,10 @@ constexpr std::size_t kAddPayloadV1 = kRemovePayload + 6 * 8;  // no route_order
 constexpr std::size_t kAddPayload = kRemovePayload + 7 * 8;
 // LINK_DOWN / LINK_UP: type(1) + lsn(8) + src(8) + dst(8).
 constexpr std::size_t kLinkPayload = 1 + 8 + 8 + 8;
-// Header: type 0 (1) + lsn 0 (8) + magic (8) + fingerprint (8).
-constexpr std::size_t kHeaderPayload = 1 + 8 + 8 + 8;
+// Header: type 0 (1) + lsn 0 (8) + magic (8) + fingerprint (8)
+// [+ epoch (8) since WRTJHDR2].
+constexpr std::size_t kHeaderPayloadV1 = 1 + 8 + 8 + 8;
+constexpr std::size_t kHeaderPayload = kHeaderPayloadV1 + 8;
 // Any frame claiming a larger payload than the biggest snapshot we could
 // plausibly write is garbage bytes, not a record.
 constexpr std::uint32_t kMaxPayload = 64u << 20;
@@ -113,15 +117,17 @@ std::string encode_record(JournalRecord::Type type, std::uint64_t lsn,
   return payload;
 }
 
-/// The header record: type 0, LSN 0, magic + topology fingerprint.
-/// Always the first frame of a fresh (or freshly truncated) journal.
-std::string encode_header(std::uint64_t fingerprint) {
+/// The header record: type 0, LSN 0, magic + topology fingerprint +
+/// fencing epoch.  Always the first frame of a fresh (or freshly
+/// truncated) journal.
+std::string encode_header(std::uint64_t fingerprint, std::uint64_t epoch) {
   std::string payload;
   payload.reserve(kHeaderPayload);
   payload.push_back(static_cast<char>(0));
   put_u64(payload, 0);
   payload.append(kHeaderMagic, 8);
   put_u64(payload, fingerprint);
+  put_u64(payload, epoch);
   return payload;
 }
 
@@ -190,17 +196,26 @@ bool parse_snapshot(const std::string& data, RecoveredState* state,
     *error = "snapshot.bin is corrupt (bad frame or magic)";
     return false;
   }
-  const bool v2 = std::memcmp(p, kSnapshotMagic, 8) == 0;
-  const bool v1 = !v2 && std::memcmp(p, kSnapshotMagicV1, 8) == 0;
-  if (!v1 && !v2) {
+  const bool v3 = std::memcmp(p, kSnapshotMagic, 8) == 0;
+  const bool v2 = !v3 && std::memcmp(p, kSnapshotMagicV2, 8) == 0;
+  const bool v1 = !v3 && !v2 && std::memcmp(p, kSnapshotMagicV1, 8) == 0;
+  if (!v1 && !v2 && !v3) {
     *error = "snapshot.bin is corrupt (bad frame or magic)";
     return false;
   }
   const char* q = p + 8;
   const char* end = p + len;
-  if (v2) {
+  if (v2 || v3) {
     state->has_snapshot_fingerprint = true;
     state->snapshot_fingerprint = get_u64(q);
+    q += 8;
+  }
+  if (v3) {
+    if (end - q < 8) {
+      *error = "snapshot.bin is corrupt (count disagrees with payload size)";
+      return false;
+    }
+    state->epoch = std::max(state->epoch, get_u64(q));
     q += 8;
   }
   if (end - q < 16) {
@@ -210,7 +225,7 @@ bool parse_snapshot(const std::string& data, RecoveredState* state,
   const std::uint64_t last_lsn = get_u64(q);
   const std::int64_t next_handle = get_i64(q + 8);
   q += 16;
-  if (v2) {
+  if (v2 || v3) {
     if (end - q < 8) {
       *error = "snapshot.bin is corrupt (count disagrees with payload size)";
       return false;
@@ -232,7 +247,7 @@ bool parse_snapshot(const std::string& data, RecoveredState* state,
   }
   const std::uint64_t count = get_u64(q);
   q += 8;
-  const std::size_t row_size = (v2 ? 8 : 7) * 8;
+  const std::size_t row_size = (v1 ? 7 : 8) * 8;
   if (static_cast<std::uint64_t>(end - q) != count * row_size) {
     *error = "snapshot.bin is corrupt (count disagrees with payload size)";
     return false;
@@ -250,7 +265,7 @@ bool parse_snapshot(const std::string& data, RecoveredState* state,
     e.period = get_i64(q + 32);
     e.length = get_i64(q + 40);
     e.deadline = get_i64(q + 48);
-    if (v2) {
+    if (v2 || v3) {
       e.route_order = get_i64(q + 56);
     }
     state->snapshot.push_back(e);
@@ -272,12 +287,18 @@ std::size_t parse_journal(const std::string& data, RecoveredState* state) {
     const auto type = static_cast<std::uint8_t>(p[0]);
     if (type == 0) {
       // Header record: only valid as the journal's very first frame.
-      if (off != 0 || len != kHeaderPayload ||
-          std::memcmp(p + 9, kHeaderMagic, 8) != 0) {
+      const bool v2 = len == kHeaderPayload &&
+                      std::memcmp(p + 9, kHeaderMagic, 8) == 0;
+      const bool v1 = !v2 && len == kHeaderPayloadV1 &&
+                      std::memcmp(p + 9, kHeaderMagicV1, 8) == 0;
+      if (off != 0 || (!v1 && !v2)) {
         break;  // framed garbage — same treatment as a CRC failure
       }
       state->has_journal_fingerprint = true;
       state->journal_fingerprint = get_u64(p + 17);
+      if (v2) {
+        state->epoch = std::max(state->epoch, get_u64(p + 25));
+      }
       off += 8 + len;
       continue;
     }
@@ -507,6 +528,42 @@ bool Journal::open(RecoveredState* state, std::string* error) {
     }
   }
 
+  // Epoch fencing: a deposed primary's state dir carries the old epoch;
+  // anything it wrote past the fence LSN was acknowledged locally but
+  // never made the new timeline.  Replaying those records would silently
+  // merge two histories — hard error, the operator must discard or
+  // re-bootstrap this state dir.
+  if (config_.min_epoch != 0 && state->epoch < config_.min_epoch) {
+    std::uint64_t past_fence = 0;
+    for (const JournalRecord& rec : state->records) {
+      if (rec.lsn > config_.fence_lsn) {
+        ++past_fence;
+      }
+    }
+    if (state->had_snapshot && state->snapshot_lsn > config_.fence_lsn) {
+      *error = config_.dir + ": snapshot.bin from deposed epoch " +
+               std::to_string(state->epoch) + " covers LSN " +
+               std::to_string(state->snapshot_lsn) + " past fence LSN " +
+               std::to_string(config_.fence_lsn) + " (current epoch is " +
+               std::to_string(config_.min_epoch) +
+               "); refusing to replay a deposed primary's unreplicated "
+               "state";
+      return false;
+    }
+    if (past_fence > 0) {
+      *error = config_.dir + ": journal.wal carries " +
+               std::to_string(past_fence) + " record(s) past fence LSN " +
+               std::to_string(config_.fence_lsn) + " from deposed epoch " +
+               std::to_string(state->epoch) + " (current epoch is " +
+               std::to_string(config_.min_epoch) +
+               "); refusing to replay a deposed primary's unreplicated "
+               "state";
+      return false;
+    }
+  }
+  epoch_ = std::max(std::max<std::uint64_t>(state->epoch, 1),
+                    config_.min_epoch);
+
   const std::string path = journal_path(config_.dir);
   fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
   if (fd_ < 0) {
@@ -527,7 +584,7 @@ bool Journal::open(RecoveredState* state, std::string* error) {
   // header as its first frame, so a later recovery can verify identity
   // even before the first snapshot exists.
   if (valid_bytes == 0 && config_.fingerprint != 0) {
-    const std::string blob = frame(encode_header(config_.fingerprint));
+    const std::string blob = frame(encode_header(config_.fingerprint, epoch_));
     bool torn = false;
     if (!write_blob(fd_, blob, &torn, error) ||
         (config_.fsync_data && !sync_fd(fd_, error))) {
@@ -740,12 +797,21 @@ bool Journal::write_snapshot(
     *error = "journal poisoned by an earlier torn write or fsync failure";
     return false;
   }
+  // Every record assigned so far is folded in.
+  return snapshot_locked(next_lsn_ - 1, next_handle, entries, faulted, error);
+}
 
+bool Journal::snapshot_locked(
+    std::uint64_t last_lsn, std::int64_t next_handle,
+    const std::vector<JournalEntry>& entries,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& faulted,
+    std::string* error) {
   std::string payload;
-  payload.reserve(48 + faulted.size() * 16 + entries.size() * 8 * 8);
+  payload.reserve(56 + faulted.size() * 16 + entries.size() * 8 * 8);
   payload.append(kSnapshotMagic, 8);
   put_u64(payload, config_.fingerprint);
-  put_u64(payload, next_lsn_ - 1);  // every record so far is folded in
+  put_u64(payload, epoch_);
+  put_u64(payload, last_lsn);
   put_i64(payload, next_handle);
   put_u64(payload, faulted.size());
   for (const auto& [src, dst] : faulted) {
@@ -804,8 +870,8 @@ bool Journal::write_snapshot(
   // either way the snapshot just written stays authoritative.
   if (config_.fingerprint != 0) {
     bool torn = false;
-    if (!write_blob(fd_, frame(encode_header(config_.fingerprint)), &torn,
-                    error) ||
+    if (!write_blob(fd_, frame(encode_header(config_.fingerprint, epoch_)),
+                    &torn, error) ||
         (config_.fsync_data && !sync_fd(fd_, error))) {
       if (torn || ::ftruncate(fd_, 0) != 0) {
         poisoned_ = true;
@@ -818,6 +884,105 @@ bool Journal::write_snapshot(
   if (metrics_ != nullptr) {
     metrics_->snapshots.inc();
   }
+  return true;
+}
+
+std::uint64_t Journal::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+void Journal::set_epoch(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  epoch_ = std::max(epoch_, epoch);
+}
+
+bool Journal::append_replica(const JournalRecord& record, std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ < 0) {
+    *error = "journal is not open";
+    return false;
+  }
+  if (poisoned_) {
+    if (metrics_ != nullptr) {
+      metrics_->append_failures.inc();
+    }
+    *error = "journal poisoned by an earlier torn write or fsync failure";
+    return false;
+  }
+  if (pending_count_ != 0 || leader_active_) {
+    *error = "append_replica raced a local mutation (a follower journal "
+             "must have no local writers)";
+    return false;
+  }
+  if (record.lsn < next_lsn_) {
+    *error = "replica append LSN " + std::to_string(record.lsn) +
+             " regresses below the next local LSN " +
+             std::to_string(next_lsn_);
+    return false;
+  }
+  const std::string blob =
+      frame(encode_record(record.type, record.lsn, record.entry));
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    *error = std::string("fstat: ") + std::strerror(errno);
+    return false;
+  }
+  bool torn = false;
+  if (!write_blob(fd_, blob, &torn, error)) {
+    if (torn || ::ftruncate(fd_, st.st_size) != 0) {
+      poisoned_ = true;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->append_failures.inc();
+    }
+    return false;
+  }
+  if (config_.fsync_data && !sync_fd(fd_, error)) {
+    static_cast<void>(::ftruncate(fd_, st.st_size));
+    poisoned_ = true;
+    if (metrics_ != nullptr) {
+      metrics_->append_failures.inc();
+    }
+    return false;
+  }
+  next_lsn_ = record.lsn + 1;
+  durable_lsn_ = record.lsn;
+  ++appends_since_snapshot_;
+  if (metrics_ != nullptr) {
+    metrics_->appends.inc();
+    metrics_->bytes_written.inc(blob.size());
+  }
+  return true;
+}
+
+bool Journal::install_snapshot(
+    std::uint64_t last_lsn, std::uint64_t epoch, std::int64_t next_handle,
+    const std::vector<JournalEntry>& entries,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& faulted,
+    std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ < 0) {
+    *error = "journal is not open";
+    return false;
+  }
+  if (poisoned_) {
+    *error = "journal poisoned by an earlier torn write or fsync failure";
+    return false;
+  }
+  if (pending_count_ != 0 || leader_active_) {
+    *error = "install_snapshot raced a local mutation (a follower journal "
+             "must have no local writers)";
+    return false;
+  }
+  epoch_ = std::max(epoch_, epoch);
+  if (!snapshot_locked(last_lsn, next_handle, entries, faulted, error)) {
+    return false;
+  }
+  // The bootstrap state supersedes whatever LSN history was here: the
+  // cursor continues from the primary's sequence.
+  next_lsn_ = last_lsn + 1;
+  durable_lsn_ = last_lsn;
   return true;
 }
 

@@ -36,7 +36,10 @@
 ///                            4=LINK_UP) | u64 lsn
 ///                    | HEADER (lsn 0, always the first record of a fresh
 ///                      or freshly-truncated journal): 8-byte magic
-///                      "WRTJHDR1" | u64 topology fingerprint
+///                      "WRTJHDR2" | u64 topology fingerprint
+///                      | u64 fencing epoch  (the legacy "WRTJHDR1"
+///                      header without the epoch is still parsed, as
+///                      epoch 1)
 ///                    | ADD: i64 handle,src,dst,priority,period,length,
 ///                      deadline,route_order  (the legacy 7-field ADD
 ///                      without route_order is still parsed, as order 0)
@@ -44,19 +47,31 @@
 ///                    | LINK_DOWN / LINK_UP: i64 src,dst (the directed
 ///                      channel's endpoints; the eviction/reroute cascade
 ///                      is deterministic, so one record replays it all)
-/// Snapshot payload:  8-byte magic "WRTSNAP2" | u64 topology fingerprint
+/// Snapshot payload:  8-byte magic "WRTSNAP3" | u64 topology fingerprint
+///                    | u64 fencing epoch
 ///                    | u64 last_lsn | i64 next_handle
 ///                    | u64 fault_count | fault_count x (i64 src,dst)
 ///                    | u64 count | count x (i64 handle,src,dst,priority,
 ///                      period,length,deadline,route_order)
-///                    ("WRTSNAP1" snapshots — no fingerprint, no faults,
-///                     7-field rows — are still read for upgrades)
+///                    ("WRTSNAP2" snapshots — no epoch — and "WRTSNAP1"
+///                     snapshots — no fingerprint, no faults, 7-field
+///                     rows — are still read for upgrades, as epoch 1)
 ///
 /// The topology fingerprint (topo::Topology::fingerprint()) stamps the
 /// fabric the records were issued against into both files; recovery onto
 /// a topology with a different fingerprint is a hard error — journaled
 /// paths, channel ids, and fault records would silently mean different
 /// physical links there.
+///
+/// The fencing epoch (DESIGN.md §15) identifies the primary incarnation
+/// that wrote the state: every promotion of a follower bumps the epoch
+/// and makes the bump durable (set_epoch + write_snapshot re-stamps both
+/// files).  When a deposed primary later rejoins as a follower, it opens
+/// its journal with the new primary's epoch and fence LSN
+/// (JournalConfig::min_epoch / fence_lsn): state stamped with an older
+/// epoch that contains records past the fence — mutations the old
+/// primary acknowledged locally but never replicated — is refused with a
+/// hard error instead of being silently merged into the new timeline.
 ///
 /// A torn, truncated, or bit-rotted journal tail fails the length or
 /// CRC check; recovery discards everything from the first bad record on
@@ -127,6 +142,15 @@ struct JournalConfig {
   /// silently produce garbage bounds.  0 disables stamping and checking
   /// (topology-less unit tests).
   std::uint64_t fingerprint = 0;
+  /// Fencing floor: when non-zero, the state dir must not contain
+  /// records from an epoch older than this past `fence_lsn` — a deposed
+  /// primary's unreplicated tail.  open() hard-fails on such state
+  /// instead of merging it.  0 disables fencing (standalone primaries).
+  std::uint64_t min_epoch = 0;
+  /// The highest LSN of the old epoch that made it into the new
+  /// timeline (the promoted follower's durable LSN at promotion).
+  /// Old-epoch records with LSN <= fence_lsn replay normally.
+  std::uint64_t fence_lsn = 0;
 };
 
 /// Everything recovery learned from the state dir, in replay order.
@@ -142,6 +166,10 @@ struct RecoveredState {
   std::uint64_t snapshot_fingerprint = 0;
   bool has_journal_fingerprint = false;
   std::uint64_t journal_fingerprint = 0;
+  /// Fencing epoch stamped in the snapshot / journal header (the max of
+  /// the two when both are present).  Legacy state without an epoch
+  /// reads as epoch 1 — the first primary incarnation.
+  std::uint64_t epoch = 1;
   /// Channels faulted at snapshot time, as (src,dst) endpoint pairs in
   /// channel-id order — applied to the topology before the rows.
   std::vector<std::pair<std::int64_t, std::int64_t>> faulted;
@@ -206,6 +234,35 @@ class Journal {
   /// no batch ever failed.
   std::uint64_t failed_through() const;
 
+  /// The fencing epoch this journal stamps into headers and snapshots.
+  /// After open(): max(recovered epoch, JournalConfig::min_epoch).
+  std::uint64_t epoch() const;
+
+  /// Raises the fencing epoch (promotion).  Takes effect on the next
+  /// header / snapshot stamp; callers make it durable by following up
+  /// with write_snapshot().  Lowering the epoch is ignored.
+  void set_epoch(std::uint64_t epoch);
+
+  /// Durably appends one record under the PRIMARY's LSN (follower
+  /// replay: LSNs are assigned by the primary, not drawn locally).  The
+  /// LSN must be > every LSN already on disk; gaps are allowed (the
+  /// primary skips LSNs of failed batches).  Serial write + fsync; must
+  /// not race stage()/wait_durable() — a follower journal has no local
+  /// mutators.  False + \p error on failure, with append()'s poisoning
+  /// semantics.
+  bool append_replica(const JournalRecord& record, std::string* error);
+
+  /// Installs a replication bootstrap snapshot: the primary's full
+  /// population as of its LSN \p last_lsn under \p epoch.  Same
+  /// tmp+fsync+rename discipline as write_snapshot, then the LSN cursor
+  /// is moved so append_replica continues at last_lsn+1.  Existing
+  /// journal records are truncated away — the snapshot supersedes them.
+  bool install_snapshot(
+      std::uint64_t last_lsn, std::uint64_t epoch, std::int64_t next_handle,
+      const std::vector<JournalEntry>& entries,
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& faulted,
+      std::string* error);
+
   /// Compacts the full population into the snapshot file and truncates
   /// the journal.  The caller passes the authoritative controller state
   /// (entries in engine order) plus the currently faulted channels as
@@ -244,11 +301,21 @@ class Journal {
   /// true when nothing is pending.  Used before snapshotting.
   bool flush_staged(std::string* error);
   bool lsn_failed(std::uint64_t lsn, std::string* error) const;
+  /// Shared body of write_snapshot / install_snapshot: writes the
+  /// snapshot blob (claiming LSNs <= \p last_lsn), truncates the
+  /// journal, re-stamps the header.  Called with mu_ held, no leader
+  /// active, nothing pending.
+  bool snapshot_locked(
+      std::uint64_t last_lsn, std::int64_t next_handle,
+      const std::vector<JournalEntry>& entries,
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& faulted,
+      std::string* error);
 
   JournalConfig config_;
   int fd_ = -1;
   bool poisoned_ = false;
   std::uint64_t next_lsn_ = 1;
+  std::uint64_t epoch_ = 1;
   std::uint64_t appends_since_snapshot_ = 0;
 
   /// Group-commit state, all under mu_.  `pending_` holds the framed

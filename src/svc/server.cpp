@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "svc/json.hpp"
+#include "svc/replication.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -907,6 +908,9 @@ bool Client::connect_tcp(const std::string& host, int port,
 }
 
 bool Client::reconnect(std::string* error) {
+  if (!endpoints_.empty()) {
+    return connect_spec(endpoints_[active_endpoint_], error);
+  }
   switch (endpoint_) {
     case Endpoint::kUnix:
       return connect_unix(unix_path_, error);
@@ -921,10 +925,88 @@ bool Client::reconnect(std::string* error) {
   return false;
 }
 
+bool Client::connect_spec(const std::string& spec, std::string* error) {
+  bool is_unix = false;
+  std::string target;
+  int port = 0;
+  if (!parse_endpoint(spec, &is_unix, &target, &port)) {
+    if (error != nullptr) {
+      *error = "bad endpoint: " + spec;
+    }
+    return false;
+  }
+  return is_unix ? connect_unix(target, error)
+                 : connect_tcp(target, port, error);
+}
+
+bool Client::rotate_endpoint(std::string* error) {
+  if (endpoints_.empty()) {
+    if (error != nullptr) {
+      *error = "no endpoint list installed";
+    }
+    return false;
+  }
+  active_endpoint_ = (active_endpoint_ + 1) % endpoints_.size();
+  return true;
+}
+
+bool Client::connect_endpoints(const std::string& spec_list,
+                               std::string* error) {
+  std::vector<std::string> specs;
+  std::string spec;
+  for (std::size_t i = 0; i <= spec_list.size(); ++i) {
+    if (i == spec_list.size() || spec_list[i] == ',') {
+      if (!spec.empty()) {
+        specs.push_back(spec);
+        spec.clear();
+      }
+    } else {
+      spec.push_back(spec_list[i]);
+    }
+  }
+  if (specs.empty()) {
+    if (error != nullptr) {
+      *error = "empty endpoint list";
+    }
+    return false;
+  }
+  endpoints_ = std::move(specs);
+  std::string last_error = "unreachable";
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    active_endpoint_ = i;
+    if (connect_spec(endpoints_[i], &last_error)) {
+      return true;
+    }
+  }
+  // The list stays installed: call_with_retry can still rotate onto an
+  // endpoint that comes up later.
+  active_endpoint_ = 0;
+  if (error != nullptr) {
+    *error = "no endpoint reachable, last: " + last_error;
+  }
+  return false;
+}
+
+bool Client::not_primary_reply(const std::string& response_line) {
+  std::string parse_error;
+  const Json reply = Json::parse(response_line, &parse_error);
+  if (!parse_error.empty() || !reply.is_object()) {
+    return false;
+  }
+  const Json* ok = reply.get("ok");
+  const Json* err = reply.get("error");
+  return ok != nullptr && ok->is_bool() && !ok->as_bool() &&
+         err != nullptr && err->is_string() &&
+         err->as_string() == "not primary";
+}
+
 bool Client::idempotent_verb(const std::string& verb) {
   return verb == "QUERY" || verb == "EXPLAIN" || verb == "SNAPSHOT" ||
          verb == "STATS" || verb == "METRICS" || verb == "HEALTH" ||
-         verb == "HISTORY";
+         verb == "HISTORY" ||
+         // PROMOTE is idempotent by design: re-promoting a primary
+         // reports its standing role without a second epoch bump.
+         verb == "PROMOTE";
 }
 
 bool Client::call_with_retry(const std::string& request_line,
@@ -947,6 +1029,7 @@ bool Client::call_with_retry(const std::string& request_line,
   util::Rng jitter(policy.jitter_seed, /*stream=*/0);
   std::int64_t sleep_ms = std::max(1, policy.base_delay_ms);
   int tries = 0;
+  int rotations = 0;
   std::string err;
   for (;;) {
     ++tries;
@@ -955,6 +1038,18 @@ bool Client::call_with_retry(const std::string& request_line,
     }
     const bool up = connected() || reconnect(&err);
     if (up && call(request_line, response_line, &err)) {
+      if (!endpoints_.empty() && not_primary_reply(*response_line) &&
+          rotations < static_cast<int>(endpoints_.size())) {
+        // Follower refusal: deterministic and applied nothing, so
+        // rotating is safe for mutations too — and needs no backoff
+        // (the next endpoint is a different node).  Bounded by one lap
+        // around the list so an all-follower cluster terminates with
+        // the refusal reply in hand.
+        ++rotations;
+        close();
+        rotate_endpoint(&err);
+        continue;
+      }
       return true;
     }
     if (error != nullptr) {
@@ -973,6 +1068,9 @@ bool Client::call_with_retry(const std::string& request_line,
                                                   sleep_ms * 3)));
     std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     close();  // a fresh connection for the next attempt
+    if (!endpoints_.empty()) {
+      rotate_endpoint(nullptr);  // next attempt lands on the next node
+    }
   }
 }
 

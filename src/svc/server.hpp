@@ -129,6 +129,21 @@ class Client {
   bool connect_tcp(const std::string& host, int port, std::string* error);
   bool connected() const { return fd_ >= 0; }
 
+  /// Failover endpoint list: a comma-separated sequence of endpoint
+  /// specs ("unix:PATH", "HOST:PORT", or a bare socket path), tried in
+  /// order until one connects.  With a list installed, call_with_retry
+  /// additionally rotates to the next endpoint (a) on transport
+  /// failure, and (b) when a reply parses as error "not primary" —
+  /// rotation on (b) applies to mutations too, because the refusing
+  /// node deterministically applied nothing.  This is the client half
+  /// of failover: kill the primary, PROMOTE the follower, and clients
+  /// holding both endpoints converge on the new primary.
+  bool connect_endpoints(const std::string& spec_list, std::string* error);
+
+  /// True when a reply line is a well-formed follower refusal
+  /// ({"ok":false,"error":"not primary"}).
+  static bool not_primary_reply(const std::string& response_line);
+
   /// Sends one request line and blocks for the one response line.
   /// Returns false on transport failure (including a deadline expiry
   /// when set_timeout_ms was used).
@@ -160,6 +175,8 @@ class Client {
 
  private:
   bool reconnect(std::string* error);
+  bool connect_spec(const std::string& spec, std::string* error);
+  bool rotate_endpoint(std::string* error);
   bool apply_timeouts(std::string* error);
   bool read_line(std::string* response_line, std::string* error);
 
@@ -173,6 +190,10 @@ class Client {
   std::string unix_path_;
   std::string tcp_host_;
   int tcp_port_ = -1;
+
+  /// Failover list from connect_endpoints; empty = single-endpoint.
+  std::vector<std::string> endpoints_;
+  std::size_t active_endpoint_ = 0;
 };
 
 }  // namespace wormrt::svc

@@ -8,6 +8,7 @@
 
 #include "core/stream_io.hpp"
 #include "obs/trace.hpp"
+#include "svc/replication.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wormrt::svc {
@@ -77,11 +78,14 @@ Service::Service(topo::Topology& topo, const route::RoutingAlgorithm& routing,
       conformance_(registry_),
       channel_gauge_live_(topo.num_channels(), 0),
       sampler_(options_.history_capacity) {
+  follower_.store(options_.follower, std::memory_order_release);
   setup_sampler();
   if (options_.sample_interval_ms > 0) {
     sampler_.start(options_.sample_interval_ms);
   }
 }
+
+Service::~Service() = default;
 
 void Service::setup_sampler() {
   // Probes run on the sampler thread.  They read independently
@@ -122,6 +126,23 @@ void Service::setup_sampler() {
   sampler_.add_series("threadpool_queue_depth", [] {
     return static_cast<double>(util::ThreadPool::shared().stats().queue_depth);
   });
+  sampler_.add_series("replication_lag", [this] {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (journal_ == nullptr) {
+      return 0.0;
+    }
+    const std::uint64_t local = journal_->durable_lsn();
+    if (follower_.load(std::memory_order_acquire)) {
+      const std::uint64_t primary =
+          replica_primary_durable_.load(std::memory_order_relaxed);
+      return primary > local ? static_cast<double>(primary - local) : 0.0;
+    }
+    if (repl_ == nullptr || repl_->followers().empty()) {
+      return 0.0;
+    }
+    const std::uint64_t acked = repl_->max_follower_durable();
+    return local > acked ? static_cast<double>(local - acked) : 0.0;
+  });
 }
 
 void Service::flush_observability() {
@@ -147,7 +168,8 @@ bool Service::open_state(std::string* error) {
   std::lock_guard<std::mutex> lk(mu_);
   journal_ = std::make_unique<Journal>(
       JournalConfig{options_.state_dir, options_.journal_fsync,
-                    options_.journal_faults, topo_.fingerprint()},
+                    options_.journal_faults, topo_.fingerprint(),
+                    options_.repl_min_epoch, options_.repl_fence_lsn},
       &registry_);
   RecoveredState state;
   if (!journal_->open(&state, error)) {
@@ -229,18 +251,22 @@ bool Service::open_state(std::string* error) {
   recovery_.skipped_records = state.skipped_records;
   recovery_.discarded_bytes = state.discarded_bytes;
   metrics_.population.set(static_cast<double>(ctrl_.size()));
+  if (!options_.follower) {
+    // Primary: serve followers from an in-memory buffer whose floor is
+    // everything already on disk (those records ship via snapshot).
+    repl_ = std::make_unique<Replicator>(journal_->durable_lsn(),
+                                         options_.repl_buffer_records);
+  }
   return true;
 }
 
-void Service::maybe_compact() {
-  if (journal_ == nullptr ||
-      journal_->appends_since_snapshot() < options_.compact_every) {
-    return;
-  }
+void Service::capture_state_locked(
+    std::vector<JournalEntry>* entries,
+    std::vector<std::pair<std::int64_t, std::int64_t>>* faulted) const {
   const core::IncrementalAnalyzer& engine = ctrl_.engine();
   const core::StreamSet& streams = engine.streams();
-  std::vector<JournalEntry> entries;
-  entries.reserve(streams.size());
+  entries->clear();
+  entries->reserve(streams.size());
   for (std::size_t i = 0; i < streams.size(); ++i) {
     const auto id = static_cast<StreamId>(i);
     const core::MessageStream& s = streams[id];
@@ -253,17 +279,27 @@ void Service::maybe_compact() {
     e.length = s.length;
     e.deadline = s.deadline;
     e.route_order = s.route_order;
-    entries.push_back(e);
+    entries->push_back(e);
   }
-  std::vector<std::pair<std::int64_t, std::int64_t>> faulted;
+  faulted->clear();
   const topo::ChannelGraph& channels = topo_.channels();
   for (std::size_t i = 0; i < channels.size(); ++i) {
     const auto id = static_cast<topo::ChannelId>(i);
     if (channels.is_faulted(id)) {
       const topo::Channel& ch = channels.channel(id);
-      faulted.emplace_back(ch.src, ch.dst);
+      faulted->emplace_back(ch.src, ch.dst);
     }
   }
+}
+
+void Service::maybe_compact() {
+  if (journal_ == nullptr ||
+      journal_->appends_since_snapshot() < options_.compact_every) {
+    return;
+  }
+  std::vector<JournalEntry> entries;
+  std::vector<std::pair<std::int64_t, std::int64_t>> faulted;
+  capture_state_locked(&entries, &faulted);
   std::string err;
   if (!journal_->write_snapshot(ctrl_.next_handle(), entries, faulted, &err)) {
     registry_
@@ -385,6 +421,49 @@ void Service::refresh_mirrors() const {
         .mirror(audit_->rotations());
   }
 
+  // Replication mirrors (DESIGN.md §15).
+  const bool follower = follower_.load(std::memory_order_acquire);
+  registry_
+      .gauge("wormrt_repl_role", {},
+             "Replication role: 0 = primary, 1 = follower.")
+      .set(follower ? 1.0 : 0.0);
+  registry_
+      .gauge("wormrt_repl_epoch", {},
+             "Fencing epoch of the local journal (bumped by PROMOTE).")
+      .set(static_cast<double>(journal_ != nullptr ? journal_->epoch() : 1));
+  if (follower) {
+    const std::uint64_t primary =
+        replica_primary_durable_.load(std::memory_order_relaxed);
+    const std::uint64_t local =
+        journal_ != nullptr ? journal_->durable_lsn() : 0;
+    registry_
+        .gauge("wormrt_repl_connected", {},
+               "1 while the follower's pull session is live.")
+        .set(replica_connected_.load(std::memory_order_relaxed) ? 1.0 : 0.0);
+    registry_
+        .gauge("wormrt_repl_lag_records", {{"follower", "self"}},
+               "Journal records the primary has durable that this node "
+               "has not (follower view).")
+        .set(primary > local ? static_cast<double>(primary - local) : 0.0);
+  } else if (repl_ != nullptr && journal_ != nullptr) {
+    const std::vector<Replicator::FollowerInfo> followers =
+        repl_->followers();
+    registry_
+        .gauge("wormrt_repl_followers", {},
+               "Followers that have performed the replication handshake.")
+        .set(static_cast<double>(followers.size()));
+    const std::uint64_t local = journal_->durable_lsn();
+    for (const Replicator::FollowerInfo& info : followers) {
+      registry_
+          .gauge("wormrt_repl_lag_records", {{"follower", info.id}},
+                 "Journal records the primary has durable that this node "
+                 "has not (follower view).")
+          .set(local > info.durable_lsn
+                   ? static_cast<double>(local - info.durable_lsn)
+                   : 0.0);
+    }
+  }
+
   metrics_.population.set(static_cast<double>(ctrl_.size()));
 }
 
@@ -429,12 +508,25 @@ Json Service::handle(const Json& request) {
   }
   const std::string& v = verb->as_string();
   // Mutating verbs manage mu_ themselves (they must release it while
-  // waiting on the group commit); read verbs take it here.
+  // waiting on the group commit); read verbs take it here.  A follower
+  // refuses every mutation — replicated state arrives only through
+  // apply_replicated — and refuses to serve replication itself.
+  const bool mutating = v == "REQUEST" || v == "REMOVE" || v == "BATCH" ||
+                        v == "LINK_DOWN" || v == "LINK_UP" ||
+                        v == "REPL_HELLO" || v == "REPL_SNAPSHOT" ||
+                        v == "REPL_PULL";
+  if (mutating && is_follower()) {
+    return error_reply("not primary");
+  }
   if (v == "REQUEST") return do_request(request);
   if (v == "REMOVE") return do_remove(request);
   if (v == "BATCH") return do_batch(request);
   if (v == "LINK_DOWN") return do_link(request, /*down=*/true);
   if (v == "LINK_UP") return do_link(request, /*down=*/false);
+  if (v == "REPL_HELLO") return do_repl_hello(request);
+  if (v == "REPL_SNAPSHOT") return do_repl_snapshot(request);
+  if (v == "REPL_PULL") return do_repl_pull(request);
+  if (v == "PROMOTE") return do_promote(request);
   std::lock_guard<std::mutex> lk(mu_);
   PendingAck ack;
   return dispatch_locked(request, &ack);
@@ -465,6 +557,10 @@ Json Service::dispatch_locked(const Json& request, PendingAck* ack) {
   if (v == "LINK_DOWN" || v == "LINK_UP") {
     // The link cascade must be durable before it is applied (wait under
     // mu_), which the shared-group-commit batch path cannot provide.
+    return error_reply(v + " is not batchable");
+  }
+  if (v == "REPL_HELLO" || v == "REPL_SNAPSHOT" || v == "REPL_PULL" ||
+      v == "PROMOTE") {
     return error_reply(v + " is not batchable");
   }
   if (v == "SHUTDOWN") {
@@ -513,6 +609,11 @@ void Service::catch_up_rollback_locked() {
     staged_.pop_back();
   }
   rolled_back_through_ = failed;
+  if (repl_ != nullptr) {
+    // The replication buffer mirrors staged_: records of the failed
+    // batch must never ship to a follower.
+    repl_->drop_above(durable);
+  }
   metrics_.population.set(static_cast<double>(ctrl_.size()));
 }
 
@@ -622,6 +723,9 @@ Json Service::do_request_locked(const Json& request, PendingAck* ack) {
       return error_reply("admission not durable: " + err);
     }
     staged_.push_back({lsn, JournalRecord::Type::kAdd, e});
+    if (repl_ != nullptr) {
+      repl_->publish({JournalRecord::Type::kAdd, lsn, e});
+    }
     ack->staged = true;
     ack->lsn = lsn;
     ack->is_add = true;
@@ -721,6 +825,9 @@ Json Service::do_request(const Json& request) {
       metrics_.admitted.inc();
     }
   }
+  if (durable_ok && ack.lsn != 0) {
+    sync_replication_wait(ack.lsn);
+  }
   audit_resolved(&ack, durable_ok);
   return reply;
 }
@@ -755,6 +862,9 @@ Json Service::do_remove_locked(const Json& request, PendingAck* ack) {
       return error_reply("teardown not durable: " + err);
     }
     staged_.push_back({lsn, JournalRecord::Type::kRemove, e});
+    if (repl_ != nullptr) {
+      repl_->publish({JournalRecord::Type::kRemove, lsn, e});
+    }
     ack->staged = true;
     ack->lsn = lsn;
     ack->is_add = false;
@@ -796,6 +906,9 @@ Json Service::do_remove(const Json& request) {
   }
   if (ack.staged) {
     durable_ok = await_durable(ack, &reply);
+  }
+  if (durable_ok && ack.lsn != 0) {
+    sync_replication_wait(ack.lsn);
   }
   audit_resolved(&ack, durable_ok);
   return reply;
@@ -848,6 +961,7 @@ Json Service::do_batch(const Json& request) {
   // LSN <= max_lsn is already resolved — and, unlike a durable_lsn()
   // comparison, it reports an LSN inside a failed range honestly even
   // after a later batch advanced the watermark past it.
+  std::uint64_t sync_lsn = 0;
   for (std::size_t i = 0; i < items.size(); ++i) {
     bool sub_ok = true;
     if (acks[i].staged) {
@@ -856,6 +970,7 @@ Json Service::do_batch(const Json& request) {
         if (acks[i].is_add) {
           metrics_.admitted.inc();
         }
+        sync_lsn = std::max(sync_lsn, acks[i].lsn);
       } else {
         sub_ok = false;
         replies[i] = error_reply(
@@ -865,6 +980,10 @@ Json Service::do_batch(const Json& request) {
       }
     }
     audit_resolved(&acks[i], sub_ok);
+  }
+  if (sync_lsn != 0) {
+    // One follower-durability wait covers the whole batch.
+    sync_replication_wait(sync_lsn);
   }
   Json reply = Json::object();
   reply.set("ok", true);
@@ -878,7 +997,20 @@ Json Service::do_batch(const Json& request) {
 
 Json Service::do_link(const Json& request, bool down) {
   OBS_SPAN(down ? "verb_link_down" : "verb_link_up");
-  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t sync_lsn = 0;
+  Json reply;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    reply = do_link_locked(request, down, &sync_lsn);
+  }
+  if (sync_lsn != 0) {
+    sync_replication_wait(sync_lsn);
+  }
+  return reply;
+}
+
+Json Service::do_link_locked(const Json& request, bool down,
+                             std::uint64_t* sync_lsn) {
   (down ? metrics_.link_downs : metrics_.link_ups).inc();
 
   // Channel addressing: {channel} by id, or {src,dst} by endpoints.
@@ -934,6 +1066,12 @@ Json Service::do_link(const Json& request, bool down) {
       catch_up_rollback_locked();
       return error_reply("link mutation not durable: " + err);
     }
+    if (repl_ != nullptr) {
+      // Already durable here (link records wait under mu_), so the
+      // record ships on the follower's next pull.
+      repl_->publish({type, lsn, e});
+    }
+    *sync_lsn = lsn;
   }
 
   const core::AdmissionController::LinkMutation m =
@@ -980,6 +1118,10 @@ Json Service::do_link(const Json& request, bool down) {
     }
     rec.set("rerouted", std::move(audit_rerouted));
     rec.set("recomputed", static_cast<std::int64_t>(m.recomputed.size()));
+    if (*sync_lsn != 0) {
+      rec.set("lsn", static_cast<std::int64_t>(*sync_lsn));
+      rec.set("durable", true);
+    }
     audit_->append(std::move(rec));
   }
   return reply;
@@ -1288,6 +1430,47 @@ std::string Service::health_status_locked(std::vector<std::string>* reasons,
     degrade("audit_write_failures: " + std::to_string(audit_->failures()));
   }
 
+  // Replication (DESIGN.md §15).  A follower degrades when its pull
+  // session is down or it trails the primary by more than the
+  // configured record budget; a primary degrades when --sync-replication
+  // acks had to go out without follower coverage.
+  const bool follower = follower_.load(std::memory_order_acquire);
+  if (follower) {
+    const std::uint64_t primary =
+        replica_primary_durable_.load(std::memory_order_relaxed);
+    const std::uint64_t local =
+        journal_ != nullptr ? journal_->durable_lsn() : 0;
+    const std::uint64_t lag = primary > local ? primary - local : 0;
+    checks->set("replication_lag", static_cast<std::int64_t>(lag));
+    if (!replica_connected_.load(std::memory_order_relaxed)) {
+      degrade("replication_disconnected: the pull session to the "
+              "primary is down");
+    }
+    if (lag > options_.repl_lag_degraded) {
+      degrade("replication_lag_high: " + std::to_string(lag) +
+              " records behind the primary (budget " +
+              std::to_string(options_.repl_lag_degraded) + ")");
+    }
+  } else if (repl_ != nullptr && journal_ != nullptr) {
+    const std::uint64_t acked = repl_->max_follower_durable();
+    const std::uint64_t local = journal_->durable_lsn();
+    const std::uint64_t lag =
+        !repl_->followers().empty() && local > acked ? local - acked : 0;
+    checks->set("replication_lag", static_cast<std::int64_t>(lag));
+    if (lag > options_.repl_lag_degraded) {
+      degrade("replication_lag_high: slowest follower is " +
+              std::to_string(lag) + " records behind (budget " +
+              std::to_string(options_.repl_lag_degraded) + ")");
+    }
+    const std::uint64_t sync_timeouts =
+        registry_.counter("wormrt_repl_sync_timeouts_total", {}).value();
+    if (options_.sync_replication && sync_timeouts > 0) {
+      degrade("replication_sync_timeouts: " +
+              std::to_string(sync_timeouts) +
+              " acks degraded to async replication");
+    }
+  }
+
   if (critical) {
     return "critical";
   }
@@ -1313,6 +1496,43 @@ Json Service::do_health_locked() {
   reply.set("reasons", std::move(reasons_json));
   checks.set("population", static_cast<std::int64_t>(ctrl_.size()));
   reply.set("checks", std::move(checks));
+
+  // Replication identity + progress, for wormrt-top and the smoke
+  // scripts (absent only on a state-less primary with no journal).
+  Json repl = Json::object();
+  const bool follower = follower_.load(std::memory_order_acquire);
+  repl.set("role", follower ? "follower" : "primary");
+  repl.set("epoch", static_cast<std::int64_t>(
+                        journal_ != nullptr ? journal_->epoch() : 1));
+  repl.set("durable_lsn", static_cast<std::int64_t>(
+                              journal_ != nullptr ? journal_->durable_lsn()
+                                                  : 0));
+  if (follower) {
+    repl.set("connected",
+             replica_connected_.load(std::memory_order_relaxed));
+    repl.set("primary_durable_lsn",
+             static_cast<std::int64_t>(
+                 replica_primary_durable_.load(std::memory_order_relaxed)));
+    repl.set("primary_epoch",
+             static_cast<std::int64_t>(
+                 replica_primary_epoch_.load(std::memory_order_relaxed)));
+  } else if (repl_ != nullptr && journal_ != nullptr) {
+    repl.set("sync", options_.sync_replication);
+    const std::uint64_t local = journal_->durable_lsn();
+    Json followers_json = Json::array();
+    for (const Replicator::FollowerInfo& info : repl_->followers()) {
+      Json f = Json::object();
+      f.set("id", info.id);
+      f.set("durable_lsn", static_cast<std::int64_t>(info.durable_lsn));
+      f.set("lag", static_cast<std::int64_t>(
+                       local > info.durable_lsn ? local - info.durable_lsn
+                                                : 0));
+      f.set("last_seen_ms", info.last_seen_ms);
+      followers_json.push_back(std::move(f));
+    }
+    repl.set("followers", std::move(followers_json));
+  }
+  reply.set("replication", std::move(repl));
 
   // Conformance: every established stream with its CURRENT bound and
   // slack, joined with the monitor's observations, tightest slack
@@ -1483,6 +1703,474 @@ Json Service::do_history_locked(const Json& request) {
     out.push_back(std::move(series));
   }
   reply.set("series", std::move(out));
+  return reply;
+}
+
+std::uint64_t Service::durable_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return journal_ != nullptr ? journal_->durable_lsn() : 0;
+}
+
+std::uint64_t Service::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return journal_ != nullptr ? journal_->epoch() : 1;
+}
+
+void Service::set_promote_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lk(promote_mu_);
+  promote_hook_ = std::move(hook);
+}
+
+void Service::note_replica_progress(std::uint64_t primary_durable,
+                                    std::uint64_t primary_epoch,
+                                    bool connected) {
+  replica_primary_durable_.store(primary_durable, std::memory_order_relaxed);
+  replica_primary_epoch_.store(primary_epoch, std::memory_order_relaxed);
+  replica_connected_.store(connected, std::memory_order_relaxed);
+}
+
+void Service::sync_replication_wait(std::uint64_t lsn) {
+  Replicator* repl = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    repl = repl_.get();
+  }
+  if (repl == nullptr) {
+    return;
+  }
+  // Wake REPL_PULL long-pollers: the record just became durable and is
+  // now servable — without this the ship latency rounds up to the
+  // poll tick.
+  repl->notify();
+  if (!options_.sync_replication || is_follower()) {
+    return;
+  }
+  if (!repl->wait_follower_durable(lsn,
+                                   options_.sync_replication_timeout_ms)) {
+    // Semi-synchronous degrade: the mutation is durable locally and
+    // will ship when a follower catches up, but this ack went out
+    // without follower coverage — counted, and HEALTH says so.
+    registry_
+        .counter("wormrt_repl_sync_timeouts_total", {},
+                 "Mutation acks that degraded to async replication "
+                 "because no follower confirmed durability in time.")
+        .inc();
+  }
+}
+
+bool Service::apply_replicated(const JournalRecord& record,
+                               std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!is_follower()) {
+    *error = "not a follower";
+    return false;
+  }
+  if (journal_ == nullptr) {
+    *error = "follower requires a state dir";
+    return false;
+  }
+  // WAL discipline, same as the primary: journal first (under the
+  // primary's LSN), engine second.  append_replica fsyncs per record —
+  // the durable LSN this follower acks in its next pull must never run
+  // ahead of its disk.
+  if (!journal_->append_replica(record, error)) {
+    return false;
+  }
+  std::int64_t audit_channel = -1;
+  switch (record.type) {
+    case JournalRecord::Type::kAdd:
+      ctrl_.restore(static_cast<topo::NodeId>(record.entry.src),
+                    static_cast<topo::NodeId>(record.entry.dst),
+                    static_cast<Priority>(record.entry.priority),
+                    record.entry.period, record.entry.length,
+                    record.entry.deadline, record.entry.handle,
+                    static_cast<int>(record.entry.route_order));
+      break;
+    case JournalRecord::Type::kRemove:
+      ctrl_.remove(record.entry.handle);
+      break;
+    case JournalRecord::Type::kLinkDown:
+    case JournalRecord::Type::kLinkUp: {
+      const topo::ChannelId ch = topo_.channel_between(
+          static_cast<topo::NodeId>(record.entry.src),
+          static_cast<topo::NodeId>(record.entry.dst));
+      if (ch == topo::kNoChannel) {
+        // Unreachable past the HELLO fingerprint check; refuse to guess.
+        *error = "replicated link record names channel " +
+                 std::to_string(record.entry.src) + "->" +
+                 std::to_string(record.entry.dst) +
+                 " which this topology does not have";
+        return false;
+      }
+      audit_channel = static_cast<std::int64_t>(ch);
+      if (record.type == JournalRecord::Type::kLinkDown) {
+        ctrl_.link_down(ch);
+      } else {
+        ctrl_.link_up(ch);
+      }
+      break;
+    }
+  }
+  metrics_.population.set(static_cast<double>(ctrl_.size()));
+  registry_
+      .counter("wormrt_repl_records_applied_total", {},
+               "Replicated journal records applied on this follower.")
+      .inc();
+  if (audit_ != nullptr) {
+    // One line per replicated record, carrying the primary's LSN — the
+    // smoke test diffs (lsn, event, handle) against the primary's
+    // audit log to prove decision-history equality.
+    Json rec = Json::object();
+    switch (record.type) {
+      case JournalRecord::Type::kAdd:
+        rec.set("event", "replicated_add");
+        rec.set("handle", record.entry.handle);
+        break;
+      case JournalRecord::Type::kRemove:
+        rec.set("event", "replicated_remove");
+        rec.set("handle", record.entry.handle);
+        break;
+      case JournalRecord::Type::kLinkDown:
+        rec.set("event", "replicated_link_down");
+        break;
+      case JournalRecord::Type::kLinkUp:
+        rec.set("event", "replicated_link_up");
+        break;
+    }
+    if (audit_channel >= 0) {
+      rec.set("channel", audit_channel);
+      rec.set("src", record.entry.src);
+      rec.set("dst", record.entry.dst);
+    }
+    rec.set("lsn", static_cast<std::int64_t>(record.lsn));
+    rec.set("durable", true);
+    audit_->append(std::move(rec));
+  }
+  maybe_compact();
+  return true;
+}
+
+bool Service::bootstrap_replicated(
+    std::uint64_t last_lsn, std::uint64_t snapshot_epoch,
+    std::int64_t next_handle, const std::vector<JournalEntry>& entries,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& faulted,
+    std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!is_follower()) {
+    *error = "not a follower";
+    return false;
+  }
+  if (journal_ == nullptr) {
+    *error = "follower requires a state dir";
+    return false;
+  }
+  // Durable install first (tmp+fsync->rename; the WAL is truncated and
+  // the LSN cursor moves to last_lsn+1), then rebuild the engine from
+  // scratch exactly like recovery replay.
+  if (!journal_->install_snapshot(last_lsn, snapshot_epoch, next_handle,
+                                  entries, faulted, error)) {
+    return false;
+  }
+  while (ctrl_.size() > 0) {
+    ctrl_.remove(ctrl_.engine().handle_of(static_cast<StreamId>(0)));
+  }
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(topo_.num_channels()); ++c) {
+    topo_.set_channel_faulted(static_cast<topo::ChannelId>(c), false);
+  }
+  for (const auto& [src, dst] : faulted) {
+    const topo::ChannelId ch = topo_.channel_between(
+        static_cast<topo::NodeId>(src), static_cast<topo::NodeId>(dst));
+    if (ch == topo::kNoChannel) {
+      *error = "bootstrap snapshot faults channel " + std::to_string(src) +
+               "->" + std::to_string(dst) +
+               " which this topology does not have";
+      return false;
+    }
+    topo_.set_channel_faulted(ch, true);
+  }
+  for (const JournalEntry& e : entries) {
+    ctrl_.restore(static_cast<topo::NodeId>(e.src),
+                  static_cast<topo::NodeId>(e.dst),
+                  static_cast<Priority>(e.priority), e.period, e.length,
+                  e.deadline, e.handle, static_cast<int>(e.route_order));
+  }
+  ctrl_.set_next_handle(std::max(ctrl_.next_handle(), next_handle));
+  metrics_.population.set(static_cast<double>(ctrl_.size()));
+  registry_
+      .counter("wormrt_repl_snapshots_installed_total", {},
+               "Replication bootstrap snapshots installed on this "
+               "follower.")
+      .inc();
+  if (audit_ != nullptr) {
+    Json rec = Json::object();
+    rec.set("event", "replicated_bootstrap");
+    rec.set("lsn", static_cast<std::int64_t>(last_lsn));
+    rec.set("epoch", static_cast<std::int64_t>(snapshot_epoch));
+    rec.set("entries", static_cast<std::int64_t>(entries.size()));
+    audit_->append(std::move(rec));
+  }
+  return true;
+}
+
+Json Service::do_repl_hello(const Json& request) {
+  std::int64_t follower_fp = 0, follower_epoch = 0, follower_durable = 0;
+  req_int(request, "fingerprint", &follower_fp);
+  req_int(request, "epoch", &follower_epoch);
+  req_int(request, "durable_lsn", &follower_durable);
+  const Json* id = request.get("follower_id");
+  const std::string follower_id =
+      id != nullptr && id->is_string() ? id->as_string() : "";
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (journal_ == nullptr || repl_ == nullptr) {
+    return error_reply("replication requires a state dir");
+  }
+  if (follower_fp != 0 && topo_.fingerprint() != 0 &&
+      static_cast<std::uint64_t>(follower_fp) != topo_.fingerprint()) {
+    return error_reply(
+        "topology fingerprint mismatch: follower state was issued "
+        "against a different fabric");
+  }
+  const std::uint64_t primary_epoch = journal_->epoch();
+  const std::uint64_t primary_durable = journal_->durable_lsn();
+  const std::uint64_t f_epoch =
+      follower_epoch > 0 ? static_cast<std::uint64_t>(follower_epoch) : 1;
+  const std::uint64_t f_durable =
+      follower_durable > 0 ? static_cast<std::uint64_t>(follower_durable)
+                           : 0;
+  // A follower needs a snapshot when its durable LSN predates the
+  // buffer floor (those records are gone from memory), or when it
+  // carries a deposed epoch's tail past the fence (its local open
+  // refused that state; the snapshot replaces it wholesale).
+  bool snapshot_needed = f_durable < repl_->floor_lsn();
+  if (f_epoch < primary_epoch && f_durable > repl_->fence_lsn()) {
+    snapshot_needed = true;
+  }
+  // Deliberately NOT registered in the follower table here: only
+  // REPL_PULL does that.  A pre-flight probe (or a follower that
+  // handshakes and dies) must not become a permanently-lagging phantom
+  // in the lag gauges and --sync-replication waits.
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("epoch", static_cast<std::int64_t>(primary_epoch));
+  reply.set("fence_lsn", static_cast<std::int64_t>(repl_->fence_lsn()));
+  reply.set("durable_lsn", static_cast<std::int64_t>(primary_durable));
+  reply.set("snapshot_needed", snapshot_needed);
+  return reply;
+}
+
+Json Service::do_repl_snapshot(const Json&) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (journal_ == nullptr) {
+    return error_reply("replication requires a state dir");
+  }
+  // The shipped state must be a durable cut: resolve everything staged
+  // (waiting under mu_ is fine for this rare verb, exactly like
+  // LINK_*), roll back failures, and serve engine == durable state.
+  catch_up_rollback_locked();
+  if (!staged_.empty()) {
+    std::string err;
+    if (!journal_->wait_durable(staged_.back().lsn, &err)) {
+      catch_up_rollback_locked();
+    }
+    prune_staged_locked();
+  }
+  std::vector<JournalEntry> entries;
+  std::vector<std::pair<std::int64_t, std::int64_t>> faulted;
+  capture_state_locked(&entries, &faulted);
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("lsn", static_cast<std::int64_t>(journal_->durable_lsn()));
+  reply.set("epoch", static_cast<std::int64_t>(journal_->epoch()));
+  reply.set("next_handle", ctrl_.next_handle());
+  Json faults = Json::array();
+  for (const auto& [src, dst] : faulted) {
+    Json pair = Json::array();
+    pair.push_back(src);
+    pair.push_back(dst);
+    faults.push_back(std::move(pair));
+  }
+  reply.set("faulted", std::move(faults));
+  Json rows = Json::array();
+  for (const JournalEntry& e : entries) {
+    Json row = Json::array();
+    row.push_back(e.handle);
+    row.push_back(e.src);
+    row.push_back(e.dst);
+    row.push_back(e.priority);
+    row.push_back(e.period);
+    row.push_back(e.length);
+    row.push_back(e.deadline);
+    row.push_back(e.route_order);
+    rows.push_back(std::move(row));
+  }
+  reply.set("entries", std::move(rows));
+  registry_
+      .counter("wormrt_repl_snapshots_shipped_total", {},
+               "Replication bootstrap snapshots served to followers.")
+      .inc();
+  return reply;
+}
+
+Json Service::do_repl_pull(const Json& request) {
+  std::int64_t from_lsn = 0;
+  if (!req_int(request, "from_lsn", &from_lsn) || from_lsn <= 0) {
+    return error_reply("REPL_PULL needs positive integer from_lsn");
+  }
+  std::int64_t follower_durable = 0;
+  req_int(request, "durable_lsn", &follower_durable);
+  std::int64_t wait_ms = 0;
+  req_int(request, "wait_ms", &wait_ms);
+  wait_ms = std::min<std::int64_t>(std::max<std::int64_t>(wait_ms, 0),
+                                   10000);
+  const Json* id = request.get("follower_id");
+  const std::string follower_id =
+      id != nullptr && id->is_string() ? id->as_string() : "";
+
+  Replicator* repl = nullptr;
+  Journal* journal = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (journal_ == nullptr || repl_ == nullptr) {
+      return error_reply("replication requires a state dir");
+    }
+    repl = repl_.get();
+    journal = journal_.get();
+  }
+  if (!follower_id.empty()) {
+    // The pull's durable_lsn IS the ack: it feeds the lag gauges and
+    // releases --sync-replication waiters.
+    repl->note_follower(
+        follower_id,
+        follower_durable > 0 ? static_cast<std::uint64_t>(follower_durable)
+                             : 0,
+        sampler_.now_ms());
+  }
+  // Ship only the durable prefix: a buffered LSN past the journal's
+  // watermark is pending (stop), one inside a failed commit range is
+  // rolled back (drop) — wait_durable() is instant for resolved LSNs
+  // and reports failed ranges honestly.
+  const auto classify = [journal](std::uint64_t lsn) {
+    if (lsn > journal->durable_lsn()) {
+      return LsnState::kPending;
+    }
+    std::string err;
+    return journal->wait_durable(lsn, &err) ? LsnState::kDurable
+                                            : LsnState::kFailed;
+  };
+  const std::uint64_t from = static_cast<std::uint64_t>(from_lsn);
+  std::vector<JournalRecord> records;
+  bool snapshot_needed = false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_ms);
+  // Long-poll: re-check after each publish/durability signal (bounded
+  // ticks — this occupies one dispatch worker, never the service).
+  while (true) {
+    records.clear();
+    snapshot_needed = false;
+    repl->serve(from, classify, &records, &snapshot_needed);
+    if (!records.empty() || snapshot_needed ||
+        shutdown_.load(std::memory_order_acquire)) {
+      break;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining <= 0) {
+      break;
+    }
+    repl->wait_tick(static_cast<int>(std::min<std::int64_t>(remaining, 50)));
+  }
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("epoch", static_cast<std::int64_t>(journal->epoch()));
+  reply.set("durable_lsn",
+            static_cast<std::int64_t>(journal->durable_lsn()));
+  if (snapshot_needed) {
+    reply.set("snapshot_needed", true);
+    return reply;
+  }
+  Json out = Json::array();
+  for (const JournalRecord& rec : records) {
+    Json row = Json::array();
+    row.push_back(static_cast<std::int64_t>(rec.type));
+    row.push_back(static_cast<std::int64_t>(rec.lsn));
+    row.push_back(rec.entry.handle);
+    row.push_back(rec.entry.src);
+    row.push_back(rec.entry.dst);
+    row.push_back(rec.entry.priority);
+    row.push_back(rec.entry.period);
+    row.push_back(rec.entry.length);
+    row.push_back(rec.entry.deadline);
+    row.push_back(rec.entry.route_order);
+    out.push_back(std::move(row));
+  }
+  if (!records.empty()) {
+    registry_
+        .counter("wormrt_repl_records_shipped_total", {},
+                 "Journal records shipped to followers via REPL_PULL.")
+        .inc(records.size());
+  }
+  reply.set("records", std::move(out));
+  return reply;
+}
+
+Json Service::do_promote(const Json&) {
+  std::lock_guard<std::mutex> pk(promote_mu_);
+  if (!is_follower()) {
+    // Idempotent: promoting a primary reports the standing state.
+    std::lock_guard<std::mutex> lk(mu_);
+    Json reply = Json::object();
+    reply.set("ok", true);
+    reply.set("role", "primary");
+    reply.set("epoch", static_cast<std::int64_t>(
+                           journal_ != nullptr ? journal_->epoch() : 1));
+    reply.set("durable_lsn",
+              static_cast<std::int64_t>(
+                  journal_ != nullptr ? journal_->durable_lsn() : 0));
+    return reply;
+  }
+  // Tear the follower loose FIRST: the hook stops and joins the
+  // replica session, so no replicated apply can race the epoch bump.
+  if (promote_hook_) {
+    promote_hook_();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (journal_ == nullptr) {
+    return error_reply("PROMOTE requires a state dir");
+  }
+  const std::uint64_t deposed_epoch = journal_->epoch();
+  const std::uint64_t fence = journal_->durable_lsn();
+  journal_->set_epoch(deposed_epoch + 1);
+  // The epoch bump is durable only once a snapshot re-stamps both
+  // files; until then a crash falls back to the follower epoch, which
+  // is safe (the promotion just has to be redone).
+  std::vector<JournalEntry> entries;
+  std::vector<std::pair<std::int64_t, std::int64_t>> faulted;
+  capture_state_locked(&entries, &faulted);
+  std::string err;
+  if (!journal_->write_snapshot(ctrl_.next_handle(), entries, faulted,
+                                &err)) {
+    return error_reply("promotion failed: epoch bump not durable: " + err);
+  }
+  repl_ = std::make_unique<Replicator>(fence, options_.repl_buffer_records);
+  repl_->set_fence(deposed_epoch, fence);
+  follower_.store(false, std::memory_order_release);
+  if (audit_ != nullptr) {
+    Json rec = Json::object();
+    rec.set("event", "promote");
+    rec.set("epoch", static_cast<std::int64_t>(deposed_epoch + 1));
+    rec.set("fence_lsn", static_cast<std::int64_t>(fence));
+    audit_->append(std::move(rec));
+  }
+  Json reply = Json::object();
+  reply.set("ok", true);
+  reply.set("role", "primary");
+  reply.set("promoted", true);
+  reply.set("epoch", static_cast<std::int64_t>(deposed_epoch + 1));
+  reply.set("durable_lsn", static_cast<std::int64_t>(fence));
   return reply;
 }
 

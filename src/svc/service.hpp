@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -57,7 +58,19 @@
 ///                             cascade is applied.
 ///   LINK_UP  {channel | src,dst}  -> mark the channel healthy again
 ///   SHUTDOWN {}            -> ask the daemon to exit cleanly
-/// Every response carries "ok"; failures add "error".
+///   REPL_HELLO / REPL_SNAPSHOT / REPL_PULL
+///                          -> the replication wire protocol a follower's
+///                             ReplicaSession speaks (replication.hpp;
+///                             DESIGN.md §15).  Primary + journal only.
+///   PROMOTE  {}            -> follower failover: stop the replica
+///                             session (promote hook), bump the fencing
+///                             epoch durably, start accepting mutations.
+///                             Idempotent on a primary.
+/// Every response carries "ok"; failures add "error".  On a follower
+/// every mutating verb (REQUEST/REMOVE/BATCH/LINK_*) and the REPL_*
+/// serving verbs are refused with error "not primary"; reads
+/// (QUERY/EXPLAIN/SNAPSHOT/STATS/METRICS/HEALTH/HISTORY/REPORT) are
+/// served from the replicated state.
 ///
 /// Durability (DESIGN.md §11): admissions/teardowns are applied to the
 /// engine and staged into the journal under mu_ (so LSN order == apply
@@ -74,6 +87,8 @@
 /// are mirrored into the registry at scrape time.
 
 namespace wormrt::svc {
+
+class Replicator;
 
 /// Durability and robustness knobs, beyond the analysis config.
 struct ServiceOptions {
@@ -104,6 +119,27 @@ struct ServiceOptions {
   std::string audit_path;
   /// Size-rotate the audit log past this many bytes (to audit_path.1).
   std::uint64_t audit_max_bytes = 64ull << 20;
+  /// Start as a replication follower: mutations are refused with
+  /// "not primary" and state arrives via apply_replicated() until a
+  /// PROMOTE flips the role.  Requires a state dir (the replica apply
+  /// path journals every shipped record before touching the engine).
+  bool follower = false;
+  /// Fencing floor for the follower's journal open — the new primary's
+  /// epoch and fence LSN from the pre-open REPL_HELLO.  A deposed
+  /// primary's unreplicated tail is refused at replay (journal.hpp).
+  std::uint64_t repl_min_epoch = 0;
+  std::uint64_t repl_fence_lsn = 0;
+  /// Primary: withhold every mutation ack until at least one follower
+  /// reported the record durable (REPL_PULL's durable_lsn).  On timeout
+  /// the ack degrades to async — counted in
+  /// wormrt_repl_sync_timeouts_total and surfaced by HEALTH.
+  bool sync_replication = false;
+  int sync_replication_timeout_ms = 5000;
+  /// Primary: in-memory record buffer served to followers; a follower
+  /// further behind than this re-bootstraps from a snapshot.
+  std::size_t repl_buffer_records = 4096;
+  /// HEALTH degrades when replication lag (records) exceeds this.
+  std::uint64_t repl_lag_degraded = 1024;
 };
 
 class Service {
@@ -113,6 +149,9 @@ class Service {
   /// channel fault flags (the channel set itself never changes).
   Service(topo::Topology& topo, const route::RoutingAlgorithm& routing,
           core::AnalysisConfig config = {}, ServiceOptions options = {});
+
+  // Out-of-line: unique_ptr<Replicator> needs the complete type.
+  ~Service();
 
   /// Opens the state dir (when ServiceOptions::state_dir is set) and
   /// replays snapshot + journal into the controller — the recovered
@@ -180,6 +219,49 @@ class Service {
   /// oracle compare engine state (bounds, handles) across a restart.
   const core::AdmissionController& controller() const { return ctrl_; }
 
+  /// Replication role.  Starts from ServiceOptions::follower; PROMOTE
+  /// flips a follower to primary for the rest of the process life.
+  bool is_follower() const {
+    return follower_.load(std::memory_order_acquire);
+  }
+
+  /// The journal's durable watermark (0 without a state dir) and
+  /// fencing epoch (1 without) — the follower session's pull cursor and
+  /// the HELLO handshake read these.
+  std::uint64_t durable_lsn() const;
+  std::uint64_t epoch() const;
+
+  /// Applies one replicated record on a follower: journal first
+  /// (Journal::append_replica, under the primary's LSN), then the
+  /// engine through the same replay switch as open_state, then an
+  /// audit record.  False + \p error on failure — the session must
+  /// stop rather than skip a record.
+  bool apply_replicated(const JournalRecord& record, std::string* error);
+
+  /// Installs a replication bootstrap snapshot on a follower: journal
+  /// install (tmp+fsync->rename, WAL truncated) first, then the engine
+  /// is cleared and rebuilt from the rows exactly like recovery replay.
+  bool bootstrap_replicated(
+      std::uint64_t last_lsn, std::uint64_t snapshot_epoch,
+      std::int64_t next_handle, const std::vector<JournalEntry>& entries,
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& faulted,
+      std::string* error);
+
+  /// Follower-side progress from the replica session, for the lag
+  /// gauges and HEALTH: the primary's durable LSN + epoch as of the
+  /// last successful pull, and whether the session is connected.
+  void note_replica_progress(std::uint64_t primary_durable,
+                             std::uint64_t primary_epoch, bool connected);
+
+  /// Called by PROMOTE (without mu_) before the role flips — wormrtd
+  /// installs a hook that stops and joins the ReplicaSession so no
+  /// replicated apply races the promotion.
+  void set_promote_hook(std::function<void()> hook);
+
+  /// The primary-side replicator (REPL_* verbs serve from it), or
+  /// nullptr on a follower / journal-less service.
+  Replicator* replicator() { return repl_.get(); }
+
  private:
   /// References into registry_, resolved once at construction so the
   /// request hot path never walks the registry map.
@@ -244,6 +326,16 @@ class Service {
   Json do_report_locked(const Json& request);
   Json do_health_locked();
   Json do_history_locked(const Json& request);
+  /// Replication verbs (primary + journal only).  REPL_PULL long-polls
+  /// WITHOUT mu_ — it blocks a dispatch worker, never the service.
+  Json do_repl_hello(const Json& request);
+  Json do_repl_snapshot(const Json& request);
+  Json do_repl_pull(const Json& request);
+  Json do_promote(const Json& request);
+  /// Waits for a follower to confirm durability of \p lsn when
+  /// --sync-replication is on (no-op otherwise); a timeout degrades to
+  /// async and is counted.  Call without mu_.
+  void sync_replication_wait(std::uint64_t lsn);
   Json error_reply(const std::string& what);
 
   /// One REPORT observation against the engine's current bound (mu_
@@ -290,6 +382,20 @@ class Service {
   /// at the next threshold crossing; the journal stays authoritative.
   void maybe_compact();
 
+  /// Captures the engine population (in engine order, with forced
+  /// handles and route orders) and the faulted channel set — the
+  /// snapshot-shaped view compaction, REPL_SNAPSHOT, and PROMOTE all
+  /// serialize (mu_ held).
+  void capture_state_locked(
+      std::vector<JournalEntry>* entries,
+      std::vector<std::pair<std::int64_t, std::int64_t>>* faulted) const;
+
+  /// LINK_DOWN/LINK_UP body with mu_ held; \p sync_lsn receives the
+  /// journaled LSN so do_link can run the --sync-replication wait after
+  /// releasing the lock.
+  Json do_link_locked(const Json& request, bool down,
+                      std::uint64_t* sync_lsn);
+
   topo::Topology& topo_;
   ServiceOptions options_;
   mutable std::mutex mu_;
@@ -317,6 +423,18 @@ class Service {
   /// re-zeroed instead of freezing at its last value (refresh_mirrors).
   mutable std::vector<std::uint8_t> channel_gauge_live_;
   std::atomic<bool> shutdown_{false};
+  /// Replication role + primary-side record buffer (replication.hpp).
+  std::atomic<bool> follower_{false};
+  std::unique_ptr<Replicator> repl_;
+  /// Serialises PROMOTE; the hook stops the replica session first.
+  std::mutex promote_mu_;
+  std::function<void()> promote_hook_;
+  /// Follower-side progress snapshot (written by the replica session,
+  /// read by HEALTH / metrics / the sampler), all monotone enough for
+  /// relaxed atomics.
+  std::atomic<std::uint64_t> replica_primary_durable_{0};
+  std::atomic<std::uint64_t> replica_primary_epoch_{0};
+  std::atomic<bool> replica_connected_{false};
   /// Declared last: its thread probes the members above, so it must be
   /// the first thing destroyed.
   obs::Sampler sampler_;

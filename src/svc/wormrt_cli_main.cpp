@@ -24,7 +24,12 @@ namespace {
 int usage(const char* program) {
   std::fprintf(
       stderr,
-      "usage: %s (--socket PATH | --port N [--host H]) COMMAND [flags]\n"
+      "usage: %s (--socket PATH | --port N [--host H] | --server LIST)\n"
+      "          COMMAND [flags]\n"
+      "  --server LIST     comma-separated failover endpoints (unix:PATH,\n"
+      "                    HOST:PORT, or bare socket paths), tried in\n"
+      "                    order; \"not primary\" replies rotate to the\n"
+      "                    next endpoint (kill-the-primary failover)\n"
       "commands:\n"
       "  request  --src N --dst N --priority N --period N --length N "
       "--deadline N [--explain]\n"
@@ -42,6 +47,8 @@ int usage(const char* program) {
       "  history  [--window-ms N] [--series a,b]   sampled time series\n"
       "  report   --handle H --latency L   report an observed end-to-end\n"
       "                    latency for conformance checking\n"
+      "  promote           promote a follower to primary (fencing epoch\n"
+      "                    bump); idempotent on a primary\n"
       "  shutdown\n"
       "  raw JSON          send a raw protocol line\n"
       "  batch             read protocol lines from stdin, send them all\n"
@@ -151,6 +158,8 @@ int main(int argc, char** argv) {
     request.set("verb", "REPORT");
     request.set("handle", args.get_int("handle", -1));
     request.set("observed_latency", args.get_double("latency", 0.0));
+  } else if (command == "promote") {
+    request.set("verb", "PROMOTE");
   } else if (command == "shutdown") {
     request.set("verb", "SHUTDOWN");
   } else if (command == "raw") {
@@ -166,18 +175,21 @@ int main(int argc, char** argv) {
   }
 
   const std::string socket_path = args.get_string("socket", "");
+  const std::string server_list = args.get_string("server", "");
   const std::int64_t port = args.get_int("port", -1);
   svc::Client client;
   client.set_timeout_ms(static_cast<int>(args.get_int("timeout-ms", 0)));
   std::string error;
   bool connected = false;
-  if (!socket_path.empty()) {
+  if (!server_list.empty()) {
+    connected = client.connect_endpoints(server_list, &error);
+  } else if (!socket_path.empty()) {
     connected = client.connect_unix(socket_path, &error);
   } else if (port >= 0) {
     connected = client.connect_tcp(args.get_string("host", "127.0.0.1"),
                                    static_cast<int>(port), &error);
   } else {
-    std::fprintf(stderr, "%s: need --socket or --port\n",
+    std::fprintf(stderr, "%s: need --socket, --port, or --server\n",
                  args.program().c_str());
     return 2;
   }

@@ -13,13 +13,18 @@
 //   READY unix /tmp/wormrtd.sock      (or: READY tcp 127.0.0.1:PORT)
 // to stdout so scripts and tests can synchronise on startup.
 
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "obs/trace.hpp"
+#include "svc/json.hpp"
+#include "svc/replication.hpp"
 #include "svc/server.hpp"
 #include "route/dor.hpp"
 #include "topo/mesh.hpp"
@@ -99,9 +104,94 @@ int usage(const char* program) {
       "  --audit-log FILE  append a JSONL audit record per admission "
       "decision, removal, and link mutation\n"
       "  --audit-max-bytes N  rotate the audit log to FILE.1 past N "
-      "bytes (default 64 MiB)\n",
+      "bytes (default 64 MiB)\n"
+      "  --follow ENDPOINT  replicate from a primary (unix:PATH or "
+      "HOST:PORT) instead of accepting mutations; requires --state-dir. "
+      "Reads (QUERY/STATS/METRICS/HEALTH/...) are served locally, "
+      "mutations answer error \"not primary\" until PROMOTE\n"
+      "  --follower-id ID  identity reported to the primary (default "
+      "pid-<pid>)\n"
+      "  --sync-replication  withhold mutation acks until at least one "
+      "follower reported the record durable (degrades to async on "
+      "timeout, counted + HEALTH-visible)\n"
+      "  --sync-replication-timeout-ms N  per-ack follower wait before "
+      "degrading (default 5000)\n"
+      "  --repl-lag-degraded N  HEALTH degrades when a follower lags "
+      "more than N records (default 1024)\n",
       program);
   return 2;
+}
+
+/// Pre-flight handshake for --follow: learn the primary's fencing epoch
+/// and fence LSN so the local journal open can detect (and refuse) a
+/// deposed primary's unreplicated tail, and hard-fail on a topology
+/// fingerprint mismatch before any replay happens.  Retries until the
+/// primary answers or a signal arrives.
+bool follower_preflight(const std::string& endpoint,
+                        std::uint64_t fingerprint, std::uint64_t* epoch,
+                        std::uint64_t* fence_lsn, bool* fatal) {
+  using namespace wormrt;
+  *fatal = false;
+  bool is_unix = false;
+  std::string target;
+  int port = 0;
+  if (!svc::parse_endpoint(endpoint, &is_unix, &target, &port)) {
+    std::fprintf(stderr, "wormrtd: bad --follow endpoint: %s\n",
+                 endpoint.c_str());
+    *fatal = true;
+    return false;
+  }
+  bool warned = false;
+  while (g_signalled == 0) {
+    svc::Client client;
+    client.set_timeout_ms(5000);
+    std::string error;
+    const bool connected =
+        is_unix ? client.connect_unix(target, &error)
+                : client.connect_tcp(target, port, &error);
+    if (connected) {
+      svc::Json hello = svc::Json::object();
+      hello.set("verb", "REPL_HELLO");
+      hello.set("follower_id", "preflight-" + std::to_string(::getpid()));
+      hello.set("fingerprint", static_cast<std::int64_t>(fingerprint));
+      hello.set("epoch", static_cast<std::int64_t>(1));
+      hello.set("durable_lsn", static_cast<std::int64_t>(0));
+      std::string line;
+      if (client.call(hello.dump(), &line, &error)) {
+        std::string parse_error;
+        const svc::Json reply = svc::Json::parse(line, &parse_error);
+        const svc::Json* ok = reply.get("ok");
+        if (parse_error.empty() && ok != nullptr && ok->as_bool()) {
+          const svc::Json* e = reply.get("epoch");
+          const svc::Json* f = reply.get("fence_lsn");
+          *epoch = e != nullptr ? static_cast<std::uint64_t>(e->as_int()) : 1;
+          *fence_lsn =
+              f != nullptr ? static_cast<std::uint64_t>(f->as_int()) : 0;
+          return true;
+        }
+        const svc::Json* err = reply.get("error");
+        const std::string what =
+            err != nullptr && err->is_string() ? err->as_string() : line;
+        if (what.find("fingerprint mismatch") != std::string::npos) {
+          std::fprintf(stderr,
+                       "wormrtd: primary at %s runs a different fabric: "
+                       "%s\n",
+                       endpoint.c_str(), what.c_str());
+          *fatal = true;
+          return false;
+        }
+        error = what;
+      }
+    }
+    if (!warned) {
+      std::fprintf(stderr,
+                   "wormrtd: waiting for primary at %s (%s)\n",
+                   endpoint.c_str(), error.c_str());
+      warned = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  return false;
 }
 
 }  // namespace
@@ -156,16 +246,65 @@ int main(int argc, char** argv) {
   service_options.audit_path = args.get_string("audit-log", "");
   service_options.audit_max_bytes =
       static_cast<std::uint64_t>(args.get_int("audit-max-bytes", 64 << 20));
+  service_options.sync_replication = args.has("sync-replication");
+  service_options.sync_replication_timeout_ms =
+      static_cast<int>(args.get_int("sync-replication-timeout-ms", 5000));
+  service_options.repl_lag_degraded =
+      static_cast<std::uint64_t>(args.get_int("repl-lag-degraded", 1024));
+
+  const std::string follow_endpoint = args.get_string("follow", "");
+  service_options.follower = !follow_endpoint.empty();
+  if (service_options.follower && service_options.state_dir.empty()) {
+    std::fprintf(stderr,
+                 "wormrtd: --follow requires --state-dir (the follower "
+                 "journals replicated records before applying them)\n");
+    return 2;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
 
   topo::Mesh mesh(cols, rows);  // mutable: LINK_DOWN/LINK_UP drive faults
   const route::XYRouting routing;
+
+  if (service_options.follower) {
+    // Fencing pre-flight: learn the primary's epoch + fence so replay
+    // refuses a deposed primary's unreplicated tail (DESIGN.md §15).
+    bool fatal = false;
+    if (!follower_preflight(follow_endpoint, mesh.fingerprint(),
+                            &service_options.repl_min_epoch,
+                            &service_options.repl_fence_lsn, &fatal)) {
+      return fatal ? 1 : 0;  // signal during wait = clean exit
+    }
+  }
+
   svc::Service service(mesh, routing, config, service_options);
 
   std::string error;
   if (!service.open_state(&error)) {
-    std::fprintf(stderr, "wormrtd: cannot open state dir: %s\n",
-                 error.c_str());
-    return 1;
+    if (service_options.follower &&
+        error.find("deposed primary") != std::string::npos) {
+      // This state dir carries mutations a newer primary never saw.
+      // They are unrecoverable by design (the failover already moved on
+      // without them) — discard and re-bootstrap from a snapshot.
+      std::fprintf(stderr,
+                   "wormrtd: %s\n"
+                   "wormrtd: discarding fenced state in %s and "
+                   "re-bootstrapping from the primary\n",
+                   error.c_str(), service_options.state_dir.c_str());
+      ::unlink((service_options.state_dir + "/journal.wal").c_str());
+      ::unlink((service_options.state_dir + "/snapshot.bin").c_str());
+      error.clear();
+      if (!service.open_state(&error)) {
+        std::fprintf(stderr, "wormrtd: cannot open state dir: %s\n",
+                     error.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "wormrtd: cannot open state dir: %s\n",
+                   error.c_str());
+      return 1;
+    }
   }
   if (!service_options.state_dir.empty()) {
     const svc::Service::RecoveryInfo& rec = service.recovery_info();
@@ -198,8 +337,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::signal(SIGTERM, on_signal);
-  std::signal(SIGINT, on_signal);
+  std::unique_ptr<svc::ReplicaSession> replica;
+  if (service_options.follower) {
+    svc::ReplicaConfig replica_config;
+    replica_config.endpoint = follow_endpoint;
+    replica_config.follower_id = args.get_string("follower-id", "");
+    replica_config.fingerprint = mesh.fingerprint();
+    replica = std::make_unique<svc::ReplicaSession>(service,
+                                                    replica_config);
+    // PROMOTE tears the pull loop down before the epoch bump, so no
+    // replicated apply can race the role flip.
+    service.set_promote_hook([&replica] {
+      if (replica != nullptr) {
+        replica->stop();
+      }
+    });
+    replica->start();
+    std::fprintf(stderr, "wormrtd: following %s (follower mode: "
+                 "mutations answer \"not primary\" until PROMOTE)\n",
+                 follow_endpoint.c_str());
+  }
 
   if (!socket_path.empty()) {
     std::printf("READY unix %s\n", socket_path.c_str());
@@ -212,6 +369,9 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
+  if (replica != nullptr) {
+    replica->stop();
+  }
   server.stop();
   if (!trace_path.empty()) {
     // Atomic tmp+rename write: a reader racing the shutdown (or a crash

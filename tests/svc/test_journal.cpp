@@ -870,8 +870,8 @@ TEST_F(JournalTest, FingerprintStampsTheJournalHeader) {
     RecoveredState state;
     ASSERT_TRUE(journal.open(&state, &error)) << error;
     // Fresh journal: first frame is the header (type 0, magic,
-    // fingerprint), before any record lands.
-    EXPECT_EQ(size_of(wal()), 8 + 25);
+    // fingerprint, epoch), before any record lands.
+    EXPECT_EQ(size_of(wal()), 8 + 33);
     ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(1), &error))
         << error;
   }
@@ -924,7 +924,7 @@ TEST_F(JournalTest, SnapshotCarriesFingerprintAndFaultSet) {
     ASSERT_TRUE(journal.write_snapshot(2, {entry(1, 0, 5)}, faulted, &error))
         << error;
     // Compaction truncates the WAL back down to just the header stamp.
-    EXPECT_EQ(size_of(wal()), 8 + 25);
+    EXPECT_EQ(size_of(wal()), 8 + 33);
   }
   RecoveredState state;
   ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
@@ -1013,6 +1013,134 @@ TEST_F(JournalTest, LegacyV1AddRecordsDefaultToPrimaryOrder) {
   ASSERT_EQ(state.records.size(), 1u);
   EXPECT_EQ(state.records[0].entry.handle, 9);
   EXPECT_EQ(state.records[0].entry.route_order, 0);
+}
+
+// --- replication: fencing epochs and the replica cursor ---------------
+
+TEST_F(JournalTest, FencingEpochRoundTripsAndOnlyRaises) {
+  {
+    Journal journal(config());
+    RecoveredState state;
+    std::string error;
+    ASSERT_TRUE(journal.open(&state, &error)) << error;
+    EXPECT_EQ(journal.epoch(), 1u);
+    journal.set_epoch(4);
+    EXPECT_EQ(journal.epoch(), 4u);
+    journal.set_epoch(2);  // demotion is not a thing; lowering is ignored
+    EXPECT_EQ(journal.epoch(), 4u);
+    // Promotion makes the bump durable by re-stamping both files.
+    ASSERT_TRUE(journal.write_snapshot(1, {}, {}, &error)) << error;
+  }
+  Journal journal(config());
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+  EXPECT_EQ(state.epoch, 4u);
+  EXPECT_EQ(journal.epoch(), 4u);
+}
+
+TEST_F(JournalTest, ReplicaAppendAndInstallSnapshotTrackThePrimaryCursor) {
+  Journal journal(config());
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+
+  // Replica appends carry the PRIMARY's LSNs, not a local sequence.
+  JournalRecord record;
+  record.type = JournalRecord::Type::kAdd;
+  record.lsn = 1;
+  record.entry = entry(1);
+  ASSERT_TRUE(journal.append_replica(record, &error)) << error;
+  record.lsn = 2;
+  record.entry = entry(2);
+  ASSERT_TRUE(journal.append_replica(record, &error)) << error;
+  EXPECT_EQ(journal.durable_lsn(), 2u);
+
+  // A mid-life bootstrap snapshot supersedes everything and rebases the
+  // cursor at the primary's LSN under the primary's epoch.
+  ASSERT_TRUE(journal.install_snapshot(10, 3, 7, {entry(5)}, {}, &error))
+      << error;
+  EXPECT_EQ(journal.durable_lsn(), 10u);
+  EXPECT_EQ(journal.epoch(), 3u);
+  record.lsn = 11;
+  record.entry = entry(6);
+  ASSERT_TRUE(journal.append_replica(record, &error)) << error;
+
+  RecoveredState recovered;
+  ASSERT_TRUE(Journal::recover(dir_, &recovered, &error)) << error;
+  EXPECT_EQ(recovered.snapshot_lsn, 10u);
+  EXPECT_EQ(recovered.next_handle, 7);
+  EXPECT_EQ(recovered.epoch, 3u);
+  ASSERT_EQ(recovered.snapshot.size(), 1u);
+  EXPECT_EQ(recovered.snapshot[0], entry(5));
+  ASSERT_EQ(recovered.records.size(), 1u);
+  EXPECT_EQ(recovered.records[0].lsn, 11u);
+  EXPECT_EQ(recovered.records[0].entry, entry(6));
+}
+
+TEST_F(JournalTest, DeposedPrimaryDivergentTailIsRefusedAtReplay) {
+  // A primary wrote five records before dying, but the follower that
+  // was promoted had only replicated three: LSNs 4-5 are mutations the
+  // cluster never acknowledged under the new epoch.
+  {
+    Journal journal(config());
+    seed_three_records(journal);
+    std::string error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(3), &error))
+        << error;
+    ASSERT_TRUE(journal.append(JournalRecord::Type::kAdd, entry(4), &error))
+        << error;
+  }
+
+  // Rejoining under epoch 2 fenced at LSN 3: the divergent tail makes
+  // this state unusable, and replaying it would resurrect decisions the
+  // new primary never made — hard error.
+  JournalConfig fenced = config();
+  fenced.min_epoch = 2;
+  fenced.fence_lsn = 3;
+  {
+    Journal journal(fenced);
+    RecoveredState state;
+    std::string error;
+    ASSERT_FALSE(journal.open(&state, &error));
+    EXPECT_NE(error.find("deposed primary"), std::string::npos) << error;
+  }
+
+  // Had the follower been fully caught up (fence covers LSN 5), the
+  // same state replays cleanly and adopts the new epoch.
+  fenced.fence_lsn = 5;
+  Journal journal(fenced);
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(journal.open(&state, &error)) << error;
+  EXPECT_EQ(state.records.size(), 5u);
+  EXPECT_EQ(journal.epoch(), 2u);
+}
+
+TEST_F(JournalTest, LegacyHeaderWithoutEpochReadsAsEpochOne) {
+  // A WRTJHDR1 header (pre-epoch) is the first primary incarnation.
+  std::string header;
+  header.push_back(static_cast<char>(0));
+  put_u64le(&header, 0);
+  header.append("WRTJHDR1", 8);
+  put_u64le(&header, 0xDEADu);  // fingerprint
+  std::string add;
+  add.push_back(static_cast<char>(JournalRecord::Type::kAdd));
+  put_u64le(&add, 1);  // lsn
+  for (const std::int64_t v : {9, 0, 5, 2, 50, 10, 40}) {
+    put_u64le(&add, static_cast<std::uint64_t>(v));
+  }
+  std::filesystem::create_directories(dir_);
+  append_bytes(wal(), framed(header) + framed(add));
+
+  RecoveredState state;
+  std::string error;
+  ASSERT_TRUE(Journal::recover(dir_, &state, &error)) << error;
+  EXPECT_EQ(state.epoch, 1u);
+  EXPECT_TRUE(state.has_journal_fingerprint);
+  EXPECT_EQ(state.journal_fingerprint, 0xDEADu);
+  ASSERT_EQ(state.records.size(), 1u);
+  EXPECT_EQ(state.records[0].entry.handle, 9);
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 //
 // Draws random scenarios (topology + admission churn, including
 // link_down/link_up topology mutations) from sequential seeds and
-// checks each against seven independent oracles: soundness (idealized
+// checks each against eight independent oracles: soundness (idealized
 // preemptive simulation never exceeds a computed bound), flit-soundness
 // (the event-driven flit-accurate router — real VC buffers, credit flow
 // control — never exceeds it either; meshes only), equivalence
@@ -12,10 +12,14 @@
 // (wire decisions match the in-process controller), recovery (a
 // journaled service crashed mid-churn — possibly with a torn tail —
 // recovers to exactly the acknowledged state, fault flags and detour
-// routes included), and fault-repair (after every link mutation the
+// routes included), fault-repair (after every link mutation the
 // surviving bounds equal a from-scratch analysis and no survivor
-// crosses a faulted channel).  Failing seeds are shrunk to minimal
-// reproducers and written as corpus files.
+// crosses a faulted channel), and replication (a follower replaying
+// the primary's shipped journal through the REPL_* verbs — with
+// random crashes and snapshot bootstraps — converges to bitwise the
+// primary's state and makes the identical post-PROMOTE admission
+// decision).  Failing seeds are shrunk to minimal reproducers and
+// written as corpus files.
 //
 //   ./wormrt-fuzz --seeds 500
 //   ./wormrt-fuzz --seeds 200 --seed-start 1000 --corpus-dir corpus
@@ -55,6 +59,12 @@ int usage(const char* program) {
       "  --no-fault-oracle skip the fault-repair oracle (link_down/\n"
       "                    link_up reconvergence vs from-scratch "
       "analysis)\n"
+      "  --no-replication-oracle\n"
+      "                    skip the primary/follower replication oracle\n"
+      "  --replication-skew N\n"
+      "                    compare follower bounds against primary + N —\n"
+      "                    a non-zero value must produce violations on\n"
+      "                    healthy code (oracle self-test)\n"
       "  --flit-depth N    per-VC buffer depth of the flit oracle\n"
       "                    (default 4; must be >= 2)\n"
       "  --recovery-tmp D  root for per-scenario journal dirs (default\n"
@@ -107,6 +117,8 @@ int main(int argc, char** argv) {
   options.check.check_recovery = !args.has("no-recovery");
   options.check.check_flit = !args.has("no-flit-oracle");
   options.check.check_fault = !args.has("no-fault-oracle");
+  options.check.check_replication = !args.has("no-replication-oracle");
+  options.check.replication_skew = args.get_int("replication-skew", 0);
   options.check.flit_buffer_depth =
       static_cast<int>(args.get_int("flit-depth", 4));
   options.check.recovery_tmp_root = args.get_string("recovery-tmp", "/tmp");

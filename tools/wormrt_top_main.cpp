@@ -177,6 +177,41 @@ void render(const Json& health, const Json& stats, const Json& history,
   }
   std::printf("\n");
 
+  // --- replication role / epoch / lag ----------------------------------
+  const Json* repl = health.get("replication");
+  if (repl != nullptr && repl->is_object()) {
+    const std::string role = str_or(repl->get("role"), "primary");
+    std::printf("replication: role %s  epoch %lld  durable_lsn %lld",
+                role.c_str(),
+                static_cast<long long>(int_or(repl->get("epoch"), 1)),
+                static_cast<long long>(int_or(repl->get("durable_lsn"),
+                                              0)));
+    if (role == "follower") {
+      const std::int64_t primary =
+          int_or(repl->get("primary_durable_lsn"), 0);
+      const std::int64_t local = int_or(repl->get("durable_lsn"), 0);
+      std::printf("  %s  lag %lld",
+                  bool_or(repl->get("connected"), false) ? "connected"
+                                                         : "DISCONNECTED",
+                  static_cast<long long>(
+                      primary > local ? primary - local : 0));
+    } else {
+      const Json* followers = repl->get("followers");
+      if (followers != nullptr && followers->is_array()) {
+        std::printf("  followers %zu%s", followers->items().size(),
+                    bool_or(repl->get("sync"), false) ? "  sync" : "");
+        for (const Json& f : followers->items()) {
+          if (f.is_object()) {
+            std::printf("  [%s lag %lld]",
+                        str_or(f.get("id"), "?").c_str(),
+                        static_cast<long long>(int_or(f.get("lag"), 0)));
+          }
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
   // --- verbs + rates ---------------------------------------------------
   const Json* verbs = stats.get("verbs");
   if (verbs != nullptr && verbs->is_object()) {
